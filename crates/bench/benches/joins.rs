@@ -1,0 +1,66 @@
+//! Join-strategy benchmarks: the compose operator's engine room
+//! ("the composition can be computed very efficiently … by joining the
+//! mapping tables", paper Section 5.3).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moma_bench::random_mapping;
+use moma_table::join::{hash_join, nested_loop_join, sort_merge_join};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    for rows in [1_000usize, 10_000, 50_000] {
+        let keys = (rows / 4) as u32;
+        let left = random_mapping(7, keys, rows).table;
+        let right = random_mapping(8, keys, rows).table;
+        g.bench_with_input(BenchmarkId::new("hash", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                hash_join(&left, &right, |_| n += 1);
+                black_box(n)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sort_merge", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                sort_merge_join(&left, &right, |_| n += 1);
+                black_box(n)
+            })
+        });
+        // Nested loop only at the smallest size (quadratic).
+        if rows <= 1_000 {
+            g.bench_with_input(BenchmarkId::new("nested_loop", rows), &rows, |b, _| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    nested_loop_join(&left, &right, |_| n += 1);
+                    black_box(n)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adjacency");
+    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    let table = random_mapping(9, 10_000, 100_000).table;
+    g.bench_function("build_domain_index", |b| {
+        b.iter(|| black_box(moma_table::Adjacency::over_domain(&table)))
+    });
+    let adj = moma_table::Adjacency::over_domain(&table);
+    g.bench_function("probe_1k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in 0..1_000u32 {
+                total += adj.neighbors(k).len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_adjacency);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Attribute-matcher benchmarks: all-pairs vs prefix-filtered blocking
+//! vs parallel scoring — the ablation behind DESIGN.md's blocking choice.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moma_core::blocking::Blocking;
+use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
+use moma_datagen::{Scenario, WorldConfig};
+use moma_simstring::SimFn;
+
+fn scenario() -> Scenario {
+    // Between small and paper scale: enough rows for blocking to matter,
+    // small enough for criterion iterations.
+    let mut cfg = WorldConfig::small();
+    cfg.vldb_papers = (40, 50);
+    cfg.sigmod_papers = (30, 40);
+    cfg.gs_noise_entries = 2_000;
+    Scenario::generate(cfg)
+}
+
+fn bench_attribute_matching(c: &mut Criterion) {
+    let s = scenario();
+    let ctx = MatchContext::with_repository(&s.registry, &s.repository);
+    let mut g = c.benchmark_group("attr_match");
+    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    let configs = [
+        ("allpairs", Blocking::AllPairs, false),
+        ("blocked", Blocking::TrigramPrefix, false),
+        ("blocked_parallel", Blocking::TrigramPrefix, true),
+    ];
+    for (name, blocking, parallel) in configs {
+        g.bench_with_input(BenchmarkId::new("title_dblp_acm", name), &name, |b, _| {
+            let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.8)
+                .with_blocking(blocking)
+                .with_parallel(parallel);
+            b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_acm).unwrap()))
+        });
+    }
+    // The large dirty pair: DBLP x GS (thousands of noise entries) —
+    // blocked only; all-pairs is omitted as prohibitively slow.
+    for (name, parallel) in [("blocked", false), ("blocked_parallel", true)] {
+        g.bench_with_input(BenchmarkId::new("title_dblp_gs", name), &name, |b, _| {
+            let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
+                .with_blocking(Blocking::TrigramPrefix)
+                .with_parallel(parallel);
+            b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_gs).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocking_index(c: &mut Criterion) {
+    let s = scenario();
+    let lds = s.registry.lds(s.ids.pub_gs);
+    let values: Vec<(u32, String)> = lds
+        .project("title")
+        .unwrap()
+        .into_iter()
+        .map(|(i, v)| (i, v.to_match_string()))
+        .collect();
+    let mut g = c.benchmark_group("blocking");
+    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.bench_function("build_index", |b| {
+        b.iter(|| {
+            black_box(moma_core::blocking::TrigramIndex::build(
+                values.iter().map(|(i, v)| (*i, v.as_str())),
+            ))
+        })
+    });
+    let index =
+        moma_core::blocking::TrigramIndex::build(values.iter().map(|(i, v)| (*i, v.as_str())));
+    g.bench_function("probe_100", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (_, v) in values.iter().take(100) {
+                total += index.candidates(v, 0.75).len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attribute_matching, bench_blocking_index);
+criterion_main!(benches);

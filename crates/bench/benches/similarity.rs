@@ -1,0 +1,80 @@
+//! Similarity-kernel benchmarks: the inner loop of every attribute
+//! matcher.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moma_bench::sample_titles;
+use moma_simstring::{ngram, edit, jaro, phonetic, token, SimFn, TfIdfCorpus};
+
+fn bench_kernels(c: &mut Criterion) {
+    let titles = sample_titles(64, 11);
+    let pairs: Vec<(&str, &str)> = titles
+        .iter()
+        .zip(titles.iter().skip(1))
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+
+    let mut g = c.benchmark_group("similarity");
+    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.bench_function("trigram", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(ngram::trigram(x, y));
+            }
+        })
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(edit::levenshtein_sim(x, y));
+            }
+        })
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(jaro::jaro_winkler(x, y));
+            }
+        })
+    });
+    g.bench_function("token_jaccard", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(token::token_jaccard(x, y));
+            }
+        })
+    });
+    g.bench_function("monge_elkan", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(token::monge_elkan_sym(x, y));
+            }
+        })
+    });
+    g.bench_function("person_name", |b| {
+        b.iter(|| {
+            black_box(phonetic::person_name_sim("J. Smith", "John Smith"));
+            black_box(phonetic::person_name_sim("Erhard Rahm", "E. Rahm"));
+        })
+    });
+    let corpus = TfIdfCorpus::build(titles.iter().map(String::as_str));
+    g.bench_function("tfidf_cosine", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(corpus.cosine(x, y));
+            }
+        })
+    });
+    g.bench_function("simfn_dispatch_trigram", |b| {
+        let f = SimFn::Trigram;
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(f.eval(x, y));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

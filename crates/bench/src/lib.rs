@@ -1,0 +1,74 @@
+//! # moma-bench — benchmarks and experiment regeneration for MOMA
+//!
+//! * `benches/` — Criterion micro/macro benchmarks: similarity kernels,
+//!   merge/compose operators, join strategies, attribute matching with
+//!   and without blocking, neighborhood matching, script interpretation.
+//! * `src/bin/repro.rs` — regenerates every table and figure of the
+//!   paper: `cargo run --release -p moma-bench --bin repro -- all`.
+//!
+//! Shared helpers for benchmark data generation live here.
+
+use moma_core::Mapping;
+use moma_model::LdsId;
+use moma_table::MappingTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random mapping with `rows` correspondences over a
+/// `keys × keys` id space.
+pub fn random_mapping(seed: u64, keys: u32, rows: usize) -> Mapping {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = MappingTable::from_triples(
+        (0..rows).map(|_| (rng.gen_range(0..keys), rng.gen_range(0..keys), rng.gen::<f64>())),
+    );
+    Mapping::same(format!("random({seed})"), LdsId(0), LdsId(1), table)
+}
+
+/// Deterministic random mapping whose range side is a different LDS id
+/// space, for compose chains.
+pub fn random_chain_mapping(seed: u64, keys: u32, rows: usize, from: u32, to: u32) -> Mapping {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = MappingTable::from_triples(
+        (0..rows).map(|_| (rng.gen_range(0..keys), rng.gen_range(0..keys), rng.gen::<f64>())),
+    );
+    Mapping::same(format!("chain({from}->{to})"), LdsId(from), LdsId(to), table)
+}
+
+/// Sample publication-title-like strings for similarity benches.
+pub fn sample_titles(n: usize, seed: u64) -> Vec<String> {
+    let openers = ["Efficient", "Scalable", "Adaptive", "Robust", "Incremental"];
+    let topics =
+        ["Query Processing", "Schema Matching", "Data Cleaning", "Similarity Search", "Join Processing"];
+    let contexts = ["Data Warehouses", "XML Data", "Sensor Networks", "the Web", "P2P Systems"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            format!(
+                "{} {} for {}",
+                openers[rng.gen_range(0..openers.len())],
+                topics[rng.gen_range(0..topics.len())],
+                contexts[rng.gen_range(0..contexts.len())]
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_mapping_is_deterministic() {
+        let a = random_mapping(1, 100, 500);
+        let b = random_mapping(1, 100, 500);
+        assert_eq!(a.table, b.table);
+        assert!(a.len() <= 500);
+        assert!(a.sims_valid());
+    }
+
+    #[test]
+    fn titles_deterministic() {
+        assert_eq!(sample_titles(5, 9), sample_titles(5, 9));
+        assert_eq!(sample_titles(5, 9).len(), 5);
+    }
+}

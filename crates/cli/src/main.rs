@@ -1,0 +1,146 @@
+//! `moma` — command-line object matching.
+//!
+//! ```text
+//! moma run SCRIPT.ifs \
+//!     --source data/dblp_pubs.tsv --source data/acm_pubs.tsv \
+//!     --assoc  PubVenue=Publication@DBLP:Venue@DBLP:data/pub_venue.tsv \
+//!     --out    result.tsv
+//! ```
+//!
+//! Sources are TSV files with a `#source Type@PDS` directive and an
+//! `id  attr:kind...` header (see `moma_ifuice::loader`); associations
+//! are two-column id TSVs registered in the mapping repository under the
+//! given name; the script is iFuice (see `moma_ifuice::script`). The
+//! script's returned mapping is written as `domain_id  range_id  sim`.
+
+use std::process::ExitCode;
+
+use moma_core::MappingRepository;
+use moma_ifuice::loader;
+use moma_ifuice::script::run_script;
+use moma_model::SourceRegistry;
+
+const USAGE: &str = "\
+usage:
+  moma run <script.ifs> [--source <file.tsv>]... \\
+           [--assoc <Name=DomainLds:RangeLds:file.tsv>]... [--out <file>]
+  moma check <script.ifs>         parse a script and report errors
+  moma help
+
+A source file starts with `#source Type@PDS` and a header row
+`id<TAB>attr:kind...` (kinds: text, list, int, year, real).
+An association file holds `domain_id<TAB>range_id[<TAB>sim]` rows and is
+stored in the repository under Name (scripts reference it as PDS.Member
+or via get(\"Name\")).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("check") => match cmd_check(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing script path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match moma_ifuice::script::parser::parse(&text) {
+        Ok(script) => {
+            println!("{path}: ok ({} statements)", script.stmts.len());
+            Ok(())
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut script_path: Option<&str> = None;
+    let mut sources: Vec<&str> = Vec::new();
+    let mut assocs: Vec<&str> = Vec::new();
+    let mut out: Option<&str> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--source" => sources.push(it.next().ok_or("--source needs a file")?),
+            "--assoc" => assocs.push(it.next().ok_or("--assoc needs a spec")?),
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?),
+            other if script_path.is_none() && !other.starts_with("--") => {
+                script_path = Some(other)
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let script_path = script_path.ok_or("missing script path")?;
+    if sources.is_empty() {
+        return Err("at least one --source is required".into());
+    }
+
+    // Load sources.
+    let mut registry = SourceRegistry::new();
+    for path in &sources {
+        let id = loader::load_source(&mut registry, path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "loaded {} ({} instances) from {path}",
+            registry.lds(id).name(),
+            registry.lds(id).len()
+        );
+    }
+
+    // Load associations: Name=DomainLds:RangeLds:file.tsv
+    let repository = MappingRepository::new();
+    for spec in &assocs {
+        let (name, rest) =
+            spec.split_once('=').ok_or_else(|| format!("bad --assoc `{spec}`"))?;
+        let mut parts = rest.splitn(3, ':');
+        let (Some(dom), Some(ran), Some(file)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("bad --assoc `{spec}` (expected Name=Dom:Ran:file)"));
+        };
+        let d = registry.resolve(dom).map_err(|e| e.to_string())?;
+        let r = registry.resolve(ran).map_err(|e| e.to_string())?;
+        let mapping = loader::load_association(&registry, file, name, name, d, r)
+            .map_err(|e| format!("{file}: {e}"))?;
+        eprintln!("loaded association {name} ({} rows) from {file}", mapping.len());
+        repository.store_as(name, mapping);
+    }
+
+    // Run the script.
+    let text =
+        std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let value = run_script(&text, &registry, &repository).map_err(|e| e.to_string())?;
+    let Some(mapping) = value.as_mapping() else {
+        return Err("script did not return a mapping".into());
+    };
+    eprintln!("script returned `{}` with {} correspondences", mapping.name, mapping.len());
+
+    let tsv = loader::mapping_to_tsv(&registry, mapping);
+    match out {
+        Some(path) => {
+            std::fs::write(path, tsv).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{tsv}"),
+    }
+    Ok(())
+}

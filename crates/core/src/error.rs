@@ -1,0 +1,81 @@
+//! Error type for core operations.
+
+use std::fmt;
+
+use moma_model::ModelError;
+
+/// Errors raised by mapping operators, matchers and workflows.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Propagated data-model error.
+    Model(ModelError),
+    /// Operator inputs are incompatible (different sources, wrong kinds).
+    Incompatible(String),
+    /// An operator received no inputs.
+    EmptyInput(String),
+    /// A named mapping was not found in the repository or cache.
+    UnknownMapping(String),
+    /// A matcher or workflow was configured inconsistently.
+    InvalidConfig(String),
+    /// I/O failure during repository persistence.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Incompatible(msg) => write!(f, "incompatible mappings: {msg}"),
+            CoreError::EmptyInput(op) => write!(f, "operator `{op}` received no inputs"),
+            CoreError::UnknownMapping(name) => write!(f, "unknown mapping `{name}`"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout `moma-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::EmptyInput("merge".into()).to_string().contains("merge"));
+        assert!(CoreError::UnknownMapping("PubSame".into()).to_string().contains("PubSame"));
+        let m: CoreError = ModelError::UnknownSource("X".into()).into();
+        assert!(m.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let m: CoreError = ModelError::UnknownSource("X".into()).into();
+        assert!(m.source().is_some());
+        assert!(CoreError::Incompatible("x".into()).source().is_none());
+    }
+}

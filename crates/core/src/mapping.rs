@@ -1,0 +1,221 @@
+//! Instance mappings: the central MOMA abstraction.
+
+use moma_model::LdsId;
+use moma_table::MappingTable;
+
+/// Whether a mapping asserts equality or some other semantic relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Same-mapping: correspondences between instances of the same object
+    /// type that represent the same real-world entity.
+    Same,
+    /// Association mapping with a semantic type name, e.g.
+    /// `"publications of author"`.
+    Association(String),
+}
+
+impl MappingKind {
+    /// True for same-mappings.
+    pub fn is_same(&self) -> bool {
+        matches!(self, MappingKind::Same)
+    }
+}
+
+/// An instance mapping between two logical data sources
+/// (paper Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Human-readable label, e.g. `"PubSame(DBLP,ACM)"`.
+    pub name: String,
+    /// Same-mapping or association mapping.
+    pub kind: MappingKind,
+    /// Domain LDS.
+    pub domain: LdsId,
+    /// Range LDS.
+    pub range: LdsId,
+    /// The correspondences.
+    pub table: MappingTable,
+}
+
+impl Mapping {
+    /// Create a same-mapping.
+    pub fn same(name: impl Into<String>, domain: LdsId, range: LdsId, table: MappingTable) -> Self {
+        Self { name: name.into(), kind: MappingKind::Same, domain, range, table }
+    }
+
+    /// Create an association mapping.
+    pub fn association(
+        name: impl Into<String>,
+        assoc_type: impl Into<String>,
+        domain: LdsId,
+        range: LdsId,
+        table: MappingTable,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: MappingKind::Association(assoc_type.into()),
+            domain,
+            range,
+            table,
+        }
+    }
+
+    /// The identity same-mapping over `count` instances of one LDS — the
+    /// "trivial same-mapping" used when the neighborhood matcher runs
+    /// within a single source (paper Section 4.3).
+    pub fn identity(lds: LdsId, count: u32) -> Self {
+        let table = MappingTable::from_triples((0..count).map(|i| (i, i, 1.0)));
+        Self::same(format!("Identity({})", lds.0), lds, lds, table)
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the mapping holds no correspondences.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Whether this is a self-mapping (domain LDS == range LDS).
+    pub fn is_self_mapping(&self) -> bool {
+        self.domain == self.range
+    }
+
+    /// The inverse mapping: domain and range swapped, table inverted.
+    ///
+    /// One of the two stated advantages of explicit mapping representation
+    /// (Section 2.1): "we can easily determine and use the inverse
+    /// mapping".
+    pub fn inverse(&self) -> Mapping {
+        let kind = match &self.kind {
+            MappingKind::Same => MappingKind::Same,
+            MappingKind::Association(t) => MappingKind::Association(format!("inverse({t})")),
+        };
+        Mapping {
+            name: format!("inverse({})", self.name),
+            kind,
+            domain: self.range,
+            range: self.domain,
+            table: self.table.inverted(),
+        }
+    }
+
+    /// Clamp all similarity values into `[0, 1]` (defensive; operators
+    /// preserve the invariant themselves).
+    pub fn clamp_sims(&mut self) {
+        let rows = std::mem::take(&mut self.table).into_rows();
+        self.table = MappingTable::from_rows(
+            rows.into_iter()
+                .map(|mut c| {
+                    c.sim = c.sim.clamp(0.0, 1.0);
+                    c
+                })
+                .collect(),
+        );
+    }
+
+    /// Check the `[0,1]` similarity invariant.
+    pub fn sims_valid(&self) -> bool {
+        self.table.iter().all(|c| (0.0..=1.0).contains(&c.sim) && c.sim.is_finite())
+    }
+
+    /// Replace the label, returning self (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mapping {
+        Mapping::same(
+            "PubSame",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 10, 1.0), (1, 11, 0.6)]),
+        )
+    }
+
+    #[test]
+    fn constructors() {
+        let m = sample();
+        assert!(m.kind.is_same());
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_self_mapping());
+        let a = Mapping::association("PubAuth", "publications of author", LdsId(0), LdsId(2),
+            MappingTable::new());
+        assert!(!a.kind.is_same());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let id = Mapping::identity(LdsId(3), 4);
+        assert_eq!(id.len(), 4);
+        assert!(id.is_self_mapping());
+        assert!(id.kind.is_same());
+        for c in id.table.iter() {
+            assert_eq!(c.domain, c.range);
+            assert_eq!(c.sim, 1.0);
+        }
+    }
+
+    #[test]
+    fn inverse_swaps_and_labels() {
+        let m = sample();
+        let inv = m.inverse();
+        assert_eq!(inv.domain, LdsId(1));
+        assert_eq!(inv.range, LdsId(0));
+        assert_eq!(inv.table.sim_of(10, 0), Some(1.0));
+        assert!(inv.name.starts_with("inverse("));
+        // Same-mapping inverse is still a same-mapping.
+        assert!(inv.kind.is_same());
+    }
+
+    #[test]
+    fn association_inverse_renames_type() {
+        let a = Mapping::association(
+            "VenuePub",
+            "publications of venue",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 1, 1.0)]),
+        );
+        match a.inverse().kind {
+            MappingKind::Association(t) => assert_eq!(t, "inverse(publications of venue)"),
+            _ => panic!("expected association"),
+        }
+    }
+
+    #[test]
+    fn double_inverse_restores_table() {
+        let m = sample();
+        assert_eq!(m.inverse().inverse().table, m.table);
+    }
+
+    #[test]
+    fn sims_validation_and_clamp() {
+        let mut m = Mapping::same(
+            "bad",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.5), (1, 1, -0.25)]),
+        );
+        assert!(!m.sims_valid());
+        m.clamp_sims();
+        assert!(m.sims_valid());
+        assert_eq!(m.table.sim_of(0, 0), Some(1.0));
+        assert_eq!(m.table.sim_of(1, 1), Some(0.0));
+    }
+
+    #[test]
+    fn named_builder() {
+        let m = sample().named("Renamed");
+        assert_eq!(m.name, "Renamed");
+    }
+}

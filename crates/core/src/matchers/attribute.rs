@@ -1,0 +1,379 @@
+//! The generic attribute matcher (paper Section 2.2).
+//!
+//! "In our current implementation, we use a generic attribute matcher
+//! that is provided with a pair of attributes to be matched, a similarity
+//! function to be evaluated (e.g. n-gram, TF/IDF or affix) and a
+//! similarity threshold to be exceeded by result correspondences."
+
+use moma_model::LdsId;
+use moma_simstring::{SimFn, TfIdfCorpus};
+use moma_table::{Correspondence, MappingTable};
+
+use crate::blocking::{Blocking, TrigramIndex};
+use crate::error::Result;
+use crate::mapping::Mapping;
+use crate::matchers::{MatchContext, Matcher};
+
+/// Similarity configuration of an attribute matcher.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatcherSim {
+    /// A fixed similarity function.
+    Fixed(SimFn),
+    /// TF-IDF cosine with the corpus built from both attribute columns at
+    /// execution time.
+    TfIdf,
+}
+
+/// Generic single-attribute matcher.
+#[derive(Debug, Clone)]
+pub struct AttributeMatcher {
+    /// Attribute name on the domain LDS.
+    pub domain_attr: String,
+    /// Attribute name on the range LDS.
+    pub range_attr: String,
+    /// Similarity function.
+    pub sim: MatcherSim,
+    /// Result correspondences must reach this similarity.
+    pub threshold: f64,
+    /// Candidate-generation strategy.
+    pub blocking: Blocking,
+    /// Score candidate chunks on multiple threads.
+    pub parallel: bool,
+    /// Dice bound used for prefix-filtered candidate generation. The
+    /// prefix-filter guarantee only holds when the scoring measure *is*
+    /// trigram Dice; for any other measure a conservative floor is used
+    /// (default 0.3) so near-matches under e.g. person-name similarity
+    /// still surface as candidates.
+    pub candidate_floor: Option<f64>,
+}
+
+impl AttributeMatcher {
+    /// Matcher with all-pairs candidate generation.
+    pub fn new(
+        domain_attr: impl Into<String>,
+        range_attr: impl Into<String>,
+        sim: SimFn,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            domain_attr: domain_attr.into(),
+            range_attr: range_attr.into(),
+            sim: MatcherSim::Fixed(sim),
+            threshold,
+            blocking: Blocking::AllPairs,
+            parallel: false,
+            candidate_floor: None,
+        }
+    }
+
+    /// TF-IDF matcher (corpus from both columns).
+    pub fn tfidf(
+        domain_attr: impl Into<String>,
+        range_attr: impl Into<String>,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            domain_attr: domain_attr.into(),
+            range_attr: range_attr.into(),
+            sim: MatcherSim::TfIdf,
+            threshold,
+            blocking: Blocking::AllPairs,
+            parallel: false,
+            candidate_floor: None,
+        }
+    }
+
+    /// Enable prefix-filtered trigram blocking (builder style).
+    pub fn with_blocking(mut self, blocking: Blocking) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Enable parallel scoring (builder style).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Override the candidate-generation Dice floor (builder style).
+    pub fn with_candidate_floor(mut self, floor: f64) -> Self {
+        self.candidate_floor = Some(floor);
+        self
+    }
+
+    /// Dice bound handed to the trigram prefix filter: the matcher
+    /// threshold itself when scoring with trigram Dice (exact), otherwise
+    /// the configured floor (conservative default 0.3).
+    fn effective_candidate_threshold(&self) -> f64 {
+        match (&self.sim, self.candidate_floor) {
+            (_, Some(floor)) => floor,
+            (MatcherSim::Fixed(SimFn::Trigram), None)
+            | (MatcherSim::Fixed(SimFn::QgramDice(3)), None) => self.threshold,
+            _ => 0.3,
+        }
+    }
+
+    /// Score a prepared candidate list. `domain_vals` / `range_vals` are
+    /// `(instance index, match string)` projections.
+    fn score(
+        &self,
+        domain_vals: &[(u32, String)],
+        range_vals: &[(u32, String)],
+    ) -> MappingTable {
+        // Pre-compute the scoring closure.
+        let tfidf_corpus = match self.sim {
+            MatcherSim::TfIdf => {
+                let mut corpus = TfIdfCorpus::new();
+                for (_, v) in domain_vals.iter().chain(range_vals.iter()) {
+                    corpus.add_document(v);
+                }
+                Some(corpus)
+            }
+            MatcherSim::Fixed(_) => None,
+        };
+        let score_one = |a: &str, b: &str| -> f64 {
+            match (&self.sim, &tfidf_corpus) {
+                (MatcherSim::Fixed(f), _) => f.eval(a, b),
+                (MatcherSim::TfIdf, Some(c)) => c.cosine(a, b),
+                (MatcherSim::TfIdf, None) => unreachable!("corpus prepared above"),
+            }
+        };
+
+        // Candidate index (only for blocking mode).
+        let index = match self.blocking {
+            Blocking::AllPairs => None,
+            Blocking::TrigramPrefix => Some(TrigramIndex::build(
+                range_vals.iter().map(|(i, v)| (*i, v.as_str())),
+            )),
+        };
+        // Position lookup for blocked mode: instance index -> slice pos.
+        let pos_of: moma_table::FxHashMap<u32, usize> = match index {
+            Some(_) => range_vals.iter().enumerate().map(|(p, (i, _))| (*i, p)).collect(),
+            None => Default::default(),
+        };
+
+        let score_chunk = |chunk: &[(u32, String)]| -> Vec<Correspondence> {
+            let mut out = Vec::new();
+            for (d_idx, d_val) in chunk {
+                match &index {
+                    None => {
+                        for (r_idx, r_val) in range_vals {
+                            let s = score_one(d_val, r_val);
+                            if s >= self.threshold {
+                                out.push(Correspondence::new(*d_idx, *r_idx, s));
+                            }
+                        }
+                    }
+                    Some(idx) => {
+                        for cand in idx.candidates(d_val, self.effective_candidate_threshold()) {
+                            let (r_idx, r_val) = &range_vals[pos_of[&cand]];
+                            let s = score_one(d_val, r_val);
+                            if s >= self.threshold {
+                                out.push(Correspondence::new(*d_idx, *r_idx, s));
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        let rows = if self.parallel && domain_vals.len() >= 64 {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let chunk_size = domain_vals.len().div_ceil(threads);
+            let chunks: Vec<&[(u32, String)]> = domain_vals.chunks(chunk_size).collect();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| scope.spawn(move |_| score_chunk(chunk)))
+                    .collect();
+                let mut rows = Vec::new();
+                for h in handles {
+                    rows.extend(h.join().expect("scoring thread panicked"));
+                }
+                rows
+            })
+            .expect("crossbeam scope")
+        } else {
+            score_chunk(domain_vals)
+        };
+        MappingTable::from_rows(rows)
+    }
+}
+
+impl Matcher for AttributeMatcher {
+    fn name(&self) -> String {
+        let sim = match &self.sim {
+            MatcherSim::Fixed(f) => f.name(),
+            MatcherSim::TfIdf => "tfidf".into(),
+        };
+        format!("attrMatch({}, {}, {sim}, {})", self.domain_attr, self.range_attr, self.threshold)
+    }
+
+    fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping> {
+        let d_lds = ctx.registry.lds(domain);
+        let r_lds = ctx.registry.lds(range);
+        let d_vals: Vec<(u32, String)> = d_lds
+            .project(&self.domain_attr)?
+            .into_iter()
+            .map(|(i, v)| (i, v.to_match_string()))
+            .collect();
+        let r_vals: Vec<(u32, String)> = r_lds
+            .project(&self.range_attr)?
+            .into_iter()
+            .map(|(i, v)| (i, v.to_match_string()))
+            .collect();
+        let table = self.score(&d_vals, &r_vals);
+        Ok(Mapping::same(self.name(), domain, range, table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, LogicalSource, ObjectType, SourceRegistry};
+
+    fn setup() -> (SourceRegistry, LdsId, LdsId) {
+        let mut reg = SourceRegistry::new();
+        let mut dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        dblp.insert_record(
+            "d0",
+            vec![("title", "A formal perspective on the view selection problem".into()),
+                 ("year", 2001u16.into())],
+        )
+        .unwrap();
+        dblp.insert_record(
+            "d1",
+            vec![("title", "Generic Schema Matching with Cupid".into()), ("year", 2001u16.into())],
+        )
+        .unwrap();
+        dblp.insert_record("d2", vec![("title", "Potter's Wheel".into())]).unwrap();
+        let mut acm = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("name"), AttrDef::year("year")],
+        );
+        acm.insert_record(
+            "a0",
+            vec![("name", "A formal perspective on the view selection problem.".into()),
+                 ("year", 2001u16.into())],
+        )
+        .unwrap();
+        acm.insert_record(
+            "a1",
+            vec![("name", "Generic schema matching with CUPID".into()), ("year", 2002u16.into())],
+        )
+        .unwrap();
+        acm.insert_record("a2", vec![("name", "Reference Reconciliation".into())]).unwrap();
+        let d = reg.register(dblp).unwrap();
+        let a = reg.register(acm).unwrap();
+        (reg, d, a)
+    }
+
+    #[test]
+    fn trigram_title_matching() {
+        let (reg, d, a) = setup();
+        let m = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.8);
+        let ctx = MatchContext::new(&reg);
+        let result = m.execute(&ctx, d, a).unwrap();
+        assert_eq!(result.len(), 2);
+        assert!(result.table.sim_of(0, 0).unwrap() >= 0.95);
+        assert!(result.table.sim_of(1, 1).unwrap() >= 0.95);
+        assert_eq!(result.table.sim_of(2, 2), None);
+        assert!(result.kind.is_same());
+    }
+
+    #[test]
+    fn blocking_matches_allpairs() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let all = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.6)
+            .execute(&ctx, d, a)
+            .unwrap();
+        let blocked = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.6)
+            .with_blocking(Blocking::TrigramPrefix)
+            .execute(&ctx, d, a)
+            .unwrap();
+        assert_eq!(all.table.pair_set(), blocked.table.pair_set());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let seq = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
+            .execute(&ctx, d, a)
+            .unwrap();
+        // The parallel path requires >= 64 domain values to kick in, but
+        // the result must be identical regardless.
+        let par = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
+            .with_parallel(true)
+            .execute(&ctx, d, a)
+            .unwrap();
+        assert_eq!(seq.table.pair_set(), par.table.pair_set());
+    }
+
+    #[test]
+    fn year_matcher_is_low_precision() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let m = AttributeMatcher::new("year", "year", SimFn::Year(0), 1.0);
+        let result = m.execute(&ctx, d, a).unwrap();
+        // Both 2001 DBLP records match the single 2001 ACM record —
+        // year matching alone over-matches (the Table 2 phenomenon).
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.table.sim_of(0, 0), Some(1.0));
+        assert_eq!(result.table.sim_of(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn tfidf_matcher() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let m = AttributeMatcher::tfidf("title", "name", 0.6);
+        let result = m.execute(&ctx, d, a).unwrap();
+        assert!(result.table.sim_of(0, 0).unwrap() > 0.9);
+        assert!(result.table.sim_of(1, 1).unwrap() > 0.9);
+        assert!(result.table.sim_of(2, 2).is_none());
+    }
+
+    #[test]
+    fn missing_attribute_errors() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let m = AttributeMatcher::new("venue", "name", SimFn::Trigram, 0.5);
+        assert!(m.execute(&ctx, d, a).is_err());
+    }
+
+    #[test]
+    fn missing_values_skipped() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        // d2 has no year: the year matcher sees only d0, d1.
+        let m = AttributeMatcher::new("year", "year", SimFn::Year(1), 0.1);
+        let result = m.execute(&ctx, d, a).unwrap();
+        assert!(result.table.iter().all(|c| c.domain != 2));
+    }
+
+    #[test]
+    fn name_mentions_config() {
+        let m = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.8);
+        assert_eq!(m.name(), "attrMatch(title, name, trigram, 0.8)");
+    }
+
+    #[test]
+    fn self_matching_for_duplicates() {
+        let (reg, d, _) = setup();
+        let ctx = MatchContext::new(&reg);
+        let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.9);
+        let result = m.execute(&ctx, d, d).unwrap();
+        // Every instance matches itself.
+        for i in 0..3u32 {
+            assert_eq!(result.table.sim_of(i, i), Some(1.0));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The extensible matcher library (paper Section 2.2).
+//!
+//! "There is an extensible library of matcher algorithms that can be used
+//! for a specific match task. Matchers conform to the same interfaces as
+//! a match process, in particular they generate a same-mapping."
+
+pub mod attribute;
+pub mod multi_attribute;
+pub mod neighborhood;
+
+use moma_model::{LdsId, SourceRegistry};
+
+use crate::error::Result;
+use crate::mapping::Mapping;
+use crate::repository::MappingRepository;
+
+pub use attribute::{AttributeMatcher, MatcherSim};
+pub use multi_attribute::{AttrPair, MultiAttributeMatcher};
+pub use neighborhood::{nh_match, NeighborhoodMatcher};
+
+/// Context a matcher executes in: the source registry (instance data) and
+/// optionally the mapping repository (existing mappings to reuse).
+pub struct MatchContext<'a> {
+    /// Instance data of all logical sources.
+    pub registry: &'a SourceRegistry,
+    /// Existing mappings available for reuse.
+    pub repository: Option<&'a MappingRepository>,
+}
+
+impl<'a> MatchContext<'a> {
+    /// Context without a repository.
+    pub fn new(registry: &'a SourceRegistry) -> Self {
+        Self { registry, repository: None }
+    }
+
+    /// Context with a repository.
+    pub fn with_repository(registry: &'a SourceRegistry, repo: &'a MappingRepository) -> Self {
+        Self { registry, repository: Some(repo) }
+    }
+}
+
+/// A matcher: executes against two logical sources and produces a
+/// same-mapping.
+pub trait Matcher: Send + Sync {
+    /// Matcher name (for workflow traces and the matcher library).
+    fn name(&self) -> String;
+
+    /// Run the matcher for `domain` × `range`.
+    fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping>;
+}

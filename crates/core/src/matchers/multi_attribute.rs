@@ -1,0 +1,285 @@
+//! Multi-attribute matcher (paper Section 2.2).
+//!
+//! "A multi-attribute matcher is also supported which directly evaluates
+//! and combines the similarity for multiple attribute pairs, e.g., for
+//! publication title and publication year."
+
+use moma_model::LdsId;
+use moma_simstring::SimFn;
+use moma_table::MappingTable;
+
+use crate::blocking::{Blocking, TrigramIndex};
+use crate::error::{CoreError, Result};
+use crate::mapping::Mapping;
+use crate::matchers::{MatchContext, Matcher};
+use crate::ops::merge::MissingPolicy;
+
+/// One attribute pair with its similarity function and weight.
+#[derive(Debug, Clone)]
+pub struct AttrPair {
+    /// Attribute on the domain LDS.
+    pub domain_attr: String,
+    /// Attribute on the range LDS.
+    pub range_attr: String,
+    /// Similarity function for this pair.
+    pub sim: SimFn,
+    /// Relative weight in the combined similarity.
+    pub weight: f64,
+}
+
+impl AttrPair {
+    /// Convenience constructor.
+    pub fn new(
+        domain_attr: impl Into<String>,
+        range_attr: impl Into<String>,
+        sim: SimFn,
+        weight: f64,
+    ) -> Self {
+        Self { domain_attr: domain_attr.into(), range_attr: range_attr.into(), sim, weight }
+    }
+}
+
+/// Matcher combining several attribute similarities per candidate pair.
+#[derive(Debug, Clone)]
+pub struct MultiAttributeMatcher {
+    /// The attribute pairs; the first is the *primary* (used for
+    /// blocking).
+    pub attrs: Vec<AttrPair>,
+    /// Threshold on the combined similarity.
+    pub threshold: f64,
+    /// Missing-value treatment: ignore (renormalize weights over present
+    /// attributes) or zero.
+    pub missing: MissingPolicy,
+    /// Candidate-generation strategy (on the primary attribute).
+    pub blocking: Blocking,
+}
+
+impl MultiAttributeMatcher {
+    /// Create a matcher; `attrs` must be non-empty.
+    pub fn new(attrs: Vec<AttrPair>, threshold: f64) -> Self {
+        Self { attrs, threshold, missing: MissingPolicy::Ignore, blocking: Blocking::AllPairs }
+    }
+
+    /// Set the missing policy (builder style).
+    pub fn with_missing(mut self, missing: MissingPolicy) -> Self {
+        self.missing = missing;
+        self
+    }
+
+    /// Set the blocking strategy (builder style).
+    pub fn with_blocking(mut self, blocking: Blocking) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    fn combined_sim(&self, d_vals: &[Option<String>], r_vals: &[Option<String>]) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut any = false;
+        for (k, pair) in self.attrs.iter().enumerate() {
+            match (&d_vals[k], &r_vals[k]) {
+                (Some(a), Some(b)) => {
+                    num += pair.weight * pair.sim.eval(a, b);
+                    den += pair.weight;
+                    any = true;
+                }
+                _ => {
+                    if self.missing == MissingPolicy::Zero {
+                        den += pair.weight;
+                    }
+                }
+            }
+        }
+        if !any || den <= 0.0 {
+            None
+        } else {
+            Some(num / den)
+        }
+    }
+}
+
+impl Matcher for MultiAttributeMatcher {
+    fn name(&self) -> String {
+        let attrs: Vec<String> = self
+            .attrs
+            .iter()
+            .map(|p| format!("{}~{}:{}", p.domain_attr, p.range_attr, p.sim.name()))
+            .collect();
+        format!("multiAttrMatch([{}], {})", attrs.join(", "), self.threshold)
+    }
+
+    fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping> {
+        if self.attrs.is_empty() {
+            return Err(CoreError::InvalidConfig("multi-attribute matcher needs attributes".into()));
+        }
+        let d_lds = ctx.registry.lds(domain);
+        let r_lds = ctx.registry.lds(range);
+
+        // Per-instance value rows aligned to `attrs`.
+        let project = |lds: &moma_model::LogicalSource, side_domain: bool| -> Result<Vec<(u32, Vec<Option<String>>)>> {
+            let slots: Vec<usize> = self
+                .attrs
+                .iter()
+                .map(|p| {
+                    lds.attr_slot(if side_domain { &p.domain_attr } else { &p.range_attr })
+                        .map_err(CoreError::from)
+                })
+                .collect::<Result<_>>()?;
+            Ok(lds
+                .iter()
+                .map(|(i, inst)| {
+                    let row = slots
+                        .iter()
+                        .map(|&s| inst.value(s).map(|v| v.to_match_string()))
+                        .collect();
+                    (i, row)
+                })
+                .collect())
+        };
+        let d_rows = project(d_lds, true)?;
+        let r_rows = project(r_lds, false)?;
+
+        // Blocking on the primary attribute.
+        let index = match self.blocking {
+            Blocking::AllPairs => None,
+            Blocking::TrigramPrefix => Some(TrigramIndex::build(
+                r_rows
+                    .iter()
+                    .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v))),
+            )),
+        };
+        let pos_of: moma_table::FxHashMap<u32, usize> =
+            r_rows.iter().enumerate().map(|(p, (i, _))| (*i, p)).collect();
+
+        let mut table = MappingTable::new();
+        for (d_idx, d_row) in &d_rows {
+            let candidates: Vec<usize> = match (&index, &d_row[0]) {
+                (Some(idx), Some(primary)) => idx
+                    .candidates(primary, self.threshold)
+                    .into_iter()
+                    .map(|c| pos_of[&c])
+                    .collect(),
+                (Some(_), None) => Vec::new(),
+                (None, _) => (0..r_rows.len()).collect(),
+            };
+            for p in candidates {
+                let (r_idx, r_row) = &r_rows[p];
+                if let Some(s) = self.combined_sim(d_row, r_row) {
+                    if s >= self.threshold {
+                        table.push(*d_idx, *r_idx, s);
+                    }
+                }
+            }
+        }
+        table.dedup_max();
+        Ok(Mapping::same(self.name(), domain, range, table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, LogicalSource, ObjectType, SourceRegistry};
+
+    fn setup() -> (SourceRegistry, LdsId, LdsId) {
+        let mut reg = SourceRegistry::new();
+        let mut dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        // Same title twice with different years — the conference/journal
+        // version problem from paper Fig. 7.
+        dblp.insert_record(
+            "d0",
+            vec![("title", "A formal perspective on the view selection problem".into()),
+                 ("year", 2001u16.into())],
+        )
+        .unwrap();
+        dblp.insert_record(
+            "d1",
+            vec![("title", "A formal perspective on the view selection problem".into()),
+                 ("year", 2002u16.into())],
+        )
+        .unwrap();
+        dblp.insert_record("d2", vec![("title", "No year record".into())]).unwrap();
+        let mut acm = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        acm.insert_record(
+            "a0",
+            vec![("title", "A formal perspective on the view selection problem".into()),
+                 ("year", 2001u16.into())],
+        )
+        .unwrap();
+        acm.insert_record("a1", vec![("title", "No year record".into())]).unwrap();
+        let d = reg.register(dblp).unwrap();
+        let a = reg.register(acm).unwrap();
+        (reg, d, a)
+    }
+
+    fn matcher() -> MultiAttributeMatcher {
+        MultiAttributeMatcher::new(
+            vec![
+                AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                AttrPair::new("year", "year", SimFn::Year(0), 1.0),
+            ],
+            0.8,
+        )
+    }
+
+    #[test]
+    fn year_disambiguates_same_title() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let r = matcher().execute(&ctx, d, a).unwrap();
+        // d0 (2001) combined = (2*1 + 1*1)/3 = 1; d1 (2002) = (2*1 + 0)/3 ≈ 0.67 < 0.8.
+        assert_eq!(r.table.sim_of(0, 0), Some(1.0));
+        assert_eq!(r.table.sim_of(1, 0), None);
+    }
+
+    #[test]
+    fn missing_ignore_renormalizes() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let r = matcher().execute(&ctx, d, a).unwrap();
+        // d2/a1 have no year; Ignore policy: title alone = 1.0.
+        assert_eq!(r.table.sim_of(2, 1), Some(1.0));
+    }
+
+    #[test]
+    fn missing_zero_penalizes() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let r = matcher().with_missing(MissingPolicy::Zero).execute(&ctx, d, a).unwrap();
+        // d2/a1: (2*1 + 0)/3 ≈ 0.67 < 0.8 -> dropped.
+        assert_eq!(r.table.sim_of(2, 1), None);
+    }
+
+    #[test]
+    fn blocking_equivalent() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let all = matcher().execute(&ctx, d, a).unwrap();
+        let blocked =
+            matcher().with_blocking(Blocking::TrigramPrefix).execute(&ctx, d, a).unwrap();
+        assert_eq!(all.table.pair_set(), blocked.table.pair_set());
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        let m = MultiAttributeMatcher::new(vec![], 0.5);
+        assert!(matches!(m.execute(&ctx, d, a), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn name_lists_attrs() {
+        let n = matcher().name();
+        assert!(n.contains("title~title:trigram"));
+        assert!(n.contains("year~year:year:0"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Mapping combination operators (paper Section 3).
+//!
+//! * [`merge`](merge()) — n-ary merge of mappings between the same pair of sources,
+//! * [`compose`](compose()) — composition via an intermediate source,
+//! * [`select`](select()) — selection of correspondences,
+//! * [`setops`] — set-algebraic helpers (union / intersection /
+//!   difference / closure).
+
+pub mod compose;
+pub mod merge;
+pub mod select;
+pub mod setops;
+
+pub use compose::{compose, PathAgg, PathCombine};
+pub use merge::{merge, MergeFn, MissingPolicy};
+pub use select::{select, select_constraint, Selection, Side};
+pub use setops::{difference, intersection, union};

@@ -1,0 +1,380 @@
+//! Selection of correspondences (paper Section 3.3).
+//!
+//! Selection is the second part of every mapping combiner: it eliminates
+//! less likely correspondences from a same-mapping. Supported techniques
+//! mirror the paper exactly — Threshold, Best-n, Best-1+Delta (absolute or
+//! relative) and object-value constraints.
+
+use moma_table::{Adjacency, MappingTable};
+
+use crate::mapping::Mapping;
+
+/// Which side Best-n / Best-1+Delta operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Per domain instance.
+    Domain,
+    /// Per range instance.
+    Range,
+    /// Both: a correspondence must survive the domain-side *and* the
+    /// range-side selection.
+    Both,
+}
+
+/// A selection technique.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Keep correspondences with `sim >= threshold`.
+    Threshold(f64),
+    /// Keep the `n` highest-similarity correspondences per instance.
+    BestN {
+        /// How many correspondences to keep.
+        n: usize,
+        /// Which side the per-instance grouping uses.
+        side: Side,
+    },
+    /// Keep the best correspondence per instance plus all within `delta`
+    /// of it (absolute: `sim >= best - delta`; relative:
+    /// `sim >= best * (1 - delta)`).
+    Best1Delta {
+        /// Tolerance below the best similarity.
+        delta: f64,
+        /// Interpret `delta` relative to the best value.
+        relative: bool,
+        /// Which side the per-instance grouping uses.
+        side: Side,
+    },
+}
+
+impl Selection {
+    /// Convenience: plain Best-1 per domain instance.
+    pub fn best1() -> Self {
+        Selection::BestN { n: 1, side: Side::Domain }
+    }
+}
+
+/// Apply a selection to a mapping.
+pub fn select(mapping: &Mapping, sel: &Selection) -> Mapping {
+    let table = match sel {
+        Selection::Threshold(t) => mapping.table.filtered(|c| c.sim >= *t),
+        Selection::BestN { n, side } => apply_sided(&mapping.table, *side, |keep, adj, key| {
+            best_n_keys(keep, adj, key, *n);
+        }),
+        Selection::Best1Delta { delta, relative, side } => {
+            apply_sided(&mapping.table, *side, |keep, adj, key| {
+                best1_delta_keys(keep, adj, key, *delta, *relative);
+            })
+        }
+    };
+    Mapping {
+        name: format!("select({})", mapping.name),
+        kind: mapping.kind.clone(),
+        domain: mapping.domain,
+        range: mapping.range,
+        table,
+    }
+}
+
+/// Keep only correspondences satisfying an object-value predicate.
+///
+/// The predicate receives `(domain index, range index, sim)`; callers
+/// capture whatever instance context they need (e.g. a registry for the
+/// paper's "publication years must not differ by more than one year"
+/// constraint, or `[domain.id]<>[range.id]` for non-identity in duplicate
+/// detection).
+pub fn select_constraint(
+    mapping: &Mapping,
+    mut pred: impl FnMut(u32, u32, f64) -> bool,
+) -> Mapping {
+    Mapping {
+        name: format!("select({})", mapping.name),
+        kind: mapping.kind.clone(),
+        domain: mapping.domain,
+        range: mapping.range,
+        table: mapping.table.filtered(|c| pred(c.domain, c.range, c.sim)),
+    }
+}
+
+/// Run a per-key selection over domain side, range side, or both
+/// (intersection).
+fn apply_sided(
+    table: &MappingTable,
+    side: Side,
+    per_key: impl Fn(&mut Vec<(u32, u32)>, &Adjacency, u32),
+) -> MappingTable {
+    let run_side = |domain_side: bool| -> Vec<(u32, u32)> {
+        let adj =
+            if domain_side { Adjacency::over_domain(table) } else { Adjacency::over_range(table) };
+        let mut kept = Vec::new();
+        for key in adj.keys() {
+            let mut local = Vec::new();
+            per_key(&mut local, &adj, key);
+            for (key_obj, other) in local {
+                // Normalize back to (domain, range) orientation.
+                if domain_side {
+                    kept.push((key_obj, other));
+                } else {
+                    kept.push((other, key_obj));
+                }
+            }
+        }
+        kept
+    };
+    let keep_pairs: moma_table::FxHashSet<(u32, u32)> = match side {
+        Side::Domain => run_side(true).into_iter().collect(),
+        Side::Range => run_side(false).into_iter().collect(),
+        Side::Both => {
+            let d: moma_table::FxHashSet<(u32, u32)> = run_side(true).into_iter().collect();
+            run_side(false).into_iter().filter(|p| d.contains(p)).collect()
+        }
+    };
+    table.filtered(|c| keep_pairs.contains(&(c.domain, c.range)))
+}
+
+fn best_n_keys(keep: &mut Vec<(u32, u32)>, adj: &Adjacency, key: u32, n: usize) {
+    let mut neighbors: Vec<(u32, f64)> = adj.neighbors(key).to_vec();
+    // Sort by similarity descending, tie-break on the other id for
+    // determinism.
+    neighbors.sort_by(|(o1, s1), (o2, s2)| {
+        s2.partial_cmp(s1).unwrap_or(std::cmp::Ordering::Equal).then(o1.cmp(o2))
+    });
+    for (other, _) in neighbors.into_iter().take(n) {
+        keep.push((key, other));
+    }
+}
+
+fn best1_delta_keys(keep: &mut Vec<(u32, u32)>, adj: &Adjacency, key: u32, delta: f64, relative: bool) {
+    let neighbors = adj.neighbors(key);
+    let best = neighbors.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+    if !best.is_finite() {
+        return;
+    }
+    let cutoff = if relative { best * (1.0 - delta) } else { best - delta };
+    for &(other, s) in neighbors {
+        if s >= cutoff {
+            keep.push((key, other));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use moma_model::LdsId;
+
+    fn mapping() -> Mapping {
+        Mapping::same(
+            "m",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([
+                (1, 10, 0.9),
+                (1, 11, 0.85),
+                (1, 12, 0.3),
+                (2, 10, 0.7),
+                (2, 13, 0.6),
+                (3, 14, 0.95),
+            ]),
+        )
+    }
+
+    #[test]
+    fn threshold() {
+        let r = select(&mapping(), &Selection::Threshold(0.8));
+        assert_eq!(r.len(), 3);
+        assert!(r.table.iter().all(|c| c.sim >= 0.8));
+    }
+
+    #[test]
+    fn threshold_keeps_equal() {
+        let r = select(&mapping(), &Selection::Threshold(0.95));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.table.sim_of(3, 14), Some(0.95));
+    }
+
+    #[test]
+    fn best1_per_domain() {
+        let r = select(&mapping(), &Selection::best1());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.table.sim_of(1, 10), Some(0.9));
+        assert_eq!(r.table.sim_of(2, 10), Some(0.7));
+        assert_eq!(r.table.sim_of(3, 14), Some(0.95));
+    }
+
+    #[test]
+    fn best2_per_domain() {
+        let r = select(&mapping(), &Selection::BestN { n: 2, side: Side::Domain });
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.table.sim_of(1, 12), None);
+    }
+
+    #[test]
+    fn best1_per_range() {
+        let r = select(&mapping(), &Selection::BestN { n: 1, side: Side::Range });
+        // Range 10 is claimed by domain 1 (0.9 > 0.7).
+        assert_eq!(r.table.sim_of(1, 10), Some(0.9));
+        assert_eq!(r.table.sim_of(2, 10), None);
+        // Ranges 11..14 keep their single correspondence.
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn best1_both_is_stable_marriage_like() {
+        let r = select(&mapping(), &Selection::BestN { n: 1, side: Side::Both });
+        // (1,10) best for both sides; (2,10) loses range competition;
+        // (2,13) is 2's second choice so not in domain top-1.
+        assert_eq!(r.table.sim_of(1, 10), Some(0.9));
+        assert_eq!(r.table.sim_of(2, 10), None);
+        assert_eq!(r.table.sim_of(3, 14), Some(0.95));
+        // (2,13): domain top-1 of 2 is (2,10), so excluded.
+        assert_eq!(r.table.sim_of(2, 13), None);
+    }
+
+    #[test]
+    fn best1_delta_absolute() {
+        let r = select(
+            &mapping(),
+            &Selection::Best1Delta { delta: 0.05, relative: false, side: Side::Domain },
+        );
+        // Domain 1: best 0.9, cutoff 0.85 -> keeps (1,10) and (1,11).
+        assert_eq!(r.table.sim_of(1, 10), Some(0.9));
+        assert_eq!(r.table.sim_of(1, 11), Some(0.85));
+        assert_eq!(r.table.sim_of(1, 12), None);
+        // Domain 2: best 0.7, cutoff 0.65 -> only (2,10).
+        assert_eq!(r.table.sim_of(2, 13), None);
+    }
+
+    #[test]
+    fn best1_delta_relative() {
+        let r = select(
+            &mapping(),
+            &Selection::Best1Delta { delta: 0.2, relative: true, side: Side::Domain },
+        );
+        // Domain 2: best 0.7, cutoff 0.56 -> keeps both (2,10) and (2,13).
+        assert_eq!(r.table.sim_of(2, 10), Some(0.7));
+        assert_eq!(r.table.sim_of(2, 13), Some(0.6));
+    }
+
+    #[test]
+    fn constraint_selection() {
+        // The Section 4.3 non-identity constraint `[domain.id]<>[range.id]`.
+        let m = Mapping::same(
+            "self",
+            LdsId(0),
+            LdsId(0),
+            MappingTable::from_triples([(1, 1, 1.0), (1, 2, 0.8), (2, 1, 0.8)]),
+        );
+        let r = select_constraint(&m, |d, rng, _| d != rng);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.table.sim_of(1, 1), None);
+    }
+
+    #[test]
+    fn empty_mapping_selects_empty() {
+        let m = Mapping::same("e", LdsId(0), LdsId(1), MappingTable::new());
+        for sel in [
+            Selection::Threshold(0.5),
+            Selection::best1(),
+            Selection::Best1Delta { delta: 0.1, relative: false, side: Side::Range },
+        ] {
+            assert!(select(&m, &sel).is_empty());
+        }
+    }
+
+    #[test]
+    fn best_n_tie_break_deterministic() {
+        let m = Mapping::same(
+            "t",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(1, 5, 0.8), (1, 4, 0.8), (1, 6, 0.8)]),
+        );
+        let r = select(&m, &Selection::best1());
+        assert_eq!(r.len(), 1);
+        // Lowest range id wins the tie.
+        assert_eq!(r.table.sim_of(1, 4), Some(0.8));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use moma_model::LdsId;
+    use proptest::prelude::*;
+
+    fn arb_mapping() -> impl Strategy<Value = Mapping> {
+        prop::collection::vec((0u32..12, 0u32..12, 0.0f64..=1.0), 0..50)
+            .prop_map(|rows| Mapping::same("m", LdsId(0), LdsId(1), MappingTable::from_triples(rows)))
+    }
+
+    proptest! {
+        #[test]
+        fn selection_yields_subset(m in arb_mapping(), t in 0.0f64..=1.0, n in 1usize..4) {
+            let pairs = m.table.pair_set();
+            for sel in [
+                Selection::Threshold(t),
+                Selection::BestN { n, side: Side::Domain },
+                Selection::BestN { n, side: Side::Range },
+                Selection::BestN { n, side: Side::Both },
+                Selection::Best1Delta { delta: t / 2.0, relative: false, side: Side::Domain },
+                Selection::Best1Delta { delta: t / 2.0, relative: true, side: Side::Range },
+            ] {
+                let r = select(&m, &sel);
+                for c in r.table.iter() {
+                    prop_assert!(pairs.contains(&(c.domain, c.range)));
+                    let orig = m.table.sim_of(c.domain, c.range).unwrap();
+                    prop_assert!((orig - c.sim).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn threshold_monotone(m in arb_mapping(), t1 in 0.0f64..=1.0, t2 in 0.0f64..=1.0) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let r_lo = select(&m, &Selection::Threshold(lo));
+            let r_hi = select(&m, &Selection::Threshold(hi));
+            prop_assert!(r_hi.len() <= r_lo.len());
+            let lo_pairs = r_lo.table.pair_set();
+            for c in r_hi.table.iter() {
+                prop_assert!(lo_pairs.contains(&(c.domain, c.range)));
+            }
+        }
+
+        #[test]
+        fn best_n_respects_limit(m in arb_mapping(), n in 1usize..4) {
+            let r = select(&m, &Selection::BestN { n, side: Side::Domain });
+            for (_, deg) in r.table.domain_degrees() {
+                prop_assert!(deg as usize <= n);
+            }
+            let r2 = select(&m, &Selection::BestN { n, side: Side::Range });
+            for (_, deg) in r2.table.range_degrees() {
+                prop_assert!(deg as usize <= n);
+            }
+        }
+
+        #[test]
+        fn best_n_covers_every_instance(m in arb_mapping()) {
+            // Best-n never removes *all* correspondences of an instance.
+            let r = select(&m, &Selection::best1());
+            prop_assert_eq!(r.table.distinct_domains(), m.table.distinct_domains());
+        }
+
+        #[test]
+        fn best1_delta_includes_best(m in arb_mapping(), d in 0.0f64..0.5) {
+            let r = select(&m, &Selection::Best1Delta { delta: d, relative: false, side: Side::Domain });
+            // Every domain instance retains its top correspondence.
+            let before = m.table.domain_degrees();
+            prop_assert_eq!(r.table.domain_degrees().len(), before.len());
+        }
+
+        #[test]
+        fn selection_idempotent(m in arb_mapping(), n in 1usize..4) {
+            let sel = Selection::BestN { n, side: Side::Domain };
+            let once = select(&m, &sel);
+            let twice = select(&once, &sel);
+            prop_assert_eq!(once.table.pair_set(), twice.table.pair_set());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Set-algebraic helpers over mappings.
+//!
+//! Merge and compose are the paper's primary operators; these utilities
+//! round out the algebra for workflow authors: union, intersection,
+//! difference on correspondence sets (similarity-aware).
+
+use moma_table::MappingTable;
+
+use crate::error::{CoreError, Result};
+use crate::mapping::Mapping;
+
+fn check_compatible(a: &Mapping, b: &Mapping, op: &str) -> Result<()> {
+    if a.domain != b.domain || a.range != b.range {
+        return Err(CoreError::Incompatible(format!(
+            "{op} requires equal sources: ({},{}) vs ({},{})",
+            a.domain.0, a.range.0, b.domain.0, b.range.0
+        )));
+    }
+    Ok(())
+}
+
+/// Union of correspondences; overlapping pairs take the max similarity.
+pub fn union(a: &Mapping, b: &Mapping) -> Result<Mapping> {
+    check_compatible(a, b, "union")?;
+    let mut table = MappingTable::with_capacity(a.len() + b.len());
+    for c in a.table.iter().chain(b.table.iter()) {
+        table.push(c.domain, c.range, c.sim);
+    }
+    table.dedup_max();
+    Ok(Mapping {
+        name: format!("union({}, {})", a.name, b.name),
+        kind: a.kind.clone(),
+        domain: a.domain,
+        range: a.range,
+        table,
+    })
+}
+
+/// Intersection: pairs present in both, similarity is the minimum.
+pub fn intersection(a: &Mapping, b: &Mapping) -> Result<Mapping> {
+    check_compatible(a, b, "intersection")?;
+    let pairs_b = b.table.pair_set();
+    let mut table = MappingTable::new();
+    for c in a.table.iter() {
+        if pairs_b.contains(&(c.domain, c.range)) {
+            let sb = b.table.sim_of(c.domain, c.range).expect("pair in set");
+            table.push(c.domain, c.range, c.sim.min(sb));
+        }
+    }
+    table.dedup_max();
+    Ok(Mapping {
+        name: format!("intersection({}, {})", a.name, b.name),
+        kind: a.kind.clone(),
+        domain: a.domain,
+        range: a.range,
+        table,
+    })
+}
+
+/// Difference: pairs of `a` not present in `b`.
+pub fn difference(a: &Mapping, b: &Mapping) -> Result<Mapping> {
+    check_compatible(a, b, "difference")?;
+    let pairs_b = b.table.pair_set();
+    Ok(Mapping {
+        name: format!("difference({}, {})", a.name, b.name),
+        kind: a.kind.clone(),
+        domain: a.domain,
+        range: a.range,
+        table: a.table.filtered(|c| !pairs_b.contains(&(c.domain, c.range))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::LdsId;
+
+    fn pair() -> (Mapping, Mapping) {
+        (
+            Mapping::same(
+                "a",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(1, 1, 0.9), (2, 2, 0.5)]),
+            ),
+            Mapping::same(
+                "b",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(1, 1, 0.4), (3, 3, 0.7)]),
+            ),
+        )
+    }
+
+    #[test]
+    fn union_max() {
+        let (a, b) = pair();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.table.sim_of(1, 1), Some(0.9));
+        assert_eq!(u.table.sim_of(3, 3), Some(0.7));
+    }
+
+    #[test]
+    fn intersection_min() {
+        let (a, b) = pair();
+        let i = intersection(&a, &b).unwrap();
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.table.sim_of(1, 1), Some(0.4));
+    }
+
+    #[test]
+    fn difference_removes() {
+        let (a, b) = pair();
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.table.sim_of(2, 2), Some(0.5));
+        let rev = difference(&b, &a).unwrap();
+        assert_eq!(rev.table.sim_of(3, 3), Some(0.7));
+        assert_eq!(rev.len(), 1);
+    }
+
+    #[test]
+    fn incompatible_rejected() {
+        let (a, _) = pair();
+        let other = Mapping::same("x", LdsId(4), LdsId(4), MappingTable::new());
+        assert!(union(&a, &other).is_err());
+        assert!(intersection(&a, &other).is_err());
+        assert!(difference(&a, &other).is_err());
+    }
+
+    #[test]
+    fn algebra_laws() {
+        let (a, b) = pair();
+        // |a| = |a ∩ b| + |a \ b|
+        let i = intersection(&a, &b).unwrap();
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(a.len(), i.len() + d.len());
+        // union is commutative on pair sets
+        let u1 = union(&a, &b).unwrap();
+        let u2 = union(&b, &a).unwrap();
+        assert_eq!(u1.table.pair_set(), u2.table.pair_set());
+    }
+}

@@ -1,0 +1,318 @@
+//! Mapping repository and cache (paper Section 2.2, Figure 3).
+//!
+//! "A mapping repository is used to materialize both association and
+//! same-mappings. … MOMA also maintains a mapping cache for storing
+//! intermediate same-mappings derived during a match workflow."
+//!
+//! The repository is concurrency-safe (matchers may run in parallel) and
+//! persists to a directory of TSV mapping tables keyed by *instance
+//! string ids*, so files survive regeneration of the in-memory arenas.
+
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use moma_model::SourceRegistry;
+use moma_table::{FxHashMap, MappingTable};
+
+use crate::error::{CoreError, Result};
+use crate::mapping::{Mapping, MappingKind};
+
+/// Thread-safe named store of mappings.
+#[derive(Debug, Default)]
+pub struct MappingRepository {
+    inner: RwLock<FxHashMap<String, Arc<Mapping>>>,
+}
+
+/// The mapping cache holds intermediate workflow results; structurally it
+/// is a second repository instance.
+pub type MappingCache = MappingRepository;
+
+impl MappingRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a mapping under its own name, replacing any previous entry.
+    pub fn store(&self, mapping: Mapping) -> Arc<Mapping> {
+        let arc = Arc::new(mapping);
+        self.inner.write().insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Store a mapping under an explicit name.
+    pub fn store_as(&self, name: impl Into<String>, mapping: Mapping) -> Arc<Mapping> {
+        let name = name.into();
+        let arc = Arc::new(mapping.named(name.clone()));
+        self.inner.write().insert(name, Arc::clone(&arc));
+        arc
+    }
+
+    /// Fetch a mapping by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Mapping>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Fetch or error.
+    pub fn require(&self, name: &str) -> Result<Arc<Mapping>> {
+        self.get(name).ok_or_else(|| CoreError::UnknownMapping(name.into()))
+    }
+
+    /// Whether a name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Remove an entry; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    /// All stored names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of stored mappings.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+
+    /// Persist all mappings into `dir`, one TSV file per mapping, rows
+    /// keyed by instance string ids resolved through `registry`.
+    pub fn persist_dir(&self, dir: impl AsRef<Path>, registry: &SourceRegistry) -> Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for (i, name) in self.names().iter().enumerate() {
+            let mapping = self.get(name).expect("name listed");
+            let d_lds = registry.lds(mapping.domain);
+            let r_lds = registry.lds(mapping.range);
+            let kind = match &mapping.kind {
+                MappingKind::Same => "same".to_owned(),
+                MappingKind::Association(t) => format!("assoc:{t}"),
+            };
+            let mut text = String::new();
+            text.push_str(&format!("#name\t{}\n", mapping.name));
+            text.push_str(&format!("#kind\t{kind}\n"));
+            text.push_str(&format!("#domain\t{}\n", d_lds.name()));
+            text.push_str(&format!("#range\t{}\n", r_lds.name()));
+            for c in mapping.table.iter() {
+                let (Some(d), Some(r)) =
+                    (d_lds.get(c.domain).map(|i| &i.id), r_lds.get(c.range).map(|i| &i.id))
+                else {
+                    continue;
+                };
+                text.push_str(&format!("{d}\t{r}\t{}\n", c.sim));
+            }
+            fs::write(dir.join(format!("mapping_{i:04}.tsv")), text)?;
+        }
+        Ok(())
+    }
+
+    /// Load every `mapping_*.tsv` in `dir` into the repository, resolving
+    /// instance ids through `registry`. Rows whose ids are unknown are
+    /// skipped; files whose sources are unknown raise an error.
+    pub fn load_dir(&self, dir: impl AsRef<Path>, registry: &SourceRegistry) -> Result<usize> {
+        let mut loaded = 0usize;
+        let mut paths: Vec<_> = fs::read_dir(dir.as_ref())?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("mapping_") && n.ends_with(".tsv"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let mut name = String::new();
+            let mut kind = MappingKind::Same;
+            let mut domain = None;
+            let mut range = None;
+            let mut table = MappingTable::new();
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix('#') {
+                    let mut parts = rest.split('\t');
+                    match (parts.next(), parts.next()) {
+                        (Some("name"), Some(v)) => name = v.to_owned(),
+                        (Some("kind"), Some(v)) => {
+                            kind = match v.strip_prefix("assoc:") {
+                                Some(t) => MappingKind::Association(t.to_owned()),
+                                None => MappingKind::Same,
+                            }
+                        }
+                        (Some("domain"), Some(v)) => domain = Some(registry.resolve(v)?),
+                        (Some("range"), Some(v)) => range = Some(registry.resolve(v)?),
+                        _ => {}
+                    }
+                    continue;
+                }
+                if line.is_empty() {
+                    continue;
+                }
+                let mut parts = line.split('\t');
+                let (Some(d), Some(r), Some(s)) = (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                let (Some(domain), Some(range)) = (domain, range) else { continue };
+                let (d_lds, r_lds) = (registry.lds(domain), registry.lds(range));
+                if let (Some(di), Some(ri), Ok(sim)) =
+                    (d_lds.index_of(d), r_lds.index_of(r), s.parse::<f64>())
+                {
+                    table.push(di, ri, sim);
+                }
+            }
+            let (Some(domain), Some(range)) = (domain, range) else {
+                return Err(CoreError::InvalidConfig(format!(
+                    "mapping file {} lacks #domain/#range headers",
+                    path.display()
+                )));
+            };
+            table.dedup_max();
+            self.store(Mapping { name, kind, domain, range, table });
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, LdsId, LogicalSource, ObjectType};
+
+    fn mapping(name: &str) -> Mapping {
+        Mapping::same(name, LdsId(0), LdsId(1), MappingTable::from_triples([(0, 0, 1.0)]))
+    }
+
+    #[test]
+    fn store_get_remove() {
+        let repo = MappingRepository::new();
+        assert!(repo.is_empty());
+        repo.store(mapping("a"));
+        repo.store_as("b", mapping("ignored"));
+        assert_eq!(repo.len(), 2);
+        assert!(repo.contains("a"));
+        assert_eq!(repo.get("b").unwrap().name, "b");
+        assert!(repo.require("c").is_err());
+        assert!(repo.remove("a"));
+        assert!(!repo.remove("a"));
+        assert_eq!(repo.names(), vec!["b".to_owned()]);
+        repo.clear();
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn store_replaces() {
+        let repo = MappingRepository::new();
+        repo.store(mapping("a"));
+        let mut m2 = mapping("a");
+        m2.table = MappingTable::from_triples([(5, 5, 0.5)]);
+        repo.store(m2);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.get("a").unwrap().table.sim_of(5, 5), Some(0.5));
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let repo = Arc::new(MappingRepository::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let r = Arc::clone(&repo);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    r.store(mapping(&format!("m{t}_{i}")));
+                    let _ = r.get(&format!("m{t}_{}", i / 2));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(repo.len(), 400);
+    }
+
+    fn registry_with_sources() -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        let mut a = LogicalSource::new("DBLP", ObjectType::new("Publication"),
+            vec![AttrDef::text("title")]);
+        a.insert_record("d0", vec![]).unwrap();
+        a.insert_record("d1", vec![]).unwrap();
+        let mut b = LogicalSource::new("ACM", ObjectType::new("Publication"),
+            vec![AttrDef::text("title")]);
+        b.insert_record("p0", vec![]).unwrap();
+        b.insert_record("p1", vec![]).unwrap();
+        reg.register(a).unwrap();
+        reg.register(b).unwrap();
+        reg
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let reg = registry_with_sources();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "PubSame",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 1, 0.9), (1, 0, 0.4)]),
+        ));
+        repo.store(Mapping::association(
+            "SomeAssoc",
+            "pubs of venue",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(1, 1, 1.0)]),
+        ));
+        let dir = std::env::temp_dir().join("moma_repo_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        repo.persist_dir(&dir, &reg).unwrap();
+
+        let repo2 = MappingRepository::new();
+        let loaded = repo2.load_dir(&dir, &reg).unwrap();
+        assert_eq!(loaded, 2);
+        let m = repo2.get("PubSame").unwrap();
+        assert_eq!(m.table.sim_of(0, 1), Some(0.9));
+        assert_eq!(m.table.sim_of(1, 0), Some(0.4));
+        assert!(m.kind.is_same());
+        let a = repo2.get("SomeAssoc").unwrap();
+        assert_eq!(a.kind, MappingKind::Association("pubs of venue".into()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_skips_unknown_instances() {
+        let reg = registry_with_sources();
+        let dir = std::env::temp_dir().join("moma_repo_unknown_ids");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("mapping_0000.tsv"),
+            "#name\tX\n#kind\tsame\n#domain\tPublication@DBLP\n#range\tPublication@ACM\n\
+             d0\tp0\t1\nGHOST\tp1\t0.5\n",
+        )
+        .unwrap();
+        let repo = MappingRepository::new();
+        repo.load_dir(&dir, &reg).unwrap();
+        assert_eq!(repo.get("X").unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,216 @@
+//! Generation configuration.
+
+/// Configuration of the synthetic world and the source corruption
+/// profiles. All probabilities are in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// First publication year (paper: 1994).
+    pub start_year: u16,
+    /// Last publication year (paper: 2003).
+    pub end_year: u16,
+    /// Size of the person pool from which authors are drawn.
+    pub person_pool: usize,
+    /// Research-community size (papers draw their author team from one
+    /// community; small communities ⇒ recurring author teams, which is
+    /// what drives the low precision of author-list matching in Table 2).
+    pub community_size: usize,
+    /// Probability a paper reuses a previously-formed author team of its
+    /// community verbatim. Stable lab teams publish many papers with the
+    /// identical author list — the direct cause of the author matcher's
+    /// 38% precision in Table 2.
+    pub team_reuse_prob: f64,
+    /// VLDB papers per year (min, max).
+    pub vldb_papers: (usize, usize),
+    /// SIGMOD papers per year (min, max).
+    pub sigmod_papers: (usize, usize),
+    /// TODS issues per year and papers per issue (min, max).
+    pub tods: (usize, (usize, usize)),
+    /// VLDB Journal issues per year and papers per issue (min, max).
+    pub vldbj: (usize, (usize, usize)),
+    /// SIGMOD Record issues per year and papers per issue (min, max).
+    pub record: (usize, (usize, usize)),
+    /// Probability that a journal paper is an extended version of a
+    /// conference paper *with the same title* (the Fig. 7 conf/journal
+    /// ambiguity that costs the title matcher precision).
+    pub journal_version_prob: f64,
+    /// Probability that a SIGMOD Record item is a recurring-title
+    /// newsletter piece (editorials, interview columns, …) — Table 5's
+    /// journal-precision killer.
+    pub recurring_title_prob: f64,
+    /// Number of injected duplicate-author variant pairs in DBLP
+    /// (Table 9).
+    pub dblp_duplicate_authors: usize,
+
+    // --- ACM profile ---
+    /// Probability an ACM title carries a light typo.
+    pub acm_typo_prob: f64,
+    /// Probability a typo'd ACM title is heavily corrupted (3–4 edits),
+    /// dropping it below the 0.8 trigram threshold (Table 2's imperfect
+    /// title recall).
+    pub acm_heavy_typo_prob: f64,
+    /// Probability the ACM record carries an off-by-one publication year
+    /// (print vs. proceedings date) — the cause of Table 2's merge recall
+    /// dipping below the title matcher's.
+    pub acm_year_offset_prob: f64,
+    /// Probability a non-VLDB-2002/03 publication is missing from ACM.
+    pub acm_missing_prob: f64,
+    /// Probability an ACM author name is abbreviated to an initial
+    /// (splitting author identities).
+    pub acm_abbrev_prob: f64,
+
+    // --- GS profile ---
+    /// Probability a world publication appears in GS at all.
+    pub gs_coverage: f64,
+    /// Maximum duplicate entries per publication (actual count 1..=max,
+    /// skewed toward 1).
+    pub gs_max_dups: usize,
+    /// Probability a GS title carries extraction noise (typos).
+    pub gs_typo_prob: f64,
+    /// Probability a GS title is truncated.
+    pub gs_truncate_prob: f64,
+    /// Probability the venue string is glued onto a GS title.
+    pub gs_venue_glue_prob: f64,
+    /// Probability the GS year is missing.
+    pub gs_missing_year_prob: f64,
+    /// Probability each trailing author is dropped from a GS author list.
+    pub gs_author_drop_prob: f64,
+    /// Probability a GS entry of an ACM-covered publication carries a
+    /// native link to ACM (the paper measured 21.6% recall for these
+    /// links).
+    pub gs_acm_link_prob: f64,
+    /// Probability a native GS→ACM link points at the *wrong* ACM record.
+    pub gs_acm_link_wrong_prob: f64,
+    /// Probability GS fails to cluster a duplicate entry with its peers.
+    pub gs_cluster_miss_prob: f64,
+    /// Number of noise entries (crawled papers from other fields that
+    /// match nothing); the paper's GS dataset holds 64k entries total.
+    pub gs_noise_entries: usize,
+}
+
+impl WorldConfig {
+    /// Paper-scale configuration: counts near Table 1.
+    pub fn paper_scale() -> Self {
+        Self {
+            seed: 7,
+            start_year: 1994,
+            end_year: 2003,
+            person_pool: 5000,
+            community_size: 9,
+            team_reuse_prob: 0.5,
+            vldb_papers: (80, 110),
+            sigmod_papers: (58, 85),
+            tods: (4, (3, 7)),
+            vldbj: (3, (3, 8)),
+            record: (4, (4, 20)),
+            journal_version_prob: 0.18,
+            recurring_title_prob: 0.10,
+            dblp_duplicate_authors: 12,
+            acm_typo_prob: 0.10,
+            acm_heavy_typo_prob: 0.35,
+            acm_year_offset_prob: 0.05,
+            acm_missing_prob: 0.04,
+            acm_abbrev_prob: 0.15,
+            gs_coverage: 0.97,
+            gs_max_dups: 6,
+            gs_typo_prob: 0.3,
+            gs_truncate_prob: 0.12,
+            gs_venue_glue_prob: 0.08,
+            gs_missing_year_prob: 0.30,
+            gs_author_drop_prob: 0.15,
+            gs_acm_link_prob: 0.24,
+            gs_acm_link_wrong_prob: 0.04,
+            gs_cluster_miss_prob: 0.08,
+            gs_noise_entries: 20_000,
+        }
+    }
+
+    /// Small configuration for unit/integration tests: same structure,
+    /// two orders of magnitude fewer instances.
+    pub fn small() -> Self {
+        Self {
+            seed: 42,
+            start_year: 2000,
+            end_year: 2003,
+            person_pool: 260,
+            community_size: 8,
+            team_reuse_prob: 0.5,
+            vldb_papers: (10, 14),
+            sigmod_papers: (8, 12),
+            tods: (2, (2, 4)),
+            vldbj: (2, (2, 4)),
+            record: (2, (3, 8)),
+            journal_version_prob: 0.2,
+            recurring_title_prob: 0.30,
+            dblp_duplicate_authors: 4,
+            acm_typo_prob: 0.10,
+            acm_heavy_typo_prob: 0.35,
+            acm_year_offset_prob: 0.05,
+            acm_missing_prob: 0.04,
+            acm_abbrev_prob: 0.15,
+            gs_coverage: 0.97,
+            gs_max_dups: 4,
+            gs_typo_prob: 0.3,
+            gs_truncate_prob: 0.12,
+            gs_venue_glue_prob: 0.08,
+            gs_missing_year_prob: 0.3,
+            gs_author_drop_prob: 0.15,
+            gs_acm_link_prob: 0.24,
+            gs_acm_link_wrong_prob: 0.04,
+            gs_cluster_miss_prob: 0.08,
+            gs_noise_entries: 300,
+        }
+    }
+
+    /// Number of years covered.
+    pub fn years(&self) -> impl Iterator<Item = u16> + '_ {
+        self.start_year..=self.end_year
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for cfg in [WorldConfig::paper_scale(), WorldConfig::small()] {
+            assert!(cfg.start_year < cfg.end_year);
+            assert!(cfg.person_pool > cfg.community_size);
+            assert!(cfg.vldb_papers.0 <= cfg.vldb_papers.1);
+            for p in [
+                cfg.journal_version_prob,
+                cfg.acm_typo_prob,
+                cfg.gs_coverage,
+                cfg.gs_acm_link_prob,
+            ] {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_year_range_matches_paper() {
+        let cfg = WorldConfig::paper_scale();
+        assert_eq!(cfg.years().count(), 10);
+        assert_eq!(cfg.start_year, 1994);
+        assert_eq!(cfg.end_year, 2003);
+    }
+
+    #[test]
+    fn paper_scale_venue_count_is_130() {
+        // 10 VLDB + 10 SIGMOD + 10*(4 TODS + 3 VLDBJ + 4 Record) = 130,
+        // matching Table 1 for DBLP.
+        let cfg = WorldConfig::paper_scale();
+        let venues =
+            cfg.years().count() * (2 + cfg.tods.0 + cfg.vldbj.0 + cfg.record.0);
+        assert_eq!(venues, 130);
+    }
+}

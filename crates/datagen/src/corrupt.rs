@@ -1,0 +1,184 @@
+//! Corruption primitives simulating source-specific dirt.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Apply one random character typo (substitute / delete / insert /
+/// transpose) to `s`. Returns the original if it is too short.
+pub fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return s.to_owned();
+    }
+    // Pick a position on a letter (avoid mangling separators).
+    let letter_positions: Vec<usize> =
+        (0..chars.len()).filter(|&i| chars[i].is_alphanumeric()).collect();
+    if letter_positions.is_empty() {
+        return s.to_owned();
+    }
+    let pos = letter_positions[rng.gen_range(0..letter_positions.len())];
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // Substitute with a neighboring letter.
+            let c = out[pos];
+            let sub = if c.is_ascii_lowercase() {
+                (((c as u8 - b'a' + 1 + rng.gen_range(0..25)) % 26) + b'a') as char
+            } else if c.is_ascii_uppercase() {
+                (((c as u8 - b'A' + 1 + rng.gen_range(0..25)) % 26) + b'A') as char
+            } else {
+                'x'
+            };
+            out[pos] = sub;
+        }
+        1 => {
+            out.remove(pos);
+        }
+        2 => {
+            let c = out[pos];
+            out.insert(pos, c);
+        }
+        _ => {
+            if pos + 1 < out.len() && out[pos + 1].is_alphanumeric() {
+                out.swap(pos, pos + 1);
+            } else if pos > 0 && out[pos - 1].is_alphanumeric() {
+                out.swap(pos - 1, pos);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Apply `n` independent typos.
+pub fn typos(rng: &mut StdRng, s: &str, n: usize) -> String {
+    let mut cur = s.to_owned();
+    for _ in 0..n {
+        cur = typo(rng, &cur);
+    }
+    cur
+}
+
+/// Truncate to roughly `keep_ratio` of the words (at least two words).
+pub fn truncate_words(rng: &mut StdRng, s: &str, keep_ratio: f64) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() <= 2 {
+        return s.to_owned();
+    }
+    let base = ((words.len() as f64) * keep_ratio).round() as usize;
+    let jitter = rng.gen_range(0..2usize);
+    let keep = base.saturating_sub(jitter).clamp(2, words.len());
+    words[..keep].join(" ")
+}
+
+/// Abbreviate a full person name to initial form: `John Smith` →
+/// `J. Smith`; middle names are kept as initials too.
+pub fn abbreviate_name(name: &str) -> String {
+    let parts: Vec<&str> = name.split_whitespace().collect();
+    match parts.split_last() {
+        Some((last, given)) if !given.is_empty() => {
+            let initials: Vec<String> = given
+                .iter()
+                .filter_map(|g| g.chars().next().map(|c| format!("{c}.")))
+                .collect();
+            format!("{} {last}", initials.join(" "))
+        }
+        _ => name.to_owned(),
+    }
+}
+
+/// Drop trailing items of a list with probability `p` each (front-to-back
+/// survivors keep their order; the first item always stays).
+pub fn drop_tail(rng: &mut StdRng, items: &[String], p: f64) -> Vec<String> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![items[0].clone()];
+    for item in &items[1..] {
+        if !rng.gen_bool(p) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn typo_changes_string() {
+        let mut r = rng();
+        let s = "Generic Schema Matching with Cupid";
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo(&mut r, s) != s {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "typos rarely changed anything ({changed}/20)");
+    }
+
+    #[test]
+    fn typo_short_strings_untouched() {
+        let mut r = rng();
+        assert_eq!(typo(&mut r, "ab"), "ab");
+        assert_eq!(typo(&mut r, ""), "");
+    }
+
+    #[test]
+    fn typos_compound() {
+        let mut r = rng();
+        let s = "A formal perspective on the view selection problem";
+        let noisy = typos(&mut r, s, 3);
+        assert_ne!(noisy, s);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut r = rng();
+        let s = "one two three four five six seven eight";
+        let t = truncate_words(&mut r, s, 0.5);
+        assert!(s.starts_with(&t));
+        assert!(t.split_whitespace().count() >= 2);
+        assert!(t.split_whitespace().count() < 8);
+    }
+
+    #[test]
+    fn truncate_short_untouched() {
+        let mut r = rng();
+        assert_eq!(truncate_words(&mut r, "two words", 0.5), "two words");
+    }
+
+    #[test]
+    fn abbreviation() {
+        assert_eq!(abbreviate_name("John Smith"), "J. Smith");
+        assert_eq!(abbreviate_name("Amir M. Zarkesh"), "A. M. Zarkesh");
+        assert_eq!(abbreviate_name("Plato"), "Plato");
+        assert_eq!(abbreviate_name(""), "");
+    }
+
+    #[test]
+    fn drop_tail_keeps_first() {
+        let mut r = rng();
+        let items: Vec<String> = (0..10).map(|i| format!("a{i}")).collect();
+        for _ in 0..10 {
+            let kept = drop_tail(&mut r, &items, 0.5);
+            assert_eq!(kept[0], "a0");
+            assert!(!kept.is_empty());
+        }
+        // p = 0 keeps everything.
+        assert_eq!(drop_tail(&mut r, &items, 0.0).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(typo(&mut r1, "hello world"), typo(&mut r2, "hello world"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Gold-standard ("perfect") mappings.
+
+use moma_table::FxHashSet;
+
+use moma_core::Mapping;
+
+/// A perfect mapping: the set of correct correspondences between two
+/// logical sources (as instance-index pairs).
+#[derive(Debug, Clone, Default)]
+pub struct GoldStandard {
+    pairs: FxHashSet<(u32, u32)>,
+}
+
+impl GoldStandard {
+    /// Empty gold standard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Self { pairs: pairs.into_iter().collect() }
+    }
+
+    /// Add one correct pair.
+    pub fn insert(&mut self, domain: u32, range: u32) {
+        self.pairs.insert((domain, range));
+    }
+
+    /// Whether a pair is correct.
+    pub fn contains(&self, domain: u32, range: u32) -> bool {
+        self.pairs.contains(&(domain, range))
+    }
+
+    /// Number of correct pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the gold standard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate the correct pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The inverse gold standard (swapped sides).
+    pub fn inverted(&self) -> GoldStandard {
+        Self::from_pairs(self.pairs.iter().map(|&(a, b)| (b, a)))
+    }
+
+    /// Restrict to pairs whose domain satisfies a predicate — used for
+    /// the conference/journal breakdowns of Tables 4 and 5.
+    pub fn filter_domain(&self, mut pred: impl FnMut(u32) -> bool) -> GoldStandard {
+        Self::from_pairs(self.pairs.iter().copied().filter(|&(d, _)| pred(d)))
+    }
+
+    /// The perfect mapping as a [`Mapping`]-compatible set (for seeding
+    /// workflows with ground truth, e.g. training the self-tuner).
+    pub fn to_mapping(
+        &self,
+        name: &str,
+        domain: moma_model::LdsId,
+        range: moma_model::LdsId,
+    ) -> Mapping {
+        Mapping::same(
+            name,
+            domain,
+            range,
+            moma_table::MappingTable::from_triples(self.iter().map(|(a, b)| (a, b, 1.0))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::LdsId;
+
+    #[test]
+    fn basics() {
+        let mut g = GoldStandard::new();
+        assert!(g.is_empty());
+        g.insert(0, 1);
+        g.insert(0, 1);
+        g.insert(2, 3);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(0, 1));
+        assert!(!g.contains(1, 0));
+    }
+
+    #[test]
+    fn inversion() {
+        let g = GoldStandard::from_pairs([(0, 1), (2, 3)]);
+        let inv = g.inverted();
+        assert!(inv.contains(1, 0));
+        assert!(inv.contains(3, 2));
+        assert_eq!(inv.len(), 2);
+    }
+
+    #[test]
+    fn domain_filter() {
+        let g = GoldStandard::from_pairs([(0, 1), (2, 3), (4, 5)]);
+        let even = g.filter_domain(|d| d < 3);
+        assert_eq!(even.len(), 2);
+        assert!(!even.contains(4, 5));
+    }
+
+    #[test]
+    fn to_mapping() {
+        let g = GoldStandard::from_pairs([(0, 1)]);
+        let m = g.to_mapping("gold", LdsId(0), LdsId(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.table.sim_of(0, 1), Some(1.0));
+        assert!(m.kind.is_same());
+    }
+}

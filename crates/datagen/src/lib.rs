@@ -1,0 +1,40 @@
+//! # moma-datagen — synthetic bibliographic world for the MOMA evaluation
+//!
+//! The paper evaluates MOMA on database publications 1994–2003 from VLDB,
+//! SIGMOD, TODS, VLDB Journal and SIGMOD Record, drawn from three real
+//! sources — DBLP, ACM Digital Library, Google Scholar — plus manually
+//! confirmed perfect mappings (Section 5.1). Those sources cannot be
+//! downloaded today (ACM DL and GS never could), so this crate builds the
+//! closest synthetic equivalent:
+//!
+//! 1. A **world** of real entities: persons, venues (conferences and
+//!    journal issues), publications with author lists, pages, years and
+//!    citation counts — sized like Table 1 (≈130 venues, ≈2.6k
+//!    publications, ≈3.3k authors).
+//! 2. Three **source views** with per-source corruption profiles:
+//!    * `DBLP` — clean and complete, but with injected duplicate author
+//!      pairs (name variants sharing co-authors, Table 9),
+//!    * `ACM` — missing VLDB 2002/2003, long-form venue names, light
+//!      title noise, occasionally abbreviated author names (splitting
+//!      author identities, which is why ACM lists *more* authors than
+//!      DBLP in Table 1),
+//!    * `GS` — duplicate entry clusters per publication, extraction-noised
+//!      titles, always-abbreviated and sometimes truncated author lists,
+//!      missing years, low-recall native links to ACM, and a large tail
+//!      of noise entries matching nothing.
+//! 3. **Gold standards**: because the world knows entity identity, the
+//!    perfect same-mappings fall out by construction.
+//!
+//! Everything is deterministic in the configured seed.
+
+pub mod config;
+pub mod corrupt;
+pub mod gold;
+pub mod names;
+pub mod scenario;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use gold::GoldStandard;
+pub use scenario::{Scenario, ScenarioIds};
+pub use world::{Series, World};

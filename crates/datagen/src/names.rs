@@ -1,0 +1,165 @@
+//! Name and title-word pools for the synthetic world.
+
+/// First-name pool.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
+    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
+    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
+    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon",
+    "Helen", "Benjamin", "Samantha", "Samuel", "Katherine", "Gregory", "Christine", "Frank",
+    "Debra", "Alexander", "Rachel", "Raymond", "Carolyn", "Patrick", "Janet", "Jack", "Virginia",
+    "Dennis", "Maria", "Jerry", "Heather", "Tyler", "Diane", "Aaron", "Julie", "Jose", "Joyce",
+    "Adam", "Victoria", "Nathan", "Olivia", "Henry", "Kelly", "Douglas", "Christina", "Zachary",
+    "Joan", "Peter", "Evelyn", "Kyle", "Lauren", "Walter", "Judith", "Ethan", "Megan", "Jeremy",
+    "Andrea", "Harold", "Cheryl", "Keith", "Hannah", "Christian", "Jacqueline", "Roger",
+    "Martha", "Noah", "Gloria", "Gerald", "Teresa", "Carl", "Ann", "Terry", "Sara", "Sean",
+    "Madison", "Austin", "Frances", "Arthur", "Kathryn", "Lawrence", "Janice", "Jesse", "Jean",
+    "Dylan", "Abigail", "Bryan", "Alice", "Joe", "Julia", "Jordan", "Judy", "Billy", "Sophia",
+    "Bruce", "Grace", "Albert", "Denise", "Willie", "Amber", "Gabriel", "Doris", "Logan",
+    "Marilyn", "Alan", "Danielle", "Juan", "Beverly", "Wayne", "Isabella", "Roy", "Theresa",
+    "Ralph", "Diana", "Randy", "Natalie", "Eugene", "Brittany", "Vincent", "Charlotte",
+    "Russell", "Marie", "Elijah", "Kayla", "Louis", "Alexis", "Bobby", "Lori", "Philip",
+    "Erhard", "Andreas", "Hong", "Wei", "Xin", "Surajit", "Rakesh", "Hector", "Jiawei",
+    "Divesh", "Raghu", "Jeff", "Serge", "Gerhard", "Alfons", "Donghui", "Kaushik", "Sunita",
+    "Volker", "Guido", "Renee", "Mitch", "Alon", "Phil", "Divy", "Umesh", "Meichun", "Laks",
+];
+
+/// Last-name pool.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+    "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross", "Foster",
+    "Jimenez", "Powell", "Jenkins", "Perry", "Russell", "Sullivan", "Bell", "Coleman", "Butler",
+    "Henderson", "Barnes", "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin", "Wallace", "Moreno",
+    "West", "Cole", "Hayes", "Bryant", "Herrera", "Gibson", "Ellis", "Tran", "Medina", "Aguilar",
+    "Stevens", "Murray", "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+    "McDonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas", "Henry", "Chen", "Freeman",
+    "Webb", "Tucker", "Guzman", "Burns", "Crawford", "Olson", "Simpson", "Porter", "Hunter",
+    "Gordon", "Mendez", "Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks",
+    "Holmes", "Palmer", "Wagner", "Black", "Robertson", "Boyd", "Rose", "Stone", "Salazar",
+    "Fox", "Warren", "Mills", "Meyer", "Rice", "Schmidt", "Daniels", "Ferguson", "Nichols",
+    "Stephens", "Soto", "Weaver", "Ryan", "Gardner", "Payne", "Grant", "Dunn", "Kelley",
+    "Spencer", "Hawkins", "Arnold", "Pierce", "Vazquez", "Hansen", "Peters", "Santos", "Hart",
+    "Bradley", "Knight", "Elliott", "Cunningham", "Duncan", "Armstrong", "Hudson", "Carroll",
+    "Lane", "Riley", "Andrews", "Alvarado", "Ray", "Delgado", "Berry", "Perkins", "Hoffman",
+    "Johnston", "Matthews", "Pena", "Richards", "Contreras", "Willis", "Carpenter", "Lawrence",
+    "Sandoval", "Guerrero", "George", "Chapman", "Rios", "Estrada", "Ortega", "Watkins",
+    "Greene", "Nunez", "Wheeler", "Valdez", "Harper", "Burke", "Larson", "Santiago", "Maldonado",
+    "Morrison", "Franklin", "Carlson", "Austin", "Dominguez", "Carr", "Lawson", "Jacobs",
+    "Obrien", "Lynch", "Singh", "Vega", "Bishop", "Montgomery", "Oliver", "Jensen", "Harvey",
+    "Williamson", "Gilbert", "Dean", "Sims", "Espinoza", "Howell", "Li", "Wong", "Reid",
+    "Hanson", "Le", "McCoy", "Garrett", "Burton", "Fuller", "Wang", "Weber", "Welch", "Rojas",
+    "Lucas", "Marquez", "Fields", "Park", "Yang", "Little", "Banks", "Padilla", "Day", "Walsh",
+    "Bowman", "Schultz", "Luna", "Fowler", "Mejia", "Rahm", "Thor", "Chaudhuri", "Agrawal",
+    "Halevy", "Widom", "Naughton", "Ioannidis", "Kossmann", "Kemper", "Gehrke", "Ganti",
+];
+
+/// Adjectives/openers for titles.
+pub const TITLE_OPENERS: &[&str] = &[
+    "Efficient", "Scalable", "Adaptive", "Robust", "Incremental", "Approximate", "Optimal",
+    "Dynamic", "Distributed", "Parallel", "Generic", "Flexible", "Online", "Declarative",
+    "Probabilistic", "Cost-based", "Index-based", "Cache-conscious", "Semantic", "Automated",
+    "Self-tuning", "Lazy", "Eager", "Speculative", "Workload-aware", "Progressive",
+    "Interactive", "Hierarchical", "Versioned", "Secure", "Privacy-preserving", "Hybrid",
+    "Partition-based", "Sampling-based", "Hash-based", "Lattice-based", "Rule-driven",
+    "Statistics-driven", "Disk-aware", "Pipelined",
+];
+
+/// Core techniques for titles.
+pub const TITLE_TECHNIQUES: &[&str] = &[
+    "Query Processing", "Query Optimization", "Join Processing", "View Maintenance",
+    "Schema Matching", "Data Integration", "Data Cleaning", "Duplicate Detection",
+    "Index Structures", "Similarity Search", "Selectivity Estimation", "Query Rewriting",
+    "Transaction Management", "Concurrency Control", "Data Mining", "Clustering",
+    "Stream Processing", "Aggregation", "Materialized Views", "Access Methods", "Load Shedding",
+    "Skyline Computation", "Top-k Retrieval", "Nearest Neighbor Search", "Cardinality Estimation",
+    "Buffer Management", "Recovery", "Replication", "Partitioning", "Compression",
+    "Version Management", "Schema Evolution", "Integrity Checking", "Provenance Tracking",
+    "Workflow Execution", "Trigger Processing", "Constraint Enforcement", "Cube Computation",
+    "Histogram Construction", "Sketch Maintenance", "Bitmap Indexing", "Bulk Loading",
+    "Garbage Collection", "Log Shipping", "Snapshot Isolation", "Lock Management",
+    "Predicate Evaluation", "Path Indexing", "Keyword Search", "Range Querying",
+    "Outlier Detection", "Pattern Discovery", "Association Mining", "Sequence Analysis",
+    "Change Detection", "Sampling", "Summarization", "Deduplication", "Entity Ranking",
+    "Graph Traversal", "Reachability Testing", "Subgraph Matching", "Tree Embedding",
+];
+
+/// Contexts for titles.
+pub const TITLE_CONTEXTS: &[&str] = &[
+    "Relational Databases", "Data Warehouses", "Semistructured Data", "XML Data",
+    "Heterogeneous Sources", "Sensor Networks", "Peer-to-Peer Systems", "the Web",
+    "Spatial Databases", "Temporal Databases", "OLAP Workloads", "Decision Support",
+    "Main-Memory Systems", "Parallel Systems", "Federated Systems", "Digital Libraries",
+    "Scientific Data", "Moving Objects", "Text Collections", "Multidimensional Data",
+    "Mobile Clients", "Embedded Devices", "Cluster Architectures", "Shared-Nothing Systems",
+    "Wide-Area Networks", "Object-Oriented Databases", "Deductive Databases",
+    "Multimedia Repositories", "Genomic Archives", "Time-Series Stores", "Message Brokers",
+    "Publish-Subscribe Systems", "Continuous Queries", "Approximate Answers",
+    "Secondary Storage", "Tertiary Storage", "Flash Memory", "Column Stores",
+    "Semantic Caches", "Mediator Systems",
+];
+
+/// Syllables for synthetic system/prototype names ("the Zorbak approach"),
+/// giving titles a high-entropy distinguishing token.
+pub const SYSTEM_SYLLABLES: &[&str] = &[
+    "zor", "mak", "vel", "tis", "qua", "ron", "bel", "dax", "fen", "gor", "hyl", "jin", "kel",
+    "lum", "mir", "nox", "pya", "rup", "sil", "tor", "ugo", "vex", "wim", "xan", "yel", "zim",
+];
+
+/// Recurring SIGMOD-Record-style newsletter titles. These repeat across
+/// issues ("editorials, reminiscences on influential papers or
+/// interviews", paper Section 5.4.2) and defeat pure title matching.
+pub const RECURRING_TITLES: &[&str] = &[
+    "Editor's Notes",
+    "Chair's Message",
+    "Reminiscences on Influential Papers",
+    "Report on the Database Research Workshop",
+    "Interview with a Database Pioneer",
+    "Treasurer's Message",
+    "Calls for Papers",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_large_enough() {
+        assert!(FIRST_NAMES.len() >= 150);
+        assert!(LAST_NAMES.len() >= 280);
+        // Enough combinations for the paper-scale person pool.
+        assert!(FIRST_NAMES.len() * LAST_NAMES.len() >= 10 * 3600);
+        assert!(TITLE_OPENERS.len() * TITLE_TECHNIQUES.len() * TITLE_CONTEXTS.len() >= 10_000);
+    }
+
+    #[test]
+    fn no_duplicate_names_in_pools() {
+        let mut f: Vec<&str> = FIRST_NAMES.to_vec();
+        f.sort_unstable();
+        f.dedup();
+        assert_eq!(f.len(), FIRST_NAMES.len());
+        let mut l: Vec<&str> = LAST_NAMES.to_vec();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), LAST_NAMES.len());
+    }
+
+    #[test]
+    fn recurring_titles_present() {
+        assert!(RECURRING_TITLES.len() >= 5);
+    }
+}

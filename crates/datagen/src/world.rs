@@ -1,0 +1,631 @@
+//! The ground-truth world of persons, venues and publications.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moma_table::FxHashSet;
+
+use crate::config::WorldConfig;
+use crate::names::{
+    FIRST_NAMES, LAST_NAMES, RECURRING_TITLES, TITLE_CONTEXTS, TITLE_OPENERS, TITLE_TECHNIQUES,
+};
+
+/// Publication series of the evaluation (paper Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Series {
+    /// VLDB conference.
+    Vldb,
+    /// SIGMOD conference.
+    Sigmod,
+    /// ACM TODS journal.
+    Tods,
+    /// VLDB Journal.
+    VldbJ,
+    /// SIGMOD Record newsletter.
+    Record,
+}
+
+impl Series {
+    /// Whether this is a conference (vs. journal/newsletter).
+    pub fn is_conference(self) -> bool {
+        matches!(self, Series::Vldb | Series::Sigmod)
+    }
+
+    /// DBLP-style short key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Series::Vldb => "vldb",
+            Series::Sigmod => "sigmod",
+            Series::Tods => "tods",
+            Series::VldbJ => "vldbj",
+            Series::Record => "record",
+        }
+    }
+
+    /// DBLP-style display name, e.g. `VLDB 2001` or `SIGMOD Record 35(2) 2002`.
+    pub fn dblp_name(self, year: u16, issue: u8) -> String {
+        match self {
+            Series::Vldb => format!("VLDB {year}"),
+            Series::Sigmod => format!("SIGMOD Conference {year}"),
+            Series::Tods => format!("TODS {}({issue}) {year}", year - 1974),
+            Series::VldbJ => format!("VLDB J. {}({issue}) {year}", year - 1991),
+            Series::Record => format!("SIGMOD Record {}({issue}) {year}", year - 1971),
+        }
+    }
+
+    /// ACM-DL-style long display name — deliberately dissimilar from the
+    /// DBLP form ("VLDB2002" vs "28th International Conference on Very
+    /// Large Data Bases", paper Section 5.4.1).
+    pub fn acm_name(self, year: u16, issue: u8) -> String {
+        match self {
+            Series::Vldb => format!(
+                "Proceedings of the {} International Conference on Very Large Data Bases",
+                ordinal((year - 1975 + 1) as u32)
+            ),
+            Series::Sigmod => format!(
+                "Proceedings of the {year} ACM SIGMOD International Conference on Management of Data"
+            ),
+            Series::Tods => format!(
+                "ACM Transactions on Database Systems Volume {} Issue {issue}",
+                year - 1974
+            ),
+            Series::VldbJ => {
+                format!("The VLDB Journal Volume {} Issue {issue}", year - 1991)
+            }
+            Series::Record => {
+                format!("ACM SIGMOD Record Volume {} Issue {issue}", year - 1971)
+            }
+        }
+    }
+}
+
+fn ordinal(n: u32) -> String {
+    let suffix = match (n % 10, n % 100) {
+        (1, 11) | (2, 12) | (3, 13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    };
+    format!("{n}{suffix}")
+}
+
+/// A real person.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Given name.
+    pub first: String,
+    /// Family name.
+    pub last: String,
+}
+
+impl Person {
+    /// Canonical full name.
+    pub fn full_name(&self) -> String {
+        format!("{} {}", self.first, self.last)
+    }
+}
+
+/// A real venue: a conference edition or a journal issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VenueEntity {
+    /// Series.
+    pub series: Series,
+    /// Year.
+    pub year: u16,
+    /// Issue number (0 for conferences).
+    pub issue: u8,
+}
+
+/// A real publication.
+#[derive(Debug, Clone)]
+pub struct Publication {
+    /// Title.
+    pub title: String,
+    /// Venue index into [`World::venues`].
+    pub venue: usize,
+    /// Publication year.
+    pub year: u16,
+    /// Page range.
+    pub pages: (u16, u16),
+    /// Author person indexes, in credit order.
+    pub authors: Vec<usize>,
+    /// Ground-truth citation count.
+    pub citations: u32,
+    /// Whether the title is a recurring newsletter title.
+    pub recurring: bool,
+    /// If this journal paper is the extended version of a conference
+    /// paper with the same title, the conference paper's index.
+    pub twin_of: Option<usize>,
+}
+
+/// An injected DBLP duplicate: a person additionally credited under a
+/// variant name on a subset of their publications (Table 9).
+#[derive(Debug, Clone)]
+pub struct DuplicateAuthor {
+    /// The person.
+    pub person: usize,
+    /// The variant name string.
+    pub variant: String,
+    /// Publications credited to the variant instead of the primary name.
+    pub variant_pubs: FxHashSet<usize>,
+}
+
+/// The generated ground-truth world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Persons (potential authors).
+    pub persons: Vec<Person>,
+    /// Venues.
+    pub venues: Vec<VenueEntity>,
+    /// Publications.
+    pub pubs: Vec<Publication>,
+    /// Injected DBLP duplicate-author variants.
+    pub duplicates: Vec<DuplicateAuthor>,
+    /// The configuration the world was generated from.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Generate a world from a configuration (deterministic in
+    /// `config.seed`).
+    pub fn generate(config: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let persons = gen_persons(&mut rng, config.person_pool);
+        let venues = gen_venues(&config);
+        let mut pubs = gen_publications(&mut rng, &config, &venues, persons.len());
+        add_journal_twins(&mut rng, &config, &venues, &mut pubs);
+        let duplicates = inject_duplicates(&mut rng, &config, &persons, &pubs);
+        World { persons, venues, pubs, duplicates, config }
+    }
+
+    /// Publications of a venue (indexes).
+    pub fn pubs_of_venue(&self, venue: usize) -> Vec<usize> {
+        self.pubs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.venue == venue)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Distinct persons that authored at least one publication.
+    pub fn credited_persons(&self) -> FxHashSet<usize> {
+        self.pubs.iter().flat_map(|p| p.authors.iter().copied()).collect()
+    }
+}
+
+fn gen_persons(rng: &mut StdRng, pool: usize) -> Vec<Person> {
+    let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+    let mut out = Vec::with_capacity(pool);
+    while out.len() < pool {
+        let f = rng.gen_range(0..FIRST_NAMES.len());
+        let l = rng.gen_range(0..LAST_NAMES.len());
+        if seen.insert((f, l)) {
+            out.push(Person { first: FIRST_NAMES[f].to_owned(), last: LAST_NAMES[l].to_owned() });
+        }
+    }
+    out
+}
+
+fn gen_venues(config: &WorldConfig) -> Vec<VenueEntity> {
+    let mut venues = Vec::new();
+    for year in config.start_year..=config.end_year {
+        venues.push(VenueEntity { series: Series::Vldb, year, issue: 0 });
+        venues.push(VenueEntity { series: Series::Sigmod, year, issue: 0 });
+        for issue in 1..=config.tods.0 as u8 {
+            venues.push(VenueEntity { series: Series::Tods, year, issue });
+        }
+        for issue in 1..=config.vldbj.0 as u8 {
+            venues.push(VenueEntity { series: Series::VldbJ, year, issue });
+        }
+        for issue in 1..=config.record.0 as u8 {
+            venues.push(VenueEntity { series: Series::Record, year, issue });
+        }
+    }
+    venues
+}
+
+/// Synthetic system name, e.g. `Zorkel` (26³ ≈ 17k combinations).
+pub(crate) fn gen_system_name(rng: &mut StdRng) -> String {
+    use crate::names::SYSTEM_SYLLABLES;
+    let n = 2 + rng.gen_range(0..2usize);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(SYSTEM_SYLLABLES[rng.gen_range(0..SYSTEM_SYLLABLES.len())]);
+    }
+    let mut cs = s.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+        None => s,
+    }
+}
+
+/// Generate a fresh publication title.
+///
+/// Titles must be *diverse*: real paper titles rarely collide above a
+/// 0.8 trigram similarity unless they genuinely refer to the same work.
+/// Diversity comes from large word pools, eight structural templates,
+/// two independent technique slots, and high-entropy system names — the
+/// only same-title pairs left are the deliberately injected
+/// conference/journal twins and recurring newsletter titles.
+fn gen_title(rng: &mut StdRng, seen: &mut FxHashSet<String>) -> String {
+    loop {
+        let opener = TITLE_OPENERS[rng.gen_range(0..TITLE_OPENERS.len())];
+        let tech = TITLE_TECHNIQUES[rng.gen_range(0..TITLE_TECHNIQUES.len())];
+        let tech2 = TITLE_TECHNIQUES[rng.gen_range(0..TITLE_TECHNIQUES.len())];
+        let ctx = TITLE_CONTEXTS[rng.gen_range(0..TITLE_CONTEXTS.len())];
+        let sys = gen_system_name(rng);
+        let title = match rng.gen_range(0..8u8) {
+            0 => format!("{opener} {tech} for {ctx}"),
+            1 => format!("{sys}: {opener} {tech} in {ctx}"),
+            2 => format!("{tech} for {ctx}: A {opener} Approach"),
+            3 => format!("On {opener} {tech} over {ctx}"),
+            4 => format!("{opener} {tech} and {tech2} in {ctx}"),
+            5 => format!("{tech} Meets {tech2}: {opener} Techniques for {ctx}"),
+            6 => format!("The {sys} System for {opener} {tech}"),
+            _ => format!("{opener} {tech} in {ctx} with {sys}"),
+        };
+        if seen.insert(title.clone()) {
+            return title;
+        }
+    }
+}
+
+/// Team size distribution: 1..=6 authors, mean ≈ 3 (paper Section 5.4.3:
+/// "about 3 authors per paper on average, variations from 1 author to
+/// 27"; we cap lower but keep the skew).
+fn team_size(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100u8) {
+        0..=9 => 1,
+        10..=34 => 2,
+        35..=69 => 3,
+        70..=89 => 4,
+        90..=96 => 5,
+        _ => 6,
+    }
+}
+
+fn gen_publications(
+    rng: &mut StdRng,
+    config: &WorldConfig,
+    venues: &[VenueEntity],
+    person_count: usize,
+) -> Vec<Publication> {
+    let communities: Vec<std::ops::Range<usize>> = {
+        let size = config.community_size;
+        (0..person_count / size).map(|c| c * size..((c + 1) * size).min(person_count)).collect()
+    };
+    // Stable lab teams per community, reused across papers (verbatim
+    // identical author lists drive Table 2's low author-match precision).
+    let mut teams_of: Vec<Vec<Vec<usize>>> = vec![Vec::new(); communities.len()];
+    let mut titles: FxHashSet<String> = FxHashSet::default();
+    let mut pubs = Vec::new();
+    for (vi, venue) in venues.iter().enumerate() {
+        let (lo, hi) = match venue.series {
+            Series::Vldb => config.vldb_papers,
+            Series::Sigmod => config.sigmod_papers,
+            Series::Tods => config.tods.1,
+            Series::VldbJ => config.vldbj.1,
+            Series::Record => config.record.1,
+        };
+        let count = rng.gen_range(lo..=hi);
+        let mut page = 1u16;
+        for _ in 0..count {
+            let recurring = venue.series == Series::Record
+                && rng.gen_bool(config.recurring_title_prob);
+            let title = if recurring {
+                RECURRING_TITLES[rng.gen_range(0..RECURRING_TITLES.len())].to_owned()
+            } else {
+                gen_title(rng, &mut titles)
+            };
+            // Pick an author team from one community, frequently reusing
+            // an established team verbatim.
+            let com_idx = rng.gen_range(0..communities.len());
+            let com = &communities[com_idx];
+            let team: Vec<usize> = if !teams_of[com_idx].is_empty()
+                && rng.gen_bool(config.team_reuse_prob)
+            {
+                let t = &teams_of[com_idx];
+                t[rng.gen_range(0..t.len())].clone()
+            } else {
+                let size = team_size(rng).min(com.len());
+                let mut team: Vec<usize> = Vec::with_capacity(size);
+                while team.len() < size {
+                    let p = rng.gen_range(com.clone());
+                    if !team.contains(&p) {
+                        team.push(p);
+                    }
+                }
+                teams_of[com_idx].push(team.clone());
+                team
+            };
+            let length = if recurring { rng.gen_range(1..4) } else { rng.gen_range(8..28) };
+            // Skewed citation counts (most papers few, some many).
+            let r: f64 = rng.gen();
+            let citations = (r * r * r * 300.0) as u32;
+            pubs.push(Publication {
+                title,
+                venue: vi,
+                year: venue.year,
+                pages: (page, page + length),
+                authors: team,
+                citations,
+                recurring,
+                twin_of: None,
+            });
+            page += length + 1;
+        }
+    }
+    pubs
+}
+
+/// Replace some journal papers with extended versions of earlier
+/// conference papers: same title, same authors, later year (Fig. 7).
+fn add_journal_twins(
+    rng: &mut StdRng,
+    config: &WorldConfig,
+    venues: &[VenueEntity],
+    pubs: &mut [Publication],
+) {
+    let conf_pubs: Vec<usize> = pubs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| venues[p.venue].series.is_conference())
+        .map(|(i, _)| i)
+        .collect();
+    if conf_pubs.is_empty() {
+        return;
+    }
+    for i in 0..pubs.len() {
+        let series = venues[pubs[i].venue].series;
+        let is_journal = matches!(series, Series::Tods | Series::VldbJ);
+        if !is_journal || !rng.gen_bool(config.journal_version_prob) {
+            continue;
+        }
+        // Find a conference paper from an earlier-or-equal year.
+        for _ in 0..8 {
+            let cand = conf_pubs[rng.gen_range(0..conf_pubs.len())];
+            if pubs[cand].year <= pubs[i].year && pubs[cand].twin_of.is_none() && cand != i {
+                pubs[i].title = pubs[cand].title.clone();
+                pubs[i].authors = pubs[cand].authors.clone();
+                pubs[i].twin_of = Some(cand);
+                break;
+            }
+        }
+    }
+}
+
+/// Pick persons with several publications and give them a second name
+/// variant used on part of their papers.
+fn inject_duplicates(
+    rng: &mut StdRng,
+    config: &WorldConfig,
+    persons: &[Person],
+    pubs: &[Publication],
+) -> Vec<DuplicateAuthor> {
+    // Publications per person.
+    let mut pubs_of: Vec<Vec<usize>> = vec![Vec::new(); persons.len()];
+    for (i, p) in pubs.iter().enumerate() {
+        for &a in &p.authors {
+            pubs_of[a].push(i);
+        }
+    }
+    let candidates: Vec<usize> =
+        (0..persons.len()).filter(|&p| pubs_of[p].len() >= 3).collect();
+    let mut out = Vec::new();
+    let mut used: FxHashSet<usize> = FxHashSet::default();
+    let mut attempts = 0;
+    while out.len() < config.dblp_duplicate_authors && attempts < 1000 && !candidates.is_empty() {
+        attempts += 1;
+        let person = candidates[rng.gen_range(0..candidates.len())];
+        if !used.insert(person) {
+            continue;
+        }
+        let p = &persons[person];
+        let variant = match rng.gen_range(0..3u8) {
+            // Nickname: suffix of the first name ("Agathoniki" -> "Niki").
+            0 if p.first.len() > 5 => {
+                let cut = p.first.len() - 4;
+                let nick: String = p.first.chars().skip(cut).collect();
+                let nick = uppercase_first(&nick);
+                format!("{nick} {}", p.last)
+            }
+            // Middle initial ("Amir Zarkesh" -> "Amir M. Zarkesh").
+            1 => {
+                let mid = (b'A' + rng.gen_range(0..26u8)) as char;
+                format!("{} {mid}. {}", p.first, p.last)
+            }
+            // Surname last-letter change ("Barczyk" -> "Barczyc").
+            _ => {
+                let mut last: Vec<char> = p.last.chars().collect();
+                let final_pos = last.len() - 1;
+                let replacement = if last[final_pos] == 'c' { 'k' } else { 'c' };
+                last[final_pos] = replacement;
+                format!("{} {}", p.first, last.iter().collect::<String>())
+            }
+        };
+        // Split publications: at least one on each identity.
+        let my_pubs = &pubs_of[person];
+        let variant_count = rng.gen_range(1..my_pubs.len());
+        let mut variant_pubs: FxHashSet<usize> = FxHashSet::default();
+        while variant_pubs.len() < variant_count {
+            variant_pubs.insert(my_pubs[rng.gen_range(0..my_pubs.len())]);
+        }
+        out.push(DuplicateAuthor { person, variant, variant_pubs });
+    }
+    out
+}
+
+fn uppercase_first(s: &str) -> String {
+    let mut cs = s.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig::small())
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = World::generate(WorldConfig::small());
+        let b = World::generate(WorldConfig::small());
+        assert_eq!(a.pubs.len(), b.pubs.len());
+        assert_eq!(a.pubs[0].title, b.pubs[0].title);
+        assert_eq!(a.persons[10], b.persons[10]);
+        let mut cfg = WorldConfig::small();
+        cfg.seed = 43;
+        let c = World::generate(cfg);
+        assert_ne!(
+            a.pubs.iter().map(|p| &p.title).collect::<Vec<_>>(),
+            c.pubs.iter().map(|p| &p.title).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn venue_structure() {
+        let w = world();
+        let years = (w.config.end_year - w.config.start_year + 1) as usize;
+        let per_year = 2 + w.config.tods.0 + w.config.vldbj.0 + w.config.record.0;
+        assert_eq!(w.venues.len(), years * per_year);
+        assert!(w.venues.iter().any(|v| v.series == Series::Vldb && v.year == 2001));
+    }
+
+    #[test]
+    fn conference_neighborhoods_larger_than_journals() {
+        let w = world();
+        let conf_sizes: Vec<usize> = w
+            .venues
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.series.is_conference())
+            .map(|(i, _)| w.pubs_of_venue(i).len())
+            .collect();
+        let journal_sizes: Vec<usize> = w
+            .venues
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.series.is_conference())
+            .map(|(i, _)| w.pubs_of_venue(i).len())
+            .collect();
+        let conf_avg = conf_sizes.iter().sum::<usize>() as f64 / conf_sizes.len() as f64;
+        let journal_avg = journal_sizes.iter().sum::<usize>() as f64 / journal_sizes.len() as f64;
+        assert!(conf_avg > 2.0 * journal_avg, "conf {conf_avg} vs journal {journal_avg}");
+    }
+
+    #[test]
+    fn twins_share_title_and_authors() {
+        let w = world();
+        let twins: Vec<&Publication> = w.pubs.iter().filter(|p| p.twin_of.is_some()).collect();
+        assert!(!twins.is_empty(), "expected some conf/journal twins");
+        for t in twins {
+            let orig = &w.pubs[t.twin_of.unwrap()];
+            assert_eq!(t.title, orig.title);
+            assert_eq!(t.authors, orig.authors);
+            assert!(w.venues[orig.venue].series.is_conference());
+            assert!(orig.year <= t.year);
+        }
+    }
+
+    #[test]
+    fn recurring_titles_repeat() {
+        let w = world();
+        let recurring: Vec<&Publication> = w.pubs.iter().filter(|p| p.recurring).collect();
+        assert!(!recurring.is_empty());
+        // At least one recurring title appears in more than one venue.
+        let mut by_title: std::collections::HashMap<&str, FxHashSet<usize>> = Default::default();
+        for p in &recurring {
+            by_title.entry(p.title.as_str()).or_default().insert(p.venue);
+        }
+        assert!(by_title.values().any(|venues| venues.len() > 1));
+    }
+
+    #[test]
+    fn duplicates_have_pub_splits() {
+        let w = world();
+        assert_eq!(w.duplicates.len(), w.config.dblp_duplicate_authors);
+        for d in &w.duplicates {
+            assert!(!d.variant_pubs.is_empty());
+            assert_ne!(d.variant, w.persons[d.person].full_name());
+            // The person keeps at least one publication under the primary
+            // name.
+            let total: usize = w
+                .pubs
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| p.authors.contains(&d.person) && !d.variant_pubs.contains(i))
+                .count();
+            assert!(total >= 1, "variant absorbed every publication");
+        }
+    }
+
+    #[test]
+    fn author_teams_within_bounds() {
+        let w = world();
+        for p in &w.pubs {
+            assert!(!p.authors.is_empty() && p.authors.len() <= 6);
+            let distinct: FxHashSet<usize> = p.authors.iter().copied().collect();
+            assert_eq!(distinct.len(), p.authors.len());
+        }
+    }
+
+    #[test]
+    fn venue_names_differ_between_sources() {
+        let v = VenueEntity { series: Series::Vldb, year: 2002, issue: 0 };
+        let dblp = v.series.dblp_name(v.year, v.issue);
+        let acm = v.series.acm_name(v.year, v.issue);
+        assert_eq!(dblp, "VLDB 2002");
+        assert_eq!(acm, "Proceedings of the 28th International Conference on Very Large Data Bases");
+        // The Section 5.4.1 point: string matching cannot align these.
+        let sim = moma_simstring_trigram_stub(&dblp, &acm);
+        assert!(sim < 0.3, "venue names too similar: {sim}");
+    }
+
+    // Tiny local trigram to avoid a dev-dependency cycle.
+    fn moma_simstring_trigram_stub(a: &str, b: &str) -> f64 {
+        let grams = |s: &str| -> FxHashSet<String> {
+            let padded = format!("##{}##", s.to_lowercase());
+            let cs: Vec<char> = padded.chars().collect();
+            cs.windows(3).map(|w| w.iter().collect()).collect()
+        };
+        let (ga, gb) = (grams(a), grams(b));
+        let inter = ga.intersection(&gb).count();
+        2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+    }
+
+    #[test]
+    fn ordinal_formatting() {
+        assert_eq!(ordinal(1), "1st");
+        assert_eq!(ordinal(2), "2nd");
+        assert_eq!(ordinal(3), "3rd");
+        assert_eq!(ordinal(4), "4th");
+        assert_eq!(ordinal(11), "11th");
+        assert_eq!(ordinal(12), "12th");
+        assert_eq!(ordinal(13), "13th");
+        assert_eq!(ordinal(21), "21st");
+        assert_eq!(ordinal(28), "28th");
+    }
+
+    #[test]
+    fn paper_scale_counts_near_table1() {
+        let w = World::generate(WorldConfig::paper_scale());
+        assert_eq!(w.venues.len(), 130, "DBLP venue count (Table 1: 130)");
+        let pubs = w.pubs.len();
+        assert!(
+            (2300..=2950).contains(&pubs),
+            "publication count {pubs} too far from Table 1's 2616"
+        );
+        let credited = w.credited_persons().len();
+        assert!(
+            (2800..=3600).contains(&credited),
+            "credited persons {credited} too far from Table 1's ~3.3k"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! One module per evaluation table (paper Section 5).
+
+pub mod extension;
+pub mod profile;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+pub mod tuning;
+pub mod table10;
+
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Run every table experiment in order.
+pub fn run_all(ctx: &EvalContext) -> Vec<Report> {
+    vec![
+        table1::run(ctx),
+        table2::run(ctx),
+        table3::run(ctx),
+        table4::run(ctx),
+        table5::run(ctx),
+        table6::run(ctx),
+        table7::run(ctx),
+        table8::run(ctx),
+        table9::run(ctx),
+        table10::run(ctx),
+        extension::run(ctx),
+        tuning::run(ctx),
+    ]
+}

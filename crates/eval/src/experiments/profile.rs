@@ -1,0 +1,98 @@
+//! Dataset profile: descriptive statistics of the generated scenario's
+//! association mappings — the neighborhood-size facts the paper cites
+//! ("about 60-120 publications" per conference, "2-26 per issue",
+//! "about 3 authors per paper on average", Sections 5.4.1-5.4.3).
+
+use moma_table::TableStats;
+
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Profile the key association mappings.
+pub fn run(ctx: &EvalContext) -> Report {
+    let repo = &ctx.scenario.repository;
+    let mut r = Report::new(
+        "Dataset profile: association mapping statistics",
+        vec!["Mapping", "Rows", "Domains", "Mean fanout", "Max fanout"],
+    );
+    for name in [
+        "DBLP.VenuePub",
+        "DBLP.PubAuthor",
+        "DBLP.AuthorPub",
+        "DBLP.CoAuthor",
+        "ACM.VenuePub",
+        "GS.PubAuthor",
+        "GS.Clusters",
+        "GS.LinksACM",
+    ] {
+        let Some(m) = repo.get(name) else { continue };
+        let s = TableStats::of(&m.table);
+        r.row(
+            name,
+            vec![
+                s.rows.to_string(),
+                s.distinct_domains.to_string(),
+                format!("{:.1}", s.mean_domain_fanout),
+                s.max_domain_fanout.to_string(),
+            ],
+        );
+    }
+    // Conference vs journal neighborhood sizes (the Table 4 mechanism).
+    let venue_pub = repo.get("DBLP.VenuePub").expect("assoc");
+    let degrees = venue_pub.table.domain_degrees();
+    let is_conf = &ctx.scenario.dblp_venue_is_conf;
+    let (mut conf, mut journal) = (Vec::new(), Vec::new());
+    for (&v, &d) in degrees.iter() {
+        if is_conf[v as usize] {
+            conf.push(d);
+        } else {
+            journal.push(d);
+        }
+    }
+    let avg = |v: &[u32]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u32>() as f64 / v.len() as f64
+        }
+    };
+    r.note(format!(
+        "mean publications per conference: {:.1} (paper: 60-120); per journal issue: {:.1} (paper: 2-26)",
+        avg(&conf),
+        avg(&journal)
+    ));
+    let pub_author = repo.get("DBLP.PubAuthor").expect("assoc");
+    r.note(format!(
+        "mean authors per publication: {:.1} (paper: ~3)",
+        TableStats::of(&pub_author.table).mean_domain_fanout
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_paper_regime() {
+        let ctx = EvalContext::small();
+        let r = run(&ctx);
+        assert!(r.rows.len() >= 7);
+        // Authors per publication around 3.
+        let note = r.notes.iter().find(|n| n.contains("authors per publication")).unwrap();
+        let mean: f64 = note
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((2.0..=4.0).contains(&mean), "authors/pub {mean}");
+        // Conferences dwarf journal issues.
+        let sizes = r.notes.iter().find(|n| n.contains("per conference")).unwrap();
+        assert!(sizes.contains("per journal issue"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 1: number of instances for the considered data sources.
+//!
+//! Paper values: DBLP 130 venues / 2,616 publications / 3,319 authors;
+//! ACM DL 128 / 2,294 / 3,547; Google Scholar — / 64,263 / (81,296).
+
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Count instances per source and object type.
+pub fn run(ctx: &EvalContext) -> Report {
+    let reg = &ctx.scenario.registry;
+    let ids = ctx.scenario.ids;
+    let mut r = Report::new(
+        "Table 1. Number of instances for the considered data sources",
+        vec!["Source", "Venues", "Publications", "Authors"],
+    );
+    r.row(
+        "DBLP",
+        vec![
+            reg.lds(ids.venue_dblp).len().to_string(),
+            reg.lds(ids.pub_dblp).len().to_string(),
+            reg.lds(ids.author_dblp).len().to_string(),
+        ],
+    );
+    r.row(
+        "ACM DL",
+        vec![
+            reg.lds(ids.venue_acm).len().to_string(),
+            reg.lds(ids.pub_acm).len().to_string(),
+            reg.lds(ids.author_acm).len().to_string(),
+        ],
+    );
+    r.row(
+        "Google Scholar",
+        vec![
+            "-".into(),
+            reg.lds(ids.pub_gs).len().to_string(),
+            format!("({})", reg.lds(ids.author_gs).len()),
+        ],
+    );
+    r.note("paper: DBLP 130/2616/3319, ACM 128/2294/3547, GS -/64263/(81296)");
+    r.note("GS authors parenthesized: author *name strings*, not resolved entities");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let ctx = EvalContext::small();
+        let r = run(&ctx);
+        assert_eq!(r.rows.len(), 3);
+        let dblp_venues: usize = r.cell("DBLP", "Venues").unwrap().parse().unwrap();
+        let acm_venues: usize = r.cell("ACM DL", "Venues").unwrap().parse().unwrap();
+        // ACM misses VLDB 2002/2003.
+        assert_eq!(acm_venues, dblp_venues - 2);
+        let dblp_pubs: usize = r.cell("DBLP", "Publications").unwrap().parse().unwrap();
+        let acm_pubs: usize = r.cell("ACM DL", "Publications").unwrap().parse().unwrap();
+        let gs_pubs: usize = r.cell("Google Scholar", "Publications").unwrap().parse().unwrap();
+        assert!(acm_pubs < dblp_pubs);
+        assert!(gs_pubs > dblp_pubs, "GS must dwarf DBLP (duplicates + noise)");
+        // ACM splits author identities: more authors despite fewer pubs.
+        let dblp_auth: usize = r.cell("DBLP", "Authors").unwrap().parse().unwrap();
+        let acm_auth: usize = r.cell("ACM DL", "Authors").unwrap().parse().unwrap();
+        assert!(acm_auth > dblp_auth);
+    }
+}

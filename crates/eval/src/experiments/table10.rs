@@ -1,0 +1,66 @@
+//! Table 10: summary of matching results (F-measure).
+//!
+//! Paper values: DBLP-ACM venues 98.8, publications 98.6, authors 96.9;
+//! DBLP-GS publications 88.9; GS-ACM publications 88.2.
+
+use crate::experiments::{table5, table6, table7, table8};
+use crate::metrics::MatchQuality;
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Run the Table 10 summary (computes the best workflow per cell).
+pub fn run(ctx: &EvalContext) -> Report {
+    let gold = &ctx.scenario.gold;
+    let venue_f =
+        MatchQuality::evaluate(&ctx.venue_same_dblp_acm(), &gold.venue_dblp_acm).f1();
+    let pub_da_f =
+        MatchQuality::evaluate(&table5::merged_mapping(ctx), &gold.pub_dblp_acm).f1();
+    let author_da_f =
+        MatchQuality::evaluate(&table6::merged_mapping(ctx), &gold.author_dblp_acm).f1();
+    let pub_dg_f =
+        MatchQuality::evaluate(&table7::merged_mapping(ctx), &gold.pub_dblp_gs).f1();
+    let pub_ga_f =
+        MatchQuality::evaluate(&table8::merged_mapping(ctx), &gold.pub_gs_acm).f1();
+
+    let mut r = Report::new(
+        "Table 10. Summary of matching results (F-Measure)",
+        vec!["Pair", "Venues", "Publications", "Authors"],
+    );
+    r.row(
+        "DBLP - ACM",
+        vec![
+            Report::pct(venue_f * 100.0),
+            Report::pct(pub_da_f * 100.0),
+            Report::pct(author_da_f * 100.0),
+        ],
+    );
+    r.row("DBLP - GS", vec!["-".into(), Report::pct(pub_dg_f * 100.0), "-".into()]);
+    r.row("GS - ACM", vec!["-".into(), Report::pct(pub_ga_f * 100.0), "-".into()]);
+    r.note("paper: DBLP-ACM 98.8/98.6/96.9, DBLP-GS -/88.9/-, GS-ACM -/88.2/-");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table10_shape() {
+        let ctx = EvalContext::small();
+        let r = run(&ctx);
+        let venues = r.cell_pct("DBLP - ACM", "Venues").unwrap();
+        let pubs_da = r.cell_pct("DBLP - ACM", "Publications").unwrap();
+        let authors = r.cell_pct("DBLP - ACM", "Authors").unwrap();
+        let pubs_dg = r.cell_pct("DBLP - GS", "Publications").unwrap();
+        let pubs_ga = r.cell_pct("GS - ACM", "Publications").unwrap();
+        // DBLP-ACM results are excellent (paper: 96.9-98.8).
+        assert!(venues > 90.0, "venues {venues}");
+        assert!(pubs_da > 90.0, "pubs {pubs_da}");
+        assert!(authors > 85.0, "authors {authors}");
+        // GS pairs trail DBLP-ACM (paper: ~88 vs ~98).
+        assert!(pubs_dg < pubs_da);
+        assert!(pubs_ga < pubs_da);
+        assert!(pubs_dg > 60.0, "DBLP-GS too weak: {pubs_dg}");
+        assert!(pubs_ga > 60.0, "GS-ACM too weak: {pubs_ga}");
+    }
+}

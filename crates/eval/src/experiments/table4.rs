@@ -1,0 +1,100 @@
+//! Table 4: matching DBLP-ACM venues with the 1:n neighborhood matcher.
+//!
+//! Reconstructed paper values (columns: Threshold 80% / 50% / Best-1):
+//!
+//! | Group       |      | 80%   | 50%   | Best-1 |
+//! |-------------|------|-------|-------|--------|
+//! | Conferences | P    | 100   | 100   | 94.7   |
+//! |             | R    | 100   | 100   | 100    |
+//! |             | F    | 100   | 100   | 97.3   |
+//! | Journals    | P    | 100   | 99.0  | 98.2   |
+//! |             | R    | 62.7  | 86.4  | 100    |
+//! |             | F    | 77.1  | 92.2  | 99.1   |
+//! | Overall     | F    | 80.9  | 93.4  | 98.8   |
+//!
+//! Shape: conferences (large neighborhoods) are matched perfectly by
+//! thresholds but Best-1 pays for the missing VLDB 2002/2003 in ACM;
+//! journals (small neighborhoods, 2–26 papers) lose recall at strict
+//! thresholds and need the permissive Best-1.
+
+use moma_core::ops::select::{select, Selection};
+
+use crate::metrics::MatchQuality;
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Run the Table 4 experiment.
+pub fn run(ctx: &EvalContext) -> Report {
+    let nh = ctx.venue_nh_dblp_acm();
+    let gold = &ctx.scenario.gold.venue_dblp_acm;
+    let is_conf = &ctx.scenario.dblp_venue_is_conf;
+
+    let selections = [
+        ("80%", Selection::Threshold(0.8)),
+        ("50%", Selection::Threshold(0.5)),
+        ("Best-1", Selection::best1()),
+    ];
+
+    let mut results: Vec<(MatchQuality, MatchQuality, MatchQuality)> = Vec::new();
+    for (_, sel) in &selections {
+        let mapping = select(&nh, sel);
+        let conf = MatchQuality::evaluate_domain_subset(&mapping, gold, |d| {
+            is_conf[d as usize]
+        });
+        let journal = MatchQuality::evaluate_domain_subset(&mapping, gold, |d| {
+            !is_conf[d as usize]
+        });
+        let overall = MatchQuality::evaluate(&mapping, gold);
+        results.push((conf, journal, overall));
+    }
+
+    let mut r = Report::new(
+        "Table 4. Matching DBLP-ACM venues using neighborhood matcher (1:n)",
+        vec!["Selection", "80%", "50%", "Best-1"],
+    );
+    let cells = |pick: fn(&MatchQuality) -> f64, which: usize| -> Vec<String> {
+        results
+            .iter()
+            .map(|(c, j, o)| Report::pct(pick([c, j, o][which]) * 100.0))
+            .collect()
+    };
+    r.row("Conferences P", cells(MatchQuality::precision, 0));
+    r.row("Conferences R", cells(MatchQuality::recall, 0));
+    r.row("Conferences F", cells(MatchQuality::f1, 0));
+    r.row("Journals P", cells(MatchQuality::precision, 1));
+    r.row("Journals R", cells(MatchQuality::recall, 1));
+    r.row("Journals F", cells(MatchQuality::f1, 1));
+    r.row("Overall F", cells(MatchQuality::f1, 2));
+    r.note("paper: Conf F 100/100/97.3, Journal F 77.1/92.2/99.1, Overall F 80.9/93.4/98.8");
+    r.note("Best-1 pays precision for the VLDB 2002/2003 venues missing in ACM");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape() {
+        let ctx = EvalContext::small();
+        let r = run(&ctx);
+        let cell = |row: &str, col: &str| r.cell_pct(row, col).unwrap();
+        // Conferences match perfectly at the strict threshold.
+        assert_eq!(cell("Conferences F", "80%"), 100.0);
+        assert_eq!(cell("Conferences R", "Best-1"), 100.0);
+        // Best-1 never beats the strict threshold on conference
+        // precision: the VLDB 2002/2003 venues missing from ACM can only
+        // contribute false positives under forced selection (at paper
+        // scale they do — Best-1 conference precision 94.7% in Table 4).
+        assert!(cell("Conferences P", "Best-1") <= cell("Conferences P", "80%"));
+        // Journals: recall grows monotonically toward Best-1.
+        assert!(cell("Journals R", "80%") <= cell("Journals R", "50%"));
+        assert!(cell("Journals R", "50%") <= cell("Journals R", "Best-1"));
+        // Conference precision never improves with permissiveness: the
+        // dropped VLDB venues can only add false positives.
+        assert!(cell("Conferences P", "50%") <= cell("Conferences P", "80%"));
+        // Every selection keeps overall quality high; at paper scale the
+        // progression is 77.5 -> 82.0 -> 99.2 (paper: 80.9/93.4/98.8).
+        assert!(cell("Overall F", "Best-1") > 90.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Table 7: matching DBLP-GS publications with the n:m author
+//! neighborhood matcher.
+//!
+//! Paper values (P/R/F): Attribute(Title) 81.1/81.6/81.3,
+//! Neighborhood(Author) 15.2/76.0/25.4, Merge 85.1/92.9/88.9.
+//!
+//! Shape: Google Scholar's extraction-noisy titles cap plain title
+//! matching around 81%; the author neighborhood (with RelativeLeft,
+//! because GS author lists are truncated) recovers noisy-title entries,
+//! lifting recall substantially while precision holds.
+
+use std::sync::Arc;
+
+use moma_core::matchers::neighborhood::nh_match;
+use moma_core::ops::compose::PathAgg;
+use moma_core::ops::select::{select, Selection};
+use moma_core::ops::setops::{intersection, union};
+use moma_core::Mapping;
+
+use crate::metrics::MatchQuality;
+use crate::report::Report;
+use crate::setup::EvalContext;
+
+/// Raw author-neighborhood mapping DBLP→GS with `g = RelativeLeft`
+/// (robust against missing GS authors, paper Section 5.4.3).
+pub fn nh_mapping(ctx: &EvalContext) -> Arc<Mapping> {
+    ctx.cached("table7.nh", || {
+        let repo = &ctx.scenario.repository;
+        let asso1 = repo.get("DBLP.PubAuthor").expect("assoc");
+        let asso2 = repo.get("GS.AuthorPub").expect("assoc");
+        let author_same = ctx.author_same_dblp_gs();
+        nh_match(&asso1, &author_same, &asso2, PathAgg::RelativeLeft).expect("nh")
+    })
+}
+
+/// The Table 7 merged mapping: the strict title mapping united with
+/// permissive-title pairs that the author neighborhood confirms.
+pub fn merged_mapping(ctx: &EvalContext) -> Arc<Mapping> {
+    ctx.cached("table7.merge", || {
+        let title = ctx.pub_title_dblp_gs();
+        let title_low = ctx.pub_title_low_dblp_gs();
+        let nh = select(&nh_mapping(ctx), &Selection::Threshold(0.4));
+        let confirmed = intersection(&title_low, &nh).expect("intersection");
+        union(&title, &confirmed).expect("union")
+    })
+}
+
+/// Run the Table 7 experiment.
+pub fn run(ctx: &EvalContext) -> Report {
+    let gold = &ctx.scenario.gold.pub_dblp_gs;
+    let attr = MatchQuality::evaluate(&ctx.pub_title_dblp_gs(), gold);
+    let nh_alone = select(&nh_mapping(ctx), &Selection::Threshold(0.35));
+    let nh = MatchQuality::evaluate(&nh_alone, gold);
+    let merged = MatchQuality::evaluate(&merged_mapping(ctx), gold);
+
+    let mut r = Report::new(
+        "Table 7. Matching DBLP-GS publications using neighborhood matcher (n:m author)",
+        vec!["Metric", "Attribute (Title)", "Neighborhood (Author)", "Merge"],
+    );
+    for (label, pick) in
+        [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)]
+    {
+        let cell = |q: &MatchQuality| {
+            let v = q.as_percentages();
+            Report::pct([v.0, v.1, v.2][pick])
+        };
+        r.row(label, vec![cell(&attr), cell(&nh), cell(&merged)]);
+    }
+    r.note("paper: Attr 81.1/81.6/81.3, NH 15.2/76.0/25.4, Merge 85.1/92.9/88.9 (P/R/F)");
+    r.note("RelativeLeft used because GS author lists are incomplete");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_shape() {
+        let ctx = EvalContext::small();
+        let r = run(&ctx);
+        let cell = |row: &str, col: &str| r.cell_pct(row, col).unwrap();
+        // Dirty GS titles keep attribute-only matching well below the
+        // DBLP-ACM level.
+        assert!(cell("F-Measure", "Attribute (Title)") < 97.0);
+        // Neighborhood alone is weak on F (precision-poor).
+        assert!(
+            cell("Precision", "Neighborhood (Author)") < cell("Precision", "Attribute (Title)")
+        );
+        // Merge: the paper's signature — recall rises markedly...
+        assert!(
+            cell("Recall", "Merge") > cell("Recall", "Attribute (Title)") + 3.0,
+            "merge R {} vs attr R {}",
+            cell("Recall", "Merge"),
+            cell("Recall", "Attribute (Title)")
+        );
+        // ...while precision stays in the same region.
+        assert!(cell("Precision", "Merge") + 8.0 >= cell("Precision", "Attribute (Title)"));
+        assert!(cell("F-Measure", "Merge") > cell("F-Measure", "Attribute (Title)"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Precision / recall / F-measure against gold standards.
+//!
+//! "We measure the quality of different match workflows with the standard
+//! metrics precision, recall and F-measure with respect to manually
+//! determined 'perfect' mappings" (paper Section 5.1).
+
+use moma_core::Mapping;
+use moma_datagen::GoldStandard;
+
+/// Confusion counts and derived quality metrics of one mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// Correspondences that are in the gold standard.
+    pub tp: usize,
+    /// Correspondences that are not.
+    pub fp: usize,
+    /// Gold pairs the mapping missed.
+    pub fn_: usize,
+}
+
+impl MatchQuality {
+    /// Evaluate a mapping against a gold standard.
+    pub fn evaluate(mapping: &Mapping, gold: &GoldStandard) -> Self {
+        let mut tp = 0usize;
+        for c in mapping.table.iter() {
+            if gold.contains(c.domain, c.range) {
+                tp += 1;
+            }
+        }
+        let fp = mapping.len() - tp;
+        let fn_ = gold.len() - tp;
+        Self { tp, fp, fn_ }
+    }
+
+    /// Evaluate only pairs whose *domain* object satisfies `pred`
+    /// (conference vs. journal breakdowns): both the mapping and the gold
+    /// standard are restricted.
+    pub fn evaluate_domain_subset(
+        mapping: &Mapping,
+        gold: &GoldStandard,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> Self {
+        let sub_gold = gold.filter_domain(&mut pred);
+        let mut tp = 0usize;
+        let mut considered = 0usize;
+        for c in mapping.table.iter() {
+            if !pred(c.domain) {
+                continue;
+            }
+            considered += 1;
+            if sub_gold.contains(c.domain, c.range) {
+                tp += 1;
+            }
+        }
+        Self { tp, fp: considered - tp, fn_: sub_gold.len() - tp }
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 for an empty mapping over an empty
+    /// gold standard, 0.0 for an empty mapping otherwise.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            if self.fn_ == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Balanced F-measure.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// `(precision, recall, f1)` as percentages.
+    pub fn as_percentages(&self) -> (f64, f64, f64) {
+        (self.precision() * 100.0, self.recall() * 100.0, self.f1() * 100.0)
+    }
+}
+
+impl std::fmt::Display for MatchQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.1}% R={:.1}% F={:.1}%",
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f1() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::LdsId;
+    use moma_table::MappingTable;
+
+    fn gold() -> GoldStandard {
+        GoldStandard::from_pairs([(0, 0), (1, 1), (2, 2), (3, 3)])
+    }
+
+    fn mapping(pairs: &[(u32, u32)]) -> Mapping {
+        Mapping::same(
+            "m",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples(pairs.iter().map(|&(a, b)| (a, b, 1.0))),
+        )
+    }
+
+    #[test]
+    fn perfect_mapping() {
+        let q = MatchQuality::evaluate(&mapping(&[(0, 0), (1, 1), (2, 2), (3, 3)]), &gold());
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_mapping() {
+        // 2 TP, 1 FP, 2 FN.
+        let q = MatchQuality::evaluate(&mapping(&[(0, 0), (1, 1), (9, 9)]), &gold());
+        assert_eq!(q.tp, 2);
+        assert_eq!(q.fp, 1);
+        assert_eq!(q.fn_, 2);
+        assert!((q.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.recall(), 0.5);
+        let f = q.f1();
+        assert!((f - (2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let q = MatchQuality::evaluate(&mapping(&[]), &gold());
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+        // Empty against empty is perfect.
+        let q = MatchQuality::evaluate(&mapping(&[]), &GoldStandard::new());
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn domain_subset_breakdown() {
+        // Domains < 2 are "conferences".
+        let m = mapping(&[(0, 0), (1, 9), (2, 2), (3, 9)]);
+        let conf = MatchQuality::evaluate_domain_subset(&m, &gold(), |d| d < 2);
+        assert_eq!(conf.tp, 1);
+        assert_eq!(conf.fp, 1);
+        assert_eq!(conf.fn_, 1);
+        let journal = MatchQuality::evaluate_domain_subset(&m, &gold(), |d| d >= 2);
+        assert_eq!(journal.tp, 1);
+        assert_eq!(journal.fp, 1);
+        assert_eq!(journal.fn_, 1);
+    }
+
+    #[test]
+    fn display_and_percentages() {
+        let q = MatchQuality { tp: 1, fp: 1, fn_: 0 };
+        let (p, r, f) = q.as_percentages();
+        assert_eq!(p, 50.0);
+        assert_eq!(r, 100.0);
+        assert!((f - 200.0 / 3.0).abs() < 1e-9);
+        assert!(q.to_string().contains("P=50.0%"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment reports: named tables of labelled rows, rendered as ASCII.
+
+use std::fmt;
+
+/// One experiment's output table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Title, e.g. `Table 2. Matching DBLP-ACM publications using attribute matchers`.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label + one cell per non-label column.
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) -> &mut Self {
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Format a percentage cell like the paper (`95.5%`).
+    pub fn pct(v: f64) -> String {
+        format!("{v:.1}%")
+    }
+
+    /// Look up a cell by row label and column name (for tests and the
+    /// Table 10 summary).
+    pub fn cell(&self, row: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        if col == 0 {
+            return None;
+        }
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .and_then(|(_, cells)| cells.get(col - 1))
+            .map(String::as_str)
+    }
+
+    /// Parse a percentage cell back to a number.
+    pub fn cell_pct(&self, row: &str, column: &str) -> Option<f64> {
+        self.cell(row, column)?.trim_end_matches('%').parse().ok()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, cell) in cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        out.push_str(&sep);
+        out.push('\n');
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("|"));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            let mut line: Vec<String> = vec![format!(" {:<width$} ", label, width = widths[0])];
+            for (i, cell) in cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    line.push(format!(" {:>width$} ", cell, width = widths[i + 1]));
+                }
+            }
+            out.push_str(&line.join("|"));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Table X. Demo", vec!["Matcher", "Precision", "Recall"]);
+        r.row("Title", vec![Report::pct(86.7), Report::pct(97.7)]);
+        r.row("Year", vec![Report::pct(0.4), Report::pct(100.0)]);
+        r.note("threshold 0.8");
+        r
+    }
+
+    #[test]
+    fn cells_lookup() {
+        let r = sample();
+        assert_eq!(r.cell("Title", "Precision"), Some("86.7%"));
+        assert_eq!(r.cell_pct("Year", "Recall"), Some(100.0));
+        assert_eq!(r.cell("Title", "Matcher"), None);
+        assert_eq!(r.cell("Nope", "Precision"), None);
+        assert_eq!(r.cell("Title", "Nope"), None);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Table X. Demo"));
+        assert!(s.contains("Matcher"));
+        assert!(s.contains("86.7%"));
+        assert!(s.contains("note: threshold 0.8"));
+        // Aligned: all data lines have same length.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert!(lines.len() >= 3);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(Report::pct(95.55), "95.5%");
+        assert_eq!(Report::pct(0.351), "0.4%");
+        assert_eq!(Report::pct(100.0), "100.0%");
+    }
+
+    #[test]
+    fn display_is_render() {
+        let r = sample();
+        assert_eq!(r.to_string(), r.render());
+    }
+}

@@ -1,0 +1,214 @@
+//! Information fusion across same-mappings (paper Sections 1, 4).
+//!
+//! "The generated mappings allow us to traverse between peers and to
+//! fuse together and enhance information on equivalent objects for data
+//! analysis and query answering. … DBLP publications can be combined
+//! with their matching publications in ACM DL and Google Scholar to
+//! obtain additional attribute values like the number of citations."
+
+use moma_core::Mapping;
+use moma_model::{AttrValue, SourceRegistry};
+use moma_table::FxHashMap;
+
+/// How multiple matched range values fuse into one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseCombine {
+    /// Keep the first (highest-similarity correspondence) value.
+    First,
+    /// Sum numeric values (e.g. citation counts over duplicate GS
+    /// entries).
+    Sum,
+    /// Maximum numeric value.
+    Max,
+    /// Count matched instances regardless of value.
+    Count,
+}
+
+/// Fuse a range attribute onto domain instances through a same-mapping.
+///
+/// Returns `domain index → fused value`. Non-numeric values under
+/// `Sum`/`Max` are skipped; `Count` counts correspondences with any
+/// present value.
+pub fn fuse_attribute(
+    registry: &SourceRegistry,
+    same: &Mapping,
+    range_attr: &str,
+    combine: FuseCombine,
+) -> moma_model::Result<FxHashMap<u32, AttrValue>> {
+    let r_lds = registry.lds(same.range);
+    let slot = r_lds.attr_slot(range_attr)?;
+
+    // Highest-similarity-first ordering so `First` is deterministic.
+    let mut rows: Vec<(u32, u32, f64)> =
+        same.table.iter().map(|c| (c.domain, c.range, c.sim)).collect();
+    rows.sort_by(|a, b| {
+        a.0.cmp(&b.0).then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let mut out: FxHashMap<u32, AttrValue> = FxHashMap::default();
+    for (d, r, _) in rows {
+        let Some(value) = r_lds.get(r).and_then(|inst| inst.value(slot)) else {
+            continue;
+        };
+        match combine {
+            FuseCombine::First => {
+                out.entry(d).or_insert_with(|| value.clone());
+            }
+            FuseCombine::Sum => {
+                let add = numeric(value);
+                if let Some(add) = add {
+                    let cur = out.entry(d).or_insert(AttrValue::Int(0));
+                    if let Some(c) = numeric(cur) {
+                        *cur = AttrValue::Int(c + add);
+                    }
+                }
+            }
+            FuseCombine::Max => {
+                if let Some(v) = numeric(value) {
+                    let cur = out.entry(d).or_insert(AttrValue::Int(v));
+                    if let Some(c) = numeric(cur) {
+                        *cur = AttrValue::Int(c.max(v));
+                    }
+                }
+            }
+            FuseCombine::Count => {
+                let cur = out.entry(d).or_insert(AttrValue::Int(0));
+                if let Some(c) = numeric(cur) {
+                    *cur = AttrValue::Int(c + 1);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn numeric(v: &AttrValue) -> Option<i64> {
+    match v {
+        AttrValue::Int(i) => Some(*i),
+        AttrValue::Year(y) => Some(*y as i64),
+        AttrValue::Real(r) => Some(*r as i64),
+        _ => None,
+    }
+}
+
+/// A fused multi-source view of one domain instance: its own attributes
+/// plus, per matched range instance, the range attributes.
+#[derive(Debug, Clone)]
+pub struct FusedView {
+    /// Domain instance index.
+    pub domain_index: u32,
+    /// Domain instance id.
+    pub domain_id: String,
+    /// `(range id, similarity)` of matched instances.
+    pub matches: Vec<(String, f64)>,
+}
+
+/// Materialize fused views for every domain instance of a same-mapping.
+pub fn fused_views(registry: &SourceRegistry, same: &Mapping) -> Vec<FusedView> {
+    let d_lds = registry.lds(same.domain);
+    let r_lds = registry.lds(same.range);
+    let mut per_domain: FxHashMap<u32, Vec<(String, f64)>> = FxHashMap::default();
+    for c in same.table.iter() {
+        if let Some(inst) = r_lds.get(c.range) {
+            per_domain.entry(c.domain).or_default().push((inst.id.clone(), c.sim));
+        }
+    }
+    let mut out: Vec<FusedView> = per_domain
+        .into_iter()
+        .filter_map(|(d, mut matches)| {
+            matches.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            d_lds.get(d).map(|inst| FusedView {
+                domain_index: d,
+                domain_id: inst.id.clone(),
+                matches,
+            })
+        })
+        .collect();
+    out.sort_by_key(|v| v.domain_index);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, LogicalSource, ObjectType};
+    use moma_table::MappingTable;
+
+    fn setup() -> (SourceRegistry, Mapping) {
+        let mut reg = SourceRegistry::new();
+        let mut dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
+        dblp.insert_record("d0", vec![("title", "Paper A".into())]).unwrap();
+        dblp.insert_record("d1", vec![("title", "Paper B".into())]).unwrap();
+        let mut gs = LogicalSource::new(
+            "GS",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::int("citations")],
+        );
+        gs.insert_record("g0", vec![("title", "Paper A".into()), ("citations", 10i64.into())]).unwrap();
+        gs.insert_record("g1", vec![("title", "Paper A (dup)".into()), ("citations", 5i64.into())]).unwrap();
+        gs.insert_record("g2", vec![("title", "Paper B".into()), ("citations", 7i64.into())]).unwrap();
+        gs.insert_record("g3", vec![("title", "no citations".into())]).unwrap();
+        let d = reg.register(dblp).unwrap();
+        let g = reg.register(gs).unwrap();
+        let same = Mapping::same(
+            "DG",
+            d,
+            g,
+            MappingTable::from_triples([(0, 0, 1.0), (0, 1, 0.8), (1, 2, 0.9), (1, 3, 0.7)]),
+        );
+        (reg, same)
+    }
+
+    #[test]
+    fn sum_citations_over_duplicates() {
+        let (reg, same) = setup();
+        let fused = fuse_attribute(&reg, &same, "citations", FuseCombine::Sum).unwrap();
+        assert_eq!(fused[&0], AttrValue::Int(15));
+        assert_eq!(fused[&1], AttrValue::Int(7));
+    }
+
+    #[test]
+    fn max_citations() {
+        let (reg, same) = setup();
+        let fused = fuse_attribute(&reg, &same, "citations", FuseCombine::Max).unwrap();
+        assert_eq!(fused[&0], AttrValue::Int(10));
+    }
+
+    #[test]
+    fn first_takes_best_match() {
+        let (reg, same) = setup();
+        let fused = fuse_attribute(&reg, &same, "citations", FuseCombine::First).unwrap();
+        // d0's best match is g0 (sim 1.0) -> 10.
+        assert_eq!(fused[&0], AttrValue::Int(10));
+    }
+
+    #[test]
+    fn count_matches_with_values() {
+        let (reg, same) = setup();
+        let fused = fuse_attribute(&reg, &same, "citations", FuseCombine::Count).unwrap();
+        assert_eq!(fused[&0], AttrValue::Int(2));
+        // g3 has no citations value -> only g2 counts for d1.
+        assert_eq!(fused[&1], AttrValue::Int(1));
+    }
+
+    #[test]
+    fn unknown_attr_errors() {
+        let (reg, same) = setup();
+        assert!(fuse_attribute(&reg, &same, "nope", FuseCombine::Sum).is_err());
+    }
+
+    #[test]
+    fn fused_views_sorted_by_sim() {
+        let (reg, same) = setup();
+        let views = fused_views(&reg, &same);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].domain_id, "d0");
+        assert_eq!(views[0].matches[0].0, "g0");
+        assert_eq!(views[0].matches[1].0, "g1");
+        assert_eq!(views[1].matches.len(), 2);
+    }
+}

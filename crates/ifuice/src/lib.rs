@@ -1,0 +1,37 @@
+//! # moma-ifuice — a miniature iFuice data-integration platform
+//!
+//! MOMA "has been implemented within the iFuice data integration
+//! platform" (paper Section 4): iFuice contributes operators for querying
+//! data sources, accessing object instances by id, traversing mappings,
+//! and aggregating (fusing) objects interconnected by same-mappings, plus
+//! a *script* facility in which match workflows are written.
+//!
+//! This crate rebuilds exactly those capabilities:
+//!
+//! * [`source`] — the [`source::DataSource`] access layer distinguishing
+//!   downloadable sources (DBLP) from query-only web sources (ACM DL,
+//!   Google Scholar),
+//! * [`ops`] — query / get / traverse / map-range operators,
+//! * [`fusion`] — attribute fusion across same-mappings (e.g. enriching
+//!   DBLP publications with Google Scholar citation counts),
+//! * [`script`] — the iFuice script language: lexer, parser and
+//!   interpreter able to run the paper's own listings, e.g. the
+//!   Section 4.3 duplicate-author workflow:
+//!
+//! ```text
+//! $CoAuthSim = nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor);
+//! $NameSim   = attrMatch(DBLP.Author, DBLP.Author, Trigram, 0.5, "[name]", "[name]");
+//! $Merged    = merge($CoAuthSim, $NameSim, Average);
+//! $Result    = select($Merged, "[domain.id]<>[range.id]");
+//! RETURN $Result;
+//! ```
+
+pub mod fusion;
+pub mod loader;
+pub mod ops;
+pub mod script;
+pub mod source;
+
+pub use script::interp::{Interpreter, Value};
+pub use script::run_script;
+pub use source::{DataSource, InMemorySource};

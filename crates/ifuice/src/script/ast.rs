@@ -1,0 +1,56 @@
+//! Abstract syntax tree of the iFuice script language.
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference `$X`.
+    Var(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Bare symbol, e.g. `Min`, `Average`, `Trigram`.
+    Sym(String),
+    /// Qualified reference `DBLP.CoAuthor` — a repository mapping or a
+    /// logical source, resolved at runtime.
+    Ref(String, String),
+    /// Function / procedure call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `$X = expr;`
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `RETURN expr;`
+    Return(Expr),
+    /// Bare expression statement.
+    Expr(Expr),
+    /// `PROCEDURE name($a, $b) … END`
+    Procedure {
+        /// Procedure name.
+        name: String,
+        /// Parameter names (without `$`).
+        params: Vec<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}

@@ -1,0 +1,326 @@
+//! Tokenizer for the iFuice script language.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `$Name` variable.
+    Var(String),
+    /// Bare identifier / keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Var(v) => write!(f, "${v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Dot => write!(f, "."),
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a script.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let ident_char = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(1, &mut i, &mut col),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            '.' if !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                out.push(Token { kind: TokenKind::Dot, line: tl, col: tc });
+                advance(1, &mut i, &mut col);
+            }
+            '$' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < chars.len() && ident_char(chars[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(LexError { msg: "`$` without variable name".into(), line: tl, col: tc });
+                }
+                let name: String = chars[start..end].iter().collect();
+                advance(end - i, &mut i, &mut col);
+                out.push(Token { kind: TokenKind::Var(name), line: tl, col: tc });
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' if j + 1 < chars.len() => {
+                            s.push(chars[j + 1]);
+                            j += 2;
+                        }
+                        '\n' => {
+                            return Err(LexError {
+                                msg: "unterminated string".into(),
+                                line: tl,
+                                col: tc,
+                            })
+                        }
+                        c => {
+                            s.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(LexError { msg: "unterminated string".into(), line: tl, col: tc });
+                }
+                advance(j + 1 - i, &mut i, &mut col);
+                out.push(Token { kind: TokenKind::Str(s), line: tl, col: tc });
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)) =>
+            {
+                let start = i;
+                let mut end = i;
+                let mut seen_dot = false;
+                while end < chars.len()
+                    && (chars[end].is_ascii_digit() || (chars[end] == '.' && !seen_dot))
+                {
+                    if chars[end] == '.' {
+                        // Only treat as decimal point if a digit follows.
+                        if !chars.get(end + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                            break;
+                        }
+                        seen_dot = true;
+                    }
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    msg: format!("bad number `{text}`"),
+                    line: tl,
+                    col: tc,
+                })?;
+                advance(end - i, &mut i, &mut col);
+                out.push(Token { kind: TokenKind::Number(n), line: tl, col: tc });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < chars.len() && ident_char(chars[end]) {
+                    end += 1;
+                }
+                let name: String = chars[start..end].iter().collect();
+                advance(end - i, &mut i, &mut col);
+                out.push(Token { kind: TokenKind::Ident(name), line: tl, col: tc });
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        assert_eq!(
+            kinds("$X = merge($A, $B, Average);"),
+            vec![
+                TokenKind::Var("X".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("merge".into()),
+                TokenKind::LParen,
+                TokenKind::Var("A".into()),
+                TokenKind::Comma,
+                TokenKind::Var("B".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("Average".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_refs_and_numbers() {
+        assert_eq!(
+            kinds("attrMatch(DBLP.Author, 0.5)"),
+            vec![
+                TokenKind::Ident("attrMatch".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("DBLP".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("Author".into()),
+                TokenKind::Comma,
+                TokenKind::Number(0.5),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""[domain.id]<>[range.id]" "a\"b""#),
+            vec![
+                TokenKind::Str("[domain.id]<>[range.id]".into()),
+                TokenKind::Str("a\"b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("# full line\n$X = 1; // trailing\n$Y = 2;").len(),
+            8
+        );
+    }
+
+    #[test]
+    fn integer_then_dot() {
+        // `1.` followed by non-digit: number then Dot token.
+        assert_eq!(
+            kinds("bestN(2)"),
+            vec![
+                TokenKind::Ident("bestN".into()),
+                TokenKind::LParen,
+                TokenKind::Number(2.0),
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("$X = @;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 6);
+        let err = lex("\n  \"unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = lex("$ = 1;").unwrap_err();
+        assert!(err.msg.contains("variable name"));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("$A = 1;\n$B = 2;").unwrap();
+        let b = toks.iter().find(|t| t.kind == TokenKind::Var("B".into())).unwrap();
+        assert_eq!(b.line, 2);
+        assert_eq!(b.col, 1);
+    }
+}

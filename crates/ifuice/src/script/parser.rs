@@ -1,0 +1,302 @@
+//! Recursive-descent parser for the iFuice script language.
+
+use std::fmt;
+
+use super::ast::{Expr, Script, Stmt};
+use super::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line (0 if end of input).
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.msg)
+        } else {
+            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a full script.
+pub fn parse(src: &str) -> Result<Script, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+    }
+    Ok(Script { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError { msg: msg.into(), line: t.line, col: t.col },
+            None => ParseError { msg: msg.into(), line: 0, col: 0 },
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                Err(self.error(format!("expected `{kind}`, found `{}`", t.kind)))
+            }
+            None => Err(self.error(format!("expected `{kind}`, found end of input"))),
+        }
+    }
+
+    /// Optional semicolon (the paper's listings omit them).
+    fn opt_semi(&mut self) {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Semi)) {
+            self.pos += 1;
+        }
+    }
+
+    fn is_keyword(t: Option<&Token>, kw: &str) -> bool {
+        matches!(t, Some(Token { kind: TokenKind::Ident(s), .. }) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if Self::is_keyword(self.peek(), "PROCEDURE") {
+            return self.procedure();
+        }
+        if Self::is_keyword(self.peek(), "RETURN") {
+            self.pos += 1;
+            let expr = self.expr()?;
+            self.opt_semi();
+            return Ok(Stmt::Return(expr));
+        }
+        if let Some(Token { kind: TokenKind::Var(name), .. }) = self.peek().cloned() {
+            // Lookahead for `=` to distinguish assignment from bare var.
+            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Eq)) {
+                self.pos += 2;
+                let expr = self.expr()?;
+                self.opt_semi();
+                return Ok(Stmt::Assign { var: name, expr });
+            }
+        }
+        let expr = self.expr()?;
+        self.opt_semi();
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn procedure(&mut self) -> Result<Stmt, ParseError> {
+        self.pos += 1; // PROCEDURE
+        let name = match self.next() {
+            Some(Token { kind: TokenKind::Ident(n), .. }) => n,
+            _ => return Err(self.error("expected procedure name")),
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+            loop {
+                match self.next() {
+                    Some(Token { kind: TokenKind::Var(p), .. }) => params.push(p),
+                    _ => return Err(self.error("expected `$param`")),
+                }
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokenKind::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut body = Vec::new();
+        while !Self::is_keyword(self.peek(), "END") {
+            if self.at_end() {
+                return Err(self.error("unterminated PROCEDURE (missing END)"));
+            }
+            body.push(self.statement()?);
+        }
+        self.pos += 1; // END
+        self.opt_semi();
+        Ok(Stmt::Procedure { name, params, body })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Var(v), .. }) => Ok(Expr::Var(v)),
+            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(Expr::Num(n)),
+            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(Expr::Str(s)),
+            Some(Token { kind: TokenKind::Ident(name), .. }) => {
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokenKind::LParen) => {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                match self.peek().map(|t| &t.kind) {
+                                    Some(TokenKind::Comma) => {
+                                        self.pos += 1;
+                                    }
+                                    _ => break,
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    Some(TokenKind::Dot) => {
+                        self.pos += 1;
+                        match self.next() {
+                            Some(Token { kind: TokenKind::Ident(member), .. }) => {
+                                Ok(Expr::Ref(name, member))
+                            }
+                            _ => Err(self.error("expected identifier after `.`")),
+                        }
+                    }
+                    _ => Ok(Expr::Sym(name)),
+                }
+            }
+            Some(t) => Err(ParseError {
+                msg: format!("unexpected token `{}`", t.kind),
+                line: t.line,
+                col: t.col,
+            }),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_assignment_chain() {
+        let s = parse(
+            r#"
+            $CoAuthSim = nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor);
+            $NameSim = attrMatch(DBLP.Author, DBLP.Author, Trigram, 0.5, "[name]", "[name]");
+            $Merged = merge($CoAuthSim, $NameSim, Average);
+            $Result = select($Merged, "[domain.id]<>[range.id]");
+            RETURN $Result;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.stmts.len(), 5);
+        match &s.stmts[0] {
+            Stmt::Assign { var, expr: Expr::Call { name, args } } => {
+                assert_eq!(var, "CoAuthSim");
+                assert_eq!(name, "nhMatch");
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0], Expr::Ref("DBLP".into(), "CoAuthor".into()));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+        assert!(matches!(&s.stmts[4], Stmt::Return(Expr::Var(v)) if v == "Result"));
+    }
+
+    #[test]
+    fn parses_paper_nhmatch_procedure() {
+        // Paper Section 4.2 listing (semicolons optional).
+        let s = parse(
+            r#"
+            PROCEDURE nhMatch ( $Asso1, $Same, $Asso2)
+               $Temp = compose ( $Asso1 , $Same , Min, Average )
+               $Result = compose ( $Temp , $Asso2 , Min, Relative )
+               RETURN $Result
+            END
+            "#,
+        )
+        .unwrap();
+        match &s.stmts[0] {
+            Stmt::Procedure { name, params, body } => {
+                assert_eq!(name, "nhMatch");
+                assert_eq!(params, &["Asso1".to_owned(), "Same".into(), "Asso2".into()]);
+                assert_eq!(body.len(), 3);
+                assert!(matches!(&body[2], Stmt::Return(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_calls() {
+        let s = parse("$X = select(merge($A, $B, Max), threshold(0.8));").unwrap();
+        match &s.stmts[0] {
+            Stmt::Assign { expr: Expr::Call { name, args }, .. } => {
+                assert_eq!(name, "select");
+                assert!(matches!(&args[0], Expr::Call { name, .. } if name == "merge"));
+                assert!(matches!(&args[1], Expr::Call { name, .. } if name == "threshold"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_args() {
+        let s = parse("$X = identity();").unwrap();
+        match &s.stmts[0] {
+            Stmt::Assign { expr: Expr::Call { args, .. }, .. } => assert!(args.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_expression_statement() {
+        let s = parse("store($M, \"name\");").unwrap();
+        assert!(matches!(&s.stmts[0], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let err = parse("$X = ;").unwrap_err();
+        assert!(err.to_string().contains("unexpected token"));
+        let err = parse("PROCEDURE p($a) $x = 1;").unwrap_err();
+        assert!(err.msg.contains("unterminated PROCEDURE"));
+        let err = parse("$X = foo(1,").unwrap_err();
+        assert!(err.line == 0 || err.msg.contains("unexpected"));
+        let err = parse("$X = DBLP.;").unwrap_err();
+        assert!(err.msg.contains("after `.`"));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = parse("return 1;").unwrap();
+        assert!(matches!(&s.stmts[0], Stmt::Return(Expr::Num(n)) if *n == 1.0));
+    }
+}

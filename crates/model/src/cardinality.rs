@@ -1,0 +1,99 @@
+//! Semantic cardinalities of association mapping types.
+//!
+//! The usefulness of the neighborhood matcher depends on the cardinality
+//! of the utilized association mapping (paper Section 4.2, Figure 10):
+//! 1:n (venue→publication) gives near-perfect matches, n:1 and n:m still
+//! confine the candidate space.
+
+use std::fmt;
+
+/// Cardinality of a semantic mapping type between two LDS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Each domain object relates to at most one range object and vice
+    /// versa — the conceptual cardinality of a clean same-mapping.
+    OneToOne,
+    /// One domain object relates to many range objects (e.g. venue →
+    /// publications).
+    OneToMany,
+    /// Many domain objects relate to one range object (e.g. publication →
+    /// venue).
+    ManyToOne,
+    /// Many-to-many (e.g. author ↔ publication).
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// The cardinality of the inverse mapping type.
+    pub fn inverse(self) -> Self {
+        match self {
+            Cardinality::OneToOne => Cardinality::OneToOne,
+            Cardinality::OneToMany => Cardinality::ManyToOne,
+            Cardinality::ManyToOne => Cardinality::OneToMany,
+            Cardinality::ManyToMany => Cardinality::ManyToMany,
+        }
+    }
+
+    /// Whether a single domain object may map to multiple range objects.
+    pub fn domain_fans_out(self) -> bool {
+        matches!(self, Cardinality::OneToMany | Cardinality::ManyToMany)
+    }
+
+    /// Whether a single range object may be reached from multiple domain
+    /// objects.
+    pub fn range_fans_in(self) -> bool {
+        matches!(self, Cardinality::ManyToOne | Cardinality::ManyToMany)
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cardinality::OneToOne => "1:1",
+            Cardinality::OneToMany => "1:n",
+            Cardinality::ManyToOne => "n:1",
+            Cardinality::ManyToMany => "n:m",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_involution() {
+        for c in [
+            Cardinality::OneToOne,
+            Cardinality::OneToMany,
+            Cardinality::ManyToOne,
+            Cardinality::ManyToMany,
+        ] {
+            assert_eq!(c.inverse().inverse(), c);
+        }
+    }
+
+    #[test]
+    fn inverse_swaps_sides() {
+        assert_eq!(Cardinality::OneToMany.inverse(), Cardinality::ManyToOne);
+        assert_eq!(Cardinality::ManyToOne.inverse(), Cardinality::OneToMany);
+        assert_eq!(Cardinality::ManyToMany.inverse(), Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn fan_predicates() {
+        assert!(Cardinality::OneToMany.domain_fans_out());
+        assert!(!Cardinality::OneToMany.range_fans_in());
+        assert!(Cardinality::ManyToOne.range_fans_in());
+        assert!(Cardinality::ManyToMany.domain_fans_out());
+        assert!(Cardinality::ManyToMany.range_fans_in());
+        assert!(!Cardinality::OneToOne.domain_fans_out());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cardinality::OneToMany.to_string(), "1:n");
+        assert_eq!(Cardinality::ManyToMany.to_string(), "n:m");
+    }
+}

@@ -1,0 +1,89 @@
+//! Object instances.
+
+use crate::attr::AttrValue;
+
+/// An object instance inside a logical data source.
+///
+/// Per paper Definition 1 context: "Each object instance is identified by
+/// an id value and may have additional attribute values." Values are
+/// aligned positionally with the owning LDS schema; `None` marks a missing
+/// (optional) attribute — common for web sources such as Google Scholar
+/// where e.g. the publication year is frequently absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectInstance {
+    /// Source-assigned identifier, e.g. `conf/VLDB/ChirkovaHS01` (DBLP) or
+    /// `P-672216` (ACM).
+    pub id: String,
+    /// Attribute values aligned to the LDS schema slots.
+    pub values: Vec<Option<AttrValue>>,
+}
+
+impl ObjectInstance {
+    /// Create an instance with all attributes missing.
+    pub fn new(id: impl Into<String>, arity: usize) -> Self {
+        Self { id: id.into(), values: vec![None; arity] }
+    }
+
+    /// Create an instance from a full value row.
+    pub fn with_values(id: impl Into<String>, values: Vec<Option<AttrValue>>) -> Self {
+        Self { id: id.into(), values }
+    }
+
+    /// Value at schema slot `slot`, if present.
+    pub fn value(&self, slot: usize) -> Option<&AttrValue> {
+        self.values.get(slot).and_then(|v| v.as_ref())
+    }
+
+    /// Set the value at schema slot `slot` (grows the row if needed).
+    pub fn set(&mut self, slot: usize, value: AttrValue) {
+        if slot >= self.values.len() {
+            self.values.resize(slot + 1, None);
+        }
+        self.values[slot] = Some(value);
+    }
+
+    /// Number of attributes that are present (non-missing).
+    pub fn present_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_missing() {
+        let i = ObjectInstance::new("x", 3);
+        assert_eq!(i.values.len(), 3);
+        assert_eq!(i.present_count(), 0);
+        assert!(i.value(0).is_none());
+        assert!(i.value(9).is_none());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut i = ObjectInstance::new("x", 2);
+        i.set(1, AttrValue::Year(2001));
+        assert_eq!(i.value(1), Some(&AttrValue::Year(2001)));
+        assert_eq!(i.present_count(), 1);
+    }
+
+    #[test]
+    fn set_grows_row() {
+        let mut i = ObjectInstance::new("x", 1);
+        i.set(4, AttrValue::Int(9));
+        assert_eq!(i.values.len(), 5);
+        assert_eq!(i.value(4), Some(&AttrValue::Int(9)));
+    }
+
+    #[test]
+    fn with_values() {
+        let i = ObjectInstance::with_values(
+            "p1",
+            vec![Some(AttrValue::Text("Title".into())), None],
+        );
+        assert_eq!(i.id, "p1");
+        assert_eq!(i.present_count(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Logical data sources (LDS).
+
+use std::collections::HashMap;
+
+use crate::attr::{AttrDef, AttrValue};
+use crate::error::{ModelError, Result};
+use crate::instance::ObjectInstance;
+use crate::smm::ObjectType;
+
+/// Dense handle for a logical data source inside a [`crate::SourceRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LdsId(pub u32);
+
+impl LdsId {
+    /// Index form for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A logical data source: all instances of one object type at one
+/// physical source, e.g. `Publication@DBLP`.
+///
+/// Instances live in a dense arena; the local index (`u32`) of an instance
+/// is what mapping tables store, making correspondences cheap 12-byte rows
+/// (cf. `moma-table`). String ids resolve through a hash index.
+#[derive(Debug, Clone)]
+pub struct LogicalSource {
+    /// Name of the owning physical data source, e.g. `DBLP`.
+    pub pds: String,
+    /// Semantic object type, e.g. `Publication`.
+    pub object_type: ObjectType,
+    /// Attribute schema; instances align values to these slots.
+    pub schema: Vec<AttrDef>,
+    instances: Vec<ObjectInstance>,
+    id_index: HashMap<String, u32>,
+}
+
+impl LogicalSource {
+    /// Create an empty LDS.
+    pub fn new(pds: impl Into<String>, object_type: ObjectType, schema: Vec<AttrDef>) -> Self {
+        Self {
+            pds: pds.into(),
+            object_type,
+            schema,
+            instances: Vec::new(),
+            id_index: HashMap::new(),
+        }
+    }
+
+    /// Canonical display name `Type@PDS`, as used in the paper (Figure 1).
+    pub fn name(&self) -> String {
+        format!("{}@{}", self.object_type.as_str(), self.pds)
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the LDS holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Schema slot index of attribute `name`.
+    pub fn attr_slot(&self, name: &str) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| ModelError::UnknownAttribute { lds: self.name(), attr: name.into() })
+    }
+
+    /// Insert a new instance; returns its local index.
+    ///
+    /// Fails with [`ModelError::DuplicateId`] if the id already exists.
+    pub fn insert(&mut self, instance: ObjectInstance) -> Result<u32> {
+        if self.id_index.contains_key(&instance.id) {
+            return Err(ModelError::DuplicateId { lds: self.name(), id: instance.id });
+        }
+        let idx = self.instances.len() as u32;
+        self.id_index.insert(instance.id.clone(), idx);
+        self.instances.push(instance);
+        Ok(idx)
+    }
+
+    /// Build an instance from `(id, values)` pairs keyed by attribute name
+    /// and insert it.
+    pub fn insert_record(
+        &mut self,
+        id: impl Into<String>,
+        fields: Vec<(&str, AttrValue)>,
+    ) -> Result<u32> {
+        let mut inst = ObjectInstance::new(id, self.schema.len());
+        for (name, value) in fields {
+            let slot = self.attr_slot(name)?;
+            let expected = self.schema[slot].kind;
+            if value.kind() != expected {
+                return Err(ModelError::KindMismatch {
+                    attr: name.into(),
+                    expected: expected.to_string(),
+                    got: value.kind().to_string(),
+                });
+            }
+            inst.set(slot, value);
+        }
+        self.insert(inst)
+    }
+
+    /// Instance by local index.
+    pub fn get(&self, index: u32) -> Option<&ObjectInstance> {
+        self.instances.get(index as usize)
+    }
+
+    /// Mutable instance by local index.
+    pub fn get_mut(&mut self, index: u32) -> Option<&mut ObjectInstance> {
+        self.instances.get_mut(index as usize)
+    }
+
+    /// Local index of the instance with source id `id`.
+    pub fn index_of(&self, id: &str) -> Option<u32> {
+        self.id_index.get(id).copied()
+    }
+
+    /// Instance by source id.
+    pub fn by_id(&self, id: &str) -> Option<&ObjectInstance> {
+        self.index_of(id).and_then(|i| self.get(i))
+    }
+
+    /// Iterate `(local_index, instance)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ObjectInstance)> {
+        self.instances.iter().enumerate().map(|(i, inst)| (i as u32, inst))
+    }
+
+    /// Project one attribute across all instances: `(index, value)` for
+    /// every instance where the attribute is present.
+    pub fn project(&self, attr: &str) -> Result<Vec<(u32, &AttrValue)>> {
+        let slot = self.attr_slot(attr)?;
+        Ok(self
+            .iter()
+            .filter_map(|(i, inst)| inst.value(slot).map(|v| (i, v)))
+            .collect())
+    }
+
+    /// Attribute value of one instance by attribute name.
+    pub fn attr_of(&self, index: u32, attr: &str) -> Result<Option<&AttrValue>> {
+        let slot = self.attr_slot(attr)?;
+        Ok(self.get(index).and_then(|inst| inst.value(slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrDef;
+
+    fn pub_lds() -> LogicalSource {
+        LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        )
+    }
+
+    #[test]
+    fn name_formats_type_at_pds() {
+        assert_eq!(pub_lds().name(), "Publication@DBLP");
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut lds = pub_lds();
+        let idx = lds
+            .insert_record("conf/VLDB/X01", vec![("title", "Cupid".into()), ("year", 2001u16.into())])
+            .unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(lds.len(), 1);
+        assert_eq!(lds.index_of("conf/VLDB/X01"), Some(0));
+        let inst = lds.by_id("conf/VLDB/X01").unwrap();
+        assert_eq!(inst.value(0).unwrap().as_text(), Some("Cupid"));
+        assert_eq!(lds.attr_of(0, "year").unwrap().unwrap().as_year(), Some(2001));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut lds = pub_lds();
+        lds.insert_record("a", vec![]).unwrap();
+        let err = lds.insert_record("a", vec![]).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateId { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let mut lds = pub_lds();
+        let err = lds.insert_record("a", vec![("venue", "VLDB".into())]).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut lds = pub_lds();
+        let err = lds.insert_record("a", vec![("year", "2001".into())]).unwrap_err();
+        assert!(matches!(err, ModelError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn project_skips_missing() {
+        let mut lds = pub_lds();
+        lds.insert_record("a", vec![("title", "T1".into())]).unwrap();
+        lds.insert_record("b", vec![("year", 2002u16.into())]).unwrap();
+        lds.insert_record("c", vec![("title", "T3".into())]).unwrap();
+        let titles = lds.project("title").unwrap();
+        assert_eq!(titles.len(), 2);
+        assert_eq!(titles[0].0, 0);
+        assert_eq!(titles[1].0, 2);
+    }
+
+    #[test]
+    fn iter_yields_dense_indexes() {
+        let mut lds = pub_lds();
+        for id in ["a", "b", "c"] {
+            lds.insert_record(id, vec![]).unwrap();
+        }
+        let idxs: Vec<u32> = lds.iter().map(|(i, _)| i).collect();
+        assert_eq!(idxs, vec![0, 1, 2]);
+    }
+}

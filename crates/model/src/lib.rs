@@ -1,0 +1,33 @@
+//! # moma-model — object & source data model for MOMA
+//!
+//! This crate implements the data model underlying the MOMA object-matching
+//! framework (Thor & Rahm, CIDR 2007, Section 2.1):
+//!
+//! * **Physical data sources** (PDS) — e.g. `DBLP`, `ACM`, `GoogleScholar`.
+//! * **Logical data sources** (LDS) — a set of object instances of one
+//!   semantic object type hosted by one PDS, e.g. `Publication@DBLP`.
+//! * **Object instances** — identified by an id value, carrying optional
+//!   attribute values described by a per-LDS schema.
+//! * **Source-mapping model** (SMM) — the registry of sources and semantic
+//!   mapping types (with cardinalities) between them, cf. paper Figure 2.
+//!
+//! The model is deliberately schema-light: web objects may have only a few,
+//! partially missing attributes. Attribute values are dynamically typed
+//! ([`AttrValue`]) and stored columnar-aligned to the LDS schema so that
+//! matchers can project an attribute across all instances cheaply.
+
+pub mod attr;
+pub mod cardinality;
+pub mod error;
+pub mod instance;
+pub mod lds;
+pub mod registry;
+pub mod smm;
+
+pub use attr::{AttrDef, AttrKind, AttrValue};
+pub use cardinality::Cardinality;
+pub use error::{ModelError, Result};
+pub use instance::ObjectInstance;
+pub use lds::{LdsId, LogicalSource};
+pub use registry::SourceRegistry;
+pub use smm::{AssocTypeDef, ObjectType, PhysicalSource, SourceMappingModel};

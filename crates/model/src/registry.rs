@@ -1,0 +1,162 @@
+//! Registry owning all logical data sources of an integration scenario.
+
+use std::collections::HashMap;
+
+use crate::error::{ModelError, Result};
+use crate::lds::{LdsId, LogicalSource};
+use crate::smm::SourceMappingModel;
+
+/// Owns the LDS arenas and the source-mapping model.
+///
+/// The registry is the single place instance data lives; mappings (in
+/// `moma-core`) reference instances as `(LdsId, local index)` pairs.
+#[derive(Debug, Default)]
+pub struct SourceRegistry {
+    sources: Vec<LogicalSource>,
+    by_name: HashMap<String, LdsId>,
+    /// Metadata model (physical sources + mapping types).
+    pub smm: SourceMappingModel,
+}
+
+impl SourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an LDS; its display name (`Type@PDS`) must be unique.
+    pub fn register(&mut self, lds: LogicalSource) -> Result<LdsId> {
+        let name = lds.name();
+        if self.by_name.contains_key(&name) {
+            return Err(ModelError::DuplicateId { lds: name.clone(), id: name });
+        }
+        let id = LdsId(self.sources.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.smm.add_logical(id, name);
+        self.sources.push(lds);
+        Ok(id)
+    }
+
+    /// LDS by handle.
+    pub fn lds(&self, id: LdsId) -> &LogicalSource {
+        &self.sources[id.index()]
+    }
+
+    /// Mutable LDS by handle.
+    pub fn lds_mut(&mut self, id: LdsId) -> &mut LogicalSource {
+        &mut self.sources[id.index()]
+    }
+
+    /// Resolve a display name (`Publication@DBLP`) to a handle.
+    pub fn resolve(&self, name: &str) -> Result<LdsId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownSource(name.into()))
+    }
+
+    /// Number of registered LDS.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Iterate all `(id, lds)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LdsId, &LogicalSource)> {
+        self.sources.iter().enumerate().map(|(i, s)| (LdsId(i as u32), s))
+    }
+
+    /// Assert that two LDS share an object type (required for
+    /// same-mappings), returning their handles.
+    pub fn require_same_type(&self, left: &str, right: &str) -> Result<(LdsId, LdsId)> {
+        let l = self.resolve(left)?;
+        let r = self.resolve(right)?;
+        if self.lds(l).object_type != self.lds(r).object_type {
+            return Err(ModelError::TypeMismatch { left: left.into(), right: right.into() });
+        }
+        Ok((l, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrDef;
+    use crate::smm::ObjectType;
+
+    fn registry() -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        reg.register(LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        ))
+        .unwrap();
+        reg.register(LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        ))
+        .unwrap();
+        reg.register(LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Author"),
+            vec![AttrDef::text("name")],
+        ))
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let reg = registry();
+        assert_eq!(reg.len(), 3);
+        let id = reg.resolve("Publication@ACM").unwrap();
+        assert_eq!(reg.lds(id).pds, "ACM");
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut reg = registry();
+        let err = reg
+            .register(LogicalSource::new(
+                "DBLP",
+                ObjectType::new("Publication"),
+                vec![],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateId { .. }));
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let reg = registry();
+        assert!(matches!(reg.resolve("Venue@DBLP"), Err(ModelError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn same_type_check() {
+        let reg = registry();
+        assert!(reg.require_same_type("Publication@DBLP", "Publication@ACM").is_ok());
+        let err = reg.require_same_type("Publication@DBLP", "Author@DBLP").unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn smm_tracks_logical_sources() {
+        let reg = registry();
+        assert_eq!(reg.smm.logical_sources().len(), 3);
+    }
+
+    #[test]
+    fn iter_order_matches_ids() {
+        let reg = registry();
+        for (id, lds) in reg.iter() {
+            assert_eq!(reg.lds(id).name(), lds.name());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Jaro and Jaro–Winkler similarity — strong for short person names.
+
+/// Jaro similarity between two strings.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = vec![false; a.len()];
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                a_matched[i] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions between the matched subsequences.
+    let matched_b: Vec<char> =
+        b_used.iter().zip(b.iter()).filter(|(u, _)| **u).map(|(_, c)| *c).collect();
+    let matched_a: Vec<char> =
+        a_matched.iter().zip(a.iter()).filter(|(u, _)| **u).map(|(_, c)| *c).collect();
+    let t = matched_a.iter().zip(matched_b.iter()).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// maximum considered prefix of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        let j = jaro("MARTHA", "MARHTA");
+        let jw = jaro_winkler("MARTHA", "MARHTA");
+        assert!(jw > j);
+        assert!(close(jw, 0.961));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn single_chars() {
+        assert_eq!(jaro("a", "a"), 1.0);
+        assert_eq!(jaro("a", "b"), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn range_and_symmetry(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let s1 = jaro(&a, &b);
+            let s2 = jaro(&b, &a);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&s1));
+            let w = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert!(w + 1e-12 >= s1);
+        }
+
+        #[test]
+        fn identity(a in "[a-z]{1,10}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Character n-gram similarities — including the paper's trigram metric.
+//!
+//! The evaluation (Section 5) computes publication/author similarity "by
+//! the trigram metric": Dice's coefficient over padded character trigram
+//! multisets.
+
+use crate::tokenize::{profile_intersection, profile_size, qgram_profile};
+
+/// Dice coefficient over q-gram multisets: `2·|A∩B| / (|A|+|B|)`.
+pub fn qgram_dice(a: &str, b: &str, q: usize) -> f64 {
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    let (na, nb) = (profile_size(&pa), profile_size(&pb));
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    2.0 * profile_intersection(&pa, &pb) as f64 / (na + nb) as f64
+}
+
+/// Jaccard coefficient over q-gram multisets: `|A∩B| / |A∪B|`.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    let (na, nb) = (profile_size(&pa), profile_size(&pb));
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    let inter = profile_intersection(&pa, &pb);
+    let union = na + nb - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient over q-gram multisets: `|A∩B| / min(|A|,|B|)`.
+pub fn qgram_overlap(a: &str, b: &str, q: usize) -> f64 {
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    let (na, nb) = (profile_size(&pa), profile_size(&pb));
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    profile_intersection(&pa, &pb) as f64 / na.min(nb) as f64
+}
+
+/// The paper's trigram metric: Dice over padded character trigrams.
+pub fn trigram(a: &str, b: &str) -> f64 {
+    qgram_dice(a, b, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(trigram("schema matching", "schema matching"), 1.0);
+        assert_eq!(qgram_jaccard("abc", "abc", 3), 1.0);
+        assert_eq!(qgram_overlap("abc", "abc", 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings() {
+        assert_eq!(trigram("aaaa", "zzzz"), 0.0);
+        assert_eq!(qgram_jaccard("aaaa", "zzzz", 3), 0.0);
+    }
+
+    #[test]
+    fn both_empty_equal() {
+        assert_eq!(trigram("", ""), 1.0);
+        assert_eq!(trigram("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn case_and_punct_insensitive() {
+        // Normalization is inherited from the tokenizer.
+        assert_eq!(trigram("Cupid!", "cupid"), 1.0);
+    }
+
+    #[test]
+    fn near_match_scores_high() {
+        let s = trigram(
+            "A formal perspective on the view selection problem",
+            "A formal perspective on the view selection problem.",
+        );
+        assert_eq!(s, 1.0);
+        let s2 = trigram(
+            "Generic Schema Matching with Cupid",
+            "Generic Schema Matchng with Cupid", // typo
+        );
+        assert!(s2 > 0.85 && s2 < 1.0);
+    }
+
+    #[test]
+    fn unrelated_titles_score_low() {
+        let s = trigram("Potter's Wheel", "Reference Reconciliation");
+        assert!(s < 0.3);
+    }
+
+    #[test]
+    fn dice_vs_jaccard_ordering() {
+        // Dice >= Jaccard always (2x/(a+b) vs x/(a+b-x)).
+        for (a, b) in [("hello", "hallo"), ("data", "date"), ("vldb", "vldb journal")] {
+            assert!(qgram_dice(a, b, 3) >= qgram_jaccard(a, b, 3));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn trigram_range_symmetry_identity(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+            let s = trigram(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - trigram(&b, &a)).abs() < 1e-12);
+            prop_assert_eq!(trigram(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn jaccard_le_dice_le_overlap(a in "[a-z]{1,15}", b in "[a-z]{1,15}") {
+            let j = qgram_jaccard(&a, &b, 2);
+            let d = qgram_dice(&a, &b, 2);
+            let o = qgram_overlap(&a, &b, 2);
+            prop_assert!(j <= d + 1e-12);
+            prop_assert!(d <= o + 1e-12);
+        }
+    }
+}

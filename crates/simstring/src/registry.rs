@@ -1,0 +1,286 @@
+//! Name-indexed registry of similarity measures.
+//!
+//! Match workflows, the iFuice script language (`attrMatch(..., Trigram,
+//! 0.5, ...)`) and the self-tuner all select measures dynamically; the
+//! [`SimFn`] enum is the closed set of built-ins and [`Similarity`] the
+//! open extension point.
+
+use crate::affix::{affix_containment_sim, affix_sim};
+use crate::edit::{damerau_sim, levenshtein_sim};
+use crate::jaro::{jaro, jaro_winkler};
+use crate::ngram::{qgram_dice, qgram_jaccard, trigram};
+use crate::normalize::normalize;
+use crate::numeric::{parse_year, year_window};
+use crate::phonetic::{person_name_sim, soundex_sim};
+use crate::tfidf::TfIdfCorpus;
+use crate::token::{monge_elkan_sym, token_cosine, token_dice, token_jaccard};
+
+/// A similarity measure over two strings, yielding a value in `[0, 1]`.
+pub trait Similarity: Send + Sync {
+    /// Compute the similarity of `a` and `b`.
+    fn sim(&self, a: &str, b: &str) -> f64;
+
+    /// Human-readable name.
+    fn name(&self) -> &str;
+}
+
+/// Built-in similarity functions, selectable by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimFn {
+    /// Exact equality on normalized text.
+    Exact,
+    /// Trigram Dice — the paper's default metric.
+    Trigram,
+    /// Character q-gram Dice with chosen q.
+    QgramDice(usize),
+    /// Character q-gram Jaccard with chosen q.
+    QgramJaccard(usize),
+    /// Normalized Levenshtein.
+    Levenshtein,
+    /// Normalized Damerau–Levenshtein.
+    Damerau,
+    /// Jaro.
+    Jaro,
+    /// Jaro–Winkler.
+    JaroWinkler,
+    /// Word-token Jaccard.
+    TokenJaccard,
+    /// Word-token Dice.
+    TokenDice,
+    /// Word-token cosine (unweighted).
+    TokenCosine,
+    /// Symmetric Monge–Elkan with Jaro–Winkler base.
+    MongeElkan,
+    /// Affix (best of prefix/suffix ratio).
+    Affix,
+    /// Containment-aware affix.
+    AffixContainment,
+    /// Soundex equality of surnames.
+    Soundex,
+    /// Initials-aware person-name measure.
+    PersonName,
+    /// Year proximity parsed from text, with window in years.
+    Year(u16),
+}
+
+impl SimFn {
+    /// Evaluate the measure on two raw strings.
+    pub fn eval(&self, a: &str, b: &str) -> f64 {
+        match self {
+            SimFn::Exact => {
+                if normalize(a) == normalize(b) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SimFn::Trigram => trigram(a, b),
+            SimFn::QgramDice(q) => qgram_dice(a, b, *q),
+            SimFn::QgramJaccard(q) => qgram_jaccard(a, b, *q),
+            SimFn::Levenshtein => levenshtein_sim(&normalize(a), &normalize(b)),
+            SimFn::Damerau => damerau_sim(&normalize(a), &normalize(b)),
+            SimFn::Jaro => jaro(&normalize(a), &normalize(b)),
+            SimFn::JaroWinkler => jaro_winkler(&normalize(a), &normalize(b)),
+            SimFn::TokenJaccard => token_jaccard(a, b),
+            SimFn::TokenDice => token_dice(a, b),
+            SimFn::TokenCosine => token_cosine(a, b),
+            SimFn::MongeElkan => monge_elkan_sym(a, b),
+            SimFn::Affix => affix_sim(a, b),
+            SimFn::AffixContainment => affix_containment_sim(a, b),
+            SimFn::Soundex => soundex_sim(a, b),
+            SimFn::PersonName => person_name_sim(a, b),
+            SimFn::Year(window) => match (parse_year(a), parse_year(b)) {
+                (Some(x), Some(y)) => year_window(x, y, *window),
+                _ => 0.0,
+            },
+        }
+    }
+
+    /// Parse a measure name as used in scripts (case-insensitive);
+    /// parameterized forms use `name:param` (e.g. `qgram:2`, `year:1`).
+    pub fn parse(name: &str) -> Option<SimFn> {
+        let lower = name.to_ascii_lowercase();
+        let (base, param) = match lower.split_once(':') {
+            Some((b, p)) => (b, Some(p)),
+            None => (lower.as_str(), None),
+        };
+        Some(match base {
+            "exact" => SimFn::Exact,
+            "trigram" | "ngram" => SimFn::Trigram,
+            "qgram" | "qgramdice" => SimFn::QgramDice(param?.parse().ok()?),
+            "qgramjaccard" => SimFn::QgramJaccard(param?.parse().ok()?),
+            "levenshtein" | "editdistance" => SimFn::Levenshtein,
+            "damerau" => SimFn::Damerau,
+            "jaro" => SimFn::Jaro,
+            "jarowinkler" => SimFn::JaroWinkler,
+            "tokenjaccard" | "jaccard" => SimFn::TokenJaccard,
+            "tokendice" | "dice" => SimFn::TokenDice,
+            "tokencosine" | "cosine" => SimFn::TokenCosine,
+            "mongeelkan" => SimFn::MongeElkan,
+            "affix" => SimFn::Affix,
+            "affixcontainment" => SimFn::AffixContainment,
+            "soundex" => SimFn::Soundex,
+            "personname" | "name" => SimFn::PersonName,
+            "year" => SimFn::Year(param.map(|p| p.parse().unwrap_or(0)).unwrap_or(0)),
+            _ => return None,
+        })
+    }
+
+    /// Canonical name of the measure.
+    pub fn name(&self) -> String {
+        match self {
+            SimFn::Exact => "exact".into(),
+            SimFn::Trigram => "trigram".into(),
+            SimFn::QgramDice(q) => format!("qgram:{q}"),
+            SimFn::QgramJaccard(q) => format!("qgramjaccard:{q}"),
+            SimFn::Levenshtein => "levenshtein".into(),
+            SimFn::Damerau => "damerau".into(),
+            SimFn::Jaro => "jaro".into(),
+            SimFn::JaroWinkler => "jarowinkler".into(),
+            SimFn::TokenJaccard => "tokenjaccard".into(),
+            SimFn::TokenDice => "tokendice".into(),
+            SimFn::TokenCosine => "tokencosine".into(),
+            SimFn::MongeElkan => "mongeelkan".into(),
+            SimFn::Affix => "affix".into(),
+            SimFn::AffixContainment => "affixcontainment".into(),
+            SimFn::Soundex => "soundex".into(),
+            SimFn::PersonName => "personname".into(),
+            SimFn::Year(w) => format!("year:{w}"),
+        }
+    }
+
+    /// All parameter-free built-ins (used by the self-tuner's search
+    /// space).
+    pub fn all_basic() -> Vec<SimFn> {
+        vec![
+            SimFn::Exact,
+            SimFn::Trigram,
+            SimFn::Levenshtein,
+            SimFn::Damerau,
+            SimFn::Jaro,
+            SimFn::JaroWinkler,
+            SimFn::TokenJaccard,
+            SimFn::TokenDice,
+            SimFn::TokenCosine,
+            SimFn::MongeElkan,
+            SimFn::Affix,
+            SimFn::AffixContainment,
+            SimFn::PersonName,
+        ]
+    }
+}
+
+impl Similarity for SimFn {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        self.eval(a, b)
+    }
+
+    fn name(&self) -> &str {
+        // SimFn::name allocates for parameterized variants; for the trait
+        // we return the base name.
+        match self {
+            SimFn::QgramDice(_) | SimFn::QgramJaccard(_) => "qgram",
+            SimFn::Year(_) => "year",
+            SimFn::Exact => "exact",
+            SimFn::Trigram => "trigram",
+            SimFn::Levenshtein => "levenshtein",
+            SimFn::Damerau => "damerau",
+            SimFn::Jaro => "jaro",
+            SimFn::JaroWinkler => "jarowinkler",
+            SimFn::TokenJaccard => "tokenjaccard",
+            SimFn::TokenDice => "tokendice",
+            SimFn::TokenCosine => "tokencosine",
+            SimFn::MongeElkan => "mongeelkan",
+            SimFn::Affix => "affix",
+            SimFn::AffixContainment => "affixcontainment",
+            SimFn::Soundex => "soundex",
+            SimFn::PersonName => "personname",
+        }
+    }
+}
+
+/// A TF-IDF measure bound to a prepared corpus (TF-IDF needs corpus
+/// statistics, so it cannot be a bare [`SimFn`] variant).
+pub struct TfIdfSim {
+    corpus: TfIdfCorpus,
+}
+
+impl TfIdfSim {
+    /// Wrap a prepared corpus.
+    pub fn new(corpus: TfIdfCorpus) -> Self {
+        Self { corpus }
+    }
+
+    /// Access the corpus.
+    pub fn corpus(&self) -> &TfIdfCorpus {
+        &self.corpus
+    }
+}
+
+impl Similarity for TfIdfSim {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        self.corpus.cosine(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "tfidf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for f in SimFn::all_basic() {
+            let parsed = SimFn::parse(&f.name()).unwrap();
+            assert_eq!(parsed, f, "roundtrip of {}", f.name());
+        }
+        assert_eq!(SimFn::parse("qgram:2"), Some(SimFn::QgramDice(2)));
+        assert_eq!(SimFn::parse("year:1"), Some(SimFn::Year(1)));
+        assert_eq!(SimFn::parse("TRIGRAM"), Some(SimFn::Trigram));
+        assert_eq!(SimFn::parse("nope"), None);
+        assert_eq!(SimFn::parse("qgram"), None); // missing parameter
+    }
+
+    #[test]
+    fn exact_ignores_case_and_punct() {
+        assert_eq!(SimFn::Exact.eval("VLDB 2002!", "vldb-2002"), 1.0);
+        assert_eq!(SimFn::Exact.eval("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn year_variant() {
+        assert_eq!(SimFn::Year(0).eval("2001", "2001"), 1.0);
+        assert_eq!(SimFn::Year(1).eval("VLDB 2001", "Proc 2002"), 0.5);
+        assert_eq!(SimFn::Year(0).eval("no year", "2001"), 0.0);
+    }
+
+    #[test]
+    fn all_measures_satisfy_identity() {
+        let text = "Generic Schema Matching with Cupid";
+        for f in SimFn::all_basic() {
+            let s = f.eval(text, text);
+            assert!((s - 1.0).abs() < 1e-9, "{} identity gave {s}", f.name());
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let measures: Vec<Box<dyn Similarity>> = vec![
+            Box::new(SimFn::Trigram),
+            Box::new(TfIdfSim::new(TfIdfCorpus::build(["a b c", "b c d"]))),
+        ];
+        for m in &measures {
+            let s = m.sim("b c", "b c");
+            assert!(s > 0.99, "{} gave {s}", m.name());
+        }
+    }
+
+    #[test]
+    fn trait_name_matches() {
+        assert_eq!(Similarity::name(&SimFn::Trigram), "trigram");
+        assert_eq!(Similarity::name(&SimFn::QgramDice(2)), "qgram");
+    }
+}

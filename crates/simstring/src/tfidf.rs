@@ -1,0 +1,186 @@
+//! TF-IDF weighted cosine similarity.
+//!
+//! One of the three similarity functions the paper names for the generic
+//! attribute matcher (Section 2.2). Weights are learned from a corpus —
+//! typically the union of both attribute columns being matched — so that
+//! frequent tokens ("the", "conference", "data") contribute little and
+//! rare tokens dominate.
+
+use moma_table::FxHashMap;
+
+use crate::tokenize::words;
+
+/// A token-frequency corpus providing IDF weights.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfCorpus {
+    doc_freq: FxHashMap<String, u32>,
+    docs: u32,
+}
+
+impl TfIdfCorpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a corpus from an iterator of documents.
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut c = Self::new();
+        for d in docs {
+            c.add_document(d);
+        }
+        c
+    }
+
+    /// Add one document's tokens to the document-frequency table.
+    pub fn add_document(&mut self, doc: &str) {
+        self.docs += 1;
+        let mut seen: Vec<String> = words(doc);
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> u32 {
+        self.docs
+    }
+
+    /// Smoothed inverse document frequency of a token:
+    /// `ln(1 + N / (1 + df))`.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        (1.0 + self.docs as f64 / (1.0 + df as f64)).ln()
+    }
+
+    /// TF-IDF vector of a string (term frequency × idf), L2-normalized.
+    pub fn vector(&self, s: &str) -> FxHashMap<String, f64> {
+        let toks = words(s);
+        let mut tf: FxHashMap<String, f64> = FxHashMap::default();
+        for t in toks {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        let mut norm = 0.0;
+        for (t, v) in tf.iter_mut() {
+            *v *= self.idf(t);
+            norm += *v * *v;
+        }
+        let norm = norm.sqrt();
+        if norm > 0.0 {
+            for v in tf.values_mut() {
+                *v /= norm;
+            }
+        }
+        tf
+    }
+
+    /// TF-IDF cosine similarity between two strings.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        if va.is_empty() {
+            return if words(b).is_empty() { 1.0 } else { 0.0 };
+        }
+        let vb = self.vector(b);
+        if vb.is_empty() {
+            return 0.0;
+        }
+        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+        let mut dot = 0.0;
+        for (t, w) in small {
+            if let Some(w2) = large.get(t) {
+                dot += w * w2;
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> TfIdfCorpus {
+        TfIdfCorpus::build([
+            "a formal perspective on the view selection problem",
+            "generic schema matching with cupid",
+            "the merge purge problem for large databases",
+            "robust and efficient fuzzy match for online data cleaning",
+            "data cleaning problems and current approaches",
+        ])
+    }
+
+    #[test]
+    fn identical_docs_cosine_one() {
+        let c = corpus();
+        let s = c.cosine("generic schema matching with cupid", "generic schema matching with cupid");
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_docs_cosine_zero() {
+        let c = corpus();
+        assert_eq!(c.cosine("cupid", "fuzzy"), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_dominate() {
+        let c = corpus();
+        // "cupid" is rare, "the" is frequent: sharing the rare term scores
+        // higher than sharing the frequent one.
+        let rare = c.cosine("cupid system", "cupid engine");
+        let common = c.cosine("the system", "the engine");
+        assert!(rare > common, "rare {rare} <= common {common}");
+    }
+
+    #[test]
+    fn idf_monotone_in_rarity() {
+        let c = corpus();
+        assert!(c.idf("cupid") > c.idf("the"));
+        assert!(c.idf("unseen-token") >= c.idf("cupid"));
+    }
+
+    #[test]
+    fn empty_strings() {
+        let c = corpus();
+        assert_eq!(c.cosine("", ""), 1.0);
+        assert_eq!(c.cosine("", "cupid"), 0.0);
+        assert_eq!(c.cosine("cupid", ""), 0.0);
+    }
+
+    #[test]
+    fn doc_count_tracks() {
+        let c = corpus();
+        assert_eq!(c.doc_count(), 5);
+    }
+
+    #[test]
+    fn vector_is_normalized() {
+        let c = corpus();
+        let v = c.vector("generic schema matching");
+        let norm: f64 = v.values().map(|w| w * w).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cosine_range_and_symmetry(
+            a in "[a-z]{1,8}( [a-z]{1,8}){0,4}",
+            b in "[a-z]{1,8}( [a-z]{1,8}){0,4}",
+        ) {
+            let c = TfIdfCorpus::build([a.as_str(), b.as_str(), "common background text"]);
+            let s1 = c.cosine(&a, &b);
+            let s2 = c.cosine(&b, &a);
+            prop_assert!((s1 - s2).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&s1));
+            prop_assert!(c.cosine(&a, &a) > 0.999);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Token-level similarity measures.
+
+use moma_table::FxHashSet;
+
+use crate::jaro::jaro_winkler;
+use crate::tokenize::words;
+
+fn token_sets(a: &str, b: &str) -> (FxHashSet<String>, FxHashSet<String>) {
+    (words(a).into_iter().collect(), words(b).into_iter().collect())
+}
+
+/// Jaccard similarity over word-token sets.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice similarity over word-token sets.
+pub fn token_dice(a: &str, b: &str) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Overlap coefficient over word-token sets.
+pub fn token_overlap(a: &str, b: &str) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+/// Unweighted cosine similarity over word-token sets.
+pub fn token_cosine(a: &str, b: &str) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    (inter as f64 / ((sa.len() as f64).sqrt() * (sb.len() as f64).sqrt())).min(1.0)
+}
+
+/// Monge–Elkan similarity: mean over tokens of `a` of the best secondary
+/// similarity (Jaro–Winkler) against tokens of `b`. Asymmetric by
+/// definition; [`monge_elkan_sym`] symmetrizes.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = words(a);
+    let tb = words(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in &ta {
+        let best = tb.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max);
+        total += best;
+    }
+    (total / ta.len() as f64).min(1.0)
+}
+
+/// Symmetrized Monge–Elkan: mean of both directions.
+pub fn monge_elkan_sym(a: &str, b: &str) -> f64 {
+    (monge_elkan(a, b) + monge_elkan(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical() {
+        for f in [token_jaccard, token_dice, token_overlap, token_cosine, monge_elkan_sym] {
+            assert_eq!(f("view selection problem", "view selection problem"), 1.0);
+        }
+    }
+
+    #[test]
+    fn disjoint() {
+        for f in [token_jaccard, token_dice, token_overlap, token_cosine] {
+            assert_eq!(f("aaa bbb", "ccc ddd"), 0.0);
+        }
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_dice("", "x"), 0.0);
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+    }
+
+    #[test]
+    fn word_order_invariance() {
+        assert_eq!(token_jaccard("data cleaning problems", "problems cleaning data"), 1.0);
+    }
+
+    #[test]
+    fn half_overlap_values() {
+        // {a,b} vs {b,c}: inter 1, union 3.
+        assert!((token_jaccard("a b", "b c") - 1.0 / 3.0).abs() < 1e-12);
+        assert!((token_dice("a b", "b c") - 0.5).abs() < 1e-12);
+        assert!((token_overlap("a b", "b c") - 0.5).abs() < 1e-12);
+        assert!((token_cosine("a b", "b c") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_token_typos() {
+        let s = monge_elkan_sym("andreas thor", "andreas tohr");
+        assert!(s > 0.85, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_subset_asymmetry() {
+        // Every token of "erhard" is found in "erhard rahm" -> direction 1.
+        assert_eq!(monge_elkan("erhard", "erhard rahm"), 1.0);
+        assert!(monge_elkan("erhard rahm", "erhard") < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges(a in "[a-z ]{0,24}", b in "[a-z ]{0,24}") {
+            for f in [token_jaccard, token_dice, token_overlap, token_cosine, monge_elkan_sym] {
+                let s = f(&a, &b);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            }
+        }
+
+        #[test]
+        fn symmetry(a in "[a-z ]{0,24}", b in "[a-z ]{0,24}") {
+            for f in [token_jaccard, token_dice, token_overlap, token_cosine, monge_elkan_sym] {
+                prop_assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-12);
+            }
+        }
+    }
+}

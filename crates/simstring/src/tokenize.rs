@@ -1,0 +1,118 @@
+//! Tokenizers: word tokens and character q-grams.
+
+use crate::normalize::normalize;
+
+/// Split into normalized word tokens.
+pub fn words(s: &str) -> Vec<String> {
+    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_owned).collect()
+}
+
+/// Character q-grams of the *normalized* string, padded with `q - 1`
+/// leading/trailing `#` sentinels (standard for trigram matching: padding
+/// gives prefix/suffix grams weight).
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    debug_assert!(q >= 1);
+    let norm = normalize(s);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let pad = "#".repeat(q.saturating_sub(1));
+    let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Trigrams (`q = 3`), the paper's work-horse metric input.
+pub fn trigrams(s: &str) -> Vec<String> {
+    qgrams(s, 3)
+}
+
+/// Sorted q-gram profile with multiplicities: `(gram, count)`.
+pub fn qgram_profile(s: &str, q: usize) -> Vec<(String, u32)> {
+    let mut grams = qgrams(s, q);
+    grams.sort_unstable();
+    let mut profile: Vec<(String, u32)> = Vec::with_capacity(grams.len());
+    for g in grams {
+        match profile.last_mut() {
+            Some((last, n)) if *last == g => *n += 1,
+            _ => profile.push((g, 1)),
+        }
+    }
+    profile
+}
+
+/// Size of the multiset intersection of two sorted profiles.
+pub fn profile_intersection(a: &[(String, u32)], b: &[(String, u32)]) -> u32 {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0u32);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += a[i].1.min(b[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Total multiplicity of a profile.
+pub fn profile_size(p: &[(String, u32)]) -> u32 {
+    p.iter().map(|(_, n)| *n).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_basic() {
+        assert_eq!(words("A Formal, Perspective!"), vec!["a", "formal", "perspective"]);
+        assert!(words("").is_empty());
+    }
+
+    #[test]
+    fn trigrams_padded() {
+        let g = trigrams("ab");
+        // "##ab##" -> ##a, #ab, ab#, b##
+        assert_eq!(g, vec!["##a", "#ab", "ab#", "b##"]);
+    }
+
+    #[test]
+    fn qgrams_q1_is_chars() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_string_no_grams() {
+        assert!(trigrams("").is_empty());
+        assert!(trigrams("!!!").is_empty());
+    }
+
+    #[test]
+    fn profile_counts_multiplicity() {
+        let p = qgram_profile("aaaa", 2); // #a aa aa aa a#
+        let aa = p.iter().find(|(g, _)| g == "aa").unwrap();
+        assert_eq!(aa.1, 3);
+    }
+
+    #[test]
+    fn profile_intersection_multiset() {
+        let a = qgram_profile("aaaa", 2);
+        let b = qgram_profile("aaa", 2);
+        // a: {#a:1, aa:3, a#:1}, b: {#a:1, aa:2, a#:1} -> 1+2+1 = 4
+        assert_eq!(profile_intersection(&a, &b), 4);
+        assert_eq!(profile_size(&b), 4);
+    }
+
+    #[test]
+    fn intersection_disjoint_is_zero() {
+        let a = qgram_profile("abc", 3);
+        let b = qgram_profile("xyz", 3);
+        assert_eq!(profile_intersection(&a, &b), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Grouped aggregation of compose paths.
+//!
+//! The compose operator reduces all paths `(a, c_i, b)` reaching the same
+//! output pair `(a, b)` into one similarity value. The aggregator keeps,
+//! per pair, the running `min`, `max`, `sum` and `count` of the per-path
+//! similarities — sufficient statistics for every aggregation function `g`
+//! of the paper (Avg, Min, Max, RelativeLeft/Right, Relative; Figure 5).
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+
+/// Sufficient statistics for the path similarities of one output pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStats {
+    /// Smallest per-path similarity.
+    pub min: f64,
+    /// Largest per-path similarity.
+    pub max: f64,
+    /// Sum of per-path similarities — the `s(a,b)` of Figure 5.
+    pub sum: f64,
+    /// Number of compose paths.
+    pub count: u32,
+}
+
+impl PathStats {
+    fn one(sim: f64) -> Self {
+        Self { min: sim, max: sim, sum: sim, count: 1 }
+    }
+
+    fn add(&mut self, sim: f64) {
+        self.min = self.min.min(sim);
+        self.max = self.max.max(sim);
+        self.sum += sim;
+        self.count += 1;
+    }
+
+    /// Mean path similarity.
+    pub fn avg(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Accumulates per-pair path statistics.
+#[derive(Debug, Default)]
+pub struct PairAggregator {
+    pairs: FxHashMap<(u32, u32), PathStats>,
+}
+
+impl PairAggregator {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        Self { pairs: fx_map_with_capacity(64) }
+    }
+
+    /// Record one compose path for pair `(a, b)` with path similarity `sim`.
+    pub fn add(&mut self, a: u32, b: u32, sim: f64) {
+        self.pairs
+            .entry((a, b))
+            .and_modify(|st| st.add(sim))
+            .or_insert_with(|| PathStats::one(sim));
+    }
+
+    /// Number of distinct output pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no paths were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Statistics for one pair.
+    pub fn get(&self, a: u32, b: u32) -> Option<&PathStats> {
+        self.pairs.get(&(a, b))
+    }
+
+    /// Iterate `((a, b), stats)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &PathStats)> {
+        self.pairs.iter()
+    }
+
+    /// Consume into the underlying map.
+    pub fn into_map(self) -> FxHashMap<(u32, u32), PathStats> {
+        self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut agg = PairAggregator::new();
+        agg.add(1, 2, 0.6);
+        let st = agg.get(1, 2).unwrap();
+        assert_eq!(st.count, 1);
+        assert_eq!(st.sum, 0.6);
+        assert_eq!(st.min, 0.6);
+        assert_eq!(st.max, 0.6);
+        assert_eq!(st.avg(), 0.6);
+    }
+
+    #[test]
+    fn multiple_paths_accumulate() {
+        let mut agg = PairAggregator::new();
+        // Figure 6: (v1, v'1) is reached via p1 (sim 1) and p2 (sim 1).
+        agg.add(1, 11, 1.0);
+        agg.add(1, 11, 1.0);
+        let st = agg.get(1, 11).unwrap();
+        assert_eq!(st.count, 2);
+        assert_eq!(st.sum, 2.0);
+        assert_eq!(st.avg(), 1.0);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        let mut agg = PairAggregator::new();
+        agg.add(0, 0, 0.9);
+        agg.add(0, 0, 0.3);
+        agg.add(0, 0, 0.6);
+        let st = agg.get(0, 0).unwrap();
+        assert_eq!(st.min, 0.3);
+        assert_eq!(st.max, 0.9);
+        assert!((st.avg() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let mut agg = PairAggregator::new();
+        agg.add(0, 1, 0.5);
+        agg.add(1, 0, 0.7);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.get(0, 1).unwrap().sum, 0.5);
+        assert_eq!(agg.get(1, 0).unwrap().sum, 0.7);
+        assert!(agg.get(9, 9).is_none());
+    }
+
+    #[test]
+    fn empty() {
+        let agg = PairAggregator::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.len(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! String interning: stable `u32` handles for string identifiers.
+//!
+//! Logical sources store instance ids as strings (`conf/VLDB/...`,
+//! `P-672216`); the table engine works on dense `u32` handles. The
+//! interner provides the bidirectional bridge, e.g. when loading mapping
+//! tables from TSV files keyed by source ids.
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+
+/// Bidirectional string ↔ `u32` interner.
+#[derive(Debug, Clone, Default)]
+pub struct StringInterner {
+    by_str: FxHashMap<String, u32>,
+    by_id: Vec<String>,
+}
+
+impl StringInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty interner with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { by_str: fx_map_with_capacity(cap), by_id: Vec::with_capacity(cap) }
+    }
+
+    /// Intern `s`, returning its stable handle.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        let id = self.by_id.len() as u32;
+        self.by_str.insert(s.to_owned(), id);
+        self.by_id.push(s.to_owned());
+        id
+    }
+
+    /// Handle of `s` if already interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.by_str.get(s).copied()
+    }
+
+    /// String for a handle.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.by_id.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, string)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.by_id.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = StringInterner::new();
+        let a = i.intern("conf/VLDB/X01");
+        let b = i.intern("conf/VLDB/X01");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn handles_are_dense() {
+        let mut i = StringInterner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = StringInterner::with_capacity(2);
+        let id = i.intern("P-672216");
+        assert_eq!(i.resolve(id), Some("P-672216"));
+        assert_eq!(i.resolve(999), None);
+        assert_eq!(i.get("P-672216"), Some(id));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_order() {
+        let mut i = StringInterner::new();
+        i.intern("x");
+        i.intern("y");
+        let v: Vec<(u32, &str)> = i.iter().collect();
+        assert_eq!(v, vec![(0, "x"), (1, "y")]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # moma-table — relational mapping-table engine
+//!
+//! MOMA represents every instance mapping "by a mapping table with three
+//! columns. Each row represents a correspondence consisting of the ids of
+//! the domain and range objects and the corresponding similarity value"
+//! (paper Definition 1). The paper further notes that mapping composition
+//! "can be computed very efficiently in our implementation by joining the
+//! mapping tables" (Section 5.3).
+//!
+//! This crate is that storage and join engine:
+//!
+//! * [`MappingTable`] — a dense vector of [`Correspondence`] rows
+//!   (`u32` domain index, `u32` range index, `f64` similarity),
+//! * [`Adjacency`] — a CSR-style index over either column, providing both
+//!   neighbor lookup and the *degree* counts `n(a)` / `n(b)` needed by the
+//!   paper's Relative similarity functions (Figure 5),
+//! * [`join`] — hash, sort-merge and nested-loop join strategies,
+//! * [`agg`] — grouped path aggregation for the compose operator,
+//! * [`tsv`] — plain-text persistence of mapping tables,
+//! * [`hash`] — a fast FxHash-style hasher used for all internal maps
+//!   (integer-keyed hashing is on the hot path of every join).
+//!
+//! Object ids are *local instance indexes* of the owning logical data
+//! source (see `moma-model`); a row is therefore 16 bytes and tables with
+//! millions of correspondences stay cache-friendly.
+
+pub mod agg;
+pub mod hash;
+pub mod index;
+pub mod interner;
+pub mod join;
+pub mod mapping_table;
+pub mod stats;
+pub mod tsv;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use index::Adjacency;
+pub use interner::StringInterner;
+pub use mapping_table::{Correspondence, MappingTable};
+pub use stats::TableStats;

@@ -1,0 +1,208 @@
+//! Labeled training data for the self-tuner.
+
+use moma_core::blocking::TrigramIndex;
+use moma_datagen::GoldStandard;
+use moma_model::{LdsId, SourceRegistry};
+use moma_simstring::SimFn;
+
+/// One similarity feature: an attribute pair scored by a measure.
+#[derive(Debug, Clone)]
+pub struct FeatureSpec {
+    /// Attribute on the domain LDS.
+    pub domain_attr: String,
+    /// Attribute on the range LDS.
+    pub range_attr: String,
+    /// The similarity measure.
+    pub sim: SimFn,
+}
+
+impl FeatureSpec {
+    /// Convenience constructor.
+    pub fn new(domain_attr: &str, range_attr: &str, sim: SimFn) -> Self {
+        Self { domain_attr: domain_attr.into(), range_attr: range_attr.into(), sim }
+    }
+}
+
+/// A labeled candidate pair with its feature vector.
+#[derive(Debug, Clone)]
+pub struct LabeledPair {
+    /// Domain instance index.
+    pub domain: u32,
+    /// Range instance index.
+    pub range: u32,
+    /// One similarity value per [`FeatureSpec`].
+    pub features: Vec<f64>,
+    /// Whether the pair is a true match (from the gold standard).
+    pub label: bool,
+}
+
+/// Candidate pairs via trigram blocking on one attribute (floor 0.3),
+/// plus every gold pair (training data must contain the positives even
+/// when blocking would miss them).
+pub fn candidate_pairs(
+    registry: &SourceRegistry,
+    domain: LdsId,
+    range: LdsId,
+    block_attr: &str,
+    gold: &GoldStandard,
+) -> Vec<(u32, u32)> {
+    let d_lds = registry.lds(domain);
+    let r_lds = registry.lds(range);
+    let d_vals = d_lds.project(block_attr).expect("attribute");
+    let r_vals = r_lds.project(block_attr).expect("attribute");
+    let r_strings: Vec<(u32, String)> =
+        r_vals.iter().map(|(i, v)| (*i, v.to_match_string())).collect();
+    let index = TrigramIndex::build(r_strings.iter().map(|(i, s)| (*i, s.as_str())));
+    let mut pairs: moma_table::FxHashSet<(u32, u32)> = Default::default();
+    for (d_idx, v) in &d_vals {
+        for cand in index.candidates(&v.to_match_string(), 0.3) {
+            pairs.insert((*d_idx, cand));
+        }
+    }
+    pairs.extend(gold.iter());
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Score every candidate pair under every feature and attach labels.
+pub fn build_dataset(
+    registry: &SourceRegistry,
+    domain: LdsId,
+    range: LdsId,
+    specs: &[FeatureSpec],
+    candidates: &[(u32, u32)],
+    gold: &GoldStandard,
+) -> Vec<LabeledPair> {
+    let d_lds = registry.lds(domain);
+    let r_lds = registry.lds(range);
+    let slots: Vec<(usize, usize)> = specs
+        .iter()
+        .map(|s| {
+            (
+                d_lds.attr_slot(&s.domain_attr).expect("domain attr"),
+                r_lds.attr_slot(&s.range_attr).expect("range attr"),
+            )
+        })
+        .collect();
+    candidates
+        .iter()
+        .map(|&(d, r)| {
+            let features = specs
+                .iter()
+                .zip(&slots)
+                .map(|(spec, &(ds, rs))| {
+                    let dv = d_lds.get(d).and_then(|i| i.value(ds));
+                    let rv = r_lds.get(r).and_then(|i| i.value(rs));
+                    match (dv, rv) {
+                        (Some(a), Some(b)) => {
+                            spec.sim.eval(&a.to_match_string(), &b.to_match_string())
+                        }
+                        _ => 0.0,
+                    }
+                })
+                .collect();
+            LabeledPair { domain: d, range: r, features, label: gold.contains(d, r) }
+        })
+        .collect()
+}
+
+/// F-measure of a labeled prediction set.
+pub fn f1_of(pairs: &[LabeledPair], predict: impl Fn(&LabeledPair) -> bool) -> f64 {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for p in pairs {
+        match (predict(p), p.label) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, LogicalSource, ObjectType};
+
+    fn setup() -> (SourceRegistry, LdsId, LdsId, GoldStandard) {
+        let mut reg = SourceRegistry::new();
+        let mut a = LogicalSource::new(
+            "A",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        let mut b = LogicalSource::new(
+            "B",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        let titles = [
+            "efficient query processing",
+            "adaptive schema matching",
+            "robust data cleaning",
+            "scalable similarity search",
+        ];
+        for (i, t) in titles.iter().enumerate() {
+            a.insert_record(format!("a{i}"), vec![("title", (*t).into()), ("year", (2000 + i as u16).into())]).unwrap();
+            // B side: slightly perturbed copies.
+            let noisy = t.replace('e', "3");
+            b.insert_record(format!("b{i}"), vec![("title", noisy.into()), ("year", (2000 + i as u16).into())]).unwrap();
+        }
+        let da = reg.register(a).unwrap();
+        let db = reg.register(b).unwrap();
+        let gold = GoldStandard::from_pairs((0..4).map(|i| (i as u32, i as u32)));
+        (reg, da, db, gold)
+    }
+
+    #[test]
+    fn candidates_include_gold() {
+        let (reg, d, r, gold) = setup();
+        let cands = candidate_pairs(&reg, d, r, "title", &gold);
+        for (a, b) in gold.iter() {
+            assert!(cands.contains(&(a, b)));
+        }
+    }
+
+    #[test]
+    fn dataset_features_and_labels() {
+        let (reg, d, r, gold) = setup();
+        let specs = vec![
+            FeatureSpec::new("title", "title", SimFn::Levenshtein),
+            FeatureSpec::new("year", "year", SimFn::Year(0)),
+        ];
+        let cands = candidate_pairs(&reg, d, r, "title", &gold);
+        let data = build_dataset(&reg, d, r, &specs, &cands, &gold);
+        assert_eq!(data.len(), cands.len());
+        for p in &data {
+            assert_eq!(p.features.len(), 2);
+            assert!(p.features.iter().all(|f| (0.0..=1.0).contains(f)));
+            if p.label {
+                // True pairs share the year exactly.
+                assert_eq!(p.features[1], 1.0);
+            }
+        }
+        assert!(data.iter().any(|p| p.label));
+    }
+
+    #[test]
+    fn f1_metric() {
+        let pairs = vec![
+            LabeledPair { domain: 0, range: 0, features: vec![0.9], label: true },
+            LabeledPair { domain: 1, range: 1, features: vec![0.2], label: true },
+            LabeledPair { domain: 0, range: 1, features: vec![0.8], label: false },
+        ];
+        // Predict by threshold 0.5: tp=1, fp=1, fn=1 -> P=0.5 R=0.5 F=0.5.
+        assert!((f1_of(&pairs, |p| p.features[0] >= 0.5) - 0.5).abs() < 1e-12);
+        // Nothing predicted -> F 0.
+        assert_eq!(f1_of(&pairs, |_| false), 0.0);
+    }
+}

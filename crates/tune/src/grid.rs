@@ -1,0 +1,133 @@
+//! Grid search over (feature, threshold) matcher configurations.
+//!
+//! "For attribute matching choices must be made on which attributes to
+//! match, and which similarity function and similarity threshold to
+//! apply" (paper Section 2.2). The grid searcher scores every feature
+//! (attribute pair × similarity function) at every candidate threshold on
+//! the training split and reports the F-optimal configuration.
+
+use crate::dataset::{f1_of, LabeledPair};
+
+/// Grid-search configuration.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    /// Thresholds to evaluate (default: 0.05 steps over `[0.3, 0.95]`).
+    pub thresholds: Vec<f64>,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        Self { thresholds: (6..=19).map(|i| i as f64 * 0.05).collect() }
+    }
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// Index of the winning feature.
+    pub feature: usize,
+    /// Winning threshold.
+    pub threshold: f64,
+    /// F-measure on the training split.
+    pub train_f1: f64,
+    /// F-measure on the held-out split.
+    pub test_f1: f64,
+}
+
+impl GridSearch {
+    /// Search all (feature, threshold) combinations; ties break toward
+    /// the higher threshold (more precise matcher).
+    pub fn search(&self, train: &[LabeledPair], test: &[LabeledPair]) -> Option<GridResult> {
+        let n_features = train.first().map(|p| p.features.len())?;
+        let mut best: Option<GridResult> = None;
+        for feature in 0..n_features {
+            for &threshold in &self.thresholds {
+                let f1 = f1_of(train, |p| p.features[feature] >= threshold);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        f1 > b.train_f1 + 1e-12
+                            || ((f1 - b.train_f1).abs() <= 1e-12 && threshold > b.threshold)
+                    }
+                };
+                if better {
+                    best = Some(GridResult { feature, threshold, train_f1: f1, test_f1: 0.0 });
+                }
+            }
+        }
+        best.map(|mut b| {
+            b.test_f1 = f1_of(test, |p| p.features[b.feature] >= b.threshold);
+            b
+        })
+    }
+
+    /// Full per-configuration sweep: `(feature, threshold, train F)` for
+    /// every cell — the data behind tuning curves/ablations.
+    pub fn sweep(&self, train: &[LabeledPair]) -> Vec<(usize, f64, f64)> {
+        let n_features = train.first().map(|p| p.features.len()).unwrap_or(0);
+        let mut out = Vec::with_capacity(n_features * self.thresholds.len());
+        for feature in 0..n_features {
+            for &threshold in &self.thresholds {
+                out.push((feature, threshold, f1_of(train, |p| p.features[feature] >= threshold)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0: noisy garbage; feature 1: clean separator at 0.6.
+    fn dataset(n: usize) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| {
+                let label = i % 3 == 0;
+                let clean = if label { 0.8 } else { 0.3 };
+                let noisy = (i % 7) as f64 / 7.0;
+                LabeledPair {
+                    domain: i as u32,
+                    range: i as u32,
+                    features: vec![noisy, clean],
+                    label,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_clean_feature() {
+        let data = dataset(90);
+        let (train, test) = crate::split::train_test_split(data, 0.7, 5);
+        let result = GridSearch::default().search(&train, &test).unwrap();
+        assert_eq!(result.feature, 1);
+        assert!(result.threshold > 0.3 && result.threshold <= 0.8);
+        assert_eq!(result.train_f1, 1.0);
+        assert_eq!(result.test_f1, 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(GridSearch::default().search(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn tie_breaks_toward_precision() {
+        // All thresholds in (0.3, 0.8] separate perfectly; the search
+        // must prefer the highest.
+        let data = dataset(30);
+        let result = GridSearch::default().search(&data, &data).unwrap();
+        assert!((result.threshold - 0.8).abs() < 1e-9, "got {}", result.threshold);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let data = dataset(30);
+        let gs = GridSearch::default();
+        let sweep = gs.sweep(&data);
+        assert_eq!(sweep.len(), 2 * gs.thresholds.len());
+        let best = sweep.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        assert_eq!(best, 1.0);
+    }
+}

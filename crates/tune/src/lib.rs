@@ -1,0 +1,29 @@
+//! # moma-tune — self-tuning of match configurations
+//!
+//! "Similar to the E-Tuner approach for schema matching, MOMA therefore
+//! will provide self-tuning capabilities to automatically select matchers
+//! and mappings and to find optimal configuration parameters. … For
+//! suitable training data these parameters can be optimized by standard
+//! machine learning schemes, e.g. using decision trees." (paper
+//! Section 2.2)
+//!
+//! This crate implements that sketch:
+//!
+//! * [`dataset`] — labeled candidate pairs with per-measure similarity
+//!   feature vectors, derived from gold standards,
+//! * [`split`] — deterministic train/test splitting,
+//! * [`grid`] — exhaustive search over (similarity function, threshold)
+//!   configurations maximizing training F-measure,
+//! * [`tree`] — a CART decision-tree learner (Gini impurity) over the
+//!   feature vectors, usable when no single threshold separates matches
+//!   from non-matches.
+
+pub mod dataset;
+pub mod grid;
+pub mod split;
+pub mod tree;
+
+pub use dataset::{build_dataset, candidate_pairs, FeatureSpec, LabeledPair};
+pub use grid::{GridResult, GridSearch};
+pub use split::train_test_split;
+pub use tree::{DecisionTree, TreeConfig};

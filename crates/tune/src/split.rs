@@ -1,0 +1,76 @@
+//! Deterministic train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::LabeledPair;
+
+/// Shuffle deterministically and split with `train_ratio` of the data in
+/// the first returned vector.
+pub fn train_test_split(
+    mut pairs: Vec<LabeledPair>,
+    train_ratio: f64,
+    seed: u64,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.shuffle(&mut rng);
+    let cut = ((pairs.len() as f64) * train_ratio.clamp(0.0, 1.0)).round() as usize;
+    let test = pairs.split_off(cut.min(pairs.len()));
+    (pairs, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: usize) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| LabeledPair {
+                domain: i as u32,
+                range: i as u32,
+                features: vec![i as f64 / n as f64],
+                label: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(pairs(100), 0.7, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (t1, _) = train_test_split(pairs(50), 0.5, 9);
+        let (t2, _) = train_test_split(pairs(50), 0.5, 9);
+        let ids1: Vec<u32> = t1.iter().map(|p| p.domain).collect();
+        let ids2: Vec<u32> = t2.iter().map(|p| p.domain).collect();
+        assert_eq!(ids1, ids2);
+        // A different seed shuffles differently.
+        let (t3, _) = train_test_split(pairs(50), 0.5, 10);
+        let ids3: Vec<u32> = t3.iter().map(|p| p.domain).collect();
+        assert_ne!(ids1, ids3);
+    }
+
+    #[test]
+    fn partition_is_complete() {
+        let (train, test) = train_test_split(pairs(33), 0.6, 3);
+        let mut all: Vec<u32> =
+            train.iter().chain(test.iter()).map(|p| p.domain).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..33u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let (train, test) = train_test_split(pairs(10), 0.0, 1);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+        let (train, test) = train_test_split(pairs(10), 1.0, 1);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+}

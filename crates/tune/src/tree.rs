@@ -1,0 +1,307 @@
+//! CART decision-tree learner over similarity feature vectors.
+//!
+//! The paper names decision trees as the standard machine-learning scheme
+//! for optimizing matcher parameters (Section 2.2). A tree can express
+//! configurations a single threshold cannot, e.g. "title ≥ 0.7 AND year
+//! = 1, OR title ≥ 0.9".
+
+use crate::dataset::LabeledPair;
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 4, min_split: 8 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `< threshold` child.
+        left: usize,
+        /// Index of the `>= threshold` child.
+        right: usize,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Fit a tree on labeled pairs.
+    pub fn fit(pairs: &[LabeledPair], config: TreeConfig) -> DecisionTree {
+        let mut tree = DecisionTree { nodes: Vec::new() };
+        let indexes: Vec<usize> = (0..pairs.len()).collect();
+        tree.grow(pairs, &indexes, config, 0);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        pairs: &[LabeledPair],
+        subset: &[usize],
+        config: TreeConfig,
+        depth: usize,
+    ) -> usize {
+        let positives = subset.iter().filter(|&&i| pairs[i].label).count();
+        let prob = if subset.is_empty() {
+            0.0
+        } else {
+            positives as f64 / subset.len() as f64
+        };
+        let pure = positives == 0 || positives == subset.len();
+        if depth >= config.max_depth || subset.len() < config.min_split || pure {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { prob });
+            return id;
+        }
+        match best_split(pairs, subset) {
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { prob });
+                id
+            }
+            Some((feature, threshold, _gain)) => {
+                let (left_set, right_set): (Vec<usize>, Vec<usize>) = subset
+                    .iter()
+                    .partition(|&&i| pairs[i].features[feature] < threshold);
+                if left_set.is_empty() || right_set.is_empty() {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { prob });
+                    return id;
+                }
+                // Reserve the split slot, then grow children.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { prob: 0.0 }); // placeholder
+                let left = self.grow(pairs, &left_set, config, depth + 1);
+                let right = self.grow(pairs, &right_set, config, depth + 1);
+                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+
+    /// Probability that `features` describes a match.
+    pub fn predict_prob(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features.get(*feature).copied().unwrap_or(0.0) < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Binary classification at probability 0.5.
+    pub fn classify(&self, features: &[f64]) -> bool {
+        self.predict_prob(features) >= 0.5
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Render as a nested rule text (for DESIGN/EXPERIMENTS docs).
+    pub fn render_rules(&self, feature_names: &[&str]) -> String {
+        fn render(nodes: &[Node], id: usize, names: &[&str], indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match &nodes[id] {
+                Node::Leaf { prob } => {
+                    out.push_str(&format!("{pad}=> match probability {prob:.2}\n"));
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    let name = names.get(*feature).copied().unwrap_or("?");
+                    out.push_str(&format!("{pad}if {name} < {threshold:.3}:\n"));
+                    render(nodes, *left, names, indent + 1, out);
+                    out.push_str(&format!("{pad}else ({name} >= {threshold:.3}):\n"));
+                    render(nodes, *right, names, indent + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.nodes.is_empty() {
+            render(&self.nodes, 0, feature_names, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn gini(positives: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = positives as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Best (feature, threshold, gain) over all features by Gini impurity
+/// reduction; thresholds are midpoints between consecutive distinct
+/// feature values.
+fn best_split(pairs: &[LabeledPair], subset: &[usize]) -> Option<(usize, f64, f64)> {
+    let n_features = pairs.first()?.features.len();
+    let total = subset.len();
+    let total_pos = subset.iter().filter(|&&i| pairs[i].label).count();
+    let parent = gini(total_pos, total);
+    let mut best: Option<(usize, f64, f64)> = None;
+    for feature in 0..n_features {
+        let mut values: Vec<(f64, bool)> = subset
+            .iter()
+            .map(|&i| (pairs[i].features[feature], pairs[i].label))
+            .collect();
+        values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left_pos = 0usize;
+        for split_at in 1..values.len() {
+            if values[split_at - 1].1 {
+                left_pos += 1;
+            }
+            if values[split_at].0 <= values[split_at - 1].0 + 1e-12 {
+                continue; // no distinct boundary here
+            }
+            let threshold = (values[split_at - 1].0 + values[split_at].0) / 2.0;
+            let left_n = split_at;
+            let right_n = total - split_at;
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent - weighted;
+            if gain > best.map(|(_, _, g)| g).unwrap_or(1e-9) {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(features: Vec<f64>, label: bool) -> LabeledPair {
+        LabeledPair { domain: 0, range: 0, features, label }
+    }
+
+    #[test]
+    fn learns_single_threshold() {
+        let data: Vec<LabeledPair> = (0..100)
+            .map(|i| {
+                let v = i as f64 / 100.0;
+                pair(vec![v], v >= 0.6)
+            })
+            .collect();
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        assert!(tree.classify(&[0.9]));
+        assert!(!tree.classify(&[0.3]));
+        assert!(tree.depth() <= 3);
+        // The learned boundary sits near 0.6.
+        assert!(!tree.classify(&[0.55]));
+        assert!(tree.classify(&[0.65]));
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        // Match iff title >= 0.7 AND year == 1 — inexpressible by one
+        // threshold on one feature. The two features vary independently
+        // so that no single-feature rule can explain the labels.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            let title = (i % 10) as f64 / 10.0;
+            let year = if (i / 10) % 2 == 0 { 1.0 } else { 0.0 };
+            data.push(pair(vec![title, year], title >= 0.7 && year == 1.0));
+        }
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        assert!(tree.classify(&[0.9, 1.0]));
+        assert!(!tree.classify(&[0.9, 0.0]));
+        assert!(!tree.classify(&[0.5, 1.0]));
+        // And the tree beats the best single threshold on either feature.
+        let tree_f1 = crate::dataset::f1_of(&data, |p| tree.classify(&p.features));
+        let grid = crate::grid::GridSearch::default().search(&data, &data).unwrap();
+        assert!(tree_f1 > grid.test_f1, "tree {tree_f1} vs grid {}", grid.test_f1);
+        assert_eq!(tree_f1, 1.0);
+    }
+
+    #[test]
+    fn pure_nodes_stop_growth() {
+        let data = vec![pair(vec![0.1], false); 50];
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!(!tree.classify(&[0.9]));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let tree = DecisionTree::fit(&[], TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!(!tree.classify(&[1.0]));
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let data: Vec<LabeledPair> =
+            (0..256).map(|i| pair(vec![i as f64 / 256.0], (i / 2) % 2 == 0)).collect();
+        let tree = DecisionTree::fit(&data, TreeConfig { max_depth: 2, min_split: 2 });
+        assert!(tree.depth() <= 3); // root + 2 levels
+    }
+
+    #[test]
+    fn rules_render() {
+        let data: Vec<LabeledPair> =
+            (0..100).map(|i| pair(vec![i as f64 / 100.0], i >= 60)).collect();
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        let rules = tree.render_rules(&["title"]);
+        assert!(rules.contains("if title <"));
+        assert!(rules.contains("match probability"));
+    }
+
+    #[test]
+    fn probabilities_reflect_purity() {
+        let mut data: Vec<LabeledPair> = (0..40).map(|_| pair(vec![0.9], true)).collect();
+        data.extend((0..10).map(|_| pair(vec![0.9], false)));
+        data.extend((0..50).map(|_| pair(vec![0.1], false)));
+        let tree = DecisionTree::fit(&data, TreeConfig::default());
+        let p_hi = tree.predict_prob(&[0.9]);
+        let p_lo = tree.predict_prob(&[0.1]);
+        assert!(p_hi > 0.7, "high side {p_hi}");
+        assert!(p_lo < 0.1, "low side {p_lo}");
+    }
+}

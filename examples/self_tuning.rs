@@ -1,0 +1,68 @@
+//! Self-tuning a matcher configuration (paper Section 2.2).
+//!
+//! ```text
+//! cargo run --release --example self_tuning
+//! ```
+//!
+//! Builds labeled training data from the gold standard, grid-searches
+//! (similarity function × threshold), trains a CART decision tree over
+//! the multi-feature similarity vectors, and compares both against a
+//! hand-picked default configuration.
+
+use moma::datagen::Scenario;
+use moma::simstring::SimFn;
+use moma::tune::{
+    build_dataset, candidate_pairs, train_test_split, DecisionTree, FeatureSpec, GridSearch,
+    TreeConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small();
+    let (d, r) = (scenario.ids.pub_dblp, scenario.ids.pub_acm);
+    let gold = &scenario.gold.pub_dblp_acm;
+
+    // Feature space: what the tuner may choose from.
+    let specs = vec![
+        FeatureSpec::new("title", "title", SimFn::Trigram),
+        FeatureSpec::new("title", "title", SimFn::Levenshtein),
+        FeatureSpec::new("title", "title", SimFn::TokenJaccard),
+        FeatureSpec::new("authors", "authors", SimFn::Trigram),
+        FeatureSpec::new("year", "year", SimFn::Year(0)),
+    ];
+    let feature_names: Vec<&str> =
+        vec!["title:trigram", "title:levenshtein", "title:jaccard", "authors:trigram", "year"];
+
+    let candidates = candidate_pairs(&scenario.registry, d, r, "title", gold);
+    let data = build_dataset(&scenario.registry, d, r, &specs, &candidates, gold);
+    println!(
+        "training data: {} candidate pairs ({} positive)",
+        data.len(),
+        data.iter().filter(|p| p.label).count()
+    );
+    let (train, test) = train_test_split(data, 0.7, 42);
+
+    // --- grid search -----------------------------------------------------
+    let grid = GridSearch::default().search(&train, &test).expect("non-empty data");
+    println!(
+        "\ngrid search winner: {} >= {:.2}  (train F {:.1}%, test F {:.1}%)",
+        feature_names[grid.feature],
+        grid.threshold,
+        grid.train_f1 * 100.0,
+        grid.test_f1 * 100.0
+    );
+
+    // --- decision tree -----------------------------------------------------
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+    let tree_f1 = moma::tune::dataset::f1_of(&test, |p| tree.classify(&p.features));
+    println!("\ndecision tree ({} nodes, depth {}):", tree.node_count(), tree.depth());
+    print!("{}", tree.render_rules(&feature_names));
+    println!("tree test F: {:.1}%", tree_f1 * 100.0);
+
+    // --- untuned baseline ---------------------------------------------------
+    let default_f1 =
+        moma::tune::dataset::f1_of(&test, |p| p.features[1] >= 0.5 /* levenshtein@0.5 */);
+    println!("\nuntuned baseline (levenshtein >= 0.5): F {:.1}%", default_f1 * 100.0);
+    assert!(grid.test_f1 >= default_f1, "tuning should not underperform the baseline");
+    assert!(tree_f1 > 0.5);
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: generated scenario → workflows → evaluation,
+//! spanning every crate of the workspace.
+
+use std::sync::Arc;
+
+use moma::core::matchers::{AttributeMatcher, MatchContext};
+use moma::core::ops::merge::{MergeFn, MissingPolicy};
+use moma::core::ops::select::Selection;
+use moma::core::workflow::{CombineOp, Combiner, StepInput, Workflow, WorkflowStep};
+use moma::core::MappingCache;
+use moma::datagen::Scenario;
+use moma::eval::MatchQuality;
+use moma::simstring::SimFn;
+
+#[test]
+fn workflow_engine_reproduces_manual_pipeline() {
+    let scenario = Scenario::small();
+    let ctx = MatchContext::with_repository(&scenario.registry, &scenario.repository);
+    let cache = MappingCache::new();
+
+    // Declarative workflow: title + authors + year matchers merged with
+    // Avg (missing = 0) and an 80% threshold — the Table 2 pipeline.
+    let title: Arc<dyn moma::core::Matcher> =
+        Arc::new(AttributeMatcher::new("title", "title", SimFn::Trigram, 0.45));
+    let authors: Arc<dyn moma::core::Matcher> =
+        Arc::new(AttributeMatcher::new("authors", "authors", SimFn::Trigram, 0.45));
+    let year: Arc<dyn moma::core::Matcher> =
+        Arc::new(AttributeMatcher::new("year", "year", SimFn::Year(0), 1.0));
+    let wf = Workflow::new("PubMatch", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+        inputs: vec![
+            StepInput::Matcher(Arc::clone(&title)),
+            StepInput::Matcher(Arc::clone(&authors)),
+            StepInput::Matcher(Arc::clone(&year)),
+        ],
+        combiner: Combiner {
+            op: CombineOp::Merge { f: MergeFn::Avg, missing: MissingPolicy::Zero },
+            selections: vec![Selection::Threshold(0.8)],
+        },
+        publish: Some("wf.pub".into()),
+    });
+    let via_workflow = wf.run(&ctx, &cache).unwrap();
+
+    // The same pipeline by hand.
+    let d = scenario.ids.pub_dblp;
+    let a = scenario.ids.pub_acm;
+    let m_title = title.execute(&ctx, d, a).unwrap();
+    let m_authors = authors.execute(&ctx, d, a).unwrap();
+    let m_year = year.execute(&ctx, d, a).unwrap();
+    let merged = moma::core::ops::merge::merge(
+        &[&m_title, &m_authors, &m_year],
+        MergeFn::Avg,
+        MissingPolicy::Zero,
+    )
+    .unwrap();
+    let manual = moma::core::ops::select::select(&merged, &Selection::Threshold(0.8));
+
+    assert_eq!(via_workflow.table.pair_set(), manual.table.pair_set());
+    assert!(cache.contains("wf.pub"));
+
+    // And the result is good against the gold standard.
+    let q = MatchQuality::evaluate(&via_workflow, &scenario.gold.pub_dblp_acm);
+    assert!(q.f1() > 0.9, "workflow quality too low: {q}");
+}
+
+#[test]
+fn matching_quality_holds_across_the_three_sources() {
+    let ctx = moma::eval::EvalContext::small();
+    let gold = &ctx.scenario.gold;
+
+    let da = MatchQuality::evaluate(
+        &moma::eval::experiments::table5::merged_mapping(&ctx),
+        &gold.pub_dblp_acm,
+    );
+    let dg = MatchQuality::evaluate(
+        &moma::eval::experiments::table7::merged_mapping(&ctx),
+        &gold.pub_dblp_gs,
+    );
+    let ga = MatchQuality::evaluate(
+        &moma::eval::experiments::table8::merged_mapping(&ctx),
+        &gold.pub_gs_acm,
+    );
+    // The clean pair beats both dirty pairs (Table 10's shape).
+    assert!(da.f1() > dg.f1());
+    assert!(da.f1() > ga.f1());
+    assert!(da.f1() > 0.9);
+    assert!(dg.f1() > 0.6);
+    assert!(ga.f1() > 0.6);
+}
+
+#[test]
+fn repository_reuse_between_workflows() {
+    // A second workflow can consume a mapping the first one published.
+    let scenario = Scenario::small();
+    let ctx = MatchContext::with_repository(&scenario.registry, &scenario.repository);
+    let cache = MappingCache::new();
+
+    let first = Workflow::new("First", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+        inputs: vec![StepInput::Matcher(Arc::new(AttributeMatcher::new(
+            "title", "title", SimFn::Trigram, 0.8,
+        )))],
+        combiner: Combiner::merge_avg(),
+        publish: Some("shared.title".into()),
+    });
+    first.run(&ctx, &cache).unwrap();
+
+    let second = Workflow::new("Second", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+        inputs: vec![StepInput::Existing("shared.title".into())],
+        combiner: Combiner::merge_avg().with_selection(Selection::best1()),
+        publish: None,
+    });
+    let refined = second.run(&ctx, &cache).unwrap();
+    assert!(!refined.is_empty());
+    for (_, count) in refined.table.domain_degrees() {
+        assert_eq!(count, 1, "best-1 must leave one correspondence per instance");
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate algebraic laws of the mapping operators, checked with
+//! proptest over arbitrary mappings.
+
+use moma::core::ops::compose::{compose, PathAgg, PathCombine};
+use moma::core::ops::merge::{merge, MergeFn, MissingPolicy};
+use moma::core::ops::select::{select, Selection};
+use moma::core::ops::setops::{difference, intersection, union};
+use moma::core::Mapping;
+use moma::model::LdsId;
+use moma::table::MappingTable;
+use proptest::prelude::*;
+
+fn arb_mapping(domain: u32, range: u32) -> impl Strategy<Value = Mapping> {
+    prop::collection::vec((0u32..16, 0u32..16, 0.01f64..=1.0), 0..40).prop_map(move |rows| {
+        Mapping::same("m", LdsId(domain), LdsId(range), MappingTable::from_triples(rows))
+    })
+}
+
+proptest! {
+    /// merge(Max) is associative on pair sets and sims.
+    #[test]
+    fn merge_max_associative(
+        a in arb_mapping(0, 1),
+        b in arb_mapping(0, 1),
+        c in arb_mapping(0, 1),
+    ) {
+        let ab_c = merge(
+            &[&merge(&[&a, &b], MergeFn::Max, MissingPolicy::Ignore).unwrap(), &c],
+            MergeFn::Max,
+            MissingPolicy::Ignore,
+        ).unwrap();
+        let a_bc = merge(
+            &[&a, &merge(&[&b, &c], MergeFn::Max, MissingPolicy::Ignore).unwrap()],
+            MergeFn::Max,
+            MissingPolicy::Ignore,
+        ).unwrap();
+        prop_assert_eq!(ab_c.table.pair_set(), a_bc.table.pair_set());
+        for corr in ab_c.table.iter() {
+            let s = a_bc.table.sim_of(corr.domain, corr.range).unwrap();
+            prop_assert!((s - corr.sim).abs() < 1e-12);
+        }
+    }
+
+    /// Set algebra: |A| = |A ∩ B| + |A \ B| and union ⊇ both.
+    #[test]
+    fn set_partition_law(a in arb_mapping(0, 1), b in arb_mapping(0, 1)) {
+        let i = intersection(&a, &b).unwrap();
+        let d = difference(&a, &b).unwrap();
+        prop_assert_eq!(a.len(), i.len() + d.len());
+        let u = union(&a, &b).unwrap();
+        prop_assert!(u.len() >= a.len().max(b.len()));
+        let up = u.table.pair_set();
+        for c in a.table.iter().chain(b.table.iter()) {
+            prop_assert!(up.contains(&(c.domain, c.range)));
+        }
+    }
+
+    /// Composing with a complete identity mapping preserves pairs (for
+    /// Max aggregation, which ignores path counts).
+    #[test]
+    fn compose_identity_right(a in arb_mapping(0, 1)) {
+        let id = Mapping::identity(LdsId(1), 16);
+        let composed = compose(&a, &id, PathCombine::Min, PathAgg::Max).unwrap();
+        prop_assert_eq!(composed.table.pair_set(), a.table.pair_set());
+        for c in a.table.iter() {
+            let s = composed.table.sim_of(c.domain, c.range).unwrap();
+            prop_assert!((s - c.sim).abs() < 1e-12);
+        }
+    }
+
+    /// Inverse distributes over compose: (m1 ∘ m2)⁻¹ = m2⁻¹ ∘ m1⁻¹.
+    #[test]
+    fn compose_inverse_duality(m1 in arb_mapping(0, 1), m2 in arb_mapping(1, 2)) {
+        let lhs = compose(&m1, &m2, PathCombine::Min, PathAgg::Relative).unwrap().inverse();
+        let rhs = compose(&m2.inverse(), &m1.inverse(), PathCombine::Min, PathAgg::Relative)
+            .unwrap();
+        prop_assert_eq!(lhs.table.pair_set(), rhs.table.pair_set());
+    }
+
+    /// Selections commute with each other when they filter independently:
+    /// threshold ∘ best1 == best1 ∘ threshold whenever the best survivor
+    /// clears the threshold.
+    #[test]
+    fn threshold_after_best1_is_subset(m in arb_mapping(0, 1), t in 0.0f64..=1.0) {
+        let b_then_t = select(&select(&m, &Selection::best1()), &Selection::Threshold(t));
+        let t_then_b = select(&select(&m, &Selection::Threshold(t)), &Selection::best1());
+        // best1-then-threshold is a subset of threshold-then-best1 (the
+        // latter may promote a second-best pair that clears t).
+        let sup = t_then_b.table.pair_set();
+        for c in b_then_t.table.iter() {
+            prop_assert!(sup.contains(&(c.domain, c.range)));
+        }
+    }
+
+    /// Merging with an empty mapping under Ignore is identity.
+    #[test]
+    fn merge_with_empty_identity(a in arb_mapping(0, 1)) {
+        let empty = Mapping::same("e", LdsId(0), LdsId(1), MappingTable::new());
+        for f in [MergeFn::Avg, MergeFn::Min, MergeFn::Max] {
+            let r = merge(&[&a, &empty], f, MissingPolicy::Ignore).unwrap();
+            prop_assert_eq!(r.table.pair_set(), a.table.pair_set());
+            for c in a.table.iter() {
+                let s = r.table.sim_of(c.domain, c.range).unwrap();
+                prop_assert!((s - c.sim).abs() < 1e-12);
+            }
+        }
+        // Under Min-Zero (intersection), the empty mapping annihilates.
+        let r = merge(&[&a, &empty], MergeFn::Min, MissingPolicy::Zero).unwrap();
+        prop_assert!(r.is_empty());
+    }
+}
