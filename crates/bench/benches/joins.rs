@@ -2,14 +2,15 @@
 //! ("the composition can be computed very efficiently … by joining the
 //! mapping tables", paper Section 5.3).
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moma_bench::random_mapping;
 use moma_table::join::{hash_join, nested_loop_join, sort_merge_join};
+use std::time::Duration;
 
 fn bench_joins(c: &mut Criterion) {
     let mut g = c.benchmark_group("join");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for rows in [1_000usize, 10_000, 50_000] {
         let keys = (rows / 4) as u32;
         let left = random_mapping(7, keys, rows).table;
@@ -44,7 +45,8 @@ fn bench_joins(c: &mut Criterion) {
 
 fn bench_adjacency(c: &mut Criterion) {
     let mut g = c.benchmark_group("adjacency");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let table = random_mapping(9, 10_000, 100_000).table;
     g.bench_function("build_domain_index", |b| {
         b.iter(|| black_box(moma_table::Adjacency::over_domain(&table)))

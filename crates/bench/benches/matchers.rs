@@ -1,12 +1,12 @@
 //! Attribute-matcher benchmarks: all-pairs vs prefix-filtered blocking
 //! vs parallel scoring — the ablation behind DESIGN.md's blocking choice.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moma_core::blocking::Blocking;
 use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma_datagen::{Scenario, WorldConfig};
 use moma_simstring::SimFn;
+use std::time::Duration;
 
 fn scenario() -> Scenario {
     // Between small and paper scale: enough rows for blocking to matter,
@@ -22,7 +22,8 @@ fn bench_attribute_matching(c: &mut Criterion) {
     let s = scenario();
     let ctx = MatchContext::with_repository(&s.registry, &s.repository);
     let mut g = c.benchmark_group("attr_match");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     g.sample_size(10);
 
     let configs = [
@@ -61,7 +62,8 @@ fn bench_blocking_index(c: &mut Criterion) {
         .map(|(i, v)| (i, v.to_match_string()))
         .collect();
     let mut g = c.benchmark_group("blocking");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     g.bench_function("build_index", |b| {
         b.iter(|| {
             black_box(moma_core::blocking::TrigramIndex::build(

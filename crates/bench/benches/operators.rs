@@ -1,15 +1,16 @@
 //! Mapping-operator benchmarks: merge, compose, selection at scale.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moma_bench::{random_chain_mapping, random_mapping};
 use moma_core::ops::compose::{compose, PathAgg, PathCombine};
 use moma_core::ops::merge::{merge, MergeFn, MissingPolicy};
 use moma_core::ops::select::{select, Selection, Side};
+use std::time::Duration;
 
 fn bench_merge(c: &mut Criterion) {
     let mut g = c.benchmark_group("merge");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for rows in [1_000usize, 10_000, 100_000] {
         let a = random_mapping(1, (rows / 4) as u32, rows);
         let b = random_mapping(2, (rows / 4) as u32, rows);
@@ -20,8 +21,9 @@ fn bench_merge(c: &mut Criterion) {
             bench.iter(|| black_box(merge(&[&a, &b], MergeFn::Min, MissingPolicy::Zero).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("prefer", rows), &rows, |bench, _| {
-            bench
-                .iter(|| black_box(merge(&[&a, &b], MergeFn::Prefer(0), MissingPolicy::Ignore).unwrap()))
+            bench.iter(|| {
+                black_box(merge(&[&a, &b], MergeFn::Prefer(0), MissingPolicy::Ignore).unwrap())
+            })
         });
     }
     // n-ary fanout at fixed size.
@@ -37,18 +39,18 @@ fn bench_merge(c: &mut Criterion) {
 
 fn bench_compose(c: &mut Criterion) {
     let mut g = c.benchmark_group("compose");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for rows in [1_000usize, 10_000, 100_000] {
         let keys = (rows / 4) as u32;
         let m1 = random_chain_mapping(3, keys, rows, 0, 1);
         let m2 = random_chain_mapping(4, keys, rows, 1, 2);
-        for (name, agg) in
-            [("min_max", PathAgg::Max), ("min_relative", PathAgg::Relative)]
-        {
+        for (name, agg) in [
+            ("min_max", PathAgg::Max),
+            ("min_relative", PathAgg::Relative),
+        ] {
             g.bench_with_input(BenchmarkId::new(name, rows), &rows, |bench, _| {
-                bench.iter(|| {
-                    black_box(compose(&m1, &m2, PathCombine::Min, agg).unwrap())
-                })
+                bench.iter(|| black_box(compose(&m1, &m2, PathCombine::Min, agg).unwrap()))
             });
         }
     }
@@ -57,7 +59,8 @@ fn bench_compose(c: &mut Criterion) {
 
 fn bench_select(c: &mut Criterion) {
     let mut g = c.benchmark_group("select");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let m = random_mapping(5, 5_000, 100_000);
     g.bench_function("threshold", |b| {
         b.iter(|| black_box(select(&m, &Selection::Threshold(0.8))))
@@ -66,13 +69,25 @@ fn bench_select(c: &mut Criterion) {
         b.iter(|| black_box(select(&m, &Selection::best1())))
     });
     g.bench_function("best1_both", |b| {
-        b.iter(|| black_box(select(&m, &Selection::BestN { n: 1, side: Side::Both })))
+        b.iter(|| {
+            black_box(select(
+                &m,
+                &Selection::BestN {
+                    n: 1,
+                    side: Side::Both,
+                },
+            ))
+        })
     });
     g.bench_function("best1_delta", |b| {
         b.iter(|| {
             black_box(select(
                 &m,
-                &Selection::Best1Delta { delta: 0.05, relative: false, side: Side::Domain },
+                &Selection::Best1Delta {
+                    delta: 0.05,
+                    relative: false,
+                    side: Side::Domain,
+                },
             ))
         })
     });

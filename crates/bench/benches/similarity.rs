@@ -1,10 +1,10 @@
 //! Similarity-kernel benchmarks: the inner loop of every attribute
 //! matcher.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use moma_bench::sample_titles;
-use moma_simstring::{ngram, edit, jaro, phonetic, token, SimFn, TfIdfCorpus};
+use moma_simstring::{edit, jaro, ngram, phonetic, token, SimFn, TfIdfCorpus};
+use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let titles = sample_titles(64, 11);
@@ -15,7 +15,8 @@ fn bench_kernels(c: &mut Criterion) {
         .collect();
 
     let mut g = c.benchmark_group("similarity");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     g.bench_function("trigram", |b| {
         b.iter(|| {
             for (x, y) in &pairs {

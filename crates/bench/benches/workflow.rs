@@ -1,12 +1,12 @@
 //! End-to-end benchmarks: neighborhood matching, workflow execution,
 //! script interpretation, repository persistence.
 
-use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use moma_core::matchers::neighborhood::nh_match;
 use moma_core::ops::compose::PathAgg;
 use moma_datagen::{Scenario, WorldConfig};
 use moma_ifuice::script::{parser, run_script};
+use std::time::Duration;
 
 fn scenario() -> Scenario {
     let mut cfg = WorldConfig::small();
@@ -20,9 +20,13 @@ fn bench_neighborhood(c: &mut Criterion) {
     let s = scenario();
     let venue_pub = s.repository.get("DBLP.VenuePub").unwrap();
     let pub_venue_acm = s.repository.get("ACM.PubVenue").unwrap();
-    let pub_same = s.gold.pub_dblp_acm.to_mapping("gold", s.ids.pub_dblp, s.ids.pub_acm);
+    let pub_same = s
+        .gold
+        .pub_dblp_acm
+        .to_mapping("gold", s.ids.pub_dblp, s.ids.pub_acm);
     let mut g = c.benchmark_group("neighborhood");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     g.bench_function("venue_1_to_n", |b| {
         b.iter(|| {
             black_box(nh_match(&venue_pub, &pub_same, &pub_venue_acm, PathAgg::Relative).unwrap())
@@ -31,9 +35,7 @@ fn bench_neighborhood(c: &mut Criterion) {
     let coauthor = s.repository.get("DBLP.CoAuthor").unwrap();
     let identity = s.repository.get("DBLP.AuthorAuthor").unwrap();
     g.bench_function("coauthor_self_n_to_m", |b| {
-        b.iter(|| {
-            black_box(nh_match(&coauthor, &identity, &coauthor, PathAgg::Relative).unwrap())
-        })
+        b.iter(|| black_box(nh_match(&coauthor, &identity, &coauthor, PathAgg::Relative).unwrap()))
     });
     g.finish();
 }
@@ -41,7 +43,8 @@ fn bench_neighborhood(c: &mut Criterion) {
 fn bench_script(c: &mut Criterion) {
     let s = scenario();
     let mut g = c.benchmark_group("script");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     const SRC: &str = r#"
         $CoAuthSim = nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor);
         $NameSim = attrMatch(DBLP.Author, DBLP.Author, Trigram, 0.5, "[name]", "[name]");
@@ -49,7 +52,9 @@ fn bench_script(c: &mut Criterion) {
         $Result = select($Merged, "[domain.id]<>[range.id]");
         RETURN $Result;
     "#;
-    g.bench_function("parse", |b| b.iter(|| black_box(parser::parse(SRC).unwrap())));
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(parser::parse(SRC).unwrap()))
+    });
     g.sample_size(10);
     g.bench_function("section_4_3_dedup", |b| {
         b.iter(|| black_box(run_script(SRC, &s.registry, &s.repository).unwrap()))
@@ -60,7 +65,8 @@ fn bench_script(c: &mut Criterion) {
 fn bench_repository(c: &mut Criterion) {
     let s = scenario();
     let mut g = c.benchmark_group("repository");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     g.sample_size(10);
     let dir = std::env::temp_dir().join("moma_bench_repo");
     g.bench_function("persist_dir", |b| {

@@ -29,8 +29,11 @@ fn main() {
         usage();
     }
     let small = args.iter().any(|a| a == "--small");
-    let targets: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if targets.is_empty() {
         usage();
     }
@@ -40,7 +43,11 @@ fn main() {
         "generating {} scenario...",
         if small { "small" } else { "paper-scale" }
     );
-    let ctx = if small { EvalContext::small() } else { EvalContext::paper_scale() };
+    let ctx = if small {
+        EvalContext::small()
+    } else {
+        EvalContext::paper_scale()
+    };
     eprintln!("scenario ready in {:.1?}", t0.elapsed());
 
     let mut ran_any = false;

@@ -18,9 +18,13 @@ use rand::{Rng, SeedableRng};
 /// `keys × keys` id space.
 pub fn random_mapping(seed: u64, keys: u32, rows: usize) -> Mapping {
     let mut rng = StdRng::seed_from_u64(seed);
-    let table = MappingTable::from_triples(
-        (0..rows).map(|_| (rng.gen_range(0..keys), rng.gen_range(0..keys), rng.gen::<f64>())),
-    );
+    let table = MappingTable::from_triples((0..rows).map(|_| {
+        (
+            rng.gen_range(0..keys),
+            rng.gen_range(0..keys),
+            rng.gen::<f64>(),
+        )
+    }));
     Mapping::same(format!("random({seed})"), LdsId(0), LdsId(1), table)
 }
 
@@ -28,18 +32,38 @@ pub fn random_mapping(seed: u64, keys: u32, rows: usize) -> Mapping {
 /// space, for compose chains.
 pub fn random_chain_mapping(seed: u64, keys: u32, rows: usize, from: u32, to: u32) -> Mapping {
     let mut rng = StdRng::seed_from_u64(seed);
-    let table = MappingTable::from_triples(
-        (0..rows).map(|_| (rng.gen_range(0..keys), rng.gen_range(0..keys), rng.gen::<f64>())),
-    );
-    Mapping::same(format!("chain({from}->{to})"), LdsId(from), LdsId(to), table)
+    let table = MappingTable::from_triples((0..rows).map(|_| {
+        (
+            rng.gen_range(0..keys),
+            rng.gen_range(0..keys),
+            rng.gen::<f64>(),
+        )
+    }));
+    Mapping::same(
+        format!("chain({from}->{to})"),
+        LdsId(from),
+        LdsId(to),
+        table,
+    )
 }
 
 /// Sample publication-title-like strings for similarity benches.
 pub fn sample_titles(n: usize, seed: u64) -> Vec<String> {
     let openers = ["Efficient", "Scalable", "Adaptive", "Robust", "Incremental"];
-    let topics =
-        ["Query Processing", "Schema Matching", "Data Cleaning", "Similarity Search", "Join Processing"];
-    let contexts = ["Data Warehouses", "XML Data", "Sensor Networks", "the Web", "P2P Systems"];
+    let topics = [
+        "Query Processing",
+        "Schema Matching",
+        "Data Cleaning",
+        "Similarity Search",
+        "Join Processing",
+    ];
+    let contexts = [
+        "Data Warehouses",
+        "XML Data",
+        "Sensor Networks",
+        "the Web",
+        "P2P Systems",
+    ];
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {

@@ -85,9 +85,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--source" => sources.push(it.next().ok_or("--source needs a file")?),
             "--assoc" => assocs.push(it.next().ok_or("--assoc needs a spec")?),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?),
-            other if script_path.is_none() && !other.starts_with("--") => {
-                script_path = Some(other)
-            }
+            other if script_path.is_none() && !other.starts_with("--") => script_path = Some(other),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -110,29 +108,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // Load associations: Name=DomainLds:RangeLds:file.tsv
     let repository = MappingRepository::new();
     for spec in &assocs {
-        let (name, rest) =
-            spec.split_once('=').ok_or_else(|| format!("bad --assoc `{spec}`"))?;
+        let (name, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --assoc `{spec}`"))?;
         let mut parts = rest.splitn(3, ':');
-        let (Some(dom), Some(ran), Some(file)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(dom), Some(ran), Some(file)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(format!("bad --assoc `{spec}` (expected Name=Dom:Ran:file)"));
         };
         let d = registry.resolve(dom).map_err(|e| e.to_string())?;
         let r = registry.resolve(ran).map_err(|e| e.to_string())?;
         let mapping = loader::load_association(&registry, file, name, name, d, r)
             .map_err(|e| format!("{file}: {e}"))?;
-        eprintln!("loaded association {name} ({} rows) from {file}", mapping.len());
+        eprintln!(
+            "loaded association {name} ({} rows) from {file}",
+            mapping.len()
+        );
         repository.store_as(name, mapping);
     }
 
     // Run the script.
-    let text =
-        std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
     let value = run_script(&text, &registry, &repository).map_err(|e| e.to_string())?;
     let Some(mapping) = value.as_mapping() else {
         return Err("script did not return a mapping".into());
     };
-    eprintln!("script returned `{}` with {} correspondences", mapping.name, mapping.len());
+    eprintln!(
+        "script returned `{}` with {} correspondences",
+        mapping.name,
+        mapping.len()
+    );
 
     let tsv = loader::mapping_to_tsv(&registry, mapping);
     match out {

@@ -104,7 +104,10 @@ mod tests {
             (0, "A formal perspective on the view selection problem"),
             (1, "Generic Schema Matching with Cupid"),
             (2, "Potter's Wheel: An Interactive Data Cleaning System"),
-            (3, "Robust and Efficient Fuzzy Match for Online Data Cleaning"),
+            (
+                3,
+                "Robust and Efficient Fuzzy Match for Online Data Cleaning",
+            ),
             (4, "A formal perspective on the view selection problem."),
         ]
     }

@@ -22,7 +22,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: u32) -> Self {
-        Self { parent: (0..n).collect(), rank: vec![0; n as usize] }
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n as usize],
+        }
     }
 
     /// Representative of `x` (with path halving).
@@ -102,7 +105,9 @@ pub fn clusters(self_mapping: &Mapping, n: u32) -> Result<Vec<Vec<u32>>> {
 /// singletons map to themselves.
 pub fn representatives(self_mapping: &Mapping, n: u32) -> Result<Vec<u32>> {
     if !self_mapping.is_self_mapping() {
-        return Err(CoreError::Incompatible("representatives need a self-mapping".into()));
+        return Err(CoreError::Incompatible(
+            "representatives need a self-mapping".into(),
+        ));
     }
     let mut uf = UnionFind::new(n);
     for c in self_mapping.table.iter() {

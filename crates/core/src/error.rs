@@ -65,8 +65,12 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(CoreError::EmptyInput("merge".into()).to_string().contains("merge"));
-        assert!(CoreError::UnknownMapping("PubSame".into()).to_string().contains("PubSame"));
+        assert!(CoreError::EmptyInput("merge".into())
+            .to_string()
+            .contains("merge"));
+        assert!(CoreError::UnknownMapping("PubSame".into())
+            .to_string()
+            .contains("PubSame"));
         let m: CoreError = ModelError::UnknownSource("X".into()).into();
         assert!(m.to_string().contains("model error"));
     }

@@ -40,7 +40,13 @@ pub struct Mapping {
 impl Mapping {
     /// Create a same-mapping.
     pub fn same(name: impl Into<String>, domain: LdsId, range: LdsId, table: MappingTable) -> Self {
-        Self { name: name.into(), kind: MappingKind::Same, domain, range, table }
+        Self {
+            name: name.into(),
+            kind: MappingKind::Same,
+            domain,
+            range,
+            table,
+        }
     }
 
     /// Create an association mapping.
@@ -118,7 +124,9 @@ impl Mapping {
 
     /// Check the `[0,1]` similarity invariant.
     pub fn sims_valid(&self) -> bool {
-        self.table.iter().all(|c| (0.0..=1.0).contains(&c.sim) && c.sim.is_finite())
+        self.table
+            .iter()
+            .all(|c| (0.0..=1.0).contains(&c.sim) && c.sim.is_finite())
     }
 
     /// Replace the label, returning self (builder style).
@@ -147,8 +155,13 @@ mod tests {
         assert!(m.kind.is_same());
         assert_eq!(m.len(), 2);
         assert!(!m.is_self_mapping());
-        let a = Mapping::association("PubAuth", "publications of author", LdsId(0), LdsId(2),
-            MappingTable::new());
+        let a = Mapping::association(
+            "PubAuth",
+            "publications of author",
+            LdsId(0),
+            LdsId(2),
+            MappingTable::new(),
+        );
         assert!(!a.kind.is_same());
         assert!(a.is_empty());
     }

@@ -115,11 +115,7 @@ impl AttributeMatcher {
 
     /// Score a prepared candidate list. `domain_vals` / `range_vals` are
     /// `(instance index, match string)` projections.
-    fn score(
-        &self,
-        domain_vals: &[(u32, String)],
-        range_vals: &[(u32, String)],
-    ) -> MappingTable {
+    fn score(&self, domain_vals: &[(u32, String)], range_vals: &[(u32, String)]) -> MappingTable {
         // Pre-compute the scoring closure.
         let tfidf_corpus = match self.sim {
             MatcherSim::TfIdf => {
@@ -148,7 +144,11 @@ impl AttributeMatcher {
         };
         // Position lookup for blocked mode: instance index -> slice pos.
         let pos_of: moma_table::FxHashMap<u32, usize> = match index {
-            Some(_) => range_vals.iter().enumerate().map(|(p, (i, _))| (*i, p)).collect(),
+            Some(_) => range_vals
+                .iter()
+                .enumerate()
+                .map(|(p, (i, _))| (*i, p))
+                .collect(),
             None => Default::default(),
         };
 
@@ -179,13 +179,15 @@ impl AttributeMatcher {
         };
 
         let rows = if self.parallel && domain_vals.len() >= 64 {
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
             let chunk_size = domain_vals.len().div_ceil(threads);
             let chunks: Vec<&[(u32, String)]> = domain_vals.chunks(chunk_size).collect();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|chunk| scope.spawn(move |_| score_chunk(chunk)))
+                    .map(|chunk| scope.spawn(move || score_chunk(chunk)))
                     .collect();
                 let mut rows = Vec::new();
                 for h in handles {
@@ -193,7 +195,6 @@ impl AttributeMatcher {
                 }
                 rows
             })
-            .expect("crossbeam scope")
         } else {
             score_chunk(domain_vals)
         };
@@ -207,7 +208,10 @@ impl Matcher for AttributeMatcher {
             MatcherSim::Fixed(f) => f.name(),
             MatcherSim::TfIdf => "tfidf".into(),
         };
-        format!("attrMatch({}, {}, {sim}, {})", self.domain_attr, self.range_attr, self.threshold)
+        format!(
+            "attrMatch({}, {}, {sim}, {})",
+            self.domain_attr, self.range_attr, self.threshold
+        )
     }
 
     fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping> {
@@ -242,16 +246,25 @@ mod tests {
         );
         dblp.insert_record(
             "d0",
-            vec![("title", "A formal perspective on the view selection problem".into()),
-                 ("year", 2001u16.into())],
+            vec![
+                (
+                    "title",
+                    "A formal perspective on the view selection problem".into(),
+                ),
+                ("year", 2001u16.into()),
+            ],
         )
         .unwrap();
         dblp.insert_record(
             "d1",
-            vec![("title", "Generic Schema Matching with Cupid".into()), ("year", 2001u16.into())],
+            vec![
+                ("title", "Generic Schema Matching with Cupid".into()),
+                ("year", 2001u16.into()),
+            ],
         )
         .unwrap();
-        dblp.insert_record("d2", vec![("title", "Potter's Wheel".into())]).unwrap();
+        dblp.insert_record("d2", vec![("title", "Potter's Wheel".into())])
+            .unwrap();
         let mut acm = LogicalSource::new(
             "ACM",
             ObjectType::new("Publication"),
@@ -259,16 +272,25 @@ mod tests {
         );
         acm.insert_record(
             "a0",
-            vec![("name", "A formal perspective on the view selection problem.".into()),
-                 ("year", 2001u16.into())],
+            vec![
+                (
+                    "name",
+                    "A formal perspective on the view selection problem.".into(),
+                ),
+                ("year", 2001u16.into()),
+            ],
         )
         .unwrap();
         acm.insert_record(
             "a1",
-            vec![("name", "Generic schema matching with CUPID".into()), ("year", 2002u16.into())],
+            vec![
+                ("name", "Generic schema matching with CUPID".into()),
+                ("year", 2002u16.into()),
+            ],
         )
         .unwrap();
-        acm.insert_record("a2", vec![("name", "Reference Reconciliation".into())]).unwrap();
+        acm.insert_record("a2", vec![("name", "Reference Reconciliation".into())])
+            .unwrap();
         let d = reg.register(dblp).unwrap();
         let a = reg.register(acm).unwrap();
         (reg, d, a)

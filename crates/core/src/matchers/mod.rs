@@ -30,12 +30,18 @@ pub struct MatchContext<'a> {
 impl<'a> MatchContext<'a> {
     /// Context without a repository.
     pub fn new(registry: &'a SourceRegistry) -> Self {
-        Self { registry, repository: None }
+        Self {
+            registry,
+            repository: None,
+        }
     }
 
     /// Context with a repository.
     pub fn with_repository(registry: &'a SourceRegistry, repo: &'a MappingRepository) -> Self {
-        Self { registry, repository: Some(repo) }
+        Self {
+            registry,
+            repository: Some(repo),
+        }
     }
 }
 

@@ -35,7 +35,12 @@ impl AttrPair {
         sim: SimFn,
         weight: f64,
     ) -> Self {
-        Self { domain_attr: domain_attr.into(), range_attr: range_attr.into(), sim, weight }
+        Self {
+            domain_attr: domain_attr.into(),
+            range_attr: range_attr.into(),
+            sim,
+            weight,
+        }
     }
 }
 
@@ -57,7 +62,12 @@ pub struct MultiAttributeMatcher {
 impl MultiAttributeMatcher {
     /// Create a matcher; `attrs` must be non-empty.
     pub fn new(attrs: Vec<AttrPair>, threshold: f64) -> Self {
-        Self { attrs, threshold, missing: MissingPolicy::Ignore, blocking: Blocking::AllPairs }
+        Self {
+            attrs,
+            threshold,
+            missing: MissingPolicy::Ignore,
+            blocking: Blocking::AllPairs,
+        }
     }
 
     /// Set the missing policy (builder style).
@@ -110,19 +120,27 @@ impl Matcher for MultiAttributeMatcher {
 
     fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping> {
         if self.attrs.is_empty() {
-            return Err(CoreError::InvalidConfig("multi-attribute matcher needs attributes".into()));
+            return Err(CoreError::InvalidConfig(
+                "multi-attribute matcher needs attributes".into(),
+            ));
         }
         let d_lds = ctx.registry.lds(domain);
         let r_lds = ctx.registry.lds(range);
 
         // Per-instance value rows aligned to `attrs`.
-        let project = |lds: &moma_model::LogicalSource, side_domain: bool| -> Result<Vec<(u32, Vec<Option<String>>)>> {
+        let project = |lds: &moma_model::LogicalSource,
+                       side_domain: bool|
+         -> Result<Vec<(u32, Vec<Option<String>>)>> {
             let slots: Vec<usize> = self
                 .attrs
                 .iter()
                 .map(|p| {
-                    lds.attr_slot(if side_domain { &p.domain_attr } else { &p.range_attr })
-                        .map_err(CoreError::from)
+                    lds.attr_slot(if side_domain {
+                        &p.domain_attr
+                    } else {
+                        &p.range_attr
+                    })
+                    .map_err(CoreError::from)
                 })
                 .collect::<Result<_>>()?;
             Ok(lds
@@ -148,8 +166,11 @@ impl Matcher for MultiAttributeMatcher {
                     .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v))),
             )),
         };
-        let pos_of: moma_table::FxHashMap<u32, usize> =
-            r_rows.iter().enumerate().map(|(p, (i, _))| (*i, p)).collect();
+        let pos_of: moma_table::FxHashMap<u32, usize> = r_rows
+            .iter()
+            .enumerate()
+            .map(|(p, (i, _))| (*i, p))
+            .collect();
 
         let mut table = MappingTable::new();
         for (d_idx, d_row) in &d_rows {
@@ -192,17 +213,28 @@ mod tests {
         // version problem from paper Fig. 7.
         dblp.insert_record(
             "d0",
-            vec![("title", "A formal perspective on the view selection problem".into()),
-                 ("year", 2001u16.into())],
+            vec![
+                (
+                    "title",
+                    "A formal perspective on the view selection problem".into(),
+                ),
+                ("year", 2001u16.into()),
+            ],
         )
         .unwrap();
         dblp.insert_record(
             "d1",
-            vec![("title", "A formal perspective on the view selection problem".into()),
-                 ("year", 2002u16.into())],
+            vec![
+                (
+                    "title",
+                    "A formal perspective on the view selection problem".into(),
+                ),
+                ("year", 2002u16.into()),
+            ],
         )
         .unwrap();
-        dblp.insert_record("d2", vec![("title", "No year record".into())]).unwrap();
+        dblp.insert_record("d2", vec![("title", "No year record".into())])
+            .unwrap();
         let mut acm = LogicalSource::new(
             "ACM",
             ObjectType::new("Publication"),
@@ -210,11 +242,17 @@ mod tests {
         );
         acm.insert_record(
             "a0",
-            vec![("title", "A formal perspective on the view selection problem".into()),
-                 ("year", 2001u16.into())],
+            vec![
+                (
+                    "title",
+                    "A formal perspective on the view selection problem".into(),
+                ),
+                ("year", 2001u16.into()),
+            ],
         )
         .unwrap();
-        acm.insert_record("a1", vec![("title", "No year record".into())]).unwrap();
+        acm.insert_record("a1", vec![("title", "No year record".into())])
+            .unwrap();
         let d = reg.register(dblp).unwrap();
         let a = reg.register(acm).unwrap();
         (reg, d, a)
@@ -253,7 +291,10 @@ mod tests {
     fn missing_zero_penalizes() {
         let (reg, d, a) = setup();
         let ctx = MatchContext::new(&reg);
-        let r = matcher().with_missing(MissingPolicy::Zero).execute(&ctx, d, a).unwrap();
+        let r = matcher()
+            .with_missing(MissingPolicy::Zero)
+            .execute(&ctx, d, a)
+            .unwrap();
         // d2/a1: (2*1 + 0)/3 ≈ 0.67 < 0.8 -> dropped.
         assert_eq!(r.table.sim_of(2, 1), None);
     }
@@ -263,8 +304,10 @@ mod tests {
         let (reg, d, a) = setup();
         let ctx = MatchContext::new(&reg);
         let all = matcher().execute(&ctx, d, a).unwrap();
-        let blocked =
-            matcher().with_blocking(Blocking::TrigramPrefix).execute(&ctx, d, a).unwrap();
+        let blocked = matcher()
+            .with_blocking(Blocking::TrigramPrefix)
+            .execute(&ctx, d, a)
+            .unwrap();
         assert_eq!(all.table.pair_set(), blocked.table.pair_set());
     }
 
@@ -273,7 +316,10 @@ mod tests {
         let (reg, d, a) = setup();
         let ctx = MatchContext::new(&reg);
         let m = MultiAttributeMatcher::new(vec![], 0.5);
-        assert!(matches!(m.execute(&ctx, d, a), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(
+            m.execute(&ctx, d, a),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -59,7 +59,12 @@ impl NeighborhoodMatcher {
         same: impl Into<String>,
         asso2: impl Into<String>,
     ) -> Self {
-        Self { asso1: asso1.into(), same: same.into(), asso2: asso2.into(), g: PathAgg::Relative }
+        Self {
+            asso1: asso1.into(),
+            same: same.into(),
+            asso2: asso2.into(),
+            g: PathAgg::Relative,
+        }
     }
 
     /// Override the aggregation function (builder style).
@@ -75,11 +80,12 @@ impl Matcher for NeighborhoodMatcher {
     }
 
     fn execute(&self, ctx: &MatchContext<'_>, domain: LdsId, range: LdsId) -> Result<Mapping> {
-        let repo = ctx
-            .repository
-            .ok_or_else(|| CoreError::InvalidConfig("neighborhood matcher needs a repository".into()))?;
+        let repo = ctx.repository.ok_or_else(|| {
+            CoreError::InvalidConfig("neighborhood matcher needs a repository".into())
+        })?;
         let get = |name: &str| {
-            repo.get(name).ok_or_else(|| CoreError::UnknownMapping(name.to_owned()))
+            repo.get(name)
+                .ok_or_else(|| CoreError::UnknownMapping(name.to_owned()))
         };
         let asso1 = get(&self.asso1)?;
         let same = get(&self.same)?;
@@ -191,7 +197,10 @@ mod tests {
         let reg = moma_model::SourceRegistry::new();
         let ctx = MatchContext::with_repository(&reg, &repo);
         let m = NeighborhoodMatcher::new("missing1", "missing2", "missing3");
-        assert!(matches!(m.execute(&ctx, LdsId(0), LdsId(3)), Err(CoreError::UnknownMapping(_))));
+        assert!(matches!(
+            m.execute(&ctx, LdsId(0), LdsId(3)),
+            Err(CoreError::UnknownMapping(_))
+        ));
     }
 
     #[test]

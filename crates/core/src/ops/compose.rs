@@ -208,7 +208,12 @@ mod tests {
             let l = rl.table.sim_of(c.domain, c.range).unwrap();
             let r = rr.table.sim_of(c.domain, c.range).unwrap();
             let harmonic = 2.0 * l * r / (l + r);
-            assert!((c.sim - harmonic).abs() < 1e-9, "pair ({},{})", c.domain, c.range);
+            assert!(
+                (c.sim - harmonic).abs() < 1e-9,
+                "pair ({},{})",
+                c.domain,
+                c.range
+            );
         }
     }
 
@@ -269,8 +274,18 @@ mod tests {
 
     #[test]
     fn same_kind_propagation() {
-        let s1 = Mapping::same("s1", LdsId(0), LdsId(1), MappingTable::from_triples([(0, 0, 1.0)]));
-        let s2 = Mapping::same("s2", LdsId(1), LdsId(2), MappingTable::from_triples([(0, 0, 1.0)]));
+        let s1 = Mapping::same(
+            "s1",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        );
+        let s2 = Mapping::same(
+            "s2",
+            LdsId(1),
+            LdsId(2),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        );
         let r = compose(&s1, &s2, PathCombine::Min, PathAgg::Max).unwrap();
         assert!(r.kind.is_same());
         let (a1, a2) = fig6();
@@ -293,10 +308,14 @@ mod prop_tests {
     use moma_model::LdsId;
     use proptest::prelude::*;
 
-    fn arb_mapping(d: LdsId, r: LdsId, max_key: u32, max_rows: usize) -> impl Strategy<Value = Mapping> {
-        prop::collection::vec((0..max_key, 0..max_key, 0.01f64..=1.0), 0..max_rows).prop_map(
-            move |rows| Mapping::same("m", d, r, MappingTable::from_triples(rows)),
-        )
+    fn arb_mapping(
+        d: LdsId,
+        r: LdsId,
+        max_key: u32,
+        max_rows: usize,
+    ) -> impl Strategy<Value = Mapping> {
+        prop::collection::vec((0..max_key, 0..max_key, 0.01f64..=1.0), 0..max_rows)
+            .prop_map(move |rows| Mapping::same("m", d, r, MappingTable::from_triples(rows)))
     }
 
     proptest! {

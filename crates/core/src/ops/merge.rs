@@ -87,8 +87,7 @@ pub fn merge(inputs: &[&Mapping], f: MergeFn, missing: MissingPolicy) -> Result<
         for c in m.table.iter() {
             pairs
                 .entry((c.domain, c.range))
-                .or_insert_with(|| vec![None; n])
-                [i] = Some(c.sim);
+                .or_insert_with(|| vec![None; n])[i] = Some(c.sim);
         }
     }
 
@@ -113,11 +112,13 @@ fn combine(f: &MergeFn, missing: MissingPolicy, sims: &[Option<f64>]) -> Option<
         (MergeFn::Avg, MissingPolicy::Zero) => {
             Some(sims.iter().flatten().sum::<f64>() / sims.len() as f64)
         }
-        (MergeFn::Min, MissingPolicy::Ignore) => {
-            sims.iter().flatten().copied().fold(None, |acc: Option<f64>, s| {
+        (MergeFn::Min, MissingPolicy::Ignore) => sims
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc: Option<f64>, s| {
                 Some(acc.map_or(s, |a| a.min(s)))
-            })
-        }
+            }),
         (MergeFn::Min, MissingPolicy::Zero) => {
             // Intersection semantics: pairs absent from any input vanish.
             if present < sims.len() {
@@ -289,8 +290,12 @@ mod tests {
     #[test]
     fn weighted_average() {
         let (m1, m2) = fig4();
-        let r = merge(&[&m1, &m2], MergeFn::Weighted(vec![3.0, 1.0]), MissingPolicy::Ignore)
-            .unwrap();
+        let r = merge(
+            &[&m1, &m2],
+            MergeFn::Weighted(vec![3.0, 1.0]),
+            MissingPolicy::Ignore,
+        )
+        .unwrap();
         // (1,11): (3*1.0 + 1*0.6)/4 = 0.9
         assert!((r.table.sim_of(1, 11).unwrap() - 0.9).abs() < 1e-12);
         // (2,12): only map1 -> weight renormalizes to map1 alone = 0.8.
@@ -300,8 +305,12 @@ mod tests {
     #[test]
     fn weighted_zero_fill() {
         let (m1, m2) = fig4();
-        let r =
-            merge(&[&m1, &m2], MergeFn::Weighted(vec![3.0, 1.0]), MissingPolicy::Zero).unwrap();
+        let r = merge(
+            &[&m1, &m2],
+            MergeFn::Weighted(vec![3.0, 1.0]),
+            MissingPolicy::Zero,
+        )
+        .unwrap();
         // (2,12): (3*0.8 + 1*0)/4 = 0.6
         assert!((r.table.sim_of(2, 12).unwrap() - 0.6).abs() < 1e-12);
     }
@@ -344,7 +353,11 @@ mod tests {
             Err(CoreError::Incompatible(_))
         ));
         assert!(matches!(
-            merge(&[&m1], MergeFn::Weighted(vec![1.0, 2.0]), MissingPolicy::Ignore),
+            merge(
+                &[&m1],
+                MergeFn::Weighted(vec![1.0, 2.0]),
+                MissingPolicy::Ignore
+            ),
             Err(CoreError::InvalidConfig(_))
         ));
         assert!(matches!(
@@ -362,8 +375,7 @@ mod tests {
         let (m1, m2) = fig4();
         let r = merge(&[&m1, &m2], MergeFn::Avg, MissingPolicy::Ignore).unwrap();
         assert!(r.kind.is_same());
-        let assoc =
-            Mapping::association("a", "t", LdsId(0), LdsId(1), MappingTable::new());
+        let assoc = Mapping::association("a", "t", LdsId(0), LdsId(1), MappingTable::new());
         let r2 = merge(&[&m1, &assoc], MergeFn::Max, MissingPolicy::Ignore).unwrap();
         assert!(!r2.kind.is_same());
     }

@@ -49,7 +49,10 @@ pub enum Selection {
 impl Selection {
     /// Convenience: plain Best-1 per domain instance.
     pub fn best1() -> Self {
-        Selection::BestN { n: 1, side: Side::Domain }
+        Selection::BestN {
+            n: 1,
+            side: Side::Domain,
+        }
     }
 }
 
@@ -60,11 +63,13 @@ pub fn select(mapping: &Mapping, sel: &Selection) -> Mapping {
         Selection::BestN { n, side } => apply_sided(&mapping.table, *side, |keep, adj, key| {
             best_n_keys(keep, adj, key, *n);
         }),
-        Selection::Best1Delta { delta, relative, side } => {
-            apply_sided(&mapping.table, *side, |keep, adj, key| {
-                best1_delta_keys(keep, adj, key, *delta, *relative);
-            })
-        }
+        Selection::Best1Delta {
+            delta,
+            relative,
+            side,
+        } => apply_sided(&mapping.table, *side, |keep, adj, key| {
+            best1_delta_keys(keep, adj, key, *delta, *relative);
+        }),
     };
     Mapping {
         name: format!("select({})", mapping.name),
@@ -103,8 +108,11 @@ fn apply_sided(
     per_key: impl Fn(&mut Vec<(u32, u32)>, &Adjacency, u32),
 ) -> MappingTable {
     let run_side = |domain_side: bool| -> Vec<(u32, u32)> {
-        let adj =
-            if domain_side { Adjacency::over_domain(table) } else { Adjacency::over_range(table) };
+        let adj = if domain_side {
+            Adjacency::over_domain(table)
+        } else {
+            Adjacency::over_range(table)
+        };
         let mut kept = Vec::new();
         for key in adj.keys() {
             let mut local = Vec::new();
@@ -125,7 +133,10 @@ fn apply_sided(
         Side::Range => run_side(false).into_iter().collect(),
         Side::Both => {
             let d: moma_table::FxHashSet<(u32, u32)> = run_side(true).into_iter().collect();
-            run_side(false).into_iter().filter(|p| d.contains(p)).collect()
+            run_side(false)
+                .into_iter()
+                .filter(|p| d.contains(p))
+                .collect()
         }
     };
     table.filtered(|c| keep_pairs.contains(&(c.domain, c.range)))
@@ -136,20 +147,35 @@ fn best_n_keys(keep: &mut Vec<(u32, u32)>, adj: &Adjacency, key: u32, n: usize) 
     // Sort by similarity descending, tie-break on the other id for
     // determinism.
     neighbors.sort_by(|(o1, s1), (o2, s2)| {
-        s2.partial_cmp(s1).unwrap_or(std::cmp::Ordering::Equal).then(o1.cmp(o2))
+        s2.partial_cmp(s1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(o1.cmp(o2))
     });
     for (other, _) in neighbors.into_iter().take(n) {
         keep.push((key, other));
     }
 }
 
-fn best1_delta_keys(keep: &mut Vec<(u32, u32)>, adj: &Adjacency, key: u32, delta: f64, relative: bool) {
+fn best1_delta_keys(
+    keep: &mut Vec<(u32, u32)>,
+    adj: &Adjacency,
+    key: u32,
+    delta: f64,
+    relative: bool,
+) {
     let neighbors = adj.neighbors(key);
-    let best = neighbors.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+    let best = neighbors
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
     if !best.is_finite() {
         return;
     }
-    let cutoff = if relative { best * (1.0 - delta) } else { best - delta };
+    let cutoff = if relative {
+        best * (1.0 - delta)
+    } else {
+        best - delta
+    };
     for &(other, s) in neighbors {
         if s >= cutoff {
             keep.push((key, other));
@@ -204,14 +230,26 @@ mod tests {
 
     #[test]
     fn best2_per_domain() {
-        let r = select(&mapping(), &Selection::BestN { n: 2, side: Side::Domain });
+        let r = select(
+            &mapping(),
+            &Selection::BestN {
+                n: 2,
+                side: Side::Domain,
+            },
+        );
         assert_eq!(r.len(), 5);
         assert_eq!(r.table.sim_of(1, 12), None);
     }
 
     #[test]
     fn best1_per_range() {
-        let r = select(&mapping(), &Selection::BestN { n: 1, side: Side::Range });
+        let r = select(
+            &mapping(),
+            &Selection::BestN {
+                n: 1,
+                side: Side::Range,
+            },
+        );
         // Range 10 is claimed by domain 1 (0.9 > 0.7).
         assert_eq!(r.table.sim_of(1, 10), Some(0.9));
         assert_eq!(r.table.sim_of(2, 10), None);
@@ -221,7 +259,13 @@ mod tests {
 
     #[test]
     fn best1_both_is_stable_marriage_like() {
-        let r = select(&mapping(), &Selection::BestN { n: 1, side: Side::Both });
+        let r = select(
+            &mapping(),
+            &Selection::BestN {
+                n: 1,
+                side: Side::Both,
+            },
+        );
         // (1,10) best for both sides; (2,10) loses range competition;
         // (2,13) is 2's second choice so not in domain top-1.
         assert_eq!(r.table.sim_of(1, 10), Some(0.9));
@@ -235,7 +279,11 @@ mod tests {
     fn best1_delta_absolute() {
         let r = select(
             &mapping(),
-            &Selection::Best1Delta { delta: 0.05, relative: false, side: Side::Domain },
+            &Selection::Best1Delta {
+                delta: 0.05,
+                relative: false,
+                side: Side::Domain,
+            },
         );
         // Domain 1: best 0.9, cutoff 0.85 -> keeps (1,10) and (1,11).
         assert_eq!(r.table.sim_of(1, 10), Some(0.9));
@@ -249,7 +297,11 @@ mod tests {
     fn best1_delta_relative() {
         let r = select(
             &mapping(),
-            &Selection::Best1Delta { delta: 0.2, relative: true, side: Side::Domain },
+            &Selection::Best1Delta {
+                delta: 0.2,
+                relative: true,
+                side: Side::Domain,
+            },
         );
         // Domain 2: best 0.7, cutoff 0.56 -> keeps both (2,10) and (2,13).
         assert_eq!(r.table.sim_of(2, 10), Some(0.7));
@@ -276,7 +328,11 @@ mod tests {
         for sel in [
             Selection::Threshold(0.5),
             Selection::best1(),
-            Selection::Best1Delta { delta: 0.1, relative: false, side: Side::Range },
+            Selection::Best1Delta {
+                delta: 0.1,
+                relative: false,
+                side: Side::Range,
+            },
         ] {
             assert!(select(&m, &sel).is_empty());
         }
@@ -305,8 +361,9 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_mapping() -> impl Strategy<Value = Mapping> {
-        prop::collection::vec((0u32..12, 0u32..12, 0.0f64..=1.0), 0..50)
-            .prop_map(|rows| Mapping::same("m", LdsId(0), LdsId(1), MappingTable::from_triples(rows)))
+        prop::collection::vec((0u32..12, 0u32..12, 0.0f64..=1.0), 0..50).prop_map(|rows| {
+            Mapping::same("m", LdsId(0), LdsId(1), MappingTable::from_triples(rows))
+        })
     }
 
     proptest! {

@@ -66,7 +66,9 @@ pub fn difference(a: &Mapping, b: &Mapping) -> Result<Mapping> {
         kind: a.kind.clone(),
         domain: a.domain,
         range: a.range,
-        table: a.table.filtered(|c| !pairs_b.contains(&(c.domain, c.range))),
+        table: a
+            .table
+            .filtered(|c| !pairs_b.contains(&(c.domain, c.range))),
     })
 }
 

@@ -12,7 +12,7 @@ use std::fs;
 use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use moma_model::SourceRegistry;
 use moma_table::{FxHashMap, MappingTable};
@@ -39,7 +39,10 @@ impl MappingRepository {
     /// Store a mapping under its own name, replacing any previous entry.
     pub fn store(&self, mapping: Mapping) -> Arc<Mapping> {
         let arc = Arc::new(mapping);
-        self.inner.write().insert(arc.name.clone(), Arc::clone(&arc));
+        self.inner
+            .write()
+            .expect("repository lock poisoned")
+            .insert(arc.name.clone(), Arc::clone(&arc));
         arc
     }
 
@@ -47,50 +50,77 @@ impl MappingRepository {
     pub fn store_as(&self, name: impl Into<String>, mapping: Mapping) -> Arc<Mapping> {
         let name = name.into();
         let arc = Arc::new(mapping.named(name.clone()));
-        self.inner.write().insert(name, Arc::clone(&arc));
+        self.inner
+            .write()
+            .expect("repository lock poisoned")
+            .insert(name, Arc::clone(&arc));
         arc
     }
 
     /// Fetch a mapping by name.
     pub fn get(&self, name: &str) -> Option<Arc<Mapping>> {
-        self.inner.read().get(name).cloned()
+        self.inner
+            .read()
+            .expect("repository lock poisoned")
+            .get(name)
+            .cloned()
     }
 
     /// Fetch or error.
     pub fn require(&self, name: &str) -> Result<Arc<Mapping>> {
-        self.get(name).ok_or_else(|| CoreError::UnknownMapping(name.into()))
+        self.get(name)
+            .ok_or_else(|| CoreError::UnknownMapping(name.into()))
     }
 
     /// Whether a name exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner
+            .read()
+            .expect("repository lock poisoned")
+            .contains_key(name)
     }
 
     /// Remove an entry; returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner.write().remove(name).is_some()
+        self.inner
+            .write()
+            .expect("repository lock poisoned")
+            .remove(name)
+            .is_some()
     }
 
     /// All stored names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .inner
+            .read()
+            .expect("repository lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         v.sort();
         v
     }
 
     /// Number of stored mappings.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("repository lock poisoned").len()
     }
 
     /// Whether the repository is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner
+            .read()
+            .expect("repository lock poisoned")
+            .is_empty()
     }
 
     /// Remove everything.
     pub fn clear(&self) {
-        self.inner.write().clear();
+        self.inner
+            .write()
+            .expect("repository lock poisoned")
+            .clear();
     }
 
     /// Persist all mappings into `dir`, one TSV file per mapping, rows
@@ -112,9 +142,10 @@ impl MappingRepository {
             text.push_str(&format!("#domain\t{}\n", d_lds.name()));
             text.push_str(&format!("#range\t{}\n", r_lds.name()));
             for c in mapping.table.iter() {
-                let (Some(d), Some(r)) =
-                    (d_lds.get(c.domain).map(|i| &i.id), r_lds.get(c.range).map(|i| &i.id))
-                else {
+                let (Some(d), Some(r)) = (
+                    d_lds.get(c.domain).map(|i| &i.id),
+                    r_lds.get(c.range).map(|i| &i.id),
+                ) else {
                     continue;
                 };
                 text.push_str(&format!("{d}\t{r}\t{}\n", c.sim));
@@ -168,11 +199,12 @@ impl MappingRepository {
                     continue;
                 }
                 let mut parts = line.split('\t');
-                let (Some(d), Some(r), Some(s)) = (parts.next(), parts.next(), parts.next())
-                else {
+                let (Some(d), Some(r), Some(s)) = (parts.next(), parts.next(), parts.next()) else {
                     continue;
                 };
-                let (Some(domain), Some(range)) = (domain, range) else { continue };
+                let (Some(domain), Some(range)) = (domain, range) else {
+                    continue;
+                };
                 let (d_lds, r_lds) = (registry.lds(domain), registry.lds(range));
                 if let (Some(di), Some(ri), Ok(sim)) =
                     (d_lds.index_of(d), r_lds.index_of(r), s.parse::<f64>())
@@ -187,7 +219,13 @@ impl MappingRepository {
                 )));
             };
             table.dedup_max();
-            self.store(Mapping { name, kind, domain, range, table });
+            self.store(Mapping {
+                name,
+                kind,
+                domain,
+                range,
+                table,
+            });
             loaded += 1;
         }
         Ok(loaded)
@@ -200,7 +238,12 @@ mod tests {
     use moma_model::{AttrDef, LdsId, LogicalSource, ObjectType};
 
     fn mapping(name: &str) -> Mapping {
-        Mapping::same(name, LdsId(0), LdsId(1), MappingTable::from_triples([(0, 0, 1.0)]))
+        Mapping::same(
+            name,
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        )
     }
 
     #[test]
@@ -252,12 +295,18 @@ mod tests {
 
     fn registry_with_sources() -> SourceRegistry {
         let mut reg = SourceRegistry::new();
-        let mut a = LogicalSource::new("DBLP", ObjectType::new("Publication"),
-            vec![AttrDef::text("title")]);
+        let mut a = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
         a.insert_record("d0", vec![]).unwrap();
         a.insert_record("d1", vec![]).unwrap();
-        let mut b = LogicalSource::new("ACM", ObjectType::new("Publication"),
-            vec![AttrDef::text("title")]);
+        let mut b = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
         b.insert_record("p0", vec![]).unwrap();
         b.insert_record("p1", vec![]).unwrap();
         reg.register(a).unwrap();

@@ -73,7 +73,13 @@ pub struct Combiner {
 impl Combiner {
     /// Merge with Avg over available values and no selection.
     pub fn merge_avg() -> Self {
-        Self { op: CombineOp::Merge { f: MergeFn::Avg, missing: MissingPolicy::Ignore }, selections: vec![] }
+        Self {
+            op: CombineOp::Merge {
+                f: MergeFn::Avg,
+                missing: MissingPolicy::Ignore,
+            },
+            selections: vec![],
+        }
     }
 
     /// Add a selection (builder style).
@@ -110,8 +116,17 @@ pub struct Workflow {
 
 impl Workflow {
     /// Empty workflow.
-    pub fn new(name: impl Into<String>, domain: impl Into<String>, range: impl Into<String>) -> Self {
-        Self { name: name.into(), domain: domain.into(), range: range.into(), steps: vec![] }
+    pub fn new(
+        name: impl Into<String>,
+        domain: impl Into<String>,
+        range: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            domain: domain.into(),
+            range: range.into(),
+            steps: vec![],
+        }
     }
 
     /// Append a step (builder style).
@@ -125,7 +140,10 @@ impl Workflow {
     /// names a target).
     pub fn run(&self, ctx: &MatchContext<'_>, cache: &MappingCache) -> Result<Mapping> {
         if self.steps.is_empty() {
-            return Err(CoreError::InvalidConfig(format!("workflow `{}` has no steps", self.name)));
+            return Err(CoreError::InvalidConfig(format!(
+                "workflow `{}` has no steps",
+                self.name
+            )));
         }
         let domain = ctx.registry.resolve(&self.domain)?;
         let range = ctx.registry.resolve(&self.range)?;
@@ -230,7 +248,8 @@ impl MatcherLibrary {
     /// Register a workflow as a matcher.
     pub fn register_workflow(&mut self, workflow: Workflow) {
         let name = workflow.name.clone();
-        self.matchers.insert(name, Arc::new(WorkflowMatcher(workflow)));
+        self.matchers
+            .insert(name, Arc::new(WorkflowMatcher(workflow)));
     }
 
     /// Fetch a matcher.
@@ -273,17 +292,56 @@ mod tests {
             ObjectType::new("Publication"),
             vec![AttrDef::text("title"), AttrDef::year("year")],
         );
-        dblp.insert_record("d0", vec![("title", "View Selection Problem".into()), ("year", 2001u16.into())]).unwrap();
-        dblp.insert_record("d1", vec![("title", "Schema Matching with Cupid".into()), ("year", 2001u16.into())]).unwrap();
-        dblp.insert_record("d2", vec![("title", "Potter's Wheel".into()), ("year", 2000u16.into())]).unwrap();
+        dblp.insert_record(
+            "d0",
+            vec![
+                ("title", "View Selection Problem".into()),
+                ("year", 2001u16.into()),
+            ],
+        )
+        .unwrap();
+        dblp.insert_record(
+            "d1",
+            vec![
+                ("title", "Schema Matching with Cupid".into()),
+                ("year", 2001u16.into()),
+            ],
+        )
+        .unwrap();
+        dblp.insert_record(
+            "d2",
+            vec![("title", "Potter's Wheel".into()), ("year", 2000u16.into())],
+        )
+        .unwrap();
         let mut acm = LogicalSource::new(
             "ACM",
             ObjectType::new("Publication"),
             vec![AttrDef::text("title"), AttrDef::year("year")],
         );
-        acm.insert_record("a0", vec![("title", "View Selection Problem".into()), ("year", 2001u16.into())]).unwrap();
-        acm.insert_record("a1", vec![("title", "Schema Matching w. Cupid".into()), ("year", 2001u16.into())]).unwrap();
-        acm.insert_record("a2", vec![("title", "Unrelated Paper".into()), ("year", 1999u16.into())]).unwrap();
+        acm.insert_record(
+            "a0",
+            vec![
+                ("title", "View Selection Problem".into()),
+                ("year", 2001u16.into()),
+            ],
+        )
+        .unwrap();
+        acm.insert_record(
+            "a1",
+            vec![
+                ("title", "Schema Matching w. Cupid".into()),
+                ("year", 2001u16.into()),
+            ],
+        )
+        .unwrap();
+        acm.insert_record(
+            "a2",
+            vec![
+                ("title", "Unrelated Paper".into()),
+                ("year", 1999u16.into()),
+            ],
+        )
+        .unwrap();
         reg.register(dblp).unwrap();
         reg.register(acm).unwrap();
         reg
@@ -302,16 +360,21 @@ mod tests {
         let reg = setup();
         let ctx = MatchContext::new(&reg);
         let cache = MappingCache::new();
-        let wf = Workflow::new("PubMatch", "Publication@DBLP", "Publication@ACM").step(
-            WorkflowStep {
-                inputs: vec![StepInput::Matcher(title_matcher()), StepInput::Matcher(year_matcher())],
+        let wf =
+            Workflow::new("PubMatch", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+                inputs: vec![
+                    StepInput::Matcher(title_matcher()),
+                    StepInput::Matcher(year_matcher()),
+                ],
                 combiner: Combiner {
-                    op: CombineOp::Merge { f: MergeFn::Avg, missing: MissingPolicy::Ignore },
+                    op: CombineOp::Merge {
+                        f: MergeFn::Avg,
+                        missing: MissingPolicy::Ignore,
+                    },
                     selections: vec![Selection::Threshold(0.8)],
                 },
                 publish: Some("step1".into()),
-            },
-        );
+            });
         let r = wf.run(&ctx, &cache).unwrap();
         assert_eq!(r.name, "PubMatch");
         assert!(r.table.sim_of(0, 0).is_some());
@@ -334,8 +397,14 @@ mod tests {
             .step(WorkflowStep {
                 inputs: vec![StepInput::Previous, StepInput::Matcher(year_matcher())],
                 combiner: Combiner {
-                    op: CombineOp::Merge { f: MergeFn::Min, missing: MissingPolicy::Zero },
-                    selections: vec![Selection::BestN { n: 1, side: Side::Domain }],
+                    op: CombineOp::Merge {
+                        f: MergeFn::Min,
+                        missing: MissingPolicy::Zero,
+                    },
+                    selections: vec![Selection::BestN {
+                        n: 1,
+                        side: Side::Domain,
+                    }],
                 },
                 publish: None,
             });
@@ -359,9 +428,15 @@ mod tests {
         let cache = MappingCache::new();
         let wf = Workflow::new("UseExisting", "Publication@DBLP", "Publication@ACM").step(
             WorkflowStep {
-                inputs: vec![StepInput::Matcher(title_matcher()), StepInput::Existing("FromRepo".into())],
+                inputs: vec![
+                    StepInput::Matcher(title_matcher()),
+                    StepInput::Existing("FromRepo".into()),
+                ],
                 combiner: Combiner {
-                    op: CombineOp::Merge { f: MergeFn::Max, missing: MissingPolicy::Ignore },
+                    op: CombineOp::Merge {
+                        f: MergeFn::Max,
+                        missing: MissingPolicy::Ignore,
+                    },
                     selections: vec![],
                 },
                 publish: None,
@@ -379,20 +454,35 @@ mod tests {
         let d = reg.resolve("Publication@DBLP").unwrap();
         let a = reg.resolve("Publication@ACM").unwrap();
         // d -> a and a -> a (an ACM self-mapping to fold through).
-        repo.store(Mapping::same("DA", d, a, MappingTable::from_triples([(0, 0, 1.0), (1, 1, 0.8)])));
-        repo.store(Mapping::same("AA", a, a, MappingTable::from_triples([(0, 0, 1.0), (1, 1, 1.0)])));
+        repo.store(Mapping::same(
+            "DA",
+            d,
+            a,
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 0.8)]),
+        ));
+        repo.store(Mapping::same(
+            "AA",
+            a,
+            a,
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 1.0)]),
+        ));
         let ctx = MatchContext::with_repository(&reg, &repo);
         let cache = MappingCache::new();
-        let wf = Workflow::new("Composed", "Publication@DBLP", "Publication@ACM").step(
-            WorkflowStep {
-                inputs: vec![StepInput::Existing("DA".into()), StepInput::Existing("AA".into())],
+        let wf =
+            Workflow::new("Composed", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+                inputs: vec![
+                    StepInput::Existing("DA".into()),
+                    StepInput::Existing("AA".into()),
+                ],
                 combiner: Combiner {
-                    op: CombineOp::Compose { f: PathCombine::Min, g: PathAgg::Max },
+                    op: CombineOp::Compose {
+                        f: PathCombine::Min,
+                        g: PathAgg::Max,
+                    },
                     selections: vec![],
                 },
                 publish: None,
-            },
-        );
+            });
         let r = wf.run(&ctx, &cache).unwrap();
         assert_eq!(r.table.sim_of(0, 0), Some(1.0));
         assert_eq!(r.table.sim_of(1, 1), Some(0.8));
@@ -409,23 +499,27 @@ mod tests {
             Err(CoreError::InvalidConfig(_))
         ));
         // Previous in first step.
-        let wf = Workflow::new("BadPrev", "Publication@DBLP", "Publication@ACM").step(
-            WorkflowStep {
+        let wf =
+            Workflow::new("BadPrev", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
                 inputs: vec![StepInput::Previous],
                 combiner: Combiner::merge_avg(),
                 publish: None,
-            },
-        );
-        assert!(matches!(wf.run(&ctx, &cache), Err(CoreError::InvalidConfig(_))));
+            });
+        assert!(matches!(
+            wf.run(&ctx, &cache),
+            Err(CoreError::InvalidConfig(_))
+        ));
         // Unknown existing mapping.
-        let wf = Workflow::new("BadName", "Publication@DBLP", "Publication@ACM").step(
-            WorkflowStep {
+        let wf =
+            Workflow::new("BadName", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
                 inputs: vec![StepInput::Existing("ghost".into())],
                 combiner: Combiner::merge_avg(),
                 publish: None,
-            },
-        );
-        assert!(matches!(wf.run(&ctx, &cache), Err(CoreError::UnknownMapping(_))));
+            });
+        assert!(matches!(
+            wf.run(&ctx, &cache),
+            Err(CoreError::UnknownMapping(_))
+        ));
         // Unknown source.
         let wf = Workflow::new("BadSrc", "Nope@X", "Publication@ACM");
         assert!(wf.run(&ctx, &cache).is_err());
@@ -435,18 +529,20 @@ mod tests {
     fn workflow_as_matcher_in_library() {
         let reg = setup();
         let ctx = MatchContext::new(&reg);
-        let wf = Workflow::new("TitleOnly", "Publication@DBLP", "Publication@ACM").step(
-            WorkflowStep {
+        let wf =
+            Workflow::new("TitleOnly", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
                 inputs: vec![StepInput::Matcher(title_matcher())],
                 combiner: Combiner::merge_avg().with_selection(Selection::Threshold(0.8)),
                 publish: None,
-            },
-        );
+            });
         let mut lib = MatcherLibrary::new();
         lib.register("plainTitle", title_matcher());
         lib.register_workflow(wf);
         assert_eq!(lib.len(), 2);
-        assert_eq!(lib.names(), vec!["TitleOnly".to_owned(), "plainTitle".to_owned()]);
+        assert_eq!(
+            lib.names(),
+            vec!["TitleOnly".to_owned(), "plainTitle".to_owned()]
+        );
         let m = lib.get("TitleOnly").unwrap();
         let d = reg.resolve("Publication@DBLP").unwrap();
         let a = reg.resolve("Publication@ACM").unwrap();

@@ -209,8 +209,7 @@ mod tests {
         // 10 VLDB + 10 SIGMOD + 10*(4 TODS + 3 VLDBJ + 4 Record) = 130,
         // matching Table 1 for DBLP.
         let cfg = WorldConfig::paper_scale();
-        let venues =
-            cfg.years().count() * (2 + cfg.tods.0 + cfg.vldbj.0 + cfg.record.0);
+        let venues = cfg.years().count() * (2 + cfg.tods.0 + cfg.vldbj.0 + cfg.record.0);
         assert_eq!(venues, 130);
     }
 }

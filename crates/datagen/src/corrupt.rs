@@ -11,8 +11,9 @@ pub fn typo(rng: &mut StdRng, s: &str) -> String {
         return s.to_owned();
     }
     // Pick a position on a letter (avoid mangling separators).
-    let letter_positions: Vec<usize> =
-        (0..chars.len()).filter(|&i| chars[i].is_alphanumeric()).collect();
+    let letter_positions: Vec<usize> = (0..chars.len())
+        .filter(|&i| chars[i].is_alphanumeric())
+        .collect();
     if letter_positions.is_empty() {
         return s.to_owned();
     }
@@ -23,9 +24,9 @@ pub fn typo(rng: &mut StdRng, s: &str) -> String {
             // Substitute with a neighboring letter.
             let c = out[pos];
             let sub = if c.is_ascii_lowercase() {
-                (((c as u8 - b'a' + 1 + rng.gen_range(0..25)) % 26) + b'a') as char
+                (((c as u8 - b'a' + 1 + rng.gen_range(0..25u8)) % 26) + b'a') as char
             } else if c.is_ascii_uppercase() {
-                (((c as u8 - b'A' + 1 + rng.gen_range(0..25)) % 26) + b'A') as char
+                (((c as u8 - b'A' + 1 + rng.gen_range(0..25u8)) % 26) + b'A') as char
             } else {
                 'x'
             };
@@ -120,7 +121,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 15, "typos rarely changed anything ({changed}/20)");
+        assert!(
+            changed >= 15,
+            "typos rarely changed anything ({changed}/20)"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ impl GoldStandard {
 
     /// Build from pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        Self { pairs: pairs.into_iter().collect() }
+        Self {
+            pairs: pairs.into_iter().collect(),
+        }
     }
 
     /// Add one correct pair.

@@ -5,7 +5,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use moma_core::{Mapping, MappingRepository};
-use moma_model::{AttrDef, AttrValue, LdsId, LogicalSource, ObjectType, PhysicalSource, SourceRegistry};
+use moma_model::{
+    AttrDef, AttrValue, LdsId, LogicalSource, ObjectType, PhysicalSource, SourceRegistry,
+};
 use moma_table::{FxHashMap, FxHashSet, MappingTable};
 
 use crate::config::WorldConfig;
@@ -122,13 +124,24 @@ impl Builder {
         // Derive the corruption RNG from the world seed (offset so it does
         // not replay the world generator's stream).
         let rng = StdRng::seed_from_u64(world.config.seed.wrapping_add(0x5EED));
-        Self { world, rng, registry: SourceRegistry::new(), repository: MappingRepository::new() }
+        Self {
+            world,
+            rng,
+            registry: SourceRegistry::new(),
+            repository: MappingRepository::new(),
+        }
     }
 
     fn build(mut self) -> Scenario {
-        self.registry.smm.add_physical(PhysicalSource::downloadable("DBLP"));
-        self.registry.smm.add_physical(PhysicalSource::query_only("ACM"));
-        self.registry.smm.add_physical(PhysicalSource::query_only("GS"));
+        self.registry
+            .smm
+            .add_physical(PhysicalSource::downloadable("DBLP"));
+        self.registry
+            .smm
+            .add_physical(PhysicalSource::query_only("ACM"));
+        self.registry
+            .smm
+            .add_physical(PhysicalSource::query_only("GS"));
 
         let pub_schema = vec![
             AttrDef::text("title"),
@@ -139,14 +152,23 @@ impl Builder {
         ];
         let mut pub_dblp =
             LogicalSource::new("DBLP", ObjectType::new("Publication"), pub_schema.clone());
-        let mut author_dblp =
-            LogicalSource::new("DBLP", ObjectType::new("Author"), vec![AttrDef::text("name")]);
-        let mut venue_dblp =
-            LogicalSource::new("DBLP", ObjectType::new("Venue"), vec![AttrDef::text("name")]);
+        let mut author_dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Author"),
+            vec![AttrDef::text("name")],
+        );
+        let mut venue_dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Venue"),
+            vec![AttrDef::text("name")],
+        );
         let mut pub_acm =
             LogicalSource::new("ACM", ObjectType::new("Publication"), pub_schema.clone());
-        let mut author_acm =
-            LogicalSource::new("ACM", ObjectType::new("Author"), vec![AttrDef::text("name")]);
+        let mut author_acm = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Author"),
+            vec![AttrDef::text("name")],
+        );
         let mut venue_acm =
             LogicalSource::new("ACM", ObjectType::new("Venue"), vec![AttrDef::text("name")]);
         let mut pub_gs =
@@ -159,10 +181,16 @@ impl Builder {
         let identity_of = |world: &World, pub_idx: usize, person: usize| -> Identity {
             for (di, d) in world.duplicates.iter().enumerate() {
                 if d.person == person && d.variant_pubs.contains(&pub_idx) {
-                    return Identity { person, variant: Some(di) };
+                    return Identity {
+                        person,
+                        variant: Some(di),
+                    };
                 }
             }
-            Identity { person, variant: None }
+            Identity {
+                person,
+                variant: None,
+            }
         };
 
         let mut identity_rows: FxHashMap<Identity, u32> = FxHashMap::default();
@@ -182,7 +210,11 @@ impl Builder {
             let series = venue.series;
             let counter = pub_counter_per_series.entry(series.key()).or_insert(0);
             *counter += 1;
-            let kind = if series.is_conference() { "conf" } else { "journals" };
+            let kind = if series.is_conference() {
+                "conf"
+            } else {
+                "journals"
+            };
             let id = format!("{kind}/{}/{}{:04}", series.key(), series.key(), *counter);
             let mut author_rows: Vec<u32> = Vec::with_capacity(p.authors.len());
             let mut author_names: Vec<String> = Vec::with_capacity(p.authors.len());
@@ -306,8 +338,7 @@ impl Builder {
             } else {
                 p.year
             };
-            let citations =
-                (p.citations as i64 + self.rng.gen_range(-3i64..=3)).max(0);
+            let citations = (p.citations as i64 + self.rng.gen_range(-3i64..=3)).max(0);
             let row = pub_acm
                 .insert_record(
                     format!("P-{}", 600_000 + acm_pub_world.len()),
@@ -334,8 +365,8 @@ impl Builder {
         let mut gs_clusters: Vec<Vec<u32>> = Vec::new();
 
         let intern_gs_author = |author_gs: &mut LogicalSource,
-                                    gs_author_rows: &mut FxHashMap<String, u32>,
-                                    name: String|
+                                gs_author_rows: &mut FxHashMap<String, u32>,
+                                name: String|
          -> u32 {
             match gs_author_rows.get(&name) {
                 Some(&r) => r,
@@ -376,17 +407,19 @@ impl Builder {
                     title = truncate_words(&mut self.rng, &title, 0.6);
                 }
                 if self.rng.gen_bool(cfg.gs_venue_glue_prob) {
-                    title = format!("{title} - {}", venue.series.dblp_name(venue.year, venue.issue));
+                    title = format!(
+                        "{title} - {}",
+                        venue.series.dblp_name(venue.year, venue.issue)
+                    );
                 }
                 // Author list: always abbreviated, tail sometimes dropped.
-                let full_names: Vec<String> =
-                    p.authors.iter().map(|&a| self.world.persons[a].full_name()).collect();
+                let full_names: Vec<String> = p
+                    .authors
+                    .iter()
+                    .map(|&a| self.world.persons[a].full_name())
+                    .collect();
                 let kept_persons: Vec<usize> = {
-                    let kept_names = drop_tail(
-                        &mut self.rng,
-                        &full_names,
-                        cfg.gs_author_drop_prob,
-                    );
+                    let kept_names = drop_tail(&mut self.rng, &full_names, cfg.gs_author_drop_prob);
                     // Recover person indexes for the kept prefix names.
                     kept_names
                         .iter()
@@ -412,7 +445,7 @@ impl Builder {
                     ("authors", names.into()),
                     (
                         "citations",
-                        ((p.citations as i64 / dups as i64) + self.rng.gen_range(0..5)).into(),
+                        ((p.citations as i64 / dups as i64) + self.rng.gen_range(0..5i64)).into(),
                     ),
                 ];
                 if !self.rng.gen_bool(cfg.gs_missing_year_prob) {
@@ -429,7 +462,7 @@ impl Builder {
                     if self.rng.gen_bool(cfg.gs_acm_link_prob) {
                         let target = if self.rng.gen_bool(cfg.gs_acm_link_wrong_prob) {
                             // Wrong link: a random other ACM publication.
-                            
+
                             self.rng.gen_range(0..acm_pub_world.len()) as u32
                         } else {
                             acm_row
@@ -512,11 +545,11 @@ impl Builder {
         };
 
         // ---------- association mappings ----------
-        let store_assoc =
-            |name: &str, ty: &str, d: LdsId, r: LdsId, pairs: Vec<(u32, u32)>| {
-                let table = MappingTable::from_triples(pairs.into_iter().map(|(a, b)| (a, b, 1.0)));
-                self.repository.store_as(name, Mapping::association(name, ty, d, r, table));
-            };
+        let store_assoc = |name: &str, ty: &str, d: LdsId, r: LdsId, pairs: Vec<(u32, u32)>| {
+            let table = MappingTable::from_triples(pairs.into_iter().map(|(a, b)| (a, b, 1.0)));
+            self.repository
+                .store_as(name, Mapping::association(name, ty, d, r, table));
+        };
 
         // DBLP venue/pub associations (world indexes == row indexes).
         let venue_pub_pairs: Vec<(u32, u32)> = self
@@ -571,7 +604,13 @@ impl Builder {
                 }
             }
         }
-        store_assoc("DBLP.CoAuthor", "co-authors", ids.author_dblp, ids.author_dblp, coauthor);
+        store_assoc(
+            "DBLP.CoAuthor",
+            "co-authors",
+            ids.author_dblp,
+            ids.author_dblp,
+            coauthor,
+        );
         // Identity mapping over DBLP authors (Section 4.3's trivial
         // same-mapping for within-source neighborhood matching).
         let dblp_author_count = self.registry.lds(ids.author_dblp).len() as u32;
@@ -693,8 +732,10 @@ impl Builder {
             }
         }
         // Author golds: identity person sets vs name-string person sets.
-        let identity_person: FxHashMap<u32, usize> =
-            identity_rows.iter().map(|(ident, &row)| (row, ident.person)).collect();
+        let identity_person: FxHashMap<u32, usize> = identity_rows
+            .iter()
+            .map(|(ident, &row)| (row, ident.person))
+            .collect();
         for (&dblp_row, &person) in &identity_person {
             for (&acm_row, persons) in &acm_author_persons {
                 if persons.contains(&person) {
@@ -778,7 +819,10 @@ mod tests {
             .filter(|v| v.series == Series::Vldb && (v.year == 2002 || v.year == 2003))
             .count();
         assert_eq!(dropped, 2);
-        assert_eq!(s.registry.lds(s.ids.venue_acm).len(), s.world.venues.len() - dropped);
+        assert_eq!(
+            s.registry.lds(s.ids.venue_acm).len(),
+            s.world.venues.len() - dropped
+        );
         // ACM has fewer publications than DBLP.
         assert!(s.registry.lds(s.ids.pub_acm).len() < s.registry.lds(s.ids.pub_dblp).len());
         // No ACM publication belongs to a dropped venue.
@@ -860,8 +904,11 @@ mod tests {
         let s = scenario();
         let links = s.repository.get("GS.LinksACM").unwrap();
         let gold = &s.gold.pub_gs_acm;
-        let correct =
-            links.table.iter().filter(|c| gold.contains(c.domain, c.range)).count();
+        let correct = links
+            .table
+            .iter()
+            .filter(|c| gold.contains(c.domain, c.range))
+            .count();
         let recall = correct as f64 / gold.len() as f64;
         let precision = correct as f64 / links.len() as f64;
         assert!(recall < 0.45, "link recall {recall} too high");
@@ -893,7 +940,10 @@ mod tests {
     fn deterministic() {
         let a = Scenario::small();
         let b = Scenario::small();
-        assert_eq!(a.registry.lds(a.ids.pub_gs).len(), b.registry.lds(b.ids.pub_gs).len());
+        assert_eq!(
+            a.registry.lds(a.ids.pub_gs).len(),
+            b.registry.lds(b.ids.pub_gs).len()
+        );
         assert_eq!(a.gold.pub_dblp_acm.len(), b.gold.pub_dblp_acm.len());
         let ta = a.repository.get("GS.LinksACM").unwrap();
         let tb = b.repository.get("GS.LinksACM").unwrap();
@@ -906,7 +956,10 @@ mod tests {
         assert_eq!(s.dblp_pub_is_conf.len(), s.world.pubs.len());
         assert_eq!(s.dblp_venue_is_conf.len(), s.world.venues.len());
         for (pi, p) in s.world.pubs.iter().enumerate() {
-            assert_eq!(s.dblp_pub_is_conf[pi], s.world.venues[p.venue].series.is_conference());
+            assert_eq!(
+                s.dblp_pub_is_conf[pi],
+                s.world.venues[p.venue].series.is_conference()
+            );
         }
     }
 }

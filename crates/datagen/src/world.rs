@@ -176,7 +176,13 @@ impl World {
         let mut pubs = gen_publications(&mut rng, &config, &venues, persons.len());
         add_journal_twins(&mut rng, &config, &venues, &mut pubs);
         let duplicates = inject_duplicates(&mut rng, &config, &persons, &pubs);
-        World { persons, venues, pubs, duplicates, config }
+        World {
+            persons,
+            venues,
+            pubs,
+            duplicates,
+            config,
+        }
     }
 
     /// Publications of a venue (indexes).
@@ -191,7 +197,10 @@ impl World {
 
     /// Distinct persons that authored at least one publication.
     pub fn credited_persons(&self) -> FxHashSet<usize> {
-        self.pubs.iter().flat_map(|p| p.authors.iter().copied()).collect()
+        self.pubs
+            .iter()
+            .flat_map(|p| p.authors.iter().copied())
+            .collect()
     }
 }
 
@@ -202,7 +211,10 @@ fn gen_persons(rng: &mut StdRng, pool: usize) -> Vec<Person> {
         let f = rng.gen_range(0..FIRST_NAMES.len());
         let l = rng.gen_range(0..LAST_NAMES.len());
         if seen.insert((f, l)) {
-            out.push(Person { first: FIRST_NAMES[f].to_owned(), last: LAST_NAMES[l].to_owned() });
+            out.push(Person {
+                first: FIRST_NAMES[f].to_owned(),
+                last: LAST_NAMES[l].to_owned(),
+            });
         }
     }
     out
@@ -211,16 +223,36 @@ fn gen_persons(rng: &mut StdRng, pool: usize) -> Vec<Person> {
 fn gen_venues(config: &WorldConfig) -> Vec<VenueEntity> {
     let mut venues = Vec::new();
     for year in config.start_year..=config.end_year {
-        venues.push(VenueEntity { series: Series::Vldb, year, issue: 0 });
-        venues.push(VenueEntity { series: Series::Sigmod, year, issue: 0 });
+        venues.push(VenueEntity {
+            series: Series::Vldb,
+            year,
+            issue: 0,
+        });
+        venues.push(VenueEntity {
+            series: Series::Sigmod,
+            year,
+            issue: 0,
+        });
         for issue in 1..=config.tods.0 as u8 {
-            venues.push(VenueEntity { series: Series::Tods, year, issue });
+            venues.push(VenueEntity {
+                series: Series::Tods,
+                year,
+                issue,
+            });
         }
         for issue in 1..=config.vldbj.0 as u8 {
-            venues.push(VenueEntity { series: Series::VldbJ, year, issue });
+            venues.push(VenueEntity {
+                series: Series::VldbJ,
+                year,
+                issue,
+            });
         }
         for issue in 1..=config.record.0 as u8 {
-            venues.push(VenueEntity { series: Series::Record, year, issue });
+            venues.push(VenueEntity {
+                series: Series::Record,
+                year,
+                issue,
+            });
         }
     }
     venues
@@ -294,7 +326,9 @@ fn gen_publications(
 ) -> Vec<Publication> {
     let communities: Vec<std::ops::Range<usize>> = {
         let size = config.community_size;
-        (0..person_count / size).map(|c| c * size..((c + 1) * size).min(person_count)).collect()
+        (0..person_count / size)
+            .map(|c| c * size..((c + 1) * size).min(person_count))
+            .collect()
     };
     // Stable lab teams per community, reused across papers (verbatim
     // identical author lists drive Table 2's low author-match precision).
@@ -312,8 +346,8 @@ fn gen_publications(
         let count = rng.gen_range(lo..=hi);
         let mut page = 1u16;
         for _ in 0..count {
-            let recurring = venue.series == Series::Record
-                && rng.gen_bool(config.recurring_title_prob);
+            let recurring =
+                venue.series == Series::Record && rng.gen_bool(config.recurring_title_prob);
             let title = if recurring {
                 RECURRING_TITLES[rng.gen_range(0..RECURRING_TITLES.len())].to_owned()
             } else {
@@ -323,24 +357,27 @@ fn gen_publications(
             // an established team verbatim.
             let com_idx = rng.gen_range(0..communities.len());
             let com = &communities[com_idx];
-            let team: Vec<usize> = if !teams_of[com_idx].is_empty()
-                && rng.gen_bool(config.team_reuse_prob)
-            {
-                let t = &teams_of[com_idx];
-                t[rng.gen_range(0..t.len())].clone()
-            } else {
-                let size = team_size(rng).min(com.len());
-                let mut team: Vec<usize> = Vec::with_capacity(size);
-                while team.len() < size {
-                    let p = rng.gen_range(com.clone());
-                    if !team.contains(&p) {
-                        team.push(p);
+            let team: Vec<usize> =
+                if !teams_of[com_idx].is_empty() && rng.gen_bool(config.team_reuse_prob) {
+                    let t = &teams_of[com_idx];
+                    t[rng.gen_range(0..t.len())].clone()
+                } else {
+                    let size = team_size(rng).min(com.len());
+                    let mut team: Vec<usize> = Vec::with_capacity(size);
+                    while team.len() < size {
+                        let p = rng.gen_range(com.clone());
+                        if !team.contains(&p) {
+                            team.push(p);
+                        }
                     }
-                }
-                teams_of[com_idx].push(team.clone());
-                team
+                    teams_of[com_idx].push(team.clone());
+                    team
+                };
+            let length: u16 = if recurring {
+                rng.gen_range(1..4)
+            } else {
+                rng.gen_range(8..28)
             };
-            let length = if recurring { rng.gen_range(1..4) } else { rng.gen_range(8..28) };
             // Skewed citation counts (most papers few, some many).
             let r: f64 = rng.gen();
             let citations = (r * r * r * 300.0) as u32;
@@ -411,8 +448,9 @@ fn inject_duplicates(
             pubs_of[a].push(i);
         }
     }
-    let candidates: Vec<usize> =
-        (0..persons.len()).filter(|&p| pubs_of[p].len() >= 3).collect();
+    let candidates: Vec<usize> = (0..persons.len())
+        .filter(|&p| pubs_of[p].len() >= 3)
+        .collect();
     let mut out = Vec::new();
     let mut used: FxHashSet<usize> = FxHashSet::default();
     let mut attempts = 0;
@@ -452,7 +490,11 @@ fn inject_duplicates(
         while variant_pubs.len() < variant_count {
             variant_pubs.insert(my_pubs[rng.gen_range(0..my_pubs.len())]);
         }
-        out.push(DuplicateAuthor { person, variant, variant_pubs });
+        out.push(DuplicateAuthor {
+            person,
+            variant,
+            variant_pubs,
+        });
     }
     out
 }
@@ -495,7 +537,10 @@ mod tests {
         let years = (w.config.end_year - w.config.start_year + 1) as usize;
         let per_year = 2 + w.config.tods.0 + w.config.vldbj.0 + w.config.record.0;
         assert_eq!(w.venues.len(), years * per_year);
-        assert!(w.venues.iter().any(|v| v.series == Series::Vldb && v.year == 2001));
+        assert!(w
+            .venues
+            .iter()
+            .any(|v| v.series == Series::Vldb && v.year == 2001));
     }
 
     #[test]
@@ -517,7 +562,10 @@ mod tests {
             .collect();
         let conf_avg = conf_sizes.iter().sum::<usize>() as f64 / conf_sizes.len() as f64;
         let journal_avg = journal_sizes.iter().sum::<usize>() as f64 / journal_sizes.len() as f64;
-        assert!(conf_avg > 2.0 * journal_avg, "conf {conf_avg} vs journal {journal_avg}");
+        assert!(
+            conf_avg > 2.0 * journal_avg,
+            "conf {conf_avg} vs journal {journal_avg}"
+        );
     }
 
     #[test]
@@ -542,7 +590,10 @@ mod tests {
         // At least one recurring title appears in more than one venue.
         let mut by_title: std::collections::HashMap<&str, FxHashSet<usize>> = Default::default();
         for p in &recurring {
-            by_title.entry(p.title.as_str()).or_default().insert(p.venue);
+            by_title
+                .entry(p.title.as_str())
+                .or_default()
+                .insert(p.venue);
         }
         assert!(by_title.values().any(|venues| venues.len() > 1));
     }
@@ -578,11 +629,18 @@ mod tests {
 
     #[test]
     fn venue_names_differ_between_sources() {
-        let v = VenueEntity { series: Series::Vldb, year: 2002, issue: 0 };
+        let v = VenueEntity {
+            series: Series::Vldb,
+            year: 2002,
+            issue: 0,
+        };
         let dblp = v.series.dblp_name(v.year, v.issue);
         let acm = v.series.acm_name(v.year, v.issue);
         assert_eq!(dblp, "VLDB 2002");
-        assert_eq!(acm, "Proceedings of the 28th International Conference on Very Large Data Bases");
+        assert_eq!(
+            acm,
+            "Proceedings of the 28th International Conference on Very Large Data Bases"
+        );
         // The Section 5.4.1 point: string matching cannot align these.
         let sim = moma_simstring_trigram_stub(&dblp, &acm);
         assert!(sim < 0.3, "venue names too similar: {sim}");

@@ -28,7 +28,10 @@ pub fn clustered_mapping(ctx: &EvalContext) -> Arc<Mapping> {
     ctx.cached("ext.clustered", || {
         let scenario = &ctx.scenario;
         let gs_count = scenario.registry.lds(scenario.ids.pub_gs).len() as u32;
-        let clusters = scenario.repository.get("GS.Clusters").expect("self-mapping");
+        let clusters = scenario
+            .repository
+            .get("GS.Clusters")
+            .expect("self-mapping");
         let reps = representatives(&clusters, gs_count).expect("representatives");
 
         // Start from the Table 7 merged mapping (title + author
@@ -52,9 +55,7 @@ pub fn run(ctx: &EvalContext) -> Report {
         "Extension (paper 5.6 outlook): GS duplicate pre-clustering for DBLP-GS matching",
         vec!["Metric", "Table 7 merge", "With GS cluster expansion"],
     );
-    for (label, pick) in
-        [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)]
-    {
+    for (label, pick) in [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)] {
         let cell = |q: &MatchQuality| {
             let v = q.as_percentages();
             Report::pct([v.0, v.1, v.2][pick])

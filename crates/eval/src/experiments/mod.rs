@@ -3,6 +3,7 @@
 pub mod extension;
 pub mod profile;
 pub mod table1;
+pub mod table10;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -12,7 +13,6 @@ pub mod table7;
 pub mod table8;
 pub mod table9;
 pub mod tuning;
-pub mod table10;
 
 use crate::report::Report;
 use crate::setup::EvalContext;

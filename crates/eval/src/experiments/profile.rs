@@ -79,7 +79,11 @@ mod tests {
         let r = run(&ctx);
         assert!(r.rows.len() >= 7);
         // Authors per publication around 3.
-        let note = r.notes.iter().find(|n| n.contains("authors per publication")).unwrap();
+        let note = r
+            .notes
+            .iter()
+            .find(|n| n.contains("authors per publication"))
+            .unwrap();
         let mean: f64 = note
             .split(':')
             .nth(1)
@@ -92,7 +96,11 @@ mod tests {
             .unwrap();
         assert!((2.0..=4.0).contains(&mean), "authors/pub {mean}");
         // Conferences dwarf journal issues.
-        let sizes = r.notes.iter().find(|n| n.contains("per conference")).unwrap();
+        let sizes = r
+            .notes
+            .iter()
+            .find(|n| n.contains("per conference"))
+            .unwrap();
         assert!(sizes.contains("per journal issue"));
     }
 }

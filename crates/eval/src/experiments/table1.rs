@@ -58,9 +58,16 @@ mod tests {
         assert_eq!(acm_venues, dblp_venues - 2);
         let dblp_pubs: usize = r.cell("DBLP", "Publications").unwrap().parse().unwrap();
         let acm_pubs: usize = r.cell("ACM DL", "Publications").unwrap().parse().unwrap();
-        let gs_pubs: usize = r.cell("Google Scholar", "Publications").unwrap().parse().unwrap();
+        let gs_pubs: usize = r
+            .cell("Google Scholar", "Publications")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(acm_pubs < dblp_pubs);
-        assert!(gs_pubs > dblp_pubs, "GS must dwarf DBLP (duplicates + noise)");
+        assert!(
+            gs_pubs > dblp_pubs,
+            "GS must dwarf DBLP (duplicates + noise)"
+        );
         // ACM splits author identities: more authors despite fewer pubs.
         let dblp_auth: usize = r.cell("DBLP", "Authors").unwrap().parse().unwrap();
         let acm_auth: usize = r.cell("ACM DL", "Authors").unwrap().parse().unwrap();

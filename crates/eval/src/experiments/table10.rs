@@ -11,16 +11,12 @@ use crate::setup::EvalContext;
 /// Run the Table 10 summary (computes the best workflow per cell).
 pub fn run(ctx: &EvalContext) -> Report {
     let gold = &ctx.scenario.gold;
-    let venue_f =
-        MatchQuality::evaluate(&ctx.venue_same_dblp_acm(), &gold.venue_dblp_acm).f1();
-    let pub_da_f =
-        MatchQuality::evaluate(&table5::merged_mapping(ctx), &gold.pub_dblp_acm).f1();
+    let venue_f = MatchQuality::evaluate(&ctx.venue_same_dblp_acm(), &gold.venue_dblp_acm).f1();
+    let pub_da_f = MatchQuality::evaluate(&table5::merged_mapping(ctx), &gold.pub_dblp_acm).f1();
     let author_da_f =
         MatchQuality::evaluate(&table6::merged_mapping(ctx), &gold.author_dblp_acm).f1();
-    let pub_dg_f =
-        MatchQuality::evaluate(&table7::merged_mapping(ctx), &gold.pub_dblp_gs).f1();
-    let pub_ga_f =
-        MatchQuality::evaluate(&table8::merged_mapping(ctx), &gold.pub_gs_acm).f1();
+    let pub_dg_f = MatchQuality::evaluate(&table7::merged_mapping(ctx), &gold.pub_dblp_gs).f1();
+    let pub_ga_f = MatchQuality::evaluate(&table8::merged_mapping(ctx), &gold.pub_gs_acm).f1();
 
     let mut r = Report::new(
         "Table 10. Summary of matching results (F-Measure)",
@@ -34,8 +30,14 @@ pub fn run(ctx: &EvalContext) -> Report {
             Report::pct(author_da_f * 100.0),
         ],
     );
-    r.row("DBLP - GS", vec!["-".into(), Report::pct(pub_dg_f * 100.0), "-".into()]);
-    r.row("GS - ACM", vec!["-".into(), Report::pct(pub_ga_f * 100.0), "-".into()]);
+    r.row(
+        "DBLP - GS",
+        vec!["-".into(), Report::pct(pub_dg_f * 100.0), "-".into()],
+    );
+    r.row(
+        "GS - ACM",
+        vec!["-".into(), Report::pct(pub_ga_f * 100.0), "-".into()],
+    );
     r.note("paper: DBLP-ACM 98.8/98.6/96.9, DBLP-GS -/88.9/-, GS-ACM -/88.2/-");
     r
 }

@@ -25,8 +25,8 @@ pub fn merged_mapping(ctx: &EvalContext) -> Arc<Mapping> {
         let title = ctx.pub_title_low_dblp_acm();
         let author = ctx.pub_author_low_dblp_acm();
         let year = ctx.pub_year_dblp_acm();
-        let merged = merge(&[&title, &author, &year], MergeFn::Avg, MissingPolicy::Zero)
-            .expect("merge");
+        let merged =
+            merge(&[&title, &author, &year], MergeFn::Avg, MissingPolicy::Zero).expect("merge");
         select(&merged, &Selection::Threshold(0.8))
     })
 }
@@ -43,16 +43,15 @@ pub fn run(ctx: &EvalContext) -> Report {
         "Table 2. Matching DBLP-ACM publications using attribute matchers",
         vec!["Metric", "Title", "Author", "Year", "Merge"],
     );
-    for (label, pick) in [
-        ("Precision", 0usize),
-        ("Recall", 1),
-        ("F-Measure", 2),
-    ] {
+    for (label, pick) in [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)] {
         let cell = |q: &MatchQuality| {
             let (p, rc, f) = q.as_percentages();
             Report::pct([p, rc, f][pick])
         };
-        r.row(label, vec![cell(&title), cell(&author), cell(&year), cell(&merged)]);
+        r.row(
+            label,
+            vec![cell(&title), cell(&author), cell(&year), cell(&merged)],
+        );
     }
     r.note("paper: Title 86.7/97.7/91.9, Author 38.0/87.9/53.1, Year 0.4/100/0.8, Merge 97.3/93.9/95.5");
     r
@@ -70,14 +69,24 @@ mod tests {
         let p = |col: &str| r.cell_pct("Precision", col).unwrap();
         let rec = |col: &str| r.cell_pct("Recall", col).unwrap();
         // Title dominates author and year.
-        assert!(f("Title") > f("Author"), "title {} vs author {}", f("Title"), f("Author"));
+        assert!(
+            f("Title") > f("Author"),
+            "title {} vs author {}",
+            f("Title"),
+            f("Author")
+        );
         assert!(f("Title") > f("Year"));
         // Year: near-perfect recall (a few ACM records carry off-by-one
         // print years), near-zero precision.
         assert!(rec("Year") > 88.0);
         assert!(p("Year") < 15.0);
         // Merge improves precision over the title matcher.
-        assert!(p("Merge") > p("Title"), "merge P {} vs title P {}", p("Merge"), p("Title"));
+        assert!(
+            p("Merge") > p("Title"),
+            "merge P {} vs title P {}",
+            p("Merge"),
+            p("Title")
+        );
         // Merge F at least on par with title.
         assert!(f("Merge") + 2.0 >= f("Title"));
     }

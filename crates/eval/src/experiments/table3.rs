@@ -87,7 +87,12 @@ pub fn run(ctx: &EvalContext) -> Report {
     };
     let mut r = Report::new(
         "Table 3. Matching publications via different compose paths (F-Measure)",
-        vec!["Matcher", "DBLP-GS (via ACM)", "DBLP-ACM (via GS)", "GS-ACM (via DBLP)"],
+        vec![
+            "Matcher",
+            "DBLP-GS (via ACM)",
+            "DBLP-ACM (via GS)",
+            "GS-ACM (via DBLP)",
+        ],
     );
     r.row(
         "Direct",
@@ -142,7 +147,11 @@ mod tests {
         assert!(cell("Compose", "DBLP-ACM (via GS)") < cell("Direct", "DBLP-ACM (via GS)"));
         assert!(cell("Compose", "DBLP-GS (via ACM)") < cell("Direct", "DBLP-GS (via ACM)"));
         // Merge roughly retains the best alternative per pair.
-        for col in ["DBLP-GS (via ACM)", "DBLP-ACM (via GS)", "GS-ACM (via DBLP)"] {
+        for col in [
+            "DBLP-GS (via ACM)",
+            "DBLP-ACM (via GS)",
+            "GS-ACM (via DBLP)",
+        ] {
             let best = cell("Direct", col).max(cell("Compose", col));
             assert!(
                 cell("Merge", col) >= best - 6.0,

@@ -38,12 +38,9 @@ pub fn run(ctx: &EvalContext) -> Report {
     let mut results: Vec<(MatchQuality, MatchQuality, MatchQuality)> = Vec::new();
     for (_, sel) in &selections {
         let mapping = select(&nh, sel);
-        let conf = MatchQuality::evaluate_domain_subset(&mapping, gold, |d| {
-            is_conf[d as usize]
-        });
-        let journal = MatchQuality::evaluate_domain_subset(&mapping, gold, |d| {
-            !is_conf[d as usize]
-        });
+        let conf = MatchQuality::evaluate_domain_subset(&mapping, gold, |d| is_conf[d as usize]);
+        let journal =
+            MatchQuality::evaluate_domain_subset(&mapping, gold, |d| !is_conf[d as usize]);
         let overall = MatchQuality::evaluate(&mapping, gold);
         results.push((conf, journal, overall));
     }

@@ -54,7 +54,13 @@ pub fn merged_mapping(ctx: &EvalContext) -> Arc<Mapping> {
         let rows: Vec<(u32, u32, f64)> = result
             .table
             .iter()
-            .map(|c| (c.domain, c.range, title.table.sim_of(c.domain, c.range).unwrap_or(c.sim)))
+            .map(|c| {
+                (
+                    c.domain,
+                    c.range,
+                    title.table.sim_of(c.domain, c.range).unwrap_or(c.sim),
+                )
+            })
             .collect();
         result.table = moma_table::MappingTable::from_triples(rows);
         result
@@ -70,10 +76,8 @@ pub fn run(ctx: &EvalContext) -> Report {
     let merged = merged_mapping(ctx);
 
     let eval3 = |m: &Mapping| {
-        let conf =
-            MatchQuality::evaluate_domain_subset(m, gold, |d| is_conf[d as usize]);
-        let journal =
-            MatchQuality::evaluate_domain_subset(m, gold, |d| !is_conf[d as usize]);
+        let conf = MatchQuality::evaluate_domain_subset(m, gold, |d| is_conf[d as usize]);
+        let journal = MatchQuality::evaluate_domain_subset(m, gold, |d| !is_conf[d as usize]);
         let overall = MatchQuality::evaluate(m, gold);
         (conf, journal, overall)
     };
@@ -83,7 +87,12 @@ pub fn run(ctx: &EvalContext) -> Report {
 
     let mut r = Report::new(
         "Table 5. Matching DBLP-ACM publications using neighborhood matcher (n:1 venue)",
-        vec!["Metric", "Attribute (Title)", "Neighborhood (Venue)", "Merge"],
+        vec![
+            "Metric",
+            "Attribute (Title)",
+            "Neighborhood (Venue)",
+            "Merge",
+        ],
     );
     let row = |label: &str, pick: fn(&MatchQuality) -> f64, which: usize| {
         (

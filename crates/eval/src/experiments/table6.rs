@@ -40,8 +40,7 @@ pub fn merged_mapping(ctx: &EvalContext) -> Arc<Mapping> {
     ctx.cached("table6.merge", || {
         let name_low = ctx.author_name_low_dblp_acm();
         let nh = select(&nh_mapping(ctx), &Selection::Threshold(0.25));
-        let merged =
-            merge(&[&name_low, &nh], MergeFn::Min, MissingPolicy::Zero).expect("merge");
+        let merged = merge(&[&name_low, &nh], MergeFn::Min, MissingPolicy::Zero).expect("merge");
         select(&merged, &Selection::Threshold(0.35))
     })
 }
@@ -56,11 +55,14 @@ pub fn run(ctx: &EvalContext) -> Report {
 
     let mut r = Report::new(
         "Table 6. Matching DBLP-ACM authors using neighborhood matcher (n:m publication)",
-        vec!["Metric", "Attribute (Name)", "Neighborhood (Publication)", "Merge"],
+        vec![
+            "Metric",
+            "Attribute (Name)",
+            "Neighborhood (Publication)",
+            "Merge",
+        ],
     );
-    for (label, pick) in
-        [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)]
-    {
+    for (label, pick) in [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)] {
         let cell = |q: &MatchQuality| {
             let v = q.as_percentages();
             Report::pct([v.0, v.1, v.2][pick])

@@ -50,11 +50,14 @@ pub fn run(ctx: &EvalContext) -> Report {
 
     let mut r = Report::new(
         "Table 8. Matching GS-ACM publications using neighborhood matcher (n:m author)",
-        vec!["Metric", "Attribute (Title)", "Neighborhood (Author)", "Merge"],
+        vec![
+            "Metric",
+            "Attribute (Title)",
+            "Neighborhood (Author)",
+            "Merge",
+        ],
     );
-    for (label, pick) in
-        [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)]
-    {
+    for (label, pick) in [("Precision", 0usize), ("Recall", 1), ("F-Measure", 2)] {
         let cell = |q: &MatchQuality| {
             let v = q.as_percentages();
             Report::pct([v.0, v.1, v.2][pick])

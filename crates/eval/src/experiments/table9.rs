@@ -49,10 +49,14 @@ pub struct Candidate {
 
 /// Run the script and rank the top `k` candidates.
 pub fn top_candidates(ctx: &EvalContext, k: usize) -> Vec<Candidate> {
-    let result = run_script(SCRIPT, &ctx.scenario.registry, &ctx.scenario.repository)
-        .expect("script runs");
+    let result =
+        run_script(SCRIPT, &ctx.scenario.registry, &ctx.scenario.repository).expect("script runs");
     let merged: &Mapping = result.as_mapping().expect("mapping result");
-    let coauth_sim = ctx.scenario.repository.get("table9.coauth").expect("stored");
+    let coauth_sim = ctx
+        .scenario
+        .repository
+        .get("table9.coauth")
+        .expect("stored");
     let name_sim_map = ctx.scenario.repository.get("table9.name").expect("stored");
 
     let coauthor = ctx.scenario.repository.get("DBLP.CoAuthor").expect("assoc");
@@ -76,7 +80,9 @@ pub fn top_candidates(ctx: &EvalContext, k: usize) -> Vec<Candidate> {
         }
     }
     rows.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then((a.1, a.2).cmp(&(b.1, b.2)))
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
     });
 
     rows.into_iter()
@@ -84,7 +90,10 @@ pub fn top_candidates(ctx: &EvalContext, k: usize) -> Vec<Candidate> {
         .map(|(merged_sim, a, b)| {
             let shared: usize = {
                 let na: FxHashSet<u32> = adj.neighbors(a).iter().map(|(o, _)| *o).collect();
-                adj.neighbors(b).iter().filter(|(o, _)| na.contains(o)).count()
+                adj.neighbors(b)
+                    .iter()
+                    .filter(|(o, _)| na.contains(o))
+                    .count()
             };
             let name_sim = name_sim_map
                 .table
@@ -110,7 +119,13 @@ pub fn run(ctx: &EvalContext) -> Report {
     let candidates = top_candidates(ctx, k);
     let mut r = Report::new(
         "Table 9. Top-5 author duplicate candidates within DBLP",
-        vec!["Author / Author", "Name", "Co-Author (paths)", "Merge", "True dup?"],
+        vec![
+            "Author / Author",
+            "Name",
+            "Co-Author (paths)",
+            "Merge",
+            "True dup?",
+        ],
     );
     let mut hits = 0usize;
     for c in &candidates {
@@ -121,13 +136,23 @@ pub fn run(ctx: &EvalContext) -> Report {
             format!("{} / {}", c.author_a, c.author_b),
             vec![
                 Report::pct(c.name_sim * 100.0),
-                format!("{} ({})", Report::pct(c.coauthor_sim * 100.0), c.shared_coauthors),
+                format!(
+                    "{} ({})",
+                    Report::pct(c.coauthor_sim * 100.0),
+                    c.shared_coauthors
+                ),
                 Report::pct(c.merged * 100.0),
-                if c.is_true_duplicate { "yes".into() } else { "no".into() },
+                if c.is_true_duplicate {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ],
         );
     }
-    r.note(format!("{hits}/{k} top candidates are injected gold duplicates"));
+    r.note(format!(
+        "{hits}/{k} top candidates are injected gold duplicates"
+    ));
     r.note("paper top-5: Fan/Wei 64/100/82, Zarkesh 84/75/79, Barczyk 75/73/74, Trigoni 75/67/71, Yuen 62/67/65");
     r
 }
@@ -142,7 +167,10 @@ mod tests {
         let candidates = top_candidates(&ctx, 5);
         assert_eq!(candidates.len(), 5);
         let hits = candidates.iter().filter(|c| c.is_true_duplicate).count();
-        assert!(hits >= 3, "only {hits}/5 top candidates are true duplicates");
+        assert!(
+            hits >= 3,
+            "only {hits}/5 top candidates are true duplicates"
+        );
         // Ranking is by merged similarity, descending.
         for w in candidates.windows(2) {
             assert!(w[0].merged >= w[1].merged);

@@ -28,8 +28,7 @@ fn specs() -> Vec<FeatureSpec> {
 }
 
 /// Human-readable feature names aligned with the tuner feature space.
-pub const FEATURE_NAMES: [&str; 4] =
-    ["title:trigram", "title:jaccard", "authors:trigram", "year"];
+pub const FEATURE_NAMES: [&str; 4] = ["title:trigram", "title:jaccard", "authors:trigram", "year"];
 
 /// Run the tuning ablation.
 pub fn run(ctx: &EvalContext) -> Report {
@@ -42,7 +41,10 @@ pub fn run(ctx: &EvalContext) -> Report {
     // paper scale; training needs a sample, not the population. Keep all
     // gold positives plus a deterministic stride of negatives (~40k).
     const MAX_NEGATIVES: usize = 40_000;
-    let negatives = candidates.iter().filter(|&&(a, b)| !gold.contains(a, b)).count();
+    let negatives = candidates
+        .iter()
+        .filter(|&&(a, b)| !gold.contains(a, b))
+        .count();
     if negatives > MAX_NEGATIVES {
         let stride = negatives.div_ceil(MAX_NEGATIVES);
         let mut kept = Vec::with_capacity(MAX_NEGATIVES + gold.len());
@@ -76,7 +78,10 @@ pub fn run(ctx: &EvalContext) -> Report {
     );
     report.row(
         "Hand-picked (paper)",
-        vec![Report::pct(default_f1 * 100.0), "title:trigram >= 0.80".into()],
+        vec![
+            Report::pct(default_f1 * 100.0),
+            "title:trigram >= 0.80".into(),
+        ],
     );
     report.row(
         "Grid search",

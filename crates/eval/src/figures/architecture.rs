@@ -25,11 +25,35 @@ pub fn fig2() -> Report {
         smm.add_logical(LdsId(i as u32), *n);
     }
     for (name, d, r, card, inv) in [
-        ("AuthorPub@DBLP", 1u32, 0u32, Cardinality::ManyToMany, Some("PubAuthor@DBLP")),
-        ("VenuePub@DBLP", 2, 0, Cardinality::OneToMany, Some("PubVenue@DBLP")),
+        (
+            "AuthorPub@DBLP",
+            1u32,
+            0u32,
+            Cardinality::ManyToMany,
+            Some("PubAuthor@DBLP"),
+        ),
+        (
+            "VenuePub@DBLP",
+            2,
+            0,
+            Cardinality::OneToMany,
+            Some("PubVenue@DBLP"),
+        ),
         ("CoAuthor@DBLP", 1, 1, Cardinality::ManyToMany, None),
-        ("AuthorPub@ACM", 4, 3, Cardinality::ManyToMany, Some("PubAuthor@ACM")),
-        ("VenuePub@ACM", 5, 3, Cardinality::OneToMany, Some("PubVenue@ACM")),
+        (
+            "AuthorPub@ACM",
+            4,
+            3,
+            Cardinality::ManyToMany,
+            Some("PubAuthor@ACM"),
+        ),
+        (
+            "VenuePub@ACM",
+            5,
+            3,
+            Cardinality::OneToMany,
+            Some("PubVenue@ACM"),
+        ),
     ] {
         smm.add_assoc_type(AssocTypeDef {
             name: name.into(),

@@ -38,16 +38,32 @@ pub fn fig7() -> Report {
     let gold = moma_datagen::GoldStandard::from_pairs([(0, 0), (1, 1), (2, 2), (3, 3)]);
     let q = MatchQuality::evaluate(&composed, &gold);
 
-    assert_eq!(composed.len(), 5, "p2/p3 block should blow up to 4 pairs + p1");
-    assert!(composed.table.sim_of(1, 2).is_some(), "wrong cross pair present");
-    assert!(composed.table.sim_of(3, 3).is_none(), "p4 lost via missing GS entry");
+    assert_eq!(
+        composed.len(),
+        5,
+        "p2/p3 block should blow up to 4 pairs + p1"
+    );
+    assert!(
+        composed.table.sim_of(1, 2).is_some(),
+        "wrong cross pair present"
+    );
+    assert!(
+        composed.table.sim_of(3, 3).is_none(),
+        "p4 lost via missing GS entry"
+    );
 
     let mut r = Report::new(
         "Figure 7. Composing same-mappings through a dirty/incomplete source",
         vec!["Effect", "Observed"],
     );
-    r.row("Correspondences for the p2/p3 same-title block", vec!["4 (instead of 2)".into()]);
-    r.row("p4 -> p'4 derivable?", vec!["no (no GS counterpart)".into()]);
+    r.row(
+        "Correspondences for the p2/p3 same-title block",
+        vec!["4 (instead of 2)".into()],
+    );
+    r.row(
+        "p4 -> p'4 derivable?",
+        vec!["no (no GS counterpart)".into()],
+    );
     r.row("Composed quality", vec![q.to_string()]);
     r
 }
@@ -205,9 +221,18 @@ pub fn fig11(ctx: &EvalContext) -> Report {
         vec!["Stage", "Correspondences", "Quality"],
     );
     let q = |m: &Mapping| MatchQuality::evaluate(m, gold).to_string();
-    r.row("nhMatch(AuthorPub, PubSame, PubAuthor)", vec![nh.len().to_string(), q(&nh)]);
-    r.row("attrMatch(name, trigram, 0.8)", vec![attr.len().to_string(), q(&attr)]);
-    r.row("merge -> select", vec![merged.len().to_string(), q(&merged)]);
+    r.row(
+        "nhMatch(AuthorPub, PubSame, PubAuthor)",
+        vec![nh.len().to_string(), q(&nh)],
+    );
+    r.row(
+        "attrMatch(name, trigram, 0.8)",
+        vec![attr.len().to_string(), q(&attr)],
+    );
+    r.row(
+        "merge -> select",
+        vec![merged.len().to_string(), q(&merged)],
+    );
     r
 }
 

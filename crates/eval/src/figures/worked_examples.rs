@@ -19,14 +19,34 @@ use crate::report::Report;
 /// with sim 1, the conference/journal cross pairs with reduced sim).
 pub fn fig1() -> Report {
     let dblp = [
-        ("conf/VLDB/MadhavanBR01", "Generic Schema Matching with Cupid", 2001u16),
-        ("conf/VLDB/ChirkovaHS01", "A formal perspective on the view selection problem", 2001),
-        ("journals/VLDB/ChirkovaHS02", "A formal perspective on the view selection problem", 2002),
+        (
+            "conf/VLDB/MadhavanBR01",
+            "Generic Schema Matching with Cupid",
+            2001u16,
+        ),
+        (
+            "conf/VLDB/ChirkovaHS01",
+            "A formal perspective on the view selection problem",
+            2001,
+        ),
+        (
+            "journals/VLDB/ChirkovaHS02",
+            "A formal perspective on the view selection problem",
+            2002,
+        ),
     ];
     let acm = [
         ("P-672191", "Generic Schema Matching with Cupid", 2001u16),
-        ("P-672216", "A formal perspective on the view selection problem", 2001),
-        ("P-641272", "A formal perspective on the view selection problem", 2002),
+        (
+            "P-672216",
+            "A formal perspective on the view selection problem",
+            2001,
+        ),
+        (
+            "P-641272",
+            "A formal perspective on the view selection problem",
+            2002,
+        ),
     ];
     let mut r = Report::new(
         "Figure 1. Publication instances and same-mapping (DBLP vs ACM)",
@@ -41,8 +61,10 @@ pub fn fig1() -> Report {
             }
         }
     }
-    r.note("paper mapping: MadhavanBR01~P-672191 (1), ChirkovaHS01~P-672216 (1), \
-            ChirkovaHS02~P-641272 (1), cross pairs at 0.6");
+    r.note(
+        "paper mapping: MadhavanBR01~P-672191 (1), ChirkovaHS01~P-672216 (1), \
+            ChirkovaHS02~P-641272 (1), cross pairs at 0.6",
+    );
     r
 }
 
@@ -81,12 +103,23 @@ pub fn fig4() -> Report {
         "Figure 4. Merge operator worked example",
         vec!["Pair", "Min-0", "Avg", "Avg-0", "Prefer map1"],
     );
-    let names = [(1u32, 11u32, "a1-b1"), (2, 12, "a2-b2"), (3, 13, "a3-b3"), (1, 15, "a1-b5")];
+    let names = [
+        (1u32, 11u32, "a1-b1"),
+        (2, 12, "a2-b2"),
+        (3, 13, "a3-b3"),
+        (1, 15, "a1-b5"),
+    ];
     for (a, b, label) in names {
         let cell = |m: &Mapping| {
-            m.table.sim_of(a, b).map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into())
+            m.table
+                .sim_of(a, b)
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "-".into())
         };
-        r.row(label, vec![cell(&min0), cell(&avg), cell(&avg0), cell(&prefer)]);
+        r.row(
+            label,
+            vec![cell(&min0), cell(&avg), cell(&avg0), cell(&prefer)],
+        );
     }
     r.note("all values asserted equal to the paper's Figure 4");
     r
@@ -156,8 +189,14 @@ pub fn fig6() -> Report {
     );
     for (a, b, want, derivation) in expect {
         let got = result.table.sim_of(a, b).expect("pair present");
-        assert!((got - want).abs() < 1e-12, "({a},{b}): got {got}, want {want}");
-        r.row(format!("({a},{b})"), vec![format!("{got:.2}"), derivation.to_owned()]);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "({a},{b}): got {got}, want {want}"
+        );
+        r.row(
+            format!("({a},{b})"),
+            vec![format!("{got:.2}"), derivation.to_owned()],
+        );
     }
     r.note("all values asserted equal to the paper's Figure 6");
     r
@@ -212,7 +251,10 @@ pub fn fig9() -> Report {
     for c in result.table.iter() {
         r.row(
             venue_d[c.domain as usize],
-            vec![venue_a[c.range as usize].to_owned(), format!("{:.2}", c.sim)],
+            vec![
+                venue_a[c.range as usize].to_owned(),
+                format!("{:.2}", c.sim),
+            ],
         );
     }
     r.note("asserted: 0.8 / 0.3 / 0.3 / 0.67 as in the paper");
@@ -226,7 +268,10 @@ mod tests {
     #[test]
     fn fig1_contains_paper_pairs() {
         let r = fig1();
-        assert!(r.rows.iter().any(|(l, c)| l == "conf/VLDB/MadhavanBR01" && c[0] == "P-672191"));
+        assert!(r
+            .rows
+            .iter()
+            .any(|(l, c)| l == "conf/VLDB/MadhavanBR01" && c[0] == "P-672191"));
         // Cross pairs exist with reduced similarity.
         assert!(r
             .rows

@@ -52,7 +52,11 @@ impl MatchQuality {
                 tp += 1;
             }
         }
-        Self { tp, fp: considered - tp, fn_: sub_gold.len() - tp }
+        Self {
+            tp,
+            fp: considered - tp,
+            fn_: sub_gold.len() - tp,
+        }
     }
 
     /// Precision `tp / (tp + fp)`; 1.0 for an empty mapping over an empty
@@ -90,7 +94,11 @@ impl MatchQuality {
 
     /// `(precision, recall, f1)` as percentages.
     pub fn as_percentages(&self) -> (f64, f64, f64) {
-        (self.precision() * 100.0, self.recall() * 100.0, self.f1() * 100.0)
+        (
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f1() * 100.0,
+        )
     }
 }
 
@@ -174,7 +182,11 @@ mod tests {
 
     #[test]
     fn display_and_percentages() {
-        let q = MatchQuality { tp: 1, fp: 1, fn_: 0 };
+        let q = MatchQuality {
+            tp: 1,
+            fp: 1,
+            fn_: 0,
+        };
         let (p, r, f) = q.as_percentages();
         assert_eq!(p, 50.0);
         assert_eq!(r, 100.0);

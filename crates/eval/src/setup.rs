@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use moma_core::blocking::Blocking;
-use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma_core::matchers::neighborhood::nh_match;
+use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma_core::ops::compose::PathAgg;
 use moma_core::ops::select::{select, Selection};
 use moma_core::{Mapping, MappingCache};
@@ -24,7 +24,10 @@ pub struct EvalContext {
 impl EvalContext {
     /// Wrap a scenario.
     pub fn new(scenario: Scenario) -> Self {
-        Self { scenario, cache: MappingCache::new() }
+        Self {
+            scenario,
+            cache: MappingCache::new(),
+        }
     }
 
     /// Paper-scale context (Table 1 sized).
@@ -80,37 +83,85 @@ impl EvalContext {
     /// DBLP→ACM title trigram at the paper's 0.8 threshold.
     pub fn pub_title_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(D,A)@0.8", ids.pub_dblp, ids.pub_acm, "title", "title", SimFn::Trigram, 0.8)
+        self.attr(
+            "title(D,A)@0.8",
+            ids.pub_dblp,
+            ids.pub_acm,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.8,
+        )
     }
 
     /// DBLP→ACM title trigram at a permissive 0.45 (merge input).
     pub fn pub_title_low_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(D,A)@0.45", ids.pub_dblp, ids.pub_acm, "title", "title", SimFn::Trigram, 0.45)
+        self.attr(
+            "title(D,A)@0.45",
+            ids.pub_dblp,
+            ids.pub_acm,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.45,
+        )
     }
 
     /// DBLP→GS title trigram at 0.75 (GS titles are extraction-noisy).
     pub fn pub_title_dblp_gs(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(D,G)@0.75", ids.pub_dblp, ids.pub_gs, "title", "title", SimFn::Trigram, 0.75)
+        self.attr(
+            "title(D,G)@0.75",
+            ids.pub_dblp,
+            ids.pub_gs,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.75,
+        )
     }
 
     /// DBLP→GS title trigram at 0.45.
     pub fn pub_title_low_dblp_gs(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(D,G)@0.45", ids.pub_dblp, ids.pub_gs, "title", "title", SimFn::Trigram, 0.45)
+        self.attr(
+            "title(D,G)@0.45",
+            ids.pub_dblp,
+            ids.pub_gs,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.45,
+        )
     }
 
     /// GS→ACM title trigram at 0.75.
     pub fn pub_title_gs_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(G,A)@0.75", ids.pub_gs, ids.pub_acm, "title", "title", SimFn::Trigram, 0.75)
+        self.attr(
+            "title(G,A)@0.75",
+            ids.pub_gs,
+            ids.pub_acm,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.75,
+        )
     }
 
     /// GS→ACM title trigram at 0.45.
     pub fn pub_title_low_gs_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("title(G,A)@0.45", ids.pub_gs, ids.pub_acm, "title", "title", SimFn::Trigram, 0.45)
+        self.attr(
+            "title(G,A)@0.45",
+            ids.pub_gs,
+            ids.pub_acm,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.45,
+        )
     }
 
     // ---- other publication matchers (Table 2) ----
@@ -118,19 +169,43 @@ impl EvalContext {
     /// DBLP→ACM author-list trigram at 0.8.
     pub fn pub_author_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("authors(D,A)@0.8", ids.pub_dblp, ids.pub_acm, "authors", "authors", SimFn::Trigram, 0.8)
+        self.attr(
+            "authors(D,A)@0.8",
+            ids.pub_dblp,
+            ids.pub_acm,
+            "authors",
+            "authors",
+            SimFn::Trigram,
+            0.8,
+        )
     }
 
     /// DBLP→ACM author-list trigram at 0.45.
     pub fn pub_author_low_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("authors(D,A)@0.45", ids.pub_dblp, ids.pub_acm, "authors", "authors", SimFn::Trigram, 0.45)
+        self.attr(
+            "authors(D,A)@0.45",
+            ids.pub_dblp,
+            ids.pub_acm,
+            "authors",
+            "authors",
+            SimFn::Trigram,
+            0.45,
+        )
     }
 
     /// DBLP→ACM year-equality matcher.
     pub fn pub_year_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("year(D,A)", ids.pub_dblp, ids.pub_acm, "year", "year", SimFn::Year(0), 1.0)
+        self.attr(
+            "year(D,A)",
+            ids.pub_dblp,
+            ids.pub_acm,
+            "year",
+            "year",
+            SimFn::Year(0),
+            1.0,
+        )
     }
 
     // ---- author matchers ----
@@ -138,26 +213,58 @@ impl EvalContext {
     /// DBLP→ACM author-name trigram at 0.8 (Table 6 attribute row).
     pub fn author_name_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("name(D,A)@0.8", ids.author_dblp, ids.author_acm, "name", "name", SimFn::Trigram, 0.8)
+        self.attr(
+            "name(D,A)@0.8",
+            ids.author_dblp,
+            ids.author_acm,
+            "name",
+            "name",
+            SimFn::Trigram,
+            0.8,
+        )
     }
 
     /// DBLP→ACM author-name trigram at 0.3 (merge input).
     pub fn author_name_low_dblp_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("name(D,A)@0.3", ids.author_dblp, ids.author_acm, "name", "name", SimFn::Trigram, 0.3)
+        self.attr(
+            "name(D,A)@0.3",
+            ids.author_dblp,
+            ids.author_acm,
+            "name",
+            "name",
+            SimFn::Trigram,
+            0.3,
+        )
     }
 
     /// DBLP→GS author same-mapping via the initials-aware person-name
     /// measure (GS abbreviates first names, Section 5.4.3).
     pub fn author_same_dblp_gs(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("name(D,G)@0.85", ids.author_dblp, ids.author_gs, "name", "name", SimFn::PersonName, 0.85)
+        self.attr(
+            "name(D,G)@0.85",
+            ids.author_dblp,
+            ids.author_gs,
+            "name",
+            "name",
+            SimFn::PersonName,
+            0.85,
+        )
     }
 
     /// GS→ACM author same-mapping.
     pub fn author_same_gs_acm(&self) -> Arc<Mapping> {
         let ids = self.scenario.ids;
-        self.attr("name(G,A)@0.85", ids.author_gs, ids.author_acm, "name", "name", SimFn::PersonName, 0.85)
+        self.attr(
+            "name(G,A)@0.85",
+            ids.author_gs,
+            ids.author_acm,
+            "name",
+            "name",
+            SimFn::PersonName,
+            0.85,
+        )
     }
 
     // ---- derived same-mappings ----
@@ -220,8 +327,11 @@ mod tests {
         let ctx = EvalContext::small();
         let venue = ctx.venue_same_dblp_acm();
         let gold = &ctx.scenario.gold.venue_dblp_acm;
-        let correct =
-            venue.table.iter().filter(|c| gold.contains(c.domain, c.range)).count();
+        let correct = venue
+            .table
+            .iter()
+            .filter(|c| gold.contains(c.domain, c.range))
+            .count();
         assert!(
             correct as f64 >= 0.8 * gold.len() as f64,
             "venue matching too weak: {correct}/{}",

@@ -39,10 +39,14 @@ pub fn fuse_attribute(
     let slot = r_lds.attr_slot(range_attr)?;
 
     // Highest-similarity-first ordering so `First` is deterministic.
-    let mut rows: Vec<(u32, u32, f64)> =
-        same.table.iter().map(|c| (c.domain, c.range, c.sim)).collect();
+    let mut rows: Vec<(u32, u32, f64)> = same
+        .table
+        .iter()
+        .map(|c| (c.domain, c.range, c.sim))
+        .collect();
     rows.sort_by(|a, b| {
-        a.0.cmp(&b.0).then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        a.0.cmp(&b.0)
+            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
     });
 
     let mut out: FxHashMap<u32, AttrValue> = FxHashMap::default();
@@ -110,7 +114,10 @@ pub fn fused_views(registry: &SourceRegistry, same: &Mapping) -> Vec<FusedView> 
     let mut per_domain: FxHashMap<u32, Vec<(String, f64)>> = FxHashMap::default();
     for c in same.table.iter() {
         if let Some(inst) = r_lds.get(c.range) {
-            per_domain.entry(c.domain).or_default().push((inst.id.clone(), c.sim));
+            per_domain
+                .entry(c.domain)
+                .or_default()
+                .push((inst.id.clone(), c.sim));
         }
     }
     let mut out: Vec<FusedView> = per_domain
@@ -141,17 +148,35 @@ mod tests {
             ObjectType::new("Publication"),
             vec![AttrDef::text("title")],
         );
-        dblp.insert_record("d0", vec![("title", "Paper A".into())]).unwrap();
-        dblp.insert_record("d1", vec![("title", "Paper B".into())]).unwrap();
+        dblp.insert_record("d0", vec![("title", "Paper A".into())])
+            .unwrap();
+        dblp.insert_record("d1", vec![("title", "Paper B".into())])
+            .unwrap();
         let mut gs = LogicalSource::new(
             "GS",
             ObjectType::new("Publication"),
             vec![AttrDef::text("title"), AttrDef::int("citations")],
         );
-        gs.insert_record("g0", vec![("title", "Paper A".into()), ("citations", 10i64.into())]).unwrap();
-        gs.insert_record("g1", vec![("title", "Paper A (dup)".into()), ("citations", 5i64.into())]).unwrap();
-        gs.insert_record("g2", vec![("title", "Paper B".into()), ("citations", 7i64.into())]).unwrap();
-        gs.insert_record("g3", vec![("title", "no citations".into())]).unwrap();
+        gs.insert_record(
+            "g0",
+            vec![("title", "Paper A".into()), ("citations", 10i64.into())],
+        )
+        .unwrap();
+        gs.insert_record(
+            "g1",
+            vec![
+                ("title", "Paper A (dup)".into()),
+                ("citations", 5i64.into()),
+            ],
+        )
+        .unwrap();
+        gs.insert_record(
+            "g2",
+            vec![("title", "Paper B".into()), ("citations", 7i64.into())],
+        )
+        .unwrap();
+        gs.insert_record("g3", vec![("title", "no citations".into())])
+            .unwrap();
         let d = reg.register(dblp).unwrap();
         let g = reg.register(gs).unwrap();
         let same = Mapping::same(

@@ -67,7 +67,10 @@ fn parse_kind(s: &str, line: usize) -> Result<AttrKind, LoadError> {
         "int" | "integer" => Ok(AttrKind::Int),
         "year" => Ok(AttrKind::Year),
         "real" | "float" => Ok(AttrKind::Real),
-        other => Err(LoadError::Format { line, msg: format!("unknown attribute kind `{other}`") }),
+        other => Err(LoadError::Format {
+            line,
+            msg: format!("unknown attribute kind `{other}`"),
+        }),
     }
 }
 
@@ -99,7 +102,10 @@ pub fn parse_source(text: &str) -> Result<LogicalSource, LoadError> {
     // `#source Type@PDS` directive.
     let (type_name, pds) = loop {
         let Some((no, line)) = lines.next() else {
-            return Err(LoadError::Format { line: 0, msg: "missing `#source Type@PDS` line".into() });
+            return Err(LoadError::Format {
+                line: 0,
+                msg: "missing `#source Type@PDS` line".into(),
+            });
         };
         let line = line.trim();
         if line.is_empty() {
@@ -122,10 +128,14 @@ pub fn parse_source(text: &str) -> Result<LogicalSource, LoadError> {
     };
 
     // Header row: `id  attr:kind ...`.
-    let (header_no, header) = lines
-        .by_ref()
-        .find(|(_, l)| !l.trim().is_empty())
-        .ok_or(LoadError::Format { line: 0, msg: "missing header row".into() })?;
+    let (header_no, header) =
+        lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or(LoadError::Format {
+                line: 0,
+                msg: "missing header row".into(),
+            })?;
     let mut cols = header.split('\t');
     match cols.next() {
         Some("id") => {}
@@ -144,7 +154,10 @@ pub fn parse_source(text: &str) -> Result<LogicalSource, LoadError> {
                 msg: format!("bad header column `{col}` (expected name:kind)"),
             });
         };
-        schema.push(AttrDef::new(name.trim(), parse_kind(kind.trim(), header_no + 1)?));
+        schema.push(AttrDef::new(
+            name.trim(),
+            parse_kind(kind.trim(), header_no + 1)?,
+        ));
     }
 
     let mut lds = LogicalSource::new(pds, ObjectType::new(type_name), schema.clone());
@@ -153,10 +166,13 @@ pub fn parse_source(text: &str) -> Result<LogicalSource, LoadError> {
             continue;
         }
         let mut fields = line.split('\t');
-        let id = fields.next().filter(|s| !s.is_empty()).ok_or(LoadError::Format {
-            line: no + 1,
-            msg: "missing id".into(),
-        })?;
+        let id = fields
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or(LoadError::Format {
+                line: no + 1,
+                msg: "missing id".into(),
+            })?;
         let mut values: Vec<(usize, AttrValue)> = Vec::new();
         for (slot, raw) in fields.enumerate() {
             if slot >= schema.len() {
@@ -210,7 +226,10 @@ pub fn parse_association(
         }
         let mut parts = line.split('\t');
         let (Some(d), Some(r)) = (parts.next(), parts.next()) else {
-            return Err(LoadError::Format { line: no + 1, msg: "expected two columns".into() });
+            return Err(LoadError::Format {
+                line: no + 1,
+                msg: "expected two columns".into(),
+            });
         };
         let sim: f64 = match parts.next() {
             Some(s) => s.parse().map_err(|e| LoadError::Format {
@@ -279,7 +298,10 @@ p3\tNo attrs at all\t\t\t
         assert_eq!(lds.name(), "Publication@DBLP");
         assert_eq!(lds.len(), 3);
         let p1 = lds.by_id("p1").unwrap();
-        assert_eq!(p1.value(0).unwrap().as_text(), Some("Generic Schema Matching with Cupid"));
+        assert_eq!(
+            p1.value(0).unwrap().as_text(),
+            Some("Generic Schema Matching with Cupid")
+        );
         assert_eq!(p1.value(1).unwrap().as_text_list().unwrap().len(), 3);
         assert_eq!(p1.value(2).unwrap().as_year(), Some(2001));
         assert_eq!(p1.value(3).unwrap().as_int(), Some(69));
@@ -309,7 +331,10 @@ p3\tNo attrs at all\t\t\t
         let dup = "#source A@B\nid\tt:text\nx\ta\nx\tb\n";
         assert!(matches!(parse_source(dup), Err(LoadError::Model(_))));
         let bad_year = "#source A@B\nid\ty:year\nx\tnope\n";
-        assert!(matches!(parse_source(bad_year), Err(LoadError::Format { .. })));
+        assert!(matches!(
+            parse_source(bad_year),
+            Err(LoadError::Format { .. })
+        ));
     }
 
     #[test]
@@ -317,14 +342,19 @@ p3\tNo attrs at all\t\t\t
         let mut reg = SourceRegistry::new();
         let pubs = parse_source(SOURCE).unwrap();
         let d = reg.register(pubs).unwrap();
-        let mut venues = LogicalSource::new("DBLP", ObjectType::new("Venue"),
-            vec![AttrDef::text("name")]);
-        venues.insert_record("v1", vec![("name", "VLDB 2001".into())]).unwrap();
+        let mut venues = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Venue"),
+            vec![AttrDef::text("name")],
+        );
+        venues
+            .insert_record("v1", vec![("name", "VLDB 2001".into())])
+            .unwrap();
         let r = reg.register(venues).unwrap();
 
         let assoc_text = "p1\tv1\np2\tv1\t0.9\n";
-        let m = parse_association(assoc_text, &reg, "PubVenue", "venue of publication", d, r)
-            .unwrap();
+        let m =
+            parse_association(assoc_text, &reg, "PubVenue", "venue of publication", d, r).unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.table.sim_of(0, 0), Some(1.0));
         assert_eq!(m.table.sim_of(1, 0), Some(0.9));

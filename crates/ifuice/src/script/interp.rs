@@ -137,7 +137,12 @@ enum Flow {
 impl<'a> Interpreter<'a> {
     /// New interpreter over a registry and repository.
     pub fn new(registry: &'a SourceRegistry, repository: &'a MappingRepository) -> Self {
-        Self { registry, repository, vars: HashMap::new(), procs: HashMap::new() }
+        Self {
+            registry,
+            repository,
+            vars: HashMap::new(),
+            procs: HashMap::new(),
+        }
     }
 
     /// Pre-bind a variable (e.g. inputs computed in Rust).
@@ -170,7 +175,8 @@ impl<'a> Interpreter<'a> {
                     last = self.eval(expr)?;
                 }
                 Stmt::Procedure { name, params, body } => {
-                    self.procs.insert(name.clone(), (params.clone(), body.clone()));
+                    self.procs
+                        .insert(name.clone(), (params.clone(), body.clone()));
                 }
             }
         }
@@ -189,8 +195,10 @@ impl<'a> Interpreter<'a> {
             Expr::Sym(s) => Ok(Value::Sym(s.clone())),
             Expr::Ref(pds, member) => self.resolve_ref(pds, member),
             Expr::Call { name, args } => {
-                let argv: Vec<Value> =
-                    args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
                 self.call(name, argv)
             }
         }
@@ -257,13 +265,22 @@ impl<'a> Interpreter<'a> {
                 let relative = match args.get(1) {
                     Some(Value::Str(s)) | Some(Value::Sym(s)) => s.eq_ignore_ascii_case("rel"),
                     None => false,
-                    Some(v) => return Err(rt(format!("best1delta mode must be abs/rel, got {}", v.type_name()))),
+                    Some(v) => {
+                        return Err(rt(format!(
+                            "best1delta mode must be abs/rel, got {}",
+                            v.type_name()
+                        )))
+                    }
                 };
                 let side = match args.get(2) {
                     Some(v) => parse_side(v)?,
                     None => Side::Domain,
                 };
-                Ok(Value::Selection(Selection::Best1Delta { delta: d, relative, side }))
+                Ok(Value::Selection(Selection::Best1Delta {
+                    delta: d,
+                    relative,
+                    side,
+                }))
             }
             "inverse" => {
                 let m = self.mapping_arg(&args, 0, "inverse")?;
@@ -301,7 +318,10 @@ impl<'a> Interpreter<'a> {
                     _ => return Err(rt("traverse needs an instance set")),
                 };
                 let reached = crate::ops::traverse(&m, &ids);
-                Ok(Value::Instances { lds: m.range, ids: reached })
+                Ok(Value::Instances {
+                    lds: m.range,
+                    ids: reached,
+                })
             }
             "store" => {
                 let m = self.mapping_arg(&args, 0, "store")?;
@@ -333,10 +353,18 @@ impl<'a> Interpreter<'a> {
             .ok_or_else(|| rt(format!("`{ctx}` expects a number at position {i}")))
     }
 
-    fn mapping_arg(&self, args: &[Value], i: usize, ctx: &str) -> Result<Arc<Mapping>, ScriptError> {
+    fn mapping_arg(
+        &self,
+        args: &[Value],
+        i: usize,
+        ctx: &str,
+    ) -> Result<Arc<Mapping>, ScriptError> {
         match args.get(i) {
             Some(Value::Mapping(m)) => Ok(Arc::clone(m)),
-            Some(v) => Err(rt(format!("`{ctx}` expects a mapping at position {i}, got {}", v.type_name()))),
+            Some(v) => Err(rt(format!(
+                "`{ctx}` expects a mapping at position {i}, got {}",
+                v.type_name()
+            ))),
             None => Err(rt(format!("`{ctx}` missing mapping argument {i}"))),
         }
     }
@@ -344,7 +372,10 @@ impl<'a> Interpreter<'a> {
     fn source_arg(&self, args: &[Value], i: usize, ctx: &str) -> Result<LdsId, ScriptError> {
         match args.get(i) {
             Some(Value::Source(id)) => Ok(*id),
-            Some(v) => Err(rt(format!("`{ctx}` expects a source at position {i}, got {}", v.type_name()))),
+            Some(v) => Err(rt(format!(
+                "`{ctx}` expects a source at position {i}, got {}",
+                v.type_name()
+            ))),
             None => Err(rt(format!("`{ctx}` missing source argument {i}"))),
         }
     }
@@ -393,7 +424,9 @@ impl<'a> Interpreter<'a> {
         let mut pairs = Vec::new();
         for spec in &args[3..] {
             let Value::Str(text) = spec else {
-                return Err(rt("multiAttrMatch expects \"[a]~[b]:sim[:weight]\" strings"));
+                return Err(rt(
+                    "multiAttrMatch expects \"[a]~[b]:sim[:weight]\" strings",
+                ));
             };
             let (attrs, rest) = text
                 .split_once(':')
@@ -443,7 +476,11 @@ impl<'a> Interpreter<'a> {
         }
         let f_sym = match rest.next() {
             Some(Value::Sym(s)) | Some(Value::Str(s)) => s,
-            _ => return Err(rt("merge expects a combination function after the mappings")),
+            _ => {
+                return Err(rt(
+                    "merge expects a combination function after the mappings",
+                ))
+            }
         };
         let mut missing = MissingPolicy::Ignore;
         let f = match f_sym.to_ascii_lowercase().as_str() {
@@ -497,7 +534,12 @@ impl<'a> Interpreter<'a> {
         let g = match args.get(3) {
             Some(Value::Sym(s)) | Some(Value::Str(s)) => parse_path_agg(s)?,
             None => PathAgg::Relative,
-            Some(v) => return Err(rt(format!("nhMatch aggregation must be a symbol, got {}", v.type_name()))),
+            Some(v) => {
+                return Err(rt(format!(
+                    "nhMatch aggregation must be a symbol, got {}",
+                    v.type_name()
+                )))
+            }
         };
         let r = moma_core::matchers::neighborhood::nh_match(&a1, &same, &a2, g)?;
         Ok(Value::Mapping(Arc::new(r)))
@@ -508,14 +550,17 @@ impl<'a> Interpreter<'a> {
         let m = self.mapping_arg(&args, 0, "select")?;
         match args.get(1) {
             Some(Value::Selection(sel)) => Ok(Value::Mapping(Arc::new(select(&m, sel)))),
-            Some(Value::Num(t)) => {
-                Ok(Value::Mapping(Arc::new(select(&m, &Selection::Threshold(*t)))))
-            }
+            Some(Value::Num(t)) => Ok(Value::Mapping(Arc::new(select(
+                &m,
+                &Selection::Threshold(*t),
+            )))),
             Some(Value::Str(constraint)) => {
                 let r = self.apply_constraint(&m, constraint)?;
                 Ok(Value::Mapping(Arc::new(r)))
             }
-            _ => Err(rt("select expects a selection, number, or constraint string")),
+            _ => Err(rt(
+                "select expects a selection, number, or constraint string",
+            )),
         }
     }
 
@@ -594,7 +639,10 @@ fn parse_side(v: &Value) -> Result<Side, ScriptError> {
             "both" => Ok(Side::Both),
             other => Err(rt(format!("unknown side `{other}`"))),
         },
-        other => Err(rt(format!("side must be a symbol, got {}", other.type_name()))),
+        other => Err(rt(format!(
+            "side must be a symbol, got {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -632,8 +680,11 @@ mod tests {
     /// the paper's Section 4.3 script expects.
     fn setup() -> (SourceRegistry, MappingRepository) {
         let mut reg = SourceRegistry::new();
-        let mut authors =
-            LogicalSource::new("DBLP", ObjectType::new("Author"), vec![AttrDef::text("name")]);
+        let mut authors = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Author"),
+            vec![AttrDef::text("name")],
+        );
         // 0/1 are duplicates sharing co-authors 2 and 3; 4 unrelated.
         for (id, name) in [
             ("a0", "Agathoniki Trigoni"),
@@ -642,7 +693,9 @@ mod tests {
             ("a3", "Beth Jones"),
             ("a4", "Carl Unrelated"),
         ] {
-            authors.insert_record(id, vec![("name", name.into())]).unwrap();
+            authors
+                .insert_record(id, vec![("name", name.into())])
+                .unwrap();
         }
         let lds = reg.register(authors).unwrap();
         let repo = MappingRepository::new();
@@ -717,14 +770,15 @@ mod tests {
         let mut interp = Interpreter::new(&reg, &repo);
         let via_proc = interp.run(&script).unwrap();
 
-        let script2 = parse(
-            "RETURN nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor);",
-        )
-        .unwrap();
+        let script2 =
+            parse("RETURN nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor);").unwrap();
         let mut interp2 = Interpreter::new(&reg, &repo);
         let via_builtin = interp2.run(&script2).unwrap();
 
-        let (a, b) = (via_proc.as_mapping().unwrap(), via_builtin.as_mapping().unwrap());
+        let (a, b) = (
+            via_proc.as_mapping().unwrap(),
+            via_builtin.as_mapping().unwrap(),
+        );
         assert_eq!(a.table.pair_set(), b.table.pair_set());
         for c in a.table.iter() {
             let s = b.table.sim_of(c.domain, c.range).unwrap();
@@ -808,9 +862,12 @@ mod tests {
             ObjectType::new("Publication"),
             vec![AttrDef::year("year")],
         );
-        pubs.insert_record("p0", vec![("year", 2001u16.into())]).unwrap();
-        pubs.insert_record("p1", vec![("year", 2002u16.into())]).unwrap();
-        pubs.insert_record("p2", vec![("year", 2005u16.into())]).unwrap();
+        pubs.insert_record("p0", vec![("year", 2001u16.into())])
+            .unwrap();
+        pubs.insert_record("p1", vec![("year", 2002u16.into())])
+            .unwrap();
+        pubs.insert_record("p2", vec![("year", 2005u16.into())])
+            .unwrap();
         pubs.insert_record("p3", vec![]).unwrap();
         let lds = reg.register(pubs).unwrap();
         let repo = MappingRepository::new();
@@ -840,16 +897,23 @@ mod tests {
         let (reg, repo) = setup();
         let run_err = |src: &str| {
             let script = parse(src).unwrap();
-            Interpreter::new(&reg, &repo).run(&script).unwrap_err().to_string()
+            Interpreter::new(&reg, &repo)
+                .run(&script)
+                .unwrap_err()
+                .to_string()
         };
         assert!(run_err("RETURN $missing;").contains("undefined variable"));
         assert!(run_err("RETURN frobnicate(1);").contains("unknown function"));
         assert!(run_err("RETURN DBLP.Nothing;").contains("neither"));
         assert!(run_err(r#"RETURN merge(get("DBLP.CoAuthor"), Bogus);"#).contains("unknown merge"));
-        assert!(run_err(r#"RETURN select(get("DBLP.CoAuthor"), "[weird]");"#)
-            .contains("unsupported constraint"));
-        assert!(run_err("RETURN attrMatch(DBLP.Author, DBLP.Author, NoSuchSim, 0.5, \"[name]\", \"[name]\");")
-            .contains("unknown similarity"));
+        assert!(
+            run_err(r#"RETURN select(get("DBLP.CoAuthor"), "[weird]");"#)
+                .contains("unsupported constraint")
+        );
+        assert!(run_err(
+            "RETURN attrMatch(DBLP.Author, DBLP.Author, NoSuchSim, 0.5, \"[name]\", \"[name]\");"
+        )
+        .contains("unknown similarity"));
     }
 
     #[test]
@@ -869,10 +933,16 @@ mod tests {
             ObjectType::new("Publication"),
             vec![AttrDef::text("title"), AttrDef::year("year")],
         );
-        pubs.insert_record("p0", vec![("title", "Same Title".into()), ("year", 2001u16.into())])
-            .unwrap();
-        pubs.insert_record("p1", vec![("title", "Same Title".into()), ("year", 2003u16.into())])
-            .unwrap();
+        pubs.insert_record(
+            "p0",
+            vec![("title", "Same Title".into()), ("year", 2001u16.into())],
+        )
+        .unwrap();
+        pubs.insert_record(
+            "p1",
+            vec![("title", "Same Title".into()), ("year", 2003u16.into())],
+        )
+        .unwrap();
         let _ = reg.register(pubs).unwrap();
         let repo = MappingRepository::new();
         // Title alone cannot separate p0 from p1; adding the year feature
@@ -909,7 +979,12 @@ mod tests {
         let (reg, repo) = setup();
         repo.store_as(
             "A",
-            Mapping::same("A", LdsId(0), LdsId(0), MappingTable::from_triples([(0, 1, 1.0)])),
+            Mapping::same(
+                "A",
+                LdsId(0),
+                LdsId(0),
+                MappingTable::from_triples([(0, 1, 1.0)]),
+            ),
         );
         repo.store_as(
             "B",

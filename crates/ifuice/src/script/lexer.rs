@@ -109,27 +109,55 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
-            '.' if !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
-                out.push(Token { kind: TokenKind::Dot, line: tl, col: tc });
+            '.' if !chars
+                .get(i + 1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    line: tl,
+                    col: tc,
+                });
                 advance(1, &mut i, &mut col);
             }
             '$' => {
@@ -139,11 +167,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     end += 1;
                 }
                 if end == start {
-                    return Err(LexError { msg: "`$` without variable name".into(), line: tl, col: tc });
+                    return Err(LexError {
+                        msg: "`$` without variable name".into(),
+                        line: tl,
+                        col: tc,
+                    });
                 }
                 let name: String = chars[start..end].iter().collect();
                 advance(end - i, &mut i, &mut col);
-                out.push(Token { kind: TokenKind::Var(name), line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Var(name),
+                    line: tl,
+                    col: tc,
+                });
             }
             '"' => {
                 let mut s = String::new();
@@ -173,13 +209,25 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { msg: "unterminated string".into(), line: tl, col: tc });
+                    return Err(LexError {
+                        msg: "unterminated string".into(),
+                        line: tl,
+                        col: tc,
+                    });
                 }
                 advance(j + 1 - i, &mut i, &mut col);
-                out.push(Token { kind: TokenKind::Str(s), line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_ascii_digit()
-                || (c == '.' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)) =>
+                || (c == '.'
+                    && chars
+                        .get(i + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)) =>
             {
                 let start = i;
                 let mut end = i;
@@ -189,7 +237,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 {
                     if chars[end] == '.' {
                         // Only treat as decimal point if a digit follows.
-                        if !chars.get(end + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                        if !chars
+                            .get(end + 1)
+                            .map(|c| c.is_ascii_digit())
+                            .unwrap_or(false)
+                        {
                             break;
                         }
                         seen_dot = true;
@@ -203,7 +255,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     col: tc,
                 })?;
                 advance(end - i, &mut i, &mut col);
-                out.push(Token { kind: TokenKind::Number(n), line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -213,7 +269,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let name: String = chars[start..end].iter().collect();
                 advance(end - i, &mut i, &mut col);
-                out.push(Token { kind: TokenKind::Ident(name), line: tl, col: tc });
+                out.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(LexError {
@@ -285,10 +345,7 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(
-            kinds("# full line\n$X = 1; // trailing\n$Y = 2;").len(),
-            8
-        );
+        assert_eq!(kinds("# full line\n$X = 1; // trailing\n$Y = 2;").len(), 8);
     }
 
     #[test]
@@ -319,7 +376,10 @@ mod tests {
     #[test]
     fn positions_track_lines() {
         let toks = lex("$A = 1;\n$B = 2;").unwrap();
-        let b = toks.iter().find(|t| t.kind == TokenKind::Var("B".into())).unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Var("B".into()))
+            .unwrap();
         assert_eq!(b.line, 2);
         assert_eq!(b.col, 1);
     }

@@ -30,7 +30,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, line: e.line, col: e.col }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -67,8 +71,16 @@ impl Parser {
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
         match self.peek() {
-            Some(t) => ParseError { msg: msg.into(), line: t.line, col: t.col },
-            None => ParseError { msg: msg.into(), line: 0, col: 0 },
+            Some(t) => ParseError {
+                msg: msg.into(),
+                line: t.line,
+                col: t.col,
+            },
+            None => ParseError {
+                msg: msg.into(),
+                line: 0,
+                col: 0,
+            },
         }
     }
 
@@ -78,9 +90,7 @@ impl Parser {
                 self.pos += 1;
                 Ok(())
             }
-            Some(t) => {
-                Err(self.error(format!("expected `{kind}`, found `{}`", t.kind)))
-            }
+            Some(t) => Err(self.error(format!("expected `{kind}`, found `{}`", t.kind))),
             None => Err(self.error(format!("expected `{kind}`, found end of input"))),
         }
     }
@@ -106,9 +116,16 @@ impl Parser {
             self.opt_semi();
             return Ok(Stmt::Return(expr));
         }
-        if let Some(Token { kind: TokenKind::Var(name), .. }) = self.peek().cloned() {
+        if let Some(Token {
+            kind: TokenKind::Var(name),
+            ..
+        }) = self.peek().cloned()
+        {
             // Lookahead for `=` to distinguish assignment from bare var.
-            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Eq)) {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Eq)
+            ) {
                 self.pos += 2;
                 let expr = self.expr()?;
                 self.opt_semi();
@@ -123,7 +140,10 @@ impl Parser {
     fn procedure(&mut self) -> Result<Stmt, ParseError> {
         self.pos += 1; // PROCEDURE
         let name = match self.next() {
-            Some(Token { kind: TokenKind::Ident(n), .. }) => n,
+            Some(Token {
+                kind: TokenKind::Ident(n),
+                ..
+            }) => n,
             _ => return Err(self.error("expected procedure name")),
         };
         self.expect(&TokenKind::LParen)?;
@@ -131,7 +151,10 @@ impl Parser {
         if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
             loop {
                 match self.next() {
-                    Some(Token { kind: TokenKind::Var(p), .. }) => params.push(p),
+                    Some(Token {
+                        kind: TokenKind::Var(p),
+                        ..
+                    }) => params.push(p),
                     _ => return Err(self.error("expected `$param`")),
                 }
                 match self.peek().map(|t| &t.kind) {
@@ -157,40 +180,51 @@ impl Parser {
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Var(v), .. }) => Ok(Expr::Var(v)),
-            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(Expr::Num(n)),
-            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(Expr::Str(s)),
-            Some(Token { kind: TokenKind::Ident(name), .. }) => {
-                match self.peek().map(|t| &t.kind) {
-                    Some(TokenKind::LParen) => {
-                        self.pos += 1;
-                        let mut args = Vec::new();
-                        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
-                            loop {
-                                args.push(self.expr()?);
-                                match self.peek().map(|t| &t.kind) {
-                                    Some(TokenKind::Comma) => {
-                                        self.pos += 1;
-                                    }
-                                    _ => break,
+            Some(Token {
+                kind: TokenKind::Var(v),
+                ..
+            }) => Ok(Expr::Var(v)),
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(Expr::Num(n)),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(Expr::Str(s)),
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::LParen) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+                        loop {
+                            args.push(self.expr()?);
+                            match self.peek().map(|t| &t.kind) {
+                                Some(TokenKind::Comma) => {
+                                    self.pos += 1;
                                 }
+                                _ => break,
                             }
                         }
-                        self.expect(&TokenKind::RParen)?;
-                        Ok(Expr::Call { name, args })
                     }
-                    Some(TokenKind::Dot) => {
-                        self.pos += 1;
-                        match self.next() {
-                            Some(Token { kind: TokenKind::Ident(member), .. }) => {
-                                Ok(Expr::Ref(name, member))
-                            }
-                            _ => Err(self.error("expected identifier after `.`")),
-                        }
-                    }
-                    _ => Ok(Expr::Sym(name)),
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args })
                 }
-            }
+                Some(TokenKind::Dot) => {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token {
+                            kind: TokenKind::Ident(member),
+                            ..
+                        }) => Ok(Expr::Ref(name, member)),
+                        _ => Err(self.error("expected identifier after `.`")),
+                    }
+                }
+                _ => Ok(Expr::Sym(name)),
+            },
             Some(t) => Err(ParseError {
                 msg: format!("unexpected token `{}`", t.kind),
                 line: t.line,
@@ -219,7 +253,10 @@ mod tests {
         .unwrap();
         assert_eq!(s.stmts.len(), 5);
         match &s.stmts[0] {
-            Stmt::Assign { var, expr: Expr::Call { name, args } } => {
+            Stmt::Assign {
+                var,
+                expr: Expr::Call { name, args },
+            } => {
                 assert_eq!(var, "CoAuthSim");
                 assert_eq!(name, "nhMatch");
                 assert_eq!(args.len(), 3);
@@ -258,7 +295,10 @@ mod tests {
     fn nested_calls() {
         let s = parse("$X = select(merge($A, $B, Max), threshold(0.8));").unwrap();
         match &s.stmts[0] {
-            Stmt::Assign { expr: Expr::Call { name, args }, .. } => {
+            Stmt::Assign {
+                expr: Expr::Call { name, args },
+                ..
+            } => {
                 assert_eq!(name, "select");
                 assert!(matches!(&args[0], Expr::Call { name, .. } if name == "merge"));
                 assert!(matches!(&args[1], Expr::Call { name, .. } if name == "threshold"));
@@ -271,7 +311,10 @@ mod tests {
     fn empty_args() {
         let s = parse("$X = identity();").unwrap();
         match &s.stmts[0] {
-            Stmt::Assign { expr: Expr::Call { args, .. }, .. } => assert!(args.is_empty()),
+            Stmt::Assign {
+                expr: Expr::Call { args, .. },
+                ..
+            } => assert!(args.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -58,12 +58,18 @@ pub struct InMemorySource {
 impl InMemorySource {
     /// Downloadable source (full scans allowed).
     pub fn downloadable(lds: LdsId) -> Self {
-        Self { lds, query_only: false }
+        Self {
+            lds,
+            query_only: false,
+        }
     }
 
     /// Query-only web source.
     pub fn query_only(lds: LdsId) -> Self {
-        Self { lds, query_only: true }
+        Self {
+            lds,
+            query_only: true,
+        }
     }
 }
 
@@ -85,14 +91,19 @@ impl DataSource for InMemorySource {
 
     fn scan(&self, registry: &SourceRegistry) -> Result<Vec<u32>, SourceError> {
         if self.query_only {
-            return Err(SourceError::FullScanUnsupported(registry.lds(self.lds).name()));
+            return Err(SourceError::FullScanUnsupported(
+                registry.lds(self.lds).name(),
+            ));
         }
         Ok(registry.lds(self.lds).iter().map(|(i, _)| i).collect())
     }
 
     fn query(&self, registry: &SourceRegistry, keywords: &str) -> Vec<u32> {
-        let needles: Vec<String> =
-            normalize(keywords).split(' ').filter(|t| !t.is_empty()).map(str::to_owned).collect();
+        let needles: Vec<String> = normalize(keywords)
+            .split(' ')
+            .filter(|t| !t.is_empty())
+            .map(str::to_owned)
+            .collect();
         if needles.is_empty() {
             return Vec::new();
         }
@@ -129,13 +140,23 @@ mod tests {
         let mut lds = LogicalSource::new(
             "GS",
             ObjectType::new("Publication"),
-            vec![AttrDef::text("title"), AttrDef::text_list("authors"), AttrDef::year("year")],
+            vec![
+                AttrDef::text("title"),
+                AttrDef::text_list("authors"),
+                AttrDef::year("year"),
+            ],
         );
         lds.insert_record(
             "g0",
             vec![
-                ("title", "Robust fuzzy match for online data cleaning".into()),
-                ("authors", vec!["S. Chaudhuri".to_owned(), "K. Ganjam".to_owned()].into()),
+                (
+                    "title",
+                    "Robust fuzzy match for online data cleaning".into(),
+                ),
+                (
+                    "authors",
+                    vec!["S. Chaudhuri".to_owned(), "K. Ganjam".to_owned()].into(),
+                ),
                 ("year", 2003u16.into()),
             ],
         )
@@ -145,7 +166,8 @@ mod tests {
             vec![("title", "Potter's wheel interactive data cleaning".into())],
         )
         .unwrap();
-        lds.insert_record("g2", vec![("title", "Generic schema matching".into())]).unwrap();
+        lds.insert_record("g2", vec![("title", "Generic schema matching".into())])
+            .unwrap();
         let id = reg.register(lds).unwrap();
         (reg, id)
     }
@@ -164,7 +186,10 @@ mod tests {
         let src = InMemorySource::query_only(id);
         assert!(!src.supports_full_scan());
         let err = src.scan(&reg).unwrap_err();
-        assert_eq!(err, SourceError::FullScanUnsupported("Publication@GS".into()));
+        assert_eq!(
+            err,
+            SourceError::FullScanUnsupported("Publication@GS".into())
+        );
         assert!(err.to_string().contains("query-only"));
     }
 

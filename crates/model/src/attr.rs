@@ -157,7 +157,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Create a new attribute definition.
     pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
-        Self { name: name.into(), kind }
+        Self {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Shorthand for a [`AttrKind::Text`] attribute.

@@ -16,7 +16,11 @@ pub enum ModelError {
     /// An instance id was inserted twice into the same LDS.
     DuplicateId { lds: String, id: String },
     /// A value did not conform to the declared attribute kind.
-    KindMismatch { attr: String, expected: String, got: String },
+    KindMismatch {
+        attr: String,
+        expected: String,
+        got: String,
+    },
     /// An association mapping type name was not found in the SMM.
     UnknownAssocType(String),
 }
@@ -37,7 +41,11 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateId { lds, id } => {
                 write!(f, "duplicate object id `{id}` in LDS `{lds}`")
             }
-            ModelError::KindMismatch { attr, expected, got } => {
+            ModelError::KindMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attr}` expects kind {expected}, got {got}")
             }
             ModelError::UnknownAssocType(name) => {
@@ -59,12 +67,18 @@ mod tests {
     #[test]
     fn display_unknown_source() {
         let e = ModelError::UnknownSource("Publication@DBLP".into());
-        assert_eq!(e.to_string(), "unknown logical data source `Publication@DBLP`");
+        assert_eq!(
+            e.to_string(),
+            "unknown logical data source `Publication@DBLP`"
+        );
     }
 
     #[test]
     fn display_unknown_object() {
-        let e = ModelError::UnknownObject { lds: "Pub@ACM".into(), id: "P-1".into() };
+        let e = ModelError::UnknownObject {
+            lds: "Pub@ACM".into(),
+            id: "P-1".into(),
+        };
         assert_eq!(e.to_string(), "object `P-1` not found in LDS `Pub@ACM`");
     }
 

@@ -21,12 +21,18 @@ pub struct ObjectInstance {
 impl ObjectInstance {
     /// Create an instance with all attributes missing.
     pub fn new(id: impl Into<String>, arity: usize) -> Self {
-        Self { id: id.into(), values: vec![None; arity] }
+        Self {
+            id: id.into(),
+            values: vec![None; arity],
+        }
     }
 
     /// Create an instance from a full value row.
     pub fn with_values(id: impl Into<String>, values: Vec<Option<AttrValue>>) -> Self {
-        Self { id: id.into(), values }
+        Self {
+            id: id.into(),
+            values,
+        }
     }
 
     /// Value at schema slot `slot`, if present.
@@ -79,10 +85,8 @@ mod tests {
 
     #[test]
     fn with_values() {
-        let i = ObjectInstance::with_values(
-            "p1",
-            vec![Some(AttrValue::Text("Title".into())), None],
-        );
+        let i =
+            ObjectInstance::with_values("p1", vec![Some(AttrValue::Text("Title".into())), None]);
         assert_eq!(i.id, "p1");
         assert_eq!(i.present_count(), 1);
     }

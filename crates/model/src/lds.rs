@@ -68,7 +68,10 @@ impl LogicalSource {
         self.schema
             .iter()
             .position(|a| a.name == name)
-            .ok_or_else(|| ModelError::UnknownAttribute { lds: self.name(), attr: name.into() })
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                lds: self.name(),
+                attr: name.into(),
+            })
     }
 
     /// Insert a new instance; returns its local index.
@@ -76,7 +79,10 @@ impl LogicalSource {
     /// Fails with [`ModelError::DuplicateId`] if the id already exists.
     pub fn insert(&mut self, instance: ObjectInstance) -> Result<u32> {
         if self.id_index.contains_key(&instance.id) {
-            return Err(ModelError::DuplicateId { lds: self.name(), id: instance.id });
+            return Err(ModelError::DuplicateId {
+                lds: self.name(),
+                id: instance.id,
+            });
         }
         let idx = self.instances.len() as u32;
         self.id_index.insert(instance.id.clone(), idx);
@@ -129,7 +135,10 @@ impl LogicalSource {
 
     /// Iterate `(local_index, instance)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &ObjectInstance)> {
-        self.instances.iter().enumerate().map(|(i, inst)| (i as u32, inst))
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (i as u32, inst))
     }
 
     /// Project one attribute across all instances: `(index, value)` for
@@ -171,14 +180,20 @@ mod tests {
     fn insert_and_lookup() {
         let mut lds = pub_lds();
         let idx = lds
-            .insert_record("conf/VLDB/X01", vec![("title", "Cupid".into()), ("year", 2001u16.into())])
+            .insert_record(
+                "conf/VLDB/X01",
+                vec![("title", "Cupid".into()), ("year", 2001u16.into())],
+            )
             .unwrap();
         assert_eq!(idx, 0);
         assert_eq!(lds.len(), 1);
         assert_eq!(lds.index_of("conf/VLDB/X01"), Some(0));
         let inst = lds.by_id("conf/VLDB/X01").unwrap();
         assert_eq!(inst.value(0).unwrap().as_text(), Some("Cupid"));
-        assert_eq!(lds.attr_of(0, "year").unwrap().unwrap().as_year(), Some(2001));
+        assert_eq!(
+            lds.attr_of(0, "year").unwrap().unwrap().as_year(),
+            Some(2001)
+        );
     }
 
     #[test]
@@ -192,23 +207,30 @@ mod tests {
     #[test]
     fn unknown_attribute_rejected() {
         let mut lds = pub_lds();
-        let err = lds.insert_record("a", vec![("venue", "VLDB".into())]).unwrap_err();
+        let err = lds
+            .insert_record("a", vec![("venue", "VLDB".into())])
+            .unwrap_err();
         assert!(matches!(err, ModelError::UnknownAttribute { .. }));
     }
 
     #[test]
     fn kind_mismatch_rejected() {
         let mut lds = pub_lds();
-        let err = lds.insert_record("a", vec![("year", "2001".into())]).unwrap_err();
+        let err = lds
+            .insert_record("a", vec![("year", "2001".into())])
+            .unwrap_err();
         assert!(matches!(err, ModelError::KindMismatch { .. }));
     }
 
     #[test]
     fn project_skips_missing() {
         let mut lds = pub_lds();
-        lds.insert_record("a", vec![("title", "T1".into())]).unwrap();
-        lds.insert_record("b", vec![("year", 2002u16.into())]).unwrap();
-        lds.insert_record("c", vec![("title", "T3".into())]).unwrap();
+        lds.insert_record("a", vec![("title", "T1".into())])
+            .unwrap();
+        lds.insert_record("b", vec![("year", 2002u16.into())])
+            .unwrap();
+        lds.insert_record("c", vec![("title", "T3".into())])
+            .unwrap();
         let titles = lds.project("title").unwrap();
         assert_eq!(titles.len(), 2);
         assert_eq!(titles[0].0, 0);

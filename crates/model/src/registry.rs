@@ -28,7 +28,10 @@ impl SourceRegistry {
     pub fn register(&mut self, lds: LogicalSource) -> Result<LdsId> {
         let name = lds.name();
         if self.by_name.contains_key(&name) {
-            return Err(ModelError::DuplicateId { lds: name.clone(), id: name });
+            return Err(ModelError::DuplicateId {
+                lds: name.clone(),
+                id: name,
+            });
         }
         let id = LdsId(self.sources.len() as u32);
         self.by_name.insert(name.clone(), id);
@@ -67,7 +70,10 @@ impl SourceRegistry {
 
     /// Iterate all `(id, lds)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LdsId, &LogicalSource)> {
-        self.sources.iter().enumerate().map(|(i, s)| (LdsId(i as u32), s))
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LdsId(i as u32), s))
     }
 
     /// Assert that two LDS share an object type (required for
@@ -76,7 +82,10 @@ impl SourceRegistry {
         let l = self.resolve(left)?;
         let r = self.resolve(right)?;
         if self.lds(l).object_type != self.lds(r).object_type {
-            return Err(ModelError::TypeMismatch { left: left.into(), right: right.into() });
+            return Err(ModelError::TypeMismatch {
+                left: left.into(),
+                right: right.into(),
+            });
         }
         Ok((l, r))
     }
@@ -135,14 +144,21 @@ mod tests {
     #[test]
     fn unknown_name_errors() {
         let reg = registry();
-        assert!(matches!(reg.resolve("Venue@DBLP"), Err(ModelError::UnknownSource(_))));
+        assert!(matches!(
+            reg.resolve("Venue@DBLP"),
+            Err(ModelError::UnknownSource(_))
+        ));
     }
 
     #[test]
     fn same_type_check() {
         let reg = registry();
-        assert!(reg.require_same_type("Publication@DBLP", "Publication@ACM").is_ok());
-        let err = reg.require_same_type("Publication@DBLP", "Author@DBLP").unwrap_err();
+        assert!(reg
+            .require_same_type("Publication@DBLP", "Publication@ACM")
+            .is_ok());
+        let err = reg
+            .require_same_type("Publication@DBLP", "Author@DBLP")
+            .unwrap_err();
         assert!(matches!(err, ModelError::TypeMismatch { .. }));
     }
 

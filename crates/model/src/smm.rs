@@ -52,12 +52,18 @@ pub struct PhysicalSource {
 impl PhysicalSource {
     /// A completely downloadable source.
     pub fn downloadable(name: impl Into<String>) -> Self {
-        Self { name: name.into(), fully_downloadable: true }
+        Self {
+            name: name.into(),
+            fully_downloadable: true,
+        }
     }
 
     /// A query-only web source.
     pub fn query_only(name: impl Into<String>) -> Self {
-        Self { name: name.into(), fully_downloadable: false }
+        Self {
+            name: name.into(),
+            fully_downloadable: false,
+        }
     }
 }
 
@@ -136,10 +142,7 @@ impl SourceMappingModel {
     /// The paper notes (Section 2.1) that for its bibliographic SMM "there
     /// may be up to 8 same-mappings (3 for publications, 3 for authors, 2
     /// for venues)": each unordered pair of same-typed LDS admits one.
-    pub fn possible_same_mappings<'a>(
-        &self,
-        type_of: impl Fn(LdsId) -> &'a ObjectType,
-    ) -> usize {
+    pub fn possible_same_mappings<'a>(&self, type_of: impl Fn(LdsId) -> &'a ObjectType) -> usize {
         let mut count = 0;
         for (i, (a, _)) in self.logical.iter().enumerate() {
             for (b, _) in self.logical.iter().skip(i + 1) {
@@ -157,9 +160,17 @@ impl SourceMappingModel {
         let mut out = String::new();
         out.push_str("Source-Mapping Model\n====================\n");
         for pds in &self.physical {
-            let access = if pds.fully_downloadable { "downloadable" } else { "query-only" };
+            let access = if pds.fully_downloadable {
+                "downloadable"
+            } else {
+                "query-only"
+            };
             out.push_str(&format!("PDS {} ({access})\n", pds.name));
-            for (_, name) in self.logical.iter().filter(|(_, n)| n.ends_with(&format!("@{}", pds.name))) {
+            for (_, name) in self
+                .logical
+                .iter()
+                .filter(|(_, n)| n.ends_with(&format!("@{}", pds.name)))
+            {
                 out.push_str(&format!("  LDS {name}\n"));
             }
         }

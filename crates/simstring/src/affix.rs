@@ -14,7 +14,11 @@ pub fn common_prefix_len(a: &str, b: &str) -> usize {
 
 /// Length (in chars) of the longest common suffix.
 pub fn common_suffix_len(a: &str, b: &str) -> usize {
-    a.chars().rev().zip(b.chars().rev()).take_while(|(x, y)| x == y).count()
+    a.chars()
+        .rev()
+        .zip(b.chars().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
 }
 
 /// Prefix similarity: `lcp / max(|a|, |b|)` on normalized text.
@@ -52,7 +56,11 @@ pub fn affix_containment_sim(a: &str, b: &str) -> f64 {
     if na.is_empty() && nb.is_empty() {
         return 1.0;
     }
-    let (short, long) = if na.len() <= nb.len() { (&na, &nb) } else { (&nb, &na) };
+    let (short, long) = if na.len() <= nb.len() {
+        (&na, &nb)
+    } else {
+        (&nb, &na)
+    };
     if !short.is_empty() && long.contains(short.as_str()) {
         return short.chars().count() as f64 / long.chars().count() as f64;
     }

@@ -13,7 +13,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.len();
     }
     // Keep the shorter string as the row to halve memory.
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut cur = vec![0usize; short.len() + 1];
     for (i, lc) in long.iter().enumerate() {
@@ -113,7 +117,12 @@ mod tests {
 
     #[test]
     fn damerau_never_exceeds_levenshtein() {
-        for (a, b) in [("ca", "ac"), ("hello", "hlelo"), ("x", "yx"), ("abcd", "badc")] {
+        for (a, b) in [
+            ("ca", "ac"),
+            ("hello", "hlelo"),
+            ("x", "yx"),
+            ("abcd", "badc"),
+        ] {
             assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
         }
     }

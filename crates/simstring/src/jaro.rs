@@ -30,11 +30,24 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions between the matched subsequences.
-    let matched_b: Vec<char> =
-        b_used.iter().zip(b.iter()).filter(|(u, _)| **u).map(|(_, c)| *c).collect();
-    let matched_a: Vec<char> =
-        a_matched.iter().zip(a.iter()).filter(|(u, _)| **u).map(|(_, c)| *c).collect();
-    let t = matched_a.iter().zip(matched_b.iter()).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let matched_b: Vec<char> = b_used
+        .iter()
+        .zip(b.iter())
+        .filter(|(u, _)| **u)
+        .map(|(_, c)| *c)
+        .collect();
+    let matched_a: Vec<char> = a_matched
+        .iter()
+        .zip(a.iter())
+        .filter(|(u, _)| **u)
+        .map(|(_, c)| *c)
+        .collect();
+    let t = matched_a
+        .iter()
+        .zip(matched_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }

@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn dice_vs_jaccard_ordering() {
         // Dice >= Jaccard always (2x/(a+b) vs x/(a+b-x)).
-        for (a, b) in [("hello", "hallo"), ("data", "date"), ("vldb", "vldb journal")] {
+        for (a, b) in [
+            ("hello", "hallo"),
+            ("data", "date"),
+            ("vldb", "vldb journal"),
+        ] {
             assert!(qgram_dice(a, b, 3) >= qgram_jaccard(a, b, 3));
         }
     }

@@ -9,7 +9,11 @@ pub fn normalize(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut last_space = true;
     for ch in s.chars() {
-        let c = if ch.is_alphanumeric() { Some(ch.to_ascii_lowercase()) } else { None };
+        let c = if ch.is_alphanumeric() {
+            Some(ch.to_ascii_lowercase())
+        } else {
+            None
+        };
         match c {
             Some(c) => {
                 out.push(c);
@@ -55,7 +59,10 @@ mod tests {
 
     #[test]
     fn lowercases_and_strips() {
-        assert_eq!(normalize("Generic Schema Matching, with Cupid!"), "generic schema matching with cupid");
+        assert_eq!(
+            normalize("Generic Schema Matching, with Cupid!"),
+            "generic schema matching with cupid"
+        );
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub fn soundex(word: &str) -> String {
 pub fn soundex_sim(a: &str, b: &str) -> f64 {
     let last = |s: &str| {
         normalize_keep_periods(s)
-            .split(' ').rfind(|t| !t.is_empty())
+            .split(' ')
+            .rfind(|t| !t.is_empty())
             .map(soundex)
             .unwrap_or_default()
     };
@@ -89,7 +90,10 @@ fn parse_name(s: &str) -> Option<PersonName> {
     let toks: Vec<&str> = norm.split(' ').filter(|t| !t.is_empty()).collect();
     let (&surname, given) = toks.split_last()?;
     Some(PersonName {
-        given: given.iter().map(|t| t.trim_end_matches('.').to_owned()).collect(),
+        given: given
+            .iter()
+            .map(|t| t.trim_end_matches('.').to_owned())
+            .collect(),
         surname: surname.trim_end_matches('.').to_owned(),
     })
 }
@@ -116,9 +120,7 @@ fn given_sim(a: &[String], b: &[String]) -> f64 {
         let (x, y) = (&a[i], &b[i]);
         total += if x == y {
             1.0
-        } else if (is_initial(x) || is_initial(y))
-            && x.chars().next() == y.chars().next()
-        {
+        } else if (is_initial(x) || is_initial(y)) && x.chars().next() == y.chars().next() {
             0.85
         } else {
             jaro_winkler(x, y) * 0.8

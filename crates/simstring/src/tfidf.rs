@@ -86,7 +86,11 @@ impl TfIdfCorpus {
         if vb.is_empty() {
             return 0.0;
         }
-        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+        let (small, large) = if va.len() <= vb.len() {
+            (&va, &vb)
+        } else {
+            (&vb, &va)
+        };
         let mut dot = 0.0;
         for (t, w) in small {
             if let Some(w2) = large.get(t) {
@@ -114,7 +118,10 @@ mod tests {
     #[test]
     fn identical_docs_cosine_one() {
         let c = corpus();
-        let s = c.cosine("generic schema matching with cupid", "generic schema matching with cupid");
+        let s = c.cosine(
+            "generic schema matching with cupid",
+            "generic schema matching with cupid",
+        );
         assert!((s - 1.0).abs() < 1e-9);
     }
 

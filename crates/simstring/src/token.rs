@@ -6,7 +6,10 @@ use crate::jaro::jaro_winkler;
 use crate::tokenize::words;
 
 fn token_sets(a: &str, b: &str) -> (FxHashSet<String>, FxHashSet<String>) {
-    (words(a).into_iter().collect(), words(b).into_iter().collect())
+    (
+        words(a).into_iter().collect(),
+        words(b).into_iter().collect(),
+    )
 }
 
 /// Jaccard similarity over word-token sets.
@@ -94,7 +97,13 @@ mod tests {
 
     #[test]
     fn identical() {
-        for f in [token_jaccard, token_dice, token_overlap, token_cosine, monge_elkan_sym] {
+        for f in [
+            token_jaccard,
+            token_dice,
+            token_overlap,
+            token_cosine,
+            monge_elkan_sym,
+        ] {
             assert_eq!(f("view selection problem", "view selection problem"), 1.0);
         }
     }
@@ -116,7 +125,10 @@ mod tests {
 
     #[test]
     fn word_order_invariance() {
-        assert_eq!(token_jaccard("data cleaning problems", "problems cleaning data"), 1.0);
+        assert_eq!(
+            token_jaccard("data cleaning problems", "problems cleaning data"),
+            1.0
+        );
     }
 
     #[test]

@@ -4,7 +4,11 @@ use crate::normalize::normalize;
 
 /// Split into normalized word tokens.
 pub fn words(s: &str) -> Vec<String> {
-    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_owned).collect()
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
 }
 
 /// Character q-grams of the *normalized* string, padded with `q - 1`
@@ -71,7 +75,10 @@ mod tests {
 
     #[test]
     fn words_basic() {
-        assert_eq!(words("A Formal, Perspective!"), vec!["a", "formal", "perspective"]);
+        assert_eq!(
+            words("A Formal, Perspective!"),
+            vec!["a", "formal", "perspective"]
+        );
         assert!(words("").is_empty());
     }
 

@@ -23,7 +23,12 @@ pub struct PathStats {
 
 impl PathStats {
     fn one(sim: f64) -> Self {
-        Self { min: sim, max: sim, sum: sim, count: 1 }
+        Self {
+            min: sim,
+            max: sim,
+            sum: sim,
+            count: 1,
+        }
     }
 
     fn add(&mut self, sim: f64) {
@@ -48,7 +53,9 @@ pub struct PairAggregator {
 impl PairAggregator {
     /// Empty aggregator.
     pub fn new() -> Self {
-        Self { pairs: fx_map_with_capacity(64) }
+        Self {
+            pairs: fx_map_with_capacity(64),
+        }
     }
 
     /// Record one compose path for pair `(a, b)` with path similarity `sim`.

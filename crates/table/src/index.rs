@@ -85,7 +85,10 @@ impl Adjacency {
     /// Similarity of a specific `(key, other)` entry (linear over the
     /// key's neighbor slice).
     pub fn sim(&self, key: u32, other: u32) -> Option<f64> {
-        self.neighbors(key).iter().find(|(o, _)| *o == other).map(|(_, s)| *s)
+        self.neighbors(key)
+            .iter()
+            .find(|(o, _)| *o == other)
+            .map(|(_, s)| *s)
     }
 }
 

@@ -22,7 +22,10 @@ impl StringInterner {
 
     /// Empty interner with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { by_str: fx_map_with_capacity(cap), by_id: Vec::with_capacity(cap) }
+        Self {
+            by_str: fx_map_with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
     }
 
     /// Intern `s`, returning its stable handle.
@@ -58,7 +61,10 @@ impl StringInterner {
 
     /// Iterate `(id, string)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.by_id.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
     }
 }
 

@@ -30,7 +30,13 @@ pub fn hash_join(left: &MappingTable, right: &MappingTable, mut sink: impl FnMut
     let right_adj = Adjacency::over_domain(right);
     for l in left.iter() {
         for &(b, s2) in right_adj.neighbors(l.range) {
-            sink(JoinedPath { a: l.domain, c: l.range, b, s1: l.sim, s2 });
+            sink(JoinedPath {
+                a: l.domain,
+                c: l.range,
+                b,
+                s1: l.sim,
+                s2,
+            });
         }
     }
 }
@@ -85,7 +91,13 @@ pub fn nested_loop_join(
     for l in left.iter() {
         for r in right.iter() {
             if l.range == r.domain {
-                sink(JoinedPath { a: l.domain, c: l.range, b: r.range, s1: l.sim, s2: r.sim });
+                sink(JoinedPath {
+                    a: l.domain,
+                    c: l.range,
+                    b: r.range,
+                    s1: l.sim,
+                    s2: r.sim,
+                });
             }
         }
     }
@@ -117,8 +129,7 @@ mod tests {
             (2, 102, 0.6),
             (2, 103, 1.0),
         ]);
-        let map2 =
-            MappingTable::from_triples([(101, 11, 1.0), (102, 11, 1.0), (103, 12, 1.0)]);
+        let map2 = MappingTable::from_triples([(101, 11, 1.0), (102, 11, 1.0), (103, 12, 1.0)]);
         (map1, map2)
     }
 
@@ -129,8 +140,7 @@ mod tests {
         // Every map1 row has exactly one continuation in map2.
         assert_eq!(paths.len(), 5);
         // v1 reaches v'1 via p1 and p2.
-        let v1_v11: Vec<&JoinedPath> =
-            paths.iter().filter(|p| p.a == 1 && p.b == 11).collect();
+        let v1_v11: Vec<&JoinedPath> = paths.iter().filter(|p| p.a == 1 && p.b == 11).collect();
         assert_eq!(v1_v11.len(), 2);
     }
 

@@ -42,7 +42,9 @@ impl MappingTable {
 
     /// Empty table with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { rows: Vec::with_capacity(cap) }
+        Self {
+            rows: Vec::with_capacity(cap),
+        }
     }
 
     /// Build from raw rows, deduplicating `(a,b)` pairs (max similarity).
@@ -55,7 +57,10 @@ impl MappingTable {
     /// Build from `(domain, range, sim)` triples, deduplicating.
     pub fn from_triples(triples: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
         Self::from_rows(
-            triples.into_iter().map(|(a, b, s)| Correspondence::new(a, b, s)).collect(),
+            triples
+                .into_iter()
+                .map(|(a, b, s)| Correspondence::new(a, b, s))
+                .collect(),
         )
     }
 
@@ -95,14 +100,12 @@ impl MappingTable {
 
     /// Sort rows by `(domain, range)`.
     pub fn sort_by_domain(&mut self) {
-        self.rows
-            .sort_unstable_by_key(|x| (x.domain, x.range));
+        self.rows.sort_unstable_by_key(|x| (x.domain, x.range));
     }
 
     /// Sort rows by `(range, domain)`.
     pub fn sort_by_range(&mut self) {
-        self.rows
-            .sort_unstable_by_key(|x| (x.range, x.domain));
+        self.rows.sort_unstable_by_key(|x| (x.range, x.domain));
     }
 
     /// Collapse duplicate `(a,b)` pairs keeping the maximum similarity;
@@ -145,7 +148,9 @@ impl MappingTable {
 
     /// New table with only rows matching the predicate.
     pub fn filtered(&self, mut pred: impl FnMut(&Correspondence) -> bool) -> MappingTable {
-        MappingTable { rows: self.rows.iter().copied().filter(|c| pred(c)).collect() }
+        MappingTable {
+            rows: self.rows.iter().copied().filter(|c| pred(c)).collect(),
+        }
     }
 
     /// Distinct domain objects (count).

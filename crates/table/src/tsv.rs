@@ -59,17 +59,30 @@ pub fn from_str(text: &str) -> Result<MappingTable, TsvError> {
         }
         let mut parts = line.split('\t');
         fn field<'a>(p: Option<&'a str>, line: usize, what: &str) -> Result<&'a str, TsvError> {
-            p.ok_or_else(|| TsvError::Parse { line, msg: format!("missing {what}") })
+            p.ok_or_else(|| TsvError::Parse {
+                line,
+                msg: format!("missing {what}"),
+            })
         }
         let d: u32 = field(parts.next(), no + 1, "domain")?
             .parse()
-            .map_err(|e| TsvError::Parse { line: no + 1, msg: format!("domain: {e}") })?;
-        let r: u32 = field(parts.next(), no + 1, "range")?
-            .parse()
-            .map_err(|e| TsvError::Parse { line: no + 1, msg: format!("range: {e}") })?;
+            .map_err(|e| TsvError::Parse {
+                line: no + 1,
+                msg: format!("domain: {e}"),
+            })?;
+        let r: u32 =
+            field(parts.next(), no + 1, "range")?
+                .parse()
+                .map_err(|e| TsvError::Parse {
+                    line: no + 1,
+                    msg: format!("range: {e}"),
+                })?;
         let s: f64 = field(parts.next(), no + 1, "sim")?
             .parse()
-            .map_err(|e| TsvError::Parse { line: no + 1, msg: format!("sim: {e}") })?;
+            .map_err(|e| TsvError::Parse {
+                line: no + 1,
+                msg: format!("sim: {e}"),
+            })?;
         table.push(d, r, s);
     }
     table.dedup_max();
@@ -119,17 +132,25 @@ pub fn from_str_with_ids(
             continue;
         }
         let mut parts = line.split('\t');
-        let d = parts
-            .next()
-            .ok_or_else(|| TsvError::Parse { line: no + 1, msg: "missing domain".into() })?;
-        let r = parts
-            .next()
-            .ok_or_else(|| TsvError::Parse { line: no + 1, msg: "missing range".into() })?;
+        let d = parts.next().ok_or_else(|| TsvError::Parse {
+            line: no + 1,
+            msg: "missing domain".into(),
+        })?;
+        let r = parts.next().ok_or_else(|| TsvError::Parse {
+            line: no + 1,
+            msg: "missing range".into(),
+        })?;
         let s: f64 = parts
             .next()
-            .ok_or_else(|| TsvError::Parse { line: no + 1, msg: "missing sim".into() })?
+            .ok_or_else(|| TsvError::Parse {
+                line: no + 1,
+                msg: "missing sim".into(),
+            })?
             .parse()
-            .map_err(|e| TsvError::Parse { line: no + 1, msg: format!("sim: {e}") })?;
+            .map_err(|e| TsvError::Parse {
+                line: no + 1,
+                msg: format!("sim: {e}"),
+            })?;
         table.push(domain_ids.intern(d), range_ids.intern(r), s);
     }
     table.dedup_max();
@@ -181,7 +202,10 @@ mod tests {
         let mut ran2 = StringInterner::new();
         let back = from_str_with_ids(&text, &mut dom2, &mut ran2).unwrap();
         assert_eq!(back.len(), 1);
-        assert_eq!(dom2.resolve(back.rows()[0].domain), Some("conf/VLDB/ChirkovaHS01"));
+        assert_eq!(
+            dom2.resolve(back.rows()[0].domain),
+            Some("conf/VLDB/ChirkovaHS01")
+        );
         assert_eq!(ran2.resolve(back.rows()[0].range), Some("P-672216"));
     }
 

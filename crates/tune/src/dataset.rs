@@ -19,7 +19,11 @@ pub struct FeatureSpec {
 impl FeatureSpec {
     /// Convenience constructor.
     pub fn new(domain_attr: &str, range_attr: &str, sim: SimFn) -> Self {
-        Self { domain_attr: domain_attr.into(), range_attr: range_attr.into(), sim }
+        Self {
+            domain_attr: domain_attr.into(),
+            range_attr: range_attr.into(),
+            sim,
+        }
     }
 }
 
@@ -50,8 +54,10 @@ pub fn candidate_pairs(
     let r_lds = registry.lds(range);
     let d_vals = d_lds.project(block_attr).expect("attribute");
     let r_vals = r_lds.project(block_attr).expect("attribute");
-    let r_strings: Vec<(u32, String)> =
-        r_vals.iter().map(|(i, v)| (*i, v.to_match_string())).collect();
+    let r_strings: Vec<(u32, String)> = r_vals
+        .iter()
+        .map(|(i, v)| (*i, v.to_match_string()))
+        .collect();
     let index = TrigramIndex::build(r_strings.iter().map(|(i, s)| (*i, s.as_str())));
     let mut pairs: moma_table::FxHashSet<(u32, u32)> = Default::default();
     for (d_idx, v) in &d_vals {
@@ -102,7 +108,12 @@ pub fn build_dataset(
                     }
                 })
                 .collect();
-            LabeledPair { domain: d, range: r, features, label: gold.contains(d, r) }
+            LabeledPair {
+                domain: d,
+                range: r,
+                features,
+                label: gold.contains(d, r),
+            }
         })
         .collect()
 }
@@ -152,10 +163,18 @@ mod tests {
             "scalable similarity search",
         ];
         for (i, t) in titles.iter().enumerate() {
-            a.insert_record(format!("a{i}"), vec![("title", (*t).into()), ("year", (2000 + i as u16).into())]).unwrap();
+            a.insert_record(
+                format!("a{i}"),
+                vec![("title", (*t).into()), ("year", (2000 + i as u16).into())],
+            )
+            .unwrap();
             // B side: slightly perturbed copies.
             let noisy = t.replace('e', "3");
-            b.insert_record(format!("b{i}"), vec![("title", noisy.into()), ("year", (2000 + i as u16).into())]).unwrap();
+            b.insert_record(
+                format!("b{i}"),
+                vec![("title", noisy.into()), ("year", (2000 + i as u16).into())],
+            )
+            .unwrap();
         }
         let da = reg.register(a).unwrap();
         let db = reg.register(b).unwrap();
@@ -196,9 +215,24 @@ mod tests {
     #[test]
     fn f1_metric() {
         let pairs = vec![
-            LabeledPair { domain: 0, range: 0, features: vec![0.9], label: true },
-            LabeledPair { domain: 1, range: 1, features: vec![0.2], label: true },
-            LabeledPair { domain: 0, range: 1, features: vec![0.8], label: false },
+            LabeledPair {
+                domain: 0,
+                range: 0,
+                features: vec![0.9],
+                label: true,
+            },
+            LabeledPair {
+                domain: 1,
+                range: 1,
+                features: vec![0.2],
+                label: true,
+            },
+            LabeledPair {
+                domain: 0,
+                range: 1,
+                features: vec![0.8],
+                label: false,
+            },
         ];
         // Predict by threshold 0.5: tp=1, fp=1, fn=1 -> P=0.5 R=0.5 F=0.5.
         assert!((f1_of(&pairs, |p| p.features[0] >= 0.5) - 0.5).abs() < 1e-12);

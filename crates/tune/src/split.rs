@@ -8,16 +8,34 @@ use crate::dataset::LabeledPair;
 
 /// Shuffle deterministically and split with `train_ratio` of the data in
 /// the first returned vector.
+///
+/// The split is stratified by label: positives and negatives are
+/// shuffled and cut separately, so both halves see the same class
+/// balance. Matching gold standards are tiny relative to the candidate
+/// space (tens of positives among tens of thousands of pairs); an
+/// unstratified cut routinely lands enough positives on one side to
+/// skew every downstream F-measure.
 pub fn train_test_split(
-    mut pairs: Vec<LabeledPair>,
+    pairs: Vec<LabeledPair>,
     train_ratio: f64,
     seed: u64,
 ) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    pairs.shuffle(&mut rng);
-    let cut = ((pairs.len() as f64) * train_ratio.clamp(0.0, 1.0)).round() as usize;
-    let test = pairs.split_off(cut.min(pairs.len()));
-    (pairs, test)
+    let ratio = train_ratio.clamp(0.0, 1.0);
+    let (mut pos, mut neg): (Vec<_>, Vec<_>) = pairs.into_iter().partition(|p| p.label);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut class in [pos, neg] {
+        let cut = ((class.len() as f64) * ratio).round() as usize;
+        test.extend(class.split_off(cut.min(class.len())));
+        train.extend(class);
+    }
+    // Re-shuffle so neither half is ordered positives-first.
+    train.shuffle(&mut rng);
+    test.shuffle(&mut rng);
+    (train, test)
 }
 
 #[cfg(test)]
@@ -58,8 +76,7 @@ mod tests {
     #[test]
     fn partition_is_complete() {
         let (train, test) = train_test_split(pairs(33), 0.6, 3);
-        let mut all: Vec<u32> =
-            train.iter().chain(test.iter()).map(|p| p.domain).collect();
+        let mut all: Vec<u32> = train.iter().chain(test.iter()).map(|p| p.domain).collect();
         all.sort_unstable();
         assert_eq!(all, (0..33u32).collect::<Vec<_>>());
     }

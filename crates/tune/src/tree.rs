@@ -18,7 +18,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 4, min_split: 8 }
+        Self {
+            max_depth: 4,
+            min_split: 8,
+        }
     }
 }
 
@@ -91,7 +94,12 @@ impl DecisionTree {
                 self.nodes.push(Node::Leaf { prob: 0.0 }); // placeholder
                 let left = self.grow(pairs, &left_set, config, depth + 1);
                 let right = self.grow(pairs, &right_set, config, depth + 1);
-                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 id
             }
         }
@@ -103,7 +111,12 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if features.get(*feature).copied().unwrap_or(0.0) < *threshold {
                         *left
                     } else {
@@ -149,7 +162,12 @@ impl DecisionTree {
                 Node::Leaf { prob } => {
                     out.push_str(&format!("{pad}=> match probability {prob:.2}\n"));
                 }
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let name = names.get(*feature).copied().unwrap_or("?");
                     out.push_str(&format!("{pad}if {name} < {threshold:.3}:\n"));
                     render(nodes, *left, names, indent + 1, out);
@@ -218,7 +236,12 @@ mod tests {
     use super::*;
 
     fn pair(features: Vec<f64>, label: bool) -> LabeledPair {
-        LabeledPair { domain: 0, range: 0, features, label }
+        LabeledPair {
+            domain: 0,
+            range: 0,
+            features,
+            label,
+        }
     }
 
     #[test]
@@ -255,8 +278,14 @@ mod tests {
         assert!(!tree.classify(&[0.5, 1.0]));
         // And the tree beats the best single threshold on either feature.
         let tree_f1 = crate::dataset::f1_of(&data, |p| tree.classify(&p.features));
-        let grid = crate::grid::GridSearch::default().search(&data, &data).unwrap();
-        assert!(tree_f1 > grid.test_f1, "tree {tree_f1} vs grid {}", grid.test_f1);
+        let grid = crate::grid::GridSearch::default()
+            .search(&data, &data)
+            .unwrap();
+        assert!(
+            tree_f1 > grid.test_f1,
+            "tree {tree_f1} vs grid {}",
+            grid.test_f1
+        );
         assert_eq!(tree_f1, 1.0);
     }
 
@@ -277,16 +306,24 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let data: Vec<LabeledPair> =
-            (0..256).map(|i| pair(vec![i as f64 / 256.0], (i / 2) % 2 == 0)).collect();
-        let tree = DecisionTree::fit(&data, TreeConfig { max_depth: 2, min_split: 2 });
+        let data: Vec<LabeledPair> = (0..256)
+            .map(|i| pair(vec![i as f64 / 256.0], (i / 2) % 2 == 0))
+            .collect();
+        let tree = DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 2,
+                min_split: 2,
+            },
+        );
         assert!(tree.depth() <= 3); // root + 2 levels
     }
 
     #[test]
     fn rules_render() {
-        let data: Vec<LabeledPair> =
-            (0..100).map(|i| pair(vec![i as f64 / 100.0], i >= 60)).collect();
+        let data: Vec<LabeledPair> = (0..100)
+            .map(|i| pair(vec![i as f64 / 100.0], i >= 60))
+            .collect();
         let tree = DecisionTree::fit(&data, TreeConfig::default());
         let rules = tree.render_rules(&["title"]);
         assert!(rules.contains("if title <"));

@@ -11,12 +11,12 @@
 //! Scholar duplicate entries — the iFuice-style citation analysis
 //! ([29] in the paper) that motivated MOMA.
 
+use moma::core::blocking::Blocking;
 use moma::core::matchers::neighborhood::nh_match;
 use moma::core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma::core::ops::compose::PathAgg;
 use moma::core::ops::select::{select, Selection};
 use moma::core::ops::setops::{intersection, union};
-use moma::core::blocking::Blocking;
 use moma::datagen::{Scenario, WorldConfig};
 use moma::ifuice::fusion::{fuse_attribute, FuseCombine};
 use moma::simstring::SimFn;
@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execute(&ctx, scenario.ids.author_dblp, scenario.ids.author_gs)?;
     let pub_author = scenario.repository.require("DBLP.PubAuthor")?;
     let author_pub = scenario.repository.require("GS.AuthorPub")?;
-    let nh = nh_match(&pub_author, &author_same, &author_pub, PathAgg::RelativeLeft)?;
+    let nh = nh_match(
+        &pub_author,
+        &author_same,
+        &author_pub,
+        PathAgg::RelativeLeft,
+    )?;
     let confirmed = intersection(&title_low, &select(&nh, &Selection::Threshold(0.4)))?;
     let same_dg = union(&title, &confirmed)?;
     println!("DBLP-GS same-mapping: {} correspondences", same_dg.len());
@@ -66,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntop cited DBLP publications (GS citations fused over duplicates):");
     for (d, cites) in ranked.iter().take(8) {
         let inst = dblp.get(*d).unwrap();
-        let title = inst.value(0).map(|v| v.to_match_string()).unwrap_or_default();
+        let title = inst
+            .value(0)
+            .map(|v| v.to_match_string())
+            .unwrap_or_default();
         println!("  {cites:>5}  {title}");
     }
     assert!(!ranked.is_empty());

@@ -29,8 +29,11 @@ RETURN $Result;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::small();
     let lds = scenario.registry.lds(scenario.ids.author_dblp);
-    println!("DBLP authors: {} (with {} injected duplicate identities)", lds.len(),
-        scenario.world.duplicates.len());
+    println!(
+        "DBLP authors: {} (with {} injected duplicate identities)",
+        lds.len(),
+        scenario.world.duplicates.len()
+    );
 
     let value = run_script(SCRIPT, &scenario.registry, &scenario.repository)?;
     let merged = value.as_mapping().expect("script returns a mapping");
@@ -70,10 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clusters = cluster::clusters(&thresholded, lds.len() as u32)?;
     println!("duplicate clusters at threshold 0.6: {}", clusters.len());
     for c in clusters.iter().take(5) {
-        let names: Vec<String> =
-            c.iter().map(|&i| lds.get(i).unwrap().value(0).unwrap().to_match_string()).collect();
+        let names: Vec<String> = c
+            .iter()
+            .map(|&i| lds.get(i).unwrap().value(0).unwrap().to_match_string())
+            .collect();
         println!("  {{ {} }}", names.join(", "));
     }
-    assert!(hits >= 3, "expected the script to surface the injected duplicates");
+    assert!(
+        hits >= 3,
+        "expected the script to surface the injected duplicates"
+    );
     Ok(())
 }

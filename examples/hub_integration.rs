@@ -38,8 +38,13 @@ fn build_source(name: &str, skip: usize, noisy: bool) -> LogicalSource {
         if i % 4 == skip {
             continue; // each source misses a quarter of the universe
         }
-        let title = if noisy { t.to_lowercase().replace('-', " ") } else { (*t).to_owned() };
-        lds.insert_record(format!("{name}-{i}"), vec![("title", title.into())]).unwrap();
+        let title = if noisy {
+            t.to_lowercase().replace('-', " ")
+        } else {
+            (*t).to_owned()
+        };
+        lds.insert_record(format!("{name}-{i}"), vec![("title", title.into())])
+            .unwrap();
     }
     lds
 }
@@ -48,8 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = SourceRegistry::new();
     // Source 0 is the curated hub (complete, clean) — the role DBLP plays
     // in the paper.
-    let mut hub = LogicalSource::new("Hub", ObjectType::new("Publication"),
-        vec![AttrDef::text("title")]);
+    let mut hub = LogicalSource::new(
+        "Hub",
+        ObjectType::new("Publication"),
+        vec![AttrDef::text("title")],
+    );
     for (i, t) in TITLES.iter().enumerate() {
         hub.insert_record(format!("hub-{i}"), vec![("title", (*t).into())])?;
     }
@@ -71,13 +79,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("hub -> Source{}: {} correspondences", s + 1, m.len());
         repo.store_as(format!("hub{}", s + 1), m);
     }
-    println!("mappings maintained: {} (full mesh would need {})", peripheral.len(), 10);
+    println!(
+        "mappings maintained: {} (full mesh would need {})",
+        peripheral.len(),
+        10
+    );
 
     // Match Source1 with Source4 by composing via the hub.
     let s1 = repo.require("hub1")?;
     let s4 = repo.require("hub4")?;
     let composed = compose(&s1.inverse(), &s4, PathCombine::Min, PathAgg::Max)?;
-    println!("\nSource1 ~ Source4 via hub: {} correspondences", composed.len());
+    println!(
+        "\nSource1 ~ Source4 via hub: {} correspondences",
+        composed.len()
+    );
     let l1 = registry.lds(peripheral[0]);
     let l4 = registry.lds(peripheral[3]);
     for c in composed.table.iter() {

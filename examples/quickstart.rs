@@ -22,10 +22,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![AttrDef::text("title"), AttrDef::year("year")],
     );
     for (id, title, year) in [
-        ("conf/vldb/MadhavanBR01", "Generic Schema Matching with Cupid", 2001u16),
-        ("conf/vldb/ChirkovaHS01", "A formal perspective on the view selection problem", 2001),
+        (
+            "conf/vldb/MadhavanBR01",
+            "Generic Schema Matching with Cupid",
+            2001u16,
+        ),
+        (
+            "conf/vldb/ChirkovaHS01",
+            "A formal perspective on the view selection problem",
+            2001,
+        ),
         ("journals/tods/Editorial02", "Editor's Notes", 2002),
-        ("conf/sigmod/RamanH01", "Potter's Wheel: An Interactive Data Cleaning System", 2001),
+        (
+            "conf/sigmod/RamanH01",
+            "Potter's Wheel: An Interactive Data Cleaning System",
+            2001,
+        ),
     ] {
         dblp.insert_record(id, vec![("title", title.into()), ("year", year.into())])?;
     }
@@ -37,9 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (id, title, year) in [
         ("P-672191", "Generic schema matching with CUPID", 2001u16),
-        ("P-672216", "A formal perspective on the view selection problem.", 2001),
+        (
+            "P-672216",
+            "A formal perspective on the view selection problem.",
+            2001,
+        ),
         ("P-100001", "Editor's Notes", 1999), // recurring newsletter title!
-        ("P-100002", "Robust and Efficient Fuzzy Match for Online Data Cleaning", 2003),
+        (
+            "P-100002",
+            "Robust and Efficient Fuzzy Match for Online Data Cleaning",
+            2003,
+        ),
     ] {
         acm.insert_record(id, vec![("title", title.into()), ("year", year.into())])?;
     }

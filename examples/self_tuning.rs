@@ -29,8 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FeatureSpec::new("authors", "authors", SimFn::Trigram),
         FeatureSpec::new("year", "year", SimFn::Year(0)),
     ];
-    let feature_names: Vec<&str> =
-        vec!["title:trigram", "title:levenshtein", "title:jaccard", "authors:trigram", "year"];
+    let feature_names: Vec<&str> = vec![
+        "title:trigram",
+        "title:levenshtein",
+        "title:jaccard",
+        "authors:trigram",
+        "year",
+    ];
 
     let candidates = candidate_pairs(&scenario.registry, d, r, "title", gold);
     let data = build_dataset(&scenario.registry, d, r, &specs, &candidates, gold);
@@ -42,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = train_test_split(data, 0.7, 42);
 
     // --- grid search -----------------------------------------------------
-    let grid = GridSearch::default().search(&train, &test).expect("non-empty data");
+    let grid = GridSearch::default()
+        .search(&train, &test)
+        .expect("non-empty data");
     println!(
         "\ngrid search winner: {} >= {:.2}  (train F {:.1}%, test F {:.1}%)",
         feature_names[grid.feature],
@@ -54,15 +61,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- decision tree -----------------------------------------------------
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let tree_f1 = moma::tune::dataset::f1_of(&test, |p| tree.classify(&p.features));
-    println!("\ndecision tree ({} nodes, depth {}):", tree.node_count(), tree.depth());
+    println!(
+        "\ndecision tree ({} nodes, depth {}):",
+        tree.node_count(),
+        tree.depth()
+    );
     print!("{}", tree.render_rules(&feature_names));
     println!("tree test F: {:.1}%", tree_f1 * 100.0);
 
     // --- untuned baseline ---------------------------------------------------
     let default_f1 =
         moma::tune::dataset::f1_of(&test, |p| p.features[1] >= 0.5 /* levenshtein@0.5 */);
-    println!("\nuntuned baseline (levenshtein >= 0.5): F {:.1}%", default_f1 * 100.0);
-    assert!(grid.test_f1 >= default_f1, "tuning should not underperform the baseline");
+    println!(
+        "\nuntuned baseline (levenshtein >= 0.5): F {:.1}%",
+        default_f1 * 100.0
+    );
+    assert!(
+        grid.test_f1 >= default_f1,
+        "tuning should not underperform the baseline"
+    );
     assert!(tree_f1 > 0.5);
     Ok(())
 }

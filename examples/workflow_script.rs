@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let d = scenario.registry.lds(scenario.ids.venue_dblp);
     let a = scenario.registry.lds(scenario.ids.venue_acm);
-    println!("venue same-mapping from script ({} correspondences):", venue_same.len());
+    println!(
+        "venue same-mapping from script ({} correspondences):",
+        venue_same.len()
+    );
     let mut rows: Vec<_> = venue_same.table.iter().collect();
     rows.sort_by_key(|x| x.domain);
     for c in rows.iter().take(10) {
@@ -56,11 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(scenario.repository.contains("script.VenueSame"));
     assert!(scenario.repository.contains("script.PubSame"));
     let gold = &scenario.gold.venue_dblp_acm;
-    let correct = venue_same.table.iter().filter(|c| gold.contains(c.domain, c.range)).count();
+    let correct = venue_same
+        .table
+        .iter()
+        .filter(|c| gold.contains(c.domain, c.range))
+        .count();
     println!(
         "\n{correct}/{} correspondences agree with the gold standard",
         venue_same.len()
     );
-    assert!(correct * 10 >= venue_same.len() * 8, "venue matching should be mostly correct");
+    assert!(
+        correct * 10 >= venue_same.len() * 8,
+        "venue matching should be mostly correct"
+    );
     Ok(())
 }

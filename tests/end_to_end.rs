@@ -20,10 +20,18 @@ fn workflow_engine_reproduces_manual_pipeline() {
 
     // Declarative workflow: title + authors + year matchers merged with
     // Avg (missing = 0) and an 80% threshold — the Table 2 pipeline.
-    let title: Arc<dyn moma::core::Matcher> =
-        Arc::new(AttributeMatcher::new("title", "title", SimFn::Trigram, 0.45));
-    let authors: Arc<dyn moma::core::Matcher> =
-        Arc::new(AttributeMatcher::new("authors", "authors", SimFn::Trigram, 0.45));
+    let title: Arc<dyn moma::core::Matcher> = Arc::new(AttributeMatcher::new(
+        "title",
+        "title",
+        SimFn::Trigram,
+        0.45,
+    ));
+    let authors: Arc<dyn moma::core::Matcher> = Arc::new(AttributeMatcher::new(
+        "authors",
+        "authors",
+        SimFn::Trigram,
+        0.45,
+    ));
     let year: Arc<dyn moma::core::Matcher> =
         Arc::new(AttributeMatcher::new("year", "year", SimFn::Year(0), 1.0));
     let wf = Workflow::new("PubMatch", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
@@ -33,7 +41,10 @@ fn workflow_engine_reproduces_manual_pipeline() {
             StepInput::Matcher(Arc::clone(&year)),
         ],
         combiner: Combiner {
-            op: CombineOp::Merge { f: MergeFn::Avg, missing: MissingPolicy::Zero },
+            op: CombineOp::Merge {
+                f: MergeFn::Avg,
+                missing: MissingPolicy::Zero,
+            },
             selections: vec![Selection::Threshold(0.8)],
         },
         publish: Some("wf.pub".into()),
@@ -96,21 +107,28 @@ fn repository_reuse_between_workflows() {
 
     let first = Workflow::new("First", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
         inputs: vec![StepInput::Matcher(Arc::new(AttributeMatcher::new(
-            "title", "title", SimFn::Trigram, 0.8,
+            "title",
+            "title",
+            SimFn::Trigram,
+            0.8,
         )))],
         combiner: Combiner::merge_avg(),
         publish: Some("shared.title".into()),
     });
     first.run(&ctx, &cache).unwrap();
 
-    let second = Workflow::new("Second", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
-        inputs: vec![StepInput::Existing("shared.title".into())],
-        combiner: Combiner::merge_avg().with_selection(Selection::best1()),
-        publish: None,
-    });
+    let second =
+        Workflow::new("Second", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+            inputs: vec![StepInput::Existing("shared.title".into())],
+            combiner: Combiner::merge_avg().with_selection(Selection::best1()),
+            publish: None,
+        });
     let refined = second.run(&ctx, &cache).unwrap();
     assert!(!refined.is_empty());
     for (_, count) in refined.table.domain_degrees() {
-        assert_eq!(count, 1, "best-1 must leave one correspondence per instance");
+        assert_eq!(
+            count, 1,
+            "best-1 must leave one correspondence per instance"
+        );
     }
 }

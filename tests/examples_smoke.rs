@@ -1,0 +1,93 @@
+//! Workspace smoke test: every example in `examples/` must compile and run
+//! to completion. Examples are the documented entry points to the system;
+//! a broken one is a broken front door, and nothing else executes them.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Run `cargo run --release --example <name>` in the workspace root.
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    assert!(
+        Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{name}.rs"))
+            .exists(),
+        "example source examples/{name}.rs is missing"
+    );
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart() {
+    run_example("quickstart");
+}
+
+#[test]
+fn duplicate_detection() {
+    run_example("duplicate_detection");
+}
+
+#[test]
+fn bibliographic_integration() {
+    run_example("bibliographic_integration");
+}
+
+#[test]
+fn hub_integration() {
+    run_example("hub_integration");
+}
+
+#[test]
+fn self_tuning() {
+    run_example("self_tuning");
+}
+
+#[test]
+fn workflow_script() {
+    run_example("workflow_script");
+}
+
+#[test]
+fn all_examples_are_covered() {
+    // If a new example lands without a smoke test above, fail loudly.
+    let covered = [
+        "quickstart",
+        "duplicate_detection",
+        "bibliographic_integration",
+        "hub_integration",
+        "self_tuning",
+        "workflow_script",
+    ];
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut missing = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/ directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let stem = path
+                .file_stem()
+                .expect("file stem")
+                .to_string_lossy()
+                .into_owned();
+            if !covered.contains(&stem.as_str()) {
+                missing.push(stem);
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "examples without a smoke test: {missing:?}"
+    );
+}

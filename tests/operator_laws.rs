@@ -12,7 +12,12 @@ use proptest::prelude::*;
 
 fn arb_mapping(domain: u32, range: u32) -> impl Strategy<Value = Mapping> {
     prop::collection::vec((0u32..16, 0u32..16, 0.01f64..=1.0), 0..40).prop_map(move |rows| {
-        Mapping::same("m", LdsId(domain), LdsId(range), MappingTable::from_triples(rows))
+        Mapping::same(
+            "m",
+            LdsId(domain),
+            LdsId(range),
+            MappingTable::from_triples(rows),
+        )
     })
 }
 

@@ -15,7 +15,10 @@ fn repository_roundtrip_through_disk() {
     let repo = MappingRepository::new();
     repo.store_as("roundtrip.title", mapping.clone());
     // Persist a real association mapping too (different kind).
-    repo.store_as("roundtrip.assoc", (*scenario.repository.require("DBLP.VenuePub").unwrap()).clone());
+    repo.store_as(
+        "roundtrip.assoc",
+        (*scenario.repository.require("DBLP.VenuePub").unwrap()).clone(),
+    );
 
     let dir = std::env::temp_dir().join("moma_integration_persist");
     let _ = std::fs::remove_dir_all(&dir);
@@ -31,7 +34,10 @@ fn repository_roundtrip_through_disk() {
         assert!((s - c.sim).abs() < 1e-9);
     }
     let assoc = restored.require("roundtrip.assoc").unwrap();
-    assert!(matches!(assoc.kind, moma::core::MappingKind::Association(_)));
+    assert!(matches!(
+        assoc.kind,
+        moma::core::MappingKind::Association(_)
+    ));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -81,7 +87,10 @@ fn different_seeds_give_different_worlds_same_shapes() {
         let r = moma::eval::experiments::table2::run(ctx);
         let p_merge = r.cell_pct("Precision", "Merge").unwrap();
         let p_title = r.cell_pct("Precision", "Title").unwrap();
-        assert!(p_merge > p_title, "seed-dependent shape: merge {p_merge} vs title {p_title}");
+        assert!(
+            p_merge > p_title,
+            "seed-dependent shape: merge {p_merge} vs title {p_title}"
+        );
     }
 }
 

@@ -12,7 +12,14 @@ fn assert_same_mapping(a: &moma::core::Mapping, b: &moma::core::Mapping) {
     assert_eq!(a.table.pair_set(), b.table.pair_set());
     for c in a.table.iter() {
         let s = b.table.sim_of(c.domain, c.range).unwrap();
-        assert!((s - c.sim).abs() < 1e-9, "pair ({},{}): {} vs {}", c.domain, c.range, c.sim, s);
+        assert!(
+            (s - c.sim).abs() < 1e-9,
+            "pair ({},{}): {} vs {}",
+            c.domain,
+            c.range,
+            c.sim,
+            s
+        );
     }
 }
 
@@ -43,8 +50,7 @@ fn section_4_3_script_equals_api() {
     let name_sim = AttributeMatcher::new("name", "name", moma::simstring::SimFn::Trigram, 0.5)
         .execute(&ctx, scenario.ids.author_dblp, scenario.ids.author_dblp)
         .unwrap();
-    let merged =
-        merge(&[&coauth_sim, &name_sim], MergeFn::Avg, MissingPolicy::Zero).unwrap();
+    let merged = merge(&[&coauth_sim, &name_sim], MergeFn::Avg, MissingPolicy::Zero).unwrap();
     let via_api = select_constraint(&merged, |d, r, _| d != r);
 
     assert_same_mapping(via_script, &via_api);
@@ -85,8 +91,14 @@ fn script_selection_builders_equal_api() {
     scenario.repository.store_as("test.m", mapping.clone());
 
     for (script_sel, api_sel) in [
-        ("threshold(0.8)", moma::core::ops::select::Selection::Threshold(0.8)),
-        ("bestN(1, domain)", moma::core::ops::select::Selection::best1()),
+        (
+            "threshold(0.8)",
+            moma::core::ops::select::Selection::Threshold(0.8),
+        ),
+        (
+            "bestN(1, domain)",
+            moma::core::ops::select::Selection::best1(),
+        ),
         (
             "best1delta(0.05, abs, range)",
             moma::core::ops::select::Selection::Best1Delta {

@@ -1,0 +1,223 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the subset
+//! of the criterion 0.5 API that MOMA's benches use is implemented locally:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling it runs each benchmark body a small fixed
+//! number of times and reports the mean wall-clock time per iteration. That
+//! keeps `cargo bench` runnable (and `cargo bench --no-run` compiling) without
+//! the real dependency; numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("hash", 1000)` → `hash/1000`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(id: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    println!("bench: {id:<48} {:>14.0} ns/iter", b.mean_ns);
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, self.iters, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Criterion's sample count; the stub maps it to a small iteration cap.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 10);
+        self
+    }
+
+    /// Criterion's warm-up duration; accepted and ignored by the stub.
+    pub fn warm_up_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Criterion's measurement duration; accepted and ignored by the stub.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.iters, &mut f);
+        self
+    }
+
+    /// Benchmark a function parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: bundles benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes harness flags; only time under `cargo bench`.
+            let bench_mode = std::env::args().any(|a| a == "--bench");
+            if !bench_mode && std::env::args().len() > 1 {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut hits = 0u32;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn group_runs_and_formats_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut hits = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 10), &10, |b, &n| {
+            b.iter(|| hits += n as u32)
+        });
+        g.finish();
+        assert!(hits >= 10);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("hash", 100).id, "hash/100");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

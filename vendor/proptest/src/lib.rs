@@ -1,0 +1,488 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no network access to crates.io, so the subset of
+//! the proptest 1.x API that MOMA's tests use is implemented locally:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(x in strategy, ..)` bodies,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * the [`strategy::Strategy`] trait with `prop_map`,
+//! * strategies for integer/float ranges, tuples, fixed arrays (uniform
+//!   choice), `prop::collection::vec`, and `&str` regex-like patterns
+//!   (character classes, groups, `{m,n}` / `?` / `*` / `+` quantifiers),
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed number
+//! of deterministically seeded cases (seeded from the test name, so failures
+//! reproduce across runs).
+
+/// Number of generated cases per property test.
+pub const NUM_CASES: u32 = 64;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Deterministic generator seeded from the test name; the stream
+    /// itself comes from the vendored `rand` crate (as with real
+    /// proptest, which builds on `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from an arbitrary string (the test name).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.gen()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::pattern;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
+    /// replaces the value-tree machinery.
+    pub trait Strategy {
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    /// String literals act as regex-like pattern strategies, as in proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            pattern::generate(self, rng)
+        }
+    }
+
+    /// Fixed arrays pick one element uniformly (used for choosing among a
+    /// fixed set of functions/values in tests).
+    impl<T: Clone, const N: usize> Strategy for [T; N] {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(N > 0, "cannot sample from an empty array strategy");
+            self[rng.below(N as u64) as usize].clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s of values from `element` with a length drawn
+        /// from `size` — mirror of `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                assert!(self.size.start < self.size.end, "empty size range");
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub(crate) mod pattern {
+    //! Generator for the regex subset proptest string strategies use here:
+    //! character classes, literals, groups, and `{m,n}` / `?` / `*` / `+`.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Inclusive char ranges, e.g. `[a-zA-Z. ]` → `[(a,z),(A,Z),(.,.),( , )]`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0;
+        let seq = parse_seq(&chars, &mut pos, pat);
+        assert!(pos == chars.len(), "unsupported pattern syntax in {pat:?}");
+        let mut out = String::new();
+        for node in &seq {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' {
+            let atom = match chars[*pos] {
+                '[' => parse_class(chars, pos, pat),
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pat);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in pattern {pat:?}"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "trailing escape in pattern {pat:?}");
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '|' | '^' | '$'),
+                        "unsupported pattern syntax {c:?} in {pat:?}"
+                    );
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+            };
+            nodes.push(parse_quantifier(atom, chars, pos, pat));
+        }
+        nodes
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        *pos += 1; // consume '['
+        assert!(
+            *pos < chars.len() && chars[*pos] != '^',
+            "unsupported class syntax in pattern {pat:?}"
+        );
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = chars[*pos];
+            *pos += 1;
+            if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                assert!(lo <= hi, "inverted class range in pattern {pat:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(*pos < chars.len(), "unclosed class in pattern {pat:?}");
+        *pos += 1; // consume ']'
+        assert!(
+            !ranges.is_empty(),
+            "empty character class in pattern {pat:?}"
+        );
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        if *pos >= chars.len() {
+            return atom;
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            '{' => {
+                *pos += 1;
+                let mut spec = String::new();
+                while *pos < chars.len() && chars[*pos] != '}' {
+                    spec.push(chars[*pos]);
+                    *pos += 1;
+                }
+                assert!(*pos < chars.len(), "unclosed quantifier in pattern {pat:?}");
+                *pos += 1; // consume '}'
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier min"),
+                        hi.parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in pattern {pat:?}");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut k = rng.below(total);
+                for (lo, hi) in ranges {
+                    let n = *hi as u64 - *lo as u64 + 1;
+                    if k < n {
+                        out.push(char::from_u32(*lo as u32 + k as u32).expect("class char"));
+                        return;
+                    }
+                    k -= n;
+                }
+                unreachable!("class sampling out of bounds");
+            }
+            Node::Group(nodes) => {
+                for n in nodes {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let count = *min as u64 + rng.below((*max - *min) as u64 + 1);
+                for _ in 0..count {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Property-test macro: mirror of `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ..) { body }` becomes a `#[test]` running
+/// [`NUM_CASES`] deterministically seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::NUM_CASES {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = TestRng::for_test("pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::pattern::generate("[a-z]{1,8}( [a-z]{1,8}){0,4}", &mut rng);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!((1..=8).contains(&word.len()), "bad word in {s:?}");
+                assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+            let t = crate::pattern::generate("[A-Za-z. ]{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+            let u = crate::pattern::generate("x?", &mut rng);
+            assert!(u.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut rng = TestRng::for_test("determinism");
+            crate::pattern::generate("[a-d][a-d ]{2,11}", &mut rng)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    proptest! {
+        /// The macro itself: ranges, tuples, vec, prop_map, arrays.
+        #[test]
+        fn macro_end_to_end(
+            x in 0u32..10,
+            f in 0.25f64..=0.75,
+            v in prop::collection::vec((0u32..5, 0.0f64..=1.0), 0..7),
+            pick in [1u8, 2, 3],
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((0.25..=0.75).contains(&f));
+            prop_assert!(v.len() < 7);
+            for (a, b) in &v {
+                prop_assert!(*a < 5 && (0.0..=1.0).contains(b));
+            }
+            prop_assert!([1, 2, 3].contains(&pick));
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_test("prop_map_applies");
+        let doubled = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+}
