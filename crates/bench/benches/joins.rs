@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moma_bench::random_mapping;
-use moma_table::join::{hash_join, nested_loop_join, sort_merge_join};
+use moma_table::exec::Parallelism;
+use moma_table::join::{
+    hash_join, nested_loop_join, par_hash_join, par_sort_merge_join, sort_merge_join,
+};
 use std::time::Duration;
 
 fn bench_joins(c: &mut Criterion) {
@@ -29,6 +32,33 @@ fn bench_joins(c: &mut Criterion) {
                 black_box(n)
             })
         });
+        // Parallel variants: the sequential/parallel pairs above/below
+        // are the ≥2×-at-4-threads comparison (multi-core hardware).
+        for threads in [2usize, 4] {
+            let par = Parallelism::new(threads);
+            g.bench_with_input(
+                BenchmarkId::new(format!("par{threads}_hash"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let mut n = 0usize;
+                        par_hash_join(&left, &right, &par, |_| n += 1);
+                        black_box(n)
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("par{threads}_sort_merge"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let mut n = 0usize;
+                        par_sort_merge_join(&left, &right, &par, |_| n += 1);
+                        black_box(n)
+                    })
+                },
+            );
+        }
         // Nested loop only at the smallest size (quadratic).
         if rows <= 1_000 {
             g.bench_with_input(BenchmarkId::new("nested_loop", rows), &rows, |b, _| {

@@ -3,6 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moma_core::blocking::Blocking;
+use moma_core::exec::Parallelism;
 use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma_datagen::{Scenario, WorldConfig};
 use moma_simstring::SimFn;
@@ -27,27 +28,38 @@ fn bench_attribute_matching(c: &mut Criterion) {
     g.sample_size(10);
 
     let configs = [
-        ("allpairs", Blocking::AllPairs, false),
-        ("blocked", Blocking::TrigramPrefix, false),
-        ("blocked_parallel", Blocking::TrigramPrefix, true),
+        ("allpairs", Blocking::AllPairs, 1usize),
+        ("blocked", Blocking::TrigramPrefix, 1),
+        ("blocked_par4", Blocking::TrigramPrefix, 4),
     ];
-    for (name, blocking, parallel) in configs {
+    for (name, blocking, threads) in configs {
         g.bench_with_input(BenchmarkId::new("title_dblp_acm", name), &name, |b, _| {
             let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.8)
                 .with_blocking(blocking)
-                .with_parallel(parallel);
+                .with_parallelism(Parallelism::new(threads));
             b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_acm).unwrap()))
         });
     }
     // The large dirty pair: DBLP x GS (thousands of noise entries) —
-    // blocked only; all-pairs is omitted as prohibitively slow.
-    for (name, parallel) in [("blocked", false), ("blocked_parallel", true)] {
-        g.bench_with_input(BenchmarkId::new("title_dblp_gs", name), &name, |b, _| {
-            let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
-                .with_blocking(Blocking::TrigramPrefix)
-                .with_parallel(parallel);
-            b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_gs).unwrap()))
-        });
+    // blocked only; all-pairs is omitted as prohibitively slow. The
+    // seq/par2/par4 triple is the parallel-speedup comparison: on
+    // 4+ core hardware the par4 row should come in ≥2× under seq.
+    for threads in [1usize, 2, 4] {
+        let name = if threads == 1 {
+            "blocked_seq".to_owned()
+        } else {
+            format!("blocked_par{threads}")
+        };
+        g.bench_with_input(
+            BenchmarkId::new("title_dblp_gs", &name),
+            &threads,
+            |b, _| {
+                let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
+                    .with_blocking(Blocking::TrigramPrefix)
+                    .with_parallelism(Parallelism::new(threads));
+                b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_gs).unwrap()))
+            },
+        );
     }
     g.finish();
 }
@@ -71,6 +83,12 @@ fn bench_blocking_index(c: &mut Criterion) {
             ))
         })
     });
+    for threads in [2usize, 4] {
+        let par = Parallelism::new(threads);
+        g.bench_function(format!("build_index_par{threads}"), |b| {
+            b.iter(|| black_box(moma_core::blocking::TrigramIndex::build_par(&values, &par)))
+        });
+    }
     let index =
         moma_core::blocking::TrigramIndex::build(values.iter().map(|(i, v)| (*i, v.as_str())));
     g.bench_function("probe_100", |b| {

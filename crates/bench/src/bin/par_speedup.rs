@@ -1,0 +1,131 @@
+//! Parallel-vs-sequential speedup report on the large datagen scenario.
+//!
+//! ```bash
+//! cargo run --release -p moma-bench --bin par_speedup            # default sizes
+//! cargo run --release -p moma-bench --bin par_speedup -- 4 8    # thread counts
+//! ```
+//!
+//! Measures the three parallelized hot paths — attribute matching
+//! (blocked trigram probing), hash / sort-merge joins, and trigram-index
+//! construction — sequentially and at each requested thread count, checks
+//! the outputs are bit-identical, and prints the speedups. On 4+ core
+//! hardware the 4-thread rows for matching and joins come in ≥2× over
+//! sequential; on fewer cores the ratio degrades toward 1× but results
+//! stay identical (run with fewer threads to see the plateau).
+
+use std::time::Instant;
+
+use moma_bench::random_mapping;
+use moma_core::blocking::{Blocking, TrigramIndex};
+use moma_core::exec::Parallelism;
+use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
+use moma_datagen::{Scenario, WorldConfig};
+use moma_simstring::SimFn;
+use moma_table::join::{par_hash_join, par_sort_merge_join};
+
+fn time<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    // One warm-up, then best of three (robust against scheduler noise).
+    f();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out.expect("at least one run"), best)
+}
+
+fn main() {
+    let threads: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let threads = if threads.is_empty() {
+        vec![2, 4, 8]
+    } else {
+        threads
+    };
+
+    // The large pair: a noisy Google-Scholar-style source. Scaled up
+    // from `small` toward the paper's 64k-entry regime.
+    let mut cfg = WorldConfig::small();
+    cfg.gs_noise_entries = 8_000;
+    let s = Scenario::generate(cfg);
+    let gs_len = s.registry.lds(s.ids.pub_gs).len();
+    println!("scenario: DBLP×GS with {gs_len} GS entries\n");
+
+    // --- attribute matching ------------------------------------------
+    let matcher = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
+        .with_blocking(Blocking::TrigramPrefix);
+    let seq_ctx = MatchContext::with_repository(&s.registry, &s.repository)
+        .with_parallelism(Parallelism::sequential());
+    let (reference, t_seq) = time(|| {
+        matcher
+            .execute(&seq_ctx, s.ids.pub_gs, s.ids.pub_dblp)
+            .unwrap()
+    });
+    println!(
+        "attribute match GS→DBLP (blocked): sequential {:.3}s",
+        t_seq
+    );
+    for &n in &threads {
+        let ctx = MatchContext::with_repository(&s.registry, &s.repository)
+            .with_parallelism(Parallelism::new(n));
+        let (m, t) = time(|| matcher.execute(&ctx, s.ids.pub_gs, s.ids.pub_dblp).unwrap());
+        assert_eq!(m.table.rows(), reference.table.rows(), "must be identical");
+        println!("  {n:>2} threads: {t:.3}s  ({:.2}x)", t_seq / t);
+    }
+
+    // --- joins --------------------------------------------------------
+    let rows = 400_000usize;
+    let keys = (rows / 4) as u32;
+    let left = random_mapping(7, keys, rows).table;
+    let right = random_mapping(8, keys, rows).table;
+    for (name, join) in [
+        (
+            "hash join",
+            &(|par: &Parallelism| {
+                let mut n = 0usize;
+                par_hash_join(&left, &right, par, |_| n += 1);
+                n
+            }) as &dyn Fn(&Parallelism) -> usize,
+        ),
+        ("sort-merge join", &|par: &Parallelism| {
+            let mut n = 0usize;
+            par_sort_merge_join(&left, &right, par, |_| n += 1);
+            n
+        }),
+    ] {
+        let (n_seq, t_seq) = time(|| join(&Parallelism::sequential()));
+        println!("{name} ({rows} x {rows} rows): sequential {t_seq:.3}s, {n_seq} paths");
+        for &n in &threads {
+            let par = Parallelism::new(n);
+            let (n_par, t) = time(|| join(&par));
+            assert_eq!(n_par, n_seq);
+            println!("  {n:>2} threads: {t:.3}s  ({:.2}x)", t_seq / t);
+        }
+    }
+
+    // --- index build --------------------------------------------------
+    let values: Vec<(u32, String)> = s
+        .registry
+        .lds(s.ids.pub_gs)
+        .project("title")
+        .unwrap()
+        .into_iter()
+        .map(|(i, v)| (i, v.to_match_string()))
+        .collect();
+    let (seq_idx, t_seq) =
+        time(|| TrigramIndex::build(values.iter().map(|(i, v)| (*i, v.as_str()))));
+    println!(
+        "trigram index build ({} values): sequential {t_seq:.3}s",
+        values.len()
+    );
+    for &n in &threads {
+        let par = Parallelism::new(n);
+        let (idx, t) = time(|| TrigramIndex::build_par(&values, &par));
+        assert_eq!(idx.len(), seq_idx.len());
+        println!("  {n:>2} threads: {t:.3}s  ({:.2}x)", t_seq / t);
+    }
+}

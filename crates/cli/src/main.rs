@@ -17,13 +17,14 @@ use std::process::ExitCode;
 
 use moma_core::MappingRepository;
 use moma_ifuice::loader;
-use moma_ifuice::script::run_script;
+use moma_ifuice::script::run_script_with;
 use moma_model::SourceRegistry;
 
 const USAGE: &str = "\
 usage:
   moma run <script.ifs> [--source <file.tsv>]... \\
-           [--assoc <Name=DomainLds:RangeLds:file.tsv>]... [--out <file>]
+           [--assoc <Name=DomainLds:RangeLds:file.tsv>]... \\
+           [--threads <n>] [--out <file>]
   moma check <script.ifs>         parse a script and report errors
   moma help
 
@@ -31,7 +32,11 @@ A source file starts with `#source Type@PDS` and a header row
 `id<TAB>attr:kind...` (kinds: text, list, int, year, real).
 An association file holds `domain_id<TAB>range_id[<TAB>sim]` rows and is
 stored in the repository under Name (scripts reference it as PDS.Member
-or via get(\"Name\")).";
+or via get(\"Name\")).
+
+--threads caps the worker threads used by matchers, joins and workflow
+steps (overrides MOMA_THREADS; 1 = sequential; default: MOMA_THREADS or
+one thread per CPU). Results are identical at every thread count.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +83,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut sources: Vec<&str> = Vec::new();
     let mut assocs: Vec<&str> = Vec::new();
     let mut out: Option<&str> = None;
+    let mut threads: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -85,6 +91,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--source" => sources.push(it.next().ok_or("--source needs a file")?),
             "--assoc" => assocs.push(it.next().ok_or("--assoc needs a spec")?),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?),
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--threads: `{n}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             other if script_path.is_none() && !other.starts_with("--") => script_path = Some(other),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -128,7 +144,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     // Run the script.
     let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
-    let value = run_script(&text, &registry, &repository).map_err(|e| e.to_string())?;
+    let par = match threads {
+        Some(n) => moma_core::exec::Parallelism::new(n),
+        None => moma_core::exec::Parallelism::from_env(),
+    };
+    let value = run_script_with(&text, &registry, &repository, par).map_err(|e| e.to_string())?;
     let Some(mapping) = value.as_mapping() else {
         return Err("script did not return a mapping".into());
     };

@@ -8,14 +8,32 @@
 //! that any range value clearing the threshold must share at least one
 //! probed gram (standard prefix-filtering argument, transferred from
 //! Jaccard to Dice via `t_j = t_d / (2 - t_d)`).
+//!
+//! ## Read-only shared-index probing
+//!
+//! A built [`TrigramIndex`] is immutable: every method on `&self` only
+//! reads the postings, so one index can be probed concurrently from any
+//! number of matcher worker threads without locks (`&TrigramIndex` is
+//! `Send + Sync`). This is exactly how the parallel attribute matchers
+//! use it — the range side is indexed once, then the domain values are
+//! sharded across threads (see [`crate::exec`]) and each shard probes
+//! the shared index independently. Because probing never mutates, the
+//! per-shard candidate sets — and hence the concatenated result — are
+//! bit-identical to a sequential run.
 
 use moma_simstring::tokenize::trigrams;
+use moma_table::exec::Parallelism;
 use moma_table::{FxHashMap, FxHashSet};
 
 /// Inverted trigram index over a set of `(id, value)` pairs.
 #[derive(Debug, Default)]
 pub struct TrigramIndex {
     postings: FxHashMap<String, Vec<u32>>,
+    /// Ids of indexed values that produced no trigrams at all (empty or
+    /// punctuation-only strings, which normalize to ""). They can never
+    /// be *candidates* of a probe, but [`TrigramIndex::all_ids`] must
+    /// still report them.
+    gramless: Vec<u32>,
     /// Number of indexed values.
     len: usize,
 }
@@ -23,26 +41,70 @@ pub struct TrigramIndex {
 impl TrigramIndex {
     /// Build the index.
     pub fn build<'a>(values: impl IntoIterator<Item = (u32, &'a str)>) -> Self {
-        let mut postings: FxHashMap<String, Vec<u32>> = FxHashMap::default();
-        let mut len = 0usize;
+        let mut idx = Self::default();
         for (id, value) in values {
-            len += 1;
-            let mut grams = trigrams(value);
-            grams.sort_unstable();
-            grams.dedup();
-            for g in grams {
-                postings.entry(g).or_default().push(id);
-            }
+            idx.insert(id, value);
         }
-        Self { postings, len }
+        idx
     }
 
-    /// Number of indexed values.
+    /// Build the index by sharding `values` across threads: each shard
+    /// builds a private postings map, and the maps are merged in shard
+    /// order. Per-gram posting lists therefore hold ids in input order —
+    /// exactly as [`TrigramIndex::build`] produces them — so the parallel
+    /// build is observationally identical to the sequential one.
+    pub fn build_par<V: AsRef<str> + Sync>(values: &[(u32, V)], par: &Parallelism) -> Self {
+        let mut parts = par
+            .run_sharded(values, |shard| {
+                let mut idx = Self::default();
+                for (id, v) in shard {
+                    idx.insert(*id, v.as_ref());
+                }
+                idx
+            })
+            .into_iter();
+        let mut merged = parts.next().unwrap_or_default();
+        for part in parts {
+            merged.absorb(part);
+        }
+        merged
+    }
+
+    /// Index one value.
+    fn insert(&mut self, id: u32, value: &str) {
+        self.len += 1;
+        let mut grams = trigrams(value);
+        grams.sort_unstable();
+        grams.dedup();
+        if grams.is_empty() {
+            self.gramless.push(id);
+            return;
+        }
+        for g in grams {
+            self.postings.entry(g).or_default().push(id);
+        }
+    }
+
+    /// Append another index built from a *later* contiguous input shard.
+    fn absorb(&mut self, other: TrigramIndex) {
+        self.len += other.len;
+        self.gramless.extend(other.gramless);
+        for (g, ids) in other.postings {
+            self.postings.entry(g).or_default().extend(ids);
+        }
+    }
+
+    /// Number of indexed *values* (not postings): every `(id, value)`
+    /// pair passed to `build` counts once, including values that yield no
+    /// trigrams and can therefore never be returned by
+    /// [`TrigramIndex::candidates`].
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether the index is empty.
+    /// Whether no values were indexed. Note an index built only from
+    /// gram-less values (e.g. empty strings) is *not* empty by this
+    /// definition even though its postings are.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -77,9 +139,12 @@ impl TrigramIndex {
     }
 
     /// All ids as candidates (used when the caller disables blocking for
-    /// one probe).
+    /// one probe) — including values that produced no trigrams, so this
+    /// always has exactly [`TrigramIndex::len`] entries.
     pub fn all_ids(&self) -> FxHashSet<u32> {
-        self.postings.values().flatten().copied().collect()
+        let mut ids: FxHashSet<u32> = self.postings.values().flatten().copied().collect();
+        ids.extend(self.gramless.iter().copied());
+        ids
     }
 }
 
@@ -170,6 +235,81 @@ mod tests {
     fn all_ids_complete() {
         let idx = TrigramIndex::build(titles());
         assert_eq!(idx.all_ids().len(), 5);
+    }
+
+    #[test]
+    fn len_counts_values_not_postings() {
+        // Two values share every trigram; postings are per-gram lists,
+        // but len()/is_empty() count indexed *values*.
+        let idx = TrigramIndex::build([(0, "abc"), (1, "abc")]);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.df("abc"), 2);
+    }
+
+    #[test]
+    fn empty_string_values_are_counted_but_never_candidates() {
+        // "" and "!!" normalize to nothing: no trigrams, so they can
+        // never be candidates — but they are still indexed values.
+        let idx = TrigramIndex::build([(0, ""), (1, "!!"), (2, "data")]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        // all_ids still reports every indexed value.
+        let all = idx.all_ids();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&0) && all.contains(&1) && all.contains(&2));
+        // Probing anything never surfaces the gram-less values.
+        for t in [0.3, 0.8] {
+            assert!(!idx.candidates("data", t).contains(&0));
+            assert!(!idx.candidates("data", t).contains(&1));
+        }
+        // An index of only gram-less values: non-empty by len, empty postings.
+        let gramless = TrigramIndex::build([(7, "")]);
+        assert_eq!(gramless.len(), 1);
+        assert!(!gramless.is_empty());
+        assert!(gramless.candidates("anything", 0.5).is_empty());
+        assert_eq!(gramless.all_ids().len(), 1);
+    }
+
+    #[test]
+    fn short_values_get_padded_trigrams() {
+        // Values shorter than 3 chars still produce padded grams
+        // ("a" -> ##a, #a#, a## ; "ab" -> ##a, #ab, ab#, b##), so they
+        // are reachable candidates — the <3-char edge of `trigrams`.
+        let idx = TrigramIndex::build([(0, "a"), (1, "ab")]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.df("##a"), 2);
+        assert_eq!(idx.df("#a#"), 1);
+        assert!(idx.candidates("a", 0.9).contains(&0));
+        assert!(idx.candidates("ab", 0.9).contains(&1));
+        assert_eq!(idx.all_ids().len(), 2);
+    }
+
+    #[test]
+    fn parallel_build_is_identical() {
+        let data = titles();
+        let with_edges: Vec<(u32, &str)> = data
+            .iter()
+            .copied()
+            .chain([(90, ""), (91, "ab"), (92, "!!")])
+            .collect();
+        let seq = TrigramIndex::build(with_edges.iter().copied());
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads).with_min_shard_size(1);
+            let p = TrigramIndex::build_par(&with_edges, &par);
+            assert_eq!(p.len(), seq.len(), "threads={threads}");
+            assert_eq!(p.all_ids(), seq.all_ids());
+            // Same postings: same df for every gram, and candidate sets
+            // (with identical insertion order) for every probe.
+            for (_, v) in &with_edges {
+                for g in moma_simstring::tokenize::trigrams(v) {
+                    assert_eq!(p.df(&g), seq.df(&g), "gram {g}");
+                }
+                let cp: Vec<u32> = p.candidates(v, 0.5).into_iter().collect();
+                let cs: Vec<u32> = seq.candidates(v, 0.5).into_iter().collect();
+                assert_eq!(cp, cs, "probe {v} threads={threads}");
+            }
+        }
     }
 
     #[test]

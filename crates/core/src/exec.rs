@@ -1,0 +1,37 @@
+//! Parallel execution configuration for matchers and workflows.
+//!
+//! This module re-exports the deterministic sharded-execution layer from
+//! [`moma_table::exec`] and is the canonical place the rest of the
+//! matching stack imports it from. A [`Parallelism`] value travels inside
+//! every [`MatchContext`](crate::MatchContext):
+//!
+//! * **Attribute / multi-attribute matchers** shard their domain values
+//!   across threads; every shard probes the shared read-only
+//!   [`TrigramIndex`](crate::blocking::TrigramIndex) and scores its
+//!   candidates independently, and the per-shard correspondence lists are
+//!   concatenated in shard order.
+//! * **Workflow steps** execute independent matcher inputs of one step
+//!   concurrently, and route the compose operator through the parallel
+//!   hash join ([`moma_table::join::par_hash_join`]).
+//! * **Index construction** ([`TrigramIndex::build_par`]
+//!   (crate::blocking::TrigramIndex::build_par)) builds per-shard postings
+//!   maps merged in shard order.
+//!
+//! All three are bit-identical to their sequential counterparts — the
+//! shards are contiguous input ranges and the merge order is fixed — so
+//! determinism guarantees (and their tests) hold at every thread count.
+//!
+//! The default for a fresh context is [`Parallelism::from_env`]: the
+//! `MOMA_THREADS` environment variable when set (`1` forces sequential
+//! execution), otherwise one thread per available CPU.
+//!
+//! ```
+//! use moma_core::exec::Parallelism;
+//!
+//! let seq = Parallelism::sequential();
+//! assert!(!seq.is_parallel());
+//! let four = Parallelism::new(4);
+//! assert_eq!(four.threads, 4);
+//! ```
+
+pub use moma_table::exec::{Parallelism, DEFAULT_MIN_SHARD, THREADS_ENV};

@@ -29,6 +29,10 @@
 //! * [`repository`] — the mapping repository and cache that make results
 //!   reusable across match tasks.
 //! * [`cluster`] — duplicate clusters from self-mappings (Section 4.3).
+//! * [`exec`] — deterministic parallel execution: a [`Parallelism`]
+//!   config threaded through [`MatchContext`] shards matcher probing,
+//!   compose joins and workflow steps across threads with bit-identical
+//!   results at every thread count.
 //!
 //! ## Quick start
 //!
@@ -58,6 +62,7 @@
 pub mod blocking;
 pub mod cluster;
 pub mod error;
+pub mod exec;
 pub mod mapping;
 pub mod matchers;
 pub mod ops;
@@ -65,6 +70,7 @@ pub mod repository;
 pub mod workflow;
 
 pub use error::{CoreError, Result};
+pub use exec::Parallelism;
 pub use mapping::{Mapping, MappingKind};
 pub use matchers::{MatchContext, Matcher};
 pub use repository::{MappingCache, MappingRepository};

@@ -11,6 +11,7 @@ use moma_table::{Correspondence, MappingTable};
 
 use crate::blocking::{Blocking, TrigramIndex};
 use crate::error::Result;
+use crate::exec::Parallelism;
 use crate::mapping::Mapping;
 use crate::matchers::{MatchContext, Matcher};
 
@@ -37,8 +38,9 @@ pub struct AttributeMatcher {
     pub threshold: f64,
     /// Candidate-generation strategy.
     pub blocking: Blocking,
-    /// Score candidate chunks on multiple threads.
-    pub parallel: bool,
+    /// Per-matcher parallelism override; `None` (the default) inherits
+    /// the [`MatchContext`]'s configuration.
+    pub parallelism: Option<Parallelism>,
     /// Dice bound used for prefix-filtered candidate generation. The
     /// prefix-filter guarantee only holds when the scoring measure *is*
     /// trigram Dice; for any other measure a conservative floor is used
@@ -61,7 +63,7 @@ impl AttributeMatcher {
             sim: MatcherSim::Fixed(sim),
             threshold,
             blocking: Blocking::AllPairs,
-            parallel: false,
+            parallelism: None,
             candidate_floor: None,
         }
     }
@@ -78,7 +80,7 @@ impl AttributeMatcher {
             sim: MatcherSim::TfIdf,
             threshold,
             blocking: Blocking::AllPairs,
-            parallel: false,
+            parallelism: None,
             candidate_floor: None,
         }
     }
@@ -89,9 +91,23 @@ impl AttributeMatcher {
         self
     }
 
-    /// Enable parallel scoring (builder style).
+    /// Enable or force-disable parallel scoring (builder style):
+    /// `true` pins one thread per CPU, `false` pins sequential scoring.
+    /// Either value *overrides* the [`MatchContext`] configuration and
+    /// with it the `MOMA_THREADS` environment variable — prefer leaving
+    /// the matcher untouched and configuring the context instead.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.parallelism = Some(if parallel {
+            Parallelism::auto()
+        } else {
+            Parallelism::sequential()
+        });
+        self
+    }
+
+    /// Pin an explicit parallelism configuration (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
         self
     }
 
@@ -114,8 +130,16 @@ impl AttributeMatcher {
     }
 
     /// Score a prepared candidate list. `domain_vals` / `range_vals` are
-    /// `(instance index, match string)` projections.
-    fn score(&self, domain_vals: &[(u32, String)], range_vals: &[(u32, String)]) -> MappingTable {
+    /// `(instance index, match string)` projections. The domain values
+    /// are sharded across `par` worker threads; every shard probes the
+    /// shared read-only index, and shard outputs are concatenated in
+    /// input order, so the result is identical at every thread count.
+    fn score(
+        &self,
+        par: Parallelism,
+        domain_vals: &[(u32, String)],
+        range_vals: &[(u32, String)],
+    ) -> MappingTable {
         // Pre-compute the scoring closure.
         let tfidf_corpus = match self.sim {
             MatcherSim::TfIdf => {
@@ -135,12 +159,10 @@ impl AttributeMatcher {
             }
         };
 
-        // Candidate index (only for blocking mode).
+        // Candidate index (only for blocking mode), built sharded.
         let index = match self.blocking {
             Blocking::AllPairs => None,
-            Blocking::TrigramPrefix => Some(TrigramIndex::build(
-                range_vals.iter().map(|(i, v)| (*i, v.as_str())),
-            )),
+            Blocking::TrigramPrefix => Some(TrigramIndex::build_par(range_vals, &par)),
         };
         // Position lookup for blocked mode: instance index -> slice pos.
         let pos_of: moma_table::FxHashMap<u32, usize> = match index {
@@ -178,26 +200,10 @@ impl AttributeMatcher {
             out
         };
 
-        let rows = if self.parallel && domain_vals.len() >= 64 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4);
-            let chunk_size = domain_vals.len().div_ceil(threads);
-            let chunks: Vec<&[(u32, String)]> = domain_vals.chunks(chunk_size).collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| scope.spawn(move || score_chunk(chunk)))
-                    .collect();
-                let mut rows = Vec::new();
-                for h in handles {
-                    rows.extend(h.join().expect("scoring thread panicked"));
-                }
-                rows
-            })
-        } else {
-            score_chunk(domain_vals)
-        };
+        let mut rows = Vec::new();
+        for shard in par.run_sharded(domain_vals, score_chunk) {
+            rows.extend(shard);
+        }
         MappingTable::from_rows(rows)
     }
 }
@@ -227,7 +233,8 @@ impl Matcher for AttributeMatcher {
             .into_iter()
             .map(|(i, v)| (i, v.to_match_string()))
             .collect();
-        let table = self.score(&d_vals, &r_vals);
+        let par = self.parallelism.unwrap_or(ctx.parallelism);
+        let table = self.score(par, &d_vals, &r_vals);
         Ok(Mapping::same(self.name(), domain, range, table))
     }
 }
@@ -326,17 +333,28 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (reg, d, a) = setup();
-        let ctx = MatchContext::new(&reg);
         let seq = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
-            .execute(&ctx, d, a)
+            .execute(
+                &MatchContext::new(&reg).with_parallelism(Parallelism::sequential()),
+                d,
+                a,
+            )
             .unwrap();
-        // The parallel path requires >= 64 domain values to kick in, but
-        // the result must be identical regardless.
-        let par = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
+        for threads in [1usize, 2, 8] {
+            // min_shard_size 1 forces real sharding even on 3 values.
+            let ctx = MatchContext::new(&reg)
+                .with_parallelism(Parallelism::new(threads).with_min_shard_size(1));
+            let par = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
+                .execute(&ctx, d, a)
+                .unwrap();
+            assert_eq!(seq.table.rows(), par.table.rows(), "threads={threads}");
+        }
+        // The legacy builder toggle still routes through the same engine.
+        let via_builder = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.5)
             .with_parallel(true)
-            .execute(&ctx, d, a)
+            .execute(&MatchContext::new(&reg), d, a)
             .unwrap();
-        assert_eq!(seq.table.pair_set(), par.table.pair_set());
+        assert_eq!(seq.table.rows(), via_builder.table.rows());
     }
 
     #[test]

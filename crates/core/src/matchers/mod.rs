@@ -11,6 +11,7 @@ pub mod neighborhood;
 use moma_model::{LdsId, SourceRegistry};
 
 use crate::error::Result;
+use crate::exec::Parallelism;
 use crate::mapping::Mapping;
 use crate::repository::MappingRepository;
 
@@ -18,13 +19,18 @@ pub use attribute::{AttributeMatcher, MatcherSim};
 pub use multi_attribute::{AttrPair, MultiAttributeMatcher};
 pub use neighborhood::{nh_match, NeighborhoodMatcher};
 
-/// Context a matcher executes in: the source registry (instance data) and
-/// optionally the mapping repository (existing mappings to reuse).
+/// Context a matcher executes in: the source registry (instance data),
+/// optionally the mapping repository (existing mappings to reuse), and
+/// the parallel-execution configuration.
 pub struct MatchContext<'a> {
     /// Instance data of all logical sources.
     pub registry: &'a SourceRegistry,
     /// Existing mappings available for reuse.
     pub repository: Option<&'a MappingRepository>,
+    /// Parallel execution of matchers, workflow steps and composes.
+    /// Defaults to [`Parallelism::from_env`] (`MOMA_THREADS` or one
+    /// thread per CPU); results are identical at every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl<'a> MatchContext<'a> {
@@ -33,6 +39,7 @@ impl<'a> MatchContext<'a> {
         Self {
             registry,
             repository: None,
+            parallelism: Parallelism::from_env(),
         }
     }
 
@@ -41,7 +48,14 @@ impl<'a> MatchContext<'a> {
         Self {
             registry,
             repository: Some(repo),
+            parallelism: Parallelism::from_env(),
         }
+    }
+
+    /// Override the parallel-execution configuration (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 

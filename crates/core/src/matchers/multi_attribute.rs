@@ -157,14 +157,17 @@ impl Matcher for MultiAttributeMatcher {
         let d_rows = project(d_lds, true)?;
         let r_rows = project(r_lds, false)?;
 
-        // Blocking on the primary attribute.
+        // Blocking on the primary attribute (index built sharded, probed
+        // read-only by every scoring thread).
         let index = match self.blocking {
             Blocking::AllPairs => None,
-            Blocking::TrigramPrefix => Some(TrigramIndex::build(
-                r_rows
+            Blocking::TrigramPrefix => {
+                let primary_vals: Vec<(u32, &str)> = r_rows
                     .iter()
-                    .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v))),
-            )),
+                    .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v)))
+                    .collect();
+                Some(TrigramIndex::build_par(&primary_vals, &ctx.parallelism))
+            }
         };
         let pos_of: moma_table::FxHashMap<u32, usize> = r_rows
             .iter()
@@ -172,24 +175,35 @@ impl Matcher for MultiAttributeMatcher {
             .map(|(p, (i, _))| (*i, p))
             .collect();
 
-        let mut table = MappingTable::new();
-        for (d_idx, d_row) in &d_rows {
-            let candidates: Vec<usize> = match (&index, &d_row[0]) {
-                (Some(idx), Some(primary)) => idx
-                    .candidates(primary, self.threshold)
-                    .into_iter()
-                    .map(|c| pos_of[&c])
-                    .collect(),
-                (Some(_), None) => Vec::new(),
-                (None, _) => (0..r_rows.len()).collect(),
-            };
-            for p in candidates {
-                let (r_idx, r_row) = &r_rows[p];
-                if let Some(s) = self.combined_sim(d_row, r_row) {
-                    if s >= self.threshold {
-                        table.push(*d_idx, *r_idx, s);
+        // Shard the domain rows; per-shard outputs concatenate in input
+        // order, so the table matches the sequential scan exactly.
+        let shard_rows = ctx.parallelism.run_sharded(&d_rows, |shard| {
+            let mut rows: Vec<(u32, u32, f64)> = Vec::new();
+            for (d_idx, d_row) in shard {
+                let candidates: Vec<usize> = match (&index, &d_row[0]) {
+                    (Some(idx), Some(primary)) => idx
+                        .candidates(primary, self.threshold)
+                        .into_iter()
+                        .map(|c| pos_of[&c])
+                        .collect(),
+                    (Some(_), None) => Vec::new(),
+                    (None, _) => (0..r_rows.len()).collect(),
+                };
+                for p in candidates {
+                    let (r_idx, r_row) = &r_rows[p];
+                    if let Some(s) = self.combined_sim(d_row, r_row) {
+                        if s >= self.threshold {
+                            rows.push((*d_idx, *r_idx, s));
+                        }
                     }
                 }
+            }
+            rows
+        });
+        let mut table = MappingTable::new();
+        for rows in shard_rows {
+            for (d, r, s) in rows {
+                table.push(d, r, s);
             }
         }
         table.dedup_max();
@@ -297,6 +311,34 @@ mod tests {
             .unwrap();
         // d2/a1: (2*1 + 0)/3 ≈ 0.67 < 0.8 -> dropped.
         assert_eq!(r.table.sim_of(2, 1), None);
+    }
+
+    #[test]
+    fn parallel_equivalent() {
+        use crate::exec::Parallelism;
+        let (reg, d, a) = setup();
+        let seq = matcher()
+            .execute(
+                &MatchContext::new(&reg).with_parallelism(Parallelism::sequential()),
+                d,
+                a,
+            )
+            .unwrap();
+        for threads in [2usize, 8] {
+            for blocking in [Blocking::AllPairs, Blocking::TrigramPrefix] {
+                let ctx = MatchContext::new(&reg)
+                    .with_parallelism(Parallelism::new(threads).with_min_shard_size(1));
+                let par = matcher()
+                    .with_blocking(blocking)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                assert_eq!(
+                    seq.table.rows(),
+                    par.table.rows(),
+                    "threads={threads} blocking={blocking:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! the neighborhood matcher.
 
 use moma_table::agg::PairAggregator;
-use moma_table::join::hash_join;
+use moma_table::join::par_hash_join;
 use moma_table::MappingTable;
 
 use crate::error::{CoreError, Result};
+use crate::exec::Parallelism;
 use crate::mapping::{Mapping, MappingKind};
 
 /// Per-path combination function `f` over `(s1, s2)` (same menu as merge).
@@ -69,11 +70,33 @@ pub enum PathAgg {
     Relative,
 }
 
-/// Compose `map1 : A → C` with `map2 : C → B`.
+/// Compose `map1 : A → C` with `map2 : C → B` sequentially — see
+/// [`compose_with`] for the parallel variant used by workflows.
 ///
 /// The output is a same-mapping iff both inputs are same-mappings;
 /// otherwise an association mapping labelled with both type names.
 pub fn compose(map1: &Mapping, map2: &Mapping, f: PathCombine, g: PathAgg) -> Result<Mapping> {
+    compose_with(map1, map2, f, g, &Parallelism::sequential())
+}
+
+/// Compose with an explicit [`Parallelism`]: the underlying hash join
+/// shards `map1`'s table across threads ([`par_hash_join`]), feeding the
+/// path aggregator in an order bit-identical to the sequential join —
+/// the composed mapping is the same at every thread count.
+///
+/// Memory note: when sharding actually kicks in, the parallel join
+/// buffers its `O(paths)` output before aggregation (see
+/// [`par_hash_join`]). For heavily skewed joins whose path count vastly
+/// exceeds the distinct-pair count, pass `Parallelism::sequential()`
+/// (or set `MOMA_THREADS=1`) to get the streaming join's `O(pairs)`
+/// footprint back.
+pub fn compose_with(
+    map1: &Mapping,
+    map2: &Mapping,
+    f: PathCombine,
+    g: PathAgg,
+    par: &Parallelism,
+) -> Result<Mapping> {
     if map1.range != map2.domain {
         return Err(CoreError::Incompatible(format!(
             "compose requires map1.range == map2.domain; `{}` ends at {} but `{}` starts at {}",
@@ -94,7 +117,7 @@ pub fn compose(map1: &Mapping, map2: &Mapping, f: PathCombine, g: PathAgg) -> Re
     let n_b = map2.table.range_degrees();
 
     let mut agg = PairAggregator::new();
-    hash_join(&map1.table, &map2.table, |p| {
+    par_hash_join(&map1.table, &map2.table, par, |p| {
         agg.add(p.a, p.b, f.apply(p.s1, p.s2));
     });
 
@@ -357,6 +380,23 @@ mod prop_tests {
             let rel = compose(&m1, &m2, PathCombine::Min, PathAgg::Relative).unwrap();
             for c in rel.table.iter() {
                 prop_assert!(c.sim <= 1.0 + 1e-12);
+            }
+        }
+
+        /// The parallel compose is bit-identical to the sequential one at
+        /// every thread count.
+        #[test]
+        fn parallel_compose_identical(
+            m1 in arb_mapping(LdsId(0), LdsId(1), 16, 40),
+            m2 in arb_mapping(LdsId(1), LdsId(2), 16, 40),
+        ) {
+            use crate::exec::Parallelism;
+            let seq = compose(&m1, &m2, PathCombine::Min, PathAgg::Relative).unwrap();
+            for threads in [2usize, 8] {
+                let par = Parallelism::new(threads).with_min_shard_size(1);
+                let p = compose_with(&m1, &m2, PathCombine::Min, PathAgg::Relative, &par)
+                    .unwrap();
+                prop_assert_eq!(p.table.rows(), seq.table.rows(), "threads={}", threads);
             }
         }
 

@@ -14,7 +14,7 @@ use moma_model::LdsId;
 use crate::error::{CoreError, Result};
 use crate::mapping::Mapping;
 use crate::matchers::{MatchContext, Matcher};
-use crate::ops::compose::{compose, PathAgg, PathCombine};
+use crate::ops::compose::{compose_with, PathAgg, PathCombine};
 use crate::ops::merge::{merge, MergeFn, MissingPolicy};
 use crate::ops::select::{select, Selection};
 use crate::repository::MappingCache;
@@ -138,6 +138,16 @@ impl Workflow {
     /// Run the workflow. Intermediate results live in `cache`; the final
     /// same-mapping is returned (and also published if the last step
     /// names a target).
+    ///
+    /// The matcher inputs of one step are independent of each other, so
+    /// when the context's [`Parallelism`](crate::exec::Parallelism)
+    /// allows it they execute concurrently (each may additionally shard
+    /// its own scoring). Results are gathered back in declaration order
+    /// — and on failure the first error in declaration order is reported
+    /// — so the returned mapping (or error) is identical to sequential
+    /// execution. One caveat: under fan-out the later matchers of a
+    /// failing step still run to completion before the error is
+    /// reported; only `threads == 1` short-circuits them entirely.
     pub fn run(&self, ctx: &MatchContext<'_>, cache: &MappingCache) -> Result<Mapping> {
         if self.steps.is_empty() {
             return Err(CoreError::InvalidConfig(format!(
@@ -149,10 +159,54 @@ impl Workflow {
         let range = ctx.registry.resolve(&self.range)?;
         let mut previous: Option<Mapping> = None;
         for (i, step) in self.steps.iter().enumerate() {
+            // Execute the matcher inputs of this step concurrently when
+            // there are several and the context allows it. The fan-out
+            // workers split the context's thread budget between them
+            // (each matcher shards its own scoring with the remainder),
+            // so the configured cap bounds total workers, not workers
+            // per level — unless a matcher pins its own parallelism
+            // (e.g. `with_parallel(true)`), which overrides the split
+            // budget and can oversubscribe. With one matcher or one
+            // thread, matchers run lazily inside the input loop below —
+            // preserving the sequential semantics that an earlier
+            // failing input stops later matchers from executing at all.
+            let matchers: Vec<&Arc<dyn Matcher>> = step
+                .inputs
+                .iter()
+                .filter_map(|input| match input {
+                    StepInput::Matcher(m) => Some(m),
+                    _ => None,
+                })
+                .collect();
+            let fan_out = ctx.parallelism.threads > 1 && matchers.len() > 1;
+            let mut matcher_results = if fan_out {
+                let workers = ctx.parallelism.threads.min(matchers.len());
+                let inner_ctx = MatchContext {
+                    registry: ctx.registry,
+                    repository: ctx.repository,
+                    parallelism: crate::exec::Parallelism {
+                        threads: (ctx.parallelism.threads / workers).max(1),
+                        ..ctx.parallelism
+                    },
+                };
+                Some(
+                    ctx.parallelism
+                        .run_tasks(matchers.len(), |t| {
+                            matchers[t].execute(&inner_ctx, domain, range)
+                        })
+                        .into_iter(),
+                )
+            } else {
+                None
+            };
+
             let mut inputs: Vec<Mapping> = Vec::with_capacity(step.inputs.len());
             for input in &step.inputs {
                 match input {
-                    StepInput::Matcher(m) => inputs.push(m.execute(ctx, domain, range)?),
+                    StepInput::Matcher(m) => inputs.push(match matcher_results.as_mut() {
+                        Some(results) => results.next().expect("one result per matcher")?,
+                        None => m.execute(ctx, domain, range)?,
+                    }),
                     StepInput::Existing(name) => {
                         let found = cache
                             .get(name)
@@ -184,7 +238,7 @@ impl Workflow {
                     let first = iter.next().expect("non-empty inputs");
                     let mut acc = first.clone();
                     for next in iter {
-                        acc = compose(&acc, next, *f, *g)?;
+                        acc = compose_with(&acc, next, *f, *g, &ctx.parallelism)?;
                     }
                     acc
                 }
@@ -550,6 +604,77 @@ mod tests {
         assert!(r.len() >= 2);
         // Executing against the wrong pair is rejected.
         assert!(m.execute(&ctx, a, d).is_err());
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential() {
+        use crate::exec::Parallelism;
+        let reg = setup();
+        let cache = MappingCache::new();
+        let wf = Workflow::new("Fan", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+            inputs: vec![
+                StepInput::Matcher(title_matcher()),
+                StepInput::Matcher(year_matcher()),
+            ],
+            combiner: Combiner::merge_avg(),
+            publish: None,
+        });
+        let seq = wf
+            .run(
+                &MatchContext::new(&reg).with_parallelism(Parallelism::sequential()),
+                &cache,
+            )
+            .unwrap();
+        for threads in [2usize, 8] {
+            let ctx = MatchContext::new(&reg)
+                .with_parallelism(Parallelism::new(threads).with_min_shard_size(1));
+            let par = wf.run(&ctx, &cache).unwrap();
+            assert_eq!(seq.table.rows(), par.table.rows(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_step_short_circuits_on_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        /// Counts executions; fails if `fail` is set.
+        struct Probe {
+            calls: Arc<AtomicUsize>,
+            fail: bool,
+        }
+        impl Matcher for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn execute(&self, _: &MatchContext<'_>, _: LdsId, _: LdsId) -> Result<Mapping> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.fail {
+                    Err(CoreError::EmptyInput("probe".into()))
+                } else {
+                    unreachable!("later matcher must not run after an error")
+                }
+            }
+        }
+        let reg = setup();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let wf = Workflow::new("SC", "Publication@DBLP", "Publication@ACM").step(WorkflowStep {
+            inputs: vec![
+                StepInput::Matcher(Arc::new(Probe {
+                    calls: Arc::clone(&calls),
+                    fail: true,
+                })),
+                StepInput::Matcher(Arc::new(Probe {
+                    calls: Arc::clone(&calls),
+                    fail: false,
+                })),
+            ],
+            combiner: Combiner::merge_avg(),
+            publish: None,
+        });
+        // At threads=1 the first failing matcher stops the step before
+        // the second matcher ever executes.
+        let ctx = MatchContext::new(&reg).with_parallelism(crate::exec::Parallelism::sequential());
+        assert!(wf.run(&ctx, &MappingCache::new()).is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -72,7 +72,6 @@ impl EvalContext {
         self.cached(cache_key, || {
             AttributeMatcher::new(domain_attr, range_attr, sim, threshold)
                 .with_blocking(Blocking::TrigramPrefix)
-                .with_parallel(true)
                 .execute(&self.match_ctx(), domain, range)
                 .expect("attribute matcher")
         })

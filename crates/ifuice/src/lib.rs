@@ -33,5 +33,5 @@ pub mod script;
 pub mod source;
 
 pub use script::interp::{Interpreter, Value};
-pub use script::run_script;
+pub use script::{run_script, run_script_with};
 pub use source::{DataSource, InMemorySource};

@@ -4,8 +4,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use moma_core::exec::Parallelism;
 use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
-use moma_core::ops::compose::{compose, PathAgg, PathCombine};
+use moma_core::ops::compose::{compose_with, PathAgg, PathCombine};
 use moma_core::ops::merge::{merge, MergeFn, MissingPolicy};
 use moma_core::ops::select::{select, select_constraint, Selection, Side};
 use moma_core::ops::setops;
@@ -127,6 +128,7 @@ pub struct Interpreter<'a> {
     repository: &'a MappingRepository,
     vars: HashMap<String, Value>,
     procs: HashMap<String, Procedure>,
+    parallelism: Parallelism,
 }
 
 enum Flow {
@@ -135,14 +137,25 @@ enum Flow {
 }
 
 impl<'a> Interpreter<'a> {
-    /// New interpreter over a registry and repository.
+    /// New interpreter over a registry and repository. Matchers and the
+    /// compose builtin execute with [`Parallelism::from_env`]
+    /// (`MOMA_THREADS` or one thread per CPU) unless overridden with
+    /// [`with_parallelism`](Self::with_parallelism).
     pub fn new(registry: &'a SourceRegistry, repository: &'a MappingRepository) -> Self {
         Self {
             registry,
             repository,
             vars: HashMap::new(),
             procs: HashMap::new(),
+            parallelism: Parallelism::from_env(),
         }
+    }
+
+    /// Override the parallel-execution configuration (builder style).
+    /// Results are identical at every thread count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Pre-bind a variable (e.g. inputs computed in Rust).
@@ -407,7 +420,8 @@ impl<'a> Interpreter<'a> {
             _ => return Err(rt("attrMatch expects a similarity function symbol")),
         };
         let matcher = matcher.with_blocking(moma_core::blocking::Blocking::TrigramPrefix);
-        let ctx = MatchContext::with_repository(self.registry, self.repository);
+        let ctx = MatchContext::with_repository(self.registry, self.repository)
+            .with_parallelism(self.parallelism);
         let mapping = matcher.execute(&ctx, domain, range)?;
         Ok(Value::Mapping(Arc::new(mapping)))
     }
@@ -458,7 +472,8 @@ impl<'a> Interpreter<'a> {
         }
         let matcher = MultiAttributeMatcher::new(pairs, threshold)
             .with_blocking(moma_core::blocking::Blocking::TrigramPrefix);
-        let ctx = MatchContext::with_repository(self.registry, self.repository);
+        let ctx = MatchContext::with_repository(self.registry, self.repository)
+            .with_parallelism(self.parallelism);
         let mapping = matcher.execute(&ctx, domain, range)?;
         Ok(Value::Mapping(Arc::new(mapping)))
     }
@@ -522,7 +537,15 @@ impl<'a> Interpreter<'a> {
             Some(Value::Sym(s)) | Some(Value::Str(s)) => parse_path_agg(s)?,
             _ => PathAgg::Avg,
         };
-        Ok(Value::Mapping(Arc::new(compose(&m1, &m2, f, g)?)))
+        // Same parallelism the interpreter's match contexts use; the
+        // parallel join is bit-identical to the sequential one.
+        Ok(Value::Mapping(Arc::new(compose_with(
+            &m1,
+            &m2,
+            f,
+            g,
+            &self.parallelism,
+        )?)))
     }
 
     /// `nhMatch($asso1, $same, $asso2 [, G])` builtin (used when the

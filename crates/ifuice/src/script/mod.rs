@@ -35,19 +35,34 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 
+use moma_core::exec::Parallelism;
 use moma_core::MappingRepository;
 use moma_model::SourceRegistry;
 
 pub use interp::{Interpreter, ScriptError, Value};
 
 /// Parse and run a script against a registry and repository; returns the
-/// `RETURN` value (or the value of the last statement).
+/// `RETURN` value (or the value of the last statement). Matchers and
+/// composes execute with [`Parallelism::from_env`]; use
+/// [`run_script_with`] to configure parallelism programmatically.
 pub fn run_script(
     source: &str,
     registry: &SourceRegistry,
     repository: &MappingRepository,
 ) -> Result<Value, ScriptError> {
+    run_script_with(source, registry, repository, Parallelism::from_env())
+}
+
+/// [`run_script`] with an explicit [`Parallelism`] for the script's
+/// matchers, joins and composes. Results are identical at every thread
+/// count.
+pub fn run_script_with(
+    source: &str,
+    registry: &SourceRegistry,
+    repository: &MappingRepository,
+    parallelism: Parallelism,
+) -> Result<Value, ScriptError> {
     let script = parser::parse(source)?;
-    let mut interp = Interpreter::new(registry, repository);
+    let mut interp = Interpreter::new(registry, repository).with_parallelism(parallelism);
     interp.run(&script)
 }

@@ -4,10 +4,14 @@
 //! left table meet rows `(c, b, s2)` of the right table on the shared
 //! object `c` (paper Section 3.2 / 5.3). Three strategies are provided —
 //! hash join (default), sort-merge join, and a nested-loop reference used
-//! to property-test the other two.
+//! to property-test the other two — plus parallel variants
+//! ([`par_hash_join`], [`par_sort_merge_join`]) that shard the left table
+//! across threads and emit results in an order bit-identical to their
+//! sequential counterparts (see [`crate::exec`]).
 
+use crate::exec::Parallelism;
 use crate::index::Adjacency;
-use crate::mapping_table::MappingTable;
+use crate::mapping_table::{Correspondence, MappingTable};
 
 /// A joined compose path `(a, c, b)` with both path similarities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,18 +45,53 @@ pub fn hash_join(left: &MappingTable, right: &MappingTable, mut sink: impl FnMut
     }
 }
 
-/// Sort-merge join: sorts the left table by range and the right table by
-/// domain, then merges the two sorted runs.
-pub fn sort_merge_join(
+/// Parallel hash join: the right-side [`Adjacency`] is built once and
+/// probed read-only by every worker; the left table is sharded into
+/// contiguous row ranges. Per-shard outputs are drained into `sink` in
+/// shard order, so the emitted sequence is bit-identical to
+/// [`hash_join`]. With `par.threads == 1` this *is* [`hash_join`].
+///
+/// Memory note: unlike the streaming sequential joins, the parallel
+/// variants buffer the whole join output (`O(paths)`) before sinking —
+/// the price of the deterministic merge order. For joins whose output
+/// vastly exceeds the input (heavily skewed keys), prefer
+/// `Parallelism::sequential()`.
+pub fn par_hash_join(
     left: &MappingTable,
     right: &MappingTable,
+    par: &Parallelism,
     mut sink: impl FnMut(JoinedPath),
 ) {
-    let mut l = left.clone();
-    l.sort_by_range();
-    let mut r = right.clone();
-    r.sort_by_domain();
-    let (lr, rr) = (l.rows(), r.rows());
+    if par.shard_count(left.len()) <= 1 {
+        return hash_join(left, right, sink);
+    }
+    let right_adj = Adjacency::over_domain(right);
+    let shards = par.run_sharded(left.rows(), |shard| {
+        let mut out = Vec::new();
+        for l in shard {
+            for &(b, s2) in right_adj.neighbors(l.range) {
+                out.push(JoinedPath {
+                    a: l.domain,
+                    c: l.range,
+                    b,
+                    s1: l.sim,
+                    s2,
+                });
+            }
+        }
+        out
+    });
+    for shard in shards {
+        for p in shard {
+            sink(p);
+        }
+    }
+}
+
+/// Merge two sorted runs (left sorted by `range`, right sorted by
+/// `domain`) — the inner loop shared by the sequential and parallel
+/// sort-merge joins.
+fn merge_runs(lr: &[Correspondence], rr: &[Correspondence], sink: &mut impl FnMut(JoinedPath)) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < lr.len() && j < rr.len() {
         let key_l = lr[i].range;
@@ -78,6 +117,71 @@ pub fn sort_merge_join(
             }
             i = i_end;
             j = j_end;
+        }
+    }
+}
+
+/// Sort-merge join: sorts the left table by range and the right table by
+/// domain, then merges the two sorted runs.
+pub fn sort_merge_join(
+    left: &MappingTable,
+    right: &MappingTable,
+    mut sink: impl FnMut(JoinedPath),
+) {
+    let mut l = left.clone();
+    l.sort_by_range();
+    let mut r = right.clone();
+    r.sort_by_domain();
+    merge_runs(l.rows(), r.rows(), &mut sink);
+}
+
+/// Parallel sort-merge join: both inputs are sorted exactly as in
+/// [`sort_merge_join`], then the left run is cut into key-aligned shards
+/// (a run of equal join keys never straddles a shard boundary). Each
+/// worker binary-searches its starting position in the shared right run
+/// and merges independently; shard outputs are concatenated in order, so
+/// the emitted sequence is bit-identical to the sequential join.
+pub fn par_sort_merge_join(
+    left: &MappingTable,
+    right: &MappingTable,
+    par: &Parallelism,
+    mut sink: impl FnMut(JoinedPath),
+) {
+    let shards = par.shard_count(left.len());
+    if shards <= 1 {
+        return sort_merge_join(left, right, sink);
+    }
+    let mut l = left.clone();
+    l.sort_by_range();
+    let mut r = right.clone();
+    r.sort_by_domain();
+    let (lr, rr) = (l.rows(), r.rows());
+
+    // Key-aligned shard boundaries over the sorted left run.
+    let target = lr.len().div_ceil(shards);
+    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    while start < lr.len() {
+        let mut end = (start + target).min(lr.len());
+        while end < lr.len() && lr[end].range == lr[end - 1].range {
+            end += 1;
+        }
+        bounds.push((start, end));
+        start = end;
+    }
+
+    let outs = par.run_tasks(bounds.len(), |t| {
+        let (s, e) = bounds[t];
+        let shard = &lr[s..e];
+        // Skip right rows that cannot meet this shard's smallest key.
+        let j0 = rr.partition_point(|c| c.domain < shard[0].range);
+        let mut out = Vec::new();
+        merge_runs(shard, &rr[j0..], &mut |p| out.push(p));
+        out
+    });
+    for shard in outs {
+        for p in shard {
+            sink(p);
         }
     }
 }
@@ -113,6 +217,20 @@ pub fn collect_sorted(
     let mut out = Vec::new();
     join(left, right, &mut |p| out.push(p));
     out.sort_by_key(|x| (x.a, x.c, x.b));
+    out
+}
+
+/// Collect a join as a canonical *multiset*: sorted by the full path
+/// including similarity bits, so tables with duplicate rows (same pair,
+/// different similarity) compare exactly.
+pub fn collect_multiset(
+    join: impl Fn(&MappingTable, &MappingTable, &mut dyn FnMut(JoinedPath)),
+    left: &MappingTable,
+    right: &MappingTable,
+) -> Vec<JoinedPath> {
+    let mut out = Vec::new();
+    join(left, right, &mut |p| out.push(p));
+    out.sort_by_key(|x| (x.a, x.c, x.b, x.s1.to_bits(), x.s2.to_bits()));
     out
 }
 
@@ -171,6 +289,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_joins_emit_identical_sequences() {
+        // Not just the same multiset: the *emission order* into the sink
+        // must be bit-identical to the sequential strategies.
+        let (m1, m2) = fig6_tables();
+        let collect = |f: &dyn Fn(&mut dyn FnMut(JoinedPath))| {
+            let mut v = Vec::new();
+            f(&mut |p| v.push(p));
+            v
+        };
+        let seq_hash = collect(&|s| hash_join(&m1, &m2, s));
+        let seq_sm = collect(&|s| sort_merge_join(&m1, &m2, s));
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads).with_min_shard_size(1);
+            let ph = collect(&|s| par_hash_join(&m1, &m2, &par, s));
+            let psm = collect(&|s| par_sort_merge_join(&m1, &m2, &par, s));
+            assert_eq!(ph, seq_hash, "hash, threads={threads}");
+            assert_eq!(psm, seq_sm, "sort-merge, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_joins_on_empty_inputs() {
+        let e = MappingTable::new();
+        let t = MappingTable::from_triples([(0, 1, 0.5)]);
+        let par = Parallelism::new(4).with_min_shard_size(1);
+        assert!(collect_sorted(|l, r, s| par_hash_join(l, r, &par, s), &e, &t).is_empty());
+        assert!(collect_sorted(|l, r, s| par_hash_join(l, r, &par, s), &t, &e).is_empty());
+        assert!(collect_sorted(|l, r, s| par_sort_merge_join(l, r, &par, s), &e, &e).is_empty());
+    }
+
+    #[test]
+    fn parallel_self_join() {
+        // Self-composition: the left and right tables are the same table.
+        let t = MappingTable::from_triples([(0, 1, 0.9), (1, 0, 0.8), (1, 1, 0.7), (2, 1, 0.6)]);
+        let par = Parallelism::new(2).with_min_shard_size(1);
+        let reference = collect_multiset(|l, r, s| nested_loop_join(l, r, s), &t, &t);
+        let ph = collect_multiset(|l, r, s| par_hash_join(l, r, &par, s), &t, &t);
+        let psm = collect_multiset(|l, r, s| par_sort_merge_join(l, r, &par, s), &t, &t);
+        assert_eq!(ph, reference);
+        assert_eq!(psm, reference);
+    }
+
+    #[test]
     fn similarities_flow_through() {
         let l = MappingTable::from_triples([(7, 8, 0.25)]);
         let r = MappingTable::from_triples([(8, 9, 0.75)]);
@@ -193,6 +354,21 @@ mod prop_tests {
             .prop_map(MappingTable::from_triples)
     }
 
+    /// Raw table that may contain duplicate `(a, b)` rows — built with
+    /// `push` instead of `from_triples`, which would dedup them. A small
+    /// key space makes duplicates likely.
+    fn arb_dup_table(max_key: u32, max_rows: usize) -> impl Strategy<Value = MappingTable> {
+        prop::collection::vec((0..max_key, 0..max_key, 0.0f64..=1.0), 0..max_rows).prop_map(
+            |rows| {
+                let mut t = MappingTable::new();
+                for (a, b, s) in rows {
+                    t.push(a, b, s);
+                }
+                t
+            },
+        )
+    }
+
     proptest! {
         #[test]
         fn hash_join_equals_nested_loop(
@@ -212,6 +388,46 @@ mod prop_tests {
             let sm = collect_sorted(|l, r, s| sort_merge_join(l, r, s), &l, &r);
             let n = collect_sorted(|l, r, s| nested_loop_join(l, r, s), &l, &r);
             prop_assert_eq!(sm, n);
+        }
+
+        /// All five strategies produce the same multiset of `JoinedPath`s
+        /// — on raw tables with duplicate rows (including the empty table:
+        /// `0..60` rows starts at zero) and across thread counts 1/2/8.
+        #[test]
+        fn all_strategies_same_multiset(
+            l in arb_dup_table(8, 60),
+            r in arb_dup_table(8, 60),
+        ) {
+            let reference = collect_multiset(|l, r, s| nested_loop_join(l, r, s), &l, &r);
+            let h = collect_multiset(|l, r, s| hash_join(l, r, s), &l, &r);
+            let sm = collect_multiset(|l, r, s| sort_merge_join(l, r, s), &l, &r);
+            prop_assert_eq!(&h, &reference);
+            prop_assert_eq!(&sm, &reference);
+            for threads in [1usize, 2, 8] {
+                let par = Parallelism::new(threads).with_min_shard_size(1);
+                let ph = collect_multiset(|l, r, s| par_hash_join(l, r, &par, s), &l, &r);
+                let psm =
+                    collect_multiset(|l, r, s| par_sort_merge_join(l, r, &par, s), &l, &r);
+                prop_assert_eq!(&ph, &reference, "par_hash threads={}", threads);
+                prop_assert_eq!(&psm, &reference, "par_sort_merge threads={}", threads);
+            }
+        }
+
+        /// Self-join: composing a raw (possibly duplicate-row) table with
+        /// itself agrees with the nested-loop reference in parallel too.
+        #[test]
+        fn parallel_self_join_equals_nested_loop(
+            t in arb_dup_table(10, 50),
+        ) {
+            let reference = collect_multiset(|l, r, s| nested_loop_join(l, r, s), &t, &t);
+            for threads in [2usize, 8] {
+                let par = Parallelism::new(threads).with_min_shard_size(1);
+                let ph = collect_multiset(|l, r, s| par_hash_join(l, r, &par, s), &t, &t);
+                let psm =
+                    collect_multiset(|l, r, s| par_sort_merge_join(l, r, &par, s), &t, &t);
+                prop_assert_eq!(&ph, &reference, "threads={}", threads);
+                prop_assert_eq!(&psm, &reference, "threads={}", threads);
+            }
         }
     }
 }

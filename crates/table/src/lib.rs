@@ -14,7 +14,10 @@
 //! * [`Adjacency`] — a CSR-style index over either column, providing both
 //!   neighbor lookup and the *degree* counts `n(a)` / `n(b)` needed by the
 //!   paper's Relative similarity functions (Figure 5),
-//! * [`join`] — hash, sort-merge and nested-loop join strategies,
+//! * [`join`] — hash, sort-merge and nested-loop join strategies, each
+//!   with a sharded parallel variant producing bit-identical output,
+//! * [`exec`] — the deterministic sharded-execution layer
+//!   ([`Parallelism`]) behind the parallel joins and matchers,
 //! * [`agg`] — grouped path aggregation for the compose operator,
 //! * [`tsv`] — plain-text persistence of mapping tables,
 //! * [`hash`] — a fast FxHash-style hasher used for all internal maps
@@ -25,6 +28,7 @@
 //! millions of correspondences stay cache-friendly.
 
 pub mod agg;
+pub mod exec;
 pub mod hash;
 pub mod index;
 pub mod interner;
@@ -33,6 +37,7 @@ pub mod mapping_table;
 pub mod stats;
 pub mod tsv;
 
+pub use exec::Parallelism;
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::Adjacency;
 pub use interner::StringInterner;

@@ -45,10 +45,18 @@ pub struct GridResult {
     pub test_f1: f64,
 }
 
+/// Item indexes of fold `k` out of `folds` over `n` items — the stride
+/// scheme used by cross-validation. Deterministic, and balanced: every
+/// fold gets `n / folds` items, the first `n % folds` folds one more.
+fn fold_indexes(n: usize, folds: usize, k: usize) -> impl Iterator<Item = usize> {
+    (k..n).step_by(folds)
+}
+
 impl GridSearch {
     /// Mean per-fold F-measure of one configuration. Folds are taken by
-    /// index stride, which is deterministic and keeps positives (already
-    /// shuffled by the train/test split) spread across folds.
+    /// index stride ([`fold_indexes`]), which is deterministic and keeps
+    /// positives (already shuffled by the train/test split) spread
+    /// across folds.
     fn cv_score(&self, train: &[LabeledPair], feature: usize, threshold: f64) -> f64 {
         if self.folds < 2 || train.len() < self.folds {
             return f1_of(train, |p| p.features[feature] >= threshold);
@@ -57,7 +65,7 @@ impl GridSearch {
         let mut sum = 0.0;
         for k in 0..self.folds {
             fold.clear();
-            fold.extend(train.iter().skip(k).step_by(self.folds));
+            fold.extend(fold_indexes(train.len(), self.folds, k).map(|i| &train[i]));
             let mut tp = 0usize;
             let mut fp = 0usize;
             let mut fn_ = 0usize;
@@ -180,6 +188,53 @@ mod tests {
             "got {}",
             result.threshold
         );
+    }
+
+    #[test]
+    fn five_fold_cv_folds_are_balanced() {
+        // Fold sizes may differ by at most 1, for any n — including
+        // n not divisible by the fold count (PR-2 landed 5-fold CV
+        // selection without pinning this).
+        for n in [5usize, 23, 70, 99, 100, 101] {
+            for folds in [2usize, 5, 7] {
+                let sizes: Vec<usize> = (0..folds)
+                    .map(|k| fold_indexes(n, folds, k).count())
+                    .collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} folds={folds} sizes={sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), n, "folds must partition");
+            }
+        }
+    }
+
+    #[test]
+    fn cv_folds_are_disjoint_and_complete() {
+        let (n, folds) = (83usize, 5usize);
+        let mut seen = vec![false; n];
+        for k in 0..folds {
+            for i in fold_indexes(n, folds, k) {
+                assert!(!seen[i], "index {i} in two folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "index missing from all folds");
+    }
+
+    #[test]
+    fn stride_folds_spread_shuffled_positives() {
+        // With positives spread by the (label-stratified, shuffled)
+        // split, a stride fold of a 1-in-3 dataset holds roughly a third
+        // positives — no fold is all-positive or all-negative.
+        let data = dataset(90);
+        let (train, _) = crate::split::train_test_split(data, 0.8, 11);
+        for k in 0..5usize {
+            let pos = fold_indexes(train.len(), 5, k)
+                .filter(|&i| train[i].label)
+                .count();
+            let size = fold_indexes(train.len(), 5, k).count();
+            assert!(pos > 0 && pos < size, "fold {k}: {pos}/{size} positives");
+        }
     }
 
     #[test]

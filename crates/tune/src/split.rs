@@ -81,6 +81,72 @@ mod tests {
         assert_eq!(all, (0..33u32).collect::<Vec<_>>());
     }
 
+    /// Pairs with an arbitrary positive rate (`num`/`den` positive).
+    fn skewed_pairs(n: usize, num: usize, den: usize) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| LabeledPair {
+                domain: i as u32,
+                range: i as u32,
+                features: vec![i as f64 / n as f64],
+                label: i % den < num,
+            })
+            .collect()
+    }
+
+    /// The stratification invariant: for *every* label class, the number
+    /// of its members landing in `train` is within ±1 of the class size
+    /// times the global train ratio — no rounding scheme may shift a
+    /// whole extra member, however skewed the class balance.
+    fn assert_stratified(pairs: Vec<LabeledPair>, ratio: f64, seed: u64) {
+        let class_sizes = [
+            pairs.iter().filter(|p| p.label).count(),
+            pairs.iter().filter(|p| !p.label).count(),
+        ];
+        let (train, test) = train_test_split(pairs, ratio, seed);
+        for (label, class_n) in [(true, class_sizes[0]), (false, class_sizes[1])] {
+            let in_train = train.iter().filter(|p| p.label == label).count() as f64;
+            let expected = class_n as f64 * ratio;
+            assert!(
+                (in_train - expected).abs() <= 1.0,
+                "label={label}: {in_train} of {class_n} in train, expected ~{expected} \
+                 (ratio={ratio}, seed={seed})"
+            );
+            let in_test = test.iter().filter(|p| p.label == label).count();
+            assert_eq!(in_train as usize + in_test, class_n, "class must partition");
+        }
+    }
+
+    #[test]
+    fn stratified_within_one_of_global_ratio() {
+        // Sweep class skews (down to 1-in-20 positives, the matching
+        // regime: tiny gold standards), ratios and seeds.
+        for (num, den) in [(1usize, 2usize), (1, 3), (1, 10), (1, 20), (9, 10)] {
+            for ratio in [0.3, 0.5, 0.7, 0.8] {
+                for seed in [1u64, 7, 42] {
+                    assert_stratified(skewed_pairs(100, num, den), ratio, seed);
+                    assert_stratified(skewed_pairs(37, num, den), ratio, seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_with_single_member_class() {
+        // One positive among 50: it must land on exactly one side and
+        // the ±1 invariant still holds.
+        assert_stratified(skewed_pairs(50, 1, 50), 0.7, 3);
+    }
+
+    #[test]
+    fn single_class_input_splits_cleanly() {
+        // All-negative input: stratification degenerates to a plain cut.
+        let all_neg: Vec<LabeledPair> = skewed_pairs(40, 0, 1);
+        let (train, test) = train_test_split(all_neg, 0.75, 2);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 10);
+        assert!(train.iter().chain(test.iter()).all(|p| !p.label));
+    }
+
     #[test]
     fn extreme_ratios() {
         let (train, test) = train_test_split(pairs(10), 0.0, 1);

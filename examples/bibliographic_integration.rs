@@ -38,11 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // extraction-noisy titles (the Table 7 workflow).
     let title = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
         .with_blocking(Blocking::TrigramPrefix)
-        .with_parallel(true)
         .execute(&ctx, scenario.ids.pub_dblp, scenario.ids.pub_gs)?;
     let title_low = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.45)
         .with_blocking(Blocking::TrigramPrefix)
-        .with_parallel(true)
         .execute(&ctx, scenario.ids.pub_dblp, scenario.ids.pub_gs)?;
     let author_same = AttributeMatcher::new("name", "name", SimFn::PersonName, 0.85)
         .with_blocking(Blocking::TrigramPrefix)

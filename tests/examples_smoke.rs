@@ -6,7 +6,16 @@ use std::path::Path;
 use std::process::Command;
 
 /// Run `cargo run --release --example <name>` in the workspace root.
+///
+/// Each example is a separate release-build subprocess, so re-running
+/// them under a single-threaded libtest harness cannot expose any
+/// in-process ordering issue — `MOMA_SKIP_EXAMPLE_TESTS=1` lets such
+/// re-run legs (CI's serial-harness step) skip the subprocess cost.
 fn run_example(name: &str) {
+    if std::env::var_os("MOMA_SKIP_EXAMPLE_TESTS").is_some() {
+        eprintln!("MOMA_SKIP_EXAMPLE_TESTS set; skipping example {name}");
+        return;
+    }
     let cargo = env!("CARGO");
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
     assert!(
@@ -46,6 +55,11 @@ fn bibliographic_integration() {
 }
 
 #[test]
+fn parallel_matching() {
+    run_example("parallel_matching");
+}
+
+#[test]
 fn hub_integration() {
     run_example("hub_integration");
 }
@@ -67,6 +81,7 @@ fn all_examples_are_covered() {
         "quickstart",
         "duplicate_detection",
         "bibliographic_integration",
+        "parallel_matching",
         "hub_integration",
         "self_tuning",
         "workflow_script",
