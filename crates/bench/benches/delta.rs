@@ -1,0 +1,83 @@
+//! Delta-matching benchmarks: incremental apply cost vs full re-match,
+//! across delta sizes.
+//!
+//! The claim under test: delta-match cost scales with `|delta|`, not
+//! `|source|`. The `full_rematch` row is the baseline (cost ∝ source);
+//! the `delta_*pct` rows apply a churn-sized delta through
+//! `DeltaMatchState::apply` (re-applying the same applied delta is
+//! idempotent and does the same amount of probing every time, which is
+//! what makes it benchable). See also `src/bin/delta_speedup.rs`, which
+//! asserts the ≥5× bound for a 1% delta and bit-identical output.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moma_core::blocking::Blocking;
+use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
+use moma_datagen::{DeltaStream, EvolveConfig, Scenario, WorldConfig};
+use moma_model::AppliedDelta;
+use moma_simstring::SimFn;
+use std::time::Duration;
+
+fn scenario() -> Scenario {
+    // Between small and paper scale (same sizing as the matcher benches):
+    // enough GS rows that a full re-match visibly costs |source|.
+    let mut cfg = WorldConfig::small();
+    cfg.vldb_papers = (40, 50);
+    cfg.sigmod_papers = (30, 40);
+    cfg.gs_noise_entries = 2_000;
+    Scenario::generate(cfg)
+}
+
+fn matcher() -> AttributeMatcher {
+    AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
+        .with_blocking(Blocking::TrigramPrefix)
+}
+
+fn bench_delta_vs_full(c: &mut Criterion) {
+    let base = scenario();
+    let mut g = c.benchmark_group("delta_match");
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    for churn_pct in [1usize, 5, 20] {
+        // Fresh registry per level: prime before the delta, apply it,
+        // then measure the (idempotent) incremental apply.
+        let mut registry = base.registry.clone();
+        let m = matcher();
+        let ctx = MatchContext::new(&registry);
+        let mut state = m.prime(&ctx, base.ids.pub_dblp, base.ids.pub_gs).unwrap();
+        let mut stream = DeltaStream::new(
+            {
+                let mut cfg = EvolveConfig::with_churn(churn_pct as f64 / 100.0);
+                cfg.burst_prob = 0.0;
+                cfg
+            },
+            base.ids.pub_gs,
+        );
+        let delta = stream.next_delta(&registry);
+        let applied: AppliedDelta = registry.apply_delta(&delta).unwrap();
+        let ctx = MatchContext::new(&registry);
+        g.bench_with_input(
+            BenchmarkId::new("incremental", format!("{churn_pct}pct")),
+            &churn_pct,
+            |b, _| b.iter(|| black_box(state.apply(&ctx, &[&applied]).unwrap().len())),
+        );
+    }
+
+    // Baseline: full re-match of the unchanged-size source.
+    let m = matcher();
+    let ctx = MatchContext::new(&base.registry);
+    g.bench_with_input(BenchmarkId::new("full", "rematch"), &0usize, |b, _| {
+        b.iter(|| {
+            black_box(
+                m.execute(&ctx, base.ids.pub_dblp, base.ids.pub_gs)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta_vs_full);
+criterion_main!(benches);

@@ -9,33 +9,50 @@
 //! probed gram (standard prefix-filtering argument, transferred from
 //! Jaccard to Dice via `t_j = t_d / (2 - t_d)`).
 //!
+//! The index storage itself — posting lists, tombstoned removal,
+//! amortized compaction — is [`moma_table::GramIndex`]; this module owns
+//! the trigram tokenization and the threshold→probe-count arithmetic.
+//!
 //! ## Read-only shared-index probing
 //!
-//! A built [`TrigramIndex`] is immutable: every method on `&self` only
-//! reads the postings, so one index can be probed concurrently from any
-//! number of matcher worker threads without locks (`&TrigramIndex` is
-//! `Send + Sync`). This is exactly how the parallel attribute matchers
-//! use it — the range side is indexed once, then the domain values are
-//! sharded across threads (see [`crate::exec`]) and each shard probes
-//! the shared index independently. Because probing never mutates, the
-//! per-shard candidate sets — and hence the concatenated result — are
-//! bit-identical to a sequential run.
+//! A built [`TrigramIndex`] is immutable through `&self`: every probe
+//! method only reads the postings, so one index can be probed
+//! concurrently from any number of matcher worker threads without locks
+//! (`&TrigramIndex` is `Send + Sync`). This is exactly how the parallel
+//! attribute matchers use it — the range side is indexed once, then the
+//! domain values are sharded across threads (see [`crate::exec`]) and
+//! each shard probes the shared index independently. Because probing
+//! never mutates, the per-shard candidate sets — and hence the
+//! concatenated result — are bit-identical to a sequential run.
+//!
+//! ## Incremental maintenance
+//!
+//! For evolving sources the index need not be rebuilt:
+//! [`TrigramIndex::insert`], [`TrigramIndex::remove`] (tombstone) and
+//! [`TrigramIndex::update`] (surgical posting swap) patch it in place —
+//! the machinery behind [`crate::delta`]'s incremental matching.
+//! Removal leaves dead posting entries behind until the underlying
+//! [`GramIndex`](moma_table::GramIndex) compacts; probes filter them,
+//! so candidate sets are always tombstone-exact, while [`TrigramIndex::df`]
+//! may over-count between compactions (harmless for the prefix-filter
+//! guarantee, which holds for *any* choice of probed grams).
 
 use moma_simstring::tokenize::trigrams;
 use moma_table::exec::Parallelism;
-use moma_table::{FxHashMap, FxHashSet};
+use moma_table::{FxHashSet, GramIndex};
+
+/// Deduplicated trigram list of a value.
+fn unique_trigrams(value: &str) -> Vec<String> {
+    let mut grams = trigrams(value);
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
 
 /// Inverted trigram index over a set of `(id, value)` pairs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TrigramIndex {
-    postings: FxHashMap<String, Vec<u32>>,
-    /// Ids of indexed values that produced no trigrams at all (empty or
-    /// punctuation-only strings, which normalize to ""). They can never
-    /// be *candidates* of a probe, but [`TrigramIndex::all_ids`] must
-    /// still report them.
-    gramless: Vec<u32>,
-    /// Number of indexed values.
-    len: usize,
+    inner: GramIndex,
 }
 
 impl TrigramIndex {
@@ -65,86 +82,89 @@ impl TrigramIndex {
             .into_iter();
         let mut merged = parts.next().unwrap_or_default();
         for part in parts {
-            merged.absorb(part);
+            merged.inner.absorb(part.inner);
         }
         merged
     }
 
-    /// Index one value.
-    fn insert(&mut self, id: u32, value: &str) {
-        self.len += 1;
-        let mut grams = trigrams(value);
-        grams.sort_unstable();
-        grams.dedup();
-        if grams.is_empty() {
-            self.gramless.push(id);
-            return;
-        }
-        for g in grams {
-            self.postings.entry(g).or_default().push(id);
-        }
+    /// Index one value. Returns `false` (a no-op) if `id` is already
+    /// live — use [`TrigramIndex::update`] to change an indexed value.
+    pub fn insert(&mut self, id: u32, value: &str) -> bool {
+        self.inner.insert(id, &unique_trigrams(value))
     }
 
-    /// Append another index built from a *later* contiguous input shard.
-    fn absorb(&mut self, other: TrigramIndex) {
-        self.len += other.len;
-        self.gramless.extend(other.gramless);
-        for (g, ids) in other.postings {
-            self.postings.entry(g).or_default().extend(ids);
-        }
+    /// Tombstone an indexed value (see module docs); returns whether the
+    /// id was live. O(1) amortized — dead posting entries are swept by
+    /// the underlying index once they exceed a fixed fraction of the
+    /// live population.
+    pub fn remove(&mut self, id: u32) -> bool {
+        self.inner.remove(id)
     }
 
-    /// Number of indexed *values* (not postings): every `(id, value)`
-    /// pair passed to `build` counts once, including values that yield no
-    /// trigrams and can therefore never be returned by
+    /// Replace a live value in place. The caller supplies the old value
+    /// (the index stores no values); its postings are removed
+    /// surgically, the new value's appended. Returns `false` if `id` is
+    /// not live.
+    pub fn update(&mut self, id: u32, old_value: &str, new_value: &str) -> bool {
+        self.inner
+            .replace(id, &unique_trigrams(old_value), &unique_trigrams(new_value))
+    }
+
+    /// Sweep tombstoned entries out of the posting lists now.
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+
+    /// Number of unswept tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.inner.tombstone_count()
+    }
+
+    /// Whether `id` is indexed and not removed.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.inner.is_live(id)
+    }
+
+    /// Number of live indexed *values* (not postings): every `(id,
+    /// value)` pair passed to `build` counts once, including values that
+    /// yield no trigrams and can therefore never be returned by
     /// [`TrigramIndex::candidates`].
     pub fn len(&self) -> usize {
-        self.len
+        self.inner.len()
     }
 
-    /// Whether no values were indexed. Note an index built only from
+    /// Whether no values are indexed. Note an index built only from
     /// gram-less values (e.g. empty strings) is *not* empty by this
     /// definition even though its postings are.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.inner.is_empty()
     }
 
-    /// Document frequency of a gram.
+    /// Document frequency of a gram (may over-count by unswept
+    /// tombstones; exact after [`TrigramIndex::compact`]).
     pub fn df(&self, gram: &str) -> usize {
-        self.postings.get(gram).map(|p| p.len()).unwrap_or(0)
+        self.inner.df(gram)
     }
 
     /// Candidate range ids for `query` under Dice threshold
     /// `dice_threshold`: union of the postings of the query's rarest
     /// `k = ⌊(1 − t_j)·|G|⌋ + 1` grams (`t_j` the Jaccard equivalent).
     pub fn candidates(&self, query: &str, dice_threshold: f64) -> FxHashSet<u32> {
-        let mut grams = trigrams(query);
-        grams.sort_unstable();
-        grams.dedup();
+        let mut grams = unique_trigrams(query);
         if grams.is_empty() {
             return FxHashSet::default();
         }
         let t_d = dice_threshold.clamp(0.0, 1.0);
         let t_j = if t_d >= 1.0 { 1.0 } else { t_d / (2.0 - t_d) };
         let k = (((1.0 - t_j) * grams.len() as f64).floor() as usize + 1).min(grams.len());
-        // Probe the rarest grams first.
-        grams.sort_by_key(|g| self.df(g));
-        let mut out = FxHashSet::default();
-        for g in grams.iter().take(k) {
-            if let Some(p) = self.postings.get(g.as_str()) {
-                out.extend(p.iter().copied());
-            }
-        }
-        out
+        self.inner.candidates(&mut grams, k)
     }
 
-    /// All ids as candidates (used when the caller disables blocking for
-    /// one probe) — including values that produced no trigrams, so this
-    /// always has exactly [`TrigramIndex::len`] entries.
+    /// All live ids as candidates (used when the caller disables blocking
+    /// for one probe) — including values that produced no trigrams, so
+    /// this always has exactly [`TrigramIndex::len`] entries.
     pub fn all_ids(&self) -> FxHashSet<u32> {
-        let mut ids: FxHashSet<u32> = self.postings.values().flatten().copied().collect();
-        ids.extend(self.gramless.iter().copied());
-        ids
+        self.inner.all_ids()
     }
 }
 
@@ -321,6 +341,59 @@ mod tests {
         // Both "data cleaning" titles reachable at a loose threshold.
         assert!(loose.contains(&2) && loose.contains(&3));
     }
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild() {
+        let mut idx = TrigramIndex::build(titles());
+        // Remove one, update one, add one.
+        assert!(idx.remove(2));
+        assert!(!idx.remove(2));
+        assert!(idx.update(
+            1,
+            "Generic Schema Matching with Cupid",
+            "Reference Reconciliation in Complex Spaces",
+        ));
+        assert!(idx.insert(5, "Data Cleaning: Problems and Current Approaches"));
+        assert!(!idx.insert(5, "duplicate insert is rejected"));
+        idx.compact();
+
+        let fresh = TrigramIndex::build([
+            (0, "A formal perspective on the view selection problem"),
+            (1, "Reference Reconciliation in Complex Spaces"),
+            (
+                3,
+                "Robust and Efficient Fuzzy Match for Online Data Cleaning",
+            ),
+            (4, "A formal perspective on the view selection problem."),
+            (5, "Data Cleaning: Problems and Current Approaches"),
+        ]);
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.all_ids(), fresh.all_ids());
+        for q in [
+            "view selection",
+            "reference reconciliation",
+            "data cleaning",
+            "fuzzy match",
+        ] {
+            assert_eq!(
+                idx.candidates(q, 0.4),
+                fresh.candidates(q, 0.4),
+                "probe {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstoned_ids_never_surface_before_compaction() {
+        let mut idx = TrigramIndex::build(titles());
+        idx.remove(0);
+        assert!(idx.tombstone_count() > 0 || idx.len() == 4);
+        let c = idx.candidates("A formal perspective on the view selection problem", 0.4);
+        assert!(!c.contains(&0));
+        assert!(c.contains(&4));
+        assert!(!idx.all_ids().contains(&0));
+        assert!(!idx.is_live(0) && idx.is_live(4));
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +419,48 @@ mod prop_tests {
                 if trigram(&query, v) >= t {
                     prop_assert!(cands.contains(&(i as u32)),
                         "missed `{}` for `{}` at t={}", v, query, t);
+                }
+            }
+        }
+
+        /// The same guarantee holds for an *incrementally maintained*
+        /// index: after removals and updates, every surviving value whose
+        /// similarity clears the threshold is still generated.
+        #[test]
+        fn no_false_dismissals_after_maintenance(
+            values in prop::collection::vec("[a-d][a-d ]{2,11}", 4..20),
+            replacement in "[a-d][a-d ]{2,11}",
+            query in "[a-d][a-d ]{2,11}",
+            t in 0.4f64..0.95,
+        ) {
+            let mut idx = TrigramIndex::build(
+                values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str())),
+            );
+            // Remove every third value, replace every fourth.
+            let mut current: Vec<Option<String>> =
+                values.iter().map(|v| Some(v.clone())).collect();
+            for i in (0..values.len()).step_by(3) {
+                idx.remove(i as u32);
+                current[i] = None;
+            }
+            for i in (1..values.len()).step_by(4) {
+                if let Some(old) = current[i].clone() {
+                    idx.update(i as u32, &old, &replacement);
+                    current[i] = Some(replacement.clone());
+                }
+            }
+            let cands = idx.candidates(&query, t);
+            for (i, v) in current.iter().enumerate() {
+                match v {
+                    Some(v) if trigram(&query, v) >= t => prop_assert!(
+                        cands.contains(&(i as u32)),
+                        "missed `{}` for `{}` at t={}", v, query, t
+                    ),
+                    None => prop_assert!(
+                        !cands.contains(&(i as u32)),
+                        "tombstoned id {} surfaced", i
+                    ),
+                    _ => {}
                 }
             }
         }

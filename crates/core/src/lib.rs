@@ -33,6 +33,11 @@
 //!   config threaded through [`MatchContext`] shards matcher probing,
 //!   compose joins and workflow steps across threads with bit-identical
 //!   results at every thread count.
+//! * [`delta`] — incremental matching for evolving sources: a
+//!   [`DeltaMatchState`] patches a materialized mapping under source
+//!   deltas in time proportional to the delta, bit-identical to a full
+//!   re-match, and repository version stamps propagate the patch to
+//!   derived compose/set-op results.
 //!
 //! ## Quick start
 //!
@@ -61,6 +66,7 @@
 
 pub mod blocking;
 pub mod cluster;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod mapping;
@@ -69,9 +75,10 @@ pub mod ops;
 pub mod repository;
 pub mod workflow;
 
+pub use delta::DeltaMatchState;
 pub use error::{CoreError, Result};
 pub use exec::Parallelism;
 pub use mapping::{Mapping, MappingKind};
 pub use matchers::{MatchContext, Matcher};
-pub use repository::{MappingCache, MappingRepository};
+pub use repository::{MappingCache, MappingRepository, Recipe};
 pub use workflow::{CombineOp, Combiner, StepInput, Workflow, WorkflowStep};

@@ -120,7 +120,7 @@ impl AttributeMatcher {
     /// Dice bound handed to the trigram prefix filter: the matcher
     /// threshold itself when scoring with trigram Dice (exact), otherwise
     /// the configured floor (conservative default 0.3).
-    fn effective_candidate_threshold(&self) -> f64 {
+    pub(crate) fn effective_candidate_threshold(&self) -> f64 {
         match (&self.sim, self.candidate_floor) {
             (_, Some(floor)) => floor,
             (MatcherSim::Fixed(SimFn::Trigram), None)

@@ -7,23 +7,152 @@
 //! The repository is concurrency-safe (matchers may run in parallel) and
 //! persists to a directory of TSV mapping tables keyed by *instance
 //! string ids*, so files survive regeneration of the in-memory arenas.
+//!
+//! ## Version stamps and dependency-based invalidation
+//!
+//! Materialized mappings exist to be *reused* — including mappings
+//! derived from other mappings (compose / union / intersect / diff /
+//! merge results). When an upstream mapping is patched (e.g. by the
+//! incremental matcher in [`crate::delta`]), its derived downstream
+//! results are stale. The repository therefore stamps every entry with a
+//! monotonically increasing **version**, and a derived entry stored via
+//! [`MappingRepository::store_derived`] records its [`Recipe`] plus the
+//! versions of its inputs at derivation time. [`MappingRepository::is_stale`]
+//! detects drift, and [`MappingRepository::refresh_stale`] recomputes
+//! exactly the stale entries, in dependency order, routing compose joins
+//! through the given [`Parallelism`] so refreshes stay
+//! parallel-deterministic. Entries stored without a recipe are *leaves*
+//! and are never recomputed (storing over a derived name turns it back
+//! into a leaf).
 
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::sync::RwLock;
 
 use moma_model::SourceRegistry;
-use moma_table::{FxHashMap, MappingTable};
+use moma_table::tsv::{escape_field, unescape_field};
+use moma_table::{FxHashMap, MappingTable, Parallelism};
 
 use crate::error::{CoreError, Result};
 use crate::mapping::{Mapping, MappingKind};
+use crate::ops::compose::{compose_with, PathAgg, PathCombine};
+use crate::ops::merge::{merge, MergeFn, MissingPolicy};
+use crate::ops::setops;
+
+/// How a derived repository entry is recomputed from other entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recipe {
+    /// `compose(left, right, f, g)`.
+    Compose {
+        /// Name of the left input mapping.
+        left: String,
+        /// Name of the right input mapping.
+        right: String,
+        /// Per-path combination function.
+        f: PathCombine,
+        /// Path-aggregation function.
+        g: PathAgg,
+    },
+    /// `union(left, right)`.
+    Union {
+        /// Left input name.
+        left: String,
+        /// Right input name.
+        right: String,
+    },
+    /// `intersect(left, right)`.
+    Intersect {
+        /// Left input name.
+        left: String,
+        /// Right input name.
+        right: String,
+    },
+    /// `diff(left, right)`.
+    Difference {
+        /// Left input name.
+        left: String,
+        /// Right input name.
+        right: String,
+    },
+    /// `merge(inputs, f, missing)`.
+    Merge {
+        /// Input names, in order.
+        inputs: Vec<String>,
+        /// Combination function.
+        f: MergeFn,
+        /// Missing-correspondence policy.
+        missing: MissingPolicy,
+    },
+}
+
+impl Recipe {
+    /// Names of the entries this recipe reads.
+    pub fn inputs(&self) -> Vec<&str> {
+        match self {
+            Recipe::Compose { left, right, .. }
+            | Recipe::Union { left, right }
+            | Recipe::Intersect { left, right }
+            | Recipe::Difference { left, right } => vec![left, right],
+            Recipe::Merge { inputs, .. } => inputs.iter().map(String::as_str).collect(),
+        }
+    }
+
+    /// Recompute the derived mapping from the repository's current
+    /// entries.
+    fn recompute(&self, repo: &MappingRepository, par: &Parallelism) -> Result<Mapping> {
+        let binary = |l: &str, r: &str| -> Result<(Arc<Mapping>, Arc<Mapping>)> {
+            Ok((repo.require(l)?, repo.require(r)?))
+        };
+        match self {
+            Recipe::Compose { left, right, f, g } => {
+                let (a, b) = binary(left, right)?;
+                compose_with(a.as_ref(), b.as_ref(), *f, *g, par)
+            }
+            Recipe::Union { left, right } => {
+                let (a, b) = binary(left, right)?;
+                setops::union(a.as_ref(), b.as_ref())
+            }
+            Recipe::Intersect { left, right } => {
+                let (a, b) = binary(left, right)?;
+                setops::intersection(a.as_ref(), b.as_ref())
+            }
+            Recipe::Difference { left, right } => {
+                let (a, b) = binary(left, right)?;
+                setops::difference(a.as_ref(), b.as_ref())
+            }
+            Recipe::Merge { inputs, f, missing } => {
+                let maps: Vec<Arc<Mapping>> = inputs
+                    .iter()
+                    .map(|n| repo.require(n))
+                    .collect::<Result<_>>()?;
+                let refs: Vec<&Mapping> = maps.iter().map(Arc::as_ref).collect();
+                merge(&refs, f.clone(), *missing)
+            }
+        }
+    }
+}
+
+/// One repository slot: the mapping, its version stamp, and — for
+/// derived entries — the recipe plus the input versions it was computed
+/// from.
+#[derive(Debug, Clone)]
+struct Entry {
+    mapping: Arc<Mapping>,
+    version: u64,
+    recipe: Option<Recipe>,
+    /// `(input name, input version at derivation time)`.
+    dep_versions: Vec<(String, u64)>,
+}
 
 /// Thread-safe named store of mappings.
 #[derive(Debug, Default)]
 pub struct MappingRepository {
-    inner: RwLock<FxHashMap<String, Arc<Mapping>>>,
+    inner: RwLock<FxHashMap<String, Entry>>,
+    /// Source of version stamps; the first store gets version 1.
+    next_version: AtomicU64,
 }
 
 /// The mapping cache holds intermediate workflow results; structurally it
@@ -36,25 +165,67 @@ impl MappingRepository {
         Self::default()
     }
 
-    /// Store a mapping under its own name, replacing any previous entry.
-    pub fn store(&self, mapping: Mapping) -> Arc<Mapping> {
+    fn bump(&self) -> u64 {
+        self.next_version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn store_entry(&self, name: String, mapping: Mapping, recipe: Option<Recipe>) -> Arc<Mapping> {
+        let dep_versions = match &recipe {
+            Some(r) => r
+                .inputs()
+                .iter()
+                .map(|n| ((*n).to_owned(), self.version(n).unwrap_or(0)))
+                .collect(),
+            None => Vec::new(),
+        };
         let arc = Arc::new(mapping);
+        let entry = Entry {
+            mapping: Arc::clone(&arc),
+            version: self.bump(),
+            recipe,
+            dep_versions,
+        };
         self.inner
             .write()
             .expect("repository lock poisoned")
-            .insert(arc.name.clone(), Arc::clone(&arc));
+            .insert(name, entry);
         arc
     }
 
-    /// Store a mapping under an explicit name.
+    /// Store a mapping under its own name, replacing any previous entry
+    /// (the entry becomes a *leaf*: any recorded recipe is dropped).
+    pub fn store(&self, mapping: Mapping) -> Arc<Mapping> {
+        self.store_entry(mapping.name.clone(), mapping, None)
+    }
+
+    /// Store a mapping under an explicit name (leaf, like
+    /// [`MappingRepository::store`]).
     pub fn store_as(&self, name: impl Into<String>, mapping: Mapping) -> Arc<Mapping> {
         let name = name.into();
-        let arc = Arc::new(mapping.named(name.clone()));
-        self.inner
-            .write()
-            .expect("repository lock poisoned")
-            .insert(name, Arc::clone(&arc));
-        arc
+        self.store_entry(name.clone(), mapping.named(name.clone()), None)
+    }
+
+    /// Replace a leaf mapping in place — the entry point used by
+    /// incremental matching when a source delta patches a materialized
+    /// mapping. Identical to [`MappingRepository::store_as`] (the new
+    /// version stamp is what marks downstream derived entries stale).
+    pub fn patch(&self, name: impl Into<String>, mapping: Mapping) -> Arc<Mapping> {
+        self.store_as(name, mapping)
+    }
+
+    /// Compute a derived mapping from current entries via `recipe` and
+    /// store it under `name`, recording the recipe and the input
+    /// versions for later staleness checks. Compose recipes join through
+    /// `par`, so derivation is parallel-deterministic.
+    pub fn store_derived(
+        &self,
+        name: impl Into<String>,
+        recipe: Recipe,
+        par: &Parallelism,
+    ) -> Result<Arc<Mapping>> {
+        let name = name.into();
+        let mapping = recipe.recompute(self, par)?.named(name.clone());
+        Ok(self.store_entry(name, mapping, Some(recipe)))
     }
 
     /// Fetch a mapping by name.
@@ -63,13 +234,97 @@ impl MappingRepository {
             .read()
             .expect("repository lock poisoned")
             .get(name)
-            .cloned()
+            .map(|e| Arc::clone(&e.mapping))
     }
 
     /// Fetch or error.
     pub fn require(&self, name: &str) -> Result<Arc<Mapping>> {
         self.get(name)
             .ok_or_else(|| CoreError::UnknownMapping(name.into()))
+    }
+
+    /// Current version stamp of an entry.
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.inner
+            .read()
+            .expect("repository lock poisoned")
+            .get(name)
+            .map(|e| e.version)
+    }
+
+    /// The recipe of a derived entry (`None` for leaves and unknown
+    /// names).
+    pub fn recipe(&self, name: &str) -> Option<Recipe> {
+        self.inner
+            .read()
+            .expect("repository lock poisoned")
+            .get(name)
+            .and_then(|e| e.recipe.clone())
+    }
+
+    /// Whether a derived entry's inputs have moved since it was computed
+    /// (a missing input also counts as stale). Leaves are never stale.
+    pub fn is_stale(&self, name: &str) -> bool {
+        let guard = self.inner.read().expect("repository lock poisoned");
+        let Some(entry) = guard.get(name) else {
+            return false;
+        };
+        if entry.recipe.is_none() {
+            return false;
+        }
+        entry
+            .dep_versions
+            .iter()
+            .any(|(dep, v)| guard.get(dep).map(|e| e.version) != Some(*v))
+    }
+
+    /// Names of all currently stale derived entries, sorted.
+    pub fn stale_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .names()
+            .into_iter()
+            .filter(|n| self.is_stale(n))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Recompute every stale derived entry, in dependency order, so that
+    /// afterwards no entry is stale. Returns the refreshed names in
+    /// recomputation order. Staleness cascades: refreshing an entry
+    /// bumps its version, which marks *its* dependents stale in turn.
+    ///
+    /// Compose recipes join through `par` — identical results at every
+    /// thread count. Errors if a recipe input is missing or if derived
+    /// entries form a dependency cycle.
+    pub fn refresh_stale(&self, par: &Parallelism) -> Result<Vec<String>> {
+        let mut refreshed = Vec::new();
+        loop {
+            let stale = self.stale_names();
+            if stale.is_empty() {
+                return Ok(refreshed);
+            }
+            // Refresh entries none of whose inputs are themselves stale;
+            // at least one must exist unless the graph has a cycle.
+            let mut progressed = false;
+            for name in &stale {
+                let Some(recipe) = self.recipe(name) else {
+                    continue; // raced away; next loop iteration re-checks
+                };
+                if recipe.inputs().iter().any(|i| self.is_stale(i)) {
+                    continue;
+                }
+                let mapping = recipe.recompute(self, par)?.named(name.clone());
+                self.store_entry(name.clone(), mapping, Some(recipe));
+                refreshed.push(name.clone());
+                progressed = true;
+            }
+            if !progressed {
+                return Err(CoreError::InvalidConfig(format!(
+                    "derived mappings form a dependency cycle: {stale:?}"
+                )));
+            }
+        }
     }
 
     /// Whether a name exists.
@@ -124,7 +379,11 @@ impl MappingRepository {
     }
 
     /// Persist all mappings into `dir`, one TSV file per mapping, rows
-    /// keyed by instance string ids resolved through `registry`.
+    /// keyed by instance string ids resolved through `registry`. Names
+    /// and ids are escaped ([`moma_table::tsv::escape_field`]) so values
+    /// containing tabs or newlines round-trip instead of corrupting the
+    /// file. Rows referencing tombstoned (removed) instances are
+    /// skipped.
     pub fn persist_dir(&self, dir: impl AsRef<Path>, registry: &SourceRegistry) -> Result<()> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
@@ -137,18 +396,26 @@ impl MappingRepository {
                 MappingKind::Association(t) => format!("assoc:{t}"),
             };
             let mut text = String::new();
-            text.push_str(&format!("#name\t{}\n", mapping.name));
-            text.push_str(&format!("#kind\t{kind}\n"));
-            text.push_str(&format!("#domain\t{}\n", d_lds.name()));
-            text.push_str(&format!("#range\t{}\n", r_lds.name()));
+            text.push_str(&format!("#name\t{}\n", escape_field(&mapping.name)));
+            text.push_str(&format!("#kind\t{}\n", escape_field(&kind)));
+            text.push_str(&format!("#domain\t{}\n", escape_field(&d_lds.name())));
+            text.push_str(&format!("#range\t{}\n", escape_field(&r_lds.name())));
             for c in mapping.table.iter() {
+                if !d_lds.is_live(c.domain) || !r_lds.is_live(c.range) {
+                    continue;
+                }
                 let (Some(d), Some(r)) = (
                     d_lds.get(c.domain).map(|i| &i.id),
                     r_lds.get(c.range).map(|i| &i.id),
                 ) else {
                     continue;
                 };
-                text.push_str(&format!("{d}\t{r}\t{}\n", c.sim));
+                text.push_str(&format!(
+                    "{}\t{}\t{}\n",
+                    escape_field(d),
+                    escape_field(r),
+                    c.sim
+                ));
             }
             fs::write(dir.join(format!("mapping_{i:04}.tsv")), text)?;
         }
@@ -182,15 +449,19 @@ impl MappingRepository {
                 if let Some(rest) = line.strip_prefix('#') {
                     let mut parts = rest.split('\t');
                     match (parts.next(), parts.next()) {
-                        (Some("name"), Some(v)) => name = v.to_owned(),
+                        (Some("name"), Some(v)) => name = unescape_field(v),
                         (Some("kind"), Some(v)) => {
-                            kind = match v.strip_prefix("assoc:") {
+                            kind = match unescape_field(v).strip_prefix("assoc:") {
                                 Some(t) => MappingKind::Association(t.to_owned()),
                                 None => MappingKind::Same,
                             }
                         }
-                        (Some("domain"), Some(v)) => domain = Some(registry.resolve(v)?),
-                        (Some("range"), Some(v)) => range = Some(registry.resolve(v)?),
+                        (Some("domain"), Some(v)) => {
+                            domain = Some(registry.resolve(&unescape_field(v))?)
+                        }
+                        (Some("range"), Some(v)) => {
+                            range = Some(registry.resolve(&unescape_field(v))?)
+                        }
                         _ => {}
                     }
                     continue;
@@ -206,9 +477,11 @@ impl MappingRepository {
                     continue;
                 };
                 let (d_lds, r_lds) = (registry.lds(domain), registry.lds(range));
-                if let (Some(di), Some(ri), Ok(sim)) =
-                    (d_lds.index_of(d), r_lds.index_of(r), s.parse::<f64>())
-                {
+                if let (Some(di), Some(ri), Ok(sim)) = (
+                    d_lds.index_of(&unescape_field(d)),
+                    r_lds.index_of(&unescape_field(r)),
+                    s.parse::<f64>(),
+                ) {
                     table.push(di, ri, sim);
                 }
             }
@@ -272,6 +545,238 @@ mod tests {
         repo.store(m2);
         assert_eq!(repo.len(), 1);
         assert_eq!(repo.get("a").unwrap().table.sim_of(5, 5), Some(0.5));
+    }
+
+    #[test]
+    fn versions_increase_on_store() {
+        let repo = MappingRepository::new();
+        repo.store(mapping("a"));
+        let v1 = repo.version("a").unwrap();
+        repo.patch("a", mapping("a"));
+        let v2 = repo.version("a").unwrap();
+        assert!(v2 > v1);
+        assert_eq!(repo.version("ghost"), None);
+        // Leaves are never stale.
+        assert!(!repo.is_stale("a"));
+        assert!(!repo.is_stale("ghost"));
+    }
+
+    #[test]
+    fn derived_entries_track_staleness() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "A",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 0.8)]),
+        ));
+        repo.store(Mapping::same(
+            "B",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(2, 2, 0.9)]),
+        ));
+        let u = repo
+            .store_derived(
+                "U",
+                Recipe::Union {
+                    left: "A".into(),
+                    right: "B".into(),
+                },
+                &par,
+            )
+            .unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.name, "U");
+        assert!(!repo.is_stale("U"));
+        assert!(repo.recipe("U").is_some());
+        assert!(repo.recipe("A").is_none());
+
+        // Patch a leaf: the derived entry goes stale; refresh fixes it.
+        repo.patch(
+            "B",
+            Mapping::same(
+                "B",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(2, 2, 0.9), (3, 3, 0.7)]),
+            ),
+        );
+        assert!(repo.is_stale("U"));
+        assert_eq!(repo.stale_names(), vec!["U".to_owned()]);
+        let refreshed = repo.refresh_stale(&par).unwrap();
+        assert_eq!(refreshed, vec!["U".to_owned()]);
+        assert!(!repo.is_stale("U"));
+        assert_eq!(repo.get("U").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn refresh_cascades_through_chains() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "A",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        ));
+        repo.store(Mapping::same(
+            "B",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(1, 1, 1.0)]),
+        ));
+        repo.store_derived(
+            "U",
+            Recipe::Union {
+                left: "A".into(),
+                right: "B".into(),
+            },
+            &par,
+        )
+        .unwrap();
+        repo.store_derived(
+            "I",
+            Recipe::Intersect {
+                left: "U".into(),
+                right: "A".into(),
+            },
+            &par,
+        )
+        .unwrap();
+        repo.patch(
+            "A",
+            Mapping::same(
+                "A",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(0, 0, 1.0), (5, 5, 1.0)]),
+            ),
+        );
+        // Both derived entries are stale; refresh handles U before I.
+        assert_eq!(repo.stale_names().len(), 2);
+        let order = repo.refresh_stale(&par).unwrap();
+        assert_eq!(order, vec!["U".to_owned(), "I".to_owned()]);
+        assert_eq!(repo.get("I").unwrap().len(), 2);
+        assert!(repo.stale_names().is_empty());
+    }
+
+    #[test]
+    fn refresh_errors_on_missing_input_and_cycles() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        repo.store(mapping("A"));
+        repo.store(mapping("B"));
+        repo.store_derived(
+            "U",
+            Recipe::Union {
+                left: "A".into(),
+                right: "B".into(),
+            },
+            &par,
+        )
+        .unwrap();
+        repo.remove("B");
+        assert!(repo.is_stale("U")); // missing input counts as stale
+        assert!(repo.refresh_stale(&par).is_err());
+        // Unknown-input derivation errors up front too.
+        assert!(matches!(
+            repo.store_derived(
+                "X",
+                Recipe::Union {
+                    left: "A".into(),
+                    right: "ghost".into()
+                },
+                &par
+            ),
+            Err(CoreError::UnknownMapping(_))
+        ));
+    }
+
+    #[test]
+    fn compose_recipe_derives_and_refreshes() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        // A: 0 -> 0, 1 -> 1 ; B: LDS1 self-identity.
+        repo.store(Mapping::same(
+            "A",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 0.8)]),
+        ));
+        repo.store(Mapping::same(
+            "B",
+            LdsId(1),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 1.0)]),
+        ));
+        let c = repo
+            .store_derived(
+                "C",
+                Recipe::Compose {
+                    left: "A".into(),
+                    right: "B".into(),
+                    f: PathCombine::Min,
+                    g: PathAgg::Max,
+                },
+                &par,
+            )
+            .unwrap();
+        assert_eq!(c.table.sim_of(1, 1), Some(0.8));
+        repo.patch(
+            "A",
+            Mapping::same(
+                "A",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(1, 1, 0.5)]),
+            ),
+        );
+        repo.refresh_stale(&par).unwrap();
+        let c = repo.get("C").unwrap();
+        assert_eq!(c.table.sim_of(1, 1), Some(0.5));
+        assert_eq!(c.table.sim_of(0, 0), None);
+    }
+
+    #[test]
+    fn merge_recipe_refreshes() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "A",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        ));
+        repo.store(Mapping::same(
+            "B",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 0.5)]),
+        ));
+        repo.store_derived(
+            "M",
+            Recipe::Merge {
+                inputs: vec!["A".into(), "B".into()],
+                f: MergeFn::Avg,
+                missing: MissingPolicy::Ignore,
+            },
+            &par,
+        )
+        .unwrap();
+        assert_eq!(repo.get("M").unwrap().table.sim_of(0, 0), Some(0.75));
+        repo.patch(
+            "B",
+            Mapping::same(
+                "B",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(0, 0, 1.0)]),
+            ),
+        );
+        repo.refresh_stale(&par).unwrap();
+        assert_eq!(repo.get("M").unwrap().table.sim_of(0, 0), Some(1.0));
     }
 
     #[test]
@@ -344,6 +849,67 @@ mod tests {
         assert!(m.kind.is_same());
         let a = repo2.get("SomeAssoc").unwrap();
         assert_eq!(a.kind, MappingKind::Association("pubs of venue".into()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_roundtrip_with_hostile_ids_and_names() {
+        let mut reg = SourceRegistry::new();
+        let mut a = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
+        a.insert_record("tab\tid", vec![]).unwrap();
+        a.insert_record("nl\nid", vec![]).unwrap();
+        let mut b = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
+        b.insert_record("\"quoted\" — é", vec![]).unwrap();
+        b.insert_record("back\\slash", vec![]).unwrap();
+        reg.register(a).unwrap();
+        reg.register(b).unwrap();
+
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "name with\ttab and\nnewline",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 0.9), (1, 1, 0.4)]),
+        ));
+        let dir = std::env::temp_dir().join("moma_repo_hostile_ids");
+        let _ = fs::remove_dir_all(&dir);
+        repo.persist_dir(&dir, &reg).unwrap();
+
+        let repo2 = MappingRepository::new();
+        assert_eq!(repo2.load_dir(&dir, &reg).unwrap(), 1);
+        let m = repo2.get("name with\ttab and\nnewline").unwrap();
+        assert_eq!(m.table.sim_of(0, 0), Some(0.9));
+        assert_eq!(m.table.sim_of(1, 1), Some(0.4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_skips_tombstoned_instances() {
+        let mut reg = registry_with_sources();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "PubSame",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0), (1, 1, 0.8)]),
+        ));
+        reg.lds_mut(LdsId(0)).remove("d1");
+        let dir = std::env::temp_dir().join("moma_repo_tombstones");
+        let _ = fs::remove_dir_all(&dir);
+        repo.persist_dir(&dir, &reg).unwrap();
+        let repo2 = MappingRepository::new();
+        repo2.load_dir(&dir, &reg).unwrap();
+        let m = repo2.get("PubSame").unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.table.sim_of(0, 0), Some(1.0));
         let _ = fs::remove_dir_all(&dir);
     }
 

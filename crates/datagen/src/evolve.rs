@@ -1,0 +1,375 @@
+//! The "evolving world": seeded delta streams over existing scenarios.
+//!
+//! Web sources are not static snapshots — DBLP gains papers daily,
+//! Google Scholar re-crawls and re-extracts, records get corrected. A
+//! [`DeltaStream`] turns any generated [`Scenario`](crate::Scenario)
+//! source into such an evolving source: each call to
+//! [`DeltaStream::next_delta`] emits a [`SourceDelta`] batch of
+//!
+//! * **adds** — clone-and-corrupt copies of random live instances (new
+//!   ids, typo'd text attributes), so new records look like the source's
+//!   own corruption profile,
+//! * **removes** — random live instances, and
+//! * **updates** — a text attribute of a live instance gets extraction
+//!   noise, occasionally cleared entirely.
+//!
+//! The stream is configurable in **churn rate** (fraction of live
+//! instances touched per step), **update skew** (how strongly updates
+//! concentrate on a hot subset — web sources re-crawl popular entries
+//! far more often), and **burstiness** (steps that batch many times the
+//! usual churn, modelling a re-crawl). A configurable fraction of junk
+//! ops (duplicate removals, no-op updates) exercises delta-consumer
+//! robustness. Everything is deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moma_model::{AttrKind, AttrValue, DeltaOp, LdsId, SourceDelta, SourceRegistry};
+
+use crate::corrupt::typo;
+
+/// Configuration of a delta stream.
+#[derive(Debug, Clone)]
+pub struct EvolveConfig {
+    /// RNG seed; the stream is deterministic in it.
+    pub seed: u64,
+    /// Fraction of *live* instances touched per step (at least one op is
+    /// always emitted).
+    pub churn: f64,
+    /// Relative weight of add operations.
+    pub add_weight: f64,
+    /// Relative weight of remove operations.
+    pub remove_weight: f64,
+    /// Relative weight of update operations.
+    pub update_weight: f64,
+    /// Update skew `k ≥ 1`: update targets are drawn as `u^k` over the
+    /// live population, concentrating repeat updates on a hot head.
+    /// `1.0` = uniform.
+    pub update_skew: f64,
+    /// Probability a step is a burst.
+    pub burst_prob: f64,
+    /// Burst steps touch `burst_factor ×` the usual churn.
+    pub burst_factor: f64,
+    /// Probability of appending a junk op (duplicate removal or no-op
+    /// update) after a regular op.
+    pub junk_prob: f64,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            churn: 0.01,
+            add_weight: 1.0,
+            remove_weight: 1.0,
+            update_weight: 2.0,
+            update_skew: 2.0,
+            burst_prob: 0.05,
+            burst_factor: 8.0,
+            junk_prob: 0.05,
+        }
+    }
+}
+
+impl EvolveConfig {
+    /// Default stream at a given churn rate.
+    pub fn with_churn(churn: f64) -> Self {
+        Self {
+            churn,
+            ..Self::default()
+        }
+    }
+}
+
+/// A seeded, source-agnostic generator of [`SourceDelta`] batches.
+#[derive(Debug, Clone)]
+pub struct DeltaStream {
+    cfg: EvolveConfig,
+    lds: LdsId,
+    rng: StdRng,
+    /// Counter for fresh instance ids.
+    next_id: u64,
+    /// Ids removed so far (junk ops replay them as duplicate removals).
+    graveyard: Vec<String>,
+}
+
+impl DeltaStream {
+    /// New stream of deltas against `lds`.
+    pub fn new(cfg: EvolveConfig, lds: LdsId) -> Self {
+        let rng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(lds.0 as u64),
+        );
+        Self {
+            cfg,
+            lds,
+            rng,
+            next_id: 0,
+            graveyard: Vec::new(),
+        }
+    }
+
+    /// Emit the next delta batch against the registry's *current* state.
+    /// The delta is not applied here — hand it to
+    /// [`SourceRegistry::apply_delta`].
+    pub fn next_delta(&mut self, registry: &SourceRegistry) -> SourceDelta {
+        let lds = registry.lds(self.lds);
+        // Snapshot of live instances: (id, skew rank). Arena order is
+        // deterministic, so the snapshot is too.
+        let live: Vec<&str> = lds.iter().map(|(_, inst)| inst.id.as_str()).collect();
+        let mut ops: Vec<DeltaOp> = Vec::new();
+        let mut batch = ((live.len() as f64) * self.cfg.churn).round().max(1.0) as usize;
+        if self.rng.gen_bool(self.cfg.burst_prob.clamp(0.0, 1.0)) {
+            batch = ((batch as f64) * self.cfg.burst_factor).round().max(1.0) as usize;
+        }
+        // Removals within one batch must not collide; track locally.
+        let mut removed_in_batch: Vec<usize> = Vec::new();
+        let total_w = self.cfg.add_weight + self.cfg.remove_weight + self.cfg.update_weight;
+        for _ in 0..batch {
+            let roll: f64 = self.rng.gen::<f64>() * total_w.max(f64::MIN_POSITIVE);
+            if roll < self.cfg.add_weight || live.is_empty() {
+                ops.push(self.gen_add(registry, &live));
+            } else if roll < self.cfg.add_weight + self.cfg.remove_weight {
+                // Uniform removal among not-yet-removed snapshot entries.
+                if removed_in_batch.len() >= live.len() {
+                    ops.push(self.gen_add(registry, &live));
+                    continue;
+                }
+                let pos = loop {
+                    let p = self.rng.gen_range(0..live.len());
+                    if !removed_in_batch.contains(&p) {
+                        break p;
+                    }
+                };
+                removed_in_batch.push(pos);
+                self.graveyard.push(live[pos].to_owned());
+                ops.push(DeltaOp::Remove {
+                    id: live[pos].to_owned(),
+                });
+            } else {
+                // Skewed update target: u^k concentrates on low ranks.
+                let u: f64 = self.rng.gen();
+                let pos = ((u.powf(self.cfg.update_skew.max(1.0)) * live.len() as f64) as usize)
+                    .min(live.len() - 1);
+                ops.push(self.gen_update(registry, live[pos]));
+            }
+            if self.rng.gen_bool(self.cfg.junk_prob.clamp(0.0, 1.0)) {
+                ops.push(self.gen_junk(registry, &live));
+            }
+        }
+        SourceDelta { lds: self.lds, ops }
+    }
+
+    /// Clone-and-corrupt a random live donor into a new instance.
+    fn gen_add(&mut self, registry: &SourceRegistry, live: &[&str]) -> DeltaOp {
+        let lds = registry.lds(self.lds);
+        let id = format!("evo-{}-{}", self.lds.0, self.next_id);
+        self.next_id += 1;
+        let mut fields: Vec<(String, AttrValue)> = Vec::new();
+        if !live.is_empty() {
+            let donor = live[self.rng.gen_range(0..live.len())];
+            let donor = lds.by_id(donor).expect("live id resolves");
+            for (slot, def) in lds.schema.iter().enumerate() {
+                let Some(value) = donor.value(slot) else {
+                    continue;
+                };
+                let value = match (def.kind, value) {
+                    (AttrKind::Text, AttrValue::Text(s)) => AttrValue::Text(typo(&mut self.rng, s)),
+                    _ => value.clone(),
+                };
+                fields.push((def.name.clone(), value));
+            }
+        }
+        DeltaOp::Add { id, fields }
+    }
+
+    /// Corrupt (or occasionally clear) one text attribute of `id`.
+    fn gen_update(&mut self, registry: &SourceRegistry, id: &str) -> DeltaOp {
+        let lds = registry.lds(self.lds);
+        let text_attrs: Vec<&str> = lds
+            .schema
+            .iter()
+            .filter(|d| d.kind == AttrKind::Text)
+            .map(|d| d.name.as_str())
+            .collect();
+        let Some(attr) = text_attrs
+            .get(self.rng.gen_range(0..text_attrs.len().max(1)))
+            .copied()
+        else {
+            // No text attribute to corrupt: emit a no-op update of the
+            // first attribute with its current value.
+            return self.noop_update(registry, id);
+        };
+        let current = lds
+            .by_id(id)
+            .and_then(|inst| lds.attr_slot(attr).ok().and_then(|s| inst.value(s)))
+            .and_then(|v| v.as_text().map(str::to_owned));
+        let value = match current {
+            Some(s) if !self.rng.gen_bool(0.05) => Some(AttrValue::Text(typo(&mut self.rng, &s))),
+            Some(_) => None, // rare: the attribute disappears entirely
+            None => Some(AttrValue::Text("recovered value".into())),
+        };
+        DeltaOp::Update {
+            id: id.to_owned(),
+            attr: attr.to_owned(),
+            value,
+        }
+    }
+
+    /// A deliberately redundant op: duplicate removal of a dead id, or a
+    /// no-op update writing an attribute's current value back.
+    fn gen_junk(&mut self, registry: &SourceRegistry, live: &[&str]) -> DeltaOp {
+        if !self.graveyard.is_empty() && self.rng.gen_bool(0.5) {
+            let id = self.graveyard[self.rng.gen_range(0..self.graveyard.len())].clone();
+            return DeltaOp::Remove { id };
+        }
+        if live.is_empty() {
+            return DeltaOp::Remove {
+                id: "evo-ghost".into(),
+            };
+        }
+        let id = live[self.rng.gen_range(0..live.len())];
+        self.noop_update(registry, id)
+    }
+
+    /// Update writing the current value (or `None` if absent) back.
+    fn noop_update(&mut self, registry: &SourceRegistry, id: &str) -> DeltaOp {
+        let lds = registry.lds(self.lds);
+        let attr = lds
+            .schema
+            .first()
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| "title".into());
+        let value = lds
+            .by_id(id)
+            .and_then(|inst| lds.attr_slot(&attr).ok().and_then(|s| inst.value(s)))
+            .cloned();
+        DeltaOp::Update {
+            id: id.to_owned(),
+            attr,
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use moma_model::DeltaOp;
+
+    fn scenario() -> crate::Scenario {
+        Scenario::small()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let s = scenario();
+        let mk = || {
+            let mut ds = DeltaStream::new(EvolveConfig::with_churn(0.02), s.ids.pub_gs);
+            let mut reg = s.registry.clone();
+            let mut all = Vec::new();
+            for _ in 0..5 {
+                let d = ds.next_delta(&reg);
+                reg.apply_delta(&d).unwrap();
+                all.push(d);
+            }
+            all
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn churn_scales_batch_size() {
+        let s = scenario();
+        let live = s.registry.lds(s.ids.pub_gs).live_len() as f64;
+        for churn in [0.01, 0.1] {
+            let mut cfg = EvolveConfig::with_churn(churn);
+            cfg.burst_prob = 0.0;
+            cfg.junk_prob = 0.0;
+            let mut ds = DeltaStream::new(cfg, s.ids.pub_gs);
+            let d = ds.next_delta(&s.registry);
+            let expect = (live * churn).round().max(1.0) as usize;
+            assert_eq!(d.len(), expect, "churn={churn}");
+        }
+    }
+
+    #[test]
+    fn bursts_multiply_churn() {
+        let s = scenario();
+        let mut cfg = EvolveConfig::with_churn(0.01);
+        cfg.burst_prob = 1.0;
+        cfg.burst_factor = 8.0;
+        cfg.junk_prob = 0.0;
+        let mut ds = DeltaStream::new(cfg, s.ids.pub_gs);
+        let d = ds.next_delta(&s.registry);
+        let live = s.registry.lds(s.ids.pub_gs).live_len() as f64;
+        let base = (live * 0.01).round().max(1.0);
+        assert_eq!(d.len(), (base * 8.0).round() as usize);
+    }
+
+    #[test]
+    fn deltas_apply_cleanly_over_many_steps() {
+        let s = scenario();
+        let mut reg = s.registry.clone();
+        let mut cfg = EvolveConfig::with_churn(0.05);
+        cfg.junk_prob = 0.3; // plenty of duplicate/no-op ops
+        let mut ds = DeltaStream::new(cfg, s.ids.pub_gs);
+        let mut adds = 0usize;
+        let mut removes = 0usize;
+        let mut updates = 0usize;
+        for _ in 0..10 {
+            let d = ds.next_delta(&reg);
+            for op in &d.ops {
+                match op {
+                    DeltaOp::Add { .. } => adds += 1,
+                    DeltaOp::Remove { .. } => removes += 1,
+                    DeltaOp::Update { .. } => updates += 1,
+                }
+            }
+            // Junk ops are tolerated: apply never errors.
+            reg.apply_delta(&d).unwrap();
+        }
+        assert!(adds > 0 && removes > 0 && updates > 0);
+        let lds = reg.lds(s.ids.pub_gs);
+        assert!(lds.len() >= lds.live_len());
+        // Arena grew by exactly the adds.
+        assert_eq!(lds.len(), s.registry.lds(s.ids.pub_gs).len() + adds);
+    }
+
+    #[test]
+    fn update_skew_concentrates_on_head() {
+        let s = scenario();
+        let mut cfg = EvolveConfig::with_churn(0.5);
+        cfg.add_weight = 0.0;
+        cfg.remove_weight = 0.0;
+        cfg.update_skew = 4.0;
+        cfg.junk_prob = 0.0;
+        cfg.burst_prob = 0.0;
+        let mut ds = DeltaStream::new(cfg, s.ids.pub_gs);
+        let d = ds.next_delta(&s.registry);
+        let lds = s.registry.lds(s.ids.pub_gs);
+        let n = lds.live_len();
+        let head: Vec<&str> = lds
+            .iter()
+            .take(n / 4)
+            .map(|(_, inst)| inst.id.as_str())
+            .collect();
+        let in_head = d
+            .ops
+            .iter()
+            .filter(|op| match op {
+                DeltaOp::Update { id, .. } => head.contains(&id.as_str()),
+                _ => false,
+            })
+            .count();
+        // With skew 4, P(head quarter) = 0.25^(1/4)… actually u^4 < 0.25
+        // ⇔ u < 0.707: the head quarter gets ~70% of updates.
+        assert!(
+            in_head * 2 > d.len(),
+            "skew did not concentrate: {in_head}/{}",
+            d.len()
+        );
+    }
+}

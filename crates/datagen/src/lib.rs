@@ -29,12 +29,14 @@
 
 pub mod config;
 pub mod corrupt;
+pub mod evolve;
 pub mod gold;
 pub mod names;
 pub mod scenario;
 pub mod world;
 
 pub use config::WorldConfig;
+pub use evolve::{DeltaStream, EvolveConfig};
 pub use gold::GoldStandard;
 pub use scenario::{Scenario, ScenarioIds};
 pub use world::{Series, World};

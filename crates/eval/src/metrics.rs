@@ -167,6 +167,73 @@ mod tests {
     }
 
     #[test]
+    fn empty_gold_standard_with_predictions() {
+        // Nothing to find, but the mapping asserts pairs anyway: every
+        // prediction is a false positive, recall is vacuously perfect,
+        // and F1 collapses to 0 (pinned — callers comparing workflows on
+        // scenario subsets hit this when a subset has no gold pairs).
+        let q = MatchQuality::evaluate(&mapping(&[(0, 0), (1, 1)]), &GoldStandard::new());
+        assert_eq!((q.tp, q.fp, q.fn_), (0, 2, 0));
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_correspondences_count_per_row() {
+        // Mapping operators dedup `(a, b)` pairs, but `evaluate` itself
+        // counts *rows*: a table holding duplicates (built with raw
+        // `push`, bypassing `dedup_max`) counts each duplicate as its
+        // own TP/FP. Pinned so nobody starts depending on implicit
+        // dedup inside the metric.
+        let mut table = MappingTable::new();
+        table.push(0, 0, 1.0); // gold pair…
+        table.push(0, 0, 0.9); // …duplicated
+        table.push(9, 9, 1.0); // non-gold pair…
+        table.push(9, 9, 1.0); // …duplicated
+        let m = Mapping::same("dup", LdsId(0), LdsId(1), table);
+        let q = MatchQuality::evaluate(&m, &gold());
+        assert_eq!((q.tp, q.fp, q.fn_), (2, 2, 2));
+        assert_eq!(q.precision(), 0.5);
+        // Duplicate TPs even push recall above what distinct pairs give:
+        // 2 / (2 + 2) vs the distinct-pair 1 / 4.
+        assert_eq!(q.recall(), 0.5);
+    }
+
+    #[test]
+    fn perfect_match_f1_is_exactly_one() {
+        // Bit-exact 1.0, not merely within epsilon: 2·1·1/(1+1) has an
+        // exact binary representation end to end.
+        let q = MatchQuality::evaluate(&mapping(&[(0, 0), (1, 1), (2, 2), (3, 3)]), &gold());
+        assert_eq!(q.precision().to_bits(), 1.0f64.to_bits());
+        assert_eq!(q.recall().to_bits(), 1.0f64.to_bits());
+        assert_eq!(q.f1().to_bits(), 1.0f64.to_bits());
+        let (p, r, f) = q.as_percentages();
+        assert_eq!((p, r, f), (100.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn empty_mapping_and_empty_gold_corner_cases() {
+        // Empty vs non-empty gold: all misses.
+        let q = MatchQuality::evaluate(&mapping(&[]), &gold());
+        assert_eq!((q.tp, q.fp, q.fn_), (0, 0, 4));
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+        // Empty vs empty: vacuously perfect, F1 included.
+        let q = MatchQuality::evaluate(&mapping(&[]), &GoldStandard::new());
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+        // Domain-subset evaluation inherits all of the above.
+        let q = MatchQuality::evaluate_domain_subset(&mapping(&[]), &GoldStandard::new(), |_| true);
+        assert_eq!(q.f1(), 1.0);
+        let q = MatchQuality::evaluate_domain_subset(&mapping(&[(0, 0)]), &gold(), |_| false);
+        assert_eq!((q.tp, q.fp, q.fn_), (0, 0, 0));
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
     fn domain_subset_breakdown() {
         // Domains < 2 are "conferences".
         let m = mapping(&[(0, 0), (1, 9), (2, 2), (3, 9)]);

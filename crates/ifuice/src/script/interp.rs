@@ -61,7 +61,22 @@ impl Value {
         }
     }
 
-    fn type_name(&self) -> &'static str {
+    /// The instance set inside, or a typed [`ScriptError::Type`] naming
+    /// the mismatch — so callers surface a diagnostic instead of
+    /// panicking on an unexpected value shape.
+    pub fn expect_instances(&self, context: &str) -> Result<(LdsId, &[u32]), ScriptError> {
+        match self {
+            Value::Instances { lds, ids } => Ok((*lds, ids)),
+            other => Err(ScriptError::Type {
+                context: context.to_owned(),
+                expected: "instances",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// The type label used in diagnostics.
+    pub fn type_name(&self) -> &'static str {
         match self {
             Value::Mapping(_) => "mapping",
             Value::Source(_) => "source",
@@ -82,6 +97,16 @@ pub enum ScriptError {
     Parse(ParseError),
     /// Runtime failure with message.
     Runtime(String),
+    /// A builtin received a value of the wrong type — the script is
+    /// malformed; the diagnostic names the call site and both types.
+    Type {
+        /// The builtin or call site, e.g. `"traverse"`.
+        context: String,
+        /// The type the builtin needs, e.g. `"instances"`.
+        expected: &'static str,
+        /// The type it received.
+        got: &'static str,
+    },
     /// Propagated core error.
     Core(CoreError),
 }
@@ -91,6 +116,14 @@ impl fmt::Display for ScriptError {
         match self {
             ScriptError::Parse(e) => write!(f, "{e}"),
             ScriptError::Runtime(msg) => write!(f, "script runtime error: {msg}"),
+            ScriptError::Type {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "script type error: `{context}` expects {expected}, got {got}"
+            ),
             ScriptError::Core(e) => write!(f, "script runtime error: {e}"),
         }
     }
@@ -326,11 +359,11 @@ impl<'a> Interpreter<'a> {
             }
             "traverse" => {
                 let m = self.mapping_arg(&args, 0, "traverse")?;
-                let ids = match args.get(1) {
-                    Some(Value::Instances { ids, .. }) => ids.clone(),
-                    _ => return Err(rt("traverse needs an instance set")),
-                };
-                let reached = crate::ops::traverse(&m, &ids);
+                let (_, ids) = args
+                    .get(1)
+                    .ok_or_else(|| rt("`traverse` missing instance-set argument 1"))?
+                    .expect_instances("traverse")?;
+                let reached = crate::ops::traverse(&m, ids);
                 Ok(Value::Instances {
                     lds: m.range,
                     ids: reached,
@@ -374,10 +407,11 @@ impl<'a> Interpreter<'a> {
     ) -> Result<Arc<Mapping>, ScriptError> {
         match args.get(i) {
             Some(Value::Mapping(m)) => Ok(Arc::clone(m)),
-            Some(v) => Err(rt(format!(
-                "`{ctx}` expects a mapping at position {i}, got {}",
-                v.type_name()
-            ))),
+            Some(v) => Err(ScriptError::Type {
+                context: format!("{ctx} (argument {i})"),
+                expected: "mapping",
+                got: v.type_name(),
+            }),
             None => Err(rt(format!("`{ctx}` missing mapping argument {i}"))),
         }
     }
@@ -385,10 +419,11 @@ impl<'a> Interpreter<'a> {
     fn source_arg(&self, args: &[Value], i: usize, ctx: &str) -> Result<LdsId, ScriptError> {
         match args.get(i) {
             Some(Value::Source(id)) => Ok(*id),
-            Some(v) => Err(rt(format!(
-                "`{ctx}` expects a source at position {i}, got {}",
-                v.type_name()
-            ))),
+            Some(v) => Err(ScriptError::Type {
+                context: format!("{ctx} (argument {i})"),
+                expected: "source",
+                got: v.type_name(),
+            }),
             None => Err(rt(format!("`{ctx}` missing source argument {i}"))),
         }
     }
@@ -871,10 +906,53 @@ mod tests {
         .unwrap();
         let mut interp = Interpreter::new(&reg, &repo);
         let v = interp.run(&script).unwrap();
-        match v {
-            Value::Instances { ids, .. } => assert_eq!(ids, vec![2, 3]),
-            other => panic!("expected instances, got {}", other.type_name()),
+        let (_, ids) = v.expect_instances("query_and_traverse test").unwrap();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn malformed_script_yields_typed_error_not_panic() {
+        // Regression: handing `traverse` a mapping where instances are
+        // required must fail with a ScriptError::Type diagnostic, not
+        // abort the process.
+        let (reg, repo) = setup();
+        let script = parse(r#"RETURN traverse(DBLP.CoAuthor, DBLP.CoAuthor);"#).unwrap();
+        let err = Interpreter::new(&reg, &repo).run(&script).unwrap_err();
+        match &err {
+            ScriptError::Type {
+                context,
+                expected,
+                got,
+            } => {
+                assert_eq!(*expected, "instances");
+                assert_eq!(*got, "mapping");
+                assert!(context.contains("traverse"));
+            }
+            other => panic!("expected ScriptError::Type, got {other:?}"),
         }
+        assert!(err.to_string().contains("expects instances, got mapping"));
+
+        // Same for mapping- and source-typed arguments.
+        let script = parse(r#"RETURN inverse(42);"#).unwrap();
+        let err = Interpreter::new(&reg, &repo).run(&script).unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::Type {
+                expected: "mapping",
+                got: "number",
+                ..
+            }
+        ));
+        let script = parse(r#"RETURN identity(DBLP.CoAuthor);"#).unwrap();
+        let err = Interpreter::new(&reg, &repo).run(&script).unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::Type {
+                expected: "source",
+                got: "mapping",
+                ..
+            }
+        ));
     }
 
     #[test]

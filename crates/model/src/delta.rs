@@ -1,0 +1,200 @@
+//! Source deltas: typed descriptions of how a logical data source evolves.
+//!
+//! MOMA's mappings are materialized (paper Section 2.2) precisely so they
+//! can be *reused* when sources change. A [`SourceDelta`] is the unit of
+//! change: a batch of instance additions, removals and attribute updates
+//! against one LDS. Applying it through
+//! [`SourceRegistry::apply_delta`](crate::SourceRegistry::apply_delta)
+//! yields an [`AppliedDelta`] — the resolved arena indexes that were
+//! touched — which downstream consumers (incremental matchers, index
+//! maintenance in `moma-table`, repository invalidation in `moma-core`)
+//! use to re-do only the work the change demands.
+//!
+//! ## Semantics
+//!
+//! * `Add` inserts a new instance; a duplicate id is a typed error
+//!   ([`crate::ModelError::DuplicateId`]).
+//! * `Remove` tombstones an instance: the arena slot (and thus every
+//!   `u32` index held by existing mapping tables) stays valid, but the
+//!   instance no longer appears in [`LogicalSource::iter`] /
+//!   [`LogicalSource::project`](crate::LogicalSource::project) output.
+//!   Removing an unknown or already-removed id is a recorded no-op
+//!   (`skipped`), so delta streams may contain duplicate removals.
+//! * `Update` replaces (or with `None` clears) one attribute of a live
+//!   instance; the kind must match the schema. Updating an unknown or
+//!   removed id is a recorded no-op. Writing a value identical to the
+//!   current one is *not* detected — it is reported as touched, and
+//!   incremental consumers simply redo a tiny amount of work.
+
+use crate::attr::AttrValue;
+use crate::lds::LdsId;
+
+/// One instance-level change inside a [`SourceDelta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Insert a new instance with the given id and attribute values.
+    Add {
+        /// Source-assigned identifier of the new instance.
+        id: String,
+        /// `(attribute name, value)` pairs; unnamed attributes stay
+        /// missing.
+        fields: Vec<(String, AttrValue)>,
+    },
+    /// Tombstone the instance with this id.
+    Remove {
+        /// Identifier of the instance to remove.
+        id: String,
+    },
+    /// Replace (`Some`) or clear (`None`) one attribute of an instance.
+    Update {
+        /// Identifier of the instance to update.
+        id: String,
+        /// Attribute name (must exist in the LDS schema).
+        attr: String,
+        /// The new value; `None` clears the attribute.
+        value: Option<AttrValue>,
+    },
+}
+
+/// A batch of changes against one logical data source.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceDelta {
+    /// The source the operations apply to.
+    pub lds: LdsId,
+    /// The operations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl SourceDelta {
+    /// Empty delta against `lds`.
+    pub fn new(lds: LdsId) -> Self {
+        Self { lds, ops: vec![] }
+    }
+
+    /// Append an `Add` operation (builder style).
+    pub fn add(mut self, id: impl Into<String>, fields: Vec<(String, AttrValue)>) -> Self {
+        self.ops.push(DeltaOp::Add {
+            id: id.into(),
+            fields,
+        });
+        self
+    }
+
+    /// Append a `Remove` operation (builder style).
+    pub fn remove(mut self, id: impl Into<String>) -> Self {
+        self.ops.push(DeltaOp::Remove { id: id.into() });
+        self
+    }
+
+    /// Append an `Update` operation (builder style).
+    pub fn update(
+        mut self,
+        id: impl Into<String>,
+        attr: impl Into<String>,
+        value: Option<AttrValue>,
+    ) -> Self {
+        self.ops.push(DeltaOp::Update {
+            id: id.into(),
+            attr: attr.into(),
+            value,
+        });
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The resolved effect of applying a [`SourceDelta`]: which arena indexes
+/// were touched, in application order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AppliedDelta {
+    /// The source the delta was applied to.
+    pub lds: LdsId,
+    /// Arena indexes of newly inserted instances.
+    pub added: Vec<u32>,
+    /// Arena indexes of tombstoned instances.
+    pub removed: Vec<u32>,
+    /// `(arena index, attribute name)` of every applied update.
+    pub updated: Vec<(u32, String)>,
+    /// Operations that resolved to nothing (unknown or already-removed
+    /// ids) and were ignored.
+    pub skipped: usize,
+}
+
+impl AppliedDelta {
+    /// Whether the delta touched no instance at all.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.updated.is_empty()
+    }
+
+    /// Number of touched instances (adds + removes + updates; an
+    /// instance updated twice counts twice).
+    pub fn touched(&self) -> usize {
+        self.added.len() + self.removed.len() + self.updated.len()
+    }
+
+    /// Arena indexes whose value of `attr` may have changed: every add
+    /// and remove, plus updates naming `attr`.
+    pub fn touched_for_attr(&self, attr: &str) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let updated: Vec<u32> = self
+            .updated
+            .iter()
+            .filter(|(_, a)| a == attr)
+            .map(|(i, _)| *i)
+            .collect();
+        (self.added.clone(), self.removed.clone(), updated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let d = SourceDelta::new(LdsId(3))
+            .add("n1", vec![("title".into(), "T".into())])
+            .remove("old")
+            .update("x", "title", Some("U".into()))
+            .update("x", "year", None);
+        assert_eq!(d.lds, LdsId(3));
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert!(matches!(d.ops[0], DeltaOp::Add { .. }));
+        assert!(matches!(d.ops[1], DeltaOp::Remove { .. }));
+        assert!(matches!(d.ops[3], DeltaOp::Update { value: None, .. }));
+    }
+
+    #[test]
+    fn applied_delta_touch_accounting() {
+        let a = AppliedDelta {
+            lds: LdsId(0),
+            added: vec![5],
+            removed: vec![1, 2],
+            updated: vec![(3, "title".into()), (3, "year".into())],
+            skipped: 1,
+        };
+        assert!(!a.is_empty());
+        assert_eq!(a.touched(), 5);
+        let (add, rem, upd) = a.touched_for_attr("title");
+        assert_eq!(add, vec![5]);
+        assert_eq!(rem, vec![1, 2]);
+        assert_eq!(upd, vec![3]);
+        assert!(a.touched_for_attr("pages").2.is_empty());
+    }
+
+    #[test]
+    fn empty_delta() {
+        assert!(SourceDelta::new(LdsId(0)).is_empty());
+        assert!(AppliedDelta::default().is_empty());
+        assert_eq!(AppliedDelta::default().touched(), 0);
+    }
+}

@@ -8,7 +8,7 @@ use crate::instance::ObjectInstance;
 use crate::smm::ObjectType;
 
 /// Dense handle for a logical data source inside a [`crate::SourceRegistry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct LdsId(pub u32);
 
 impl LdsId {
@@ -24,6 +24,16 @@ impl LdsId {
 /// Instances live in a dense arena; the local index (`u32`) of an instance
 /// is what mapping tables store, making correspondences cheap 12-byte rows
 /// (cf. `moma-table`). String ids resolve through a hash index.
+///
+/// Removal is tombstone-based ([`LogicalSource::remove`]): the arena slot
+/// survives — so every `u32` index held by existing mapping tables stays
+/// valid — but tombstoned instances no longer appear in
+/// [`LogicalSource::iter`] / [`LogicalSource::project`] output. [`len`]
+/// therefore reports the *arena* length (the index addressing bound),
+/// while [`live_len`] counts only non-tombstoned instances.
+///
+/// [`len`]: LogicalSource::len
+/// [`live_len`]: LogicalSource::live_len
 #[derive(Debug, Clone)]
 pub struct LogicalSource {
     /// Name of the owning physical data source, e.g. `DBLP`.
@@ -34,6 +44,10 @@ pub struct LogicalSource {
     pub schema: Vec<AttrDef>,
     instances: Vec<ObjectInstance>,
     id_index: HashMap<String, u32>,
+    /// Tombstone flags aligned to `instances`; `true` = removed.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    dead_count: usize,
 }
 
 impl LogicalSource {
@@ -45,6 +59,8 @@ impl LogicalSource {
             schema,
             instances: Vec::new(),
             id_index: HashMap::new(),
+            dead: Vec::new(),
+            dead_count: 0,
         }
     }
 
@@ -53,14 +69,26 @@ impl LogicalSource {
         format!("{}@{}", self.object_type.as_str(), self.pds)
     }
 
-    /// Number of instances.
+    /// Arena length: number of instances ever inserted, *including*
+    /// tombstoned ones. Every valid local index is `< len()`.
     pub fn len(&self) -> usize {
         self.instances.len()
     }
 
-    /// Whether the LDS holds no instances.
+    /// Number of live (non-tombstoned) instances.
+    pub fn live_len(&self) -> usize {
+        self.instances.len() - self.dead_count
+    }
+
+    /// Whether the LDS holds no instances (live or tombstoned).
     pub fn is_empty(&self) -> bool {
         self.instances.is_empty()
+    }
+
+    /// Whether the instance at `index` exists and is not tombstoned.
+    pub fn is_live(&self, index: u32) -> bool {
+        let i = index as usize;
+        i < self.instances.len() && !self.dead[i]
     }
 
     /// Schema slot index of attribute `name`.
@@ -87,7 +115,56 @@ impl LogicalSource {
         let idx = self.instances.len() as u32;
         self.id_index.insert(instance.id.clone(), idx);
         self.instances.push(instance);
+        self.dead.push(false);
         Ok(idx)
+    }
+
+    /// Tombstone the instance with source id `id`, returning its local
+    /// index, or `None` if the id is unknown (possibly already removed —
+    /// removal also drops the id from the lookup index, freeing the id
+    /// for a later re-add as a brand-new instance).
+    pub fn remove(&mut self, id: &str) -> Option<u32> {
+        let idx = self.id_index.remove(id)?;
+        debug_assert!(!self.dead[idx as usize], "id_index pointed at tombstone");
+        self.dead[idx as usize] = true;
+        self.dead_count += 1;
+        Some(idx)
+    }
+
+    /// Replace (`Some`) or clear (`None`) attribute `attr` of the live
+    /// instance with source id `id`, returning its local index. Unknown
+    /// ids return `Ok(None)`; an unknown attribute or a value of the
+    /// wrong kind is a typed error.
+    pub fn update_attr(
+        &mut self,
+        id: &str,
+        attr: &str,
+        value: Option<AttrValue>,
+    ) -> Result<Option<u32>> {
+        let slot = self.attr_slot(attr)?;
+        if let Some(v) = &value {
+            let expected = self.schema[slot].kind;
+            if v.kind() != expected {
+                return Err(ModelError::KindMismatch {
+                    attr: attr.into(),
+                    expected: expected.to_string(),
+                    got: v.kind().to_string(),
+                });
+            }
+        }
+        let Some(&idx) = self.id_index.get(id) else {
+            return Ok(None);
+        };
+        let inst = &mut self.instances[idx as usize];
+        match value {
+            Some(v) => inst.set(slot, v),
+            None => {
+                if (slot) < inst.values.len() {
+                    inst.values[slot] = None;
+                }
+            }
+        }
+        Ok(Some(idx))
     }
 
     /// Build an instance from `(id, values)` pairs keyed by attribute name
@@ -113,7 +190,9 @@ impl LogicalSource {
         self.insert(inst)
     }
 
-    /// Instance by local index.
+    /// Instance by local index. Tombstoned instances are still returned
+    /// (their arena data survives removal so that old mapping rows can be
+    /// resolved); use [`LogicalSource::is_live`] to distinguish.
     pub fn get(&self, index: u32) -> Option<&ObjectInstance> {
         self.instances.get(index as usize)
     }
@@ -133,11 +212,13 @@ impl LogicalSource {
         self.index_of(id).and_then(|i| self.get(i))
     }
 
-    /// Iterate `(local_index, instance)`.
+    /// Iterate `(local_index, instance)` over *live* instances;
+    /// tombstoned slots are skipped (indexes may therefore be sparse).
     pub fn iter(&self) -> impl Iterator<Item = (u32, &ObjectInstance)> {
         self.instances
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.dead[*i])
             .map(|(i, inst)| (i as u32, inst))
     }
 
@@ -235,6 +316,63 @@ mod tests {
         assert_eq!(titles.len(), 2);
         assert_eq!(titles[0].0, 0);
         assert_eq!(titles[1].0, 2);
+    }
+
+    #[test]
+    fn remove_tombstones_but_preserves_arena() {
+        let mut lds = pub_lds();
+        for id in ["a", "b", "c"] {
+            lds.insert_record(id, vec![("title", format!("T{id}").into())])
+                .unwrap();
+        }
+        assert_eq!(lds.remove("b"), Some(1));
+        // Unknown / already-removed ids are a no-op.
+        assert_eq!(lds.remove("b"), None);
+        assert_eq!(lds.remove("ghost"), None);
+        assert_eq!(lds.len(), 3);
+        assert_eq!(lds.live_len(), 2);
+        assert!(lds.is_live(0) && !lds.is_live(1) && lds.is_live(2));
+        assert!(!lds.is_live(99));
+        // Arena data survives; lookup does not.
+        assert_eq!(lds.get(1).unwrap().id, "b");
+        assert_eq!(lds.index_of("b"), None);
+        // iter/project skip the tombstone.
+        let idxs: Vec<u32> = lds.iter().map(|(i, _)| i).collect();
+        assert_eq!(idxs, vec![0, 2]);
+        assert_eq!(lds.project("title").unwrap().len(), 2);
+        // The id can be re-added as a brand-new instance.
+        assert_eq!(lds.insert_record("b", vec![]).unwrap(), 3);
+        assert_eq!(lds.live_len(), 3);
+    }
+
+    #[test]
+    fn update_attr_replaces_and_clears() {
+        let mut lds = pub_lds();
+        lds.insert_record("a", vec![("title", "Old".into())])
+            .unwrap();
+        assert_eq!(
+            lds.update_attr("a", "title", Some("New".into())).unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            lds.attr_of(0, "title").unwrap().unwrap().as_text(),
+            Some("New")
+        );
+        assert_eq!(lds.update_attr("a", "year", None).unwrap(), Some(0));
+        assert!(lds.attr_of(0, "year").unwrap().is_none());
+        // Unknown id: Ok(None); removed id: Ok(None) too.
+        assert_eq!(lds.update_attr("ghost", "title", None).unwrap(), None);
+        lds.remove("a");
+        assert_eq!(lds.update_attr("a", "title", None).unwrap(), None);
+        // Unknown attribute and kind mismatch are typed errors.
+        assert!(matches!(
+            lds.update_attr("a", "venue", None),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            lds.update_attr("a", "year", Some("2001".into())),
+            Err(ModelError::KindMismatch { .. })
+        ));
     }
 
     #[test]

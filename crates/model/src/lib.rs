@@ -18,6 +18,7 @@
 
 pub mod attr;
 pub mod cardinality;
+pub mod delta;
 pub mod error;
 pub mod instance;
 pub mod lds;
@@ -26,6 +27,7 @@ pub mod smm;
 
 pub use attr::{AttrDef, AttrKind, AttrValue};
 pub use cardinality::Cardinality;
+pub use delta::{AppliedDelta, DeltaOp, SourceDelta};
 pub use error::{ModelError, Result};
 pub use instance::ObjectInstance;
 pub use lds::{LdsId, LogicalSource};

@@ -1,0 +1,444 @@
+//! Incrementally maintainable inverted gram index.
+//!
+//! [`GramIndex`] is the tokenizer-agnostic core of MOMA's blocking index:
+//! callers hand it pre-tokenized gram lists (trigrams in practice — see
+//! `moma_core::blocking::TrigramIndex`, which wraps this type; the
+//! tokenizer itself lives in `moma-simstring`, which depends on this
+//! crate, so it cannot be called from here). Besides batch construction
+//! it supports *delta maintenance*:
+//!
+//! * [`GramIndex::insert`] appends a new value's grams,
+//! * [`GramIndex::remove`] **tombstones** a value: the id stays in the
+//!   posting lists but is filtered out of probe results, making removal
+//!   O(1) instead of O(total postings),
+//! * [`GramIndex::replace`] surgically swaps one value's grams (the
+//!   caller supplies the old grams, which the index does not store),
+//! * [`GramIndex::apply_delta`] batches the three against a
+//!   [`GramIndexDelta`].
+//!
+//! ## Compaction trade-off
+//!
+//! Tombstones make removal cheap but leave dead entries in the posting
+//! lists: probes pay one hash lookup per dead candidate, and gram
+//! document frequencies are over-counted (harmless for the prefix-filter
+//! guarantee — any `k`-gram subset works — but it skews the rarest-gram
+//! heuristic toward stale statistics). [`GramIndex::remove`] therefore
+//! triggers [`GramIndex::compact`] — a full O(postings) sweep — once
+//! tombstones exceed [`COMPACTION_RATIO`] of the live population, which
+//! amortizes the sweep to O(1) per removal while bounding dead-entry
+//! overhead to a constant factor.
+
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// Compact when `tombstones > live * COMPACTION_RATIO` (and at least a
+/// handful of tombstones exist — tiny indexes aren't worth sweeping).
+pub const COMPACTION_RATIO: f64 = 0.25;
+
+/// Minimum number of tombstones before a compaction sweep is considered.
+const COMPACTION_FLOOR: usize = 16;
+
+/// Inverted index from gram to the ids of the values containing it.
+///
+/// Values that produce no grams at all (empty strings after
+/// normalization) leave no posting entries — they can never be probe
+/// candidates — but still count as indexed values through `live`, so
+/// [`GramIndex::len`] / [`GramIndex::all_ids`] report them.
+#[derive(Debug, Default, Clone)]
+pub struct GramIndex {
+    postings: FxHashMap<String, Vec<u32>>,
+    /// Ids currently indexed and not tombstoned.
+    live: FxHashSet<u32>,
+    /// Removed ids whose posting entries have not been swept yet.
+    tombstones: FxHashSet<u32>,
+}
+
+impl GramIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index one value's (deduplicated) grams. Inserting an id that is
+    /// already live is rejected with `false` — use
+    /// [`GramIndex::replace`] to change a live value.
+    pub fn insert(&mut self, id: u32, grams: &[String]) -> bool {
+        if self.live.contains(&id) {
+            return false;
+        }
+        if self.tombstones.contains(&id) {
+            // Re-inserting a removed id must not resurrect its stale
+            // postings; purge them first.
+            self.compact();
+        }
+        self.live.insert(id);
+        for g in grams {
+            self.postings.entry(g.clone()).or_default().push(id);
+        }
+        true
+    }
+
+    /// Tombstone a live id; returns whether it was live. May trigger a
+    /// compaction sweep (see module docs).
+    pub fn remove(&mut self, id: u32) -> bool {
+        if !self.live.remove(&id) {
+            return false;
+        }
+        self.tombstones.insert(id);
+        self.maybe_compact();
+        true
+    }
+
+    /// Replace a live value's grams: `old_grams` entries are surgically
+    /// removed from their posting lists (relative order of the remaining
+    /// ids is preserved), `new_grams` appended. Returns `false` (and does
+    /// nothing) if `id` is not live.
+    pub fn replace(&mut self, id: u32, old_grams: &[String], new_grams: &[String]) -> bool {
+        if !self.live.contains(&id) {
+            return false;
+        }
+        for g in old_grams {
+            if let Some(list) = self.postings.get_mut(g.as_str()) {
+                list.retain(|&x| x != id);
+                if list.is_empty() {
+                    self.postings.remove(g.as_str());
+                }
+            }
+        }
+        for g in new_grams {
+            self.postings.entry(g.clone()).or_default().push(id);
+        }
+        true
+    }
+
+    /// Apply a batch of changes.
+    pub fn apply_delta(&mut self, delta: &GramIndexDelta) {
+        for &id in &delta.removed {
+            self.remove(id);
+        }
+        for (id, old, new) in &delta.replaced {
+            self.replace(*id, old, new);
+        }
+        for (id, grams) in &delta.added {
+            self.insert(*id, grams);
+        }
+    }
+
+    /// Sweep tombstoned ids out of the posting lists.
+    pub fn compact(&mut self) {
+        if self.tombstones.is_empty() {
+            return;
+        }
+        let dead = std::mem::take(&mut self.tombstones);
+        self.postings.retain(|_, list| {
+            list.retain(|id| !dead.contains(id));
+            !list.is_empty()
+        });
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.tombstones.len() >= COMPACTION_FLOOR
+            && self.tombstones.len() as f64 > self.live.len() as f64 * COMPACTION_RATIO
+        {
+            self.compact();
+        }
+    }
+
+    /// Number of unswept tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Number of live indexed values.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Whether `id` is indexed and not tombstoned.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live.contains(&id)
+    }
+
+    /// Document frequency of a gram — the length of its posting list,
+    /// *including* unswept tombstone entries (exact again after
+    /// [`GramIndex::compact`]).
+    pub fn df(&self, gram: &str) -> usize {
+        self.postings.get(gram).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Union of the posting lists of the `k` rarest `query_grams`
+    /// (rarity by [`GramIndex::df`]), tombstones filtered out.
+    /// `query_grams` should be deduplicated; `k` is clamped to its
+    /// length.
+    pub fn candidates(&self, query_grams: &mut [String], k: usize) -> FxHashSet<u32> {
+        query_grams.sort_by_key(|g| self.df(g));
+        let mut out = FxHashSet::default();
+        for g in query_grams.iter().take(k) {
+            if let Some(p) = self.postings.get(g.as_str()) {
+                out.extend(p.iter().filter(|id| !self.tombstones.contains(id)));
+            }
+        }
+        out
+    }
+
+    /// All live ids — including gramless values, so this always has
+    /// exactly [`GramIndex::len`] entries.
+    pub fn all_ids(&self) -> FxHashSet<u32> {
+        self.live.clone()
+    }
+
+    /// Merge in an index built from a *later* contiguous input shard:
+    /// posting lists are appended in order, so per-gram id order matches
+    /// a sequential build over the concatenated input. Both indexes must
+    /// be tombstone-free (freshly built).
+    pub fn absorb(&mut self, other: GramIndex) {
+        debug_assert!(self.tombstones.is_empty() && other.tombstones.is_empty());
+        self.live.extend(other.live);
+        for (g, ids) in other.postings {
+            self.postings.entry(g).or_default().extend(ids);
+        }
+    }
+}
+
+/// A batch of index changes, pre-tokenized by the caller.
+#[derive(Debug, Clone, Default)]
+pub struct GramIndexDelta {
+    /// `(id, grams)` of newly indexed values.
+    pub added: Vec<(u32, Vec<String>)>,
+    /// Ids to tombstone.
+    pub removed: Vec<u32>,
+    /// `(id, old grams, new grams)` of changed values.
+    pub replaced: Vec<(u32, Vec<String>, Vec<String>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grams(s: &str) -> Vec<String> {
+        // Cheap word-gram tokenizer for tests; the real trigram tokenizer
+        // lives upstream in moma-simstring.
+        let mut v: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn probe(idx: &GramIndex, q: &str) -> FxHashSet<u32> {
+        let mut g = grams(q);
+        let k = g.len();
+        idx.candidates(&mut g, k)
+    }
+
+    fn sample() -> GramIndex {
+        let mut idx = GramIndex::new();
+        idx.insert(0, &grams("data cleaning system"));
+        idx.insert(1, &grams("schema matching cupid"));
+        idx.insert(2, &grams("fuzzy match data cleaning"));
+        idx.insert(3, &grams(""));
+        idx
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let idx = sample();
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.df("data"), 2);
+        assert_eq!(idx.df("cupid"), 1);
+        let c = probe(&idx, "data cleaning");
+        assert!(c.contains(&0) && c.contains(&2) && !c.contains(&1));
+        assert_eq!(idx.all_ids().len(), 4);
+        assert!(idx.all_ids().contains(&3)); // gramless still reported
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut idx = sample();
+        assert!(!idx.insert(0, &grams("other")));
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.df("other"), 0);
+    }
+
+    #[test]
+    fn remove_tombstones_and_filters_probes() {
+        let mut idx = sample();
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0)); // duplicate removal: no-op
+        assert!(!idx.remove(99));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.tombstone_count(), 1);
+        // Postings still hold the dead id (df over-counts)…
+        assert_eq!(idx.df("data"), 2);
+        // …but probes never return it.
+        let c = probe(&idx, "data cleaning");
+        assert!(!c.contains(&0) && c.contains(&2));
+        assert!(!idx.all_ids().contains(&0));
+        // Compaction makes df exact again.
+        idx.compact();
+        assert_eq!(idx.tombstone_count(), 0);
+        assert_eq!(idx.df("data"), 1);
+        assert_eq!(probe(&idx, "data cleaning"), {
+            let mut s = FxHashSet::default();
+            s.insert(2);
+            s
+        });
+    }
+
+    #[test]
+    fn remove_gramless_value() {
+        let mut idx = sample();
+        assert!(idx.remove(3));
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.all_ids().contains(&3));
+        idx.compact();
+        assert!(!idx.all_ids().contains(&3));
+    }
+
+    #[test]
+    fn replace_swaps_postings_surgically() {
+        let mut idx = sample();
+        let old = grams("schema matching cupid");
+        let new = grams("entity resolution survey");
+        assert!(idx.replace(1, &old, &new));
+        assert_eq!(idx.df("cupid"), 0);
+        assert_eq!(idx.df("survey"), 1);
+        assert!(probe(&idx, "entity resolution").contains(&1));
+        assert!(probe(&idx, "schema cupid").is_empty());
+        // Replace on a non-live id is a no-op.
+        assert!(!idx.replace(99, &old, &new));
+        // To/from gramless.
+        assert!(idx.replace(1, &grams("entity resolution survey"), &grams("")));
+        assert!(idx.all_ids().contains(&1));
+        assert!(probe(&idx, "entity resolution").is_empty());
+        assert!(idx.replace(1, &grams(""), &grams("back again")));
+        assert!(probe(&idx, "back").contains(&1));
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn reinsert_after_remove_purges_stale_postings() {
+        let mut idx = sample();
+        idx.remove(0);
+        assert!(idx.insert(0, &grams("brand new value")));
+        assert_eq!(idx.tombstone_count(), 0); // compacted on the way in
+        assert_eq!(idx.df("data"), 1); // stale entry gone
+        assert!(probe(&idx, "brand new").contains(&0));
+        assert!(!probe(&idx, "data cleaning").contains(&0));
+    }
+
+    #[test]
+    fn automatic_compaction_bounds_tombstones() {
+        let mut idx = GramIndex::new();
+        for i in 0..200u32 {
+            idx.insert(i, &grams(&format!("value number {i}")));
+        }
+        for i in 0..150u32 {
+            idx.remove(i);
+        }
+        assert_eq!(idx.len(), 50);
+        // Tombstones never exceed the compaction bound by far.
+        assert!(
+            idx.tombstone_count() <= COMPACTION_FLOOR.max((50.0 * COMPACTION_RATIO) as usize + 1),
+            "tombstones {} never swept",
+            idx.tombstone_count()
+        );
+        // Every remaining probe answer is live.
+        for i in 150..200u32 {
+            let c = probe(&idx, &format!("value number {i}"));
+            assert!(c.contains(&i));
+            assert!(c.iter().all(|id| *id >= 150));
+        }
+    }
+
+    #[test]
+    fn apply_delta_batches() {
+        let mut idx = sample();
+        let delta = GramIndexDelta {
+            added: vec![(10, grams("new entry data"))],
+            removed: vec![1, 77],
+            replaced: vec![(
+                2,
+                grams("fuzzy match data cleaning"),
+                grams("robust fuzzy match"),
+            )],
+        };
+        idx.apply_delta(&delta);
+        assert_eq!(idx.len(), 4); // -1 +1
+        assert!(probe(&idx, "new entry").contains(&10));
+        assert!(!idx.is_live(1));
+        assert!(probe(&idx, "robust").contains(&2));
+        assert!(!probe(&idx, "data cleaning").contains(&2));
+        assert!(probe(&idx, "data").contains(&10));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild() {
+        // After arbitrary maintenance + compaction the index is
+        // observationally identical to a fresh build of the final state.
+        let mut idx = GramIndex::new();
+        let mut state: std::collections::BTreeMap<u32, String> = Default::default();
+        let texts = [
+            "data cleaning",
+            "schema matching",
+            "entity resolution",
+            "fuzzy match",
+            "record linkage",
+        ];
+        for i in 0..20u32 {
+            let t = texts[i as usize % texts.len()];
+            idx.insert(i, &grams(t));
+            state.insert(i, t.to_owned());
+        }
+        for i in (0..20u32).step_by(3) {
+            idx.remove(i);
+            state.remove(&i);
+        }
+        for i in (1..20u32).step_by(4) {
+            if let Some(old) = state.get(&i).cloned() {
+                idx.replace(i, &grams(&old), &grams("replaced value"));
+                state.insert(i, "replaced value".to_owned());
+            }
+        }
+        idx.compact();
+        let mut fresh = GramIndex::new();
+        for (&id, text) in &state {
+            fresh.insert(id, &grams(text));
+        }
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.all_ids(), fresh.all_ids());
+        for text in texts.iter().copied().chain(["replaced value"]) {
+            for g in grams(text) {
+                assert_eq!(idx.df(&g), fresh.df(&g), "gram {g}");
+            }
+            assert_eq!(probe(&idx, text), probe(&fresh, text), "probe {text}");
+        }
+    }
+
+    #[test]
+    fn candidates_respects_k() {
+        let idx = sample();
+        let mut g = grams("data cupid");
+        // k = 1 probes only the rarest gram ("cupid", df 1).
+        let c = idx.candidates(&mut g, 1);
+        assert_eq!(g[0], "cupid"); // sorted rarest-first in place
+        assert!(c.contains(&1) && !c.contains(&0));
+    }
+
+    #[test]
+    fn absorb_appends_in_shard_order() {
+        let mut a = GramIndex::new();
+        a.insert(0, &grams("alpha beta"));
+        let mut b = GramIndex::new();
+        b.insert(1, &grams("beta gamma"));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.df("beta"), 2);
+        // Order within the shared posting follows shard order.
+        assert!(probe(&a, "beta").contains(&0) && probe(&a, "beta").contains(&1));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`exec`] — the deterministic sharded-execution layer
 //!   ([`Parallelism`]) behind the parallel joins and matchers,
 //! * [`agg`] — grouped path aggregation for the compose operator,
+//! * [`gram_index`] — an incrementally maintainable inverted gram index
+//!   (tombstoned removal + amortized compaction) backing the blocking
+//!   index of `moma-core` and its delta maintenance,
 //! * [`tsv`] — plain-text persistence of mapping tables,
 //! * [`hash`] — a fast FxHash-style hasher used for all internal maps
 //!   (integer-keyed hashing is on the hot path of every join).
@@ -29,6 +32,7 @@
 
 pub mod agg;
 pub mod exec;
+pub mod gram_index;
 pub mod hash;
 pub mod index;
 pub mod interner;
@@ -38,6 +42,7 @@ pub mod stats;
 pub mod tsv;
 
 pub use exec::Parallelism;
+pub use gram_index::{GramIndex, GramIndexDelta};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::Adjacency;
 pub use interner::StringInterner;

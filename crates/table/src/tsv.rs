@@ -40,6 +40,51 @@ impl From<io::Error> for TsvError {
     }
 }
 
+/// Escape a free-form string for use as one TSV field: backslash, tab,
+/// newline and carriage return become `\\`, `\t`, `\n`, `\r`. Every
+/// other character (quotes, non-ASCII, …) passes through unchanged —
+/// only the characters that would break the line/column structure are
+/// rewritten, so escaped fields stay human-readable.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`]. A backslash followed by anything other
+/// than `\\`/`t`/`n`/`r` — which [`escape_field`] never produces — is
+/// kept literally (lenient, so hand-edited files don't hard-fail).
+pub fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 /// Serialize a table to TSV text (numeric u32 columns).
 pub fn to_string(table: &MappingTable) -> String {
     let mut out = String::with_capacity(16 + table.len() * 24);
@@ -101,7 +146,9 @@ pub fn load(path: impl AsRef<Path>) -> Result<MappingTable, TsvError> {
 }
 
 /// Serialize with string ids: each row becomes
-/// `domain_id \t range_id \t sim`, ids resolved via the two interners.
+/// `domain_id \t range_id \t sim`, ids resolved via the two interners
+/// and escaped with [`escape_field`] so ids containing tabs or newlines
+/// round-trip instead of corrupting the file.
 ///
 /// Unresolvable handles are skipped (they reference instances that no
 /// longer exist).
@@ -114,7 +161,7 @@ pub fn to_string_with_ids(
     let _ = writeln!(out, "#moma-mapping-table-ids\t{}", table.len());
     for c in table.iter() {
         if let (Some(d), Some(r)) = (domain_ids.resolve(c.domain), range_ids.resolve(c.range)) {
-            let _ = writeln!(out, "{d}\t{r}\t{}", c.sim);
+            let _ = writeln!(out, "{}\t{}\t{}", escape_field(d), escape_field(r), c.sim);
         }
     }
     out
@@ -151,7 +198,11 @@ pub fn from_str_with_ids(
                 line: no + 1,
                 msg: format!("sim: {e}"),
             })?;
-        table.push(domain_ids.intern(d), range_ids.intern(r), s);
+        table.push(
+            domain_ids.intern(&unescape_field(d)),
+            range_ids.intern(&unescape_field(r)),
+            s,
+        );
     }
     table.dedup_max();
     Ok(table)
@@ -226,6 +277,56 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.sim_of(0, 1), Some(0.9));
     }
+
+    #[test]
+    fn escape_round_trips_structural_characters() {
+        for s in [
+            "plain",
+            "tab\there",
+            "new\nline",
+            "cr\rreturn",
+            "back\\slash",
+            "quote\"and'quote",
+            "mixé — ünïcode ★",
+            "\\t literal backslash-t",
+            "",
+            "\t\n\r\\",
+        ] {
+            let e = escape_field(s);
+            assert!(
+                !e.contains('\t') && !e.contains('\n') && !e.contains('\r'),
+                "{e:?}"
+            );
+            assert_eq!(unescape_field(&e), s, "round trip of {s:?}");
+        }
+        // Lenient unescape: unknown escapes and trailing backslash pass through.
+        assert_eq!(unescape_field("a\\xb"), "a\\xb");
+        assert_eq!(unescape_field("end\\"), "end\\");
+    }
+
+    #[test]
+    fn id_tsv_round_trips_hostile_ids() {
+        let mut dom = StringInterner::new();
+        let mut ran = StringInterner::new();
+        let a = dom.intern("id with\ttab");
+        let b = ran.intern("id with\nnewline and \"quotes\" and é");
+        let t = MappingTable::from_triples([(a, b, 0.5)]);
+        let text = to_string_with_ids(&t, &dom, &ran);
+        // The file structure survives: exactly one data line, three columns.
+        let data: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].split('\t').count(), 3);
+
+        let mut dom2 = StringInterner::new();
+        let mut ran2 = StringInterner::new();
+        let back = from_str_with_ids(&text, &mut dom2, &mut ran2).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(dom2.resolve(back.rows()[0].domain), Some("id with\ttab"));
+        assert_eq!(
+            ran2.resolve(back.rows()[0].range),
+            Some("id with\nnewline and \"quotes\" and é")
+        );
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +344,40 @@ mod prop_tests {
             prop_assert_eq!(back.len(), t.len());
             for c in t.iter() {
                 let s = back.sim_of(c.domain, c.range).unwrap();
+                prop_assert!((s - c.sim).abs() < 1e-12);
+            }
+        }
+
+        /// Ids containing tabs, newlines, CRs, backslashes, quotes and
+        /// non-ASCII survive the string-id TSV round trip unchanged.
+        /// (The class below embeds real control characters.)
+        #[test]
+        fn id_roundtrip_survives_hostile_characters(
+            ids in prop::collection::vec("[\t\n\r\\\\\"'a-zé★ ]{1,12}", 1..12),
+            sims in prop::collection::vec(0.0f64..=1.0, 12..13),
+        ) {
+            let mut dom = StringInterner::new();
+            let mut ran = StringInterner::new();
+            let rows: Vec<(u32, u32, f64)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    (dom.intern(id), ran.intern(&format!("r-{id}")), sims[i % sims.len()])
+                })
+                .collect();
+            let t = MappingTable::from_triples(rows);
+            let text = to_string_with_ids(&t, &dom, &ran);
+            let mut dom2 = StringInterner::new();
+            let mut ran2 = StringInterner::new();
+            let back = from_str_with_ids(&text, &mut dom2, &mut ran2).unwrap();
+            prop_assert_eq!(back.len(), t.len());
+            for c in t.iter() {
+                let d = dom.resolve(c.domain).unwrap();
+                let r = ran.resolve(c.range).unwrap();
+                let (d2, r2) = (dom2.get(d), ran2.get(r));
+                prop_assert!(d2.is_some() && r2.is_some(),
+                    "id {:?} lost in round trip", d);
+                let s = back.sim_of(d2.unwrap(), r2.unwrap()).unwrap();
                 prop_assert!((s - c.sim).abs() < 1e-12);
             }
         }

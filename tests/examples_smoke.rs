@@ -70,6 +70,11 @@ fn self_tuning() {
 }
 
 #[test]
+fn incremental_matching() {
+    run_example("incremental_matching");
+}
+
+#[test]
 fn workflow_script() {
     run_example("workflow_script");
 }
@@ -82,6 +87,7 @@ fn all_examples_are_covered() {
         "duplicate_detection",
         "bibliographic_integration",
         "parallel_matching",
+        "incremental_matching",
         "hub_integration",
         "self_tuning",
         "workflow_script",
