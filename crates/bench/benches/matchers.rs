@@ -31,6 +31,8 @@ fn bench_attribute_matching(c: &mut Criterion) {
         ("allpairs", Blocking::AllPairs, 1usize),
         ("blocked", Blocking::TrigramPrefix, 1),
         ("blocked_par4", Blocking::TrigramPrefix, 4),
+        ("threshold", Blocking::Threshold, 1),
+        ("threshold_par4", Blocking::Threshold, 4),
     ];
     for (name, blocking, threads) in configs {
         g.bench_with_input(BenchmarkId::new("title_dblp_acm", name), &name, |b, _| {
@@ -43,23 +45,32 @@ fn bench_attribute_matching(c: &mut Criterion) {
     // The large dirty pair: DBLP x GS (thousands of noise entries) —
     // blocked only; all-pairs is omitted as prohibitively slow. The
     // seq/par2/par4 triple is the parallel-speedup comparison: on
-    // 4+ core hardware the par4 row should come in ≥2× under seq.
-    for threads in [1usize, 2, 4] {
-        let name = if threads == 1 {
-            "blocked_seq".to_owned()
+    // 4+ core hardware the par4 row should come in ≥2× under seq. The
+    // threshold rows are the pruned-vs-prefix comparison (see
+    // `bench_report` for the gated version).
+    for blocking in [Blocking::TrigramPrefix, Blocking::Threshold] {
+        let tag = if blocking == Blocking::TrigramPrefix {
+            "blocked"
         } else {
-            format!("blocked_par{threads}")
+            "threshold"
         };
-        g.bench_with_input(
-            BenchmarkId::new("title_dblp_gs", &name),
-            &threads,
-            |b, _| {
-                let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
-                    .with_blocking(Blocking::TrigramPrefix)
-                    .with_parallelism(Parallelism::new(threads));
-                b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_gs).unwrap()))
-            },
-        );
+        for threads in [1usize, 2, 4] {
+            let name = if threads == 1 {
+                format!("{tag}_seq")
+            } else {
+                format!("{tag}_par{threads}")
+            };
+            g.bench_with_input(
+                BenchmarkId::new("title_dblp_gs", &name),
+                &threads,
+                |b, _| {
+                    let m = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
+                        .with_blocking(blocking)
+                        .with_parallelism(Parallelism::new(threads));
+                    b.iter(|| black_box(m.execute(&ctx, s.ids.pub_dblp, s.ids.pub_gs).unwrap()))
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -96,6 +107,34 @@ fn bench_blocking_index(c: &mut Criterion) {
             let mut total = 0usize;
             for (_, v) in values.iter().take(100) {
                 total += index.candidates(v, 0.75).len();
+            }
+            black_box(total)
+        })
+    });
+    // The threshold-exact (T-occurrence) index: costlier to build and
+    // probe per call, but its candidate sets are orders of magnitude
+    // smaller, so the scoring stage it feeds dominates the comparison.
+    g.bench_function("build_threshold_index", |b| {
+        b.iter(|| {
+            black_box(moma_core::blocking::ThresholdIndex::build(
+                moma_simstring::QgramMeasure::Dice,
+                3,
+                0.75,
+                values.iter().map(|(i, v)| (*i, v.as_str())),
+            ))
+        })
+    });
+    let thr_index = moma_core::blocking::ThresholdIndex::build(
+        moma_simstring::QgramMeasure::Dice,
+        3,
+        0.75,
+        values.iter().map(|(i, v)| (*i, v.as_str())),
+    );
+    g.bench_function("probe_100_threshold", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (_, v) in values.iter().take(100) {
+                total += thr_index.candidates(v).len();
             }
             black_box(total)
         })

@@ -17,17 +17,16 @@ use std::process::ExitCode;
 
 use moma_core::MappingRepository;
 use moma_ifuice::loader;
-use moma_ifuice::script::run_script_with;
 use moma_model::SourceRegistry;
 
 const USAGE: &str = "\
 usage:
   moma run <script.ifs> [--source <file.tsv>]... \\
            [--assoc <Name=DomainLds:RangeLds:file.tsv>]... \\
-           [--threads <n>] [--out <file>]
+           [--threads <n>] [--blocking <strategy>] [--out <file>]
   moma check <script.ifs>         parse a script and report errors
   moma delta [--steps <n>] [--churn <f>] [--seed <n>] [--scale small|paper] \\
-             [--threads <n>] [--no-verify]
+             [--threads <n>] [--blocking <strategy>] [--no-verify]
                                   incremental-matching demo on a generated
                                   evolving scenario (see below)
   moma help
@@ -42,12 +41,30 @@ or via get(\"Name\")).
 steps (overrides MOMA_THREADS; 1 = sequential; default: MOMA_THREADS or
 one thread per CPU). Results are identical at every thread count.
 
+--blocking pins the candidate-generation strategy of every attribute
+matcher: `threshold` (exact T-occurrence pruning — identical results to
+all-pairs, pruned before scoring), `trigram-prefix` (fast, lossy for
+non-trigram measures) or `all-pairs` (no pruning). Default: `auto`,
+threshold-exact for q-gram measures and trigram-prefix otherwise.
+
 `moma delta` generates the synthetic DBLP/ACM/GS scenario, matches
 Publication@DBLP x Publication@GS once, then streams seeded source
 deltas (churn fraction of instances per step) through the incremental
 delta-matching engine, printing per-step timings of incremental vs full
 re-match. Unless --no-verify is given every step asserts the patched
 mapping is bit-identical to a full re-match.";
+
+/// Parse a `--blocking` value: `auto` (None) or a concrete strategy.
+fn parse_blocking(name: &str) -> Result<Option<moma_core::blocking::Blocking>, String> {
+    if name.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    moma_core::blocking::Blocking::parse(name)
+        .map(Some)
+        .ok_or_else(|| {
+            format!("--blocking must be auto, threshold, trigram-prefix or all-pairs, got `{name}`")
+        })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +128,7 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
     let mut scale = "small".to_owned();
     let mut threads: Option<usize> = None;
     let mut verify = true;
+    let mut blocking: Option<Blocking> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -140,6 +158,7 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
                 )
             }
             "--no-verify" => verify = false,
+            "--blocking" => blocking = parse_blocking(&num("--blocking")?)?,
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -162,8 +181,10 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
     let s = Scenario::generate(cfg);
     let mut registry = s.registry;
     let (dblp, gs) = (s.ids.pub_dblp, s.ids.pub_gs);
-    let matcher = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75)
-        .with_blocking(Blocking::TrigramPrefix);
+    // Default: threshold-exact blocking (trigram is a q-gram measure).
+    let blocking = blocking.unwrap_or_else(|| Blocking::auto_for(&SimFn::Trigram));
+    let matcher =
+        AttributeMatcher::new("title", "title", SimFn::Trigram, 0.75).with_blocking(blocking);
 
     let t0 = Instant::now();
     let ctx = MatchContext::new(&registry).with_parallelism(par);
@@ -234,6 +255,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut assocs: Vec<&str> = Vec::new();
     let mut out: Option<&str> = None;
     let mut threads: Option<usize> = None;
+    let mut blocking: Option<moma_core::blocking::Blocking> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -241,6 +263,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--source" => sources.push(it.next().ok_or("--source needs a file")?),
             "--assoc" => assocs.push(it.next().ok_or("--assoc needs a spec")?),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?),
+            "--blocking" => {
+                blocking = parse_blocking(it.next().ok_or("--blocking needs a strategy")?)?;
+            }
             "--threads" => {
                 let n = it.next().ok_or("--threads needs a count")?;
                 let n: usize = n
@@ -298,7 +323,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(n) => moma_core::exec::Parallelism::new(n),
         None => moma_core::exec::Parallelism::from_env(),
     };
-    let value = run_script_with(&text, &registry, &repository, par).map_err(|e| e.to_string())?;
+    let script = moma_ifuice::script::parser::parse(&text).map_err(|e| e.to_string())?;
+    let mut interp =
+        moma_ifuice::script::Interpreter::new(&registry, &repository).with_parallelism(par);
+    if let Some(blocking) = blocking {
+        interp = interp.with_blocking(blocking);
+    }
+    let value = interp.run(&script).map_err(|e| e.to_string())?;
     let Some(mapping) = value.as_mapping() else {
         return Err("script did not return a mapping".into());
     };

@@ -1,17 +1,34 @@
 //! Candidate generation (blocking) for attribute matchers.
 //!
 //! Matching large web sources all-pairs is quadratic — the paper's own
-//! Google Scholar dataset has 64k entries. MOMA's attribute matcher
-//! therefore supports *prefix-filtered trigram blocking*: range values are
-//! indexed by character trigram; a domain value probes only its rarest
-//! trigrams, whose number is derived from the similarity threshold so
-//! that any range value clearing the threshold must share at least one
-//! probed gram (standard prefix-filtering argument, transferred from
-//! Jaccard to Dice via `t_j = t_d / (2 - t_d)`).
+//! Google Scholar dataset has 64k entries. This module owns MOMA's two
+//! index-based candidate generators:
 //!
-//! The index storage itself — posting lists, tombstoned removal,
-//! amortized compaction — is [`moma_table::GramIndex`]; this module owns
-//! the trigram tokenization and the threshold→probe-count arithmetic.
+//! * **Prefix-filtered trigram blocking** ([`TrigramIndex`],
+//!   [`Blocking::TrigramPrefix`]): range values are indexed by character
+//!   trigram; a domain value probes only its rarest trigrams, whose
+//!   number is derived from the similarity threshold so that any range
+//!   value clearing the threshold must share at least one probed gram
+//!   (standard prefix-filtering argument, transferred from Jaccard to
+//!   Dice via `t_j = t_d / (2 - t_d)`). Cheap, near-exact, and usable as
+//!   a lossy pre-filter for *non*-trigram measures via a conservative
+//!   Dice floor.
+//! * **Threshold-exact blocking** ([`ThresholdIndex`],
+//!   [`Blocking::Threshold`]): the SimString/CPMerge *T-occurrence*
+//!   engine. Values are tokenized into occurrence-tagged q-grams (so the
+//!   scoring multisets become sets without losing multiplicities) and
+//!   indexed partitioned by gram count
+//!   ([`moma_table::SizeBucketedIndex`]); a probe applies the exact
+//!   per-measure size window and minimum-overlap bounds of
+//!   [`moma_simstring::bounds`] *before* any similarity is computed.
+//!   The candidate set provably contains every pair reaching the
+//!   matcher's threshold — and typically almost nothing else, so the
+//!   expensive scoring stage runs on a fraction of the prefix filter's
+//!   candidates.
+//!
+//! The posting-list storage — tombstoned removal, amortized compaction —
+//! is [`moma_table::GramIndex`] / [`moma_table::SizeBucketedIndex`];
+//! this module owns tokenization and the threshold arithmetic.
 //!
 //! ## Read-only shared-index probing
 //!
@@ -32,20 +49,50 @@
 //! [`TrigramIndex::update`] (surgical posting swap) patch it in place —
 //! the machinery behind [`crate::delta`]'s incremental matching.
 //! Removal leaves dead posting entries behind until the underlying
-//! [`GramIndex`](moma_table::GramIndex) compacts; probes filter them,
+//! [`GramIndex`] compacts; probes filter them,
 //! so candidate sets are always tombstone-exact, while [`TrigramIndex::df`]
 //! may over-count between compactions (harmless for the prefix-filter
 //! guarantee, which holds for *any* choice of probed grams).
 
-use moma_simstring::tokenize::trigrams;
+use moma_simstring::bounds::{qgram_measure_of, QgramMeasure};
+use moma_simstring::tokenize::{qgrams, trigrams};
+use moma_simstring::SimFn;
 use moma_table::exec::Parallelism;
-use moma_table::{FxHashSet, GramIndex};
+use moma_table::{FxHashSet, GramIndex, SizeBucketedIndex};
 
 /// Deduplicated trigram list of a value.
 fn unique_trigrams(value: &str) -> Vec<String> {
     let mut grams = trigrams(value);
     grams.sort_unstable();
     grams.dedup();
+    grams
+}
+
+/// Occurrence-tagged q-grams: the value's padded gram **multiset**
+/// rendered as a duplicate-free list by suffixing the `k`-th repeat of
+/// a gram with `\u{0}k` (NUL cannot appear in normalized text). Set
+/// intersection of two tagged lists equals the multiset intersection of
+/// the raw gram profiles, and the list length equals the multiset
+/// size — exactly the quantities the q-gram scorers in
+/// [`moma_simstring::ngram`] use, which is what makes the
+/// [`ThresholdIndex`] bounds exact. Runs on every index insert, update
+/// and probe, so grams are tagged in place — no per-gram reallocation
+/// for the (overwhelmingly common) non-repeated ones.
+pub(crate) fn tagged_qgrams(value: &str, q: usize) -> Vec<String> {
+    use std::fmt::Write as _;
+    let mut grams = qgrams(value, q);
+    grams.sort_unstable();
+    let mut run = 0usize;
+    for i in 1..grams.len() {
+        // The untagged base of the current repeat streak sits `run + 1`
+        // slots back (everything between it and `i` is already tagged).
+        if grams[i] == grams[i - run - 1] {
+            run += 1;
+            let _ = write!(grams[i], "\u{0}{run}");
+        } else {
+            run = 0;
+        }
+    }
     grams
 }
 
@@ -115,6 +162,13 @@ impl TrigramIndex {
         self.inner.compact();
     }
 
+    /// Override the underlying auto-compaction policy (builder style);
+    /// see [`GramIndex::with_compaction`].
+    pub fn with_compaction(mut self, ratio: f64, floor: usize) -> Self {
+        self.inner = self.inner.with_compaction(ratio, floor);
+        self
+    }
+
     /// Number of unswept tombstones.
     pub fn tombstone_count(&self) -> usize {
         self.inner.tombstone_count()
@@ -149,15 +203,26 @@ impl TrigramIndex {
     /// Candidate range ids for `query` under Dice threshold
     /// `dice_threshold`: union of the postings of the query's rarest
     /// `k = ⌊(1 − t_j)·|G|⌋ + 1` grams (`t_j` the Jaccard equivalent).
+    ///
+    /// A query producing no trigrams returns exactly the indexed values
+    /// that also produced none: two empty gram multisets are identical
+    /// (trigram Dice 1.0), so those — and only those — can clear any
+    /// threshold.
     pub fn candidates(&self, query: &str, dice_threshold: f64) -> FxHashSet<u32> {
         let mut grams = unique_trigrams(query);
         if grams.is_empty() {
-            return FxHashSet::default();
+            return self.inner.gramless_ids();
         }
         let t_d = dice_threshold.clamp(0.0, 1.0);
         let t_j = if t_d >= 1.0 { 1.0 } else { t_d / (2.0 - t_d) };
         let k = (((1.0 - t_j) * grams.len() as f64).floor() as usize + 1).min(grams.len());
         self.inner.candidates(&mut grams, k)
+    }
+
+    /// Live ids whose values produced no trigrams (see
+    /// [`TrigramIndex::candidates`] on the gramless edge).
+    pub fn gramless_ids(&self) -> FxHashSet<u32> {
+        self.inner.gramless_ids()
     }
 
     /// All live ids as candidates (used when the caller disables blocking
@@ -168,15 +233,277 @@ impl TrigramIndex {
     }
 }
 
+/// Index over values tokenized as occurrence-tagged q-grams, probed
+/// with the exact threshold bounds of a fixed
+/// [`QgramMeasure`] — the *T-occurrence*
+/// candidate engine behind [`Blocking::Threshold`].
+///
+/// The measure, gram length `q` and similarity threshold are baked in
+/// at construction: every probe applies
+/// [`QgramMeasure::size_window`] to restrict the size buckets consulted
+/// and [`QgramMeasure::min_overlap`] as the per-candidate count filter,
+/// so [`ThresholdIndex::candidates`] returns a (typically tight)
+/// superset of exactly the values whose similarity to the query reaches
+/// the threshold — **no true match is ever pruned**. Like
+/// [`TrigramIndex`] it is read-only-probeable from any number of
+/// threads and incrementally maintainable (insert / tombstoned remove /
+/// surgical update / compact), which is what lets the delta engine keep
+/// one on each side of a mapping.
+#[derive(Debug, Clone)]
+pub struct ThresholdIndex {
+    inner: SizeBucketedIndex,
+    measure: QgramMeasure,
+    q: usize,
+    threshold: f64,
+}
+
+impl ThresholdIndex {
+    /// Empty index for `measure` over `q`-grams at `threshold` (> 0 —
+    /// at 0 nothing can be pruned and the caller should not block).
+    pub fn new(measure: QgramMeasure, q: usize, threshold: f64) -> Self {
+        debug_assert!(q >= 1, "q-gram length must be at least 1");
+        debug_assert!(threshold > 0.0, "threshold blocking needs t > 0");
+        Self {
+            inner: SizeBucketedIndex::new(),
+            measure,
+            q,
+            threshold,
+        }
+    }
+
+    /// Build the index.
+    pub fn build<'a>(
+        measure: QgramMeasure,
+        q: usize,
+        threshold: f64,
+        values: impl IntoIterator<Item = (u32, &'a str)>,
+    ) -> Self {
+        let mut idx = Self::new(measure, q, threshold);
+        for (id, value) in values {
+            idx.insert(id, value);
+        }
+        idx
+    }
+
+    /// Build the index by sharding `values` across threads (merged in
+    /// shard order; observationally identical to [`ThresholdIndex::build`]).
+    pub fn build_par<V: AsRef<str> + Sync>(
+        measure: QgramMeasure,
+        q: usize,
+        threshold: f64,
+        values: &[(u32, V)],
+        par: &Parallelism,
+    ) -> Self {
+        let mut parts = par
+            .run_sharded(values, |shard| {
+                let mut idx = Self::new(measure, q, threshold);
+                for (id, v) in shard {
+                    idx.insert(*id, v.as_ref());
+                }
+                idx
+            })
+            .into_iter();
+        let mut merged = parts
+            .next()
+            .unwrap_or_else(|| Self::new(measure, q, threshold));
+        for part in parts {
+            merged.inner.absorb(part.inner);
+        }
+        merged
+    }
+
+    fn grams(&self, value: &str) -> Vec<String> {
+        tagged_qgrams(value, self.q)
+    }
+
+    /// Index one value. Returns `false` (a no-op) if `id` is already
+    /// live — use [`ThresholdIndex::update`] to change an indexed value.
+    pub fn insert(&mut self, id: u32, value: &str) -> bool {
+        self.inner.insert(id, &self.grams(value))
+    }
+
+    /// Tombstone an indexed value; returns whether the id was live.
+    pub fn remove(&mut self, id: u32) -> bool {
+        self.inner.remove(id)
+    }
+
+    /// Replace a live value in place (the caller supplies the old value;
+    /// the index stores none). Returns `false` if `id` is not live.
+    pub fn update(&mut self, id: u32, old_value: &str, new_value: &str) -> bool {
+        self.inner
+            .replace(id, &self.grams(old_value), &self.grams(new_value))
+    }
+
+    /// Sweep tombstoned entries out of the posting buckets now.
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+
+    /// Override the underlying auto-compaction policy (builder style);
+    /// see [`SizeBucketedIndex::with_compaction`].
+    pub fn with_compaction(mut self, ratio: f64, floor: usize) -> Self {
+        self.inner = self.inner.with_compaction(ratio, floor);
+        self
+    }
+
+    /// Number of unswept tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.inner.tombstone_count()
+    }
+
+    /// Whether `id` is indexed and not removed.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.inner.is_live(id)
+    }
+
+    /// Number of live indexed values (gramless ones included).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The measure/q/threshold configuration this index prunes for.
+    pub fn config(&self) -> (QgramMeasure, usize, f64) {
+        (self.measure, self.q, self.threshold)
+    }
+
+    /// All live ids (diagnostics; a probe never needs this).
+    pub fn all_ids(&self) -> FxHashSet<u32> {
+        self.inner.all_ids()
+    }
+
+    /// Candidate ids for `query`: every live value whose similarity to
+    /// `query` under the index's measure reaches the index's threshold
+    /// is returned (plus only such near-misses as also clear the exact
+    /// count bound). A gramless query returns exactly the gramless
+    /// values — the only ones it can match (similarity 1.0).
+    pub fn candidates(&self, query: &str) -> FxHashSet<u32> {
+        let grams = self.grams(query);
+        if grams.is_empty() {
+            return if self.threshold <= 1.0 {
+                self.inner.gramless_ids()
+            } else {
+                FxHashSet::default()
+            };
+        }
+        let (lo, hi) = self.measure.size_window(self.threshold, grams.len());
+        if lo > hi {
+            return FxHashSet::default();
+        }
+        let clamp = |s: usize| s.min(u32::MAX as usize) as u32;
+        let (x, t, m) = (grams.len(), self.threshold, self.measure);
+        self.inner
+            .candidates(&grams, clamp(lo), clamp(hi), &|cand_size| {
+                clamp(m.min_overlap(t, x, cand_size as usize))
+            })
+    }
+}
+
+/// A built candidate index of either family, with its probe parameters
+/// baked in — the runtime form of a resolved [`Blocking`] choice,
+/// shared by full matcher execution and the incremental delta engine
+/// (both sides of a [`crate::delta::DeltaMatchState`] hold one).
+#[derive(Debug, Clone)]
+pub enum CandidateIndex {
+    /// Prefix-filtered trigram index probed at a fixed Dice bound
+    /// (the matcher threshold when scoring trigram Dice — near-exact —
+    /// or a conservative floor for other measures — lossy by design).
+    Prefix {
+        /// The trigram index over the indexed side.
+        index: TrigramIndex,
+        /// Dice bound every probe uses.
+        dice_bound: f64,
+    },
+    /// Threshold-exact T-occurrence index (bounds baked in).
+    Threshold(ThresholdIndex),
+}
+
+impl CandidateIndex {
+    /// Candidate ids for one probe value.
+    pub fn candidates(&self, query: &str) -> FxHashSet<u32> {
+        match self {
+            CandidateIndex::Prefix { index, dice_bound } => index.candidates(query, *dice_bound),
+            CandidateIndex::Threshold(index) => index.candidates(query),
+        }
+    }
+
+    /// Index one value (delta maintenance).
+    pub fn insert(&mut self, id: u32, value: &str) -> bool {
+        match self {
+            CandidateIndex::Prefix { index, .. } => index.insert(id, value),
+            CandidateIndex::Threshold(index) => index.insert(id, value),
+        }
+    }
+
+    /// Tombstone an indexed value (delta maintenance).
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self {
+            CandidateIndex::Prefix { index, .. } => index.remove(id),
+            CandidateIndex::Threshold(index) => index.remove(id),
+        }
+    }
+
+    /// Replace a live value in place (delta maintenance).
+    pub fn update(&mut self, id: u32, old_value: &str, new_value: &str) -> bool {
+        match self {
+            CandidateIndex::Prefix { index, .. } => index.update(id, old_value, new_value),
+            CandidateIndex::Threshold(index) => index.update(id, old_value, new_value),
+        }
+    }
+}
+
 /// Candidate-generation strategy of an attribute matcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Blocking {
     /// Score every domain×range pair. Exact, quadratic.
-    #[default]
     AllPairs,
     /// Prefix-filtered trigram blocking (see module docs). Near-exact for
-    /// thresholds ≥ ~0.4; orders of magnitude fewer comparisons.
+    /// trigram-Dice scoring at thresholds ≥ ~0.4; lossy (conservative
+    /// Dice floor) for other measures; orders of magnitude fewer
+    /// comparisons than all-pairs.
     TrigramPrefix,
+    /// Threshold-exact T-occurrence blocking (the default): for q-gram
+    /// measures (trigram Dice, `qgram:*`, `qgramjaccard:*`,
+    /// `qgramcosine:*`, `qgramoverlap:*`) the matcher threshold itself
+    /// prunes candidates *before* scoring with zero loss of matches.
+    /// For every other configuration — non-q-gram measures, TF-IDF, a
+    /// custom candidate floor, or a threshold of 0 — it transparently
+    /// falls back: to all-pairs (exact) when no sound bound exists, or
+    /// to the prefix filter when a candidate floor explicitly opts into
+    /// lossy pruning. Matcher results under this variant are therefore
+    /// always identical to [`Blocking::AllPairs`].
+    #[default]
+    Threshold,
+}
+
+impl Blocking {
+    /// The best self-configuring choice for a similarity function:
+    /// [`Blocking::Threshold`] when the exact bounds apply (q-gram
+    /// family), otherwise [`Blocking::TrigramPrefix`] (lossy floor-based
+    /// pruning — the historical default of scripts and the CLI, which
+    /// prefer speed over exactness for non-q-gram measures).
+    pub fn auto_for(sim: &SimFn) -> Blocking {
+        if qgram_measure_of(sim).is_some() {
+            Blocking::Threshold
+        } else {
+            Blocking::TrigramPrefix
+        }
+    }
+
+    /// Parse a CLI/config name. Accepted (case-insensitive):
+    /// `all-pairs`/`allpairs`, `trigram-prefix`/`prefix`, `threshold`.
+    pub fn parse(name: &str) -> Option<Blocking> {
+        match name.to_ascii_lowercase().as_str() {
+            "all-pairs" | "allpairs" => Some(Blocking::AllPairs),
+            "trigram-prefix" | "trigramprefix" | "prefix" => Some(Blocking::TrigramPrefix),
+            "threshold" => Some(Blocking::Threshold),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +511,7 @@ mod tests {
     use super::*;
     use moma_simstring::ngram::trigram;
 
-    fn titles() -> Vec<(u32, &'static str)> {
+    pub(super) fn titles() -> Vec<(u32, &'static str)> {
         vec![
             (0, "A formal perspective on the view selection problem"),
             (1, "Generic Schema Matching with Cupid"),
@@ -397,6 +724,189 @@ mod tests {
 }
 
 #[cfg(test)]
+mod threshold_tests {
+    use super::*;
+    use moma_simstring::ngram::{qgram_cosine, qgram_dice, qgram_jaccard, qgram_overlap};
+
+    fn eval(m: QgramMeasure, a: &str, b: &str, q: usize) -> f64 {
+        match m {
+            QgramMeasure::Dice => qgram_dice(a, b, q),
+            QgramMeasure::Jaccard => qgram_jaccard(a, b, q),
+            QgramMeasure::Cosine => qgram_cosine(a, b, q),
+            QgramMeasure::Overlap => qgram_overlap(a, b, q),
+        }
+    }
+
+    #[test]
+    fn tagged_qgrams_encode_multiplicity() {
+        // "aaaa" -> ##a #aa aaa aaa aa# a## : 6 grams, "aaa" twice.
+        let g = tagged_qgrams("aaaa", 3);
+        assert_eq!(g.len(), 6);
+        assert!(g.contains(&"aaa".to_owned()));
+        assert!(g.contains(&"aaa\u{0}1".to_owned()));
+        // All entries unique (the whole point of tagging).
+        let unique: FxHashSet<&String> = g.iter().collect();
+        assert_eq!(unique.len(), g.len());
+        // A long repeat streak tags every occurrence distinctly.
+        let long = tagged_qgrams(&"a".repeat(15), 3);
+        assert_eq!(long.len(), 17);
+        let unique: FxHashSet<&String> = long.iter().collect();
+        assert_eq!(unique.len(), long.len());
+        // Intersection of tagged sets == multiset intersection.
+        let h = tagged_qgrams("aaa", 3); // ##a #aa aaa aa# a## : 5 grams
+        let shared = g.iter().filter(|x| h.contains(x)).count();
+        let expected = qgram_dice("aaaa", "aaa", 3) * (g.len() + h.len()) as f64 / 2.0;
+        assert_eq!(shared as f64, expected.round());
+        assert!(tagged_qgrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn titles_threshold_probe_is_exact_superset() {
+        let data = super::tests::titles();
+        for m in moma_simstring::bounds::ALL_MEASURES {
+            for t in [0.5, 0.8] {
+                let idx = ThresholdIndex::build(m, 3, t, data.iter().copied());
+                for (_, q) in &data {
+                    let cands = idx.candidates(q);
+                    for (id, v) in &data {
+                        if eval(m, q, v, 3) >= t {
+                            assert!(cands.contains(id), "{m:?} t={t}: missed `{v}` for `{q}`");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_more_than_prefix_filter_here() {
+        // Not a theorem, but on this data the exact filter is strictly
+        // tighter than the prefix union for a selective probe.
+        let data = super::tests::titles();
+        let prefix = TrigramIndex::build(data.iter().copied());
+        let exact = ThresholdIndex::build(QgramMeasure::Dice, 3, 0.8, data.iter().copied());
+        let q = "A formal perspective on the view selection problem";
+        assert!(exact.candidates(q).len() <= prefix.candidates(q, 0.8).len());
+        // The unrelated probe is pruned to nothing by both.
+        assert!(exact.candidates("zzzz qqqq xxxx").is_empty());
+    }
+
+    #[test]
+    fn gramless_query_matches_gramless_values_only() {
+        let idx = ThresholdIndex::build(
+            QgramMeasure::Dice,
+            3,
+            0.7,
+            [(0, ""), (1, "!!"), (2, "data")],
+        );
+        // "" and "!!" normalize to no grams: they match each other at
+        // similarity 1.0 and nothing else.
+        for q in ["", "?!"] {
+            let c = idx.candidates(q);
+            assert_eq!(c, [0u32, 1].into_iter().collect::<FxHashSet<_>>());
+        }
+        assert!(!idx.candidates("data").contains(&0));
+        assert!(idx.candidates("data").contains(&2));
+    }
+
+    #[test]
+    fn maintenance_matches_rebuild() {
+        let mut idx = ThresholdIndex::build(QgramMeasure::Dice, 3, 0.5, super::tests::titles());
+        assert!(idx.remove(2));
+        assert!(!idx.remove(2));
+        assert!(idx.update(
+            1,
+            "Generic Schema Matching with Cupid",
+            "Reference Reconciliation in Complex Spaces",
+        ));
+        assert!(idx.insert(5, "Data Cleaning: Problems and Current Approaches"));
+        assert!(!idx.insert(5, "duplicate insert is rejected"));
+        idx.compact();
+        let fresh = ThresholdIndex::build(
+            QgramMeasure::Dice,
+            3,
+            0.5,
+            [
+                (0, "A formal perspective on the view selection problem"),
+                (1, "Reference Reconciliation in Complex Spaces"),
+                (
+                    3,
+                    "Robust and Efficient Fuzzy Match for Online Data Cleaning",
+                ),
+                (4, "A formal perspective on the view selection problem."),
+                (5, "Data Cleaning: Problems and Current Approaches"),
+            ],
+        );
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.all_ids(), fresh.all_ids());
+        for q in [
+            "view selection",
+            "reference reconciliation",
+            "data cleaning problems",
+            "fuzzy match online",
+        ] {
+            assert_eq!(idx.candidates(q), fresh.candidates(q), "probe {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical() {
+        let data: Vec<(u32, &str)> = super::tests::titles()
+            .into_iter()
+            .chain([(90, ""), (91, "ab"), (92, "!!")])
+            .collect();
+        let seq = ThresholdIndex::build(QgramMeasure::Jaccard, 3, 0.4, data.iter().copied());
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads).with_min_shard_size(1);
+            let p = ThresholdIndex::build_par(QgramMeasure::Jaccard, 3, 0.4, &data, &par);
+            assert_eq!(p.len(), seq.len(), "threads={threads}");
+            for (_, v) in &data {
+                assert_eq!(p.candidates(v), seq.candidates(v), "probe {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_index_dispatch() {
+        let data = super::tests::titles();
+        let mut prefix = CandidateIndex::Prefix {
+            index: TrigramIndex::build(data.iter().copied()),
+            dice_bound: 0.6,
+        };
+        let mut exact = CandidateIndex::Threshold(ThresholdIndex::build(
+            QgramMeasure::Dice,
+            3,
+            0.6,
+            data.iter().copied(),
+        ));
+        let q = "A formal perspective on the view selection problem";
+        for idx in [&mut prefix, &mut exact] {
+            assert!(idx.candidates(q).contains(&0));
+            assert!(idx.remove(0));
+            assert!(!idx.candidates(q).contains(&0));
+            assert!(idx.insert(0, q));
+            assert!(idx.update(0, q, "something else entirely"));
+            assert!(!idx.candidates(q).contains(&0));
+        }
+    }
+
+    #[test]
+    fn blocking_helpers() {
+        assert_eq!(Blocking::default(), Blocking::Threshold);
+        assert_eq!(Blocking::auto_for(&SimFn::Trigram), Blocking::Threshold);
+        assert_eq!(
+            Blocking::auto_for(&SimFn::QgramJaccard(2)),
+            Blocking::Threshold
+        );
+        assert_eq!(Blocking::auto_for(&SimFn::Jaro), Blocking::TrigramPrefix);
+        assert_eq!(Blocking::parse("threshold"), Some(Blocking::Threshold));
+        assert_eq!(Blocking::parse("ALL-PAIRS"), Some(Blocking::AllPairs));
+        assert_eq!(Blocking::parse("prefix"), Some(Blocking::TrigramPrefix));
+        assert_eq!(Blocking::parse("nope"), None);
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use super::*;
     use moma_simstring::ngram::trigram;
@@ -419,6 +929,40 @@ mod prop_tests {
                 if trigram(&query, v) >= t {
                     prop_assert!(cands.contains(&(i as u32)),
                         "missed `{}` for `{}` at t={}", v, query, t);
+                }
+            }
+        }
+
+        /// The T-occurrence engine makes the same promise for all four
+        /// q-gram measures — including repeat-heavy strings where the
+        /// multiset/set distinction matters — and additionally generates
+        /// nothing outside the exact count criterion (verified against
+        /// direct scoring).
+        #[test]
+        fn threshold_index_no_false_dismissals(
+            values in prop::collection::vec("[a-c][a-c ]{0,11}", 1..20),
+            query in "[a-c][a-c ]{0,11}",
+            t in 0.3f64..=1.0,
+            q in 2usize..4,
+        ) {
+            use moma_simstring::ngram::{qgram_cosine, qgram_dice, qgram_jaccard, qgram_overlap};
+            for m in moma_simstring::bounds::ALL_MEASURES {
+                let idx = ThresholdIndex::build(
+                    m, q, t,
+                    values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str())),
+                );
+                let cands = idx.candidates(&query);
+                for (i, v) in values.iter().enumerate() {
+                    let s = match m {
+                        QgramMeasure::Dice => qgram_dice(&query, v, q),
+                        QgramMeasure::Jaccard => qgram_jaccard(&query, v, q),
+                        QgramMeasure::Cosine => qgram_cosine(&query, v, q),
+                        QgramMeasure::Overlap => qgram_overlap(&query, v, q),
+                    };
+                    if s >= t {
+                        prop_assert!(cands.contains(&(i as u32)),
+                            "{:?} q={} t={}: missed `{}` (sim {}) for `{}`", m, q, t, v, s, query);
+                    }
                 }
             }
         }

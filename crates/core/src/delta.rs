@@ -31,9 +31,19 @@
 //! with respect to the scoring measure. [`DeltaMatchState::apply`]
 //! therefore runs incrementally for
 //!
-//! * any fixed similarity function with [`Blocking::AllPairs`], and
+//! * any fixed similarity function whose resolved plan scores all pairs
+//!   (explicit [`Blocking::AllPairs`], or [`Blocking::Threshold`]
+//!   falling back for a non-q-gram measure),
+//! * any q-gram measure under [`Blocking::Threshold`] — the
+//!   T-occurrence bounds are exact and *symmetric*, so both-side
+//!   [`ThresholdIndex`](crate::blocking::ThresholdIndex)es are
+//!   maintained, and
 //! * trigram-Dice scoring ([`SimFn::Trigram`] / `QgramDice(3)` without a
 //!   custom candidate floor) with [`Blocking::TrigramPrefix`];
+//!
+//! [`Blocking::AllPairs`]: crate::blocking::Blocking::AllPairs
+//! [`Blocking::Threshold`]: crate::blocking::Blocking::Threshold
+//! [`Blocking::TrigramPrefix`]: crate::blocking::Blocking::TrigramPrefix
 //!
 //! for every other configuration — TF-IDF (its corpus is global: one
 //! added document changes every weight) or blocked scoring with a
@@ -51,9 +61,10 @@ use moma_model::{AppliedDelta, LdsId};
 use moma_simstring::SimFn;
 use moma_table::{Correspondence, FxHashSet, MappingTable};
 
-use crate::blocking::{Blocking, TrigramIndex};
+use crate::blocking::CandidateIndex;
 use crate::error::{CoreError, Result};
 use crate::mapping::Mapping;
+use crate::matchers::attribute::CandidatePlan;
 use crate::matchers::{AttributeMatcher, MatchContext, Matcher, MatcherSim};
 use crate::repository::MappingRepository;
 
@@ -69,12 +80,13 @@ pub struct DeltaMatchState {
     domain_vals: Vec<Option<String>>,
     /// Same for the range attribute.
     range_vals: Vec<Option<String>>,
-    /// Incrementally maintained index over live range values
-    /// (blocked-incremental mode only).
-    range_index: Option<TrigramIndex>,
+    /// Incrementally maintained candidate index over live range values
+    /// (blocked-incremental mode only; prefix or threshold family per
+    /// the matcher's resolved plan).
+    range_index: Option<CandidateIndex>,
     /// Index over live domain values, probed *inversely* by touched
     /// range values (blocked-incremental mode only).
-    domain_index: Option<TrigramIndex>,
+    domain_index: Option<CandidateIndex>,
     mapping: Mapping,
     incremental: bool,
     /// Rows re-scored by the last [`DeltaMatchState::apply`] call
@@ -83,16 +95,23 @@ pub struct DeltaMatchState {
 }
 
 /// Whether a matcher configuration supports incremental delta execution
-/// with the identical-result guarantee (see module docs).
+/// with the identical-result guarantee (see module docs). Decided on the
+/// *resolved* candidate plan: all-pairs and threshold-exact plans are
+/// always incremental for fixed measures; prefix-filtered plans only
+/// when the filter is exact for the scoring measure (trigram Dice at
+/// the matcher threshold, no custom floor).
 fn supports_incremental(m: &AttributeMatcher) -> bool {
-    match (&m.sim, m.blocking) {
-        (MatcherSim::TfIdf, _) => false,
-        (MatcherSim::Fixed(_), Blocking::AllPairs) => true,
-        (MatcherSim::Fixed(SimFn::Trigram), Blocking::TrigramPrefix)
-        | (MatcherSim::Fixed(SimFn::QgramDice(3)), Blocking::TrigramPrefix) => {
-            m.candidate_floor.is_none()
+    if matches!(m.sim, MatcherSim::TfIdf) {
+        return false;
+    }
+    match m.candidate_plan() {
+        CandidatePlan::AllPairs | CandidatePlan::Threshold { .. } => true,
+        CandidatePlan::Prefix { .. } => {
+            matches!(
+                m.sim,
+                MatcherSim::Fixed(SimFn::Trigram) | MatcherSim::Fixed(SimFn::QgramDice(3))
+            ) && m.candidate_floor.is_none()
         }
-        (MatcherSim::Fixed(_), Blocking::TrigramPrefix) => false,
     }
 }
 
@@ -120,17 +139,18 @@ impl AttributeMatcher {
         let domain_vals = project(domain, &self.domain_attr)?;
         let range_vals = project(range, &self.range_attr)?;
 
-        let build = |vals: &[Option<String>]| -> TrigramIndex {
+        let build = |vals: &[Option<String>]| -> Option<CandidateIndex> {
             let pairs: Vec<(u32, &str)> = vals
                 .iter()
                 .enumerate()
                 .filter_map(|(i, v)| v.as_deref().map(|v| (i as u32, v)))
                 .collect();
-            TrigramIndex::build_par(&pairs, &par)
+            self.build_candidate_index(&pairs, &par)
         };
-        let (domain_index, range_index) = if incremental && self.blocking == Blocking::TrigramPrefix
-        {
-            (Some(build(&domain_vals)), Some(build(&range_vals)))
+        let (domain_index, range_index) = if incremental {
+            // `build_candidate_index` returns None for all-pairs plans,
+            // so only genuinely blocked configurations pay for indexes.
+            (build(&domain_vals), build(&range_vals))
         } else {
             (None, None)
         };
@@ -169,7 +189,7 @@ impl AttributeMatcher {
 /// finds the cache already current and degenerates to no-ops.
 fn sync_value(
     vals: &mut Vec<Option<String>>,
-    index: &mut Option<TrigramIndex>,
+    index: &mut Option<CandidateIndex>,
     id: u32,
     new: Option<String>,
 ) {
@@ -304,7 +324,6 @@ impl DeltaMatchState {
             unreachable!("TfIdf never reaches the incremental path");
         };
         let threshold = self.matcher.threshold;
-        let cand_t = self.matcher.effective_candidate_threshold();
 
         // 4a. Touched domain values × current range side.
         let range_vals = &self.range_vals;
@@ -314,7 +333,7 @@ impl DeltaMatchState {
             for (d_idx, d_val) in chunk {
                 match range_index {
                     Some(idx) => {
-                        for cand in idx.candidates(d_val, cand_t) {
+                        for cand in idx.candidates(d_val) {
                             let r_val = range_vals[cand as usize]
                                 .as_deref()
                                 .expect("live candidate has a value");
@@ -349,7 +368,7 @@ impl DeltaMatchState {
             for (r_idx, r_val) in chunk {
                 match domain_index {
                     Some(idx) => {
-                        for cand in idx.candidates(r_val, cand_t) {
+                        for cand in idx.candidates(r_val) {
                             let d_val = domain_vals[cand as usize]
                                 .as_deref()
                                 .expect("live candidate has a value");
@@ -409,6 +428,7 @@ impl DeltaMatchState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blocking::Blocking;
     use crate::exec::Parallelism;
     use crate::ops::compose::{PathAgg, PathCombine};
     use crate::repository::Recipe;
@@ -470,7 +490,8 @@ mod tests {
     #[test]
     fn incremental_tracks_adds_updates_removes_allpairs() {
         let (mut reg, d, a) = setup();
-        let matcher = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.7);
+        let matcher = AttributeMatcher::new("title", "title", SimFn::Trigram, 0.7)
+            .with_blocking(Blocking::AllPairs);
         let deltas = vec![
             SourceDelta::new(a).add(
                 "a9",
@@ -519,6 +540,37 @@ mod tests {
             ),
         ];
         assert_incremental_equals_full(&matcher, &mut reg, d, a, deltas);
+    }
+
+    #[test]
+    fn incremental_tracks_changes_threshold_blocked() {
+        // The default blocking: threshold-exact indexes on both sides,
+        // maintained in place (bucket moves on updates, tombstones on
+        // removals, gramless transitions on attribute clears).
+        for sim in [SimFn::Trigram, SimFn::QgramJaccard(3)] {
+            let (mut reg, d, a) = setup();
+            let matcher = AttributeMatcher::new("title", "title", sim, 0.5);
+            assert_eq!(matcher.blocking, Blocking::Threshold);
+            let deltas = vec![
+                SourceDelta::new(a)
+                    .add(
+                        "a9",
+                        vec![(
+                            "title".into(),
+                            "Potter's Wheel: Interactive Cleaning".into(),
+                        )],
+                    )
+                    .remove("a0"),
+                SourceDelta::new(d).update(
+                    "d3",
+                    "title",
+                    Some("Fuzzy Match for Online Data Cleaning".into()),
+                ),
+                SourceDelta::new(d).update("d2", "title", Some("!!".into())), // to gramless
+                SourceDelta::new(d).update("d2", "title", Some("Potter's Wheel".into())),
+            ];
+            assert_incremental_equals_full(&matcher, &mut reg, d, a, deltas);
+        }
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //! * **Workflow steps** execute independent matcher inputs of one step
 //!   concurrently, and route the compose operator through the parallel
 //!   hash join ([`moma_table::join::par_hash_join`]).
-//! * **Index construction** ([`TrigramIndex::build_par`]
-//!   (crate::blocking::TrigramIndex::build_par)) builds per-shard postings
-//!   maps merged in shard order.
+//! * **Index construction**
+//!   ([`TrigramIndex::build_par`](crate::blocking::TrigramIndex::build_par))
+//!   builds per-shard postings maps merged in shard order.
 //!
 //! All three are bit-identical to their sequential counterparts — the
 //! shards are contiguous input ranges and the merge order is fixed — so

@@ -6,10 +6,11 @@
 //! similarity threshold to be exceeded by result correspondences."
 
 use moma_model::LdsId;
+use moma_simstring::bounds::{qgram_measure_of, QgramMeasure};
 use moma_simstring::{SimFn, TfIdfCorpus};
 use moma_table::{Correspondence, MappingTable};
 
-use crate::blocking::{Blocking, TrigramIndex};
+use crate::blocking::{Blocking, CandidateIndex, ThresholdIndex, TrigramIndex};
 use crate::error::Result;
 use crate::exec::Parallelism;
 use crate::mapping::Mapping;
@@ -23,6 +24,27 @@ pub enum MatcherSim {
     /// TF-IDF cosine with the corpus built from both attribute columns at
     /// execution time.
     TfIdf,
+}
+
+/// The concrete candidate-generation plan a [`Blocking`] choice
+/// resolves to for a given matcher configuration (see
+/// [`AttributeMatcher::candidate_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CandidatePlan {
+    /// Score every pair.
+    AllPairs,
+    /// Prefix-filtered trigram index probed at a fixed Dice bound.
+    Prefix {
+        /// Dice bound of every probe (matcher threshold or custom floor).
+        dice_bound: f64,
+    },
+    /// Threshold-exact T-occurrence index (matcher threshold baked in).
+    Threshold {
+        /// The q-gram measure the matcher scores with.
+        measure: QgramMeasure,
+        /// Gram length.
+        q: usize,
+    },
 }
 
 /// Generic single-attribute matcher.
@@ -46,11 +68,22 @@ pub struct AttributeMatcher {
     /// trigram Dice; for any other measure a conservative floor is used
     /// (default 0.3) so near-matches under e.g. person-name similarity
     /// still surface as candidates.
+    ///
+    /// Setting a floor is an **explicit opt-in to lossy pruning**: under
+    /// both blocked modes — [`Blocking::TrigramPrefix`] *and* the
+    /// default [`Blocking::Threshold`] — a `Some` floor routes candidate
+    /// generation through the prefix filter at that bound, dropping
+    /// pairs whose trigram Dice falls below it even if the scoring
+    /// measure would clear the matcher threshold.
     pub candidate_floor: Option<f64>,
 }
 
 impl AttributeMatcher {
-    /// Matcher with all-pairs candidate generation.
+    /// Matcher with the default threshold-exact candidate generation
+    /// ([`Blocking::Threshold`]): results are always identical to
+    /// all-pairs scoring, but for q-gram measures the threshold prunes
+    /// candidates before any similarity is computed. Use
+    /// [`AttributeMatcher::with_blocking`] to pin a different strategy.
     pub fn new(
         domain_attr: impl Into<String>,
         range_attr: impl Into<String>,
@@ -62,7 +95,7 @@ impl AttributeMatcher {
             range_attr: range_attr.into(),
             sim: MatcherSim::Fixed(sim),
             threshold,
-            blocking: Blocking::AllPairs,
+            blocking: Blocking::Threshold,
             parallelism: None,
             candidate_floor: None,
         }
@@ -79,7 +112,7 @@ impl AttributeMatcher {
             range_attr: range_attr.into(),
             sim: MatcherSim::TfIdf,
             threshold,
-            blocking: Blocking::AllPairs,
+            blocking: Blocking::Threshold,
             parallelism: None,
             candidate_floor: None,
         }
@@ -112,6 +145,12 @@ impl AttributeMatcher {
     }
 
     /// Override the candidate-generation Dice floor (builder style).
+    /// This opts the matcher into **lossy** prefix-filtered pruning at
+    /// `floor` under both blocked modes, including the default
+    /// [`Blocking::Threshold`] (which is otherwise exact) — see
+    /// [`AttributeMatcher::candidate_floor`]. Pin
+    /// [`Blocking::AllPairs`] explicitly if you need exact results with
+    /// a floor configured.
     pub fn with_candidate_floor(mut self, floor: f64) -> Self {
         self.candidate_floor = Some(floor);
         self
@@ -126,6 +165,58 @@ impl AttributeMatcher {
             (MatcherSim::Fixed(SimFn::Trigram), None)
             | (MatcherSim::Fixed(SimFn::QgramDice(3)), None) => self.threshold,
             _ => 0.3,
+        }
+    }
+
+    /// Resolve the configured [`Blocking`] against the similarity
+    /// function into the concrete candidate-generation plan. This is
+    /// where [`Blocking::Threshold`]'s transparent fallback lives:
+    ///
+    /// * a custom candidate floor explicitly opts into lossy prefix
+    ///   filtering (same as under [`Blocking::TrigramPrefix`]),
+    /// * a fixed q-gram measure with a positive threshold gets the exact
+    ///   T-occurrence engine,
+    /// * everything else (TF-IDF, non-q-gram measures, `t ≤ 0`) scores
+    ///   all pairs — exactly what [`Blocking::AllPairs`] would do.
+    pub(crate) fn candidate_plan(&self) -> CandidatePlan {
+        match self.blocking {
+            Blocking::AllPairs => CandidatePlan::AllPairs,
+            Blocking::TrigramPrefix => CandidatePlan::Prefix {
+                dice_bound: self.effective_candidate_threshold(),
+            },
+            Blocking::Threshold => {
+                if let Some(floor) = self.candidate_floor {
+                    return CandidatePlan::Prefix { dice_bound: floor };
+                }
+                if self.threshold > 0.0 {
+                    if let MatcherSim::Fixed(sim) = &self.sim {
+                        if let Some((measure, q)) = qgram_measure_of(sim) {
+                            return CandidatePlan::Threshold { measure, q };
+                        }
+                    }
+                }
+                CandidatePlan::AllPairs
+            }
+        }
+    }
+
+    /// Build the candidate index the plan calls for over one side's
+    /// `(instance index, match string)` projection (sharded through
+    /// `par`); `None` means score all pairs.
+    pub(crate) fn build_candidate_index<V: AsRef<str> + Sync>(
+        &self,
+        values: &[(u32, V)],
+        par: &Parallelism,
+    ) -> Option<CandidateIndex> {
+        match self.candidate_plan() {
+            CandidatePlan::AllPairs => None,
+            CandidatePlan::Prefix { dice_bound } => Some(CandidateIndex::Prefix {
+                index: TrigramIndex::build_par(values, par),
+                dice_bound,
+            }),
+            CandidatePlan::Threshold { measure, q } => Some(CandidateIndex::Threshold(
+                ThresholdIndex::build_par(measure, q, self.threshold, values, par),
+            )),
         }
     }
 
@@ -159,11 +250,8 @@ impl AttributeMatcher {
             }
         };
 
-        // Candidate index (only for blocking mode), built sharded.
-        let index = match self.blocking {
-            Blocking::AllPairs => None,
-            Blocking::TrigramPrefix => Some(TrigramIndex::build_par(range_vals, &par)),
-        };
+        // Candidate index (per the resolved plan), built sharded.
+        let index = self.build_candidate_index(range_vals, &par);
         // Position lookup for blocked mode: instance index -> slice pos.
         let pos_of: moma_table::FxHashMap<u32, usize> = match index {
             Some(_) => range_vals
@@ -187,7 +275,7 @@ impl AttributeMatcher {
                         }
                     }
                     Some(idx) => {
-                        for cand in idx.candidates(d_val, self.effective_candidate_threshold()) {
+                        for cand in idx.candidates(d_val) {
                             let (r_idx, r_val) = &range_vals[pos_of[&cand]];
                             let s = score_one(d_val, r_val);
                             if s >= self.threshold {
@@ -321,13 +409,87 @@ mod tests {
         let (reg, d, a) = setup();
         let ctx = MatchContext::new(&reg);
         let all = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.6)
+            .with_blocking(Blocking::AllPairs)
             .execute(&ctx, d, a)
             .unwrap();
-        let blocked = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.6)
-            .with_blocking(Blocking::TrigramPrefix)
+        for blocking in [Blocking::TrigramPrefix, Blocking::Threshold] {
+            let blocked = AttributeMatcher::new("title", "name", SimFn::Trigram, 0.6)
+                .with_blocking(blocking)
+                .execute(&ctx, d, a)
+                .unwrap();
+            assert_eq!(
+                all.table.rows(),
+                blocked.table.rows(),
+                "blocking={blocking:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_blocking_is_default_and_exact_per_measure() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        for sim in [
+            SimFn::Trigram,
+            SimFn::QgramDice(2),
+            SimFn::QgramJaccard(3),
+            SimFn::QgramCosine(3),
+            SimFn::QgramOverlap(2),
+        ] {
+            for t in [0.5, 0.8] {
+                let default = AttributeMatcher::new("title", "name", sim.clone(), t);
+                assert_eq!(default.blocking, Blocking::Threshold);
+                assert!(matches!(
+                    default.candidate_plan(),
+                    CandidatePlan::Threshold { .. }
+                ));
+                let exact = default.execute(&ctx, d, a).unwrap();
+                let all = AttributeMatcher::new("title", "name", sim.clone(), t)
+                    .with_blocking(Blocking::AllPairs)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                assert_eq!(
+                    exact.table.rows(),
+                    all.table.rows(),
+                    "sim={} t={t}",
+                    sim.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_blocking_falls_back_transparently() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        // Non-q-gram measure: plan degrades to all-pairs — identical
+        // results, no pruning.
+        let jaro = AttributeMatcher::new("title", "name", SimFn::Jaro, 0.9);
+        assert_eq!(jaro.candidate_plan(), CandidatePlan::AllPairs);
+        let got = jaro.execute(&ctx, d, a).unwrap();
+        let want = jaro
+            .clone()
+            .with_blocking(Blocking::AllPairs)
             .execute(&ctx, d, a)
             .unwrap();
-        assert_eq!(all.table.pair_set(), blocked.table.pair_set());
+        assert_eq!(got.table.rows(), want.table.rows());
+        // TF-IDF: corpus-global weights, no sound bound — all-pairs.
+        assert_eq!(
+            AttributeMatcher::tfidf("title", "name", 0.6).candidate_plan(),
+            CandidatePlan::AllPairs
+        );
+        // Threshold 0 can prune nothing.
+        assert_eq!(
+            AttributeMatcher::new("title", "name", SimFn::Trigram, 0.0).candidate_plan(),
+            CandidatePlan::AllPairs
+        );
+        // A custom candidate floor opts into lossy prefix filtering.
+        assert_eq!(
+            AttributeMatcher::new("title", "name", SimFn::Jaro, 0.9)
+                .with_candidate_floor(0.2)
+                .candidate_plan(),
+            CandidatePlan::Prefix { dice_bound: 0.2 }
+        );
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! publication title and publication year."
 
 use moma_model::LdsId;
+use moma_simstring::bounds::qgram_measure_of;
 use moma_simstring::SimFn;
 use moma_table::MappingTable;
 
-use crate::blocking::{Blocking, TrigramIndex};
+use crate::blocking::{Blocking, ThresholdIndex, TrigramIndex};
 use crate::error::{CoreError, Result};
 use crate::mapping::Mapping;
 use crate::matchers::{MatchContext, Matcher};
@@ -60,13 +61,18 @@ pub struct MultiAttributeMatcher {
 }
 
 impl MultiAttributeMatcher {
-    /// Create a matcher; `attrs` must be non-empty.
+    /// Create a matcher with the default threshold-exact blocking
+    /// ([`Blocking::Threshold`]): candidates are pruned on the primary
+    /// attribute through a *derived* primary threshold (see
+    /// [`MultiAttributeMatcher::primary_threshold`]) whenever a sound
+    /// bound exists, and scored all-pairs otherwise — results are always
+    /// identical to [`Blocking::AllPairs`]. `attrs` must be non-empty.
     pub fn new(attrs: Vec<AttrPair>, threshold: f64) -> Self {
         Self {
             attrs,
             threshold,
             missing: MissingPolicy::Ignore,
-            blocking: Blocking::AllPairs,
+            blocking: Blocking::Threshold,
         }
     }
 
@@ -80,6 +86,23 @@ impl MultiAttributeMatcher {
     pub fn with_blocking(mut self, blocking: Blocking) -> Self {
         self.blocking = blocking;
         self
+    }
+
+    /// The primary-attribute threshold a combined-similarity threshold
+    /// `t` implies: with primary weight `w` and total weight `W`, a pair
+    /// whose *primary* values are both present can only reach combined
+    /// similarity `t` if the primary similarity reaches
+    /// `1 − W·(1 − t)/w` (every other attribute contributes at most its
+    /// full weight, under either missing policy). `None` when the bound
+    /// is vacuous (≤ 0) or unsound (a non-positive weight).
+    pub fn primary_threshold(&self) -> Option<f64> {
+        let w = self.attrs.first()?.weight;
+        if w <= 0.0 || self.attrs.iter().any(|p| p.weight < 0.0) {
+            return None;
+        }
+        let total: f64 = self.attrs.iter().map(|p| p.weight).sum();
+        let t_p = 1.0 - total * (1.0 - self.threshold) / w;
+        (t_p > 0.0).then_some(t_p)
     }
 
     fn combined_sim(&self, d_vals: &[Option<String>], r_vals: &[Option<String>]) -> Option<f64> {
@@ -159,15 +182,63 @@ impl Matcher for MultiAttributeMatcher {
 
         // Blocking on the primary attribute (index built sharded, probed
         // read-only by every scoring thread).
+        //
+        // * `TrigramPrefix` probes at the *combined* threshold — fast
+        //   and historically lossy: a pair whose primary similarity is
+        //   below it can still clear the combined threshold through the
+        //   other attributes, and rows with a missing primary are
+        //   skipped entirely.
+        // * `Threshold` is exact: the probe threshold is the *derived*
+        //   primary bound (see `primary_threshold`), range rows with a
+        //   missing primary are kept as unconditional candidates, and
+        //   domain rows with a missing primary scan the whole range
+        //   side. When no sound bound exists (non-q-gram primary
+        //   measure, vacuous bound) it falls back to the all-pairs
+        //   scan — results always match `AllPairs`.
+        enum PrimaryIndex {
+            Prefix(TrigramIndex),
+            Threshold {
+                index: ThresholdIndex,
+                /// Positions of range rows with a missing primary value
+                /// (always candidates — they can pass through the other
+                /// attributes).
+                unindexed: Vec<usize>,
+            },
+        }
+        // The primary-value projection is only collected in the arms
+        // that index it — all-pairs modes (explicit or fallback) skip
+        // the O(|range|) allocation entirely.
+        let indexed_primary = || -> Vec<(u32, &str)> {
+            r_rows
+                .iter()
+                .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v)))
+                .collect()
+        };
         let index = match self.blocking {
             Blocking::AllPairs => None,
-            Blocking::TrigramPrefix => {
-                let primary_vals: Vec<(u32, &str)> = r_rows
-                    .iter()
-                    .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v)))
-                    .collect();
-                Some(TrigramIndex::build_par(&primary_vals, &ctx.parallelism))
-            }
+            Blocking::TrigramPrefix => Some(PrimaryIndex::Prefix(TrigramIndex::build_par(
+                &indexed_primary(),
+                &ctx.parallelism,
+            ))),
+            Blocking::Threshold => self
+                .primary_threshold()
+                .and_then(|t_p| qgram_measure_of(&self.attrs[0].sim).map(|(m, q)| (m, q, t_p)))
+                // `None` = all-pairs fallback: no sound bound exists.
+                .map(|(measure, q, t_p)| PrimaryIndex::Threshold {
+                    index: ThresholdIndex::build_par(
+                        measure,
+                        q,
+                        t_p,
+                        &indexed_primary(),
+                        &ctx.parallelism,
+                    ),
+                    unindexed: r_rows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (_, row))| row[0].is_none())
+                        .map(|(p, _)| p)
+                        .collect(),
+                }),
         };
         let pos_of: moma_table::FxHashMap<u32, usize> = r_rows
             .iter()
@@ -181,12 +252,21 @@ impl Matcher for MultiAttributeMatcher {
             let mut rows: Vec<(u32, u32, f64)> = Vec::new();
             for (d_idx, d_row) in shard {
                 let candidates: Vec<usize> = match (&index, &d_row[0]) {
-                    (Some(idx), Some(primary)) => idx
+                    (Some(PrimaryIndex::Prefix(idx)), Some(primary)) => idx
                         .candidates(primary, self.threshold)
                         .into_iter()
                         .map(|c| pos_of[&c])
                         .collect(),
-                    (Some(_), None) => Vec::new(),
+                    (Some(PrimaryIndex::Prefix(_)), None) => Vec::new(),
+                    (Some(PrimaryIndex::Threshold { index, unindexed }), Some(primary)) => index
+                        .candidates(primary)
+                        .into_iter()
+                        .map(|c| pos_of[&c])
+                        .chain(unindexed.iter().copied())
+                        .collect(),
+                    // A missing domain primary can still pass the
+                    // combined threshold: nothing can be pruned.
+                    (Some(PrimaryIndex::Threshold { .. }), None) => (0..r_rows.len()).collect(),
                     (None, _) => (0..r_rows.len()).collect(),
                 };
                 for p in candidates {
@@ -351,6 +431,139 @@ mod tests {
             .execute(&ctx, d, a)
             .unwrap();
         assert_eq!(all.table.pair_set(), blocked.table.pair_set());
+    }
+
+    #[test]
+    fn primary_threshold_derivation() {
+        // weights 2 (primary) + 1, t = 0.8: t_p = 1 − 3·0.2/2 = 0.7.
+        let m = matcher();
+        assert!((m.primary_threshold().unwrap() - 0.7).abs() < 1e-12);
+        // Single attribute degenerates to the matcher threshold.
+        let single =
+            MultiAttributeMatcher::new(vec![AttrPair::new("t", "t", SimFn::Trigram, 1.0)], 0.6);
+        assert!((single.primary_threshold().unwrap() - 0.6).abs() < 1e-12);
+        // Vacuous bound: a low-weight primary cannot be bounded.
+        let weak = MultiAttributeMatcher::new(
+            vec![
+                AttrPair::new("t", "t", SimFn::Trigram, 1.0),
+                AttrPair::new("y", "y", SimFn::Year(0), 9.0),
+            ],
+            0.8,
+        );
+        assert_eq!(weak.primary_threshold(), None);
+        // Non-positive weights are unsound for the bound.
+        let zero =
+            MultiAttributeMatcher::new(vec![AttrPair::new("t", "t", SimFn::Trigram, 0.0)], 0.8);
+        assert_eq!(zero.primary_threshold(), None);
+    }
+
+    #[test]
+    fn threshold_blocking_exact_with_missing_primaries() {
+        // A range row with a *missing primary* can still clear the
+        // combined threshold (Ignore renormalizes onto the year) — the
+        // prefix filter drops such pairs, the exact engine must not.
+        let mut reg = SourceRegistry::new();
+        let mut dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        dblp.insert_record(
+            "d0",
+            vec![
+                ("title", "Data Cleaning Survey".into()),
+                ("year", 2001u16.into()),
+            ],
+        )
+        .unwrap();
+        dblp.insert_record("d1", vec![("year", 2002u16.into())])
+            .unwrap();
+        let mut acm = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::year("year")],
+        );
+        // a0: no title at all; a1: title present.
+        acm.insert_record("a0", vec![("year", 2001u16.into())])
+            .unwrap();
+        acm.insert_record(
+            "a1",
+            vec![
+                ("title", "Data Cleaning Survey!".into()),
+                ("year", 2002u16.into()),
+            ],
+        )
+        .unwrap();
+        let d = reg.register(dblp).unwrap();
+        let a = reg.register(acm).unwrap();
+        let ctx = MatchContext::new(&reg);
+        let m = MultiAttributeMatcher::new(
+            vec![
+                AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                AttrPair::new("year", "year", SimFn::Year(0), 1.0),
+            ],
+            0.8,
+        );
+        let all = m
+            .clone()
+            .with_blocking(Blocking::AllPairs)
+            .execute(&ctx, d, a)
+            .unwrap();
+        let exact = m.execute(&ctx, d, a).unwrap(); // default = Threshold
+        assert_eq!(all.table.rows(), exact.table.rows());
+        // The missing-primary pairs really are in the result (year-only
+        // renormalized similarity 1.0): d0×a0 and d1×a1.
+        assert_eq!(exact.table.sim_of(0, 0), Some(1.0));
+        assert_eq!(exact.table.sim_of(1, 1), Some(1.0));
+        // ...and the prefix filter would have lost them (documented
+        // lossiness, pinned so the decision table stays honest).
+        let prefix = m
+            .clone()
+            .with_blocking(Blocking::TrigramPrefix)
+            .execute(&ctx, d, a)
+            .unwrap();
+        assert_eq!(prefix.table.sim_of(0, 0), None);
+    }
+
+    #[test]
+    fn threshold_blocking_matches_allpairs_on_standard_data() {
+        let (reg, d, a) = setup();
+        let ctx = MatchContext::new(&reg);
+        for t in [0.5, 0.8] {
+            for missing in [MissingPolicy::Ignore, MissingPolicy::Zero] {
+                let base = MultiAttributeMatcher::new(
+                    vec![
+                        AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                        AttrPair::new("year", "year", SimFn::Year(0), 1.0),
+                    ],
+                    t,
+                )
+                .with_missing(missing);
+                let all = base
+                    .clone()
+                    .with_blocking(Blocking::AllPairs)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                let exact = base
+                    .clone()
+                    .with_blocking(Blocking::Threshold)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                assert_eq!(all.table.rows(), exact.table.rows(), "t={t} {missing:?}");
+            }
+        }
+        // Non-q-gram primary: Threshold transparently scores all pairs.
+        let jaro = MultiAttributeMatcher::new(
+            vec![AttrPair::new("title", "title", SimFn::Jaro, 1.0)],
+            0.9,
+        );
+        let all = jaro
+            .clone()
+            .with_blocking(Blocking::AllPairs)
+            .execute(&ctx, d, a)
+            .unwrap();
+        let fallback = jaro.execute(&ctx, d, a).unwrap();
+        assert_eq!(all.table.rows(), fallback.table.rows());
     }
 
     #[test]

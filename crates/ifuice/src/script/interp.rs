@@ -162,6 +162,9 @@ pub struct Interpreter<'a> {
     vars: HashMap<String, Value>,
     procs: HashMap<String, Procedure>,
     parallelism: Parallelism,
+    /// Candidate-generation override for `attrMatch`/`multiAttrMatch`;
+    /// `None` picks per-measure ([`moma_core::blocking::Blocking::auto_for`]).
+    blocking: Option<moma_core::blocking::Blocking>,
 }
 
 enum Flow {
@@ -181,6 +184,7 @@ impl<'a> Interpreter<'a> {
             vars: HashMap::new(),
             procs: HashMap::new(),
             parallelism: Parallelism::from_env(),
+            blocking: None,
         }
     }
 
@@ -188,6 +192,15 @@ impl<'a> Interpreter<'a> {
     /// Results are identical at every thread count.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Pin one candidate-generation strategy for every
+    /// `attrMatch`/`multiAttrMatch` in the script (builder style; the
+    /// CLI's `--blocking` flag). Default: per-measure auto-selection —
+    /// threshold-exact for q-gram measures, prefix-filtered otherwise.
+    pub fn with_blocking(mut self, blocking: moma_core::blocking::Blocking) -> Self {
+        self.blocking = Some(blocking);
         self
     }
 
@@ -454,7 +467,19 @@ impl<'a> Interpreter<'a> {
             }
             _ => return Err(rt("attrMatch expects a similarity function symbol")),
         };
-        let matcher = matcher.with_blocking(moma_core::blocking::Blocking::TrigramPrefix);
+        // Pick the best blocking for the measure unless the caller
+        // pinned one: threshold-exact for q-gram measures (identical
+        // results, pruned before scoring), the historical lossy prefix
+        // filter otherwise — so script results for non-q-gram measures
+        // (including TF-IDF, whose corpus-global weights admit no exact
+        // bound) are unchanged.
+        let blocking = self.blocking.unwrap_or_else(|| match &matcher.sim {
+            moma_core::matchers::MatcherSim::Fixed(sim) => {
+                moma_core::blocking::Blocking::auto_for(sim)
+            }
+            moma_core::matchers::MatcherSim::TfIdf => moma_core::blocking::Blocking::TrigramPrefix,
+        });
+        let matcher = matcher.with_blocking(blocking);
         let ctx = MatchContext::with_repository(self.registry, self.repository)
             .with_parallelism(self.parallelism);
         let mapping = matcher.execute(&ctx, domain, range)?;
@@ -505,8 +530,13 @@ impl<'a> Interpreter<'a> {
         if pairs.is_empty() {
             return Err(rt("multiAttrMatch needs at least one attribute spec"));
         }
-        let matcher = MultiAttributeMatcher::new(pairs, threshold)
-            .with_blocking(moma_core::blocking::Blocking::TrigramPrefix);
+        // Threshold-exact blocking when the primary measure admits exact
+        // bounds (identical to all-pairs, just pruned), the historical
+        // prefix filter otherwise; a caller-pinned strategy wins.
+        let blocking = self
+            .blocking
+            .unwrap_or_else(|| moma_core::blocking::Blocking::auto_for(&pairs[0].sim));
+        let matcher = MultiAttributeMatcher::new(pairs, threshold).with_blocking(blocking);
         let ctx = MatchContext::with_repository(self.registry, self.repository)
             .with_parallelism(self.parallelism);
         let mapping = matcher.execute(&ctx, domain, range)?;

@@ -16,7 +16,8 @@
 //!   ([`crate::ModelError::DuplicateId`]).
 //! * `Remove` tombstones an instance: the arena slot (and thus every
 //!   `u32` index held by existing mapping tables) stays valid, but the
-//!   instance no longer appears in [`LogicalSource::iter`] /
+//!   instance no longer appears in
+//!   [`LogicalSource::iter`](crate::LogicalSource::iter) /
 //!   [`LogicalSource::project`](crate::LogicalSource::project) output.
 //!   Removing an unknown or already-removed id is a recorded no-op
 //!   (`skipped`), so delta streams may contain duplicate removals.

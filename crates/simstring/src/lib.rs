@@ -18,6 +18,9 @@
 //!   (Google Scholar "reduces authors' first names to their first letter",
 //!   Section 5.4.3),
 //! * [`numeric`] — year/number proximity,
+//! * [`bounds`] — exact threshold bounds (size windows, minimum shared
+//!   grams) for the q-gram measures, powering candidate pruning in
+//!   `moma-core`,
 //! * [`normalize`] / [`tokenize`] — shared preprocessing,
 //! * [`registry`] — a name-indexed registry ([`SimFn`]) so workflows,
 //!   scripts and the self-tuner can select measures dynamically.
@@ -26,6 +29,7 @@
 //! property tests assert range, symmetry and identity laws.
 
 pub mod affix;
+pub mod bounds;
 pub mod edit;
 pub mod jaro;
 pub mod ngram;
@@ -37,5 +41,6 @@ pub mod tfidf;
 pub mod token;
 pub mod tokenize;
 
+pub use bounds::{qgram_measure_of, QgramMeasure};
 pub use registry::{SimFn, Similarity};
 pub use tfidf::TfIdfCorpus;

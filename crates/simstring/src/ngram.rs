@@ -36,6 +36,20 @@ pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
     inter as f64 / union as f64
 }
 
+/// Cosine coefficient over q-gram multisets: `|A∩B| / √(|A|·|B|)`.
+pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    let (na, nb) = (profile_size(&pa), profile_size(&pb));
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    profile_intersection(&pa, &pb) as f64 / ((na as f64) * (nb as f64)).sqrt()
+}
+
 /// Overlap coefficient over q-gram multisets: `|A∩B| / min(|A|,|B|)`.
 pub fn qgram_overlap(a: &str, b: &str, q: usize) -> f64 {
     let pa = qgram_profile(a, q);
@@ -64,6 +78,14 @@ mod tests {
         assert_eq!(trigram("schema matching", "schema matching"), 1.0);
         assert_eq!(qgram_jaccard("abc", "abc", 3), 1.0);
         assert_eq!(qgram_overlap("abc", "abc", 3), 1.0);
+        assert_eq!(qgram_cosine("abc", "abc", 3), 1.0);
+    }
+
+    #[test]
+    fn cosine_edges() {
+        assert_eq!(qgram_cosine("", "", 3), 1.0);
+        assert_eq!(qgram_cosine("", "abc", 3), 0.0);
+        assert_eq!(qgram_cosine("aaaa", "zzzz", 3), 0.0);
     }
 
     #[test]
@@ -132,12 +154,14 @@ mod prop_tests {
         }
 
         #[test]
-        fn jaccard_le_dice_le_overlap(a in "[a-z]{1,15}", b in "[a-z]{1,15}") {
+        fn jaccard_le_dice_le_cosine_le_overlap(a in "[a-z]{1,15}", b in "[a-z]{1,15}") {
             let j = qgram_jaccard(&a, &b, 2);
             let d = qgram_dice(&a, &b, 2);
+            let c = qgram_cosine(&a, &b, 2);
             let o = qgram_overlap(&a, &b, 2);
             prop_assert!(j <= d + 1e-12);
-            prop_assert!(d <= o + 1e-12);
+            prop_assert!(d <= c + 1e-12); // AM >= GM on the denominators
+            prop_assert!(c <= o + 1e-12);
         }
     }
 }

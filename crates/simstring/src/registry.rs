@@ -8,7 +8,7 @@
 use crate::affix::{affix_containment_sim, affix_sim};
 use crate::edit::{damerau_sim, levenshtein_sim};
 use crate::jaro::{jaro, jaro_winkler};
-use crate::ngram::{qgram_dice, qgram_jaccard, trigram};
+use crate::ngram::{qgram_cosine, qgram_dice, qgram_jaccard, qgram_overlap, trigram};
 use crate::normalize::normalize;
 use crate::numeric::{parse_year, year_window};
 use crate::phonetic::{person_name_sim, soundex_sim};
@@ -35,6 +35,10 @@ pub enum SimFn {
     QgramDice(usize),
     /// Character q-gram Jaccard with chosen q.
     QgramJaccard(usize),
+    /// Character q-gram cosine with chosen q.
+    QgramCosine(usize),
+    /// Character q-gram overlap coefficient with chosen q.
+    QgramOverlap(usize),
     /// Normalized Levenshtein.
     Levenshtein,
     /// Normalized Damerau–Levenshtein.
@@ -77,6 +81,8 @@ impl SimFn {
             SimFn::Trigram => trigram(a, b),
             SimFn::QgramDice(q) => qgram_dice(a, b, *q),
             SimFn::QgramJaccard(q) => qgram_jaccard(a, b, *q),
+            SimFn::QgramCosine(q) => qgram_cosine(a, b, *q),
+            SimFn::QgramOverlap(q) => qgram_overlap(a, b, *q),
             SimFn::Levenshtein => levenshtein_sim(&normalize(a), &normalize(b)),
             SimFn::Damerau => damerau_sim(&normalize(a), &normalize(b)),
             SimFn::Jaro => jaro(&normalize(a), &normalize(b)),
@@ -109,6 +115,8 @@ impl SimFn {
             "trigram" | "ngram" => SimFn::Trigram,
             "qgram" | "qgramdice" => SimFn::QgramDice(param?.parse().ok()?),
             "qgramjaccard" => SimFn::QgramJaccard(param?.parse().ok()?),
+            "qgramcosine" => SimFn::QgramCosine(param?.parse().ok()?),
+            "qgramoverlap" => SimFn::QgramOverlap(param?.parse().ok()?),
             "levenshtein" | "editdistance" => SimFn::Levenshtein,
             "damerau" => SimFn::Damerau,
             "jaro" => SimFn::Jaro,
@@ -133,6 +141,8 @@ impl SimFn {
             SimFn::Trigram => "trigram".into(),
             SimFn::QgramDice(q) => format!("qgram:{q}"),
             SimFn::QgramJaccard(q) => format!("qgramjaccard:{q}"),
+            SimFn::QgramCosine(q) => format!("qgramcosine:{q}"),
+            SimFn::QgramOverlap(q) => format!("qgramoverlap:{q}"),
             SimFn::Levenshtein => "levenshtein".into(),
             SimFn::Damerau => "damerau".into(),
             SimFn::Jaro => "jaro".into(),
@@ -180,6 +190,8 @@ impl Similarity for SimFn {
         // we return the base name.
         match self {
             SimFn::QgramDice(_) | SimFn::QgramJaccard(_) => "qgram",
+            SimFn::QgramCosine(_) => "qgramcosine",
+            SimFn::QgramOverlap(_) => "qgramoverlap",
             SimFn::Year(_) => "year",
             SimFn::Exact => "exact",
             SimFn::Trigram => "trigram",
@@ -238,6 +250,8 @@ mod tests {
             assert_eq!(parsed, f, "roundtrip of {}", f.name());
         }
         assert_eq!(SimFn::parse("qgram:2"), Some(SimFn::QgramDice(2)));
+        assert_eq!(SimFn::parse("qgramcosine:3"), Some(SimFn::QgramCosine(3)));
+        assert_eq!(SimFn::parse("qgramoverlap:2"), Some(SimFn::QgramOverlap(2)));
         assert_eq!(SimFn::parse("year:1"), Some(SimFn::Year(1)));
         assert_eq!(SimFn::parse("TRIGRAM"), Some(SimFn::Trigram));
         assert_eq!(SimFn::parse("nope"), None);

@@ -24,18 +24,24 @@
 //! guarantee — any `k`-gram subset works — but it skews the rarest-gram
 //! heuristic toward stale statistics). [`GramIndex::remove`] therefore
 //! triggers [`GramIndex::compact`] — a full O(postings) sweep — once
-//! tombstones exceed [`COMPACTION_RATIO`] of the live population, which
-//! amortizes the sweep to O(1) per removal while bounding dead-entry
-//! overhead to a constant factor.
+//! tombstones exceed [`COMPACTION_RATIO`] of the live population (and
+//! the [`COMPACTION_FLOOR`] absolute count), which amortizes the sweep
+//! to O(1) per removal while bounding dead-entry overhead to a constant
+//! factor. Both knobs are per-index configurable via
+//! [`GramIndex::with_compaction`]; the 0%-and-never extremes are pinned
+//! by unit tests.
 
 use crate::hash::{FxHashMap, FxHashSet};
 
-/// Compact when `tombstones > live * COMPACTION_RATIO` (and at least a
-/// handful of tombstones exist — tiny indexes aren't worth sweeping).
+/// Default compaction trigger: compact when `tombstones > live *
+/// COMPACTION_RATIO` (and at least a handful of tombstones exist — tiny
+/// indexes aren't worth sweeping). Override per index with
+/// [`GramIndex::with_compaction`].
 pub const COMPACTION_RATIO: f64 = 0.25;
 
-/// Minimum number of tombstones before a compaction sweep is considered.
-const COMPACTION_FLOOR: usize = 16;
+/// Default minimum number of tombstones before a compaction sweep is
+/// considered.
+pub const COMPACTION_FLOOR: usize = 16;
 
 /// Inverted index from gram to the ids of the values containing it.
 ///
@@ -43,19 +49,52 @@ const COMPACTION_FLOOR: usize = 16;
 /// normalization) leave no posting entries — they can never be probe
 /// candidates — but still count as indexed values through `live`, so
 /// [`GramIndex::len`] / [`GramIndex::all_ids`] report them.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct GramIndex {
     postings: FxHashMap<String, Vec<u32>>,
     /// Ids currently indexed and not tombstoned.
     live: FxHashSet<u32>,
+    /// Live ids indexed with an empty gram list (subset of `live`) —
+    /// unreachable through postings, but the exact match set of a
+    /// gramless query (two empty gram multisets are identical).
+    gramless: FxHashSet<u32>,
     /// Removed ids whose posting entries have not been swept yet.
     tombstones: FxHashSet<u32>,
+    /// Compact when `tombstones > live * ratio` (and ≥ floor exist).
+    compaction_ratio: f64,
+    compaction_floor: usize,
+}
+
+impl Default for GramIndex {
+    fn default() -> Self {
+        Self {
+            postings: FxHashMap::default(),
+            live: FxHashSet::default(),
+            gramless: FxHashSet::default(),
+            tombstones: FxHashSet::default(),
+            compaction_ratio: COMPACTION_RATIO,
+            compaction_floor: COMPACTION_FLOOR,
+        }
+    }
 }
 
 impl GramIndex {
-    /// Empty index.
+    /// Empty index with the default compaction policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Override the auto-compaction policy (builder style): sweep when
+    /// unswept tombstones exceed both `floor` (absolute count) and
+    /// `ratio` × the live population. The extremes are well-defined:
+    /// `ratio = 0.0, floor = 0` sweeps on every removal (tombstones are
+    /// never observable), `ratio = f64::INFINITY` disables automatic
+    /// sweeping entirely — tombstones accumulate without bound (probes
+    /// stay exact; call [`GramIndex::compact`] manually).
+    pub fn with_compaction(mut self, ratio: f64, floor: usize) -> Self {
+        self.compaction_ratio = ratio;
+        self.compaction_floor = floor;
+        self
     }
 
     /// Index one value's (deduplicated) grams. Inserting an id that is
@@ -71,6 +110,9 @@ impl GramIndex {
             self.compact();
         }
         self.live.insert(id);
+        if grams.is_empty() {
+            self.gramless.insert(id);
+        }
         for g in grams {
             self.postings.entry(g.clone()).or_default().push(id);
         }
@@ -83,6 +125,7 @@ impl GramIndex {
         if !self.live.remove(&id) {
             return false;
         }
+        self.gramless.remove(&id);
         self.tombstones.insert(id);
         self.maybe_compact();
         true
@@ -103,6 +146,11 @@ impl GramIndex {
                     self.postings.remove(g.as_str());
                 }
             }
+        }
+        if new_grams.is_empty() {
+            self.gramless.insert(id);
+        } else {
+            self.gramless.remove(&id);
         }
         for g in new_grams {
             self.postings.entry(g.clone()).or_default().push(id);
@@ -136,8 +184,8 @@ impl GramIndex {
     }
 
     fn maybe_compact(&mut self) {
-        if self.tombstones.len() >= COMPACTION_FLOOR
-            && self.tombstones.len() as f64 > self.live.len() as f64 * COMPACTION_RATIO
+        if self.tombstones.len() >= self.compaction_floor
+            && self.tombstones.len() as f64 > self.live.len() as f64 * self.compaction_ratio
         {
             self.compact();
         }
@@ -191,6 +239,14 @@ impl GramIndex {
         self.live.clone()
     }
 
+    /// Live ids indexed with an empty gram list. These can never be
+    /// merged from postings, yet they are the *exact* candidate set of a
+    /// gramless query: every q-gram measure scores two empty gram
+    /// multisets as 1.0.
+    pub fn gramless_ids(&self) -> FxHashSet<u32> {
+        self.gramless.clone()
+    }
+
     /// Merge in an index built from a *later* contiguous input shard:
     /// posting lists are appended in order, so per-gram id order matches
     /// a sequential build over the concatenated input. Both indexes must
@@ -198,6 +254,7 @@ impl GramIndex {
     pub fn absorb(&mut self, other: GramIndex) {
         debug_assert!(self.tombstones.is_empty() && other.tombstones.is_empty());
         self.live.extend(other.live);
+        self.gramless.extend(other.gramless);
         for (g, ids) in other.postings {
             self.postings.entry(g).or_default().extend(ids);
         }
@@ -353,6 +410,65 @@ mod tests {
             assert!(c.contains(&i));
             assert!(c.iter().all(|id| *id >= 150));
         }
+    }
+
+    #[test]
+    fn gramless_ids_tracked_through_maintenance() {
+        let mut idx = sample(); // id 3 is gramless
+        assert_eq!(idx.gramless_ids(), [3u32].into_iter().collect());
+        // Replace to/from gramless moves ids in and out of the set.
+        assert!(idx.replace(0, &grams("data cleaning system"), &grams("")));
+        assert_eq!(idx.gramless_ids(), [0u32, 3].into_iter().collect());
+        assert!(idx.replace(3, &grams(""), &grams("now has grams")));
+        assert_eq!(idx.gramless_ids(), [0u32].into_iter().collect());
+        // Removal drops the id.
+        assert!(idx.remove(0));
+        assert!(idx.gramless_ids().is_empty());
+        // Fresh gramless insert after removal.
+        assert!(idx.insert(9, &grams("")));
+        assert_eq!(idx.gramless_ids(), [9u32].into_iter().collect());
+    }
+
+    #[test]
+    fn eager_compaction_ratio_zero_floor_zero() {
+        // 0% tombstone tolerance: every removal sweeps immediately, so
+        // tombstones are never observable and df is always exact.
+        let mut idx = GramIndex::new().with_compaction(0.0, 0);
+        for i in 0..40u32 {
+            idx.insert(i, &grams(&format!("value number {i}")));
+        }
+        for i in 0..40u32 {
+            idx.remove(i);
+            assert_eq!(idx.tombstone_count(), 0, "id {i} not swept eagerly");
+            assert_eq!(idx.df("number"), (39 - i) as usize);
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.df("value"), 0);
+    }
+
+    #[test]
+    fn disabled_compaction_accumulates_full_tombstone_population() {
+        // ratio = ∞: tombstones reach 100% of the (former) population
+        // without a sweep; probes stay exact throughout, manual compact
+        // still works, and re-insertion purges on the way in.
+        let mut idx = GramIndex::new().with_compaction(f64::INFINITY, 0);
+        for i in 0..40u32 {
+            idx.insert(i, &grams(&format!("value number {i}")));
+        }
+        for i in 0..40u32 {
+            idx.remove(i);
+        }
+        assert_eq!(idx.tombstone_count(), 40);
+        assert!(idx.is_empty());
+        assert_eq!(idx.df("number"), 40); // stale, documented
+        assert!(probe(&idx, "value number 7").is_empty());
+        // Re-inserting a tombstoned id compacts first (correctness, not
+        // policy — stale postings must not resurrect).
+        assert!(idx.insert(7, &grams("fresh value")));
+        assert_eq!(idx.tombstone_count(), 0);
+        assert_eq!(idx.df("number"), 0);
+        idx.compact(); // idempotent on a clean index
+        assert_eq!(idx.len(), 1);
     }
 
     #[test]

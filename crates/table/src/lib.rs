@@ -22,6 +22,8 @@
 //! * [`gram_index`] — an incrementally maintainable inverted gram index
 //!   (tombstoned removal + amortized compaction) backing the blocking
 //!   index of `moma-core` and its delta maintenance,
+//! * [`size_index`] — the size-bucketed variant with CPMerge-style
+//!   count-filtered candidate merging, backing threshold-exact blocking,
 //! * [`tsv`] — plain-text persistence of mapping tables,
 //! * [`hash`] — a fast FxHash-style hasher used for all internal maps
 //!   (integer-keyed hashing is on the hot path of every join).
@@ -38,6 +40,7 @@ pub mod index;
 pub mod interner;
 pub mod join;
 pub mod mapping_table;
+pub mod size_index;
 pub mod stats;
 pub mod tsv;
 
@@ -47,4 +50,5 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use index::Adjacency;
 pub use interner::StringInterner;
 pub use mapping_table::{Correspondence, MappingTable};
+pub use size_index::SizeBucketedIndex;
 pub use stats::TableStats;

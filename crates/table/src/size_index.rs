@@ -1,0 +1,759 @@
+//! Size-bucketed inverted gram index with count-filtered candidate
+//! merging — the storage engine behind threshold-exact blocking.
+//!
+//! [`SizeBucketedIndex`] partitions every gram's posting list by the
+//! *gram-set size* of the indexed value. A threshold-aware caller (see
+//! `moma_core::blocking`) probes it with a size window `[min_size,
+//! max_size]` and a per-size minimum-overlap function, and gets back
+//! exactly the ids that (a) fall in the window and (b) share at least
+//! the required number of grams with the query — the SimString
+//! *T-occurrence* problem, solved CPMerge-style:
+//!
+//! 1. query grams are ordered rarest-first (document frequency within
+//!    the window),
+//! 2. the first `n − τ_min + 1` posting lists seed the candidate set
+//!    with occurrence counts (any qualifying id must appear in one of
+//!    them — it can miss at most `τ − 1` of the query's grams),
+//! 3. the remaining (frequent) lists are only *membership-probed* per
+//!    surviving candidate (binary search — postings are id-sorted), and
+//!    candidates that can no longer reach their per-size requirement are
+//!    abandoned immediately.
+//!
+//! Like its unbucketed sibling [`crate::gram_index::GramIndex`], the
+//! index is incrementally maintainable: O(1) tombstoned removal,
+//! surgical replace, amortized compaction (configurable via
+//! [`SizeBucketedIndex::with_compaction`]), shard-mergeable batch builds
+//! ([`SizeBucketedIndex::absorb`]), and batched deltas
+//! ([`SizeBucketedIndex::apply_delta`] over the shared
+//! [`GramIndexDelta`]). Probes filter tombstones, so candidate sets are
+//! exact at every point between compactions.
+//!
+//! Values whose gram list is empty occupy the special size-0 bucket:
+//! they have no postings and can never be merged candidates, but they
+//! are tracked ([`SizeBucketedIndex::gramless_ids`]) so callers can
+//! implement the "empty query matches empty values exactly" edge of the
+//! q-gram measures.
+
+use std::collections::BTreeMap;
+
+use crate::gram_index::{GramIndexDelta, COMPACTION_FLOOR, COMPACTION_RATIO};
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// Inverted index from gram to id posting lists partitioned by the
+/// gram-set size of the indexed value.
+///
+/// Gram lists handed to [`SizeBucketedIndex::insert`] /
+/// [`SizeBucketedIndex::replace`] must be duplicate-free (the caller
+/// tokenizes; multiset tokenizers tag repeated grams — see
+/// `moma_core::blocking`); the list length is the value's size key.
+#[derive(Debug, Clone)]
+pub struct SizeBucketedIndex {
+    /// gram → size bucket → ids, each bucket sorted by id so frequent
+    /// grams can be membership-probed by binary search.
+    postings: FxHashMap<String, BTreeMap<u32, Vec<u32>>>,
+    /// Live id → gram-set size (0 for gramless values).
+    sizes: FxHashMap<u32, u32>,
+    /// Live ids with gram-set size 0 (subset of `sizes`), maintained
+    /// incrementally so gramless probes don't scan the live population.
+    gramless: FxHashSet<u32>,
+    /// Removed ids whose posting entries have not been swept yet.
+    tombstones: FxHashSet<u32>,
+    /// Compact when `tombstones > live * ratio` (and ≥ floor exist).
+    compaction_ratio: f64,
+    compaction_floor: usize,
+}
+
+impl Default for SizeBucketedIndex {
+    fn default() -> Self {
+        Self {
+            postings: FxHashMap::default(),
+            sizes: FxHashMap::default(),
+            gramless: FxHashSet::default(),
+            tombstones: FxHashSet::default(),
+            compaction_ratio: COMPACTION_RATIO,
+            compaction_floor: COMPACTION_FLOOR,
+        }
+    }
+}
+
+impl SizeBucketedIndex {
+    /// Empty index with the default compaction policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the auto-compaction policy (builder style): sweep when
+    /// unswept tombstones exceed both `floor` (absolute) and `ratio` ×
+    /// the live population. `ratio = 0.0, floor = 0` sweeps on every
+    /// removal; `ratio = f64::INFINITY` never sweeps automatically.
+    pub fn with_compaction(mut self, ratio: f64, floor: usize) -> Self {
+        self.compaction_ratio = ratio;
+        self.compaction_floor = floor;
+        self
+    }
+
+    /// Index one value's deduplicated grams; the value's size key is
+    /// `grams.len()`. Inserting a live id is rejected with `false`.
+    pub fn insert(&mut self, id: u32, grams: &[String]) -> bool {
+        if self.sizes.contains_key(&id) {
+            return false;
+        }
+        if self.tombstones.contains(&id) {
+            // Re-inserting a removed id must not resurrect its stale
+            // postings; purge them first.
+            self.compact();
+        }
+        debug_assert!(
+            grams.windows(2).all(|w| w[0] != w[1] || w[0].is_empty()),
+            "grams must be deduplicated"
+        );
+        let size = grams.len() as u32;
+        self.sizes.insert(id, size);
+        if size == 0 {
+            self.gramless.insert(id);
+        }
+        for g in grams {
+            let bucket = self
+                .postings
+                .entry(g.clone())
+                .or_default()
+                .entry(size)
+                .or_default();
+            if let Err(pos) = bucket.binary_search(&id) {
+                bucket.insert(pos, id);
+            }
+        }
+        true
+    }
+
+    /// Tombstone a live id; returns whether it was live. May trigger a
+    /// compaction sweep (see [`SizeBucketedIndex::with_compaction`]).
+    pub fn remove(&mut self, id: u32) -> bool {
+        if self.sizes.remove(&id).is_none() {
+            return false;
+        }
+        self.gramless.remove(&id);
+        self.tombstones.insert(id);
+        self.maybe_compact();
+        true
+    }
+
+    /// Replace a live value's grams: old entries are surgically removed
+    /// (the caller supplies the old grams — the index stores no values),
+    /// new ones inserted, and the id moves to its new size bucket.
+    /// Returns `false` (and does nothing) if `id` is not live.
+    pub fn replace(&mut self, id: u32, old_grams: &[String], new_grams: &[String]) -> bool {
+        if !self.sizes.contains_key(&id) {
+            return false;
+        }
+        let old_size = old_grams.len() as u32;
+        for g in old_grams {
+            if let Some(buckets) = self.postings.get_mut(g.as_str()) {
+                if let Some(list) = buckets.get_mut(&old_size) {
+                    if let Ok(pos) = list.binary_search(&id) {
+                        list.remove(pos);
+                    }
+                    if list.is_empty() {
+                        buckets.remove(&old_size);
+                    }
+                }
+                if buckets.is_empty() {
+                    self.postings.remove(g.as_str());
+                }
+            }
+        }
+        let new_size = new_grams.len() as u32;
+        self.sizes.insert(id, new_size);
+        if new_size == 0 {
+            self.gramless.insert(id);
+        } else {
+            self.gramless.remove(&id);
+        }
+        for g in new_grams {
+            let bucket = self
+                .postings
+                .entry(g.clone())
+                .or_default()
+                .entry(new_size)
+                .or_default();
+            if let Err(pos) = bucket.binary_search(&id) {
+                bucket.insert(pos, id);
+            }
+        }
+        true
+    }
+
+    /// Apply a batch of changes (same delta type the flat
+    /// [`GramIndex`](crate::gram_index::GramIndex) consumes).
+    pub fn apply_delta(&mut self, delta: &GramIndexDelta) {
+        for &id in &delta.removed {
+            self.remove(id);
+        }
+        for (id, old, new) in &delta.replaced {
+            self.replace(*id, old, new);
+        }
+        for (id, grams) in &delta.added {
+            self.insert(*id, grams);
+        }
+    }
+
+    /// Sweep tombstoned ids out of every posting bucket now.
+    pub fn compact(&mut self) {
+        if self.tombstones.is_empty() {
+            return;
+        }
+        let dead = std::mem::take(&mut self.tombstones);
+        self.postings.retain(|_, buckets| {
+            buckets.retain(|_, list| {
+                list.retain(|id| !dead.contains(id));
+                !list.is_empty()
+            });
+            !buckets.is_empty()
+        });
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.tombstones.len() >= self.compaction_floor
+            && self.tombstones.len() as f64 > self.sizes.len() as f64 * self.compaction_ratio
+        {
+            self.compact();
+        }
+    }
+
+    /// Number of unswept tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Number of live indexed values (gramless ones included).
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether no live values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Whether `id` is indexed and not tombstoned.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.sizes.contains_key(&id)
+    }
+
+    /// Gram-set size of a live id.
+    pub fn size_of(&self, id: u32) -> Option<u32> {
+        self.sizes.get(&id).copied()
+    }
+
+    /// All live ids — including gramless values, so this always has
+    /// exactly [`SizeBucketedIndex::len`] entries.
+    pub fn all_ids(&self) -> FxHashSet<u32> {
+        self.sizes.keys().copied().collect()
+    }
+
+    /// Live ids whose values produced no grams (the size-0 bucket) —
+    /// the only possible matches of a gramless query. O(|gramless|):
+    /// the set is maintained incrementally, not scanned out of the live
+    /// population.
+    pub fn gramless_ids(&self) -> FxHashSet<u32> {
+        self.gramless.clone()
+    }
+
+    /// Document frequency of a gram *within a size window* — posting
+    /// entries over buckets in `[min_size, max_size]`, unswept tombstone
+    /// entries included (exact after [`SizeBucketedIndex::compact`]).
+    pub fn df_in_window(&self, gram: &str, min_size: u32, max_size: u32) -> usize {
+        self.postings
+            .get(gram)
+            .map(|buckets| {
+                buckets
+                    .range(min_size..=max_size)
+                    .map(|(_, list)| list.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The ids with gram-set size in `[min_size, max_size]` sharing at
+    /// least `min_overlap(size)` grams with `query_grams` — exactly (no
+    /// misses, no extras beyond the count criterion). `query_grams` must
+    /// be duplicate-free; `min_overlap` is evaluated per candidate size
+    /// and is clamped to ≥ 1 (a merged candidate shares a gram by
+    /// construction, and ids sharing none are unreachable anyway).
+    ///
+    /// Cost is CPMerge-like: the rarest `n − τ_min + 1` posting lists
+    /// are scanned, the frequent remainder only binary-searched per
+    /// surviving candidate, with candidates abandoned as soon as their
+    /// remaining potential drops below the requirement.
+    pub fn candidates(
+        &self,
+        query_grams: &[String],
+        min_size: u32,
+        max_size: u32,
+        min_overlap: &dyn Fn(u32) -> u32,
+    ) -> FxHashSet<u32> {
+        let n = query_grams.len();
+        if n == 0 || min_size > max_size {
+            return FxHashSet::default();
+        }
+
+        // One pass over each gram's in-window buckets computes both the
+        // windowed df (for the rarest-first order) and the loosest
+        // requirement any in-window candidate could have — min_overlap
+        // probed at every distinct bucket size occurring in the window
+        // (avoids monotonicity assumptions on the bound). This is the
+        // per-probe hot path; the postings hash and bucket ranges are
+        // walked exactly once here.
+        let mut tau_min = u32::MAX;
+        let mut stats: Vec<(usize, &String)> = Vec::with_capacity(n);
+        for g in query_grams {
+            let mut df = 0usize;
+            if let Some(buckets) = self.postings.get(g.as_str()) {
+                for (&size, list) in buckets.range(min_size..=max_size) {
+                    df += list.len();
+                    tau_min = tau_min.min(min_overlap(size).max(1));
+                }
+            }
+            stats.push((df, g));
+        }
+        if tau_min == u32::MAX || tau_min as usize > n {
+            // No posting in the window, or nothing can share enough.
+            return FxHashSet::default();
+        }
+        // Rarest-first gram order (df ties broken by the gram itself so
+        // the scan order — and with it the work done — is
+        // deterministic; the *result* is order-independent).
+        stats.sort_unstable();
+        let order: Vec<&String> = stats.into_iter().map(|(_, g)| g).collect();
+
+        // Phase 1: scan the rarest n − τ_min + 1 lists, seeding
+        // (id, size) → count.
+        let seed_lists = n - tau_min as usize + 1;
+        let mut counts: FxHashMap<u32, (u32, u32)> = FxHashMap::default(); // id → (count, size)
+        for g in order.iter().take(seed_lists) {
+            if let Some(buckets) = self.postings.get(g.as_str()) {
+                for (&size, list) in buckets.range(min_size..=max_size) {
+                    for &id in list {
+                        if !self.tombstones.contains(&id) {
+                            counts.entry(id).or_insert((0, size)).0 += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: membership-probe the frequent remainder, abandoning
+        // candidates that can no longer reach their requirement.
+        let mut survivors: Vec<(u32, u32, u32)> = counts
+            .into_iter()
+            .map(|(id, (count, size))| (id, count, size))
+            .collect();
+        for (i, g) in order.iter().enumerate().skip(seed_lists) {
+            let left_after = (n - 1 - i) as u32; // grams still unprobed after this one
+            let buckets = self.postings.get(g.as_str());
+            survivors.retain_mut(|(id, count, size)| {
+                let required = min_overlap(*size).max(1);
+                if *count >= required {
+                    return true; // already qualified; skip the probe
+                }
+                if let Some(list) = buckets.and_then(|b| b.get(size)) {
+                    if list.binary_search(id).is_ok() {
+                        *count += 1;
+                    }
+                }
+                *count + left_after >= required
+            });
+        }
+
+        survivors
+            .into_iter()
+            .filter(|(_, count, size)| *count >= min_overlap(*size).max(1))
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+
+    /// Merge in an index built from another input shard. Per-bucket
+    /// posting lists stay id-sorted, so the merged index is
+    /// observationally identical to a sequential build over the
+    /// concatenated input. Both indexes must be tombstone-free (freshly
+    /// built).
+    pub fn absorb(&mut self, other: SizeBucketedIndex) {
+        debug_assert!(self.tombstones.is_empty() && other.tombstones.is_empty());
+        self.sizes.extend(other.sizes);
+        self.gramless.extend(other.gramless);
+        for (g, buckets) in other.postings {
+            let mine = self.postings.entry(g).or_default();
+            for (size, mut list) in buckets {
+                let dst = mine.entry(size).or_default();
+                if dst.is_empty() {
+                    *dst = list;
+                } else {
+                    dst.append(&mut list);
+                    dst.sort_unstable();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-gram tokenizer for tests (deduplicated); the real tagged
+    /// q-gram tokenizer lives upstream in moma-core.
+    fn grams(s: &str) -> Vec<String> {
+        let mut v: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn sample() -> SizeBucketedIndex {
+        let mut idx = SizeBucketedIndex::new();
+        idx.insert(0, &grams("data cleaning system")); // size 3
+        idx.insert(1, &grams("schema matching cupid")); // size 3
+        idx.insert(2, &grams("fuzzy match data cleaning")); // size 4
+        idx.insert(3, &grams("")); // gramless
+        idx.insert(4, &grams("data")); // size 1
+        idx
+    }
+
+    /// Probe requiring `tau` shared grams at any size.
+    fn probe(idx: &SizeBucketedIndex, q: &str, tau: u32) -> FxHashSet<u32> {
+        idx.candidates(&grams(q), 0, u32::MAX, &|_| tau)
+    }
+
+    #[test]
+    fn basic_count_filtering() {
+        let idx = sample();
+        // Share >= 1 gram with "data cleaning": ids 0, 2, 4.
+        let c1 = probe(&idx, "data cleaning", 1);
+        assert_eq!(c1, [0u32, 2, 4].into_iter().collect());
+        // Share >= 2 grams: ids 0 and 2 only.
+        let c2 = probe(&idx, "data cleaning", 2);
+        assert_eq!(c2, [0u32, 2].into_iter().collect());
+        // Nothing shares 3 grams with a 2-gram query... except nothing.
+        assert!(probe(&idx, "data cleaning", 3).is_empty());
+    }
+
+    #[test]
+    fn size_window_prunes_buckets() {
+        let idx = sample();
+        let q = grams("data cleaning fuzzy match");
+        // Only size-4 values considered: id 2.
+        let c = idx.candidates(&q, 4, 4, &|_| 1);
+        assert_eq!(c, [2u32].into_iter().collect());
+        // Only size-1 values: id 4.
+        let c = idx.candidates(&q, 1, 1, &|_| 1);
+        assert_eq!(c, [4u32].into_iter().collect());
+        // Empty window.
+        assert!(idx.candidates(&q, 5, 4, &|_| 1).is_empty());
+    }
+
+    #[test]
+    fn per_size_overlap_requirement() {
+        let idx = sample();
+        let q = grams("data cleaning system fuzzy match");
+        // Require full containment: size-s candidates must share s grams.
+        let c = idx.candidates(&q, 1, u32::MAX, &|s| s);
+        // id 0 {data,cleaning,system} ⊆ q; id 2 {fuzzy,match,data,cleaning} ⊆ q; id 4 {data} ⊆ q.
+        assert_eq!(c, [0u32, 2, 4].into_iter().collect());
+        // id 1 shares nothing; never a candidate.
+        assert!(!c.contains(&1));
+    }
+
+    #[test]
+    fn empty_query_and_gramless_values() {
+        let idx = sample();
+        assert!(probe(&idx, "", 1).is_empty());
+        assert_eq!(idx.gramless_ids(), [3u32].into_iter().collect());
+        assert_eq!(idx.size_of(3), Some(0));
+        assert_eq!(idx.size_of(2), Some(4));
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.all_ids().len(), 5);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut idx = sample();
+        assert!(!idx.insert(0, &grams("other")));
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.df_in_window("other", 0, u32::MAX), 0);
+    }
+
+    #[test]
+    fn remove_tombstones_and_filters_probes() {
+        let mut idx = sample();
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        assert!(!idx.remove(99));
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.tombstone_count(), 1);
+        // df over-counts until compaction, probes never return the dead id.
+        assert_eq!(idx.df_in_window("data", 0, u32::MAX), 3);
+        let c = probe(&idx, "data cleaning", 1);
+        assert!(!c.contains(&0) && c.contains(&2) && c.contains(&4));
+        idx.compact();
+        assert_eq!(idx.tombstone_count(), 0);
+        assert_eq!(idx.df_in_window("data", 0, u32::MAX), 2);
+        assert_eq!(
+            probe(&idx, "data cleaning", 1),
+            [2u32, 4].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn replace_moves_size_buckets() {
+        let mut idx = sample();
+        // id 4 grows from size 1 to size 3.
+        assert!(idx.replace(4, &grams("data"), &grams("entity resolution survey")));
+        assert_eq!(idx.size_of(4), Some(3));
+        assert_eq!(idx.df_in_window("data", 1, 1), 0);
+        let c = idx.candidates(&grams("entity resolution"), 3, 3, &|_| 2);
+        assert_eq!(c, [4u32].into_iter().collect());
+        // Replace to gramless and back.
+        assert!(idx.replace(4, &grams("entity resolution survey"), &grams("")));
+        assert_eq!(idx.size_of(4), Some(0));
+        assert!(idx.gramless_ids().contains(&4));
+        assert!(idx.replace(4, &grams(""), &grams("back again")));
+        assert!(probe(&idx, "back", 1).contains(&4));
+        // Non-live id: no-op.
+        assert!(!idx.replace(99, &grams("a"), &grams("b")));
+    }
+
+    #[test]
+    fn reinsert_after_remove_purges_stale_postings() {
+        let mut idx = sample();
+        idx.remove(0);
+        assert!(idx.insert(0, &grams("brand new value")));
+        assert_eq!(idx.tombstone_count(), 0);
+        assert!(!probe(&idx, "cleaning system", 2).contains(&0));
+        assert!(probe(&idx, "brand new", 2).contains(&0));
+    }
+
+    #[test]
+    fn apply_delta_batches() {
+        let mut idx = sample();
+        let delta = GramIndexDelta {
+            added: vec![(10, grams("new entry data"))],
+            removed: vec![1, 77],
+            replaced: vec![(
+                2,
+                grams("fuzzy match data cleaning"),
+                grams("robust fuzzy match"),
+            )],
+        };
+        idx.apply_delta(&delta);
+        assert_eq!(idx.len(), 5); // -1 +1
+        assert!(probe(&idx, "new entry", 2).contains(&10));
+        assert!(!idx.is_live(1));
+        assert_eq!(idx.size_of(2), Some(3));
+        assert!(probe(&idx, "robust fuzzy", 2).contains(&2));
+        assert!(!probe(&idx, "data cleaning", 2).contains(&2));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild() {
+        let mut idx = SizeBucketedIndex::new();
+        let mut state: std::collections::BTreeMap<u32, String> = Default::default();
+        let texts = [
+            "data cleaning",
+            "schema matching evaluation",
+            "entity resolution",
+            "fuzzy match online data",
+            "record linkage",
+        ];
+        for i in 0..25u32 {
+            let t = texts[i as usize % texts.len()];
+            idx.insert(i, &grams(t));
+            state.insert(i, t.to_owned());
+        }
+        for i in (0..25u32).step_by(3) {
+            idx.remove(i);
+            state.remove(&i);
+        }
+        for i in (1..25u32).step_by(4) {
+            if let Some(old) = state.get(&i).cloned() {
+                idx.replace(i, &grams(&old), &grams("replaced value"));
+                state.insert(i, "replaced value".to_owned());
+            }
+        }
+        idx.compact();
+        let mut fresh = SizeBucketedIndex::new();
+        for (&id, text) in &state {
+            fresh.insert(id, &grams(text));
+        }
+        assert_eq!(idx.len(), fresh.len());
+        assert_eq!(idx.all_ids(), fresh.all_ids());
+        for text in texts.iter().copied().chain(["replaced value"]) {
+            for g in grams(text) {
+                assert_eq!(
+                    idx.df_in_window(&g, 0, u32::MAX),
+                    fresh.df_in_window(&g, 0, u32::MAX),
+                    "gram {g}"
+                );
+            }
+            for tau in [1, 2] {
+                assert_eq!(
+                    probe(&idx, text, tau),
+                    probe(&fresh, text, tau),
+                    "{text}/{tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_merges_sorted_buckets() {
+        let mut a = SizeBucketedIndex::new();
+        a.insert(5, &grams("alpha beta"));
+        a.insert(1, &grams("beta gamma"));
+        let mut b = SizeBucketedIndex::new();
+        b.insert(3, &grams("beta delta"));
+        a.absorb(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.df_in_window("beta", 2, 2), 3);
+        let c = probe(&a, "beta", 1);
+        assert_eq!(c, [1u32, 3, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn compaction_policy_edges() {
+        // ratio 0, floor 0: swept on every removal — tombstones never
+        // observable.
+        let mut eager = SizeBucketedIndex::new().with_compaction(0.0, 0);
+        for i in 0..50u32 {
+            eager.insert(i, &grams(&format!("value number {i}")));
+        }
+        for i in 0..50u32 {
+            eager.remove(i);
+            assert_eq!(eager.tombstone_count(), 0, "id {i} not swept eagerly");
+        }
+        assert!(eager.is_empty());
+
+        // ratio ∞: never auto-swept, even at 100% tombstones; probes
+        // stay exact and an explicit compact() still works.
+        let mut lazy = SizeBucketedIndex::new().with_compaction(f64::INFINITY, 0);
+        for i in 0..50u32 {
+            lazy.insert(i, &grams(&format!("value number {i}")));
+        }
+        for i in 0..50u32 {
+            lazy.remove(i);
+        }
+        assert_eq!(lazy.tombstone_count(), 50);
+        assert!(lazy.is_empty());
+        assert!(probe(&lazy, "value number 7", 1).is_empty());
+        lazy.compact();
+        assert_eq!(lazy.tombstone_count(), 0);
+        assert_eq!(lazy.df_in_window("value", 0, u32::MAX), 0);
+    }
+
+    #[test]
+    fn phase2_abandonment_is_exact() {
+        // A query with many grams against candidates engineered to sit
+        // just below / at the requirement, forcing phase 2 probes.
+        let mut idx = SizeBucketedIndex::new();
+        idx.insert(0, &grams("a b c d e f g h")); // shares 8
+        idx.insert(1, &grams("a b c d x1 x2 x3 x4")); // shares 4
+        idx.insert(2, &grams("a y1 y2 y3 y4 y5 y6 y7")); // shares 1
+        let q = grams("a b c d e f g h");
+        for tau in 1..=8u32 {
+            let c = idx.candidates(&q, 0, u32::MAX, &|_| tau);
+            assert_eq!(c.contains(&0), tau <= 8, "tau={tau}");
+            assert_eq!(c.contains(&1), tau <= 4, "tau={tau}");
+            assert_eq!(c.contains(&2), tau <= 1, "tau={tau}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grams(s: &str) -> Vec<String> {
+        let mut v: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn overlap(a: &[String], b: &[String]) -> u32 {
+        a.iter().filter(|g| b.contains(g)).count() as u32
+    }
+
+    proptest! {
+        /// The count-filter merge is exact: it returns precisely the
+        /// live in-window ids whose true overlap meets the requirement —
+        /// compared against a brute-force scan.
+        #[test]
+        fn merge_matches_bruteforce(
+            values in prop::collection::vec("[a-e]( [a-e]){0,7}", 1..25),
+            query in "[a-e]( [a-e]){0,7}",
+            min_size in 0u32..4,
+            width in 0u32..6,
+            tau in 1u32..5,
+        ) {
+            let idx = SizeBucketedIndex::default();
+            let mut idx = idx;
+            let toks: Vec<Vec<String>> = values.iter().map(|v| grams(v)).collect();
+            for (i, t) in toks.iter().enumerate() {
+                idx.insert(i as u32, t);
+            }
+            let q = grams(&query);
+            let max_size = min_size + width;
+            let got = idx.candidates(&q, min_size, max_size, &|_| tau);
+            let want: FxHashSet<u32> = toks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    let s = t.len() as u32;
+                    (min_size..=max_size).contains(&s) && overlap(&q, t) >= tau
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// ...and stays exact under tombstoned removals and replaces
+        /// (no compaction forced), with per-size requirements.
+        #[test]
+        fn merge_exact_after_maintenance(
+            values in prop::collection::vec("[a-e]( [a-e]){0,7}", 4..25),
+            replacement in "[a-e]( [a-e]){0,7}",
+            query in "[a-e]( [a-e]){0,7}",
+        ) {
+            let mut idx = SizeBucketedIndex::new().with_compaction(f64::INFINITY, 0);
+            let mut current: Vec<Option<Vec<String>>> =
+                values.iter().map(|v| Some(grams(v))).collect();
+            for (i, t) in current.iter().enumerate() {
+                idx.insert(i as u32, t.as_ref().unwrap());
+            }
+            for i in (0..values.len()).step_by(3) {
+                idx.remove(i as u32);
+                current[i] = None;
+            }
+            let rep = grams(&replacement);
+            for i in (1..values.len()).step_by(4) {
+                if let Some(old) = current[i].clone() {
+                    idx.replace(i as u32, &old, &rep);
+                    current[i] = Some(rep.clone());
+                }
+            }
+            let q = grams(&query);
+            // Per-size requirement: size-s candidates must share
+            // ceil(s/2) grams (exercise the closure plumbing).
+            let req = |s: u32| s.div_ceil(2).max(1);
+            let got = idx.candidates(&q, 0, u32::MAX, &req);
+            let want: FxHashSet<u32> = current
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.as_ref().map(|t| (i, t)))
+                .filter(|(_, t)| overlap(&q, t) >= req(t.len() as u32))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Blocking ≡ AllPairs, property-tested across every candidate
+//! generator.
+//!
+//! The candidate engines in `moma_core::blocking` promise that an
+//! attribute matcher produces **the exact same mapping** — pair set,
+//! similarity scores, row order — whether candidates are pruned or not:
+//!
+//! * [`Blocking::Threshold`] for *every* q-gram measure (trigram Dice,
+//!   q-gram Dice/Jaccard/cosine/overlap) at any positive threshold —
+//!   the T-occurrence bounds are exact,
+//! * [`Blocking::TrigramPrefix`] for trigram-Dice scoring at the
+//!   matcher threshold (the prefix-filter guarantee),
+//! * both falling back transparently (non-q-gram measures under
+//!   `Threshold` score all pairs).
+//!
+//! These properties drive that promise across randomly generated
+//! datagen scenarios, thresholds {0.5, 0.7, 0.9}, hostile value shapes
+//! (empty, punctuation-only, sub-trigram-length, repeat-heavy strings)
+//! and thread counts 1 and 8 — the same extremes CI's MOMA_THREADS
+//! matrix pins for the whole suite.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use moma::core::blocking::Blocking;
+use moma::core::exec::Parallelism;
+use moma::core::matchers::multi_attribute::{AttrPair, MultiAttributeMatcher};
+use moma::core::matchers::{AttributeMatcher, MatchContext, Matcher};
+use moma::datagen::{Scenario, WorldConfig};
+use moma::model::{AttrDef, LogicalSource, ObjectType, SourceRegistry};
+use moma::simstring::SimFn;
+use proptest::prelude::*;
+
+/// Thread counts under test; 1 must hit the sequential path, 8 must
+/// shard (min_shard_size is forced to 1).
+const THREADS: [usize; 2] = [1, 8];
+
+/// The satellite thresholds every equivalence leg sweeps.
+const THRESHOLDS: [f64; 3] = [0.5, 0.7, 0.9];
+
+/// Every similarity function the threshold engine is exact for.
+fn qgram_family() -> Vec<SimFn> {
+    vec![
+        SimFn::Trigram,
+        SimFn::QgramDice(2),
+        SimFn::QgramJaccard(3),
+        SimFn::QgramCosine(3),
+        SimFn::QgramOverlap(2),
+    ]
+}
+
+/// A micro random world (see tests/parallel_equivalence.rs for the
+/// sizing rationale), cached by seed.
+fn random_world(seed: u64) -> Arc<Scenario> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<Scenario>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().unwrap();
+    guard
+        .entry(seed)
+        .or_insert_with(|| {
+            let mut cfg = WorldConfig::small();
+            cfg.seed = seed;
+            cfg.start_year = 2001;
+            cfg.end_year = 2001;
+            cfg.person_pool = 60;
+            cfg.vldb_papers = (3, 5);
+            cfg.sigmod_papers = (2, 4);
+            cfg.tods = (1, (1, 2));
+            cfg.vldbj = (1, (1, 2));
+            cfg.record = (1, (1, 3));
+            cfg.gs_noise_entries = 5 + (seed % 4) as usize * 5;
+            Arc::new(Scenario::generate(cfg))
+        })
+        .clone()
+}
+
+fn par(threads: usize) -> Parallelism {
+    Parallelism::new(threads).with_min_shard_size(1)
+}
+
+/// Assert `blocking` produces row-for-row the reference (all-pairs)
+/// mapping for this matcher configuration, at every thread count.
+fn assert_matches_allpairs(
+    reg: &SourceRegistry,
+    domain: moma::model::LdsId,
+    range: moma::model::LdsId,
+    sim: SimFn,
+    threshold: f64,
+    blocking: Blocking,
+) {
+    let reference = AttributeMatcher::new("title", "title", sim.clone(), threshold)
+        .with_blocking(Blocking::AllPairs)
+        .execute(
+            &MatchContext::new(reg).with_parallelism(Parallelism::sequential()),
+            domain,
+            range,
+        )
+        .unwrap();
+    for threads in THREADS {
+        let ctx = MatchContext::new(reg).with_parallelism(par(threads));
+        let blocked = AttributeMatcher::new("title", "title", sim.clone(), threshold)
+            .with_blocking(blocking)
+            .execute(&ctx, domain, range)
+            .unwrap();
+        assert_eq!(
+            reference.table.rows(),
+            blocked.table.rows(),
+            "sim={} t={threshold} blocking={blocking:?} threads={threads}",
+            sim.name()
+        );
+    }
+}
+
+/// A source of hostile values: empties, punctuation-only (normalizes to
+/// nothing), sub-trigram-length and repeat-heavy strings, plus a few
+/// plausible titles. Exercises the gramless edge (empty ↔ empty pairs
+/// score 1.0 and must be matched), padded short grams and the
+/// multiset/set distinction.
+fn hostile_world() -> (SourceRegistry, moma::model::LdsId, moma::model::LdsId) {
+    let values = [
+        "",
+        "!!",
+        "?!?",
+        "a",
+        "ab",
+        "aaa",
+        "aaaa",
+        "ab ab ab",
+        "aa bb aa",
+        "data cleaning",
+        "data cleaning!",
+        "Data  Cleaning",
+        "schema matching",
+        "a b a b",
+        "bbbb aaaa",
+        "...",
+    ];
+    let mut reg = SourceRegistry::new();
+    let mk = |name: &str, skip: usize| {
+        let mut src =
+            LogicalSource::new(name, ObjectType::new("Thing"), vec![AttrDef::text("title")]);
+        for (i, v) in values.iter().enumerate().skip(skip) {
+            src.insert_record(format!("{name}{i}"), vec![("title", (*v).into())])
+                .unwrap();
+        }
+        src
+    };
+    let a = mk("A", 0);
+    let b = mk("B", 1); // offset so the sides differ
+    let a = reg.register(a).unwrap();
+    let b = reg.register(b).unwrap();
+    (reg, a, b)
+}
+
+/// Threshold blocking ≡ all-pairs on the hostile world, for every
+/// q-gram measure × satellite threshold × thread count. Deterministic
+/// (no proptest): this is the edge-case grid the issue pins.
+#[test]
+fn threshold_exact_on_hostile_values() {
+    let (reg, a, b) = hostile_world();
+    for sim in qgram_family() {
+        for t in THRESHOLDS {
+            assert_matches_allpairs(&reg, a, b, sim.clone(), t, Blocking::Threshold);
+        }
+    }
+}
+
+/// The prefix filter is exact for trigram-Dice scoring — including the
+/// gramless edge (empty ↔ punctuation-only pairs) it historically
+/// missed.
+#[test]
+fn trigram_prefix_exact_on_hostile_values() {
+    let (reg, a, b) = hostile_world();
+    for t in THRESHOLDS {
+        assert_matches_allpairs(&reg, a, b, SimFn::Trigram, t, Blocking::TrigramPrefix);
+    }
+}
+
+/// Non-q-gram measures under Threshold blocking transparently score all
+/// pairs — still exactly equal to AllPairs, hostile values included.
+#[test]
+fn threshold_fallback_exact_for_non_qgram_measures() {
+    let (reg, a, b) = hostile_world();
+    for sim in [SimFn::Jaro, SimFn::Levenshtein, SimFn::TokenJaccard] {
+        assert_matches_allpairs(&reg, a, b, sim, 0.7, Blocking::Threshold);
+    }
+}
+
+/// Multi-attribute: threshold blocking on the primary attribute (with
+/// its derived bound and missing-primary handling) ≡ all-pairs on a
+/// random scenario with genuinely missing values.
+#[test]
+fn multi_attribute_threshold_exact() {
+    for seed in 0..3u64 {
+        let scenario = random_world(seed);
+        let reg = &scenario.registry;
+        let (dblp, gs) = (scenario.ids.pub_dblp, scenario.ids.pub_gs);
+        for t in THRESHOLDS {
+            let base = MultiAttributeMatcher::new(
+                vec![
+                    AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                    AttrPair::new("year", "year", SimFn::Year(1), 1.0),
+                ],
+                t,
+            );
+            let reference = base
+                .clone()
+                .with_blocking(Blocking::AllPairs)
+                .execute(
+                    &MatchContext::new(reg).with_parallelism(Parallelism::sequential()),
+                    dblp,
+                    gs,
+                )
+                .unwrap();
+            for threads in THREADS {
+                let ctx = MatchContext::new(reg).with_parallelism(par(threads));
+                let blocked = base
+                    .clone()
+                    .with_blocking(Blocking::Threshold)
+                    .execute(&ctx, dblp, gs)
+                    .unwrap();
+                assert_eq!(
+                    reference.table.rows(),
+                    blocked.table.rows(),
+                    "seed={seed} t={t} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Threshold blocking ≡ all-pairs on random datagen worlds for a
+    /// randomly drawn q-gram measure and satellite threshold.
+    #[test]
+    fn threshold_equals_allpairs_random_scenarios(
+        seed in 0u64..6,
+        sim_ix in 0usize..5,
+        t_ix in 0usize..3,
+    ) {
+        let scenario = random_world(seed);
+        let sim = qgram_family()[sim_ix].clone();
+        assert_matches_allpairs(
+            &scenario.registry,
+            scenario.ids.pub_dblp,
+            scenario.ids.pub_gs,
+            sim,
+            THRESHOLDS[t_ix],
+            Blocking::Threshold,
+        );
+    }
+
+    /// The prefix filter stays exact for trigram scoring on random
+    /// scenarios (its historical guarantee, now including gramless
+    /// values).
+    #[test]
+    fn trigram_prefix_equals_allpairs_random_scenarios(
+        seed in 0u64..6,
+        t_ix in 0usize..3,
+    ) {
+        let scenario = random_world(seed);
+        assert_matches_allpairs(
+            &scenario.registry,
+            scenario.ids.pub_dblp,
+            scenario.ids.pub_gs,
+            SimFn::Trigram,
+            THRESHOLDS[t_ix],
+            Blocking::TrigramPrefix,
+        );
+    }
+
+    /// Threshold blocking ≡ all-pairs on fully random hostile strings
+    /// over a tiny alphabet (maximal gram collisions and repeats),
+    /// self-match configuration.
+    #[test]
+    fn threshold_equals_allpairs_random_strings(
+        // A tiny alphabet with punctuation and spaces: length 0 gives
+        // empty strings, pure punctuation normalizes to gramless, and
+        // the a–c letters collide constantly (repeat-heavy multisets).
+        values in prop::collection::vec("[a-c!?. ]{0,8}", 2..16),
+        sim_ix in 0usize..5,
+        t_ix in 0usize..3,
+    ) {
+        let mut reg = SourceRegistry::new();
+        let mut src = LogicalSource::new(
+            "R",
+            ObjectType::new("Thing"),
+            vec![AttrDef::text("title")],
+        );
+        for (i, v) in values.iter().enumerate() {
+            src.insert_record(format!("r{i}"), vec![("title", v.clone().into())])
+                .unwrap();
+        }
+        let r = reg.register(src).unwrap();
+        let sim = qgram_family()[sim_ix].clone();
+        let t = THRESHOLDS[t_ix];
+        let reference = AttributeMatcher::new("title", "title", sim.clone(), t)
+            .with_blocking(Blocking::AllPairs)
+            .execute(&MatchContext::new(&reg), r, r)
+            .unwrap();
+        for threads in THREADS {
+            let ctx = MatchContext::new(&reg).with_parallelism(par(threads));
+            let blocked = AttributeMatcher::new("title", "title", sim.clone(), t)
+                .with_blocking(Blocking::Threshold)
+                .execute(&ctx, r, r)
+                .unwrap();
+            prop_assert_eq!(
+                reference.table.rows(),
+                blocked.table.rows(),
+                "sim={} t={} threads={}", sim.name(), t, threads
+            );
+        }
+    }
+}

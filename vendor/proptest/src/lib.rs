@@ -187,7 +187,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`](fn@vec).
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,
