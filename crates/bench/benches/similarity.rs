@@ -66,6 +66,17 @@ fn bench_kernels(c: &mut Criterion) {
             }
         })
     });
+    // The matcher's hot path: vectors interned once, every probe a
+    // linear merge over sorted (token, weight) pairs. The gap between
+    // this row and `tfidf_cosine` is what vector caching buys per pair.
+    let vectors: Vec<Vec<(u32, f64)>> = titles.iter().map(|t| corpus.vector(t)).collect();
+    g.bench_function("tfidf_cosine_cached_vectors", |b| {
+        b.iter(|| {
+            for w in vectors.windows(2) {
+                black_box(moma_simstring::tfidf::cosine_vectors(&w[0], &w[1]));
+            }
+        })
+    });
     g.bench_function("simfn_dispatch_trigram", |b| {
         let f = SimFn::Trigram;
         b.iter(|| {

@@ -2,41 +2,49 @@
 //! the artifact behind CI's `perf-smoke` job.
 //!
 //! ```bash
-//! cargo run --release -p moma-bench --bin bench_report              # writes BENCH_PR5.json
-//! cargo run --release -p moma-bench --bin bench_report -- out.json
+//! cargo run --release -p moma-bench --bin bench_report              # writes BENCH_PR6.json
+//! cargo run --release -p moma-bench --bin bench_report -- out.json baseline.json
 //! ```
 //!
 //! Runs the large datagen scenario (fixed seed) and matches
-//! Publication@DBLP × Publication@GS with trigram Dice at t = 0.8 under
-//! prefix-filtered and threshold-exact blocking, at 1 and 4 threads.
-//! The report records per-stage wall times (index build, candidate
-//! generation, full match), candidate counts and the pruned-vs-naive
-//! speedup ratio. Two gates hold on any hardware (the win is
-//! algorithmic, not parallel):
+//! Publication@DBLP × Publication@GS at t = 0.8 under two scoring
+//! regimes: trigram Dice (prefix-filtered vs threshold-exact blocking)
+//! and TF-IDF cosine (all-pairs vs the weighted-prefix Threshold plan),
+//! each at 1 and 4 threads. The report records per-stage wall times,
+//! candidate counts and pruning ratios. Gates that hold on any hardware
+//! (the wins are algorithmic, not parallel):
 //!
 //! * **bit-identity** — all-pairs, prefix-filtered and threshold-exact
-//!   execution produce row-for-row identical mappings,
+//!   execution produce row-for-row identical mappings, for both the
+//!   q-gram and the TF-IDF matcher,
 //! * **pruning dominance** — the threshold engine never generates (and
-//!   therefore never scores) more candidates than the prefix filter.
-//!
-//! The headline gate — threshold-exact ≥ 3× faster than the prefix
-//! filter at t = 0.8 — is asserted on both the candidate-count ratio
-//! and the end-to-end match wall clock at every thread count (observed
-//! ~600× fewer candidates and ~9× wall on the reference container; the
-//! 3× floor leaves room for noisy CI hardware).
+//!   therefore never scores) more candidates than the prefix filter,
+//! * **q-gram headline** — threshold-exact ≥ 3× faster than the prefix
+//!   filter at t = 0.8, on candidate ratio and end-to-end wall clock at
+//!   every thread count (observed ~600× fewer candidates, ~12× wall),
+//! * **TF-IDF headline** — the weighted-prefix plan scores ≥ 10× fewer
+//!   candidates than all-pairs and matches ≥ 3× faster,
+//! * **trend** — the q-gram threshold path has not regressed against
+//!   the committed baseline report (candidate counts are deterministic
+//!   and must not grow; wall times get a 1.5× tolerance for hardware
+//!   noise). A missing baseline file downgrades this gate to a warning
+//!   so the tool still runs on fresh checkouts.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use moma_core::blocking::{Blocking, ThresholdIndex, TrigramIndex};
+use moma_core::blocking::{Blocking, TfIdfIndex, ThresholdIndex, TrigramIndex};
 use moma_core::exec::Parallelism;
 use moma_core::matchers::{AttributeMatcher, MatchContext, Matcher};
 use moma_datagen::{Scenario, WorldConfig};
+use moma_simstring::tfidf::TfIdfCorpus;
 use moma_simstring::QgramMeasure;
 use moma_simstring::SimFn;
 
 const THRESHOLD: f64 = 0.8;
 const SEED: u64 = 7;
+/// Wall-clock trend tolerance vs the committed baseline (hardware noise).
+const TREND_TOLERANCE: f64 = 1.5;
 
 fn time<R>(mut f: impl FnMut() -> R) -> (R, f64) {
     // One warm-up, then best of three (robust against scheduler noise).
@@ -59,10 +67,34 @@ struct StageTimes {
     match_ms: f64,
 }
 
+/// Extract the number following `"key": ` in `text`, searching after
+/// the first occurrence of `anchor`. Good enough for the reports this
+/// tool writes itself; no JSON dependency needed.
+fn json_number(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = text.find(anchor)?;
+    let tail = &text[start..];
+    let needle = format!("\"{key}\":");
+    let at = tail.find(&needle)? + needle.len();
+    let rest = tail[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Baseline `match_ms` for the q-gram threshold stage at `threads`,
+/// from a previously committed report.
+fn baseline_threshold_match_ms(text: &str, threads: usize) -> Option<f64> {
+    text.lines()
+        .filter(|l| l.contains("\"mode\": \"threshold\""))
+        .find(|l| json_number(l, "", "threads") == Some(threads as f64))
+        .and_then(|l| json_number(l, "", "match_ms"))
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_PR5.json".to_owned());
 
     // The large pair: a noisy Google-Scholar-style source, scaled from
     // `small` toward the paper's 64k-entry regime. Seed pinned so every
@@ -76,7 +108,7 @@ fn main() {
     let (dblp, gs) = (s.ids.pub_dblp, s.ids.pub_gs);
     let dblp_len = s.registry.lds(dblp).len();
     let gs_len = s.registry.lds(gs).len();
-    eprintln!("scenario: DBLP ({dblp_len}) × GS ({gs_len}), trigram t={THRESHOLD}, seed {SEED}");
+    eprintln!("scenario: DBLP ({dblp_len}) × GS ({gs_len}), t={THRESHOLD}, seed {SEED}");
 
     let matcher = |blocking: Blocking| {
         AttributeMatcher::new("title", "title", SimFn::Trigram, THRESHOLD).with_blocking(blocking)
@@ -84,7 +116,7 @@ fn main() {
 
     // --- exactness gate: one all-pairs reference ----------------------
     let ctx4 = MatchContext::new(&s.registry).with_parallelism(Parallelism::new(4));
-    eprintln!("computing all-pairs reference (exactness gate)...");
+    eprintln!("computing all-pairs trigram reference (exactness gate)...");
     let t0 = Instant::now();
     let reference = matcher(Blocking::AllPairs)
         .execute(&ctx4, dblp, gs)
@@ -199,12 +231,133 @@ fn main() {
         });
     }
 
+    // --- TF-IDF: weighted-prefix Threshold plan vs all-pairs -----------
+    // Mirror the matcher's scoring path: a corpus over both columns,
+    // cached vectors, and a weighted-prefix index over the range side.
+    eprintln!("building TF-IDF corpus + weighted-prefix index...");
+    let corpus = TfIdfCorpus::build(
+        domain_vals
+            .iter()
+            .map(|(_, v)| v.as_str())
+            .chain(range_vals.iter().map(|(_, v)| v.as_str())),
+    );
+    let d_vecs: Vec<Vec<(u32, f64)>> = domain_vals.iter().map(|(_, v)| corpus.vector(v)).collect();
+    let r_vecs: Vec<Vec<(u32, f64)>> = range_vals.iter().map(|(_, v)| corpus.vector(v)).collect();
+    let (tfidf_index, tfidf_build_s) = time(|| {
+        TfIdfIndex::build(
+            THRESHOLD,
+            r_vecs
+                .iter()
+                .enumerate()
+                .map(|(p, v)| (p as u32, v.as_slice())),
+        )
+    });
+    let (tfidf_candidates, tfidf_gen_s) = time(|| {
+        d_vecs
+            .iter()
+            .map(|v| tfidf_index.candidates(v).len())
+            .sum::<usize>()
+    });
+    let tfidf_candidate_ratio = allpairs_candidates as f64 / (tfidf_candidates.max(1)) as f64;
+    eprintln!(
+        "TF-IDF candidates scored: all-pairs {allpairs_candidates}, weighted-prefix {tfidf_candidates} ({tfidf_candidate_ratio:.1}x)"
+    );
+    assert!(
+        tfidf_candidate_ratio >= 10.0,
+        "TF-IDF weighted-prefix pruning must score ≥10× fewer candidates than all-pairs at t={THRESHOLD}, got {tfidf_candidate_ratio:.2}x"
+    );
+
+    let tfidf_matcher = |blocking: Blocking| {
+        AttributeMatcher::tfidf("title", "title", THRESHOLD).with_blocking(blocking)
+    };
+    let mut tfidf_stages: Vec<StageTimes> = Vec::new();
+    let mut tfidf_wall_speedups: Vec<(usize, f64)> = Vec::new();
+    let mut tfidf_reference = None;
+    for threads in [1usize, 4] {
+        let ctx = MatchContext::new(&s.registry).with_parallelism(Parallelism::new(threads));
+        // All-pairs is the expensive leg: single run, no best-of-three.
+        let t0 = Instant::now();
+        let ap_mapping = tfidf_matcher(Blocking::AllPairs)
+            .execute(&ctx, dblp, gs)
+            .unwrap();
+        let ap_match_s = t0.elapsed().as_secs_f64();
+        let (thr_mapping, thr_match_s) = time(|| {
+            tfidf_matcher(Blocking::Threshold)
+                .execute(&ctx, dblp, gs)
+                .unwrap()
+        });
+        assert_eq!(
+            ap_mapping.table.rows(),
+            thr_mapping.table.rows(),
+            "TF-IDF Threshold mapping diverged from all-pairs at {threads} threads"
+        );
+        let wall = ap_match_s / thr_match_s.max(1e-12);
+        eprintln!(
+            "TF-IDF threads {threads}: all-pairs {:.0} ms, threshold {:.0} ms ({wall:.1}x wall)",
+            ap_match_s * 1e3,
+            thr_match_s * 1e3,
+        );
+        assert!(
+            wall >= 3.0,
+            "TF-IDF Threshold plan must be ≥3× faster than all-pairs at t={THRESHOLD} ({threads} threads), got {wall:.2}x"
+        );
+        tfidf_wall_speedups.push((threads, wall));
+        tfidf_stages.push(StageTimes {
+            mode: "tfidf_all_pairs",
+            threads,
+            index_build_ms: 0.0,
+            candidate_gen_ms: 0.0,
+            match_ms: ap_match_s * 1e3,
+        });
+        tfidf_stages.push(StageTimes {
+            mode: "tfidf_threshold",
+            threads,
+            index_build_ms: tfidf_build_s * 1e3,
+            candidate_gen_ms: tfidf_gen_s * 1e3,
+            match_ms: thr_match_s * 1e3,
+        });
+        tfidf_reference.get_or_insert(ap_mapping);
+    }
+    let tfidf_rows = tfidf_reference.expect("tfidf reference computed").len();
+
+    // --- trend gate vs the committed baseline --------------------------
+    let mut trend_checked = false;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(base) => {
+            let base_candidates = json_number(&base, "\"candidates\"", "threshold");
+            if let Some(bc) = base_candidates {
+                assert!(
+                    threshold_candidates as f64 <= bc,
+                    "q-gram threshold candidates regressed: {threshold_candidates} now vs {bc} in {baseline_path} (deterministic workload — this is a real pruning regression)"
+                );
+            }
+            for &(threads, _) in &wall_speedups {
+                let now = stages
+                    .iter()
+                    .find(|st| st.mode == "threshold" && st.threads == threads)
+                    .map(|st| st.match_ms)
+                    .expect("threshold stage recorded");
+                if let Some(then) = baseline_threshold_match_ms(&base, threads) {
+                    assert!(
+                        now <= then * TREND_TOLERANCE,
+                        "q-gram threshold match wall regressed at {threads} threads: {now:.0} ms now vs {then:.0} ms in {baseline_path} (tolerance {TREND_TOLERANCE}x)"
+                    );
+                    eprintln!("trend {threads} threads: {now:.0} ms vs baseline {then:.0} ms — ok");
+                }
+            }
+            trend_checked = true;
+        }
+        Err(e) => {
+            eprintln!("warning: baseline {baseline_path} unreadable ({e}); skipping trend gate");
+        }
+    }
+
     // --- JSON report ---------------------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"bench\": \"threshold-exact candidate pruning (PR5)\","
+        "  \"bench\": \"threshold-exact candidate pruning, q-gram + TF-IDF (PR6)\","
     );
     let _ = writeln!(
         json,
@@ -212,15 +365,20 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"exactness\": {{\"bit_identical\": true, \"rows\": {}, \"allpairs_reference_ms\": {allpairs_ms:.1}}},",
+        "  \"exactness\": {{\"bit_identical\": true, \"rows\": {}, \"tfidf_rows\": {tfidf_rows}, \"allpairs_reference_ms\": {allpairs_ms:.1}}},",
         reference.len()
     );
     let _ = writeln!(
         json,
         "  \"candidates\": {{\"all_pairs\": {allpairs_candidates}, \"trigram_prefix\": {prefix_candidates}, \"threshold\": {threshold_candidates}, \"threshold_vs_prefix_ratio\": {candidate_ratio:.3}, \"threshold_vs_allpairs_ratio\": {allpairs_ratio:.3}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"tfidf_candidates\": {{\"all_pairs\": {allpairs_candidates}, \"weighted_prefix\": {tfidf_candidates}, \"weighted_prefix_vs_allpairs_ratio\": {tfidf_candidate_ratio:.3}}},"
+    );
     let _ = writeln!(json, "  \"stages\": [");
-    for (i, st) in stages.iter().enumerate() {
+    let all_stages: Vec<&StageTimes> = stages.iter().chain(tfidf_stages.iter()).collect();
+    for (i, st) in all_stages.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"mode\": \"{}\", \"threads\": {}, \"index_build_ms\": {:.2}, \"candidate_gen_ms\": {:.2}, \"match_ms\": {:.2}}}{}",
@@ -229,19 +387,30 @@ fn main() {
             st.index_build_ms,
             st.candidate_gen_ms,
             st.match_ms,
-            if i + 1 < stages.len() { "," } else { "" }
+            if i + 1 < all_stages.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"wall_speedup\": {{");
-    for (i, (threads, speedup)) in wall_speedups.iter().enumerate() {
+    for (threads, speedup) in wall_speedups.iter() {
+        let _ = writeln!(json, "    \"threads_{threads}\": {speedup:.3},");
+    }
+    for (i, (threads, speedup)) in tfidf_wall_speedups.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    \"threads_{threads}\": {speedup:.3}{}",
-            if i + 1 < wall_speedups.len() { "," } else { "" }
+            "    \"tfidf_threads_{threads}\": {speedup:.3}{}",
+            if i + 1 < tfidf_wall_speedups.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"trend\": {{\"baseline\": \"{baseline_path}\", \"checked\": {trend_checked}, \"tolerance\": {TREND_TOLERANCE}}}"
+    );
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

@@ -25,10 +25,20 @@
 //!   matcher's threshold — and typically almost nothing else, so the
 //!   expensive scoring stage runs on a fraction of the prefix filter's
 //!   candidates.
+//! * **Weighted-prefix TF-IDF blocking** ([`TfIdfIndex`]): the max-weight
+//!   prefix filter of [`moma_simstring::wbounds`] applied to cached
+//!   TF-IDF unit vectors. Range vectors are indexed by token id (one
+//!   [`moma_table::BlockPostings`] per token); a probe unions the
+//!   postings of only its heaviest tokens — the minimal descending-weight
+//!   prefix whose squared mass reaches `1 − t²` — and screens each
+//!   candidate against the exact size-window and minimum-shared-token
+//!   bounds. Like the T-occurrence engine this is lossless: matcher
+//!   results are bit-identical to all-pairs scoring.
 //!
 //! The posting-list storage — tombstoned removal, amortized compaction —
-//! is [`moma_table::GramIndex`] / [`moma_table::SizeBucketedIndex`];
-//! this module owns tokenization and the threshold arithmetic.
+//! is [`moma_table::GramIndex`] / [`moma_table::SizeBucketedIndex`] /
+//! [`moma_table::BlockPostings`]; this module owns tokenization and the
+//! threshold arithmetic.
 //!
 //! ## Read-only shared-index probing
 //!
@@ -56,9 +66,9 @@
 
 use moma_simstring::bounds::{qgram_measure_of, QgramMeasure};
 use moma_simstring::tokenize::{qgrams, trigrams};
-use moma_simstring::SimFn;
+use moma_simstring::{wbounds, SimFn};
 use moma_table::exec::Parallelism;
-use moma_table::{FxHashSet, GramIndex, SizeBucketedIndex};
+use moma_table::{BlockPostings, FxHashMap, FxHashSet, GramIndex, SizeBucketedIndex};
 
 /// Deduplicated trigram list of a value.
 fn unique_trigrams(value: &str) -> Vec<String> {
@@ -403,6 +413,233 @@ impl ThresholdIndex {
     }
 }
 
+/// Weighted-prefix candidate index for TF-IDF cosine — the exact
+/// `Blocking::Threshold` engine for corpus-weighted scoring.
+///
+/// The index stores no strings and owns no corpus: it is built over the
+/// *cached unit vectors* ([`moma_simstring::TfIdfCorpus::vector`]) of
+/// the range side, with the corpus frozen for the duration of the match
+/// (the attribute matcher builds it from both columns first). Each
+/// token id owns a [`BlockPostings`] list of the indexed ids whose
+/// vectors contain it; per-id metadata (token count, maximum weight)
+/// backs the candidate-side screens.
+///
+/// A probe sorts the query's weights descending and consults only the
+/// minimal prefix [`wbounds::min_prefix_len`] demands; every id merged
+/// from those postings is screened against [`wbounds::size_window`] and
+/// [`wbounds::min_shared_tokens`] before it is admitted. All three
+/// bounds are exact (no false dismissals — see the `wbounds` property
+/// tests), so scoring the surviving candidates reproduces all-pairs
+/// results bit-identically.
+///
+/// Maintenance mirrors the other index families: tombstoned
+/// [`TfIdfIndex::remove`], surgical [`TfIdfIndex::update`] (the caller
+/// supplies the old vector), amortized [`TfIdfIndex::compact`]. Note
+/// the vectors must come from the index's frozen corpus — if the corpus
+/// itself changes (document frequencies shift), the index must be
+/// rebuilt, which is why the delta engine treats TF-IDF matchers as
+/// non-incremental.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    threshold: f64,
+    /// `postings[token id]` = ids of indexed vectors containing it.
+    postings: Vec<BlockPostings>,
+    /// Live id → (token count, max weight) of its non-empty vector.
+    meta: FxHashMap<u32, (u32, f64)>,
+    /// Live ids whose vectors are empty (token-free values) — the exact
+    /// match set of an empty query (cosine 1.0), unreachable via
+    /// postings.
+    empties: FxHashSet<u32>,
+    /// Removed ids whose posting entries have not been swept yet.
+    tombstones: FxHashSet<u32>,
+}
+
+impl TfIdfIndex {
+    /// Empty index pruning for TF-IDF cosine at `threshold` (> 0 — at 0
+    /// nothing can be pruned and the caller should score all pairs).
+    pub fn new(threshold: f64) -> Self {
+        debug_assert!(threshold > 0.0, "TF-IDF blocking needs t > 0");
+        Self {
+            threshold,
+            postings: Vec::new(),
+            meta: FxHashMap::default(),
+            empties: FxHashSet::default(),
+            tombstones: FxHashSet::default(),
+        }
+    }
+
+    /// Build from `(id, cached vector)` pairs.
+    pub fn build<'a>(
+        threshold: f64,
+        vectors: impl IntoIterator<Item = (u32, &'a [(u32, f64)])>,
+    ) -> Self {
+        let mut idx = Self::new(threshold);
+        for (id, v) in vectors {
+            idx.insert(id, v);
+        }
+        idx
+    }
+
+    fn posting_mut(&mut self, tid: u32) -> &mut BlockPostings {
+        let tid = tid as usize;
+        if tid >= self.postings.len() {
+            self.postings.resize_with(tid + 1, BlockPostings::new);
+        }
+        &mut self.postings[tid]
+    }
+
+    /// Index one value's cached vector. Returns `false` (a no-op) if
+    /// `id` is already live — use [`TfIdfIndex::update`] to change an
+    /// indexed vector.
+    pub fn insert(&mut self, id: u32, vector: &[(u32, f64)]) -> bool {
+        if self.is_live(id) {
+            return false;
+        }
+        if self.tombstones.contains(&id) {
+            // Re-inserting a removed id must not resurrect its stale
+            // postings; purge them first.
+            self.compact();
+        }
+        if vector.is_empty() {
+            self.empties.insert(id);
+            return true;
+        }
+        let maxw = vector.iter().map(|e| e.1).fold(0.0, f64::max);
+        self.meta.insert(id, (vector.len() as u32, maxw));
+        for &(tid, _) in vector {
+            self.posting_mut(tid).insert(id);
+        }
+        true
+    }
+
+    /// Tombstone a live id; returns whether it was live. Sweeps once
+    /// tombstones exceed a quarter of the live population.
+    pub fn remove(&mut self, id: u32) -> bool {
+        if self.empties.remove(&id) {
+            return true;
+        }
+        if self.meta.remove(&id).is_none() {
+            return false;
+        }
+        self.tombstones.insert(id);
+        if self.tombstones.len() >= 16 && self.tombstones.len() * 4 > self.meta.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Replace a live vector in place. The caller supplies the old
+    /// vector (the index stores none); its postings are removed
+    /// surgically, the new vector's appended. Returns `false` if `id`
+    /// is not live.
+    pub fn update(&mut self, id: u32, old: &[(u32, f64)], new: &[(u32, f64)]) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        for &(tid, _) in old {
+            if let Some(p) = self.postings.get_mut(tid as usize) {
+                p.remove(id);
+            }
+        }
+        self.meta.remove(&id);
+        self.empties.remove(&id);
+        if new.is_empty() {
+            self.empties.insert(id);
+            return true;
+        }
+        let maxw = new.iter().map(|e| e.1).fold(0.0, f64::max);
+        self.meta.insert(id, (new.len() as u32, maxw));
+        for &(tid, _) in new {
+            self.posting_mut(tid).insert(id);
+        }
+        true
+    }
+
+    /// Sweep tombstoned entries out of the posting lists now.
+    pub fn compact(&mut self) {
+        if self.tombstones.is_empty() {
+            return;
+        }
+        let dead = std::mem::take(&mut self.tombstones);
+        for p in &mut self.postings {
+            if !p.is_empty() {
+                p.retain(|id| !dead.contains(&id));
+            }
+        }
+    }
+
+    /// Number of unswept tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether `id` is indexed and not removed.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.meta.contains_key(&id) || self.empties.contains(&id)
+    }
+
+    /// Number of live indexed vectors (empty ones included).
+    pub fn len(&self) -> usize {
+        self.meta.len() + self.empties.len()
+    }
+
+    /// Whether no vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty() && self.empties.is_empty()
+    }
+
+    /// The threshold this index prunes for.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Candidate ids for a query vector: every live vector whose cosine
+    /// with `query` reaches the index threshold is returned (plus only
+    /// such near-misses as also clear the exact weighted bounds). An
+    /// empty query returns exactly the empty-vector values — the only
+    /// ones it can match (cosine 1.0).
+    pub fn candidates(&self, query: &[(u32, f64)]) -> FxHashSet<u32> {
+        if query.is_empty() {
+            return if self.threshold <= 1.0 {
+                self.empties.clone()
+            } else {
+                FxHashSet::default()
+            };
+        }
+        // Heaviest-first view of the query (ties broken by token id so
+        // probes are deterministic).
+        let mut by_weight: Vec<(f64, u32)> = query.iter().map(|&(id, w)| (w, id)).collect();
+        by_weight.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let weights: Vec<f64> = by_weight.iter().map(|e| e.0).collect();
+        let k = wbounds::min_prefix_len(&weights, self.threshold);
+        let maxw_q = weights[0];
+        let (lo, _) = wbounds::size_window(self.threshold, maxw_q);
+        let mut out = FxHashSet::default();
+        for &(_, tid) in by_weight.iter().take(k) {
+            let Some(list) = self.postings.get(tid as usize) else {
+                continue;
+            };
+            for id in list.iter() {
+                if out.contains(&id) || self.tombstones.contains(&id) {
+                    continue;
+                }
+                let (size, maxw_c) = self.meta[&id];
+                let size = size as usize;
+                if size < lo {
+                    continue;
+                }
+                // Shared tokens are capped by both vector lengths.
+                let need = wbounds::min_shared_tokens(self.threshold, maxw_q, maxw_c);
+                if size.min(query.len()) < need {
+                    continue;
+                }
+                out.insert(id);
+            }
+        }
+        out
+    }
+}
+
 /// A built candidate index of either family, with its probe parameters
 /// baked in — the runtime form of a resolved [`Blocking`] choice,
 /// shared by full matcher execution and the incremental delta engine
@@ -466,16 +703,18 @@ pub enum Blocking {
     /// Dice floor) for other measures; orders of magnitude fewer
     /// comparisons than all-pairs.
     TrigramPrefix,
-    /// Threshold-exact T-occurrence blocking (the default): for q-gram
-    /// measures (trigram Dice, `qgram:*`, `qgramjaccard:*`,
-    /// `qgramcosine:*`, `qgramoverlap:*`) the matcher threshold itself
-    /// prunes candidates *before* scoring with zero loss of matches.
-    /// For every other configuration — non-q-gram measures, TF-IDF, a
-    /// custom candidate floor, or a threshold of 0 — it transparently
-    /// falls back: to all-pairs (exact) when no sound bound exists, or
-    /// to the prefix filter when a candidate floor explicitly opts into
-    /// lossy pruning. Matcher results under this variant are therefore
-    /// always identical to [`Blocking::AllPairs`].
+    /// Threshold-exact blocking (the default): for q-gram measures
+    /// (trigram Dice, `qgram:*`, `qgramjaccard:*`, `qgramcosine:*`,
+    /// `qgramoverlap:*`) the matcher threshold itself prunes candidates
+    /// *before* scoring via the T-occurrence engine, and for TF-IDF
+    /// cosine via the weighted-prefix engine ([`TfIdfIndex`]) — zero
+    /// loss of matches either way. For every other configuration —
+    /// non-q-gram fixed measures, a custom candidate floor, or a
+    /// threshold of 0 — it transparently falls back: to all-pairs
+    /// (exact) when no sound bound exists, or to the prefix filter when
+    /// a candidate floor explicitly opts into lossy pruning. Matcher
+    /// results under this variant are therefore always identical to
+    /// [`Blocking::AllPairs`].
     #[default]
     Threshold,
 }
@@ -907,6 +1146,144 @@ mod threshold_tests {
 }
 
 #[cfg(test)]
+mod tfidf_tests {
+    use super::*;
+    use moma_simstring::tfidf::cosine_vectors;
+    use moma_simstring::TfIdfCorpus;
+
+    fn corpus_and_vectors(values: &[(u32, &str)]) -> (TfIdfCorpus, Vec<(u32, Vec<(u32, f64)>)>) {
+        let corpus = TfIdfCorpus::build(values.iter().map(|(_, v)| *v));
+        let vecs = values
+            .iter()
+            .map(|&(id, v)| (id, corpus.vector(v)))
+            .collect();
+        (corpus, vecs)
+    }
+
+    fn build(threshold: f64, vecs: &[(u32, Vec<(u32, f64)>)]) -> TfIdfIndex {
+        TfIdfIndex::build(threshold, vecs.iter().map(|(id, v)| (*id, v.as_slice())))
+    }
+
+    #[test]
+    fn probe_is_exact_superset() {
+        let data = super::tests::titles();
+        let (corpus, vecs) = corpus_and_vectors(&data);
+        for t in [0.3, 0.6, 0.9] {
+            let idx = build(t, &vecs);
+            assert_eq!(idx.len(), data.len());
+            for (_, q) in &data {
+                let qv = corpus.vector(q);
+                let cands = idx.candidates(&qv);
+                for (id, v) in &data {
+                    if corpus.cosine(q, v) >= t {
+                        assert!(cands.contains(id), "t={t}: missed `{v}` for `{q}`");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_prunes_unrelated_probes() {
+        let data = super::tests::titles();
+        let (corpus, vecs) = corpus_and_vectors(&data);
+        let idx = build(0.8, &vecs);
+        // A query sharing no token with any title is pruned to nothing.
+        let qv = corpus.vector("zzzz qqqq xxxx");
+        assert!(idx.candidates(&qv).is_empty());
+        // A selective probe returns fewer ids than the population.
+        let qv = corpus.vector("Generic Schema Matching with Cupid");
+        let c = idx.candidates(&qv);
+        assert!(c.contains(&1));
+        assert!(c.len() < data.len());
+    }
+
+    #[test]
+    fn empty_vectors_match_each_other_only() {
+        let values = [(0u32, ""), (1, "!!"), (2, "data cleaning")];
+        let (corpus, vecs) = corpus_and_vectors(&values);
+        let idx = build(0.7, &vecs);
+        assert_eq!(idx.len(), 3);
+        // "" and "!!" tokenize to nothing: cosine 1.0 with each other.
+        let c = idx.candidates(&corpus.vector("?!"));
+        assert_eq!(c, [0u32, 1].into_iter().collect::<FxHashSet<_>>());
+        assert!(!idx.candidates(&corpus.vector("data cleaning")).contains(&0));
+    }
+
+    #[test]
+    fn maintenance_matches_rebuild() {
+        // The corpus covers every value that ever enters the index —
+        // out-of-corpus tokens get call-local ids, which are only
+        // coherent within one scoring call, never across index inserts.
+        let mut data = super::tests::titles();
+        data.push((90, "Reference Reconciliation in Complex Spaces"));
+        data.push((91, "Data Cleaning: Problems and Current Approaches"));
+        let (corpus, vecs) = corpus_and_vectors(&data);
+        let vecs = &vecs[..5];
+        let mut idx = build(0.5, vecs);
+        // Remove one, update one, re-insert the removed id with a new
+        // vector (exercises the stale-posting purge), duplicate-reject.
+        assert!(idx.remove(2));
+        assert!(!idx.remove(2));
+        let replacement = corpus.vector("Reference Reconciliation in Complex Spaces");
+        assert!(idx.update(1, &vecs[1].1, &replacement));
+        let fresh_two = corpus.vector("Data Cleaning: Problems and Current Approaches");
+        assert!(idx.insert(2, &fresh_two));
+        assert!(!idx.insert(2, &fresh_two));
+        idx.compact();
+
+        let final_vecs: Vec<(u32, Vec<(u32, f64)>)> = vec![
+            (0, vecs[0].1.clone()),
+            (1, replacement),
+            (2, fresh_two),
+            (3, vecs[3].1.clone()),
+            (4, vecs[4].1.clone()),
+        ];
+        let fresh = build(0.5, &final_vecs);
+        assert_eq!(idx.len(), fresh.len());
+        for q in [
+            "view selection problem",
+            "reference reconciliation",
+            "data cleaning problems",
+            "fuzzy match online",
+        ] {
+            let qv = corpus.vector(q);
+            assert_eq!(idx.candidates(&qv), fresh.candidates(&qv), "probe {q}");
+        }
+        // Pruned candidates really are pruned (soundness is covered
+        // above; this pins that maintenance didn't degrade to all-ids).
+        let qv = corpus.vector("zzzz qqqq");
+        assert!(idx.candidates(&qv).is_empty());
+    }
+
+    #[test]
+    fn tombstoned_ids_never_surface() {
+        let data = super::tests::titles();
+        let (corpus, vecs) = corpus_and_vectors(&data);
+        let mut idx = build(0.4, &vecs);
+        idx.remove(0);
+        let qv = corpus.vector("A formal perspective on the view selection problem");
+        let c = idx.candidates(&qv);
+        assert!(!c.contains(&0));
+        assert!(c.contains(&4));
+        assert!(!idx.is_live(0) && idx.is_live(4));
+    }
+
+    #[test]
+    fn cached_vectors_score_like_strings() {
+        // The identity the matcher relies on: screening + scoring over
+        // cached vectors reproduces the string-level cosine exactly.
+        let data = super::tests::titles();
+        let (corpus, vecs) = corpus_and_vectors(&data);
+        for (i, (_, a)) in data.iter().enumerate() {
+            for (j, (_, b)) in data.iter().enumerate() {
+                assert_eq!(cosine_vectors(&vecs[i].1, &vecs[j].1), corpus.cosine(a, b));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use super::*;
     use moma_simstring::ngram::trigram;
@@ -963,6 +1340,35 @@ mod prop_tests {
                         prop_assert!(cands.contains(&(i as u32)),
                             "{:?} q={} t={}: missed `{}` (sim {}) for `{}`", m, q, t, v, s, query);
                     }
+                }
+            }
+        }
+
+        /// The weighted-prefix TF-IDF engine makes the T-occurrence
+        /// promise for corpus-weighted cosine: no pair reaching the
+        /// threshold is ever pruned, over random corpora and thresholds.
+        #[test]
+        fn tfidf_index_no_false_dismissals(
+            values in prop::collection::vec("[a-d]{1,4}( [a-d]{1,4}){0,4}", 1..16),
+            query in "[a-d]{1,4}( [a-d]{1,4}){0,4}",
+            t in 0.05f64..=1.0,
+        ) {
+            let corpus = moma_simstring::TfIdfCorpus::build(
+                values.iter().map(|s| s.as_str()).chain([query.as_str()]),
+            );
+            let vecs: Vec<Vec<(u32, f64)>> =
+                values.iter().map(|v| corpus.vector(v)).collect();
+            let idx = TfIdfIndex::build(
+                t,
+                vecs.iter().enumerate().map(|(i, v)| (i as u32, v.as_slice())),
+            );
+            let qv = corpus.vector(&query);
+            let cands = idx.candidates(&qv);
+            for (i, v) in values.iter().enumerate() {
+                let s = moma_simstring::tfidf::cosine_vectors(&qv, &vecs[i]);
+                if s >= t {
+                    prop_assert!(cands.contains(&(i as u32)),
+                        "t={}: missed `{}` (cos {}) for `{}`", t, v, s, query);
                 }
             }
         }

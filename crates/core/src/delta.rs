@@ -106,6 +106,11 @@ fn supports_incremental(m: &AttributeMatcher) -> bool {
     }
     match m.candidate_plan() {
         CandidatePlan::AllPairs | CandidatePlan::Threshold { .. } => true,
+        // Only arises for `MatcherSim::TfIdf`, rejected above: the
+        // weighted-prefix index is exact for a *frozen* corpus, but any
+        // delta shifts the corpus-global weights, so every apply must be
+        // a full re-match.
+        CandidatePlan::TfIdf => false,
         CandidatePlan::Prefix { .. } => {
             matches!(
                 m.sim,

@@ -7,10 +7,11 @@
 
 use moma_model::LdsId;
 use moma_simstring::bounds::{qgram_measure_of, QgramMeasure};
+use moma_simstring::tfidf::cosine_vectors;
 use moma_simstring::{SimFn, TfIdfCorpus};
 use moma_table::{Correspondence, MappingTable};
 
-use crate::blocking::{Blocking, CandidateIndex, ThresholdIndex, TrigramIndex};
+use crate::blocking::{Blocking, CandidateIndex, TfIdfIndex, ThresholdIndex, TrigramIndex};
 use crate::error::Result;
 use crate::exec::Parallelism;
 use crate::mapping::Mapping;
@@ -45,6 +46,10 @@ pub(crate) enum CandidatePlan {
         /// Gram length.
         q: usize,
     },
+    /// Threshold-exact weighted-prefix index over cached TF-IDF vectors
+    /// (see [`TfIdfIndex`]); the corpus is built from both columns at
+    /// execution time and frozen for the match.
+    TfIdf,
 }
 
 /// Generic single-attribute matcher.
@@ -176,7 +181,9 @@ impl AttributeMatcher {
     ///   filtering (same as under [`Blocking::TrigramPrefix`]),
     /// * a fixed q-gram measure with a positive threshold gets the exact
     ///   T-occurrence engine,
-    /// * everything else (TF-IDF, non-q-gram measures, `t ≤ 0`) scores
+    /// * TF-IDF with a positive threshold gets the exact weighted-prefix
+    ///   engine over cached vectors,
+    /// * everything else (non-q-gram fixed measures, `t ≤ 0`) scores
     ///   all pairs — exactly what [`Blocking::AllPairs`] would do.
     pub(crate) fn candidate_plan(&self) -> CandidatePlan {
         match self.blocking {
@@ -189,10 +196,13 @@ impl AttributeMatcher {
                     return CandidatePlan::Prefix { dice_bound: floor };
                 }
                 if self.threshold > 0.0 {
-                    if let MatcherSim::Fixed(sim) = &self.sim {
-                        if let Some((measure, q)) = qgram_measure_of(sim) {
-                            return CandidatePlan::Threshold { measure, q };
+                    match &self.sim {
+                        MatcherSim::Fixed(sim) => {
+                            if let Some((measure, q)) = qgram_measure_of(sim) {
+                                return CandidatePlan::Threshold { measure, q };
+                            }
                         }
+                        MatcherSim::TfIdf => return CandidatePlan::TfIdf,
                     }
                 }
                 CandidatePlan::AllPairs
@@ -217,6 +227,11 @@ impl AttributeMatcher {
             CandidatePlan::Threshold { measure, q } => Some(CandidateIndex::Threshold(
                 ThresholdIndex::build_par(measure, q, self.threshold, values, par),
             )),
+            // The TF-IDF engine indexes cached vectors, not strings — it
+            // lives inside the scoring path (see `score_tfidf`), and the
+            // delta engine never asks for it (TF-IDF matchers are
+            // non-incremental: the corpus shifts under every delta).
+            CandidatePlan::TfIdf => None,
         }
     }
 
@@ -231,24 +246,10 @@ impl AttributeMatcher {
         domain_vals: &[(u32, String)],
         range_vals: &[(u32, String)],
     ) -> MappingTable {
-        // Pre-compute the scoring closure.
-        let tfidf_corpus = match self.sim {
-            MatcherSim::TfIdf => {
-                let mut corpus = TfIdfCorpus::new();
-                for (_, v) in domain_vals.iter().chain(range_vals.iter()) {
-                    corpus.add_document(v);
-                }
-                Some(corpus)
-            }
-            MatcherSim::Fixed(_) => None,
+        let MatcherSim::Fixed(simfn) = &self.sim else {
+            return self.score_tfidf(par, domain_vals, range_vals);
         };
-        let score_one = |a: &str, b: &str| -> f64 {
-            match (&self.sim, &tfidf_corpus) {
-                (MatcherSim::Fixed(f), _) => f.eval(a, b),
-                (MatcherSim::TfIdf, Some(c)) => c.cosine(a, b),
-                (MatcherSim::TfIdf, None) => unreachable!("corpus prepared above"),
-            }
-        };
+        let score_one = |a: &str, b: &str| -> f64 { simfn.eval(a, b) };
 
         // Candidate index (per the resolved plan), built sharded.
         let index = self.build_candidate_index(range_vals, &par);
@@ -290,6 +291,85 @@ impl AttributeMatcher {
 
         let mut rows = Vec::new();
         for shard in par.run_sharded(domain_vals, score_chunk) {
+            rows.extend(shard);
+        }
+        MappingTable::from_rows(rows)
+    }
+
+    /// TF-IDF scoring over cached vectors. The corpus is built from both
+    /// columns, every value's unit vector is computed once (sharded
+    /// across `par`), and *all* scoring — pruned or not — runs through
+    /// [`cosine_vectors`] on those cached vectors, so the pruned plan is
+    /// bit-identical to all-pairs by construction. Under
+    /// [`CandidatePlan::TfIdf`] the range vectors are additionally
+    /// indexed in a [`TfIdfIndex`] keyed by range *position*, and each
+    /// domain vector scores only its weighted-prefix candidates.
+    fn score_tfidf(
+        &self,
+        par: Parallelism,
+        domain_vals: &[(u32, String)],
+        range_vals: &[(u32, String)],
+    ) -> MappingTable {
+        let mut corpus = TfIdfCorpus::new();
+        for (_, v) in domain_vals.iter().chain(range_vals.iter()) {
+            corpus.add_document(v);
+        }
+        // Cache every value's unit vector (the expensive tokenization +
+        // weighting pass), preserving input order across shards.
+        let vectorize = |vals: &[(u32, String)]| -> Vec<(u32, Vec<(u32, f64)>)> {
+            let mut out = Vec::with_capacity(vals.len());
+            for shard in par.run_sharded(vals, |chunk| {
+                chunk
+                    .iter()
+                    .map(|(i, v)| (*i, corpus.vector(v)))
+                    .collect::<Vec<_>>()
+            }) {
+                out.extend(shard);
+            }
+            out
+        };
+        let d_items = vectorize(domain_vals);
+        let r_items = vectorize(range_vals);
+
+        let index = match self.candidate_plan() {
+            CandidatePlan::TfIdf => Some(TfIdfIndex::build(
+                self.threshold,
+                r_items
+                    .iter()
+                    .enumerate()
+                    .map(|(p, (_, v))| (p as u32, v.as_slice())),
+            )),
+            _ => None,
+        };
+
+        let score_chunk = |chunk: &[(u32, Vec<(u32, f64)>)]| -> Vec<Correspondence> {
+            let mut out = Vec::new();
+            for (d_idx, d_vec) in chunk {
+                match &index {
+                    None => {
+                        for (r_idx, r_vec) in &r_items {
+                            let s = cosine_vectors(d_vec, r_vec);
+                            if s >= self.threshold {
+                                out.push(Correspondence::new(*d_idx, *r_idx, s));
+                            }
+                        }
+                    }
+                    Some(idx) => {
+                        for p in idx.candidates(d_vec) {
+                            let (r_idx, r_vec) = &r_items[p as usize];
+                            let s = cosine_vectors(d_vec, r_vec);
+                            if s >= self.threshold {
+                                out.push(Correspondence::new(*d_idx, *r_idx, s));
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        let mut rows = Vec::new();
+        for shard in par.run_sharded(&d_items, score_chunk) {
             rows.extend(shard);
         }
         MappingTable::from_rows(rows)
@@ -473,9 +553,14 @@ mod tests {
             .execute(&ctx, d, a)
             .unwrap();
         assert_eq!(got.table.rows(), want.table.rows());
-        // TF-IDF: corpus-global weights, no sound bound — all-pairs.
+        // TF-IDF: the weighted-prefix bounds are exact — pruned plan.
         assert_eq!(
             AttributeMatcher::tfidf("title", "name", 0.6).candidate_plan(),
+            CandidatePlan::TfIdf
+        );
+        // ...but a TF-IDF threshold of 0 can prune nothing.
+        assert_eq!(
+            AttributeMatcher::tfidf("title", "name", 0.0).candidate_plan(),
             CandidatePlan::AllPairs
         );
         // Threshold 0 can prune nothing.
@@ -541,6 +626,27 @@ mod tests {
         assert!(result.table.sim_of(0, 0).unwrap() > 0.9);
         assert!(result.table.sim_of(1, 1).unwrap() > 0.9);
         assert!(result.table.sim_of(2, 2).is_none());
+    }
+
+    #[test]
+    fn tfidf_threshold_blocking_matches_allpairs() {
+        let (reg, d, a) = setup();
+        for t in [0.3, 0.6, 0.9] {
+            for threads in [1usize, 8] {
+                let ctx = MatchContext::new(&reg)
+                    .with_parallelism(Parallelism::new(threads).with_min_shard_size(1));
+                let pruned = AttributeMatcher::tfidf("title", "name", t);
+                assert_eq!(pruned.candidate_plan(), CandidatePlan::TfIdf);
+                let pruned = pruned.execute(&ctx, d, a).unwrap();
+                let all = AttributeMatcher::tfidf("title", "name", t)
+                    .with_blocking(Blocking::AllPairs)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                // Bit-identical, not approximately equal: both plans
+                // score through the same cached vectors.
+                assert_eq!(pruned.table.rows(), all.table.rows(), "t={t}");
+            }
+        }
     }
 
     #[test]

@@ -56,17 +56,22 @@ pub struct MultiAttributeMatcher {
     /// Missing-value treatment: ignore (renormalize weights over present
     /// attributes) or zero.
     pub missing: MissingPolicy,
-    /// Candidate-generation strategy (on the primary attribute).
+    /// Candidate-generation strategy. [`Blocking::TrigramPrefix`] blocks
+    /// on the primary attribute only; [`Blocking::Threshold`] prunes
+    /// through *every* attribute that admits a sound derived bound and
+    /// intersects the per-attribute candidate sets.
     pub blocking: Blocking,
 }
 
 impl MultiAttributeMatcher {
     /// Create a matcher with the default threshold-exact blocking
-    /// ([`Blocking::Threshold`]): candidates are pruned on the primary
-    /// attribute through a *derived* primary threshold (see
-    /// [`MultiAttributeMatcher::primary_threshold`]) whenever a sound
-    /// bound exists, and scored all-pairs otherwise — results are always
-    /// identical to [`Blocking::AllPairs`]. `attrs` must be non-empty.
+    /// ([`Blocking::Threshold`]): every attribute with a q-gram measure
+    /// and a sound *derived* threshold (see
+    /// [`MultiAttributeMatcher::derived_threshold`]) prunes candidates
+    /// through its own T-occurrence index and the per-attribute sets are
+    /// intersected; with no boundable attribute the matcher scores
+    /// all-pairs — results are always identical to
+    /// [`Blocking::AllPairs`]. `attrs` must be non-empty.
     pub fn new(attrs: Vec<AttrPair>, threshold: f64) -> Self {
         Self {
             attrs,
@@ -88,21 +93,28 @@ impl MultiAttributeMatcher {
         self
     }
 
-    /// The primary-attribute threshold a combined-similarity threshold
-    /// `t` implies: with primary weight `w` and total weight `W`, a pair
-    /// whose *primary* values are both present can only reach combined
-    /// similarity `t` if the primary similarity reaches
-    /// `1 − W·(1 − t)/w` (every other attribute contributes at most its
-    /// full weight, under either missing policy). `None` when the bound
-    /// is vacuous (≤ 0) or unsound (a non-positive weight).
-    pub fn primary_threshold(&self) -> Option<f64> {
-        let w = self.attrs.first()?.weight;
+    /// The attribute-`k` threshold a combined-similarity threshold `t`
+    /// implies: with attribute weight `w_k` and total weight `W`, a pair
+    /// whose attribute-`k` values are both present can only reach
+    /// combined similarity `t` if that attribute's similarity reaches
+    /// `1 − W·(1 − t)/w_k` — every other attribute contributes at most
+    /// its full weight, and the divisor never exceeds `W` under either
+    /// missing policy. `None` when the bound is vacuous (≤ 0), unsound
+    /// (a negative weight anywhere, or `w_k ≤ 0`), or `k` out of range.
+    pub fn derived_threshold(&self, k: usize) -> Option<f64> {
+        let w = self.attrs.get(k)?.weight;
         if w <= 0.0 || self.attrs.iter().any(|p| p.weight < 0.0) {
             return None;
         }
         let total: f64 = self.attrs.iter().map(|p| p.weight).sum();
-        let t_p = 1.0 - total * (1.0 - self.threshold) / w;
-        (t_p > 0.0).then_some(t_p)
+        let t_k = 1.0 - total * (1.0 - self.threshold) / w;
+        (t_k > 0.0).then_some(t_k)
+    }
+
+    /// [`MultiAttributeMatcher::derived_threshold`] of the primary
+    /// (first) attribute — the bound the prefix filter blocks on.
+    pub fn primary_threshold(&self) -> Option<f64> {
+        self.derived_threshold(0)
     }
 
     fn combined_sim(&self, d_vals: &[Option<String>], r_vals: &[Option<String>]) -> Option<f64> {
@@ -180,65 +192,79 @@ impl Matcher for MultiAttributeMatcher {
         let d_rows = project(d_lds, true)?;
         let r_rows = project(r_lds, false)?;
 
-        // Blocking on the primary attribute (index built sharded, probed
-        // read-only by every scoring thread).
+        // Blocking (indexes built sharded, probed read-only by every
+        // scoring thread).
         //
-        // * `TrigramPrefix` probes at the *combined* threshold — fast
-        //   and historically lossy: a pair whose primary similarity is
-        //   below it can still clear the combined threshold through the
-        //   other attributes, and rows with a missing primary are
-        //   skipped entirely.
-        // * `Threshold` is exact: the probe threshold is the *derived*
-        //   primary bound (see `primary_threshold`), range rows with a
-        //   missing primary are kept as unconditional candidates, and
-        //   domain rows with a missing primary scan the whole range
-        //   side. When no sound bound exists (non-q-gram primary
-        //   measure, vacuous bound) it falls back to the all-pairs
-        //   scan — results always match `AllPairs`.
-        enum PrimaryIndex {
+        // * `TrigramPrefix` indexes the *primary* attribute and probes
+        //   at the *combined* threshold — fast and historically lossy: a
+        //   pair whose primary similarity is below it can still clear
+        //   the combined threshold through the other attributes, and
+        //   rows with a missing primary are skipped entirely.
+        // * `Threshold` is exact and *multi-index*: every attribute
+        //   whose measure is q-gram-boundable and whose derived bound
+        //   (see `derived_threshold`) is sound gets its own
+        //   T-occurrence index at that bound, and a pair must survive
+        //   **all** of them — the per-attribute candidate sets are
+        //   intersected. Range rows missing an attribute's value stay
+        //   unconditional candidates for that attribute (they can pass
+        //   through the others), and a domain row missing the value
+        //   makes that attribute prune nothing for it. When no
+        //   attribute admits a sound bound it falls back to the
+        //   all-pairs scan — results always match `AllPairs`.
+        enum BlockingIndex {
             Prefix(TrigramIndex),
-            Threshold {
-                index: ThresholdIndex,
-                /// Positions of range rows with a missing primary value
-                /// (always candidates — they can pass through the other
-                /// attributes).
-                unindexed: Vec<usize>,
-            },
+            /// One exact index per boundable attribute (non-empty).
+            Threshold(Vec<AttrIndex>),
         }
-        // The primary-value projection is only collected in the arms
-        // that index it — all-pairs modes (explicit or fallback) skip
-        // the O(|range|) allocation entirely.
-        let indexed_primary = || -> Vec<(u32, &str)> {
+        struct AttrIndex {
+            /// Position in `attrs` (and the projected value rows).
+            k: usize,
+            index: ThresholdIndex,
+            /// Positions of range rows with a missing attribute-`k`
+            /// value (always candidates for this attribute).
+            unindexed: Vec<usize>,
+        }
+        // Per-attribute value projections are only collected for the
+        // attributes that get an index — all-pairs modes (explicit or
+        // fallback) skip the O(|range|) allocations entirely.
+        let indexed_values = |k: usize| -> Vec<(u32, &str)> {
             r_rows
                 .iter()
-                .filter_map(|(i, row)| row[0].as_deref().map(|v| (*i, v)))
+                .filter_map(|(i, row)| row[k].as_deref().map(|v| (*i, v)))
                 .collect()
         };
         let index = match self.blocking {
             Blocking::AllPairs => None,
-            Blocking::TrigramPrefix => Some(PrimaryIndex::Prefix(TrigramIndex::build_par(
-                &indexed_primary(),
+            Blocking::TrigramPrefix => Some(BlockingIndex::Prefix(TrigramIndex::build_par(
+                &indexed_values(0),
                 &ctx.parallelism,
             ))),
-            Blocking::Threshold => self
-                .primary_threshold()
-                .and_then(|t_p| qgram_measure_of(&self.attrs[0].sim).map(|(m, q)| (m, q, t_p)))
-                // `None` = all-pairs fallback: no sound bound exists.
-                .map(|(measure, q, t_p)| PrimaryIndex::Threshold {
-                    index: ThresholdIndex::build_par(
-                        measure,
-                        q,
-                        t_p,
-                        &indexed_primary(),
-                        &ctx.parallelism,
-                    ),
-                    unindexed: r_rows
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, (_, row))| row[0].is_none())
-                        .map(|(p, _)| p)
-                        .collect(),
-                }),
+            Blocking::Threshold => {
+                let indexes: Vec<AttrIndex> = (0..self.attrs.len())
+                    .filter_map(|k| {
+                        let t_k = self.derived_threshold(k)?;
+                        let (measure, q) = qgram_measure_of(&self.attrs[k].sim)?;
+                        Some(AttrIndex {
+                            k,
+                            index: ThresholdIndex::build_par(
+                                measure,
+                                q,
+                                t_k,
+                                &indexed_values(k),
+                                &ctx.parallelism,
+                            ),
+                            unindexed: r_rows
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, (_, row))| row[k].is_none())
+                                .map(|(p, _)| p)
+                                .collect(),
+                        })
+                    })
+                    .collect();
+                // No boundable attribute = all-pairs fallback.
+                (!indexes.is_empty()).then_some(BlockingIndex::Threshold(indexes))
+            }
         };
         let pos_of: moma_table::FxHashMap<u32, usize> = r_rows
             .iter()
@@ -252,21 +278,42 @@ impl Matcher for MultiAttributeMatcher {
             let mut rows: Vec<(u32, u32, f64)> = Vec::new();
             for (d_idx, d_row) in shard {
                 let candidates: Vec<usize> = match (&index, &d_row[0]) {
-                    (Some(PrimaryIndex::Prefix(idx)), Some(primary)) => idx
+                    (Some(BlockingIndex::Prefix(idx)), Some(primary)) => idx
                         .candidates(primary, self.threshold)
                         .into_iter()
                         .map(|c| pos_of[&c])
                         .collect(),
-                    (Some(PrimaryIndex::Prefix(_)), None) => Vec::new(),
-                    (Some(PrimaryIndex::Threshold { index, unindexed }), Some(primary)) => index
-                        .candidates(primary)
-                        .into_iter()
-                        .map(|c| pos_of[&c])
-                        .chain(unindexed.iter().copied())
-                        .collect(),
-                    // A missing domain primary can still pass the
-                    // combined threshold: nothing can be pruned.
-                    (Some(PrimaryIndex::Threshold { .. }), None) => (0..r_rows.len()).collect(),
+                    (Some(BlockingIndex::Prefix(_)), None) => Vec::new(),
+                    (Some(BlockingIndex::Threshold(indexes)), _) => {
+                        // Intersect the per-attribute candidate sets;
+                        // an attribute whose domain value is missing
+                        // prunes nothing (the pair can still clear the
+                        // combined threshold through the others).
+                        let mut surviving: Option<moma_table::FxHashSet<usize>> = None;
+                        for ai in indexes {
+                            let Some(dv) = &d_row[ai.k] else { continue };
+                            let mut set: moma_table::FxHashSet<usize> = ai
+                                .index
+                                .candidates(dv)
+                                .into_iter()
+                                .map(|c| pos_of[&c])
+                                .collect();
+                            set.extend(ai.unindexed.iter().copied());
+                            surviving = Some(match surviving {
+                                None => set,
+                                Some(prev) => prev.intersection(&set).copied().collect(),
+                            });
+                            if surviving.as_ref().is_some_and(|s| s.is_empty()) {
+                                break;
+                            }
+                        }
+                        match surviving {
+                            Some(s) => s.into_iter().collect(),
+                            // Every indexed attribute missing on the
+                            // domain side: nothing can be pruned.
+                            None => (0..r_rows.len()).collect(),
+                        }
+                    }
                     (None, _) => (0..r_rows.len()).collect(),
                 };
                 for p in candidates {
@@ -564,6 +611,118 @@ mod tests {
             .unwrap();
         let fallback = jaro.execute(&ctx, d, a).unwrap();
         assert_eq!(all.table.rows(), fallback.table.rows());
+    }
+
+    #[test]
+    fn multi_index_intersection_is_exact() {
+        // Two q-gram attributes → two exact indexes, candidates
+        // intersected. The result must still match all-pairs exactly,
+        // including rows where one attribute is missing on either side.
+        let mut reg = SourceRegistry::new();
+        let mut dblp = LogicalSource::new(
+            "DBLP",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::text("venue")],
+        );
+        let d_recs: [(&str, Option<&str>, Option<&str>); 4] = [
+            ("d0", Some("Data Cleaning Survey"), Some("VLDB Journal")),
+            ("d1", Some("Schema Matching with Cupid"), Some("VLDB")),
+            ("d2", Some("Potter's Wheel"), None),
+            ("d3", None, Some("SIGMOD Record")),
+        ];
+        for (key, title, venue) in d_recs {
+            let mut vals: Vec<(&str, moma_model::AttrValue)> = Vec::new();
+            if let Some(t) = title {
+                vals.push(("title", t.into()));
+            }
+            if let Some(v) = venue {
+                vals.push(("venue", v.into()));
+            }
+            dblp.insert_record(key, vals).unwrap();
+        }
+        let mut acm = LogicalSource::new(
+            "ACM",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title"), AttrDef::text("venue")],
+        );
+        let a_recs: [(&str, Option<&str>, Option<&str>); 4] = [
+            (
+                "a0",
+                Some("Data Cleaning Survey!"),
+                Some("The VLDB Journal"),
+            ),
+            ("a1", Some("Schema Matching with Cupid"), None),
+            ("a2", None, Some("VLDB")),
+            ("a3", Some("Unrelated Title"), Some("Unrelated Venue")),
+        ];
+        for (key, title, venue) in a_recs {
+            let mut vals: Vec<(&str, moma_model::AttrValue)> = Vec::new();
+            if let Some(t) = title {
+                vals.push(("title", t.into()));
+            }
+            if let Some(v) = venue {
+                vals.push(("venue", v.into()));
+            }
+            acm.insert_record(key, vals).unwrap();
+        }
+        let d = reg.register(dblp).unwrap();
+        let a = reg.register(acm).unwrap();
+        let ctx = MatchContext::new(&reg);
+        for t in [0.5, 0.7, 0.9] {
+            for missing in [MissingPolicy::Ignore, MissingPolicy::Zero] {
+                let m = MultiAttributeMatcher::new(
+                    vec![
+                        AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                        AttrPair::new("venue", "venue", SimFn::QgramJaccard(2), 1.0),
+                    ],
+                    t,
+                )
+                .with_missing(missing);
+                // Both attributes really are boundable at these
+                // thresholds or not — either way results must agree.
+                let all = m
+                    .clone()
+                    .with_blocking(Blocking::AllPairs)
+                    .execute(&ctx, d, a)
+                    .unwrap();
+                let exact = m.execute(&ctx, d, a).unwrap(); // default Threshold
+                assert_eq!(all.table.rows(), exact.table.rows(), "t={t} {missing:?}");
+            }
+        }
+        // At t = 0.9 both derived bounds are sound (t_k > 0 for both
+        // weights): pin that the secondary index actually prunes — the
+        // unrelated range row never survives a selective probe pair.
+        let m = MultiAttributeMatcher::new(
+            vec![
+                AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                AttrPair::new("venue", "venue", SimFn::QgramJaccard(2), 1.0),
+            ],
+            0.9,
+        );
+        assert!(m.derived_threshold(0).is_some());
+        assert!(m.derived_threshold(1).is_some());
+        let r = m.execute(&ctx, d, a).unwrap();
+        assert!(r.table.iter().all(|c| c.range != 3));
+    }
+
+    #[test]
+    fn derived_threshold_per_attribute() {
+        // weights 2 (primary) + 1, t = 0.8: t_0 = 1 − 3·0.2/2 = 0.7,
+        // t_1 = 1 − 3·0.2/1 = 0.4.
+        let m = matcher();
+        assert!((m.derived_threshold(0).unwrap() - 0.7).abs() < 1e-12);
+        assert!((m.derived_threshold(1).unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(m.derived_threshold(2), None); // out of range
+                                                  // Low-weight attributes get vacuous (None) bounds.
+        let skewed = MultiAttributeMatcher::new(
+            vec![
+                AttrPair::new("t", "t", SimFn::Trigram, 9.0),
+                AttrPair::new("v", "v", SimFn::Trigram, 1.0),
+            ],
+            0.8,
+        );
+        assert!(skewed.derived_threshold(0).is_some());
+        assert_eq!(skewed.derived_threshold(1), None);
     }
 
     #[test]

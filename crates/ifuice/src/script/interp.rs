@@ -444,8 +444,9 @@ impl<'a> Interpreter<'a> {
     /// `attrMatch(Source1, Source2, SimFn, threshold, "[attr1]", "[attr2]")`
     ///
     /// `SimFn` may also be `TfIdf` for the corpus-based cosine measure.
-    /// Matching uses prefix-filtered trigram blocking — semantically
-    /// transparent for trigram thresholds, conservative floor otherwise.
+    /// Matching uses threshold-exact blocking for q-gram measures and
+    /// TF-IDF (results identical to all-pairs, candidates pruned before
+    /// scoring); other measures use the lossy prefix filter.
     fn builtin_attr_match(&mut self, args: Vec<Value>) -> Result<Value, ScriptError> {
         let domain = self.source_arg(&args, 0, "attrMatch")?;
         let range = self.source_arg(&args, 1, "attrMatch")?;
@@ -468,16 +469,16 @@ impl<'a> Interpreter<'a> {
             _ => return Err(rt("attrMatch expects a similarity function symbol")),
         };
         // Pick the best blocking for the measure unless the caller
-        // pinned one: threshold-exact for q-gram measures (identical
-        // results, pruned before scoring), the historical lossy prefix
-        // filter otherwise — so script results for non-q-gram measures
-        // (including TF-IDF, whose corpus-global weights admit no exact
-        // bound) are unchanged.
+        // pinned one: threshold-exact for q-gram measures and TF-IDF
+        // (identical results, pruned before scoring — TF-IDF gained an
+        // exact weighted-prefix bound over its frozen match corpus), the
+        // historical lossy prefix filter for the remaining non-q-gram
+        // measures, whose script results are unchanged.
         let blocking = self.blocking.unwrap_or_else(|| match &matcher.sim {
             moma_core::matchers::MatcherSim::Fixed(sim) => {
                 moma_core::blocking::Blocking::auto_for(sim)
             }
-            moma_core::matchers::MatcherSim::TfIdf => moma_core::blocking::Blocking::TrigramPrefix,
+            moma_core::matchers::MatcherSim::TfIdf => moma_core::blocking::Blocking::Threshold,
         });
         let matcher = matcher.with_blocking(blocking);
         let ctx = MatchContext::with_repository(self.registry, self.repository)

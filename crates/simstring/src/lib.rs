@@ -21,6 +21,9 @@
 //! * [`bounds`] — exact threshold bounds (size windows, minimum shared
 //!   grams) for the q-gram measures, powering candidate pruning in
 //!   `moma-core`,
+//! * [`wbounds`] — the weighted (max-weight prefix filter) counterparts
+//!   for TF-IDF cosine, powering the exact `Threshold` plan for the
+//!   paper's bibliographic workload,
 //! * [`normalize`] / [`tokenize`] — shared preprocessing,
 //! * [`registry`] — a name-indexed registry ([`SimFn`]) so workflows,
 //!   scripts and the self-tuner can select measures dynamically.
@@ -40,6 +43,7 @@ pub mod registry;
 pub mod tfidf;
 pub mod token;
 pub mod tokenize;
+pub mod wbounds;
 
 pub use bounds::{qgram_measure_of, QgramMeasure};
 pub use registry::{SimFn, Similarity};

@@ -5,15 +5,27 @@
 //! typically the union of both attribute columns being matched — so that
 //! frequent tokens ("the", "conference", "data") contribute little and
 //! rare tokens dominate.
+//!
+//! Tokens are interned to dense `u32` handles
+//! ([`moma_table::StringInterner`]) and vectors are sorted
+//! `(token id, weight)` pairs, so a cosine evaluation is a linear merge
+//! over two sorted slices — no per-call `String`-keyed maps. Callers
+//! that score one value many times (the attribute matcher) cache the
+//! [`TfIdfCorpus::vector`] output per value and combine them with
+//! [`cosine_vectors`] directly; both paths run the *same* merge
+//! arithmetic, which is what lets threshold pruning in `moma-core`
+//! promise bit-identical scores to all-pairs evaluation.
 
-use moma_table::FxHashMap;
+use moma_table::{FxHashMap, StringInterner};
 
 use crate::tokenize::words;
 
 /// A token-frequency corpus providing IDF weights.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfCorpus {
-    doc_freq: FxHashMap<String, u32>,
+    /// Token string ↔ dense handle; `doc_freq[handle]` is its df.
+    tokens: StringInterner,
+    doc_freq: Vec<u32>,
     docs: u32,
 }
 
@@ -39,7 +51,11 @@ impl TfIdfCorpus {
         seen.sort_unstable();
         seen.dedup();
         for t in seen {
-            *self.doc_freq.entry(t).or_insert(0) += 1;
+            let id = self.tokens.intern(&t) as usize;
+            if id == self.doc_freq.len() {
+                self.doc_freq.push(0);
+            }
+            self.doc_freq[id] += 1;
         }
     }
 
@@ -48,57 +64,136 @@ impl TfIdfCorpus {
         self.docs
     }
 
+    /// Number of distinct corpus tokens. Handles below this count are
+    /// corpus tokens; [`TfIdfCorpus::vector`] assigns out-of-corpus
+    /// tokens call-local handles at or above it.
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Handle of a corpus token, if seen by any document.
+    pub fn token_id(&self, token: &str) -> Option<u32> {
+        self.tokens.get(token)
+    }
+
     /// Smoothed inverse document frequency of a token:
     /// `ln(1 + N / (1 + df))`.
     pub fn idf(&self, token: &str) -> f64 {
-        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        let df = self
+            .tokens
+            .get(token)
+            .map(|id| self.doc_freq[id as usize])
+            .unwrap_or(0);
+        self.idf_from_df(df)
+    }
+
+    /// Smoothed idf by token handle (df 0 for out-of-corpus handles).
+    pub fn idf_by_id(&self, id: u32) -> f64 {
+        let df = self.doc_freq.get(id as usize).copied().unwrap_or(0);
+        self.idf_from_df(df)
+    }
+
+    fn idf_from_df(&self, df: u32) -> f64 {
         (1.0 + self.docs as f64 / (1.0 + df as f64)).ln()
     }
 
-    /// TF-IDF vector of a string (term frequency × idf), L2-normalized.
-    pub fn vector(&self, s: &str) -> FxHashMap<String, f64> {
+    /// TF-IDF vector of a string (term frequency × idf), L2-normalized,
+    /// as `(token id, weight)` pairs sorted by token id. Out-of-corpus
+    /// tokens get fresh call-local ids starting at
+    /// [`TfIdfCorpus::token_count`] — they carry the unseen-token idf
+    /// but are never shared between separate `vector` calls (inside one
+    /// [`TfIdfCorpus::cosine`] the two sides do share them).
+    pub fn vector(&self, s: &str) -> Vec<(u32, f64)> {
+        let mut extra = FxHashMap::default();
+        self.vector_with(s, &mut extra)
+    }
+
+    /// As [`TfIdfCorpus::vector`], with out-of-corpus token ids drawn
+    /// from (and recorded in) `extra`, so multiple strings in one
+    /// scoring call agree on them.
+    fn vector_with(&self, s: &str, extra: &mut FxHashMap<String, u32>) -> Vec<(u32, f64)> {
         let toks = words(s);
-        let mut tf: FxHashMap<String, f64> = FxHashMap::default();
-        for t in toks {
-            *tf.entry(t).or_insert(0.0) += 1.0;
+        let mut ids: Vec<u32> = Vec::with_capacity(toks.len());
+        for t in &toks {
+            let id = match self.tokens.get(t) {
+                Some(id) => id,
+                None => {
+                    let next = (self.tokens.len() + extra.len()) as u32;
+                    *extra.entry(t.clone()).or_insert(next)
+                }
+            };
+            ids.push(id);
         }
+        ids.sort_unstable();
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(ids.len());
         let mut norm = 0.0;
-        for (t, v) in tf.iter_mut() {
-            *v *= self.idf(t);
-            norm += *v * *v;
+        let mut i = 0;
+        while i < ids.len() {
+            let id = ids[i];
+            let mut count = 0u32;
+            while i < ids.len() && ids[i] == id {
+                count += 1;
+                i += 1;
+            }
+            let w = count as f64 * self.idf_by_id(id);
+            norm += w * w;
+            out.push((id, w));
         }
         let norm = norm.sqrt();
         if norm > 0.0 {
-            for v in tf.values_mut() {
-                *v /= norm;
+            for (_, w) in &mut out {
+                *w /= norm;
             }
         }
-        tf
+        out
     }
 
     /// TF-IDF cosine similarity between two strings.
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
-        let va = self.vector(a);
+        let mut extra = FxHashMap::default();
+        let va = self.vector_with(a, &mut extra);
         if va.is_empty() {
             return if words(b).is_empty() { 1.0 } else { 0.0 };
         }
-        let vb = self.vector(b);
+        let vb = self.vector_with(b, &mut extra);
         if vb.is_empty() {
             return 0.0;
         }
-        let (small, large) = if va.len() <= vb.len() {
-            (&va, &vb)
-        } else {
-            (&vb, &va)
-        };
-        let mut dot = 0.0;
-        for (t, w) in small {
-            if let Some(w2) = large.get(t) {
-                dot += w * w2;
+        dot(&va, &vb).clamp(0.0, 1.0)
+    }
+}
+
+/// Dot product of two id-sorted sparse vectors — a linear merge.
+pub fn dot(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut acc = 0.0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
             }
         }
-        dot.clamp(0.0, 1.0)
     }
+    acc
+}
+
+/// Cosine of two cached unit vectors from the *same* corpus and token
+/// numbering, with the empty-value edges of [`TfIdfCorpus::cosine`]:
+/// two empty vectors (token-free values) score 1.0, one empty scores
+/// 0.0. The attribute matcher evaluates every pair — pruned or not —
+/// through this one function.
+pub fn cosine_vectors(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+    if a.is_empty() {
+        return if b.is_empty() { 1.0 } else { 0.0 };
+    }
+    if b.is_empty() {
+        return 0.0;
+    }
+    dot(a, b).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -163,11 +258,46 @@ mod tests {
     }
 
     #[test]
-    fn vector_is_normalized() {
+    fn vector_is_normalized_and_sorted() {
         let c = corpus();
         let v = c.vector("generic schema matching");
-        let norm: f64 = v.values().map(|w| w * w).sum();
+        let norm: f64 = v.iter().map(|(_, w)| w * w).sum();
         assert!((norm - 1.0).abs() < 1e-9);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0), "ids not sorted");
+        // All corpus tokens resolve to in-corpus handles.
+        assert!(v.iter().all(|&(id, _)| (id as usize) < c.token_count()));
+    }
+
+    #[test]
+    fn unknown_tokens_shared_within_one_cosine() {
+        let c = corpus();
+        // "zzz" is out of corpus on both sides: still a perfect match
+        // when both sides are the same unknown-token string.
+        assert!((c.cosine("zzz", "zzz") - 1.0).abs() < 1e-9);
+        // Shared unknown token contributes; disjoint unknowns score 0.
+        assert!(c.cosine("zzz cupid", "zzz engine") > 0.0);
+        assert_eq!(c.cosine("zzz", "yyy"), 0.0);
+    }
+
+    #[test]
+    fn cached_vectors_reproduce_cosine() {
+        let c = corpus();
+        let values = [
+            "generic schema matching with cupid",
+            "data cleaning problems",
+            "",
+            "the view selection problem",
+        ];
+        let vecs: Vec<_> = values.iter().map(|v| c.vector(v)).collect();
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                assert_eq!(
+                    cosine_vectors(&vecs[i], &vecs[j]),
+                    c.cosine(a, b),
+                    "({a}, {b})"
+                );
+            }
+        }
     }
 }
 
@@ -188,6 +318,22 @@ mod prop_tests {
             prop_assert!((s1 - s2).abs() < 1e-9);
             prop_assert!((0.0..=1.0).contains(&s1));
             prop_assert!(c.cosine(&a, &a) > 0.999);
+        }
+
+        /// Cached corpus vectors score every pair exactly like the
+        /// string-level path — the identity the matcher's cached-vector
+        /// scoring relies on.
+        #[test]
+        fn cached_vectors_match_string_path(
+            docs in prop::collection::vec("[a-d]{1,4}( [a-d]{1,4}){0,3}", 2..8),
+        ) {
+            let c = TfIdfCorpus::build(docs.iter().map(|s| s.as_str()));
+            let vecs: Vec<_> = docs.iter().map(|d| c.vector(d)).collect();
+            for (i, a) in docs.iter().enumerate() {
+                for (j, b) in docs.iter().enumerate() {
+                    prop_assert_eq!(cosine_vectors(&vecs[i], &vecs[j]), c.cosine(a, b));
+                }
+            }
         }
     }
 }

@@ -1,0 +1,219 @@
+//! Exact threshold bounds for *weighted* cosine similarity — the
+//! max-weight prefix-filter arithmetic (Bayardo et al.'s all-pairs
+//! idea) behind TF-IDF threshold pruning.
+//!
+//! Where [`crate::bounds`] prices q-gram thresholds in *counts*, the
+//! weighted bounds price a TF-IDF threshold in the candidate's own
+//! weights. Both sides are L2-normalized sparse vectors (see
+//! [`crate::tfidf`]); for a query `x` with weights `w₀ ≥ w₁ ≥ …`
+//! (descending) and any candidate `y` with `cos(x, y) ≥ t`:
+//!
+//! * **prefix filter** — `y` must share a token with the shortest
+//!   prefix of `x` whose squared mass reaches `1 − t²`
+//!   ([`min_prefix_len`]): if all shared tokens sit in the suffix, then
+//!   `x·y ≤ ‖x_suffix‖·‖y‖ = √(1 − Σ_prefix wᵢ²) < t`,
+//! * **minimum shared tokens** — with `c` shared tokens,
+//!   `x·y ≤ c·maxw(x)·maxw(y)` and `x·y ≤ maxw(x)·√c` (Cauchy–Schwarz
+//!   over the shared coordinates of a unit vector), so
+//!   `c ≥ max(t/(maxw(x)·maxw(y)), (t/maxw(x))²)`
+//!   ([`min_shared_tokens`]),
+//! * **size window** — `c ≤ |y|` turns the second inequality into a
+//!   lower bound on the candidate's token count; there is no upper
+//!   bound (a huge near-duplicate vector can still be similar), so the
+//!   window is `[⌈(t/maxw(x))²⌉, ∞)` ([`size_window`]) — the same
+//!   `(lo, usize::MAX)` shape the Overlap measure has in
+//!   [`crate::bounds`].
+//!
+//! All bounds carry the same `EPS` slack discipline as the unweighted
+//! module: loosened in the *keeping* direction, so IEEE rounding can
+//! only ever generate a borderline candidate (then score it exactly),
+//! never prune one. The brute-force property tests at the bottom pin
+//! the no-false-dismissal guarantee over random weight vectors.
+
+/// Slack protecting the bounds against f64 rounding, always applied in
+/// the keeping direction. Scoring-path error is ~1e-16 per operation;
+/// 1e-9 dominates it for any realistic vector length.
+const EPS: f64 = 1e-9;
+
+/// Minimal prefix length `k` of a descending-weight unit vector such
+/// that a candidate sharing **no** token with the first `k` entries
+/// cannot reach cosine `t`: the first `k` with
+/// `Σ_{i<k} wᵢ² ≥ 1 − t² + EPS`. Returns `weights_desc.len()` when no
+/// prefix suffices (then every token must be probed — e.g. tiny `t`).
+///
+/// `weights_desc` must be sorted descending and L2-normalized (the
+/// [`crate::tfidf::TfIdfCorpus::vector`] output re-sorted by weight).
+pub fn min_prefix_len(weights_desc: &[f64], t: f64) -> usize {
+    debug_assert!(
+        weights_desc.windows(2).all(|w| w[0] >= w[1]),
+        "weights must be sorted descending"
+    );
+    let target = 1.0 - t * t + EPS;
+    let mut mass = 0.0;
+    for (i, w) in weights_desc.iter().enumerate() {
+        mass += w * w;
+        if mass >= target {
+            return i + 1;
+        }
+    }
+    weights_desc.len()
+}
+
+/// Minimum number of shared tokens a candidate with maximum weight
+/// `max_w_cand` must have with a query of maximum weight `max_w_query`
+/// to possibly reach cosine `t`. Always ≥ 1 for `t > 0` (sharing
+/// nothing means cosine 0).
+pub fn min_shared_tokens(t: f64, max_w_query: f64, max_w_cand: f64) -> usize {
+    debug_assert!(t > 0.0, "min_shared_tokens needs a positive threshold");
+    if max_w_query <= 0.0 || max_w_cand <= 0.0 {
+        return 1;
+    }
+    let by_product = t / (max_w_query * max_w_cand);
+    let by_sqrt = (t / max_w_query) * (t / max_w_query);
+    let c = by_product.max(by_sqrt);
+    ((c - EPS).ceil().max(1.0)) as usize
+}
+
+/// Candidate token-count window `[lo, ∞)` for a query of maximum
+/// weight `max_w_query` at threshold `t`: a candidate needs at least
+/// `⌈(t/maxw)²⌉` tokens (it must share that many), and no token count
+/// is too large.
+pub fn size_window(t: f64, max_w_query: f64) -> (usize, usize) {
+    debug_assert!(t > 0.0, "size_window needs a positive threshold");
+    if max_w_query <= 0.0 {
+        return (1, usize::MAX);
+    }
+    let lo = (t / max_w_query) * (t / max_w_query);
+    (((lo - EPS).ceil().max(1.0)) as usize, usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_of_uniform_vector() {
+        // 4 equal weights, each ½ of the squared mass is 0.25.
+        let w = [0.5f64; 4];
+        // t = 1: any shared prefix token required → k = 1.
+        assert_eq!(min_prefix_len(&w, 1.0), 1);
+        // t = 0.8 → need mass ≥ 0.36 → 2 entries.
+        assert_eq!(min_prefix_len(&w, 0.8), 2);
+        // At exactly t² = 0.5 the two-entry suffix *ties* the threshold
+        // (dot can equal t), so a third prefix entry is required.
+        assert_eq!(min_prefix_len(&w, (0.5f64).sqrt()), 3);
+        // Tiny t: no prefix short of everything suffices.
+        assert_eq!(min_prefix_len(&w, 0.1), 4);
+        assert_eq!(min_prefix_len(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn skewed_vector_has_short_prefix() {
+        // One dominant token: at a high threshold the prefix is just it.
+        let mut w = vec![0.99f64];
+        let rest = (1.0f64 - 0.99 * 0.99).sqrt() / 3.0f64.sqrt();
+        w.extend([rest; 3]);
+        assert_eq!(min_prefix_len(&w, 0.9), 1);
+    }
+
+    #[test]
+    fn min_shared_examples() {
+        // Uniform 4-token unit vectors: maxw = 0.5. t = 0.9:
+        // by_product = 0.9/0.25 = 3.6, by_sqrt = 3.24 → 4.
+        assert_eq!(min_shared_tokens(0.9, 0.5, 0.5), 4);
+        // Dominant weights: one shared token can be enough.
+        assert_eq!(min_shared_tokens(0.5, 0.9, 0.9), 1);
+        // Degenerate weights fall back to the trivial bound.
+        assert_eq!(min_shared_tokens(0.5, 0.0, 0.5), 1);
+    }
+
+    #[test]
+    fn size_window_shape() {
+        let (lo, hi) = size_window(0.9, 0.5);
+        assert_eq!(hi, usize::MAX);
+        assert_eq!(lo, 4); // (0.9/0.5)² = 3.24 → 4
+        assert_eq!(size_window(0.5, 1.0), (1, usize::MAX));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Build a normalized sparse vector over token ids 0..n from raw
+    /// positive weights.
+    fn unit_vector(raw: &[(u8, u8)]) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = Vec::new();
+        for &(id, w) in raw {
+            let w = f64::from(w) + 1.0;
+            match v.binary_search_by_key(&u32::from(id), |e| e.0) {
+                Ok(i) => v[i].1 += w,
+                Err(i) => v.insert(i, (u32::from(id), w)),
+            }
+        }
+        let norm = v.iter().map(|e| e.1 * e.1).sum::<f64>().sqrt();
+        for e in &mut v {
+            e.1 /= norm;
+        }
+        v
+    }
+
+    fn cosine(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+        crate::tfidf::dot(a, b)
+    }
+
+    proptest! {
+        /// Brute-force soundness over random weighted vectors: whenever
+        /// a pair truly reaches the threshold, the candidate (a) shares
+        /// a token with the query's minimal prefix, (b) shares at least
+        /// `min_shared_tokens`, and (c) has a token count inside the
+        /// size window. No bound ever dismisses a true match.
+        #[test]
+        fn weighted_bounds_never_dismiss_a_true_match(
+            xa in prop::collection::vec((0u8..12, 0u8..9), 1..8),
+            ya in prop::collection::vec((0u8..12, 0u8..9), 1..8),
+            t in 0.05f64..=1.0,
+        ) {
+            let x = unit_vector(&xa);
+            let y = unit_vector(&ya);
+            if cosine(&x, &y) >= t {
+                // (a) prefix filter over x's descending weights.
+                let mut desc: Vec<(u32, f64)> = x.clone();
+                desc.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                let weights: Vec<f64> = desc.iter().map(|e| e.1).collect();
+                let k = min_prefix_len(&weights, t);
+                let shares_prefix = desc[..k]
+                    .iter()
+                    .any(|(id, _)| y.binary_search_by_key(id, |e| e.0).is_ok());
+                prop_assert!(shares_prefix, "prefix of len {k} missed a true match");
+                // (b) minimum shared tokens.
+                let shared = x
+                    .iter()
+                    .filter(|(id, _)| y.binary_search_by_key(id, |e| e.0).is_ok())
+                    .count();
+                let maxw_x = weights[0];
+                let maxw_y = y.iter().map(|e| e.1).fold(0.0, f64::max);
+                prop_assert!(shared >= min_shared_tokens(t, maxw_x, maxw_y));
+                // (c) size window.
+                let (lo, hi) = size_window(t, maxw_x);
+                prop_assert!((lo..=hi).contains(&y.len()));
+            }
+        }
+
+        /// The prefix length is monotone: tighter thresholds need
+        /// shorter prefixes (never longer).
+        #[test]
+        fn prefix_len_monotone_in_threshold(
+            xa in prop::collection::vec((0u8..12, 0u8..9), 1..8),
+            t1 in 0.05f64..=1.0,
+            t2 in 0.05f64..=1.0,
+        ) {
+            let x = unit_vector(&xa);
+            let mut weights: Vec<f64> = x.iter().map(|e| e.1).collect();
+            weights.sort_by(|a, b| b.total_cmp(a));
+            let (lo_t, hi_t) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(min_prefix_len(&weights, hi_t) <= min_prefix_len(&weights, lo_t));
+        }
+    }
+}

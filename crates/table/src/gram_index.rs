@@ -16,6 +16,17 @@
 //! * [`GramIndex::apply_delta`] batches the three against a
 //!   [`GramIndexDelta`].
 //!
+//! ## Storage layout
+//!
+//! Grams are interned to dense `u32` handles
+//! ([`crate::interner::StringInterner`]) and the posting lists live in a
+//! flat `Vec` indexed by gram handle — a probe pays one hash lookup per
+//! *query gram* and array indexing thereafter, instead of re-hashing the
+//! gram string at every touch. Each posting list is a
+//! [`BlockPostings`]: sorted ids in fixed blocks with per-block maxima
+//! (see [`crate::postings`] for the intersection and membership lanes
+//! built on that layout).
+//!
 //! ## Compaction trade-off
 //!
 //! Tombstones make removal cheap but leave dead entries in the posting
@@ -31,7 +42,9 @@
 //! [`GramIndex::with_compaction`]; the 0%-and-never extremes are pinned
 //! by unit tests.
 
-use crate::hash::{FxHashMap, FxHashSet};
+use crate::hash::FxHashSet;
+use crate::interner::StringInterner;
+use crate::postings::BlockPostings;
 
 /// Default compaction trigger: compact when `tombstones > live *
 /// COMPACTION_RATIO` (and at least a handful of tombstones exist — tiny
@@ -51,7 +64,10 @@ pub const COMPACTION_FLOOR: usize = 16;
 /// [`GramIndex::len`] / [`GramIndex::all_ids`] report them.
 #[derive(Debug, Clone)]
 pub struct GramIndex {
-    postings: FxHashMap<String, Vec<u32>>,
+    /// Gram string ↔ dense handle; `postings[handle]` is the gram's
+    /// posting list.
+    grams: StringInterner,
+    postings: Vec<BlockPostings>,
     /// Ids currently indexed and not tombstoned.
     live: FxHashSet<u32>,
     /// Live ids indexed with an empty gram list (subset of `live`) —
@@ -68,7 +84,8 @@ pub struct GramIndex {
 impl Default for GramIndex {
     fn default() -> Self {
         Self {
-            postings: FxHashMap::default(),
+            grams: StringInterner::new(),
+            postings: Vec::new(),
             live: FxHashSet::default(),
             gramless: FxHashSet::default(),
             tombstones: FxHashSet::default(),
@@ -97,6 +114,16 @@ impl GramIndex {
         self
     }
 
+    /// Posting list of an interned gram handle, growing the arena on
+    /// first touch.
+    fn posting_mut(&mut self, gid: u32) -> &mut BlockPostings {
+        let gid = gid as usize;
+        if gid >= self.postings.len() {
+            self.postings.resize_with(gid + 1, BlockPostings::new);
+        }
+        &mut self.postings[gid]
+    }
+
     /// Index one value's (deduplicated) grams. Inserting an id that is
     /// already live is rejected with `false` — use
     /// [`GramIndex::replace`] to change a live value.
@@ -114,7 +141,8 @@ impl GramIndex {
             self.gramless.insert(id);
         }
         for g in grams {
-            self.postings.entry(g.clone()).or_default().push(id);
+            let gid = self.grams.intern(g);
+            self.posting_mut(gid).insert(id);
         }
         true
     }
@@ -132,19 +160,15 @@ impl GramIndex {
     }
 
     /// Replace a live value's grams: `old_grams` entries are surgically
-    /// removed from their posting lists (relative order of the remaining
-    /// ids is preserved), `new_grams` appended. Returns `false` (and does
-    /// nothing) if `id` is not live.
+    /// removed from their posting lists, `new_grams` inserted. Returns
+    /// `false` (and does nothing) if `id` is not live.
     pub fn replace(&mut self, id: u32, old_grams: &[String], new_grams: &[String]) -> bool {
         if !self.live.contains(&id) {
             return false;
         }
         for g in old_grams {
-            if let Some(list) = self.postings.get_mut(g.as_str()) {
-                list.retain(|&x| x != id);
-                if list.is_empty() {
-                    self.postings.remove(g.as_str());
-                }
+            if let Some(gid) = self.grams.get(g) {
+                self.postings[gid as usize].remove(id);
             }
         }
         if new_grams.is_empty() {
@@ -153,7 +177,8 @@ impl GramIndex {
             self.gramless.remove(&id);
         }
         for g in new_grams {
-            self.postings.entry(g.clone()).or_default().push(id);
+            let gid = self.grams.intern(g);
+            self.posting_mut(gid).insert(id);
         }
         true
     }
@@ -177,10 +202,11 @@ impl GramIndex {
             return;
         }
         let dead = std::mem::take(&mut self.tombstones);
-        self.postings.retain(|_, list| {
-            list.retain(|id| !dead.contains(id));
-            !list.is_empty()
-        });
+        for p in &mut self.postings {
+            if !p.is_empty() {
+                p.retain(|id| !dead.contains(&id));
+            }
+        }
     }
 
     fn maybe_compact(&mut self) {
@@ -215,7 +241,10 @@ impl GramIndex {
     /// *including* unswept tombstone entries (exact again after
     /// [`GramIndex::compact`]).
     pub fn df(&self, gram: &str) -> usize {
-        self.postings.get(gram).map(|p| p.len()).unwrap_or(0)
+        self.grams
+            .get(gram)
+            .map(|gid| self.postings[gid as usize].len())
+            .unwrap_or(0)
     }
 
     /// Union of the posting lists of the `k` rarest `query_grams`
@@ -226,8 +255,12 @@ impl GramIndex {
         query_grams.sort_by_key(|g| self.df(g));
         let mut out = FxHashSet::default();
         for g in query_grams.iter().take(k) {
-            if let Some(p) = self.postings.get(g.as_str()) {
-                out.extend(p.iter().filter(|id| !self.tombstones.contains(id)));
+            if let Some(gid) = self.grams.get(g) {
+                out.extend(
+                    self.postings[gid as usize]
+                        .iter()
+                        .filter(|id| !self.tombstones.contains(id)),
+                );
             }
         }
         out
@@ -247,16 +280,32 @@ impl GramIndex {
         self.gramless.clone()
     }
 
-    /// Merge in an index built from a *later* contiguous input shard:
-    /// posting lists are appended in order, so per-gram id order matches
-    /// a sequential build over the concatenated input. Both indexes must
-    /// be tombstone-free (freshly built).
+    /// Merge in an index built from another input shard: posting lists
+    /// stay id-sorted, so the merged index is observationally identical
+    /// to a sequential build over the concatenated input. Gram handles
+    /// are remapped through their strings — shard interners assign
+    /// handles independently. Both indexes must be tombstone-free
+    /// (freshly built).
     pub fn absorb(&mut self, other: GramIndex) {
         debug_assert!(self.tombstones.is_empty() && other.tombstones.is_empty());
-        self.live.extend(other.live);
-        self.gramless.extend(other.gramless);
-        for (g, ids) in other.postings {
-            self.postings.entry(g).or_default().extend(ids);
+        let GramIndex {
+            grams,
+            postings,
+            live,
+            gramless,
+            ..
+        } = other;
+        self.live.extend(live);
+        self.gramless.extend(gramless);
+        for (ogid, list) in postings.into_iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let gram = grams
+                .resolve(ogid as u32)
+                .expect("posting arena tracks the interner");
+            let gid = self.grams.intern(gram);
+            self.posting_mut(gid).merge(list);
         }
     }
 }
@@ -546,7 +595,7 @@ mod tests {
     }
 
     #[test]
-    fn absorb_appends_in_shard_order() {
+    fn absorb_merges_shard_postings() {
         let mut a = GramIndex::new();
         a.insert(0, &grams("alpha beta"));
         let mut b = GramIndex::new();
@@ -554,7 +603,69 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.df("beta"), 2);
-        // Order within the shared posting follows shard order.
+        // The shared posting holds both shards' ids.
         assert!(probe(&a, "beta").contains(&0) && probe(&a, "beta").contains(&1));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grams(s: &str) -> Vec<String> {
+        let mut v: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    proptest! {
+        /// Probes through the compressed layout stay exact across
+        /// arbitrary insert/remove/replace interleavings — in the
+        /// tombstoned state (compaction disabled) *and* after an
+        /// explicit sweep — compared against a fresh rebuild of the
+        /// surviving state.
+        #[test]
+        fn maintenance_states_probe_exactly(
+            values in prop::collection::vec("[a-d]( [a-d]){0,5}", 3..20),
+            replacement in "[a-d]( [a-d]){0,5}",
+            query in "[a-d]( [a-d]){0,5}",
+        ) {
+            let mut idx = GramIndex::new().with_compaction(f64::INFINITY, 0);
+            let mut state: std::collections::BTreeMap<u32, String> = Default::default();
+            for (i, v) in values.iter().enumerate() {
+                idx.insert(i as u32, &grams(v));
+                state.insert(i as u32, v.clone());
+            }
+            for i in (0..values.len() as u32).step_by(3) {
+                idx.remove(i);
+                state.remove(&i);
+            }
+            for i in (1..values.len() as u32).step_by(2) {
+                if let Some(old) = state.get(&i).cloned() {
+                    idx.replace(i, &grams(&old), &grams(&replacement));
+                    state.insert(i, replacement.clone());
+                }
+            }
+            let mut fresh = GramIndex::new();
+            for (&id, text) in &state {
+                fresh.insert(id, &grams(text));
+            }
+            let probe = |idx: &GramIndex| {
+                let mut g = grams(&query);
+                let k = g.len();
+                idx.candidates(&mut g, k)
+            };
+            // Tombstoned state probes exactly…
+            prop_assert_eq!(probe(&idx), probe(&fresh));
+            prop_assert_eq!(idx.all_ids(), fresh.all_ids());
+            // …and the post-compaction state does too, with exact dfs.
+            idx.compact();
+            prop_assert_eq!(probe(&idx), probe(&fresh));
+            for g in grams(&query) {
+                prop_assert_eq!(idx.df(&g), fresh.df(&g));
+            }
+        }
     }
 }

@@ -24,6 +24,9 @@
 //!   index of `moma-core` and its delta maintenance,
 //! * [`size_index`] — the size-bucketed variant with CPMerge-style
 //!   count-filtered candidate merging, backing threshold-exact blocking,
+//! * [`postings`] — the block-compressed posting-list representation
+//!   (per-block maxima, galloping intersection, chunked membership
+//!   lanes) both gram indexes store their id lists in,
 //! * [`tsv`] — plain-text persistence of mapping tables,
 //! * [`hash`] — a fast FxHash-style hasher used for all internal maps
 //!   (integer-keyed hashing is on the hot path of every join).
@@ -40,6 +43,7 @@ pub mod index;
 pub mod interner;
 pub mod join;
 pub mod mapping_table;
+pub mod postings;
 pub mod size_index;
 pub mod stats;
 pub mod tsv;
@@ -50,5 +54,6 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use index::Adjacency;
 pub use interner::StringInterner;
 pub use mapping_table::{Correspondence, MappingTable};
+pub use postings::BlockPostings;
 pub use size_index::SizeBucketedIndex;
 pub use stats::TableStats;

@@ -14,10 +14,14 @@
 //! 2. the first `n − τ_min + 1` posting lists seed the candidate set
 //!    with occurrence counts (any qualifying id must appear in one of
 //!    them — it can miss at most `τ − 1` of the query's grams),
-//! 3. the remaining (frequent) lists are only *membership-probed* per
-//!    surviving candidate (binary search — postings are id-sorted), and
-//!    candidates that can no longer reach their per-size requirement are
-//!    abandoned immediately.
+//! 3. the remaining (frequent) lists are *galloped* against the sorted
+//!    survivor set (exponential search through whichever side is longer
+//!    — see [`crate::postings`]), and candidates that can no longer
+//!    reach their per-size requirement are abandoned after every list.
+//!
+//! Grams are interned to dense handles ([`StringInterner`]) so each
+//! probe hashes every query gram once and array-indexes from then on;
+//! the per-size id lists are block-compressed [`BlockPostings`].
 //!
 //! Like its unbucketed sibling [`crate::gram_index::GramIndex`], the
 //! index is incrementally maintainable: O(1) tombstoned removal,
@@ -38,6 +42,8 @@ use std::collections::BTreeMap;
 
 use crate::gram_index::{GramIndexDelta, COMPACTION_FLOOR, COMPACTION_RATIO};
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::interner::StringInterner;
+use crate::postings::{gallop_lower_bound, BlockPostings};
 
 /// Inverted index from gram to id posting lists partitioned by the
 /// gram-set size of the indexed value.
@@ -48,9 +54,11 @@ use crate::hash::{FxHashMap, FxHashSet};
 /// `moma_core::blocking`); the list length is the value's size key.
 #[derive(Debug, Clone)]
 pub struct SizeBucketedIndex {
-    /// gram → size bucket → ids, each bucket sorted by id so frequent
-    /// grams can be membership-probed by binary search.
-    postings: FxHashMap<String, BTreeMap<u32, Vec<u32>>>,
+    /// Gram string ↔ dense handle; `postings[handle]` holds the gram's
+    /// size-bucketed lists.
+    grams: StringInterner,
+    /// gram handle → size bucket → block-compressed sorted ids.
+    postings: Vec<BTreeMap<u32, BlockPostings>>,
     /// Live id → gram-set size (0 for gramless values).
     sizes: FxHashMap<u32, u32>,
     /// Live ids with gram-set size 0 (subset of `sizes`), maintained
@@ -66,7 +74,8 @@ pub struct SizeBucketedIndex {
 impl Default for SizeBucketedIndex {
     fn default() -> Self {
         Self {
-            postings: FxHashMap::default(),
+            grams: StringInterner::new(),
+            postings: Vec::new(),
             sizes: FxHashMap::default(),
             gramless: FxHashSet::default(),
             tombstones: FxHashSet::default(),
@@ -92,6 +101,20 @@ impl SizeBucketedIndex {
         self
     }
 
+    /// Bucket map of an interned gram handle, growing the arena on
+    /// first touch.
+    fn buckets_mut(&mut self, gid: u32) -> &mut BTreeMap<u32, BlockPostings> {
+        let gid = gid as usize;
+        if gid >= self.postings.len() {
+            self.postings.resize_with(gid + 1, BTreeMap::new);
+        }
+        &mut self.postings[gid]
+    }
+
+    fn buckets(&self, gram: &str) -> Option<&BTreeMap<u32, BlockPostings>> {
+        self.grams.get(gram).map(|gid| &self.postings[gid as usize])
+    }
+
     /// Index one value's deduplicated grams; the value's size key is
     /// `grams.len()`. Inserting a live id is rejected with `false`.
     pub fn insert(&mut self, id: u32, grams: &[String]) -> bool {
@@ -113,15 +136,8 @@ impl SizeBucketedIndex {
             self.gramless.insert(id);
         }
         for g in grams {
-            let bucket = self
-                .postings
-                .entry(g.clone())
-                .or_default()
-                .entry(size)
-                .or_default();
-            if let Err(pos) = bucket.binary_search(&id) {
-                bucket.insert(pos, id);
-            }
+            let gid = self.grams.intern(g);
+            self.buckets_mut(gid).entry(size).or_default().insert(id);
         }
         true
     }
@@ -148,17 +164,13 @@ impl SizeBucketedIndex {
         }
         let old_size = old_grams.len() as u32;
         for g in old_grams {
-            if let Some(buckets) = self.postings.get_mut(g.as_str()) {
+            if let Some(gid) = self.grams.get(g) {
+                let buckets = &mut self.postings[gid as usize];
                 if let Some(list) = buckets.get_mut(&old_size) {
-                    if let Ok(pos) = list.binary_search(&id) {
-                        list.remove(pos);
-                    }
+                    list.remove(id);
                     if list.is_empty() {
                         buckets.remove(&old_size);
                     }
-                }
-                if buckets.is_empty() {
-                    self.postings.remove(g.as_str());
                 }
             }
         }
@@ -170,15 +182,11 @@ impl SizeBucketedIndex {
             self.gramless.remove(&id);
         }
         for g in new_grams {
-            let bucket = self
-                .postings
-                .entry(g.clone())
-                .or_default()
+            let gid = self.grams.intern(g);
+            self.buckets_mut(gid)
                 .entry(new_size)
-                .or_default();
-            if let Err(pos) = bucket.binary_search(&id) {
-                bucket.insert(pos, id);
-            }
+                .or_default()
+                .insert(id);
         }
         true
     }
@@ -203,13 +211,12 @@ impl SizeBucketedIndex {
             return;
         }
         let dead = std::mem::take(&mut self.tombstones);
-        self.postings.retain(|_, buckets| {
+        for buckets in &mut self.postings {
             buckets.retain(|_, list| {
-                list.retain(|id| !dead.contains(id));
+                list.retain(|id| !dead.contains(&id));
                 !list.is_empty()
             });
-            !buckets.is_empty()
-        });
+        }
     }
 
     fn maybe_compact(&mut self) {
@@ -263,8 +270,7 @@ impl SizeBucketedIndex {
     /// entries over buckets in `[min_size, max_size]`, unswept tombstone
     /// entries included (exact after [`SizeBucketedIndex::compact`]).
     pub fn df_in_window(&self, gram: &str, min_size: u32, max_size: u32) -> usize {
-        self.postings
-            .get(gram)
+        self.buckets(gram)
             .map(|buckets| {
                 buckets
                     .range(min_size..=max_size)
@@ -282,8 +288,8 @@ impl SizeBucketedIndex {
     /// construction, and ids sharing none are unreachable anyway).
     ///
     /// Cost is CPMerge-like: the rarest `n − τ_min + 1` posting lists
-    /// are scanned, the frequent remainder only binary-searched per
-    /// surviving candidate, with candidates abandoned as soon as their
+    /// are scanned, the frequent remainder galloped against the sorted
+    /// survivor set, with candidates abandoned as soon as their
     /// remaining potential drops below the requirement.
     pub fn candidates(
         &self,
@@ -301,20 +307,22 @@ impl SizeBucketedIndex {
         // windowed df (for the rarest-first order) and the loosest
         // requirement any in-window candidate could have — min_overlap
         // probed at every distinct bucket size occurring in the window
-        // (avoids monotonicity assumptions on the bound). This is the
-        // per-probe hot path; the postings hash and bucket ranges are
-        // walked exactly once here.
+        // (avoids monotonicity assumptions on the bound). Each gram is
+        // hashed exactly once here; later phases reuse the resolved
+        // handle and array-index the posting arena.
         let mut tau_min = u32::MAX;
-        let mut stats: Vec<(usize, &String)> = Vec::with_capacity(n);
+        let mut stats: Vec<(usize, &String, u32)> = Vec::with_capacity(n);
         for g in query_grams {
             let mut df = 0usize;
-            if let Some(buckets) = self.postings.get(g.as_str()) {
-                for (&size, list) in buckets.range(min_size..=max_size) {
+            let mut gid = u32::MAX; // sentinel: gram not in the index
+            if let Some(found) = self.grams.get(g) {
+                gid = found;
+                for (&size, list) in self.postings[found as usize].range(min_size..=max_size) {
                     df += list.len();
                     tau_min = tau_min.min(min_overlap(size).max(1));
                 }
             }
-            stats.push((df, g));
+            stats.push((df, g, gid));
         }
         if tau_min == u32::MAX || tau_min as usize > n {
             // No posting in the window, or nothing can share enough.
@@ -323,46 +331,46 @@ impl SizeBucketedIndex {
         // Rarest-first gram order (df ties broken by the gram itself so
         // the scan order — and with it the work done — is
         // deterministic; the *result* is order-independent).
-        stats.sort_unstable();
-        let order: Vec<&String> = stats.into_iter().map(|(_, g)| g).collect();
+        stats.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let order: Vec<u32> = stats.into_iter().map(|(_, _, gid)| gid).collect();
 
         // Phase 1: scan the rarest n − τ_min + 1 lists, seeding
         // (id, size) → count.
         let seed_lists = n - tau_min as usize + 1;
         let mut counts: FxHashMap<u32, (u32, u32)> = FxHashMap::default(); // id → (count, size)
-        for g in order.iter().take(seed_lists) {
-            if let Some(buckets) = self.postings.get(g.as_str()) {
-                for (&size, list) in buckets.range(min_size..=max_size) {
-                    for &id in list {
-                        if !self.tombstones.contains(&id) {
-                            counts.entry(id).or_insert((0, size)).0 += 1;
-                        }
+        for &gid in order.iter().take(seed_lists) {
+            if gid == u32::MAX {
+                continue;
+            }
+            for (&size, list) in self.postings[gid as usize].range(min_size..=max_size) {
+                for id in list.iter() {
+                    if !self.tombstones.contains(&id) {
+                        counts.entry(id).or_insert((0, size)).0 += 1;
                     }
                 }
             }
         }
 
-        // Phase 2: membership-probe the frequent remainder, abandoning
-        // candidates that can no longer reach their requirement.
+        // Phase 2: gallop the frequent remainder against the sorted
+        // survivor set, abandoning candidates that can no longer reach
+        // their requirement. A live id occupies exactly one size bucket
+        // per gram, so each list bumps a survivor at most once.
         let mut survivors: Vec<(u32, u32, u32)> = counts
             .into_iter()
             .map(|(id, (count, size))| (id, count, size))
             .collect();
-        for (i, g) in order.iter().enumerate().skip(seed_lists) {
+        survivors.sort_unstable_by_key(|&(id, _, _)| id);
+        for (i, &gid) in order.iter().enumerate().skip(seed_lists) {
+            if survivors.is_empty() {
+                break;
+            }
+            if gid != u32::MAX {
+                for (_, list) in self.postings[gid as usize].range(min_size..=max_size) {
+                    bump_common(&mut survivors, list);
+                }
+            }
             let left_after = (n - 1 - i) as u32; // grams still unprobed after this one
-            let buckets = self.postings.get(g.as_str());
-            survivors.retain_mut(|(id, count, size)| {
-                let required = min_overlap(*size).max(1);
-                if *count >= required {
-                    return true; // already qualified; skip the probe
-                }
-                if let Some(list) = buckets.and_then(|b| b.get(size)) {
-                    if list.binary_search(id).is_ok() {
-                        *count += 1;
-                    }
-                }
-                *count + left_after >= required
-            });
+            survivors.retain(|&(_, count, size)| count + left_after >= min_overlap(size).max(1));
         }
 
         survivors
@@ -375,22 +383,69 @@ impl SizeBucketedIndex {
     /// Merge in an index built from another input shard. Per-bucket
     /// posting lists stay id-sorted, so the merged index is
     /// observationally identical to a sequential build over the
-    /// concatenated input. Both indexes must be tombstone-free (freshly
-    /// built).
+    /// concatenated input; gram handles are remapped through their
+    /// strings (shard interners assign handles independently). Both
+    /// indexes must be tombstone-free (freshly built).
     pub fn absorb(&mut self, other: SizeBucketedIndex) {
         debug_assert!(self.tombstones.is_empty() && other.tombstones.is_empty());
-        self.sizes.extend(other.sizes);
-        self.gramless.extend(other.gramless);
-        for (g, buckets) in other.postings {
-            let mine = self.postings.entry(g).or_default();
-            for (size, mut list) in buckets {
-                let dst = mine.entry(size).or_default();
-                if dst.is_empty() {
-                    *dst = list;
-                } else {
-                    dst.append(&mut list);
-                    dst.sort_unstable();
+        let SizeBucketedIndex {
+            grams,
+            postings,
+            sizes,
+            gramless,
+            ..
+        } = other;
+        self.sizes.extend(sizes);
+        self.gramless.extend(gramless);
+        for (ogid, buckets) in postings.into_iter().enumerate() {
+            if buckets.is_empty() {
+                continue;
+            }
+            let gram = grams
+                .resolve(ogid as u32)
+                .expect("posting arena tracks the interner");
+            let gid = self.grams.intern(gram);
+            let mine = self.buckets_mut(gid);
+            for (size, list) in buckets {
+                match mine.entry(size) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(list);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        e.get_mut().merge(list);
+                    }
                 }
+            }
+        }
+    }
+}
+
+/// Bump the count of every survivor whose id appears in `list`,
+/// galloping through the longer side. `survivors` must be id-sorted;
+/// order is preserved.
+fn bump_common(survivors: &mut [(u32, u32, u32)], list: &BlockPostings) {
+    let ids = list.ids();
+    if survivors.is_empty() || ids.is_empty() {
+        return;
+    }
+    if survivors.len() <= ids.len() {
+        // Few survivors: gallop through the posting list.
+        let mut j = 0usize;
+        for s in survivors.iter_mut() {
+            j += gallop_lower_bound(&ids[j..], s.0);
+            if j >= ids.len() {
+                break;
+            }
+            if ids[j] == s.0 {
+                s.1 += 1;
+                j += 1;
+            }
+        }
+    } else {
+        // Short list: binary-probe the survivor set per id.
+        for &id in ids {
+            if let Ok(pos) = survivors.binary_search_by_key(&id, |s| s.0) {
+                survivors[pos].1 += 1;
             }
         }
     }
@@ -754,6 +809,38 @@ mod prop_tests {
                 .map(|(i, _)| i as u32)
                 .collect();
             prop_assert_eq!(got, want);
+        }
+
+        /// The galloped phase 2 (frequent grams vs the sorted survivor
+        /// set) stays exact when the same posting lists are probed after
+        /// tombstoning and after an explicit compaction: both states
+        /// answer identically to a fresh rebuild of the live values.
+        #[test]
+        fn tombstoned_and_compacted_probes_agree(
+            values in prop::collection::vec("[a-c]( [a-c]){0,6}", 4..20),
+            query in "[a-c]( [a-c]){0,6}",
+            tau in 1u32..4,
+        ) {
+            let mut idx = SizeBucketedIndex::new().with_compaction(f64::INFINITY, 0);
+            for (i, v) in values.iter().enumerate() {
+                idx.insert(i as u32, &grams(v));
+            }
+            for i in (0..values.len() as u32).step_by(2) {
+                idx.remove(i);
+            }
+            let mut fresh = SizeBucketedIndex::new();
+            for (i, v) in values.iter().enumerate() {
+                if i % 2 != 0 {
+                    fresh.insert(i as u32, &grams(v));
+                }
+            }
+            let q = grams(&query);
+            let tombstoned = idx.candidates(&q, 0, u32::MAX, &|_| tau);
+            idx.compact();
+            let compacted = idx.candidates(&q, 0, u32::MAX, &|_| tau);
+            let want = fresh.candidates(&q, 0, u32::MAX, &|_| tau);
+            prop_assert_eq!(&tombstoned, &want);
+            prop_assert_eq!(&compacted, &want);
         }
     }
 }

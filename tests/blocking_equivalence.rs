@@ -8,9 +8,13 @@
 //! * [`Blocking::Threshold`] for *every* q-gram measure (trigram Dice,
 //!   q-gram Dice/Jaccard/cosine/overlap) at any positive threshold —
 //!   the T-occurrence bounds are exact,
+//! * [`Blocking::Threshold`] for TF-IDF cosine — the weighted
+//!   (max-weight prefix) bounds are exact over the frozen match corpus,
+//!   and both plans score through the same cached vectors, so equality
+//!   is bit-for-bit,
 //! * [`Blocking::TrigramPrefix`] for trigram-Dice scoring at the
 //!   matcher threshold (the prefix-filter guarantee),
-//! * both falling back transparently (non-q-gram measures under
+//! * both falling back transparently (non-q-gram fixed measures under
 //!   `Threshold` score all pairs).
 //!
 //! These properties drive that promise across randomly generated
@@ -111,6 +115,37 @@ fn assert_matches_allpairs(
     }
 }
 
+/// As [`assert_matches_allpairs`] for the TF-IDF matcher (the corpus is
+/// rebuilt from both columns inside every execution, so pruned and
+/// unpruned runs see identical weights).
+fn assert_tfidf_matches_allpairs(
+    reg: &SourceRegistry,
+    domain: moma::model::LdsId,
+    range: moma::model::LdsId,
+    threshold: f64,
+) {
+    let reference = AttributeMatcher::tfidf("title", "title", threshold)
+        .with_blocking(Blocking::AllPairs)
+        .execute(
+            &MatchContext::new(reg).with_parallelism(Parallelism::sequential()),
+            domain,
+            range,
+        )
+        .unwrap();
+    for threads in THREADS {
+        let ctx = MatchContext::new(reg).with_parallelism(par(threads));
+        let pruned = AttributeMatcher::tfidf("title", "title", threshold)
+            .with_blocking(Blocking::Threshold)
+            .execute(&ctx, domain, range)
+            .unwrap();
+        assert_eq!(
+            reference.table.rows(),
+            pruned.table.rows(),
+            "tfidf t={threshold} threads={threads}"
+        );
+    }
+}
+
 /// A source of hostile values: empties, punctuation-only (normalizes to
 /// nothing), sub-trigram-length and repeat-heavy strings, plus a few
 /// plausible titles. Exercises the gramless edge (empty ↔ empty pairs
@@ -165,6 +200,17 @@ fn threshold_exact_on_hostile_values() {
     }
 }
 
+/// TF-IDF threshold blocking ≡ all-pairs on the hostile world — the
+/// token-free values (empty, punctuation-only) must still pair up at
+/// cosine 1.0 through the empty-vector edge of the weighted index.
+#[test]
+fn tfidf_threshold_exact_on_hostile_values() {
+    let (reg, a, b) = hostile_world();
+    for t in THRESHOLDS {
+        assert_tfidf_matches_allpairs(&reg, a, b, t);
+    }
+}
+
 /// The prefix filter is exact for trigram-Dice scoring — including the
 /// gramless edge (empty ↔ punctuation-only pairs) it historically
 /// missed.
@@ -186,44 +232,66 @@ fn threshold_fallback_exact_for_non_qgram_measures() {
     }
 }
 
-/// Multi-attribute: threshold blocking on the primary attribute (with
-/// its derived bound and missing-primary handling) ≡ all-pairs on a
-/// random scenario with genuinely missing values.
+/// Multi-attribute: per-attribute threshold indexes (derived bounds,
+/// intersection, missing-value handling) ≡ all-pairs on random
+/// scenarios with genuinely missing values.
+///
+/// Two configurations stress complementary paths:
+/// - DBLP ↔ GS adds a `pages` q-gram attribute that Google Scholar
+///   records never carry, so that index's range side is entirely
+///   unconditional and must prune nothing;
+/// - DBLP ↔ ACM pairs two indexable q-gram attributes (`title`,
+///   `pages`) so candidates really are the intersection of two
+///   independently pruned sets.
 #[test]
 fn multi_attribute_threshold_exact() {
     for seed in 0..3u64 {
         let scenario = random_world(seed);
         let reg = &scenario.registry;
-        let (dblp, gs) = (scenario.ids.pub_dblp, scenario.ids.pub_gs);
-        for t in THRESHOLDS {
-            let base = MultiAttributeMatcher::new(
+        let configs = [
+            (
+                scenario.ids.pub_dblp,
+                scenario.ids.pub_gs,
                 vec![
                     AttrPair::new("title", "title", SimFn::Trigram, 2.0),
                     AttrPair::new("year", "year", SimFn::Year(1), 1.0),
+                    AttrPair::new("pages", "pages", SimFn::QgramDice(2), 1.0),
                 ],
-                t,
-            );
-            let reference = base
-                .clone()
-                .with_blocking(Blocking::AllPairs)
-                .execute(
-                    &MatchContext::new(reg).with_parallelism(Parallelism::sequential()),
-                    dblp,
-                    gs,
-                )
-                .unwrap();
-            for threads in THREADS {
-                let ctx = MatchContext::new(reg).with_parallelism(par(threads));
-                let blocked = base
+            ),
+            (
+                scenario.ids.pub_dblp,
+                scenario.ids.pub_acm,
+                vec![
+                    AttrPair::new("title", "title", SimFn::Trigram, 2.0),
+                    AttrPair::new("pages", "pages", SimFn::QgramDice(2), 1.0),
+                ],
+            ),
+        ];
+        for (domain, range, attrs) in configs {
+            for t in THRESHOLDS {
+                let base = MultiAttributeMatcher::new(attrs.clone(), t);
+                let reference = base
                     .clone()
-                    .with_blocking(Blocking::Threshold)
-                    .execute(&ctx, dblp, gs)
+                    .with_blocking(Blocking::AllPairs)
+                    .execute(
+                        &MatchContext::new(reg).with_parallelism(Parallelism::sequential()),
+                        domain,
+                        range,
+                    )
                     .unwrap();
-                assert_eq!(
-                    reference.table.rows(),
-                    blocked.table.rows(),
-                    "seed={seed} t={t} threads={threads}"
-                );
+                for threads in THREADS {
+                    let ctx = MatchContext::new(reg).with_parallelism(par(threads));
+                    let blocked = base
+                        .clone()
+                        .with_blocking(Blocking::Threshold)
+                        .execute(&ctx, domain, range)
+                        .unwrap();
+                    assert_eq!(
+                        reference.table.rows(),
+                        blocked.table.rows(),
+                        "seed={seed} t={t} threads={threads}"
+                    );
+                }
             }
         }
     }
@@ -247,6 +315,23 @@ proptest! {
             sim,
             THRESHOLDS[t_ix],
             Blocking::Threshold,
+        );
+    }
+
+    /// TF-IDF under Threshold blocking (weighted-prefix pruning over
+    /// cached vectors) is bit-identical to all-pairs on random datagen
+    /// worlds at every satellite threshold and thread count.
+    #[test]
+    fn tfidf_threshold_equals_allpairs_random_scenarios(
+        seed in 0u64..6,
+        t_ix in 0usize..3,
+    ) {
+        let scenario = random_world(seed);
+        assert_tfidf_matches_allpairs(
+            &scenario.registry,
+            scenario.ids.pub_dblp,
+            scenario.ids.pub_gs,
+            THRESHOLDS[t_ix],
         );
     }
 
