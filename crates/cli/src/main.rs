@@ -29,6 +29,10 @@ usage:
              [--threads <n>] [--blocking <strategy>] [--no-verify]
                                   incremental-matching demo on a generated
                                   evolving scenario (see below)
+  moma serve [--addr <host:port>] [--source <file.tsv>]... \\
+             [--scale small|paper] [--seed <n>] [--threads <n>] \\
+             [--wal <file>] [--replay]
+                                  long-lived matching service (see below)
   moma help
 
 A source file starts with `#source Type@PDS` and a header row
@@ -52,7 +56,16 @@ Publication@DBLP x Publication@GS once, then streams seeded source
 deltas (churn fraction of instances per step) through the incremental
 delta-matching engine, printing per-step timings of incremental vs full
 re-match. Unless --no-verify is given every step asserts the patched
-mapping is bit-identical to a full re-match.";
+mapping is bit-identical to a full re-match.
+
+`moma serve` answers match/compose/query/delta/stats/dump/shutdown
+commands over a length-prefixed JSON frame protocol (default address
+127.0.0.1:7207; drive it with the `moma_load` binary). Sources come
+from --source TSV files, or from the generated evolving scenario when
+none are given (--scale/--seed as in `moma delta`). With --wal every
+mutating command is appended to an fsync'd write-ahead log before it is
+applied; `--replay` re-executes an existing log on startup, restoring
+the pre-crash repository bit-identically.";
 
 /// Parse a `--blocking` value: `auto` (None) or a concrete strategy.
 fn parse_blocking(name: &str) -> Result<Option<moma_core::blocking::Blocking>, String> {
@@ -84,6 +97,13 @@ fn main() -> ExitCode {
             }
         },
         Some("delta") => match cmd_delta(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("serve") => match cmd_serve(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -247,6 +267,107 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+/// `moma serve`: the long-lived matching service (see `moma-server`).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use moma_datagen::{Scenario, WorldConfig};
+
+    let mut addr = "127.0.0.1:7207".to_owned();
+    let mut sources: Vec<&str> = Vec::new();
+    let mut scale = "small".to_owned();
+    let mut seed = 7u64;
+    let mut threads: Option<usize> = None;
+    let mut wal: Option<String> = None;
+    let mut replay = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--source" => sources.push(it.next().ok_or("--source needs a file")?),
+            "--scale" => scale = it.next().ok_or("--scale needs a value")?.clone(),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: `{v}` is not a number"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            "--wal" => wal = Some(it.next().ok_or("--wal needs a file")?.clone()),
+            "--replay" => replay = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if replay && wal.is_none() {
+        return Err("--replay requires --wal".into());
+    }
+
+    let registry = if sources.is_empty() {
+        let mut cfg = match scale.as_str() {
+            "small" => WorldConfig::small(),
+            "paper" => WorldConfig::paper_scale(),
+            other => return Err(format!("--scale must be small or paper, got `{other}`")),
+        };
+        cfg.seed = seed;
+        eprintln!("moma serve: generating {scale} scenario (seed {seed})...");
+        Scenario::generate(cfg).registry
+    } else {
+        let mut registry = SourceRegistry::new();
+        for path in &sources {
+            let id =
+                loader::load_source(&mut registry, path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "loaded {} ({} instances) from {path}",
+                registry.lds(id).name(),
+                registry.lds(id).len()
+            );
+        }
+        registry
+    };
+
+    let par = match threads {
+        Some(n) => moma_core::exec::Parallelism::new(n),
+        None => moma_core::exec::Parallelism::from_env(),
+    };
+    let mut engine = moma_server::Engine::new(registry, par);
+    if let Some(path) = &wal {
+        if replay {
+            let summary = engine.wal_replay(path)?;
+            eprintln!(
+                "moma serve: replayed {} WAL record(s) from {path}{}{}",
+                summary.replayed,
+                if summary.dropped_bytes > 0 {
+                    format!(" (dropped {}-byte torn tail)", summary.dropped_bytes)
+                } else {
+                    String::new()
+                },
+                if summary.failed > 0 {
+                    format!(
+                        " ({} command(s) re-failed deterministically)",
+                        summary.failed
+                    )
+                } else {
+                    String::new()
+                },
+            );
+        } else {
+            engine
+                .wal_create(path)
+                .map_err(|e| format!("--wal {path}: {e}"))?;
+            eprintln!("moma serve: write-ahead log at {path}");
+        }
+    }
+    moma_server::run(engine, &addr).map_err(|e| format!("serve {addr}: {e}"))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

@@ -92,6 +92,15 @@ pub struct DeltaMatchState {
     /// Rows re-scored by the last [`DeltaMatchState::apply`] call
     /// (0 after a full-fallback apply).
     pub last_rescored: usize,
+    /// Whether the last [`DeltaMatchState::apply`] call touched this
+    /// state's projections at all (false: the deltas were irrelevant and
+    /// the mapping is unchanged).
+    last_touched: bool,
+    /// Whether the last [`DeltaMatchState::apply`] call fell back to a
+    /// full re-match.
+    last_full_rematch: bool,
+    /// Total number of full-re-match fallbacks executed by this state.
+    full_rematches: u64,
 }
 
 /// Whether a matcher configuration supports incremental delta execution
@@ -171,6 +180,9 @@ impl AttributeMatcher {
             mapping,
             incremental,
             last_rescored: 0,
+            last_touched: false,
+            last_full_rematch: false,
+            full_rematches: 0,
         })
     }
 
@@ -232,6 +244,29 @@ impl DeltaMatchState {
         self.incremental
     }
 
+    /// Whether the last [`DeltaMatchState::apply`] call changed anything
+    /// (`false`: the deltas did not touch this state's matched
+    /// projections, so the mapping is untouched).
+    pub fn last_touched(&self) -> bool {
+        self.last_touched
+    }
+
+    /// Whether the last [`DeltaMatchState::apply`] call paid a full
+    /// re-match instead of an incremental patch. Always `false` for
+    /// irrelevant deltas (they are skipped before the fallback).
+    pub fn last_was_full_rematch(&self) -> bool {
+        self.last_full_rematch
+    }
+
+    /// Total number of full-re-match fallbacks this state has executed.
+    /// Non-incremental configurations (e.g. TF-IDF, whose corpus-global
+    /// weights shift under any delta) pay one per relevant delta batch;
+    /// operators can watch this via the server's `delta`/`stats`
+    /// endpoints to see which mappings carry full-re-match cost.
+    pub fn full_rematches(&self) -> u64 {
+        self.full_rematches
+    }
+
     /// Apply source deltas (already applied to `ctx.registry` via
     /// [`SourceRegistry::apply_delta`](moma_model::SourceRegistry::apply_delta))
     /// to the materialized mapping. Deltas against sources other than
@@ -271,13 +306,19 @@ impl DeltaMatchState {
         // mapping — skip even the full-fallback re-match.
         if dropped_d.is_empty() && dropped_r.is_empty() {
             self.last_rescored = 0;
+            self.last_touched = false;
+            self.last_full_rematch = false;
             return Ok(&self.mapping);
         }
+        self.last_touched = true;
         if !self.incremental {
             self.last_rescored = 0;
+            self.last_full_rematch = true;
+            self.full_rematches += 1;
             self.mapping = self.matcher.execute(ctx, self.domain, self.range)?;
             return Ok(&self.mapping);
         }
+        self.last_full_rematch = false;
         let par = self.matcher.parallelism.unwrap_or(ctx.parallelism);
 
         // 2. Sync cached projections and indexes with the registry.
@@ -609,6 +650,9 @@ mod tests {
             .execute_delta(&ctx, &mut state, &[&applied])
             .unwrap();
         assert_eq!(state.last_rescored, 0);
+        assert!(!state.last_touched());
+        assert!(!state.last_was_full_rematch());
+        assert_eq!(state.full_rematches(), 0);
         assert_eq!(state.mapping().table.rows(), &before[..]);
         // Empty delta list.
         state.apply(&ctx, &[]).unwrap();
@@ -666,6 +710,11 @@ mod tests {
             let got = state.apply(&ctx, &[&applied]).unwrap().clone();
             let full = matcher.execute(&ctx, d, a).unwrap();
             assert_eq!(got.table.rows(), full.table.rows());
+            // The fallback is visible to operators: the apply was a full
+            // re-match and the counter advanced.
+            assert!(state.last_touched());
+            assert!(state.last_was_full_rematch());
+            assert_eq!(state.full_rematches(), 1);
             reg.apply_delta(&SourceDelta::new(a).remove("zz")).unwrap();
         }
     }

@@ -80,5 +80,5 @@ pub use error::{CoreError, Result};
 pub use exec::Parallelism;
 pub use mapping::{Mapping, MappingKind};
 pub use matchers::{MatchContext, Matcher};
-pub use repository::{MappingCache, MappingRepository, Recipe};
+pub use repository::{MappingCache, MappingRepository, Recipe, SnapshotEntry};
 pub use workflow::{CombineOp, Combiner, StepInput, Workflow, WorkflowStep};

@@ -147,6 +147,28 @@ struct Entry {
     dep_versions: Vec<(String, u64)>,
 }
 
+/// One entry of a [`MappingRepository::snapshot`]: an immutable view of
+/// a repository slot at capture time.
+///
+/// The mapping itself is shared via [`Arc`], so a snapshot stays valid
+/// (and bit-identical) no matter how many deltas are applied to the
+/// repository afterwards — this is the read side of the serving layer's
+/// snapshot isolation (`moma-server`).
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// Entry name.
+    pub name: String,
+    /// Version stamp at capture time.
+    pub version: u64,
+    /// The mapping contents at capture time.
+    pub mapping: Arc<Mapping>,
+    /// For derived entries: `(input name, input version at derivation
+    /// time)`. Empty for leaves.
+    pub dep_versions: Vec<(String, u64)>,
+    /// Whether the entry was derived (has a recipe).
+    pub derived: bool,
+}
+
 /// Thread-safe named store of mappings.
 #[derive(Debug, Default)]
 pub struct MappingRepository {
@@ -325,6 +347,33 @@ impl MappingRepository {
                 )));
             }
         }
+    }
+
+    /// Capture a consistent snapshot of every entry — name, version,
+    /// mapping contents and (for derived entries) recorded input
+    /// versions — under a **single** lock acquisition, sorted by name.
+    ///
+    /// Because all entries are read under one read-lock guard, a
+    /// snapshot can never observe a half-applied multi-entry update
+    /// (e.g. a patched leaf whose derived dependents have not been
+    /// refreshed yet, when patch and refresh happen under one writer
+    /// critical section). Entry mappings are `Arc`-shared: later stores
+    /// replace the repository's slots but never mutate a snapshot's
+    /// contents.
+    pub fn snapshot(&self) -> Vec<SnapshotEntry> {
+        let guard = self.inner.read().expect("repository lock poisoned");
+        let mut out: Vec<SnapshotEntry> = guard
+            .iter()
+            .map(|(name, e)| SnapshotEntry {
+                name: name.clone(),
+                version: e.version,
+                mapping: Arc::clone(&e.mapping),
+                dep_versions: e.dep_versions.clone(),
+                derived: e.recipe.is_some(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Whether a name exists.
@@ -777,6 +826,66 @@ mod tests {
         );
         repo.refresh_stale(&par).unwrap();
         assert_eq!(repo.get("M").unwrap().table.sim_of(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_and_dep_consistent() {
+        let par = Parallelism::sequential();
+        let repo = MappingRepository::new();
+        repo.store(Mapping::same(
+            "A",
+            LdsId(0),
+            LdsId(1),
+            MappingTable::from_triples([(0, 0, 1.0)]),
+        ));
+        repo.store(mapping("B"));
+        repo.store_derived(
+            "U",
+            Recipe::Union {
+                left: "A".into(),
+                right: "B".into(),
+            },
+            &par,
+        )
+        .unwrap();
+
+        let snap = repo.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["A", "B", "U"],
+            "snapshot entries are sorted by name"
+        );
+        let a_version = snap[0].version;
+        let u = &snap[2];
+        assert!(u.derived && !snap[0].derived);
+        // The derived entry's recorded input versions agree with the
+        // versions captured in the same snapshot: no half-applied state.
+        for (dep, v) in &u.dep_versions {
+            let got = snap.iter().find(|e| &e.name == dep).map(|e| e.version);
+            assert_eq!(got, Some(*v), "dep {dep} inconsistent in snapshot");
+        }
+
+        // Patch A and refresh; the old snapshot must not move.
+        repo.patch(
+            "A",
+            Mapping::same(
+                "A",
+                LdsId(0),
+                LdsId(1),
+                MappingTable::from_triples([(0, 0, 1.0), (7, 7, 0.9)]),
+            ),
+        );
+        repo.refresh_stale(&par).unwrap();
+        assert_eq!(snap[0].version, a_version);
+        assert_eq!(snap[0].mapping.len(), 1, "snapshot kept pre-delta rows");
+        assert!(repo.version("A").unwrap() > a_version);
+        // A fresh snapshot is again dep-consistent after the refresh.
+        let snap2 = repo.snapshot();
+        let u2 = snap2.iter().find(|e| e.name == "U").unwrap();
+        for (dep, v) in &u2.dep_versions {
+            let got = snap2.iter().find(|e| &e.name == dep).map(|e| e.version);
+            assert_eq!(got, Some(*v));
+        }
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! `moma_load` — load generator and protocol driver for `moma serve`.
+//!
+//! Modes (first argument):
+//!
+//! * `load`     — latency/throughput measurement: N reader threads issue
+//!   `query`/`stats` while the main thread streams deltas; reports
+//!   p50/p99 per class and overall throughput, optionally into a
+//!   `BENCH_*.json` report with a trend gate against a baseline.
+//! * `smoke`    — endpoint conformance: drives every endpoint with a
+//!   fixed, deterministic command sequence and asserts the responses.
+//! * `stream`   — deterministic delta traffic: generates the evolving
+//!   scenario's delta stream against a local shadow registry (so the
+//!   i-th delta is identical across runs with the same seeds) and sends
+//!   each one as a `delta` command.
+//! * `stat`     — print one numeric field of the `stats` response
+//!   (dot-path, e.g. `commands.delta`).
+//! * `dump`     — ask the server to persist its state to a directory.
+//! * `shutdown` — stop the server.
+//!
+//! Exit codes: 0 ok, 1 assertion/usage failure, 3 connection lost
+//! mid-stream (expected by the crash-recovery CI harness).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use moma_datagen::{DeltaStream, EvolveConfig, Scenario, WorldConfig};
+use moma_server::{protocol, Client, Json};
+
+const USAGE: &str = "\
+usage: moma_load <mode> [options]
+
+modes:
+  load      [--addr H:P] [--readers 4] [--requests 200] [--deltas 30]
+            [--seed 11] [--churn 0.02] [--scenario-seed 7] [--threads N]
+            [--report FILE] [--baseline FILE]
+  smoke      --addr H:P
+  stream     --addr H:P [--steps 50] [--seed 11] [--churn 0.02]
+            [--scenario-seed 7] [--sleep-ms 0]
+  stat       --addr H:P --key dotted.path
+  dump       --addr H:P --dir DIR
+  shutdown   --addr H:P
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("moma_load: {e}\n{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match mode.as_str() {
+        "load" => cmd_load(&opts),
+        "smoke" => cmd_smoke(&opts),
+        "stream" => cmd_stream(&opts),
+        "stat" => cmd_stat(&opts),
+        "dump" => cmd_dump(&opts),
+        "shutdown" => cmd_shutdown(&opts),
+        other => Err(format!("unknown mode `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("moma_load {mode}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+type Opts = BTreeMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = Opts::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_owned(), value.clone());
+    }
+    Ok(out)
+}
+
+fn opt_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn connect(opts: &Opts) -> Result<Client, String> {
+    let addr = opts.get("addr").ok_or("missing --addr")?;
+    Client::connect_retry(addr, Duration::from_secs(10)).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn ensure(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("assertion failed: {msg}"))
+    }
+}
+
+fn is_ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+// ---- smoke ----------------------------------------------------------
+
+/// Fixed, deterministic endpoint-conformance sequence. Running it twice
+/// against two fresh servers of the same scenario produces identical
+/// server states — the crash-recovery harness relies on that.
+fn cmd_smoke(opts: &Opts) -> Result<ExitCode, String> {
+    use moma_model::{AttrValue, DeltaOp};
+    let mut c = connect(opts)?;
+    let call = |c: &mut Client, req: &Json| c.call(req).map_err(|e| format!("call: {e}"));
+
+    let r = call(&mut c, &protocol::bare_request("ping"))?;
+    ensure(is_ok(&r), "ping")?;
+    let r = call(&mut c, &protocol::bare_request("stats"))?;
+    ensure(is_ok(&r), "stats")?;
+    ensure(
+        !r.get("sources")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .is_empty(),
+        "stats reports sources",
+    )?;
+
+    // Three matchers + one composition.
+    let r = call(
+        &mut c,
+        &protocol::match_request(
+            "m_dblp_acm",
+            "Publication@DBLP",
+            "Publication@ACM",
+            "title",
+            "title",
+            "trigram",
+            0.75,
+        ),
+    )?;
+    ensure(is_ok(&r), &format!("match m_dblp_acm: {r}"))?;
+    ensure(
+        r.get("incremental").and_then(Json::as_bool) == Some(true),
+        "trigram matcher is incrementally maintainable",
+    )?;
+    let r = call(
+        &mut c,
+        &protocol::match_request(
+            "m_acm_gs",
+            "Publication@ACM",
+            "Publication@GS",
+            "title",
+            "title",
+            "trigram",
+            0.75,
+        ),
+    )?;
+    ensure(is_ok(&r), &format!("match m_acm_gs: {r}"))?;
+    let r = call(
+        &mut c,
+        &protocol::match_request(
+            "m_tfidf",
+            "Publication@ACM",
+            "Publication@GS",
+            "title",
+            "title",
+            "tfidf",
+            0.6,
+        ),
+    )?;
+    ensure(is_ok(&r), &format!("match m_tfidf: {r}"))?;
+    ensure(
+        r.get("incremental").and_then(Json::as_bool) == Some(false),
+        "tfidf matcher reports incremental: false",
+    )?;
+    let r = call(
+        &mut c,
+        &protocol::compose_request("c_dblp_gs", "m_dblp_acm", "m_acm_gs", "min", "max"),
+    )?;
+    ensure(is_ok(&r), &format!("compose c_dblp_gs: {r}"))?;
+
+    // Queries: happy path, filtered, and the error case.
+    let r = call(&mut c, &protocol::query_request("c_dblp_gs", 5, None))?;
+    ensure(is_ok(&r), &format!("query c_dblp_gs: {r}"))?;
+    ensure(
+        r.get("rows").and_then(Json::as_arr).unwrap_or(&[]).len() <= 5,
+        "query respects limit",
+    )?;
+    let r = call(&mut c, &protocol::query_request("m_acm_gs", 0, Some(0.95)))?;
+    ensure(is_ok(&r), "query with min_sim")?;
+    let r = call(&mut c, &protocol::query_request("no_such_mapping", 0, None))?;
+    ensure(!is_ok(&r), "query of unknown mapping fails")?;
+
+    // Delta 1: two adds against GS. The trigram state patches
+    // incrementally; the TF-IDF state must report a full re-match.
+    let ops = vec![
+        DeltaOp::Add {
+            id: "smoke_g1".into(),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text("Snapshot isolation for mapping repositories".into()),
+            )],
+        },
+        DeltaOp::Add {
+            id: "smoke_g2".into(),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text("Write-ahead logging for object matching services".into()),
+            )],
+        },
+    ];
+    let r = call(&mut c, &protocol::delta_request("Publication@GS", &ops))?;
+    ensure(is_ok(&r), &format!("delta 1: {r}"))?;
+    let empty: [Json; 0] = [];
+    let touched = r.get("mappings").and_then(Json::as_arr).unwrap_or(&empty);
+    let by_name = |name: &str| touched.iter().find(|m| m.str_field("name") == Some(name));
+    let acm_gs = by_name("m_acm_gs").ok_or("delta 1 touches m_acm_gs")?;
+    ensure(
+        acm_gs.get("incremental").and_then(Json::as_bool) == Some(true),
+        "m_acm_gs patched incrementally",
+    )?;
+    let tfidf = by_name("m_tfidf").ok_or("delta 1 touches m_tfidf")?;
+    ensure(
+        tfidf.get("incremental").and_then(Json::as_bool) == Some(false)
+            && tfidf.get("full_rematch").and_then(Json::as_bool) == Some(true),
+        "m_tfidf reports full re-match fallback",
+    )?;
+    ensure(
+        by_name("m_dblp_acm").is_none(),
+        "m_dblp_acm untouched by a GS delta",
+    )?;
+    let refreshed = r.get("refreshed").and_then(Json::as_arr).unwrap_or(&empty);
+    ensure(
+        refreshed.iter().any(|n| n.as_str() == Some("c_dblp_gs")),
+        "derived c_dblp_gs refreshed after the delta",
+    )?;
+
+    // Delta 2: update + remove of the instances added above.
+    let ops = vec![
+        DeltaOp::Update {
+            id: "smoke_g1".into(),
+            attr: "title".into(),
+            value: Some(AttrValue::Text(
+                "Snapshot-isolated reads for mapping repositories".into(),
+            )),
+        },
+        DeltaOp::Remove {
+            id: "smoke_g2".into(),
+        },
+    ];
+    let r = call(&mut c, &protocol::delta_request("Publication@GS", &ops))?;
+    ensure(is_ok(&r), &format!("delta 2: {r}"))?;
+    let applied = r.get("applied").ok_or("delta 2 reports applied counts")?;
+    ensure(
+        applied.num_field("updated") == Some(1.0) && applied.num_field("removed") == Some(1.0),
+        "delta 2 applied counts",
+    )?;
+
+    // Stats reflect the durable command counters.
+    let r = call(&mut c, &protocol::bare_request("stats"))?;
+    let commands = r.get("commands").ok_or("stats has commands")?;
+    ensure(
+        commands.num_field("match") == Some(3.0)
+            && commands.num_field("compose") == Some(1.0)
+            && commands.num_field("delta") == Some(2.0),
+        &format!("command counters after smoke: {commands}"),
+    )?;
+    eprintln!("smoke: ok (3 matchers, 1 compose, 2 deltas, counters verified)");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- stream ---------------------------------------------------------
+
+/// Build the local shadow of the server's generated scenario, so delta
+/// generation is reproducible without reading server state.
+fn shadow_scenario(opts: &Opts) -> Result<Scenario, String> {
+    let mut cfg = WorldConfig::small();
+    cfg.seed = opt_num(opts, "scenario-seed", 7u64)?;
+    Ok(Scenario::generate(cfg))
+}
+
+fn cmd_stream(opts: &Opts) -> Result<ExitCode, String> {
+    let steps: usize = opt_num(opts, "steps", 50)?;
+    let seed: u64 = opt_num(opts, "seed", 11)?;
+    let churn: f64 = opt_num(opts, "churn", 0.02)?;
+    let sleep_ms: u64 = opt_num(opts, "sleep-ms", 0)?;
+    let mut c = connect(opts)?;
+
+    let s = shadow_scenario(opts)?;
+    let mut registry = s.registry;
+    let gs = s.ids.pub_gs;
+    let gs_name = registry.lds(gs).name();
+    let mut stream = DeltaStream::new(
+        EvolveConfig {
+            seed,
+            ..EvolveConfig::with_churn(churn)
+        },
+        gs,
+    );
+    for step in 1..=steps {
+        let delta = stream.next_delta(&registry);
+        let req = protocol::delta_request(&gs_name, &delta.ops);
+        let resp = match c.call(&req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stream: connection lost at step {step}/{steps}: {e}");
+                return Ok(ExitCode::from(3));
+            }
+        };
+        if !is_ok(&resp) {
+            return Err(format!("stream step {step}: {resp}"));
+        }
+        registry
+            .apply_delta(&delta)
+            .map_err(|e| format!("shadow apply step {step}: {e}"))?;
+        if sleep_ms > 0 {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+        }
+    }
+    eprintln!("stream: sent {steps} deltas (seed {seed}, churn {churn})");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- stat / dump / shutdown ----------------------------------------
+
+fn cmd_stat(opts: &Opts) -> Result<ExitCode, String> {
+    let key = opts.get("key").ok_or("missing --key")?;
+    let mut c = connect(opts)?;
+    let r = c
+        .call_ok(&protocol::bare_request("stats"))
+        .map_err(|e| e.to_string())?;
+    let mut node = &r;
+    for part in key.split('.') {
+        node = node
+            .get(part)
+            .ok_or_else(|| format!("stats has no `{key}`"))?;
+    }
+    match node {
+        Json::Num(n) if n.fract() == 0.0 => println!("{}", *n as i64),
+        other => println!("{other}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_dump(opts: &Opts) -> Result<ExitCode, String> {
+    let dir = opts.get("dir").ok_or("missing --dir")?;
+    let mut c = connect(opts)?;
+    let r = c
+        .call_ok(&protocol::dump_request(dir))
+        .map_err(|e| e.to_string())?;
+    eprintln!("dump: {r}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shutdown(opts: &Opts) -> Result<ExitCode, String> {
+    let mut c = connect(opts)?;
+    let r = c
+        .call_ok(&protocol::bare_request("shutdown"))
+        .map_err(|e| e.to_string())?;
+    ensure(is_ok(&r), "shutdown acknowledged")?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- load -----------------------------------------------------------
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
+    let readers: usize = opt_num(opts, "readers", 4)?;
+    let requests: usize = opt_num(opts, "requests", 200)?;
+    let deltas: usize = opt_num(opts, "deltas", 30)?;
+    let seed: u64 = opt_num(opts, "seed", 11)?;
+    let churn: f64 = opt_num(opts, "churn", 0.02)?;
+
+    // Embedded server unless --addr points at a running one.
+    let s = shadow_scenario(opts)?;
+    let mut shadow = s.registry.clone();
+    let gs = s.ids.pub_gs;
+    let gs_name = shadow.lds(gs).name();
+    let (addr, handle) = match opts.get("addr") {
+        Some(a) => (a.clone(), None),
+        None => {
+            let par = match opt_num::<usize>(opts, "threads", 0)? {
+                0 => moma_core::exec::Parallelism::from_env(),
+                n => moma_core::exec::Parallelism::new(n),
+            };
+            let engine = moma_server::Engine::new(s.registry, par);
+            let handle = moma_server::spawn(engine, "127.0.0.1:0")
+                .map_err(|e| format!("spawn server: {e}"))?;
+            (handle.addr.to_string(), Some(handle))
+        }
+    };
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let r = c
+        .call_ok(&protocol::match_request(
+            "m_load",
+            "Publication@DBLP",
+            "Publication@GS",
+            "title",
+            "title",
+            "trigram",
+            0.75,
+        ))
+        .map_err(|e| e.to_string())?;
+    ensure(
+        r.get("incremental").and_then(Json::as_bool) == Some(true),
+        "m_load is incrementally maintainable",
+    )?;
+    let rows0 = r.num_field("rows").unwrap_or(0.0) as u64;
+
+    // Reader fan-out: queries with varying limits, a stats call every
+    // 16th request.
+    let t0 = Instant::now();
+    let mut reader_threads = Vec::new();
+    for r_id in 0..readers {
+        let addr = addr.clone();
+        reader_threads.push(std::thread::spawn(
+            move || -> Result<(Vec<f64>, Vec<f64>), String> {
+                let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+                    .map_err(|e| format!("reader {r_id}: connect: {e}"))?;
+                let mut q_ms = Vec::with_capacity(requests);
+                let mut s_ms = Vec::new();
+                for i in 0..requests {
+                    let t = Instant::now();
+                    let (req, sink) = if i % 16 == 15 {
+                        (protocol::bare_request("stats"), &mut s_ms)
+                    } else {
+                        let limit = (i % 97 + 1) as u64;
+                        (protocol::query_request("m_load", limit, None), &mut q_ms)
+                    };
+                    let resp = c
+                        .call(&req)
+                        .map_err(|e| format!("reader {r_id} request {i}: {e}"))?;
+                    if !is_ok(&resp) {
+                        return Err(format!("reader {r_id} request {i}: {resp}"));
+                    }
+                    sink.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                Ok((q_ms, s_ms))
+            },
+        ));
+    }
+
+    // Writer on the main thread: deterministic delta stream.
+    let mut stream = DeltaStream::new(
+        EvolveConfig {
+            seed,
+            ..EvolveConfig::with_churn(churn)
+        },
+        gs,
+    );
+    let mut d_ms = Vec::with_capacity(deltas);
+    let mut all_incremental = true;
+    let empty: [Json; 0] = [];
+    for step in 1..=deltas {
+        let delta = stream.next_delta(&shadow);
+        let req = protocol::delta_request(&gs_name, &delta.ops);
+        let t = Instant::now();
+        let resp = c.call(&req).map_err(|e| format!("delta {step}: {e}"))?;
+        d_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if !is_ok(&resp) {
+            return Err(format!("delta {step}: {resp}"));
+        }
+        for m in resp
+            .get("mappings")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty)
+        {
+            if m.str_field("name") == Some("m_load")
+                && m.get("incremental").and_then(Json::as_bool) != Some(true)
+            {
+                all_incremental = false;
+            }
+        }
+        shadow
+            .apply_delta(&delta)
+            .map_err(|e| format!("shadow apply {step}: {e}"))?;
+    }
+
+    let mut q_ms = Vec::new();
+    let mut s_ms = Vec::new();
+    for t in reader_threads {
+        let (q, s) = t.join().map_err(|_| "reader thread panicked")??;
+        q_ms.extend(q);
+        s_ms.extend(s);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total_requests = q_ms.len() + s_ms.len() + d_ms.len();
+    let throughput = total_requests as f64 / wall_s.max(1e-9);
+
+    let rows_final = c
+        .call_ok(&protocol::query_request("m_load", 1, None))
+        .map_err(|e| e.to_string())?
+        .num_field("total")
+        .unwrap_or(0.0) as u64;
+    if let Some(h) = handle {
+        h.stop();
+    }
+
+    q_ms.sort_by(|a, b| a.total_cmp(b));
+    d_ms.sort_by(|a, b| a.total_cmp(b));
+    s_ms.sort_by(|a, b| a.total_cmp(b));
+    let report = Json::obj(vec![
+        ("readers", Json::Num(readers as f64)),
+        ("requests_per_reader", Json::Num(requests as f64)),
+        ("deltas", Json::Num(deltas as f64)),
+        ("query_p50_ms", Json::Num(round3(percentile(&q_ms, 0.50)))),
+        ("query_p99_ms", Json::Num(round3(percentile(&q_ms, 0.99)))),
+        ("delta_p50_ms", Json::Num(round3(percentile(&d_ms, 0.50)))),
+        ("delta_p99_ms", Json::Num(round3(percentile(&d_ms, 0.99)))),
+        ("stats_p99_ms", Json::Num(round3(percentile(&s_ms, 0.99)))),
+        ("throughput_rps", Json::Num(round3(throughput))),
+        ("all_incremental", Json::Bool(all_incremental)),
+        ("rows_initial", Json::Num(rows0 as f64)),
+        ("rows_final", Json::Num(rows_final as f64)),
+    ]);
+    eprintln!(
+        "load: {} requests in {:.2}s ({:.0} req/s); query p50 {:.3} ms p99 {:.3} ms; \
+         delta p50 {:.3} ms p99 {:.3} ms; incremental={}",
+        total_requests,
+        wall_s,
+        throughput,
+        percentile(&q_ms, 0.50),
+        percentile(&q_ms, 0.99),
+        percentile(&d_ms, 0.50),
+        percentile(&d_ms, 0.99),
+        all_incremental,
+    );
+    ensure(all_incremental, "m_load stayed on the incremental path")?;
+
+    if let Some(path) = opts.get("report") {
+        write_report(path, &report)?;
+        eprintln!("load: serve_load section written to {path}");
+    }
+    if let Some(baseline) = opts.get("baseline") {
+        gate_against_baseline(baseline, &report)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+/// Insert/replace the `serve_load` section of a bench report. An
+/// existing report is parsed and re-emitted (pretty-printed) with the
+/// section added; a missing file becomes `{"serve_load": ...}`.
+fn write_report(path: &str, section: &Json) -> Result<(), String> {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(&text).map_err(|e| format!("{path}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Json::Obj(Vec::new()),
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    let Json::Obj(fields) = &mut root else {
+        return Err(format!("{path}: report root is not an object"));
+    };
+    fields.retain(|(k, _)| k != "serve_load");
+    fields.push(("serve_load".to_owned(), section.clone()));
+    std::fs::write(path, root.pretty() + "\n").map_err(|e| format!("{path}: {e}"))
+}
+
+/// Trend gate: compare against the committed previous-PR report. A
+/// missing baseline file or section degrades to a warning (first PR
+/// with the section); a present baseline enforces generous bounds that
+/// tolerate CI hardware variance but catch order-of-magnitude
+/// regressions.
+fn gate_against_baseline(path: &str, report: &Json) -> Result<(), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("load: warning: baseline {path} missing — serve_load trend gate skipped");
+            return Ok(());
+        }
+    };
+    let base = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(base) = base.get("serve_load") else {
+        eprintln!("load: warning: baseline {path} has no serve_load section — trend gate skipped");
+        return Ok(());
+    };
+    let pairs = [
+        ("query_p99_ms", false),
+        ("delta_p99_ms", false),
+        ("throughput_rps", true),
+    ];
+    for (key, higher_is_better) in pairs {
+        let (Some(b), Some(n)) = (base.num_field(key), report.num_field(key)) else {
+            continue;
+        };
+        if b <= 0.0 {
+            continue;
+        }
+        let (ok, bound) = if higher_is_better {
+            (n >= b / 4.0, b / 4.0)
+        } else {
+            (n <= b * 4.0, b * 4.0)
+        };
+        if !ok {
+            return Err(format!(
+                "serve_load trend gate: {key} = {n:.3} vs baseline {b:.3} (bound {bound:.3})"
+            ));
+        }
+        eprintln!("load: trend {key}: {n:.3} (baseline {b:.3}) ok");
+    }
+    Ok(())
+}

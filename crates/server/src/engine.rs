@@ -1,0 +1,809 @@
+//! The serving engine: registry + repository + primed delta states,
+//! with a write-ahead log in front of every mutating command.
+//!
+//! ## Durability contract
+//!
+//! Mutating commands (`match`, `compose`, `delta`) are appended to the
+//! [`Wal`] and `fsync`'d **before** they are applied; the client's
+//! response is sent after apply. An acknowledged command is therefore
+//! durable, and replaying the log re-executes exactly the commands the
+//! pre-crash engine executed, in order. Because every engine operation
+//! is deterministic — parallel matching and compose merge shard results
+//! in input order, repository version stamps are assigned in command
+//! order, and command *failures* re-fail identically against the same
+//! state — the replayed engine is bit-identical to the pre-crash one:
+//! same instances, same correspondences, same version stamps, same
+//! counters.
+//!
+//! ## Concurrency
+//!
+//! The engine itself is single-writer: the server wraps it in an
+//! `RwLock` and routes mutating commands through the write lock, so WAL
+//! order equals apply order. Read commands (`query`, `stats`, `dump`)
+//! go through the read lock and start from
+//! [`MappingRepository::snapshot`], which captures every entry (mapping
+//! `Arc` + version stamp) under one lock acquisition — a reader sees a
+//! consistent point-in-time image and is never exposed to a
+//! half-applied delta (see `tests/snapshot_isolation.rs`).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use moma_core::blocking::Blocking;
+use moma_core::exec::Parallelism;
+use moma_core::matchers::{AttributeMatcher, MatchContext};
+use moma_core::ops::compose::{PathAgg, PathCombine};
+use moma_core::repository::SnapshotEntry;
+use moma_core::{DeltaMatchState, MappingRepository, Recipe};
+use moma_model::SourceRegistry;
+use moma_simstring::SimFn;
+
+use crate::json::Json;
+use crate::protocol;
+use crate::wal::Wal;
+
+/// Minimum spacing between repeated full-re-match warnings for the same
+/// mapping (see [`Engine::warn_full_rematch`]).
+const WARN_PERIOD: Duration = Duration::from_secs(30);
+
+/// Durable command counters; restored exactly by replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCounts {
+    /// `match` commands logged (successful or not).
+    pub matches: u64,
+    /// `compose` commands logged.
+    pub composes: u64,
+    /// `delta` commands logged.
+    pub deltas: u64,
+}
+
+/// Summary of a `--replay` startup.
+#[derive(Debug, Clone)]
+pub struct ReplaySummary {
+    /// Records re-executed.
+    pub replayed: usize,
+    /// Torn-tail bytes dropped from the log file.
+    pub dropped_bytes: u64,
+    /// Why log decoding stopped before EOF, if it did.
+    pub stop_reason: Option<String>,
+    /// Replayed commands that (deterministically) re-failed.
+    pub failed: usize,
+}
+
+/// The serving engine. See the module docs for the durability and
+/// concurrency contracts.
+pub struct Engine {
+    registry: SourceRegistry,
+    repository: MappingRepository,
+    /// Primed matcher states by mapping name (ordered, so delta
+    /// application order is deterministic).
+    states: BTreeMap<String, DeltaMatchState>,
+    par: Parallelism,
+    wal: Option<Wal>,
+    commands: CommandCounts,
+    /// `true` while re-executing WAL records: suppresses re-logging and
+    /// operator warnings.
+    replaying: bool,
+    last_warn: BTreeMap<String, Instant>,
+    warnings_suppressed: u64,
+}
+
+impl Engine {
+    /// Engine over a registry, without a WAL (embedded/test use; attach
+    /// one with [`Engine::wal_create`] / [`Engine::wal_replay`]).
+    pub fn new(registry: SourceRegistry, par: Parallelism) -> Engine {
+        Engine {
+            registry,
+            repository: MappingRepository::new(),
+            states: BTreeMap::new(),
+            par,
+            wal: None,
+            commands: CommandCounts::default(),
+            replaying: false,
+            last_warn: BTreeMap::new(),
+            warnings_suppressed: 0,
+        }
+    }
+
+    /// Attach a fresh WAL (truncating any existing file).
+    pub fn wal_create(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.wal = Some(Wal::create(path)?);
+        Ok(())
+    }
+
+    /// Replay an existing WAL and attach it: decode the valid record
+    /// prefix (dropping any torn tail), re-execute every logged command
+    /// in order, and resume appends after the last valid record.
+    pub fn wal_replay(&mut self, path: impl AsRef<Path>) -> Result<ReplaySummary, String> {
+        let (wal, outcome) =
+            Wal::open_replay(&path).map_err(|e| format!("open {:?}: {e}", path.as_ref()))?;
+        let mut failed = 0usize;
+        self.replaying = true;
+        for rec in &outcome.records {
+            let text = std::str::from_utf8(&rec.payload)
+                .map_err(|e| format!("WAL record {}: not UTF-8: {e}", rec.seq))?;
+            let req =
+                Json::parse(text).map_err(|e| format!("WAL record {}: bad JSON: {e}", rec.seq))?;
+            let resp = self.apply_logged(&req, Some(rec.seq));
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                // A command that failed live re-fails identically here;
+                // count it but keep going — the state evolution matches
+                // the pre-crash run either way.
+                failed += 1;
+            }
+        }
+        self.replaying = false;
+        self.wal = Some(wal);
+        Ok(ReplaySummary {
+            replayed: outcome.records.len(),
+            dropped_bytes: outcome.dropped_bytes,
+            stop_reason: outcome.stop_reason,
+            failed,
+        })
+    }
+
+    /// Whether `cmd` mutates engine state (and therefore must be
+    /// WAL-logged and serialized through the write lock).
+    pub fn is_mutating(cmd: &str) -> bool {
+        matches!(cmd, "match" | "compose" | "delta")
+    }
+
+    /// Execute a mutating command: append it to the WAL (fsync'd), then
+    /// apply it. Read-only commands are delegated to
+    /// [`Engine::execute_read`] for embedded convenience.
+    pub fn execute(&mut self, req: &Json) -> Json {
+        let Some(cmd) = req.str_field("cmd") else {
+            return err_response("request missing `cmd`");
+        };
+        if !Engine::is_mutating(cmd) {
+            return self.execute_read(req);
+        }
+        let seq = if let Some(wal) = &mut self.wal {
+            match wal.append(req.to_string().as_bytes()) {
+                Ok(seq) => Some(seq),
+                // Nothing durable ⇒ nothing applied: refuse the command.
+                Err(e) => return err_response(&format!("WAL append failed: {e}")),
+            }
+        } else {
+            None
+        };
+        self.apply_logged(req, seq)
+    }
+
+    /// Apply an already-logged mutating command (also the replay path).
+    fn apply_logged(&mut self, req: &Json, seq: Option<u64>) -> Json {
+        let cmd = req.str_field("cmd").unwrap_or_default().to_owned();
+        let result = match cmd.as_str() {
+            "match" => {
+                self.commands.matches += 1;
+                self.cmd_match(req)
+            }
+            "compose" => {
+                self.commands.composes += 1;
+                self.cmd_compose(req)
+            }
+            "delta" => {
+                self.commands.deltas += 1;
+                self.cmd_delta(req, seq)
+            }
+            other => Err(format!("`{other}` is not a mutating command")),
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => err_response(&e),
+        }
+    }
+
+    /// Execute a read-only command against the current state.
+    pub fn execute_read(&self, req: &Json) -> Json {
+        let Some(cmd) = req.str_field("cmd") else {
+            return err_response("request missing `cmd`");
+        };
+        let result = match cmd {
+            "ping" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
+            "query" => self.cmd_query(req),
+            "stats" => Ok(self.stats()),
+            "dump" => self.cmd_dump(req),
+            other => Err(format!(
+                "unknown command `{other}` (expected ping/match/compose/query/delta/stats/dump/shutdown)"
+            )),
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => err_response(&e),
+        }
+    }
+
+    // ---- mutating commands ------------------------------------------
+
+    fn cmd_match(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req
+            .str_field("name")
+            .ok_or("match request missing `name`")?;
+        let domain = req
+            .str_field("domain")
+            .ok_or("match request missing `domain`")?;
+        let range = req
+            .str_field("range")
+            .ok_or("match request missing `range`")?;
+        let domain_attr = req.str_field("domain_attr").unwrap_or("title");
+        let range_attr = req.str_field("range_attr").unwrap_or(domain_attr);
+        let sim = req.str_field("sim").unwrap_or("trigram");
+        let threshold = req.num_field("threshold").unwrap_or(0.7);
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(format!("threshold {threshold} must be in [0, 1]"));
+        }
+
+        let d = self
+            .registry
+            .resolve(domain)
+            .map_err(|e| format!("domain: {e}"))?;
+        let r = self
+            .registry
+            .resolve(range)
+            .map_err(|e| format!("range: {e}"))?;
+
+        let mut matcher = if sim == "tfidf" {
+            AttributeMatcher::tfidf(domain_attr, range_attr, threshold)
+        } else {
+            let f = SimFn::parse(sim).ok_or_else(|| format!("unknown similarity `{sim}`"))?;
+            let blocking = Blocking::auto_for(&f);
+            AttributeMatcher::new(domain_attr, range_attr, f, threshold).with_blocking(blocking)
+        };
+        if let Some(b) = req.str_field("blocking") {
+            let b = Blocking::parse(b).ok_or_else(|| format!("unknown blocking `{b}`"))?;
+            matcher = matcher.with_blocking(b);
+        }
+
+        let ctx = MatchContext::new(&self.registry).with_parallelism(self.par);
+        let state = matcher.prime(&ctx, d, r).map_err(|e| e.to_string())?;
+        let rows = state.mapping().len();
+        let incremental = state.is_incremental();
+        self.repository.store_as(name, state.mapping().clone());
+        self.states.insert(name.to_owned(), state);
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.into())),
+            ("rows", Json::Num(rows as f64)),
+            (
+                "version",
+                Json::Num(self.repository.version(name).unwrap_or(0) as f64),
+            ),
+            ("incremental", Json::Bool(incremental)),
+        ]))
+    }
+
+    fn cmd_compose(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req
+            .str_field("name")
+            .ok_or("compose request missing `name`")?;
+        let left = req
+            .str_field("left")
+            .ok_or("compose request missing `left`")?;
+        let right = req
+            .str_field("right")
+            .ok_or("compose request missing `right`")?;
+        let f = parse_combine(req.str_field("f").unwrap_or("min"))?;
+        let g = parse_agg(req.str_field("g").unwrap_or("max"))?;
+        let recipe = Recipe::Compose {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            f,
+            g,
+        };
+        let mapping = self
+            .repository
+            .store_derived(name, recipe, &self.par)
+            .map_err(|e| e.to_string())?;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.into())),
+            ("rows", Json::Num(mapping.len() as f64)),
+            (
+                "version",
+                Json::Num(self.repository.version(name).unwrap_or(0) as f64),
+            ),
+        ]))
+    }
+
+    fn cmd_delta(&mut self, req: &Json, seq: Option<u64>) -> Result<Json, String> {
+        let delta = protocol::parse_delta(&self.registry, req)?;
+        let applied = self
+            .registry
+            .apply_delta(&delta)
+            .map_err(|e| format!("apply_delta: {e}"))?;
+
+        // Patch every primed state. `apply` self-skips states whose
+        // matched projections the delta does not touch, so the loop is
+        // cheap for irrelevant mappings.
+        let mut mappings_out = Vec::new();
+        let mut patches = Vec::new();
+        let mut warn_names = Vec::new();
+        let mut untouched = 0usize;
+        {
+            let ctx = MatchContext::new(&self.registry).with_parallelism(self.par);
+            for (name, state) in self.states.iter_mut() {
+                state
+                    .apply(&ctx, &[&applied])
+                    .map_err(|e| format!("patch `{name}`: {e}"))?;
+                if !state.last_touched() {
+                    untouched += 1;
+                    continue;
+                }
+                let full = state.last_was_full_rematch();
+                if full {
+                    warn_names.push((name.clone(), state.full_rematches()));
+                }
+                patches.push((name.clone(), state.mapping().clone()));
+                mappings_out.push(Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("rows", Json::Num(state.mapping().len() as f64)),
+                    ("rescored", Json::Num(state.last_rescored as f64)),
+                    ("incremental", Json::Bool(!full)),
+                    ("full_rematch", Json::Bool(full)),
+                ]));
+            }
+        }
+        for (name, total) in warn_names {
+            self.warn_full_rematch(&name, total);
+        }
+        for (name, mapping) in patches {
+            self.repository.patch(name, mapping);
+        }
+        let refreshed = self
+            .repository
+            .refresh_stale(&self.par)
+            .map_err(|e| format!("refresh stale: {e}"))?;
+
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "seq",
+                seq.map(|s| Json::Num(s as f64)).unwrap_or(Json::Null),
+            ),
+            (
+                "applied",
+                Json::obj(vec![
+                    ("added", Json::Num(applied.added.len() as f64)),
+                    ("removed", Json::Num(applied.removed.len() as f64)),
+                    ("updated", Json::Num(applied.updated.len() as f64)),
+                    ("skipped", Json::Num(applied.skipped as f64)),
+                ]),
+            ),
+            ("mappings", Json::Arr(mappings_out)),
+            ("untouched", Json::Num(untouched as f64)),
+            (
+                "refreshed",
+                Json::Arr(refreshed.into_iter().map(Json::Str).collect()),
+            ),
+        ]))
+    }
+
+    /// Log (rate-limited per mapping) that a delta paid a transparent
+    /// full re-match instead of an incremental patch — the operator
+    /// signal for configurations like TF-IDF whose corpus-global
+    /// weights make incremental maintenance unsound.
+    fn warn_full_rematch(&mut self, name: &str, total: u64) {
+        if self.replaying {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(last) = self.last_warn.get(name) {
+            if now.duration_since(*last) < WARN_PERIOD {
+                self.warnings_suppressed += 1;
+                return;
+            }
+        }
+        self.last_warn.insert(name.to_owned(), now);
+        eprintln!(
+            "warning: mapping `{name}` is not incrementally maintainable; \
+             this delta paid a full re-match ({total} so far; further \
+             warnings for it muted for {}s)",
+            WARN_PERIOD.as_secs()
+        );
+    }
+
+    // ---- read-only commands -----------------------------------------
+
+    fn cmd_query(&self, req: &Json) -> Result<Json, String> {
+        let name = req
+            .str_field("name")
+            .ok_or("query request missing `name`")?;
+        let limit = req.get("limit").and_then(Json::as_u64).unwrap_or(100) as usize;
+        let min_sim = req.num_field("min_sim").unwrap_or(0.0);
+
+        let snapshot = self.repository.snapshot();
+        let Some(entry) = snapshot.iter().find(|e| e.name == name) else {
+            let names: Vec<&str> = snapshot.iter().map(|e| e.name.as_str()).collect();
+            return Err(format!(
+                "unknown mapping `{name}` (have: {})",
+                if names.is_empty() {
+                    "none".to_owned()
+                } else {
+                    names.join(", ")
+                }
+            ));
+        };
+        let dom = self.registry.lds(entry.mapping.domain);
+        let rng = self.registry.lds(entry.mapping.range);
+        let id_of = |lds: &moma_model::LogicalSource, idx: u32| -> String {
+            // The arena is append-only, so a snapshot row always
+            // resolves — even if the instance was tombstoned after the
+            // snapshot was taken.
+            lds.get(idx).map(|i| i.id.clone()).unwrap_or_default()
+        };
+        let mut rows = Vec::new();
+        let mut total = 0usize;
+        for c in entry.mapping.table.rows() {
+            if c.sim < min_sim {
+                continue;
+            }
+            total += 1;
+            if limit == 0 || rows.len() < limit {
+                rows.push(Json::Arr(vec![
+                    Json::Str(id_of(dom, c.domain)),
+                    Json::Str(id_of(rng, c.range)),
+                    Json::Num(c.sim),
+                ]));
+            }
+        }
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.into())),
+            ("version", Json::Num(entry.version as f64)),
+            ("domain", Json::Str(dom.name())),
+            ("range", Json::Str(rng.name())),
+            ("total", Json::Num(total as f64)),
+            ("rows", Json::Arr(rows)),
+        ]))
+    }
+
+    /// Engine-level stats object (the server layer adds uptime and
+    /// per-connection request counters on top).
+    pub fn stats(&self) -> Json {
+        let sources: Vec<Json> = self
+            .registry
+            .iter()
+            .map(|(_, lds)| {
+                Json::obj(vec![
+                    ("name", Json::Str(lds.name())),
+                    ("len", Json::Num(lds.len() as f64)),
+                    ("live", Json::Num(lds.live_len() as f64)),
+                ])
+            })
+            .collect();
+        let mappings: Vec<Json> = self
+            .repository
+            .snapshot()
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("name".to_owned(), Json::Str(e.name.clone())),
+                    ("version".to_owned(), Json::Num(e.version as f64)),
+                    ("rows".to_owned(), Json::Num(e.mapping.len() as f64)),
+                    ("derived".to_owned(), Json::Bool(e.derived)),
+                    (
+                        "stale".to_owned(),
+                        Json::Bool(self.repository.is_stale(&e.name)),
+                    ),
+                ];
+                if let Some(state) = self.states.get(&e.name) {
+                    fields.push(("incremental".to_owned(), Json::Bool(state.is_incremental())));
+                    fields.push((
+                        "full_rematches".to_owned(),
+                        Json::Num(state.full_rematches() as f64),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "commands",
+                Json::obj(vec![
+                    ("match", Json::Num(self.commands.matches as f64)),
+                    ("compose", Json::Num(self.commands.composes as f64)),
+                    ("delta", Json::Num(self.commands.deltas as f64)),
+                ]),
+            ),
+            (
+                "wal",
+                match &self.wal {
+                    Some(w) => Json::obj(vec![
+                        ("seq", Json::Num(w.last_seq() as f64)),
+                        ("path", Json::Str(w.path().display().to_string())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("sources", Json::Arr(sources)),
+            ("mappings", Json::Arr(mappings)),
+            (
+                "full_rematch_warnings_suppressed",
+                Json::Num(self.warnings_suppressed as f64),
+            ),
+        ])
+    }
+
+    fn cmd_dump(&self, req: &Json) -> Result<Json, String> {
+        let dir = req.str_field("dir").ok_or("dump request missing `dir`")?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+        self.repository
+            .persist_dir(dir, &self.registry)
+            .map_err(|e| format!("persist {dir}: {e}"))?;
+        // Deterministic manifest: version stamps, row counts and durable
+        // counters, so two state dumps are byte-comparable with `diff -r`.
+        let mut manifest = String::from("# moma dump manifest\n");
+        manifest.push_str(&format!(
+            "commands\t{}\t{}\t{}\n",
+            self.commands.matches, self.commands.composes, self.commands.deltas
+        ));
+        let snapshot = self.repository.snapshot();
+        for e in &snapshot {
+            manifest.push_str(&format!(
+                "mapping\t{}\t{}\t{}\t{}\n",
+                e.name,
+                e.version,
+                e.mapping.len(),
+                if e.derived { 1 } else { 0 }
+            ));
+        }
+        for (_, lds) in self.registry.iter() {
+            manifest.push_str(&format!(
+                "source\t{}\t{}\t{}\n",
+                lds.name(),
+                lds.len(),
+                lds.live_len()
+            ));
+        }
+        let path = Path::new(dir).join("manifest.tsv");
+        std::fs::write(&path, manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("dir", Json::Str(dir.into())),
+            ("mappings", Json::Num(snapshot.len() as f64)),
+        ]))
+    }
+
+    // ---- accessors ---------------------------------------------------
+
+    /// The engine's source registry.
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// The engine's mapping repository.
+    pub fn repository(&self) -> &MappingRepository {
+        &self.repository
+    }
+
+    /// Point-in-time snapshot of every repository entry (one lock
+    /// acquisition; see [`MappingRepository::snapshot`]).
+    pub fn snapshot(&self) -> Vec<SnapshotEntry> {
+        self.repository.snapshot()
+    }
+
+    /// Durable command counters.
+    pub fn command_counts(&self) -> CommandCounts {
+        self.commands
+    }
+
+    /// Last WAL sequence number (0 when no WAL or empty log).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.last_seq()).unwrap_or(0)
+    }
+}
+
+/// `{"ok": false, "error": msg}`.
+pub fn err_response(msg: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
+fn parse_combine(name: &str) -> Result<PathCombine, String> {
+    match name {
+        "avg" => Ok(PathCombine::Avg),
+        "min" => Ok(PathCombine::Min),
+        "max" => Ok(PathCombine::Max),
+        "product" => Ok(PathCombine::Product),
+        _ => {
+            if let Some(w) = name.strip_prefix("weighted:") {
+                let w: f64 = w.parse().map_err(|e| format!("weighted:{w}: {e}"))?;
+                return Ok(PathCombine::Weighted(w));
+            }
+            Err(format!(
+                "unknown path combine `{name}` (avg/min/max/product/weighted:W)"
+            ))
+        }
+    }
+}
+
+fn parse_agg(name: &str) -> Result<PathAgg, String> {
+    match name {
+        "avg" => Ok(PathAgg::Avg),
+        "min" => Ok(PathAgg::Min),
+        "max" => Ok(PathAgg::Max),
+        "relative-left" => Ok(PathAgg::RelativeLeft),
+        "relative-right" => Ok(PathAgg::RelativeRight),
+        "relative" => Ok(PathAgg::Relative),
+        _ => Err(format!(
+            "unknown path aggregation `{name}` (avg/min/max/relative/relative-left/relative-right)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_model::{AttrDef, AttrValue, DeltaOp, LogicalSource, ObjectType};
+
+    fn tiny_registry() -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        for (pds, ids) in [
+            ("DBLP", vec!["d1", "d2"]),
+            ("ACM", vec!["a1", "a2"]),
+            ("GS", vec!["g1"]),
+        ] {
+            let mut lds = LogicalSource::new(
+                pds,
+                ObjectType::new("Publication"),
+                vec![AttrDef::text("title")],
+            );
+            for id in ids {
+                lds.insert_record(
+                    id,
+                    vec![("title", AttrValue::Text(format!("The {id} system paper")))],
+                )
+                .unwrap();
+            }
+            reg.register(lds).unwrap();
+        }
+        reg
+    }
+
+    fn match_cmd(name: &str, domain: &str, range: &str) -> Json {
+        protocol::match_request(name, domain, range, "title", "title", "trigram", 0.5)
+    }
+
+    #[test]
+    fn match_compose_query_delta_roundtrip() {
+        let mut e = Engine::new(tiny_registry(), Parallelism::sequential());
+        let r = e.execute(&match_cmd("m1", "Publication@DBLP", "Publication@ACM"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("incremental").and_then(Json::as_bool), Some(true));
+        let r = e.execute(&match_cmd("m2", "Publication@ACM", "Publication@GS"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        let r = e.execute(&protocol::compose_request("c", "m1", "m2", "min", "max"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+
+        let q = e.execute_read(&protocol::query_request("m1", 0, None));
+        assert_eq!(q.get("ok").and_then(Json::as_bool), Some(true), "{q}");
+        assert!(q.num_field("total").unwrap() >= 1.0);
+        let missing = e.execute_read(&protocol::query_request("nope", 0, None));
+        assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+
+        // A GS delta touches m2 (and refreshes c), not m1.
+        let ops = vec![DeltaOp::Add {
+            id: "g9".into(),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text("The a1 system paper".into()),
+            )],
+        }];
+        let r = e.execute(&protocol::delta_request("Publication@GS", &ops));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        let touched = r.get("mappings").and_then(Json::as_arr).unwrap();
+        assert_eq!(touched.len(), 1);
+        assert_eq!(touched[0].str_field("name"), Some("m2"));
+        assert_eq!(
+            touched[0].get("incremental").and_then(Json::as_bool),
+            Some(true)
+        );
+        let refreshed = r.get("refreshed").and_then(Json::as_arr).unwrap();
+        assert_eq!(refreshed.len(), 1);
+        assert_eq!(refreshed[0].as_str(), Some("c"));
+        assert_eq!(e.command_counts().deltas, 1);
+    }
+
+    #[test]
+    fn wal_replay_restores_bit_identical_state() {
+        let dir = std::env::temp_dir().join("moma_engine_replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_path = dir.join("wal.log");
+
+        let requests = [
+            match_cmd("m1", "Publication@DBLP", "Publication@ACM"),
+            match_cmd("m2", "Publication@ACM", "Publication@GS"),
+            protocol::compose_request("c", "m1", "m2", "min", "max"),
+            protocol::delta_request(
+                "Publication@GS",
+                &[DeltaOp::Add {
+                    id: "g9".into(),
+                    fields: vec![(
+                        "title".into(),
+                        AttrValue::Text("The a1 system paper".into()),
+                    )],
+                }],
+            ),
+            // A failing command must replay as the same failure.
+            protocol::delta_request(
+                "Publication@GS",
+                &[DeltaOp::Add {
+                    id: "g9".into(),
+                    fields: vec![("title".into(), AttrValue::Text("dup id".into()))],
+                }],
+            ),
+        ];
+
+        let mut live = Engine::new(tiny_registry(), Parallelism::sequential());
+        live.wal_create(&wal_path).unwrap();
+        let mut ok_count = 0;
+        for req in &requests {
+            let r = live.execute(req);
+            if r.get("ok").and_then(Json::as_bool) == Some(true) {
+                ok_count += 1;
+            }
+        }
+        assert_eq!(ok_count, requests.len() - 1);
+
+        let mut replayed = Engine::new(tiny_registry(), Parallelism::sequential());
+        let summary = replayed.wal_replay(&wal_path).unwrap();
+        assert_eq!(summary.replayed, requests.len());
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.dropped_bytes, 0);
+
+        assert_eq!(replayed.command_counts(), live.command_counts());
+        let (a, b) = (live.snapshot(), replayed.snapshot());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.version, y.version, "version stamp for {}", x.name);
+            assert_eq!(x.dep_versions, y.dep_versions);
+            assert_eq!(x.mapping.table.rows(), y.mapping.table.rows(), "{}", x.name);
+        }
+        // New appends resume after the replayed prefix.
+        assert_eq!(replayed.wal_seq(), live.wal_seq());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tfidf_delta_reports_full_rematch() {
+        let mut e = Engine::new(tiny_registry(), Parallelism::sequential());
+        let req = protocol::match_request(
+            "t",
+            "Publication@ACM",
+            "Publication@GS",
+            "title",
+            "title",
+            "tfidf",
+            0.1,
+        );
+        let r = e.execute(&req);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("incremental").and_then(Json::as_bool), Some(false));
+
+        let ops = vec![DeltaOp::Add {
+            id: "g7".into(),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text("The g1 system paper".into()),
+            )],
+        }];
+        let r = e.execute(&protocol::delta_request("Publication@GS", &ops));
+        let touched = r.get("mappings").and_then(Json::as_arr).unwrap();
+        assert_eq!(touched.len(), 1);
+        assert_eq!(
+            touched[0].get("incremental").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            touched[0].get("full_rematch").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Length-prefixed frame codec for the serving protocol.
+//!
+//! A frame is `[u32 big-endian payload length][payload bytes]`. The
+//! payload is a UTF-8 JSON document (see [`crate::json`]); the codec
+//! itself is payload-agnostic. Frames larger than [`MAX_FRAME`] are
+//! rejected on both sides, so a corrupt or hostile length prefix cannot
+//! drive an unbounded allocation.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted payload size (16 MiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one frame and flush it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF (the peer closed
+/// the connection between frames); a mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, "unicode \u{1F600}".as_bytes()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            "unicode \u{1F600}".as_bytes()
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_inside_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Truncate inside the payload, and inside the header.
+        for cut in [buf.len() - 3, 2] {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frames_rejected_on_both_sides() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut sink, &huge).is_err());
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]);
+        let mut r = &bytes[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # moma-server — the MOMA serving layer
+//!
+//! `moma serve` turns the matching framework into a long-lived service:
+//! a [`engine::Engine`] owns a [`moma_model::SourceRegistry`], a
+//! [`moma_core::MappingRepository`] and the primed
+//! [`moma_core::DeltaMatchState`]s, and answers concurrent traffic over
+//! a length-prefixed JSON frame protocol ([`frame`], [`protocol`]) on a
+//! plain `std::net::TcpListener` — no async runtime, thread per
+//! connection ([`server`]).
+//!
+//! Three properties carry the design (see the module docs for details):
+//!
+//! * **Durability** ([`wal`]): every mutating command is appended to an
+//!   fsync'd, CRC-framed write-ahead log *before* it is applied.
+//!   `moma serve --replay` re-executes the log and — because all engine
+//!   operations are parallel-deterministic — restores the pre-crash
+//!   repository bit-identically: same correspondences, same version
+//!   stamps, same counters.
+//! * **Snapshot isolation** ([`engine`]): readers start from
+//!   [`moma_core::MappingRepository::snapshot`], a point-in-time image
+//!   captured under one lock acquisition; a query never observes a
+//!   half-applied delta.
+//! * **Incremental serving** ([`moma_core::delta`]): source deltas
+//!   patch materialized mappings in time proportional to the delta and
+//!   the `delta` response reports, per mapping, whether the patch was
+//!   incremental or paid a (transparent, warned-about) full re-match.
+//!
+//! The `moma_load` binary in this crate is the load generator and
+//! protocol swiss-army knife used by CI: `load` (latency/throughput
+//! report), `smoke` (endpoint conformance), `stream` (deterministic
+//! delta traffic), `dump`, `stat`, `shutdown`.
+
+pub mod client;
+pub mod engine;
+pub mod frame;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod wal;
+
+pub use client::Client;
+pub use engine::{CommandCounts, Engine, ReplaySummary};
+pub use json::Json;
+pub use server::{run, spawn, ServerHandle};
+pub use wal::Wal;

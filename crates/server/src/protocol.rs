@@ -1,0 +1,283 @@
+//! Request/response vocabulary of the serving protocol.
+//!
+//! Every request is a JSON object with a `"cmd"` field; every response
+//! is a JSON object with an `"ok"` boolean (plus `"error"` when it is
+//! `false`). This module holds the request **builders** used by clients
+//! (`moma_load`, tests, the CLI) and the [`AttrValue`] / delta codecs
+//! shared between the engine (decode) and clients (encode), so both
+//! sides agree on one wire form.
+//!
+//! ## Commands
+//!
+//! | cmd        | mutating | effect |
+//! |------------|----------|--------|
+//! | `ping`     | no       | liveness check |
+//! | `match`    | yes      | execute + prime an attribute matcher, store the mapping |
+//! | `compose`  | yes      | store a derived `compose(left, right, f, g)` mapping |
+//! | `query`    | no       | read correspondences from a snapshot |
+//! | `delta`    | yes      | ingest a source delta, patch mappings incrementally |
+//! | `stats`    | no       | server/engine counters |
+//! | `dump`     | no       | persist repository + manifest to a directory |
+//! | `shutdown` | no       | stop the server after responding |
+//!
+//! `AttrValue`s travel as `{"t": kind, "v": value}` with kinds `text`,
+//! `list`, `int`, `year`, `real`.
+
+use moma_model::{AttrValue, DeltaOp, SourceDelta, SourceRegistry};
+
+use crate::json::Json;
+
+/// Encode an [`AttrValue`] as `{"t": ..., "v": ...}`.
+pub fn attr_value_to_json(v: &AttrValue) -> Json {
+    let (t, v) = match v {
+        AttrValue::Text(s) => ("text", Json::Str(s.clone())),
+        AttrValue::TextList(items) => (
+            "list",
+            Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        AttrValue::Int(n) => ("int", Json::Num(*n as f64)),
+        AttrValue::Year(y) => ("year", Json::Num(*y as f64)),
+        AttrValue::Real(x) => ("real", Json::Num(*x)),
+    };
+    Json::obj(vec![("t", Json::Str(t.into())), ("v", v)])
+}
+
+/// Decode an [`AttrValue`] from its wire form.
+pub fn attr_value_from_json(j: &Json) -> Result<AttrValue, String> {
+    let t = j.str_field("t").ok_or("attr value missing `t`")?;
+    let v = j.get("v").ok_or("attr value missing `v`")?;
+    match t {
+        "text" => Ok(AttrValue::Text(
+            v.as_str().ok_or("text value must be a string")?.to_owned(),
+        )),
+        "list" => {
+            let items = v.as_arr().ok_or("list value must be an array")?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(
+                    item.as_str()
+                        .ok_or("list items must be strings")?
+                        .to_owned(),
+                );
+            }
+            Ok(AttrValue::TextList(out))
+        }
+        "int" => Ok(AttrValue::Int(
+            v.as_f64().ok_or("int value must be a number")? as i64,
+        )),
+        "year" => {
+            let y = v.as_f64().ok_or("year value must be a number")?;
+            if !(0.0..=u16::MAX as f64).contains(&y) {
+                return Err(format!("year {y} out of range"));
+            }
+            Ok(AttrValue::Year(y as u16))
+        }
+        "real" => Ok(AttrValue::Real(
+            v.as_f64().ok_or("real value must be a number")?,
+        )),
+        other => Err(format!("unknown attr kind `{other}`")),
+    }
+}
+
+fn op_to_json(op: &DeltaOp) -> Json {
+    match op {
+        DeltaOp::Add { id, fields } => Json::obj(vec![
+            ("op", Json::Str("add".into())),
+            ("id", Json::Str(id.clone())),
+            (
+                "fields",
+                Json::Obj(
+                    fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), attr_value_to_json(v)))
+                        .collect(),
+                ),
+            ),
+        ]),
+        DeltaOp::Remove { id } => Json::obj(vec![
+            ("op", Json::Str("remove".into())),
+            ("id", Json::Str(id.clone())),
+        ]),
+        DeltaOp::Update { id, attr, value } => Json::obj(vec![
+            ("op", Json::Str("update".into())),
+            ("id", Json::Str(id.clone())),
+            ("attr", Json::Str(attr.clone())),
+            (
+                "value",
+                match value {
+                    Some(v) => attr_value_to_json(v),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    }
+}
+
+fn op_from_json(j: &Json) -> Result<DeltaOp, String> {
+    let op = j.str_field("op").ok_or("delta op missing `op`")?;
+    let id = j.str_field("id").ok_or("delta op missing `id`")?.to_owned();
+    match op {
+        "add" => {
+            let Some(Json::Obj(fields)) = j.get("fields") else {
+                return Err("add op needs a `fields` object".into());
+            };
+            let mut out = Vec::with_capacity(fields.len());
+            for (k, v) in fields {
+                out.push((k.clone(), attr_value_from_json(v)?));
+            }
+            Ok(DeltaOp::Add { id, fields: out })
+        }
+        "remove" => Ok(DeltaOp::Remove { id }),
+        "update" => {
+            let attr = j
+                .str_field("attr")
+                .ok_or("update op missing `attr`")?
+                .to_owned();
+            let value = match j.get("value") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(attr_value_from_json(v)?),
+            };
+            Ok(DeltaOp::Update { id, attr, value })
+        }
+        other => Err(format!("unknown delta op `{other}`")),
+    }
+}
+
+/// Build a `delta` request from a source name and its operations.
+pub fn delta_request(lds_name: &str, ops: &[DeltaOp]) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("delta".into())),
+        ("lds", Json::Str(lds_name.into())),
+        ("ops", Json::Arr(ops.iter().map(op_to_json).collect())),
+    ])
+}
+
+/// Decode the `lds`/`ops` fields of a `delta` request against a
+/// registry (resolving the source name to its handle).
+pub fn parse_delta(registry: &SourceRegistry, req: &Json) -> Result<SourceDelta, String> {
+    let name = req.str_field("lds").ok_or("delta request missing `lds`")?;
+    let lds = registry
+        .resolve(name)
+        .map_err(|e| format!("unknown source `{name}`: {e}"))?;
+    let ops_json = req
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or("delta request missing `ops` array")?;
+    let mut ops = Vec::with_capacity(ops_json.len());
+    for op in ops_json {
+        ops.push(op_from_json(op)?);
+    }
+    Ok(SourceDelta { lds, ops })
+}
+
+/// Build a `match` request.
+#[allow(clippy::too_many_arguments)]
+pub fn match_request(
+    name: &str,
+    domain: &str,
+    range: &str,
+    domain_attr: &str,
+    range_attr: &str,
+    sim: &str,
+    threshold: f64,
+) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("match".into())),
+        ("name", Json::Str(name.into())),
+        ("domain", Json::Str(domain.into())),
+        ("range", Json::Str(range.into())),
+        ("domain_attr", Json::Str(domain_attr.into())),
+        ("range_attr", Json::Str(range_attr.into())),
+        ("sim", Json::Str(sim.into())),
+        ("threshold", Json::Num(threshold)),
+    ])
+}
+
+/// Build a `compose` request (`f`/`g` as in `moma run` scripts, e.g.
+/// `min` / `max` / `relative-left`).
+pub fn compose_request(name: &str, left: &str, right: &str, f: &str, g: &str) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("compose".into())),
+        ("name", Json::Str(name.into())),
+        ("left", Json::Str(left.into())),
+        ("right", Json::Str(right.into())),
+        ("f", Json::Str(f.into())),
+        ("g", Json::Str(g.into())),
+    ])
+}
+
+/// Build a `query` request. `limit == 0` means "all rows".
+pub fn query_request(name: &str, limit: u64, min_sim: Option<f64>) -> Json {
+    let mut fields = vec![
+        ("cmd".to_owned(), Json::Str("query".into())),
+        ("name".to_owned(), Json::Str(name.into())),
+        ("limit".to_owned(), Json::Num(limit as f64)),
+    ];
+    if let Some(s) = min_sim {
+        fields.push(("min_sim".to_owned(), Json::Num(s)));
+    }
+    Json::Obj(fields)
+}
+
+/// Build a bare request carrying only a command name.
+pub fn bare_request(cmd: &str) -> Json {
+    Json::obj(vec![("cmd", Json::Str(cmd.into()))])
+}
+
+/// Build a `dump` request.
+pub fn dump_request(dir: &str) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("dump".into())),
+        ("dir", Json::Str(dir.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_value_roundtrip() {
+        let values = [
+            AttrValue::Text("Cupid: schema matching".into()),
+            AttrValue::TextList(vec!["A. Thor".into(), "E. Rahm".into()]),
+            AttrValue::Int(-42),
+            AttrValue::Year(2007),
+            AttrValue::Real(0.625),
+        ];
+        for v in values {
+            let wire = attr_value_to_json(&v).to_string();
+            let back = attr_value_from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, v, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_through_registry() {
+        use moma_model::{AttrDef, LogicalSource, ObjectType};
+        let mut reg = SourceRegistry::new();
+        let lds = LogicalSource::new(
+            "GS",
+            ObjectType::new("Publication"),
+            vec![AttrDef::text("title")],
+        );
+        let id = reg.register(lds).unwrap();
+        let ops = vec![
+            DeltaOp::Add {
+                id: "g1".into(),
+                fields: vec![("title".into(), AttrValue::Text("MOMA".into()))],
+            },
+            DeltaOp::Update {
+                id: "g1".into(),
+                attr: "title".into(),
+                value: None,
+            },
+            DeltaOp::Remove { id: "g1".into() },
+        ];
+        let req = delta_request("Publication@GS", &ops);
+        let wire = req.to_string();
+        let parsed = parse_delta(&reg, &Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed.lds, id);
+        assert_eq!(parsed.ops, ops);
+    }
+}

@@ -1,0 +1,299 @@
+//! TCP server: accept loop, per-connection threads, graceful shutdown.
+//!
+//! Plain `std::net` — a listener thread accepts connections and hands
+//! each one to its own handler thread (the service holds a handful of
+//! long-lived clients, not ten thousand; thread-per-connection keeps
+//! the whole stack dependency-free and easy to reason about). The
+//! [`Engine`] sits behind an `RwLock`: mutating commands (`match`,
+//! `compose`, `delta`) serialize through the write lock — so WAL order
+//! equals apply order — while `query`/`stats`/`dump` run concurrently
+//! under the read lock against repository snapshots.
+//!
+//! Shutdown: a `shutdown` command (or [`ServerHandle::stop`]) sets a
+//! stop flag; the nonblocking accept loop notices within ~15 ms, stops
+//! accepting, and handler threads drain at their next read timeout.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::engine::{err_response, Engine};
+use crate::frame::write_frame;
+use crate::json::Json;
+
+/// How long handler threads block in `read` before re-checking the stop
+/// flag (also bounds shutdown latency).
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// State shared between the accept loop and handler threads.
+pub struct Shared {
+    /// The engine; write lock for mutating commands, read lock for
+    /// queries.
+    pub engine: RwLock<Engine>,
+    stop: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    /// Ask the server to stop; accept loop and handlers drain promptly.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle to a server running on a background thread (embedded mode,
+/// used by `moma_load` and the end-to-end tests).
+pub struct ServerHandle {
+    /// Bound address (useful with port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Shared server state.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Request a stop and wait for the accept loop to drain.
+    pub fn stop(self) {
+        self.shared.request_stop();
+        let _ = self.thread.join();
+    }
+}
+
+/// Bind `addr` and serve on a background thread.
+pub fn spawn(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(new_shared(engine));
+    let shared2 = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("moma-accept".into())
+        .spawn(move || accept_loop(listener, shared2))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        thread,
+    })
+}
+
+/// Bind `addr` and serve on the current thread until shutdown.
+pub fn run(engine: Engine, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("moma serve: listening on {}", listener.local_addr()?);
+    accept_loop(listener, Arc::new(new_shared(engine)));
+    Ok(())
+}
+
+fn new_shared(engine: Engine) -> Shared {
+    Shared {
+        engine: RwLock::new(engine),
+        stop: AtomicBool::new(false),
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    let mut handlers = Vec::new();
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name(format!("moma-conn-{peer}"))
+                    .spawn(move || handle_connection(stream, shared))
+                    .expect("spawn handler thread");
+                handlers.push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("moma serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// What the handler read from the wire.
+enum Next {
+    Frame(Vec<u8>),
+    Eof,
+    /// Read timeout with no frame started — re-check the stop flag.
+    Idle,
+}
+
+/// Like [`read_frame`], but a read timeout *between* frames surfaces as
+/// [`Next::Idle`] instead of an error. A timeout after the frame header
+/// has started keeps reading (the peer is mid-write), so a slow writer
+/// never desyncs the stream.
+fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
+    use io::Read;
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(Next::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(Next::Idle)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > crate::frame::MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame payload",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Next::Frame(payload))
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let payload = match next_frame(&mut stream) {
+            Ok(Next::Frame(p)) => p,
+            Ok(Next::Eof) => return,
+            Ok(Next::Idle) => {
+                if shared.stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = dispatch(&payload, &shared);
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let stop_after = resp.get("stopping").and_then(Json::as_bool) == Some(true);
+        if write_frame(&mut stream, resp.to_string().as_bytes()).is_err() {
+            return;
+        }
+        if stop_after {
+            return;
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], shared: &Shared) -> Json {
+    let req = match std::str::from_utf8(payload)
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse)
+    {
+        Ok(req) => req,
+        Err(e) => return err_response(&format!("bad request: {e}")),
+    };
+    let Some(cmd) = req.str_field("cmd") else {
+        return err_response("request missing `cmd`");
+    };
+    match cmd {
+        "shutdown" => {
+            shared.request_stop();
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("stopping", Json::Bool(true)),
+            ])
+        }
+        "stats" => {
+            let engine = shared.engine.read().expect("engine lock poisoned");
+            let mut resp = engine.execute_read(&req);
+            if let Json::Obj(fields) = &mut resp {
+                fields.push((
+                    "uptime_ms".to_owned(),
+                    Json::Num(shared.started.elapsed().as_millis() as f64),
+                ));
+                fields.push((
+                    "requests".to_owned(),
+                    Json::Num(shared.requests.load(Ordering::Relaxed) as f64),
+                ));
+                fields.push((
+                    "request_errors".to_owned(),
+                    Json::Num(shared.errors.load(Ordering::Relaxed) as f64),
+                ));
+                fields.push((
+                    "connections".to_owned(),
+                    Json::Num(shared.connections.load(Ordering::Relaxed) as f64),
+                ));
+            }
+            resp
+        }
+        c if Engine::is_mutating(c) => {
+            let mut engine = shared.engine.write().expect("engine lock poisoned");
+            engine.execute(&req)
+        }
+        _ => {
+            let engine = shared.engine.read().expect("engine lock poisoned");
+            engine.execute_read(&req)
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end test over real TCP: every endpoint answers over the frame
+//! protocol, and a crash that tears the WAL mid-record is recovered by
+//! `--replay` into a state byte-identical to a clean run of the same
+//! command prefix.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use moma_core::exec::Parallelism;
+use moma_datagen::{Scenario, WorldConfig};
+use moma_model::{AttrValue, DeltaOp, SourceRegistry};
+use moma_server::{protocol, spawn, Client, Engine, Json};
+
+fn scenario_registry() -> SourceRegistry {
+    let scenario = Scenario::generate({
+        let mut cfg = WorldConfig::small();
+        cfg.seed = 99;
+        cfg
+    });
+    scenario.registry
+}
+
+fn engine(wal: Option<&Path>) -> Engine {
+    let mut e = Engine::new(scenario_registry(), Parallelism::sequential());
+    if let Some(path) = wal {
+        e.wal_create(path).expect("wal create");
+    }
+    e
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("moma_e2e_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Recursively read a directory into sorted (relative-path, bytes) pairs.
+fn dir_contents(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, fs::read(&path).expect("read file")));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn delta_req(i: usize) -> Json {
+    protocol::delta_request(
+        "Publication@GS",
+        &[DeltaOp::Add {
+            id: format!("e2e_{i}"),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text(format!("Crash recovery for matching services part {i}")),
+            )],
+        }],
+    )
+}
+
+/// The scripted command sequence both the crashed run and the reference
+/// run execute. Returns the requests in order.
+fn script() -> Vec<Json> {
+    let mut reqs = vec![
+        protocol::match_request(
+            "m_da",
+            "Publication@DBLP",
+            "Publication@ACM",
+            "title",
+            "title",
+            "trigram",
+            0.7,
+        ),
+        protocol::match_request(
+            "m_ag",
+            "Publication@ACM",
+            "Publication@GS",
+            "title",
+            "title",
+            "trigram",
+            0.7,
+        ),
+        protocol::compose_request("c_dg", "m_da", "m_ag", "min", "max"),
+    ];
+    for i in 0..4 {
+        reqs.push(delta_req(i));
+    }
+    reqs
+}
+
+/// Full endpoint sweep over real TCP against a spawned server.
+#[test]
+fn tcp_endpoints_end_to_end() {
+    let handle = spawn(engine(None), "127.0.0.1:0").expect("spawn");
+    let addr = handle.addr.to_string();
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    let pong = c.call_ok(&protocol::bare_request("ping")).expect("ping");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+    for req in script() {
+        c.call_ok(&req).expect("scripted command");
+    }
+
+    // query: snapshot-backed read with resolved instance ids.
+    let q = c
+        .call_ok(&protocol::query_request("c_dg", 5, None))
+        .expect("query");
+    assert_eq!(q.str_field("name"), Some("c_dg"));
+    assert!(q.num_field("total").unwrap() >= 1.0);
+    let rows = q.get("rows").and_then(Json::as_arr).expect("rows");
+    assert!(rows.len() <= 5);
+    for row in rows {
+        let row = row.as_arr().expect("row triple");
+        assert_eq!(row.len(), 3);
+        assert!(row[0].as_str().is_some() && row[1].as_str().is_some());
+        assert!(row[2].as_f64().is_some());
+    }
+
+    // Unknown mapping must fail without killing the connection.
+    let bad = c
+        .call(&protocol::query_request("nope", 1, None))
+        .expect("transport ok");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+    // stats: counters + server-layer fields.
+    let stats = c.call_ok(&protocol::bare_request("stats")).expect("stats");
+    let commands = stats.get("commands").expect("commands");
+    assert_eq!(commands.num_field("match"), Some(2.0));
+    assert_eq!(commands.num_field("compose"), Some(1.0));
+    assert_eq!(commands.num_field("delta"), Some(4.0));
+    assert!(stats.num_field("requests").unwrap() >= 1.0);
+    assert!(stats.num_field("uptime_ms").is_some());
+
+    // dump: persisted mapping tables + manifest on disk.
+    let dump_dir = tmp_dir("dump");
+    c.call_ok(&protocol::dump_request(dump_dir.to_str().unwrap()))
+        .expect("dump");
+    assert!(dump_dir.join("manifest.tsv").is_file());
+
+    // A second concurrent client sees the same state.
+    let mut c2 = Client::connect(&addr).expect("second client");
+    let q2 = c2
+        .call_ok(&protocol::query_request("c_dg", 5, None))
+        .expect("query from second client");
+    assert_eq!(q2.num_field("total"), q.num_field("total"));
+
+    // shutdown: acknowledged, then the server goes away.
+    let bye = c
+        .call_ok(&protocol::bare_request("shutdown"))
+        .expect("shutdown");
+    assert_eq!(bye.get("stopping").and_then(Json::as_bool), Some(true));
+    handle.stop();
+    assert!(Client::connect(&addr).is_err(), "listener must be closed");
+    let _ = fs::remove_dir_all(&dump_dir);
+}
+
+/// Crash-replay bit-identity: run the script with a WAL, tear the final
+/// record (simulating a kill -9 mid-fsync), replay into a fresh engine,
+/// and compare its full persisted dump byte-for-byte with a clean engine
+/// that executed exactly the surviving command prefix.
+#[test]
+fn torn_wal_replay_matches_clean_run_bit_identically() {
+    let work = tmp_dir("wal");
+    let wal_path = work.join("server.wal");
+
+    // Crashed run: all commands logged, then the tail record torn.
+    {
+        let mut crashed = engine(Some(&wal_path));
+        for req in script() {
+            let resp = crashed.execute(&req);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        }
+        // Engine (and its WAL file handle) dropped here: the "crash".
+    }
+    let full = fs::read(&wal_path).expect("wal bytes");
+    let torn_at = full.len() - 7; // mid-payload of the final record
+    let mut f = fs::File::create(&wal_path).expect("rewrite wal");
+    f.write_all(&full[..torn_at]).expect("torn write");
+    drop(f);
+
+    // Replay: recovers every record except the torn one.
+    let mut replayed = Engine::new(scenario_registry(), Parallelism::sequential());
+    let summary = replayed.wal_replay(&wal_path).expect("replay");
+    let total = script().len();
+    assert_eq!(summary.replayed, total - 1, "torn tail record dropped");
+    assert!(summary.dropped_bytes > 0);
+    assert!(summary.stop_reason.is_some());
+    assert_eq!(summary.failed, 0);
+    // The WAL resumes after the last valid record.
+    assert_eq!(replayed.wal_seq(), (total - 1) as u64);
+
+    // Reference run: a fresh engine executing only the surviving prefix.
+    let mut reference = Engine::new(scenario_registry(), Parallelism::sequential());
+    for req in script().iter().take(total - 1) {
+        let resp = reference.execute(req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    // Byte-identical persisted state (mapping tables + manifest with
+    // versions, counters and source cardinalities).
+    let replay_dump = work.join("replayed");
+    let reference_dump = work.join("reference");
+    for (eng, dir) in [(&replayed, &replay_dump), (&reference, &reference_dump)] {
+        let resp = eng.execute_read(&protocol::dump_request(dir.to_str().unwrap()));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+    let a = dir_contents(&replay_dump);
+    let b = dir_contents(&reference_dump);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "dump file sets differ"
+    );
+    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "dump file `{name}` differs after replay");
+    }
+
+    // And the recovered engine keeps serving: one more delta succeeds
+    // and lands in the resumed WAL with the next sequence number.
+    let resp = replayed.execute(&delta_req(900));
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    assert_eq!(replayed.wal_seq(), total as u64);
+
+    let _ = fs::remove_dir_all(&work);
+}

@@ -1,0 +1,121 @@
+//! Property tests for the WAL frame codec: whatever corruption a crash
+//! (or a flaky disk) leaves behind, replay recovers exactly the longest
+//! valid record prefix and nothing else.
+
+use moma_server::wal::{crc32, decode_records, encode_record, RECORD_HEADER};
+use proptest::prelude::*;
+
+/// Strategy: a log of `n` records with arbitrary payloads.
+fn arb_log() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..=255, 0..64), 1..12)
+}
+
+fn encode_log(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut log = Vec::new();
+    for (i, p) in payloads.iter().enumerate() {
+        log.extend_from_slice(&encode_record(i as u64 + 1, p));
+    }
+    log
+}
+
+proptest! {
+    /// A clean log decodes fully, in order, bit-identically.
+    #[test]
+    fn clean_log_roundtrips(payloads in arb_log()) {
+        let out = decode_records(&encode_log(&payloads));
+        prop_assert_eq!(out.records.len(), payloads.len());
+        prop_assert_eq!(out.dropped_bytes, 0);
+        prop_assert!(out.stop_reason.is_none());
+        for (i, (rec, p)) in out.records.iter().zip(&payloads).enumerate() {
+            prop_assert_eq!(rec.seq, i as u64 + 1);
+            prop_assert_eq!(&rec.payload, p);
+        }
+    }
+
+    /// Truncating anywhere inside the last record (a torn tail write)
+    /// loses exactly that record: every earlier record survives.
+    #[test]
+    fn truncated_tail_drops_only_the_torn_record(
+        payloads in arb_log(),
+        cut_back in 1usize..32,
+    ) {
+        let log = encode_log(&payloads);
+        let last_len = RECORD_HEADER + payloads.last().unwrap().len();
+        let cut = log.len() - cut_back.min(last_len - 1).max(1);
+        let out = decode_records(&log[..cut]);
+        prop_assert_eq!(out.records.len(), payloads.len() - 1);
+        prop_assert!(out.stop_reason.is_some());
+        prop_assert_eq!(out.valid_len + out.dropped_bytes, cut as u64);
+        for (i, rec) in out.records.iter().enumerate() {
+            prop_assert_eq!(&rec.payload, &payloads[i]);
+        }
+    }
+
+    /// Flipping any single bit of a record's CRC-covered region stops
+    /// replay at (or before) that record — corrupted data is never
+    /// returned as valid.
+    #[test]
+    fn bit_flip_never_survives(
+        payloads in arb_log(),
+        victim_byte in 0usize..512,
+        bit in 0u8..8,
+    ) {
+        let log = encode_log(&payloads);
+        let mut corrupt = log.clone();
+        let pos = victim_byte % corrupt.len();
+        corrupt[pos] ^= 1 << bit;
+        let out = decode_records(&corrupt);
+
+        // Find which record `pos` falls in.
+        let mut offset = 0usize;
+        let mut victim_rec = 0usize;
+        for (i, p) in payloads.iter().enumerate() {
+            let next = offset + RECORD_HEADER + p.len();
+            if pos < next {
+                victim_rec = i;
+                break;
+            }
+            offset = next;
+        }
+        // Decoding must stop exactly at the corrupted record (a 1-bit
+        // flip in the length field mis-frames the CRC-covered span, and
+        // any flip in crc/seq/payload fails the CRC check): the prefix
+        // before it is intact, the corrupted record never appears.
+        prop_assert_eq!(out.records.len(), victim_rec);
+        prop_assert!(out.stop_reason.is_some());
+        for (i, rec) in out.records.iter().enumerate() {
+            prop_assert_eq!(&rec.payload, &payloads[i], "record {} before the flip", i);
+        }
+    }
+
+    /// A duplicated sequence number (mis-spliced log) stops replay at
+    /// the duplicate: records after it are untrustworthy.
+    #[test]
+    fn duplicate_seq_stops_replay(payloads in arb_log(), dup_at in 0usize..12) {
+        let dup_at = dup_at % payloads.len();
+        let mut log = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            // Records after `dup_at` repeat the previous seq.
+            let seq = if i > dup_at { i as u64 } else { i as u64 + 1 };
+            log.extend_from_slice(&encode_record(seq, p));
+        }
+        let out = decode_records(&log);
+        if dup_at + 1 < payloads.len() {
+            prop_assert_eq!(out.records.len(), dup_at + 1);
+            let reason = out.stop_reason.unwrap();
+            prop_assert!(reason.contains("sequence break"), "{}", reason);
+        } else {
+            prop_assert_eq!(out.records.len(), payloads.len());
+        }
+    }
+
+    /// CRC-32 detects any 1-byte change (sanity on the table-driven
+    /// implementation itself).
+    #[test]
+    fn crc_detects_byte_changes(data in prop::collection::vec(0u8..=255, 1..128), at in 0usize..128, delta in 1u8..=255) {
+        let mut changed = data.clone();
+        let at = at % changed.len();
+        changed[at] = changed[at].wrapping_add(delta);
+        prop_assert_ne!(crc32(&data), crc32(&changed));
+    }
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — crash-recovery gate for `moma serve`.
+#
+# Exercises every endpoint against a live server, then proves WAL
+# durability the hard way: kill -9 the server mid-delta-stream, restart
+# it with --replay, and require the recovered state to be bit-identical
+# to a clean run that executed exactly the same surviving command
+# prefix (the delta stream is deterministic, so "same prefix" is just
+# "same number of delta commands").
+#
+# Usage: scripts/serve_smoke.sh [--bin-dir target/release]
+# Needs: target/release/moma and target/release/moma_load (built
+# beforehand; CI builds them in the shared release-build step).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=target/release
+if [[ "${1:-}" == "--bin-dir" ]]; then
+    BIN_DIR=$2
+fi
+MOMA=$BIN_DIR/moma
+MOMA_LOAD=$BIN_DIR/moma_load
+for bin in "$MOMA" "$MOMA_LOAD"; do
+    [[ -x "$bin" ]] || { echo "serve_smoke: missing $bin (run: cargo build --release)"; exit 1; }
+done
+
+PORT_A=${MOMA_SMOKE_PORT_A:-7311}
+PORT_B=${MOMA_SMOKE_PORT_B:-7312}
+ADDR_A=127.0.0.1:$PORT_A
+ADDR_B=127.0.0.1:$PORT_B
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/moma_serve_smoke.XXXXXX")
+
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# ---------------------------------------------------------------- run A
+echo "== run A: serve --wal, full endpoint smoke, then kill -9 mid-stream"
+"$MOMA" serve --addr "$ADDR_A" --scale small --seed 7 --threads 2 \
+    --wal "$WORK/a.wal" &
+SERVER_PID=$!
+
+# Endpoint conformance: ping/stats/match/compose/query/delta (2 deltas).
+"$MOMA_LOAD" smoke --addr "$ADDR_A"
+echo "SMOKE_OK"
+
+# Deterministic delta stream, slowed down so the kill lands mid-stream.
+"$MOMA_LOAD" stream --addr "$ADDR_A" --steps 400 --sleep-ms 25 &
+STREAM_PID=$!
+sleep 2
+
+kill -9 "$SERVER_PID"
+echo "== killed server A (pid $SERVER_PID) with SIGKILL"
+SERVER_PID=""
+# The stream client must notice the dead server; exit code 3 means
+# "connection lost mid-stream", which is exactly what we arranged.
+set +e
+wait "$STREAM_PID"
+STREAM_RC=$?
+set -e
+if [[ "$STREAM_RC" -ne 3 && "$STREAM_RC" -ne 0 ]]; then
+    echo "serve_smoke: stream client exited $STREAM_RC (want 3, or 0 if it finished)"
+    exit 1
+fi
+echo "STREAM_KILLED (client exit $STREAM_RC)"
+
+# ------------------------------------------------------------- recovery
+echo "== restart with --replay"
+"$MOMA" serve --addr "$ADDR_A" --scale small --seed 7 --threads 2 \
+    --wal "$WORK/a.wal" --replay &
+SERVER_PID=$!
+
+# How many delta commands survived? smoke sent 2, the stream sent K-2.
+K=$("$MOMA_LOAD" stat --addr "$ADDR_A" --key commands.delta)
+echo "== recovered server replayed $K delta command(s)"
+if [[ "$K" -lt 3 ]]; then
+    echo "serve_smoke: only $K delta commands recovered — kill landed before the stream ran"
+    exit 1
+fi
+
+"$MOMA_LOAD" dump --addr "$ADDR_A" --dir "$WORK/dump_replayed"
+"$MOMA_LOAD" shutdown --addr "$ADDR_A"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+# ---------------------------------------------------------------- run B
+echo "== run B: clean server, same command prefix ($((K - 2)) stream steps)"
+"$MOMA" serve --addr "$ADDR_B" --scale small --seed 7 --threads 2 \
+    --wal "$WORK/b.wal" &
+SERVER_PID=$!
+
+"$MOMA_LOAD" smoke --addr "$ADDR_B"
+"$MOMA_LOAD" stream --addr "$ADDR_B" --steps $((K - 2))
+K_B=$("$MOMA_LOAD" stat --addr "$ADDR_B" --key commands.delta)
+if [[ "$K_B" -ne "$K" ]]; then
+    echo "serve_smoke: reference run has $K_B delta commands, want $K"
+    exit 1
+fi
+"$MOMA_LOAD" dump --addr "$ADDR_B" --dir "$WORK/dump_clean"
+"$MOMA_LOAD" shutdown --addr "$ADDR_B"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+# ---------------------------------------------------------------- gate
+echo "== comparing recovered state against the clean run"
+if diff -r "$WORK/dump_replayed" "$WORK/dump_clean"; then
+    echo "BIT_IDENTICAL: replayed state matches the clean run byte for byte"
+else
+    echo "serve_smoke: FAIL — replayed state diverges from the clean run"
+    exit 1
+fi

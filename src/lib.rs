@@ -18,6 +18,7 @@
 //! | [`datagen`] | synthetic bibliographic world (DBLP / ACM / Google Scholar views + gold standards) |
 //! | [`tune`] | self-tuning: grid search and decision trees over matcher configurations |
 //! | [`eval`] | reproduction harness for every table and figure of the paper |
+//! | [`server`] | `moma serve`: long-lived matching service with a write-ahead delta log and snapshot-isolated reads |
 //!
 //! ## Quick start
 //!
@@ -65,6 +66,7 @@ pub use moma_datagen as datagen;
 pub use moma_eval as eval;
 pub use moma_ifuice as ifuice;
 pub use moma_model as model;
+pub use moma_server as server;
 pub use moma_simstring as simstring;
 pub use moma_table as table;
 pub use moma_tune as tune;
