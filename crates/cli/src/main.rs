@@ -31,7 +31,9 @@ usage:
                                   evolving scenario (see below)
   moma serve [--addr <host:port>] [--source <file.tsv>]... \\
              [--scale small|paper] [--seed <n>] [--threads <n>] \\
-             [--wal <file>] [--replay]
+             [--wal <dir>] [--replay] \\
+             [--segment-records <n>] [--segment-bytes <n>] \\
+             [--checkpoint-every-records <n>] [--checkpoint-every-bytes <n>]
                                   long-lived matching service (see below)
   moma help
 
@@ -58,14 +60,19 @@ delta-matching engine, printing per-step timings of incremental vs full
 re-match. Unless --no-verify is given every step asserts the patched
 mapping is bit-identical to a full re-match.
 
-`moma serve` answers match/compose/query/delta/stats/dump/shutdown
-commands over a length-prefixed JSON frame protocol (default address
-127.0.0.1:7207; drive it with the `moma_load` binary). Sources come
-from --source TSV files, or from the generated evolving scenario when
-none are given (--scale/--seed as in `moma delta`). With --wal every
-mutating command is appended to an fsync'd write-ahead log before it is
-applied; `--replay` re-executes an existing log on startup, restoring
-the pre-crash repository bit-identically.";
+`moma serve` answers match/compose/query/delta/checkpoint/stats/dump/
+shutdown commands over a length-prefixed JSON frame protocol (default
+address 127.0.0.1:7207; drive it with the `moma_load` binary). Sources
+come from --source TSV files, or from the generated evolving scenario
+when none are given (--scale/--seed as in `moma delta`). With --wal DIR
+every mutating command is appended to an fsync'd, segmented write-ahead
+log before it is applied; segments rotate at --segment-records /
+--segment-bytes (default 8 MiB). A `checkpoint` command (or the
+--checkpoint-every-records / --checkpoint-every-bytes auto thresholds)
+publishes an atomic state dump and prunes covered segments. `--replay`
+recovers an existing log directory on startup: the newest valid
+checkpoint is loaded and only the WAL suffix after it is re-executed,
+restoring the pre-crash repository bit-identically.";
 
 /// Parse a `--blocking` value: `auto` (None) or a concrete strategy.
 fn parse_blocking(name: &str) -> Result<Option<moma_core::blocking::Blocking>, String> {
@@ -280,6 +287,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut wal: Option<String> = None;
     let mut replay = false;
+    let mut policy = moma_server::DurabilityPolicy::default();
+
+    fn num_flag(flag: &str, v: Option<&String>) -> Result<u64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: `{v}` is not a number"))
+    }
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -303,13 +317,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
                 threads = Some(n);
             }
-            "--wal" => wal = Some(it.next().ok_or("--wal needs a file")?.clone()),
+            "--wal" => wal = Some(it.next().ok_or("--wal needs a directory")?.clone()),
             "--replay" => replay = true,
+            "--segment-records" => policy.segment_records = num_flag(arg, it.next())?,
+            "--segment-bytes" => policy.segment_bytes = num_flag(arg, it.next())?,
+            "--checkpoint-every-records" => {
+                policy.checkpoint_every_records = num_flag(arg, it.next())?;
+            }
+            "--checkpoint-every-bytes" => {
+                policy.checkpoint_every_bytes = num_flag(arg, it.next())?;
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if replay && wal.is_none() {
-        return Err("--replay requires --wal".into());
+    if wal.is_none()
+        && (replay
+            || policy.segment_records != moma_server::DurabilityPolicy::default().segment_records
+            || policy.segment_bytes != moma_server::DurabilityPolicy::default().segment_bytes
+            || policy.checkpoint_every_records != 0
+            || policy.checkpoint_every_bytes != 0)
+    {
+        return Err("--replay and the --segment-*/--checkpoint-every-* flags require --wal".into());
     }
 
     let registry = if sources.is_empty() {
@@ -342,10 +370,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut engine = moma_server::Engine::new(registry, par);
     if let Some(path) = &wal {
         if replay {
-            let summary = engine.wal_replay(path)?;
+            let summary = engine.recover(std::path::Path::new(path), policy)?;
             eprintln!(
-                "moma serve: replayed {} WAL record(s) from {path}{}{}",
+                "moma serve: recovered from {path}: checkpoint seq {}, replayed {} WAL \
+                 record(s), skipped {} covered record(s), {} segment(s){}{}",
+                summary.checkpoint_seq,
                 summary.replayed,
+                summary.skipped,
+                summary.segments,
                 if summary.dropped_bytes > 0 {
                     format!(" (dropped {}-byte torn tail)", summary.dropped_bytes)
                 } else {
@@ -362,9 +394,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             );
         } else {
             engine
-                .wal_create(path)
+                .wal_create(std::path::Path::new(path), policy)
                 .map_err(|e| format!("--wal {path}: {e}"))?;
-            eprintln!("moma serve: write-ahead log at {path}");
+            eprintln!("moma serve: write-ahead log directory at {path}");
         }
     }
     moma_server::run(engine, &addr).map_err(|e| format!("serve {addr}: {e}"))

@@ -235,6 +235,46 @@ impl MappingRepository {
         self.store_as(name, mapping)
     }
 
+    /// Restore an entry verbatim — exact version stamp, recipe and
+    /// recorded input versions — without consuming a new version number.
+    /// This is the checkpoint-recovery entry point (`moma-server`):
+    /// rebuilding state from a checkpoint must reproduce the pre-crash
+    /// stamps bit-identically, which `store_*` (which always bumps)
+    /// cannot do. Pair with [`MappingRepository::restore_version_counter`]
+    /// so post-restore stores continue the original numbering.
+    pub fn restore_entry(
+        &self,
+        name: impl Into<String>,
+        mapping: Mapping,
+        version: u64,
+        recipe: Option<Recipe>,
+        dep_versions: Vec<(String, u64)>,
+    ) {
+        self.inner
+            .write()
+            .expect("repository lock poisoned")
+            .insert(
+                name.into(),
+                Entry {
+                    mapping: Arc::new(mapping),
+                    version,
+                    recipe,
+                    dep_versions,
+                },
+            );
+    }
+
+    /// The highest version stamp handed out so far.
+    pub fn version_counter(&self) -> u64 {
+        self.next_version.load(Ordering::Relaxed)
+    }
+
+    /// Advance the version counter to at least `value` (checkpoint
+    /// recovery; never moves it backwards).
+    pub fn restore_version_counter(&self, value: u64) {
+        self.next_version.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Compute a derived mapping from current entries via `recipe` and
     /// store it under `name`, recording the recipe and the input
     /// versions for later staleness checks. Compose recipes join through
@@ -583,6 +623,21 @@ mod tests {
         assert_eq!(repo.names(), vec!["b".to_owned()]);
         repo.clear();
         assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn restore_entry_preserves_stamps_and_counter() {
+        let repo = MappingRepository::new();
+        repo.restore_entry("a", mapping("a"), 7, None, vec![("upstream".into(), 3)]);
+        repo.restore_version_counter(7);
+        assert_eq!(repo.version("a"), Some(7));
+        assert_eq!(repo.version_counter(), 7);
+        // The next store continues the restored numbering.
+        repo.store(mapping("b"));
+        assert_eq!(repo.version("b"), Some(8));
+        // And the counter never moves backwards.
+        repo.restore_version_counter(2);
+        assert_eq!(repo.version_counter(), 8);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * `stat`     — print one numeric field of the `stats` response
 //!   (dot-path, e.g. `commands.delta`).
 //! * `dump`     — ask the server to persist its state to a directory.
+//! * `checkpoint` — ask the server to publish a WAL checkpoint and
+//!   prune covered segments.
 //! * `shutdown` — stop the server.
 //!
 //! Exit codes: 0 ok, 1 assertion/usage failure, 3 connection lost
@@ -39,6 +41,7 @@ modes:
             [--scenario-seed 7] [--sleep-ms 0]
   stat       --addr H:P --key dotted.path
   dump       --addr H:P --dir DIR
+  checkpoint --addr H:P
   shutdown   --addr H:P
 ";
 
@@ -61,6 +64,7 @@ fn main() -> ExitCode {
         "stream" => cmd_stream(&opts),
         "stat" => cmd_stat(&opts),
         "dump" => cmd_dump(&opts),
+        "checkpoint" => cmd_checkpoint(&opts),
         "shutdown" => cmd_shutdown(&opts),
         other => Err(format!("unknown mode `{other}`\n{USAGE}")),
     };
@@ -268,6 +272,24 @@ fn cmd_smoke(opts: &Opts) -> Result<ExitCode, String> {
         "delta 2 applied counts",
     )?;
 
+    // Checkpoint: a WAL-backed server publishes a state dump and prunes
+    // covered segments; a memory-only server refuses with an error that
+    // names the missing WAL. Either way the command counters and the
+    // replayable state are untouched (checkpoint is not WAL-logged).
+    let r = call(&mut c, &protocol::checkpoint_request())?;
+    if is_ok(&r) {
+        ensure(
+            r.get("seq").and_then(Json::as_u64).is_some(),
+            &format!("checkpoint reports a seq: {r}"),
+        )?;
+    } else {
+        let msg = r.str_field("error").unwrap_or("");
+        ensure(
+            msg.contains("write-ahead log"),
+            &format!("checkpoint refusal names the WAL: {r}"),
+        )?;
+    }
+
     // Stats reflect the durable command counters.
     let r = call(&mut c, &protocol::bare_request("stats"))?;
     let commands = r.get("commands").ok_or("stats has commands")?;
@@ -277,7 +299,7 @@ fn cmd_smoke(opts: &Opts) -> Result<ExitCode, String> {
             && commands.num_field("delta") == Some(2.0),
         &format!("command counters after smoke: {commands}"),
     )?;
-    eprintln!("smoke: ok (3 matchers, 1 compose, 2 deltas, counters verified)");
+    eprintln!("smoke: ok (3 matchers, 1 compose, 2 deltas, 1 checkpoint, counters verified)");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -348,6 +370,7 @@ fn cmd_stat(opts: &Opts) -> Result<ExitCode, String> {
             .ok_or_else(|| format!("stats has no `{key}`"))?;
     }
     match node {
+        Json::Uint(n) => println!("{n}"),
         Json::Num(n) if n.fract() == 0.0 => println!("{}", *n as i64),
         other => println!("{other}"),
     }
@@ -361,6 +384,15 @@ fn cmd_dump(opts: &Opts) -> Result<ExitCode, String> {
         .call_ok(&protocol::dump_request(dir))
         .map_err(|e| e.to_string())?;
     eprintln!("dump: {r}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_checkpoint(opts: &Opts) -> Result<ExitCode, String> {
+    let mut c = connect(opts)?;
+    let r = c
+        .call_ok(&protocol::checkpoint_request())
+        .map_err(|e| e.to_string())?;
+    eprintln!("checkpoint: {r}");
     Ok(ExitCode::SUCCESS)
 }
 

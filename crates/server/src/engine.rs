@@ -35,13 +35,17 @@ use moma_core::exec::Parallelism;
 use moma_core::matchers::{AttributeMatcher, MatchContext};
 use moma_core::ops::compose::{PathAgg, PathCombine};
 use moma_core::repository::SnapshotEntry;
-use moma_core::{DeltaMatchState, MappingRepository, Recipe};
-use moma_model::SourceRegistry;
+use moma_core::{DeltaMatchState, Mapping, MappingKind, MappingRepository, Recipe};
+use moma_model::{
+    AttrDef, AttrKind, LdsId, LogicalSource, ObjectInstance, ObjectType, SourceRegistry,
+};
 use moma_simstring::SimFn;
+use moma_table::MappingTable;
 
+use crate::checkpoint;
 use crate::json::Json;
 use crate::protocol;
-use crate::wal::Wal;
+use crate::wal::{RotationPolicy, Wal};
 
 /// Minimum spacing between repeated full-re-match warnings for the same
 /// mapping (see [`Engine::warn_full_rematch`]).
@@ -61,15 +65,60 @@ pub struct CommandCounts {
 /// Summary of a `--replay` startup.
 #[derive(Debug, Clone)]
 pub struct ReplaySummary {
-    /// Records re-executed.
+    /// Records re-executed (only those *after* the restored checkpoint).
     pub replayed: usize,
-    /// Torn-tail bytes dropped from the log file.
+    /// Torn-tail bytes dropped from the log.
     pub dropped_bytes: u64,
     /// Why log decoding stopped before EOF, if it did.
     pub stop_reason: Option<String>,
     /// Replayed commands that (deterministically) re-failed.
     pub failed: usize,
+    /// Sequence number of the checkpoint recovery restored from (0 =
+    /// no checkpoint, full replay).
+    pub checkpoint_seq: u64,
+    /// Surviving records skipped because the checkpoint covers them.
+    pub skipped: usize,
+    /// Live WAL segment files after recovery.
+    pub segments: usize,
 }
+
+/// When to rotate WAL segments and publish automatic checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityPolicy {
+    /// Seal the active segment after this many records (0 = unlimited).
+    pub segment_records: u64,
+    /// Seal the active segment at this many bytes (0 = unlimited).
+    pub segment_bytes: u64,
+    /// Auto-checkpoint after this many mutating commands (0 = off).
+    pub checkpoint_every_records: u64,
+    /// Auto-checkpoint after this many logged bytes (0 = off).
+    pub checkpoint_every_bytes: u64,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy {
+            segment_records: 0,
+            segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
+            checkpoint_every_records: 0,
+            checkpoint_every_bytes: 0,
+        }
+    }
+}
+
+impl DurabilityPolicy {
+    fn rotation(&self) -> RotationPolicy {
+        let unlimited = |v: u64| if v == 0 { u64::MAX } else { v };
+        RotationPolicy {
+            max_records: unlimited(self.segment_records),
+            max_bytes: unlimited(self.segment_bytes),
+        }
+    }
+}
+
+/// How many complete checkpoints to keep on disk. Two, so recovery can
+/// fall back when the newest is lost mid-publish or corrupted.
+const CHECKPOINTS_KEPT: usize = 2;
 
 /// The serving engine. See the module docs for the durability and
 /// concurrency contracts.
@@ -87,11 +136,19 @@ pub struct Engine {
     replaying: bool,
     last_warn: BTreeMap<String, Instant>,
     warnings_suppressed: u64,
+    /// Original `match` request per primed mapping, so a checkpoint can
+    /// re-prime the matcher states on restore.
+    match_requests: BTreeMap<String, Json>,
+    policy: DurabilityPolicy,
+    /// Last WAL seq covered by a published checkpoint (0 = none).
+    checkpoint_seq: u64,
+    records_since_checkpoint: u64,
+    bytes_since_checkpoint: u64,
 }
 
 impl Engine {
     /// Engine over a registry, without a WAL (embedded/test use; attach
-    /// one with [`Engine::wal_create`] / [`Engine::wal_replay`]).
+    /// one with [`Engine::wal_create`] / [`Engine::recover`]).
     pub fn new(registry: SourceRegistry, par: Parallelism) -> Engine {
         Engine {
             registry,
@@ -103,29 +160,121 @@ impl Engine {
             replaying: false,
             last_warn: BTreeMap::new(),
             warnings_suppressed: 0,
+            match_requests: BTreeMap::new(),
+            policy: DurabilityPolicy::default(),
+            checkpoint_seq: 0,
+            records_since_checkpoint: 0,
+            bytes_since_checkpoint: 0,
         }
     }
 
-    /// Attach a fresh WAL (truncating any existing file).
-    pub fn wal_create(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        self.wal = Some(Wal::create(path)?);
+    /// Attach a fresh WAL directory (removing any existing segments and
+    /// checkpoints).
+    pub fn wal_create(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: DurabilityPolicy,
+    ) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        checkpoint::clear_all(dir)?;
+        self.wal = Some(Wal::create(dir, policy.rotation())?);
+        self.policy = policy;
+        self.checkpoint_seq = 0;
+        self.records_since_checkpoint = 0;
+        self.bytes_since_checkpoint = 0;
         Ok(())
     }
 
-    /// Replay an existing WAL and attach it: decode the valid record
-    /// prefix (dropping any torn tail), re-execute every logged command
-    /// in order, and resume appends after the last valid record.
-    pub fn wal_replay(&mut self, path: impl AsRef<Path>) -> Result<ReplaySummary, String> {
-        let (wal, outcome) =
-            Wal::open_replay(&path).map_err(|e| format!("open {:?}: {e}", path.as_ref()))?;
+    /// Recover from a WAL directory and attach it: restore the newest
+    /// valid checkpoint (falling back to older ones, then to full
+    /// replay, if markers fail validation), re-execute only the logged
+    /// commands *after* the checkpoint's sequence number, repair any
+    /// torn tail, and resume appends.
+    pub fn recover(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: DurabilityPolicy,
+    ) -> Result<ReplaySummary, String> {
+        let dir = dir.as_ref();
+        let scan = Wal::scan(dir).map_err(|e| format!("scan {}: {e}", dir.display()))?;
+
+        // Pick the newest checkpoint that validates AND that the
+        // surviving segments connect to (first record seq must not leave
+        // a gap after the checkpoint's seq).
+        let mut base_seq = 0u64;
+        let mut restored = false;
+        let checkpoints = checkpoint::list(dir).map_err(|e| format!("list checkpoints: {e}"))?;
+        for cp in checkpoints.iter().rev() {
+            if !scan.records.is_empty() && scan.first_seq() > cp.seq + 1 {
+                return Err(format!(
+                    "WAL gap: first surviving record is seq {} but checkpoint {} covers only \
+                     up to seq {}",
+                    scan.first_seq(),
+                    cp.path.display(),
+                    cp.seq
+                ));
+            }
+            let state = match checkpoint::load(&cp.path) {
+                Ok((seq, state)) if seq == cp.seq => state,
+                Ok((seq, _)) => {
+                    eprintln!(
+                        "warning: checkpoint {}: marker seq {seq} does not match its name; \
+                         skipping",
+                        cp.path.display()
+                    );
+                    continue;
+                }
+                Err(reason) => {
+                    eprintln!(
+                        "warning: checkpoint {}: {reason}; falling back",
+                        cp.path.display()
+                    );
+                    continue;
+                }
+            };
+            let state = match Json::parse(&state) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!(
+                        "warning: checkpoint {}: state is not valid JSON ({e}); falling back",
+                        cp.path.display()
+                    );
+                    continue;
+                }
+            };
+            match self.restore_from_state(&state) {
+                Ok(seq) => {
+                    base_seq = seq;
+                    restored = true;
+                    break;
+                }
+                Err(e) => return Err(format!("restore {}: {e}", cp.path.display())),
+            }
+        }
+        if !restored && !scan.records.is_empty() && scan.first_seq() != 1 {
+            return Err(format!(
+                "WAL gap: no usable checkpoint but the log starts at seq {} (segments before \
+                 it were pruned)",
+                scan.first_seq()
+            ));
+        }
+
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
         let mut failed = 0usize;
         self.replaying = true;
-        for rec in &outcome.records {
+        for rec in &scan.records {
+            if rec.seq <= base_seq {
+                skipped += 1;
+                continue;
+            }
             let text = std::str::from_utf8(&rec.payload)
                 .map_err(|e| format!("WAL record {}: not UTF-8: {e}", rec.seq))?;
             let req =
                 Json::parse(text).map_err(|e| format!("WAL record {}: bad JSON: {e}", rec.seq))?;
             let resp = self.apply_logged(&req, Some(rec.seq));
+            replayed += 1;
             if resp.get("ok").and_then(Json::as_bool) != Some(true) {
                 // A command that failed live re-fails identically here;
                 // count it but keep going — the state evolution matches
@@ -134,12 +283,22 @@ impl Engine {
             }
         }
         self.replaying = false;
+        let wal = Wal::open(dir, policy.rotation(), &scan, base_seq)
+            .map_err(|e| format!("open {}: {e}", dir.display()))?;
+        let segments = wal.segment_count();
         self.wal = Some(wal);
+        self.policy = policy;
+        self.checkpoint_seq = base_seq;
+        self.records_since_checkpoint = replayed as u64;
+        self.bytes_since_checkpoint = 0;
         Ok(ReplaySummary {
-            replayed: outcome.records.len(),
-            dropped_bytes: outcome.dropped_bytes,
-            stop_reason: outcome.stop_reason,
+            replayed,
+            dropped_bytes: scan.dropped_bytes,
+            stop_reason: scan.stop.as_ref().map(|s| s.reason.clone()),
             failed,
+            checkpoint_seq: base_seq,
+            skipped,
+            segments,
         })
     }
 
@@ -149,6 +308,13 @@ impl Engine {
         matches!(cmd, "match" | "compose" | "delta")
     }
 
+    /// Whether `cmd` needs the server's write lock. `checkpoint` is not
+    /// WAL-logged (it mutates the disk layout, not the logical state)
+    /// but must still be serialized with writers.
+    pub fn needs_write_lock(cmd: &str) -> bool {
+        Engine::is_mutating(cmd) || cmd == "checkpoint"
+    }
+
     /// Execute a mutating command: append it to the WAL (fsync'd), then
     /// apply it. Read-only commands are delegated to
     /// [`Engine::execute_read`] for embedded convenience.
@@ -156,19 +322,51 @@ impl Engine {
         let Some(cmd) = req.str_field("cmd") else {
             return err_response("request missing `cmd`");
         };
+        if cmd == "checkpoint" {
+            return match self.do_checkpoint() {
+                Ok(resp) => resp,
+                Err(e) => err_response(&e),
+            };
+        }
         if !Engine::is_mutating(cmd) {
             return self.execute_read(req);
         }
         let seq = if let Some(wal) = &mut self.wal {
-            match wal.append(req.to_string().as_bytes()) {
-                Ok(seq) => Some(seq),
+            let payload = req.to_string();
+            match wal.append(payload.as_bytes()) {
+                Ok(seq) => {
+                    self.records_since_checkpoint += 1;
+                    self.bytes_since_checkpoint += payload.len() as u64;
+                    Some(seq)
+                }
                 // Nothing durable ⇒ nothing applied: refuse the command.
                 Err(e) => return err_response(&format!("WAL append failed: {e}")),
             }
         } else {
             None
         };
-        self.apply_logged(req, seq)
+        let resp = self.apply_logged(req, seq);
+        self.maybe_auto_checkpoint();
+        resp
+    }
+
+    /// Publish an automatic checkpoint when the policy thresholds are
+    /// exceeded. A failed auto-checkpoint only warns: the command that
+    /// triggered it is already durable and applied.
+    fn maybe_auto_checkpoint(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let due_records = self.policy.checkpoint_every_records > 0
+            && self.records_since_checkpoint >= self.policy.checkpoint_every_records;
+        let due_bytes = self.policy.checkpoint_every_bytes > 0
+            && self.bytes_since_checkpoint >= self.policy.checkpoint_every_bytes;
+        if !due_records && !due_bytes {
+            return;
+        }
+        if let Err(e) = self.do_checkpoint() {
+            eprintln!("warning: auto-checkpoint failed: {e}");
+        }
     }
 
     /// Apply an already-logged mutating command (also the replay path).
@@ -205,8 +403,9 @@ impl Engine {
             "query" => self.cmd_query(req),
             "stats" => Ok(self.stats()),
             "dump" => self.cmd_dump(req),
+            "checkpoint" => Err("`checkpoint` must go through the write path".into()),
             other => Err(format!(
-                "unknown command `{other}` (expected ping/match/compose/query/delta/stats/dump/shutdown)"
+                "unknown command `{other}` (expected ping/match/compose/query/delta/checkpoint/stats/dump/shutdown)"
             )),
         };
         match result {
@@ -217,10 +416,10 @@ impl Engine {
 
     // ---- mutating commands ------------------------------------------
 
-    fn cmd_match(&mut self, req: &Json) -> Result<Json, String> {
-        let name = req
-            .str_field("name")
-            .ok_or("match request missing `name`")?;
+    /// Parse a `match` request into a matcher plus resolved domain and
+    /// range handles (shared by [`Engine::cmd_match`] and checkpoint
+    /// restore, which re-primes matchers from their original requests).
+    fn build_matcher(&self, req: &Json) -> Result<(AttributeMatcher, LdsId, LdsId), String> {
         let domain = req
             .str_field("domain")
             .ok_or("match request missing `domain`")?;
@@ -255,20 +454,28 @@ impl Engine {
             let b = Blocking::parse(b).ok_or_else(|| format!("unknown blocking `{b}`"))?;
             matcher = matcher.with_blocking(b);
         }
+        Ok((matcher, d, r))
+    }
 
+    fn cmd_match(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req
+            .str_field("name")
+            .ok_or("match request missing `name`")?;
+        let (matcher, d, r) = self.build_matcher(req)?;
         let ctx = MatchContext::new(&self.registry).with_parallelism(self.par);
         let state = matcher.prime(&ctx, d, r).map_err(|e| e.to_string())?;
         let rows = state.mapping().len();
         let incremental = state.is_incremental();
         self.repository.store_as(name, state.mapping().clone());
         self.states.insert(name.to_owned(), state);
+        self.match_requests.insert(name.to_owned(), req.clone());
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("name", Json::Str(name.into())),
             ("rows", Json::Num(rows as f64)),
             (
                 "version",
-                Json::Num(self.repository.version(name).unwrap_or(0) as f64),
+                Json::Uint(self.repository.version(name).unwrap_or(0)),
             ),
             ("incremental", Json::Bool(incremental)),
         ]))
@@ -302,7 +509,7 @@ impl Engine {
             ("rows", Json::Num(mapping.len() as f64)),
             (
                 "version",
-                Json::Num(self.repository.version(name).unwrap_or(0) as f64),
+                Json::Uint(self.repository.version(name).unwrap_or(0)),
             ),
         ]))
     }
@@ -358,10 +565,7 @@ impl Engine {
 
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
-            (
-                "seq",
-                seq.map(|s| Json::Num(s as f64)).unwrap_or(Json::Null),
-            ),
+            ("seq", seq.map(Json::Uint).unwrap_or(Json::Null)),
             (
                 "applied",
                 Json::obj(vec![
@@ -451,7 +655,7 @@ impl Engine {
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("name", Json::Str(name.into())),
-            ("version", Json::Num(entry.version as f64)),
+            ("version", Json::Uint(entry.version)),
             ("domain", Json::Str(dom.name())),
             ("range", Json::Str(rng.name())),
             ("total", Json::Num(total as f64)),
@@ -480,7 +684,7 @@ impl Engine {
             .map(|e| {
                 let mut fields = vec![
                     ("name".to_owned(), Json::Str(e.name.clone())),
-                    ("version".to_owned(), Json::Num(e.version as f64)),
+                    ("version".to_owned(), Json::Uint(e.version)),
                     ("rows".to_owned(), Json::Num(e.mapping.len() as f64)),
                     ("derived".to_owned(), Json::Bool(e.derived)),
                     (
@@ -492,7 +696,7 @@ impl Engine {
                     fields.push(("incremental".to_owned(), Json::Bool(state.is_incremental())));
                     fields.push((
                         "full_rematches".to_owned(),
-                        Json::Num(state.full_rematches() as f64),
+                        Json::Uint(state.full_rematches()),
                     ));
                 }
                 Json::Obj(fields)
@@ -503,17 +707,23 @@ impl Engine {
             (
                 "commands",
                 Json::obj(vec![
-                    ("match", Json::Num(self.commands.matches as f64)),
-                    ("compose", Json::Num(self.commands.composes as f64)),
-                    ("delta", Json::Num(self.commands.deltas as f64)),
+                    ("match", Json::Uint(self.commands.matches)),
+                    ("compose", Json::Uint(self.commands.composes)),
+                    ("delta", Json::Uint(self.commands.deltas)),
                 ]),
             ),
             (
                 "wal",
                 match &self.wal {
                     Some(w) => Json::obj(vec![
-                        ("seq", Json::Num(w.last_seq() as f64)),
-                        ("path", Json::Str(w.path().display().to_string())),
+                        ("seq", Json::Uint(w.last_seq())),
+                        ("checkpoint_seq", Json::Uint(self.checkpoint_seq)),
+                        (
+                            "lag",
+                            Json::Uint(w.last_seq().saturating_sub(self.checkpoint_seq)),
+                        ),
+                        ("segments", Json::Uint(w.segment_count() as u64)),
+                        ("dir", Json::Str(w.dir().display().to_string())),
                     ]),
                     None => Json::Null,
                 },
@@ -522,7 +732,7 @@ impl Engine {
             ("mappings", Json::Arr(mappings)),
             (
                 "full_rematch_warnings_suppressed",
-                Json::Num(self.warnings_suppressed as f64),
+                Json::Uint(self.warnings_suppressed),
             ),
         ])
     }
@@ -567,6 +777,390 @@ impl Engine {
         ]))
     }
 
+    // ---- checkpointing ----------------------------------------------
+
+    /// Execute a `checkpoint` command: seal the active WAL segment,
+    /// atomically publish a state dump covering everything applied so
+    /// far, keep the [`CHECKPOINTS_KEPT`] newest checkpoints and delete
+    /// the WAL segments the oldest retained one fully covers.
+    ///
+    /// The checkpoint is **not** WAL-logged: it mutates the disk layout,
+    /// not the logical state, so replay determinism is unaffected — but
+    /// it must hold the write lock (see [`Engine::needs_write_lock`]).
+    fn do_checkpoint(&mut self) -> Result<Json, String> {
+        let Some(wal) = self.wal.as_ref() else {
+            return Err("checkpoint requires a write-ahead log (`moma serve --wal`)".into());
+        };
+        if let Some(reason) = wal.poisoned() {
+            return Err(format!("WAL is poisoned: {reason}"));
+        }
+        let seq = wal.last_seq();
+        if seq == self.checkpoint_seq {
+            self.records_since_checkpoint = 0;
+            self.bytes_since_checkpoint = 0;
+            return Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("seq", Json::Uint(seq)),
+                ("unchanged", Json::Bool(true)),
+            ]));
+        }
+        let state = self.checkpoint_state(seq)?.to_string();
+        let wal = self.wal.as_mut().expect("checked above");
+        // Seal the active segment first: everything the checkpoint
+        // covers then lives in sealed segments and becomes prunable.
+        wal.rotate().map_err(|e| format!("rotate: {e}"))?;
+        let path =
+            checkpoint::publish(wal.dir(), seq, &state).map_err(|e| format!("publish: {e}"))?;
+        let kept = checkpoint::retain_newest(wal.dir(), CHECKPOINTS_KEPT)
+            .map_err(|e| format!("retain: {e}"))?;
+        // Prune only what the *oldest* retained checkpoint covers, so a
+        // lost or corrupt newest checkpoint still leaves a replayable
+        // segment chain behind the fallback.
+        let prune_to = kept.first().map(|c| c.seq).unwrap_or(0);
+        let pruned = wal
+            .prune_covered(prune_to)
+            .map_err(|e| format!("prune: {e}"))?;
+        let segments = wal.segment_count();
+        self.checkpoint_seq = seq;
+        self.records_since_checkpoint = 0;
+        self.bytes_since_checkpoint = 0;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("seq", Json::Uint(seq)),
+            ("path", Json::Str(path.display().to_string())),
+            ("segments", Json::Uint(segments as u64)),
+            ("pruned", Json::Uint(pruned as u64)),
+        ]))
+    }
+
+    /// Serialize the engine's full logical state as one deterministic
+    /// JSON document: sources (arena order, tombstones included, so
+    /// restored local indexes are identical), mappings with exact
+    /// version stamps / recipes / recorded input versions, the original
+    /// `match` requests (to re-prime matcher states), command counters
+    /// and the repository version counter.
+    ///
+    /// Not covered (stats-only, reset on restore): per-state
+    /// full-re-match counters and warning rate-limiter state.
+    fn checkpoint_state(&self, seq: u64) -> Result<Json, String> {
+        let sources: Vec<Json> = self
+            .registry
+            .iter()
+            .map(|(_, lds)| {
+                let schema: Vec<Json> = lds
+                    .schema
+                    .iter()
+                    .map(|a| {
+                        Json::obj(vec![
+                            ("name", Json::Str(a.name.clone())),
+                            ("kind", Json::Str(kind_to_str(a.kind).into())),
+                        ])
+                    })
+                    .collect();
+                let mut instances = Vec::with_capacity(lds.len());
+                for idx in 0..lds.len() as u32 {
+                    let inst = lds.get(idx).expect("arena index in bounds");
+                    let values: Vec<Json> = inst
+                        .values
+                        .iter()
+                        .map(|v| match v {
+                            Some(v) => protocol::attr_value_to_json(v),
+                            None => Json::Null,
+                        })
+                        .collect();
+                    instances.push(Json::obj(vec![
+                        ("id", Json::Str(inst.id.clone())),
+                        ("live", Json::Bool(lds.is_live(idx))),
+                        ("values", Json::Arr(values)),
+                    ]));
+                }
+                Json::obj(vec![
+                    ("pds", Json::Str(lds.pds.clone())),
+                    ("type", Json::Str(lds.object_type.as_str().to_owned())),
+                    ("schema", Json::Arr(schema)),
+                    ("instances", Json::Arr(instances)),
+                ])
+            })
+            .collect();
+
+        let mut mappings = Vec::new();
+        for e in self.repository.snapshot() {
+            let rows: Vec<Json> = e
+                .mapping
+                .table
+                .rows()
+                .iter()
+                .map(|c| {
+                    Json::Arr(vec![
+                        Json::Num(c.domain as f64),
+                        Json::Num(c.range as f64),
+                        Json::Num(c.sim),
+                    ])
+                })
+                .collect();
+            let recipe = match self.repository.recipe(&e.name) {
+                Some(r) => recipe_to_json(&r)?,
+                None => Json::Null,
+            };
+            let deps: Vec<Json> = e
+                .dep_versions
+                .iter()
+                .map(|(n, v)| Json::Arr(vec![Json::Str(n.clone()), Json::Uint(*v)]))
+                .collect();
+            mappings.push(Json::obj(vec![
+                ("name", Json::Str(e.name.clone())),
+                (
+                    "assoc",
+                    match &e.mapping.kind {
+                        MappingKind::Same => Json::Null,
+                        MappingKind::Association(t) => Json::Str(t.clone()),
+                    },
+                ),
+                (
+                    "domain",
+                    Json::Str(self.registry.lds(e.mapping.domain).name()),
+                ),
+                (
+                    "range",
+                    Json::Str(self.registry.lds(e.mapping.range).name()),
+                ),
+                ("version", Json::Uint(e.version)),
+                ("recipe", recipe),
+                ("dep_versions", Json::Arr(deps)),
+                ("rows", Json::Arr(rows)),
+            ]));
+        }
+
+        let matchers = Json::Obj(
+            self.match_requests
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        Ok(Json::obj(vec![
+            ("seq", Json::Uint(seq)),
+            (
+                "commands",
+                Json::obj(vec![
+                    ("match", Json::Uint(self.commands.matches)),
+                    ("compose", Json::Uint(self.commands.composes)),
+                    ("delta", Json::Uint(self.commands.deltas)),
+                ]),
+            ),
+            (
+                "version_counter",
+                Json::Uint(self.repository.version_counter()),
+            ),
+            ("sources", Json::Arr(sources)),
+            ("mappings", Json::Arr(mappings)),
+            ("matchers", matchers),
+        ]))
+    }
+
+    /// Rebuild the engine from a checkpoint state document; returns the
+    /// WAL sequence number the state covers. Everything is parsed and
+    /// validated against the booted registry **before** any of it is
+    /// committed, so a rejected checkpoint leaves the engine untouched
+    /// and recovery can fall back to an older one or to full replay.
+    fn restore_from_state(&mut self, state: &Json) -> Result<u64, String> {
+        let field = |name: &str| -> Result<&Json, String> {
+            state
+                .get(name)
+                .ok_or_else(|| format!("checkpoint state missing `{name}`"))
+        };
+        let seq = field("seq")?
+            .as_u64()
+            .ok_or("checkpoint `seq` is not a u64")?;
+        let commands_json = field("commands")?;
+        let count = |name: &str| -> Result<u64, String> {
+            commands_json
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("checkpoint command counter `{name}` missing"))
+        };
+        let counts = CommandCounts {
+            matches: count("match")?,
+            composes: count("compose")?,
+            deltas: count("delta")?,
+        };
+        let version_counter = field("version_counter")?
+            .as_u64()
+            .ok_or("checkpoint `version_counter` is not a u64")?;
+
+        // -- sources: rebuild each arena, aligned to the booted registry.
+        let sources_json = field("sources")?
+            .as_arr()
+            .ok_or("checkpoint `sources` is not an array")?;
+        if sources_json.len() != self.registry.len() {
+            return Err(format!(
+                "checkpoint has {} sources but the booted registry has {}",
+                sources_json.len(),
+                self.registry.len()
+            ));
+        }
+        let mut new_sources = Vec::with_capacity(sources_json.len());
+        for (i, sj) in sources_json.iter().enumerate() {
+            let pds = sj.str_field("pds").ok_or("source missing `pds`")?;
+            let ty = sj.str_field("type").ok_or("source missing `type`")?;
+            let boot = self.registry.lds(LdsId(i as u32));
+            if boot.pds != pds || boot.object_type.as_str() != ty {
+                return Err(format!(
+                    "checkpoint source {i} is {ty}@{pds} but the booted registry has {}",
+                    boot.name()
+                ));
+            }
+            let schema_json = sj
+                .get("schema")
+                .and_then(Json::as_arr)
+                .ok_or("source missing `schema`")?;
+            let mut schema = Vec::with_capacity(schema_json.len());
+            for aj in schema_json {
+                let name = aj.str_field("name").ok_or("schema attr missing `name`")?;
+                let kind =
+                    kind_from_str(aj.str_field("kind").ok_or("schema attr missing `kind`")?)?;
+                schema.push(AttrDef::new(name, kind));
+            }
+            let mut lds = LogicalSource::new(pds, ObjectType::new(ty), schema);
+            let instances = sj
+                .get("instances")
+                .and_then(Json::as_arr)
+                .ok_or("source missing `instances`")?;
+            for ij in instances {
+                let id = ij.str_field("id").ok_or("instance missing `id`")?;
+                let live = ij
+                    .get("live")
+                    .and_then(Json::as_bool)
+                    .ok_or("instance missing `live`")?;
+                let values_json = ij
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or("instance missing `values`")?;
+                let mut values = Vec::with_capacity(values_json.len());
+                for vj in values_json {
+                    values.push(match vj {
+                        Json::Null => None,
+                        other => Some(protocol::attr_value_from_json(other)?),
+                    });
+                }
+                // Insert in arena order, tombstoning removed instances
+                // immediately: a later slot may legally reuse the id,
+                // and this ordering frees it before that insert.
+                lds.insert(ObjectInstance::with_values(id, values))
+                    .map_err(|e| format!("restore instance `{id}`: {e}"))?;
+                if !live {
+                    lds.remove(id);
+                }
+            }
+            new_sources.push(lds);
+        }
+
+        // -- mappings: resolved against the booted registry's names.
+        let mappings_json = field("mappings")?
+            .as_arr()
+            .ok_or("checkpoint `mappings` is not an array")?;
+        let mut new_mappings = Vec::with_capacity(mappings_json.len());
+        for mj in mappings_json {
+            let name = mj.str_field("name").ok_or("mapping missing `name`")?;
+            let resolve = |field: &str| -> Result<LdsId, String> {
+                let n = mj
+                    .str_field(field)
+                    .ok_or_else(|| format!("mapping `{name}` missing `{field}`"))?;
+                self.registry
+                    .resolve(n)
+                    .map_err(|e| format!("mapping `{name}` {field}: {e}"))
+            };
+            let domain = resolve("domain")?;
+            let range = resolve("range")?;
+            let version = mj
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("mapping `{name}` missing `version`"))?;
+            let rows_json = mj
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("mapping `{name}` missing `rows`"))?;
+            let mut triples = Vec::with_capacity(rows_json.len());
+            for row in rows_json {
+                let row = row.as_arr().filter(|r| r.len() == 3).ok_or_else(|| {
+                    format!("mapping `{name}`: rows must be [domain, range, sim] triples")
+                })?;
+                let d = row[0].as_u64().ok_or("row domain index")? as u32;
+                let r = row[1].as_u64().ok_or("row range index")? as u32;
+                let sim = row[2].as_f64().ok_or("row sim")?;
+                triples.push((d, r, sim));
+            }
+            let table = MappingTable::from_triples(triples);
+            let mapping = match mj.get("assoc") {
+                Some(Json::Str(t)) => Mapping::association(name, t.clone(), domain, range, table),
+                _ => Mapping::same(name, domain, range, table),
+            };
+            let recipe = match mj.get("recipe") {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(recipe_from_json(r)?),
+            };
+            let deps_json = mj
+                .get("dep_versions")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("mapping `{name}` missing `dep_versions`"))?;
+            let mut deps = Vec::with_capacity(deps_json.len());
+            for dj in deps_json {
+                let pair = dj.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("mapping `{name}`: dep_versions must be [name, version] pairs")
+                })?;
+                deps.push((
+                    pair[0].as_str().ok_or("dep name")?.to_owned(),
+                    pair[1].as_u64().ok_or("dep version")?,
+                ));
+            }
+            new_mappings.push((name.to_owned(), mapping, version, recipe, deps));
+        }
+
+        let Some(Json::Obj(matchers_json)) = state.get("matchers") else {
+            return Err("checkpoint `matchers` is not an object".into());
+        };
+        let matchers_json = matchers_json.clone();
+
+        // -- everything parsed: commit.
+        for (i, lds) in new_sources.into_iter().enumerate() {
+            *self.registry.lds_mut(LdsId(i as u32)) = lds;
+        }
+        self.repository = MappingRepository::new();
+        for (name, mapping, version, recipe, deps) in new_mappings {
+            self.repository
+                .restore_entry(name, mapping, version, recipe, deps);
+        }
+        self.repository.restore_version_counter(version_counter);
+        self.commands = counts;
+        self.states.clear();
+        self.match_requests.clear();
+        for (name, req) in matchers_json {
+            let (matcher, d, r) = self.build_matcher(&req)?;
+            let ctx = MatchContext::new(&self.registry).with_parallelism(self.par);
+            let primed = matcher
+                .prime(&ctx, d, r)
+                .map_err(|e| format!("re-prime `{name}`: {e}"))?;
+            // Invariant check: re-priming against the restored sources
+            // must reproduce the restored leaf mapping exactly (the same
+            // determinism the WAL replay bit-identity rests on). Skipped
+            // when the entry was later overwritten by a derived mapping
+            // of the same name.
+            if self.repository.recipe(&name).is_none() {
+                if let Some(stored) = self.repository.get(&name) {
+                    if stored.table.rows() != primed.mapping().table.rows() {
+                        return Err(format!(
+                            "checkpoint invariant violation: re-primed matcher `{name}` \
+                             disagrees with its restored mapping table"
+                        ));
+                    }
+                }
+            }
+            self.states.insert(name.clone(), primed);
+            self.match_requests.insert(name, req);
+        }
+        self.last_warn.clear();
+        Ok(seq)
+    }
+
     // ---- accessors ---------------------------------------------------
 
     /// The engine's source registry.
@@ -593,6 +1187,11 @@ impl Engine {
     /// Last WAL sequence number (0 when no WAL or empty log).
     pub fn wal_seq(&self) -> u64 {
         self.wal.as_ref().map(|w| w.last_seq()).unwrap_or(0)
+    }
+
+    /// Last WAL sequence covered by a checkpoint (0 = none yet).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
     }
 }
 
@@ -633,6 +1232,106 @@ fn parse_agg(name: &str) -> Result<PathAgg, String> {
         _ => Err(format!(
             "unknown path aggregation `{name}` (avg/min/max/relative/relative-left/relative-right)"
         )),
+    }
+}
+
+// ---- checkpoint codecs (inverses of the parse_* / request grammar) ----
+
+fn kind_to_str(kind: AttrKind) -> &'static str {
+    match kind {
+        AttrKind::Text => "text",
+        AttrKind::TextList => "list",
+        AttrKind::Int => "int",
+        AttrKind::Year => "year",
+        AttrKind::Real => "real",
+    }
+}
+
+fn kind_from_str(s: &str) -> Result<AttrKind, String> {
+    match s {
+        "text" => Ok(AttrKind::Text),
+        "list" => Ok(AttrKind::TextList),
+        "int" => Ok(AttrKind::Int),
+        "year" => Ok(AttrKind::Year),
+        "real" => Ok(AttrKind::Real),
+        other => Err(format!("unknown attr kind `{other}`")),
+    }
+}
+
+fn combine_to_str(f: PathCombine) -> String {
+    match f {
+        PathCombine::Avg => "avg".into(),
+        PathCombine::Min => "min".into(),
+        PathCombine::Max => "max".into(),
+        PathCombine::Product => "product".into(),
+        // f64 Display is shortest-roundtrip, so parse_combine recovers
+        // the exact weight.
+        PathCombine::Weighted(w) => format!("weighted:{w}"),
+    }
+}
+
+fn agg_to_str(g: PathAgg) -> &'static str {
+    match g {
+        PathAgg::Avg => "avg",
+        PathAgg::Min => "min",
+        PathAgg::Max => "max",
+        PathAgg::RelativeLeft => "relative-left",
+        PathAgg::RelativeRight => "relative-right",
+        PathAgg::Relative => "relative",
+    }
+}
+
+fn recipe_to_json(recipe: &Recipe) -> Result<Json, String> {
+    let binary = |op: &str, left: &str, right: &str| {
+        Json::obj(vec![
+            ("op", Json::Str(op.into())),
+            ("left", Json::Str(left.into())),
+            ("right", Json::Str(right.into())),
+        ])
+    };
+    match recipe {
+        Recipe::Compose { left, right, f, g } => Ok(Json::obj(vec![
+            ("op", Json::Str("compose".into())),
+            ("left", Json::Str(left.clone())),
+            ("right", Json::Str(right.clone())),
+            ("f", Json::Str(combine_to_str(*f))),
+            ("g", Json::Str(agg_to_str(*g).into())),
+        ])),
+        Recipe::Union { left, right } => Ok(binary("union", left, right)),
+        Recipe::Intersect { left, right } => Ok(binary("intersect", left, right)),
+        Recipe::Difference { left, right } => Ok(binary("difference", left, right)),
+        // Not creatable through the serving protocol.
+        Recipe::Merge { .. } => Err("checkpoint: merge recipes are not serializable".into()),
+    }
+}
+
+fn recipe_from_json(j: &Json) -> Result<Recipe, String> {
+    let op = j.str_field("op").ok_or("recipe missing `op`")?;
+    let side = |name: &str| -> Result<String, String> {
+        j.str_field(name)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("recipe missing `{name}`"))
+    };
+    match op {
+        "compose" => Ok(Recipe::Compose {
+            left: side("left")?,
+            right: side("right")?,
+            f: parse_combine(j.str_field("f").ok_or("recipe missing `f`")?)?,
+            g: parse_agg(j.str_field("g").ok_or("recipe missing `g`")?)?,
+        }),
+        "union" => Ok(Recipe::Union {
+            left: side("left")?,
+            right: side("right")?,
+        }),
+        "intersect" => Ok(Recipe::Intersect {
+            left: side("left")?,
+            right: side("right")?,
+        }),
+        "difference" => Ok(Recipe::Difference {
+            left: side("left")?,
+            right: side("right")?,
+        }),
+        other => Err(format!("unknown recipe op `{other}`")),
     }
 }
 
@@ -709,12 +1408,24 @@ mod tests {
         assert_eq!(e.command_counts().deltas, 1);
     }
 
+    fn assert_snapshots_identical(a: &Engine, b: &Engine) {
+        assert_eq!(a.command_counts(), b.command_counts());
+        let (a, b) = (a.snapshot(), b.snapshot());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.version, y.version, "version stamp for {}", x.name);
+            assert_eq!(x.dep_versions, y.dep_versions);
+            assert_eq!(x.mapping.table.rows(), y.mapping.table.rows(), "{}", x.name);
+        }
+    }
+
     #[test]
     fn wal_replay_restores_bit_identical_state() {
         let dir = std::env::temp_dir().join("moma_engine_replay");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let wal_path = dir.join("wal.log");
+        let wal_dir = dir.join("wal");
 
         let requests = [
             match_cmd("m1", "Publication@DBLP", "Publication@ACM"),
@@ -741,7 +1452,8 @@ mod tests {
         ];
 
         let mut live = Engine::new(tiny_registry(), Parallelism::sequential());
-        live.wal_create(&wal_path).unwrap();
+        live.wal_create(&wal_dir, DurabilityPolicy::default())
+            .unwrap();
         let mut ok_count = 0;
         for req in &requests {
             let r = live.execute(req);
@@ -752,22 +1464,94 @@ mod tests {
         assert_eq!(ok_count, requests.len() - 1);
 
         let mut replayed = Engine::new(tiny_registry(), Parallelism::sequential());
-        let summary = replayed.wal_replay(&wal_path).unwrap();
+        let summary = replayed
+            .recover(&wal_dir, DurabilityPolicy::default())
+            .unwrap();
         assert_eq!(summary.replayed, requests.len());
         assert_eq!(summary.failed, 1);
         assert_eq!(summary.dropped_bytes, 0);
+        assert_eq!(summary.checkpoint_seq, 0);
+        assert_eq!(summary.skipped, 0);
 
-        assert_eq!(replayed.command_counts(), live.command_counts());
-        let (a, b) = (live.snapshot(), replayed.snapshot());
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.name, y.name);
-            assert_eq!(x.version, y.version, "version stamp for {}", x.name);
-            assert_eq!(x.dep_versions, y.dep_versions);
-            assert_eq!(x.mapping.table.rows(), y.mapping.table.rows(), "{}", x.name);
-        }
+        assert_snapshots_identical(&live, &replayed);
         // New appends resume after the replayed prefix.
         assert_eq!(replayed.wal_seq(), live.wal_seq());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_restores_bit_identical_state() {
+        let dir = std::env::temp_dir().join("moma_engine_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal_dir = dir.join("wal");
+
+        let policy = DurabilityPolicy {
+            segment_records: 2, // force plenty of rotations
+            ..DurabilityPolicy::default()
+        };
+
+        let mut live = Engine::new(tiny_registry(), Parallelism::sequential());
+        live.wal_create(&wal_dir, policy).unwrap();
+        let pre = [
+            match_cmd("m1", "Publication@DBLP", "Publication@ACM"),
+            match_cmd("m2", "Publication@ACM", "Publication@GS"),
+            protocol::compose_request("c", "m1", "m2", "min", "max"),
+        ];
+        for req in &pre {
+            let r = live.execute(req);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        }
+        let r = live.execute(&protocol::bare_request("checkpoint"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("seq").and_then(Json::as_u64), Some(3));
+        assert_eq!(live.checkpoint_seq(), 3);
+
+        // A second checkpoint with no traffic in between is a no-op.
+        let r = live.execute(&protocol::bare_request("checkpoint"));
+        assert_eq!(r.get("unchanged").and_then(Json::as_bool), Some(true));
+
+        let post = [
+            protocol::delta_request(
+                "Publication@GS",
+                &[DeltaOp::Add {
+                    id: "g9".into(),
+                    fields: vec![(
+                        "title".into(),
+                        AttrValue::Text("The a1 system paper".into()),
+                    )],
+                }],
+            ),
+            protocol::delta_request("Publication@GS", &[DeltaOp::Remove { id: "g9".into() }]),
+        ];
+        for req in &post {
+            let r = live.execute(req);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        }
+
+        // Recovery restores the checkpoint and replays ONLY the suffix.
+        let mut recovered = Engine::new(tiny_registry(), Parallelism::sequential());
+        let summary = recovered.recover(&wal_dir, policy).unwrap();
+        assert_eq!(summary.checkpoint_seq, 3);
+        assert_eq!(
+            summary.replayed,
+            post.len(),
+            "only the post-checkpoint suffix"
+        );
+        assert_eq!(summary.failed, 0);
+        assert_snapshots_identical(&live, &recovered);
+        assert_eq!(recovered.wal_seq(), live.wal_seq());
+
+        // And it must equal a clean end-to-end run of all commands.
+        let mut clean = Engine::new(tiny_registry(), Parallelism::sequential());
+        for req in pre.iter().chain(&post) {
+            clean.execute(req);
+        }
+        assert_snapshots_identical(&clean, &recovered);
+
+        // The recovered engine keeps serving and can checkpoint again.
+        let r = recovered.execute(&protocol::bare_request("checkpoint"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(recovered.checkpoint_seq(), 5);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

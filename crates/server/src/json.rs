@@ -21,7 +21,7 @@ use std::fmt;
 const MAX_DEPTH: usize = 64;
 
 /// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
@@ -29,12 +29,37 @@ pub enum Json {
     Bool(bool),
     /// Any number (IEEE double, like JavaScript).
     Num(f64),
+    /// An unsigned integer that must round-trip exactly even above
+    /// 2^53 (WAL sequence numbers, request counters). Writes as a plain
+    /// JSON integer; the parser produces this variant only for integer
+    /// literals too large for an exact `f64`.
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object; member order is preserved (and is the write order).
     Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Uint(a), Json::Uint(b)) => a == b,
+            // Numeric equality across representations: `Num(7.0)` and
+            // `Uint(7)` are the same JSON number.
+            (Json::Num(f), Json::Uint(u)) | (Json::Uint(u), Json::Num(f)) => {
+                *f >= 0.0 && *f < u64::MAX as f64 && f.fract() == 0.0 && (*f as u64) == *u
+            }
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -59,20 +84,25 @@ impl Json {
         }
     }
 
-    /// The number, if a number.
+    /// The number, if a number. [`Json::Uint`] values above 2^53 round
+    /// to the nearest representable double — use [`Json::as_u64`] where
+    /// exactness matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Uint(n) => Some(*n as f64),
             _ => None,
         }
     }
 
     /// The number as a `u64`, if a non-negative integral number.
+    /// [`Json::Uint`] values convert exactly.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
+            Json::Uint(n) => Some(*n),
             _ => None,
         }
     }
@@ -171,6 +201,7 @@ impl fmt::Display for Json {
                     write!(f, "{n}")
                 }
             }
+            Json::Uint(n) => write!(f, "{n}"),
             Json::Str(s) => write_escaped(f, s),
             Json::Arr(items) => {
                 f.write_str("[")?;
@@ -325,6 +356,16 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii span");
+        // Integer literals too large for an exact f64 (> 2^53) become
+        // [`Json::Uint`] so counters and sequence numbers round-trip
+        // bit-exactly; everything else stays a double as before.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(v) = text.parse::<u64>() {
+                if v > (1u64 << 53) {
+                    return Ok(Json::Uint(v));
+                }
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|e| format!("bad number `{text}` at offset {start}: {e}"))
@@ -496,5 +537,43 @@ mod tests {
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Str("7".into()).as_u64(), None);
+        assert_eq!(Json::Uint(u64::MAX).as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn uint_roundtrips_exactly_above_2_pow_53() {
+        // Values in this range are NOT representable as f64; a Num-based
+        // path would silently round them.
+        for v in [
+            (1u64 << 53) + 1,
+            u64::MAX,
+            u64::MAX - 1,
+            u64::MAX - 3,
+            10_000_000_000_000_000_003,
+        ] {
+            let text = Json::Uint(v).to_string();
+            assert_eq!(text, v.to_string());
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_u64(), Some(v), "{text}");
+            assert_eq!(back, Json::Uint(v));
+        }
+        // Small integers keep parsing as doubles (no behavior change).
+        assert!(matches!(Json::parse("42").unwrap(), Json::Num(_)));
+        assert!(matches!(
+            Json::parse(&(1u64 << 53).to_string()).unwrap(),
+            Json::Num(_)
+        ));
+        // Nested in an object, exactness survives a full round trip.
+        let obj = Json::obj(vec![("seq", Json::Uint(u64::MAX - 1))]);
+        let back = Json::parse(&obj.to_string()).unwrap();
+        assert_eq!(back.get("seq").and_then(Json::as_u64), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    fn uint_num_numeric_equality() {
+        assert_eq!(Json::Uint(7), Json::Num(7.0));
+        assert_eq!(Json::Num(0.0), Json::Uint(0));
+        assert_ne!(Json::Uint(7), Json::Num(7.5));
+        assert_ne!(Json::Uint(u64::MAX), Json::Num(u64::MAX as f64));
     }
 }

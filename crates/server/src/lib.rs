@@ -10,12 +10,14 @@
 //!
 //! Three properties carry the design (see the module docs for details):
 //!
-//! * **Durability** ([`wal`]): every mutating command is appended to an
-//!   fsync'd, CRC-framed write-ahead log *before* it is applied.
-//!   `moma serve --replay` re-executes the log and — because all engine
-//!   operations are parallel-deterministic — restores the pre-crash
-//!   repository bit-identically: same correspondences, same version
-//!   stamps, same counters.
+//! * **Durability** ([`wal`], [`checkpoint`]): every mutating command
+//!   is appended to an fsync'd, CRC-framed, segment-rotated write-ahead
+//!   log *before* it is applied, and checkpoints bound how much of it a
+//!   restart must replay. `moma serve --replay` restores the newest
+//!   valid checkpoint, re-executes only the log suffix after it and —
+//!   because all engine operations are parallel-deterministic —
+//!   restores the pre-crash repository bit-identically: same
+//!   correspondences, same version stamps, same counters.
 //! * **Snapshot isolation** ([`engine`]): readers start from
 //!   [`moma_core::MappingRepository::snapshot`], a point-in-time image
 //!   captured under one lock acquisition; a query never observes a
@@ -30,6 +32,7 @@
 //! report), `smoke` (endpoint conformance), `stream` (deterministic
 //! delta traffic), `dump`, `stat`, `shutdown`.
 
+pub mod checkpoint;
 pub mod client;
 pub mod engine;
 pub mod frame;
@@ -39,7 +42,7 @@ pub mod server;
 pub mod wal;
 
 pub use client::Client;
-pub use engine::{CommandCounts, Engine, ReplaySummary};
+pub use engine::{CommandCounts, DurabilityPolicy, Engine, ReplaySummary};
 pub use json::Json;
 pub use server::{run, spawn, ServerHandle};
 pub use wal::Wal;

@@ -16,9 +16,14 @@
 //! | `compose`  | yes      | store a derived `compose(left, right, f, g)` mapping |
 //! | `query`    | no       | read correspondences from a snapshot |
 //! | `delta`    | yes      | ingest a source delta, patch mappings incrementally |
+//! | `checkpoint` | write lock | publish an atomic state checkpoint, prune covered WAL segments |
 //! | `stats`    | no       | server/engine counters |
 //! | `dump`     | no       | persist repository + manifest to a directory |
 //! | `shutdown` | no       | stop the server after responding |
+//!
+//! `checkpoint` is not WAL-logged (it changes the disk layout, not the
+//! logical state, and does not bump the command counters) but it is
+//! serialized through the engine write lock like a mutating command.
 //!
 //! `AttrValue`s travel as `{"t": kind, "v": value}` with kinds `text`,
 //! `list`, `int`, `year`, `real`.
@@ -222,6 +227,11 @@ pub fn query_request(name: &str, limit: u64, min_sim: Option<f64>) -> Json {
 /// Build a bare request carrying only a command name.
 pub fn bare_request(cmd: &str) -> Json {
     Json::obj(vec![("cmd", Json::Str(cmd.into()))])
+}
+
+/// Build a `checkpoint` request.
+pub fn checkpoint_request() -> Json {
+    bare_request("checkpoint")
 }
 
 /// Build a `dump` request.

@@ -27,6 +27,11 @@ use crate::json::Json;
 /// flag (also bounds shutdown latency).
 const READ_POLL: Duration = Duration::from_millis(250);
 
+/// How long a peer may stall *inside* a frame (header or payload
+/// started, no further bytes) before the connection is dropped. Bounds
+/// the damage of a client that dies mid-write without closing.
+const MID_FRAME_STALL: Duration = Duration::from_secs(30);
+
 /// State shared between the accept loop and handler threads.
 pub struct Shared {
     /// The engine; write lock for mutating commands, read lock for
@@ -148,14 +153,39 @@ enum Next {
     Idle,
 }
 
+/// Error returned when a mid-frame retry must give up (server stopping
+/// or the peer stalled past [`MID_FRAME_STALL`]).
+fn mid_frame_abort(shared: &Shared, progress: &Instant, what: &str) -> Option<io::Error> {
+    // A server stop must not wait on a half-written frame: the handler
+    // thread is joined by the accept loop and would hang shutdown.
+    if shared.stopping() {
+        return Some(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            format!("server stopping with partial frame {what}"),
+        ));
+    }
+    if progress.elapsed() >= MID_FRAME_STALL {
+        return Some(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("peer stalled mid-frame ({what})"),
+        ));
+    }
+    None
+}
+
 /// Like [`read_frame`], but a read timeout *between* frames surfaces as
 /// [`Next::Idle`] instead of an error. A timeout after the frame header
-/// has started keeps reading (the peer is mid-write), so a slow writer
-/// never desyncs the stream.
-fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
+/// has started keeps reading (the peer is mid-write) — up to the stop
+/// flag or the [`MID_FRAME_STALL`] deadline, so a peer that stalls
+/// mid-frame can neither pin this handler thread forever nor block
+/// shutdown (the accept loop joins every handler).
+///
+/// [`read_frame`]: crate::frame::read_frame
+fn next_frame(stream: &mut TcpStream, shared: &Shared) -> io::Result<Next> {
     use io::Read;
     let mut len_buf = [0u8; 4];
     let mut filled = 0usize;
+    let mut progress = Instant::now();
     while filled < 4 {
         match stream.read(&mut len_buf[filled..]) {
             Ok(0) if filled == 0 => return Ok(Next::Eof),
@@ -165,7 +195,10 @@ fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
                     "EOF inside frame header",
                 ))
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                progress = Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if filled == 0
@@ -180,7 +213,12 @@ fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
+                ) =>
+            {
+                if let Some(abort) = mid_frame_abort(shared, &progress, "header") {
+                    return Err(abort);
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -193,6 +231,7 @@ fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
     }
     let mut payload = vec![0u8; len];
     let mut got = 0usize;
+    let mut progress = Instant::now();
     while got < len {
         match stream.read(&mut payload[got..]) {
             Ok(0) => {
@@ -201,14 +240,21 @@ fn next_frame(stream: &mut TcpStream) -> io::Result<Next> {
                     "EOF inside frame payload",
                 ))
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if matches!(
                     e.kind(),
-                    io::ErrorKind::Interrupted
-                        | io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                ) => {}
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if let Some(abort) = mid_frame_abort(shared, &progress, "payload") {
+                    return Err(abort);
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -219,7 +265,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     loop {
-        let payload = match next_frame(&mut stream) {
+        let payload = match next_frame(&mut stream, &shared) {
             Ok(Next::Frame(p)) => p,
             Ok(Next::Eof) => return,
             Ok(Next::Idle) => {
@@ -270,24 +316,24 @@ fn dispatch(payload: &[u8], shared: &Shared) -> Json {
             if let Json::Obj(fields) = &mut resp {
                 fields.push((
                     "uptime_ms".to_owned(),
-                    Json::Num(shared.started.elapsed().as_millis() as f64),
+                    Json::Uint(shared.started.elapsed().as_millis() as u64),
                 ));
                 fields.push((
                     "requests".to_owned(),
-                    Json::Num(shared.requests.load(Ordering::Relaxed) as f64),
+                    Json::Uint(shared.requests.load(Ordering::Relaxed)),
                 ));
                 fields.push((
                     "request_errors".to_owned(),
-                    Json::Num(shared.errors.load(Ordering::Relaxed) as f64),
+                    Json::Uint(shared.errors.load(Ordering::Relaxed)),
                 ));
                 fields.push((
                     "connections".to_owned(),
-                    Json::Num(shared.connections.load(Ordering::Relaxed) as f64),
+                    Json::Uint(shared.connections.load(Ordering::Relaxed)),
                 ));
             }
             resp
         }
-        c if Engine::is_mutating(c) => {
+        c if Engine::needs_write_lock(c) => {
             let mut engine = shared.engine.write().expect("engine lock poisoned");
             engine.execute(&req)
         }

@@ -1,4 +1,4 @@
-//! Append-only, CRC-framed, fsync'd write-ahead delta log.
+//! Append-only, CRC-framed, fsync'd, **segmented** write-ahead delta log.
 //!
 //! Every state-mutating command the server accepts (`match`, `compose`,
 //! `delta`) is appended to the WAL **before** it is applied, and the
@@ -9,6 +9,18 @@
 //! (parallel execution merges shard results in input order, PR 3), the
 //! replayed repository is **bit-identical** to the pre-crash state.
 //!
+//! ## Segments
+//!
+//! The log lives in a directory as numbered segment files
+//! (`wal.000001.log`, `wal.000002.log`, …). Sequence numbers are
+//! **global**: they continue across segment boundaries, so the
+//! concatenation of all segments is one contiguous record stream. The
+//! active (highest-numbered) segment receives appends; once it exceeds
+//! the [`RotationPolicy`] byte/record budget it is sealed and a new
+//! segment is started. Sealed segments whose records are all covered by
+//! a checkpoint can be deleted ([`Wal::prune_covered`]), which is what
+//! bounds restart time (see `checkpoint.rs`).
+//!
 //! ## Record layout
 //!
 //! ```text
@@ -17,19 +29,31 @@
 //!
 //! `crc32` (IEEE, reflected 0xEDB88320) covers the `seq` field plus the
 //! payload, so neither a flipped payload byte nor a corrupted sequence
-//! number survives decoding. Sequence numbers start at 1 and must
-//! advance by exactly 1 per record.
+//! number survives decoding. Sequence numbers must advance by exactly 1
+//! per record across the whole segment chain.
 //!
 //! ## Replay semantics
 //!
-//! [`decode_records`] walks the log and stops at the **first** invalid
-//! record — a truncated header or payload (torn tail write from a
-//! crash), a CRC mismatch, an oversized length, or a sequence number
-//! that is not `previous + 1` (duplicate or skipped sequence numbers
-//! indicate a corrupt or mis-spliced log; everything after them is
-//! untrustworthy). Everything before the stop point is returned;
-//! [`Wal::open_replay`] then truncates the file back to the valid
-//! prefix so new records append after the last good one.
+//! [`Wal::scan`] walks the segments in order and stops at the **first**
+//! invalid record — a truncated header or payload (torn tail write from
+//! a crash), a CRC mismatch, an oversized length, or a sequence number
+//! that is not `previous + 1`. Everything before the stop point is
+//! returned; [`Wal::open`] then truncates the stop segment back to its
+//! valid prefix, deletes any later (untrustworthy) segments, and
+//! positions appends after the last good record. A crash can only tear
+//! the *tail* of the stream: rotation fsyncs the sealed segment before
+//! the next one is created, and the directory itself is fsync'd after
+//! every create/rotate/delete so acknowledged records survive a crash
+//! of the filesystem metadata too.
+//!
+//! ## Failed appends
+//!
+//! [`Wal::append`] tracks the durable byte offset of the active
+//! segment. If a write or fsync fails mid-record, the file is truncated
+//! back to the durable offset (so the half-written, *unacknowledged*
+//! record can never collide with the next append's sequence number); if
+//! even that rollback fails, the WAL poisons itself and refuses further
+//! appends rather than risk a corrupt stream.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -41,6 +65,9 @@ pub const MAX_RECORD: usize = crate::frame::MAX_FRAME;
 
 /// Fixed per-record header size: `len + crc + seq`.
 pub const RECORD_HEADER: usize = 4 + 4 + 8;
+
+/// Default rotation budget: seal the active segment at 8 MiB.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
 pub fn crc32(data: &[u8]) -> u32 {
@@ -67,16 +94,21 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// `fsync` a directory so renames/creates/deletes inside it are durable.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 /// One decoded WAL record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
-    /// Monotonic sequence number (first record is 1).
+    /// Monotonic sequence number (first record of a fresh log is 1).
     pub seq: u64,
     /// The logged command payload (JSON bytes).
     pub payload: Vec<u8>,
 }
 
-/// Result of decoding a log image.
+/// Result of decoding one segment image.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayOutcome {
     /// The valid record prefix, in log order.
@@ -103,12 +135,21 @@ pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decode a log image into its valid record prefix (see module docs for
-/// the stop rules).
+/// Decode a segment image whose first record must carry sequence number
+/// 1 (a fresh, single-segment log). See [`decode_records_from`].
 pub fn decode_records(bytes: &[u8]) -> ReplayOutcome {
+    decode_records_from(bytes, Some(1))
+}
+
+/// Decode a segment image into its valid record prefix (see module docs
+/// for the stop rules). `first_seq` pins the sequence number the first
+/// record must carry; `None` accepts whatever the first (CRC-valid)
+/// record claims — used to bootstrap the first surviving segment after
+/// earlier segments were pruned by a checkpoint.
+pub fn decode_records_from(bytes: &[u8], first_seq: Option<u64>) -> ReplayOutcome {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    let mut expected_seq = 1u64;
+    let mut expected_seq = first_seq;
     let mut stop_reason = None;
     while pos < bytes.len() {
         let Some(header) = bytes.get(pos..pos + RECORD_HEADER) else {
@@ -134,17 +175,23 @@ pub fn decode_records(bytes: &[u8]) -> ReplayOutcome {
             break;
         }
         let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
-        if seq != expected_seq {
-            stop_reason = Some(format!(
-                "sequence break at offset {pos}: got {seq}, expected {expected_seq}"
-            ));
+        if seq == 0 {
+            stop_reason = Some(format!("invalid sequence number 0 at offset {pos}"));
             break;
+        }
+        if let Some(expected) = expected_seq {
+            if seq != expected {
+                stop_reason = Some(format!(
+                    "sequence break at offset {pos}: got {seq}, expected {expected}"
+                ));
+                break;
+            }
         }
         records.push(WalRecord {
             seq,
             payload: body[8..].to_vec(),
         });
-        expected_seq += 1;
+        expected_seq = Some(seq + 1);
         pos += RECORD_HEADER + len;
     }
     ReplayOutcome {
@@ -155,74 +202,430 @@ pub fn decode_records(bytes: &[u8]) -> ReplayOutcome {
     }
 }
 
-/// An open write-ahead log.
+/// When to seal the active segment and start a new one. A budget of
+/// `u64::MAX` disables that dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct RotationPolicy {
+    /// Seal after this many records.
+    pub max_records: u64,
+    /// Seal once the segment holds at least this many bytes.
+    pub max_bytes: u64,
+}
+
+impl Default for RotationPolicy {
+    fn default() -> Self {
+        RotationPolicy {
+            max_records: u64::MAX,
+            max_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+}
+
+/// Segment file name for `index` (`wal.000042.log`).
+pub fn segment_file_name(index: u64) -> String {
+    format!("wal.{index:06}.log")
+}
+
+/// Parse a segment file name back to its index.
+pub fn parse_segment_index(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// List the segment files in `dir`, sorted by index. A missing or empty
+/// directory is an empty log.
+pub fn list_segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(idx) = entry.file_name().to_str().and_then(parse_segment_index) {
+            out.push((idx, entry.path()));
+        }
+    }
+    out.sort_by_key(|(idx, _)| *idx);
+    Ok(out)
+}
+
+/// Per-segment decode result of a [`Wal::scan`].
+#[derive(Debug, Clone)]
+pub struct SegmentScan {
+    /// Segment index (from the file name).
+    pub index: u64,
+    /// Segment file path.
+    pub path: PathBuf,
+    /// Valid records decoded from this segment.
+    pub records: u64,
+    /// Byte length of the valid record prefix.
+    pub valid_len: u64,
+    /// Sequence number of the last valid record (0 if the segment holds
+    /// none).
+    pub last_seq: u64,
+}
+
+/// Where segment decoding stopped before the end of the chain.
+#[derive(Debug, Clone)]
+pub struct WalStop {
+    /// Index of the segment the stop occurred in.
+    pub segment: u64,
+    /// Human-readable stop reason.
+    pub reason: String,
+}
+
+/// Read-only decode of an entire WAL directory ([`Wal::scan`]).
+#[derive(Debug, Clone)]
+pub struct WalScan {
+    /// All valid records across all segments, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Per-segment decode results, in index order. Segments after a
+    /// stop are listed with zero decoded records.
+    pub segments: Vec<SegmentScan>,
+    /// Set if decoding stopped before the end of the last segment.
+    pub stop: Option<WalStop>,
+    /// Bytes past the valid prefix (torn tail + later segments).
+    pub dropped_bytes: u64,
+}
+
+impl WalScan {
+    /// Sequence number of the first decoded record (0 if none).
+    pub fn first_seq(&self) -> u64 {
+        self.records.first().map(|r| r.seq).unwrap_or(0)
+    }
+
+    /// Sequence number of the last decoded record (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map(|r| r.seq).unwrap_or(0)
+    }
+}
+
+/// A sealed (no longer written) segment tracked by an open [`Wal`].
+#[derive(Debug, Clone)]
+struct SealedSegment {
+    path: PathBuf,
+    records: u64,
+    last_seq: u64,
+}
+
+/// An open, segmented write-ahead log rooted at a directory.
 #[derive(Debug)]
 pub struct Wal {
+    dir: PathBuf,
     file: File,
-    path: PathBuf,
+    seg_index: u64,
+    seg_path: PathBuf,
+    /// Records in the active segment.
+    seg_records: u64,
+    /// Durable byte length of the active segment; failed appends roll
+    /// back to this offset.
+    durable_len: u64,
     next_seq: u64,
+    policy: RotationPolicy,
+    sealed: Vec<SealedSegment>,
+    poisoned: Option<String>,
+    #[cfg(test)]
+    fail_next: Option<FailAppend>,
+}
+
+/// Test-only fault injection for [`Wal::append`].
+#[cfg(test)]
+#[derive(Debug)]
+pub enum FailAppend {
+    /// Write only the first `n` bytes of the record, then fail.
+    ShortWrite(usize),
+    /// Write the whole record but fail the fsync.
+    SyncFail,
 }
 
 impl Wal {
-    /// Create a fresh log (truncating any existing file).
-    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Wal> {
-        let path = path.as_ref().to_path_buf();
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
+    /// Create a fresh log directory (removing any existing segments)
+    /// with one empty active segment. The directory entry is fsync'd so
+    /// the log survives a crash right after creation.
+    pub fn create(dir: impl AsRef<Path>, policy: RotationPolicy) -> std::io::Result<Wal> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        for (_, path) in list_segment_files(&dir)? {
+            std::fs::remove_file(&path)?;
         }
+        Wal::start_segment(dir, policy, 1, 1, Vec::new())
+    }
+
+    fn start_segment(
+        dir: PathBuf,
+        policy: RotationPolicy,
+        seg_index: u64,
+        next_seq: u64,
+        sealed: Vec<SealedSegment>,
+    ) -> std::io::Result<Wal> {
+        let seg_path = dir.join(segment_file_name(seg_index));
         let file = OpenOptions::new()
-            .create(true)
+            .create_new(true)
             .write(true)
-            .truncate(true)
-            .open(&path)?;
+            .open(&seg_path)?;
+        file.sync_all()?;
+        fsync_dir(&dir)?;
         Ok(Wal {
+            dir,
             file,
-            path,
-            next_seq: 1,
+            seg_index,
+            seg_path,
+            seg_records: 0,
+            durable_len: 0,
+            next_seq,
+            policy,
+            sealed,
+            poisoned: None,
+            #[cfg(test)]
+            fail_next: None,
         })
     }
 
-    /// Open an existing log for replay: decode the valid record prefix,
-    /// truncate the file back to it (dropping any torn tail left by a
-    /// crash), and position appends after the last valid record. A
-    /// missing file behaves like an empty log.
-    pub fn open_replay(path: impl AsRef<Path>) -> std::io::Result<(Wal, ReplayOutcome)> {
-        let path = path.as_ref().to_path_buf();
-        let mut bytes = Vec::new();
+    /// Decode every segment in `dir` without modifying anything on
+    /// disk. Recovery first scans, then decides which checkpoint to
+    /// restore from, then calls [`Wal::open`] to repair and resume.
+    pub fn scan(dir: impl AsRef<Path>) -> std::io::Result<WalScan> {
+        let dir = dir.as_ref();
+        let files = list_segment_files(dir)?;
+        let mut records = Vec::new();
+        let mut segments = Vec::new();
+        let mut stop = None;
+        let mut dropped_bytes = 0u64;
+        // The first surviving segment's first record pins the stream
+        // start (earlier segments may have been pruned by a checkpoint);
+        // every later record must be contiguous.
+        let mut expected: Option<u64> = None;
+        for (index, path) in files {
+            if stop.is_some() {
+                // Segments after a stop are untrustworthy; report them
+                // so `open` can delete them.
+                dropped_bytes += std::fs::metadata(&path)?.len();
+                segments.push(SegmentScan {
+                    index,
+                    path,
+                    records: 0,
+                    valid_len: 0,
+                    last_seq: 0,
+                });
+                continue;
+            }
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let out = decode_records_from(&bytes, expected);
+            dropped_bytes += out.dropped_bytes;
+            if let Some(last) = out.records.last() {
+                expected = Some(last.seq + 1);
+            }
+            segments.push(SegmentScan {
+                index,
+                path,
+                records: out.records.len() as u64,
+                valid_len: out.valid_len,
+                last_seq: out.records.last().map(|r| r.seq).unwrap_or(0),
+            });
+            if let Some(reason) = out.stop_reason {
+                stop = Some(WalStop {
+                    segment: index,
+                    reason,
+                });
+            }
+            records.extend(out.records);
+        }
+        Ok(WalScan {
+            records,
+            segments,
+            stop,
+            dropped_bytes,
+        })
+    }
+
+    /// Open the log for appending after a [`Wal::scan`]: truncate the
+    /// stop segment (if any) back to its valid prefix, delete any later
+    /// segments, and resume the sequence after the last valid record —
+    /// or after `base_seq` (the restored checkpoint's sequence number)
+    /// when no records survive at all.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        policy: RotationPolicy,
+        scan: &WalScan,
+        base_seq: u64,
+    ) -> std::io::Result<Wal> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let next_seq = scan.last_seq().max(base_seq) + 1;
+        if scan.segments.is_empty() {
+            return Wal::start_segment(dir, policy, 1, next_seq, Vec::new());
+        }
+        // The active segment is where decoding stopped (everything after
+        // it is deleted), or the last segment of a clean chain.
+        let active_pos = match &scan.stop {
+            Some(stop) => scan
+                .segments
+                .iter()
+                .position(|s| s.index == stop.segment)
+                .expect("stop segment is part of the scan"),
+            None => scan.segments.len() - 1,
+        };
+        let mut deleted = false;
+        for seg in &scan.segments[active_pos + 1..] {
+            std::fs::remove_file(&seg.path)?;
+            deleted = true;
+        }
+        let active = &scan.segments[active_pos];
         let mut file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
             .read(true)
             .write(true)
-            .open(&path)?;
-        file.read_to_end(&mut bytes)?;
-        let outcome = decode_records(&bytes);
-        if outcome.dropped_bytes > 0 {
-            file.set_len(outcome.valid_len)?;
+            .open(&active.path)?;
+        if std::fs::metadata(&active.path)?.len() != active.valid_len {
+            file.set_len(active.valid_len)?;
             file.sync_data()?;
         }
-        file.seek(SeekFrom::Start(outcome.valid_len))?;
-        let next_seq = outcome.records.last().map(|r| r.seq + 1).unwrap_or(1);
-        Ok((
-            Wal {
-                file,
-                path,
-                next_seq,
-            },
-            outcome,
-        ))
+        file.seek(SeekFrom::Start(active.valid_len))?;
+        if deleted {
+            fsync_dir(&dir)?;
+        }
+        let sealed = scan.segments[..active_pos]
+            .iter()
+            .map(|s| SealedSegment {
+                path: s.path.clone(),
+                records: s.records,
+                last_seq: s.last_seq,
+            })
+            .collect();
+        Ok(Wal {
+            dir,
+            file,
+            seg_index: active.index,
+            seg_path: active.path.clone(),
+            seg_records: active.records,
+            durable_len: active.valid_len,
+            next_seq,
+            policy,
+            sealed,
+            poisoned: None,
+            #[cfg(test)]
+            fail_next: None,
+        })
     }
 
     /// Append one record and `fsync` it; returns the record's sequence
-    /// number. The record is durable when this returns.
+    /// number. The record is durable when this returns. On failure the
+    /// active segment is rolled back to its durable length, so the next
+    /// append reuses the same sequence number; if the rollback itself
+    /// fails the WAL poisons itself and refuses all further appends.
     pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        if let Some(reason) = &self.poisoned {
+            return Err(std::io::Error::other(format!("WAL is poisoned: {reason}")));
+        }
+        self.maybe_rotate()?;
         let seq = self.next_seq;
-        self.file.write_all(&encode_record(seq, payload))?;
-        self.file.sync_data()?;
+        let rec = encode_record(seq, payload);
+        if let Err(e) = self.write_record(&rec) {
+            self.rollback_to_durable(&e);
+            return Err(e);
+        }
+        self.durable_len += rec.len() as u64;
+        self.seg_records += 1;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    fn write_record(&mut self, rec: &[u8]) -> std::io::Result<()> {
+        #[cfg(test)]
+        if let Some(fail) = self.fail_next.take() {
+            return match fail {
+                FailAppend::ShortWrite(n) => {
+                    self.file.write_all(&rec[..n.min(rec.len())])?;
+                    let _ = self.file.sync_data();
+                    Err(std::io::Error::other("injected short write"))
+                }
+                FailAppend::SyncFail => {
+                    self.file.write_all(rec)?;
+                    Err(std::io::Error::other("injected fsync failure"))
+                }
+            };
+        }
+        self.file.write_all(rec)?;
+        self.file.sync_data()
+    }
+
+    /// After a failed append: drop whatever partial bytes the failed
+    /// write may have left past the durable offset.
+    fn rollback_to_durable(&mut self, cause: &std::io::Error) {
+        let result = self
+            .file
+            .set_len(self.durable_len)
+            .and_then(|_| self.file.seek(SeekFrom::Start(self.durable_len)))
+            .and_then(|_| self.file.sync_data());
+        if let Err(e) = result {
+            self.poisoned = Some(format!(
+                "append failed ({cause}) and rollback to offset {} failed ({e})",
+                self.durable_len
+            ));
+        }
+    }
+
+    fn maybe_rotate(&mut self) -> std::io::Result<()> {
+        if self.seg_records >= self.policy.max_records || self.durable_len >= self.policy.max_bytes
+        {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the active segment and start a new one (no-op while the
+    /// active segment is empty). The sealed segment and the directory
+    /// entry of the new one are fsync'd before any append lands in it,
+    /// so only the *last* segment can ever hold a torn record.
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        if self.seg_records == 0 {
+            return Ok(());
+        }
+        self.file.sync_all()?;
+        let next_index = self.seg_index + 1;
+        let next_path = self.dir.join(segment_file_name(next_index));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&next_path)?;
+        file.sync_all()?;
+        fsync_dir(&self.dir)?;
+        self.sealed.push(SealedSegment {
+            path: std::mem::replace(&mut self.seg_path, next_path),
+            records: self.seg_records,
+            last_seq: self.next_seq - 1,
+        });
+        self.file = file;
+        self.seg_index = next_index;
+        self.seg_records = 0;
+        self.durable_len = 0;
+        Ok(())
+    }
+
+    /// Delete sealed segments whose records are all `<= seq` (covered
+    /// by a checkpoint). Only a contiguous prefix of sealed segments is
+    /// removed — the stream stays gap-free — and the directory entry is
+    /// fsync'd after the deletes. Returns how many segments were
+    /// removed.
+    pub fn prune_covered(&mut self, seq: u64) -> std::io::Result<usize> {
+        let covered = self
+            .sealed
+            .iter()
+            .take_while(|s| s.records == 0 || s.last_seq <= seq)
+            .count();
+        if covered == 0 {
+            return Ok(0);
+        }
+        for seg in self.sealed.drain(..covered) {
+            std::fs::remove_file(&seg.path)?;
+        }
+        fsync_dir(&self.dir)?;
+        Ok(covered)
     }
 
     /// The sequence number the next append will get.
@@ -230,20 +633,54 @@ impl Wal {
         self.next_seq
     }
 
-    /// Number of records appended or replayed so far.
+    /// Sequence number of the last appended or replayed record.
     pub fn last_seq(&self) -> u64 {
         self.next_seq - 1
     }
 
-    /// The log's file path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The log's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of live segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Why the WAL refuses appends, if it is poisoned.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    #[cfg(test)]
+    fn fail_next_append(&mut self, fail: FailAppend) {
+        self.fail_next = Some(fail);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("moma_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn no_rotation() -> RotationPolicy {
+        RotationPolicy {
+            max_records: u64::MAX,
+            max_bytes: u64::MAX,
+        }
+    }
+
+    fn reopen(dir: &Path) -> (Wal, WalScan) {
+        let scan = Wal::scan(dir).unwrap();
+        let wal = Wal::open(dir, no_rotation(), &scan, 0).unwrap();
+        (wal, scan)
+    }
 
     #[test]
     fn crc32_known_vectors() {
@@ -270,43 +707,185 @@ mod tests {
     }
 
     #[test]
-    fn wal_file_roundtrip_and_torn_tail() {
-        let dir = std::env::temp_dir().join("moma_wal_unit");
-        let _ = std::fs::remove_dir_all(&dir);
-        let path = dir.join("wal.log");
+    fn decode_from_accepts_claimed_first_seq() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&encode_record(41, b"a"));
+        log.extend_from_slice(&encode_record(42, b"b"));
+        let out = decode_records_from(&log, None);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[0].seq, 41);
+        // With a pinned first seq, a different claim is a stream break.
+        let out = decode_records_from(&log, Some(1));
+        assert_eq!(out.records.len(), 0);
+        assert!(out.stop_reason.unwrap().contains("sequence break"));
+    }
+
+    #[test]
+    fn wal_roundtrip_and_torn_tail() {
+        let dir = tmp("torn");
         {
-            let mut wal = Wal::create(&path).unwrap();
+            let mut wal = Wal::create(&dir, no_rotation()).unwrap();
             assert_eq!(wal.append(b"one").unwrap(), 1);
             assert_eq!(wal.append(b"two").unwrap(), 2);
             assert_eq!(wal.last_seq(), 2);
         }
         // Simulate a torn write: half a record at the tail.
         let torn = &encode_record(3, b"three")[..9];
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        let seg = dir.join(segment_file_name(1));
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
         f.write_all(torn).unwrap();
         drop(f);
 
-        let (mut wal, outcome) = Wal::open_replay(&path).unwrap();
-        assert_eq!(outcome.records.len(), 2);
-        assert_eq!(outcome.dropped_bytes, torn.len() as u64);
-        assert!(outcome.stop_reason.is_some());
+        let (mut wal, scan) = reopen(&dir);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.dropped_bytes, torn.len() as u64);
+        assert!(scan.stop.is_some());
         // Appends resume after the valid prefix with the right seq.
         assert_eq!(wal.append(b"three-again").unwrap(), 3);
-        let (_, outcome2) = Wal::open_replay(&path).unwrap();
-        assert_eq!(outcome2.records.len(), 3);
-        assert_eq!(outcome2.stop_reason, None);
-        assert_eq!(outcome2.records[2].payload, b"three-again");
+        let (_, scan2) = reopen(&dir);
+        assert_eq!(scan2.records.len(), 3);
+        assert!(scan2.stop.is_none());
+        assert_eq!(scan2.records[2].payload, b"three-again");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn missing_file_is_an_empty_log() {
-        let dir = std::env::temp_dir().join("moma_wal_missing");
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let (wal, outcome) = Wal::open_replay(dir.join("nope.log")).unwrap();
-        assert_eq!(outcome.records.len(), 0);
+    fn missing_dir_is_an_empty_log() {
+        let dir = tmp("missing");
+        let scan = Wal::scan(&dir).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        let wal = Wal::open(&dir, no_rotation(), &scan, 0).unwrap();
         assert_eq!(wal.next_seq(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_preserves_global_sequence() {
+        let dir = tmp("rotate");
+        let policy = RotationPolicy {
+            max_records: 3,
+            max_bytes: u64::MAX,
+        };
+        let mut wal = Wal::create(&dir, policy).unwrap();
+        for i in 1..=10u64 {
+            assert_eq!(wal.append(format!("r{i}").as_bytes()).unwrap(), i);
+        }
+        assert_eq!(wal.segment_count(), 4); // 3+3+3+1
+        let scan = Wal::scan(&dir).unwrap();
+        assert_eq!(scan.records.len(), 10);
+        assert!(scan.stop.is_none());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+        }
+        // Reopen keeps appending in the last segment with the next seq.
+        drop(wal);
+        let scan = Wal::scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, policy, &scan, 0).unwrap();
+        assert_eq!(wal.append(b"r11").unwrap(), 11);
+        assert_eq!(Wal::scan(&dir).unwrap().records.len(), 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_middle_segment_drops_later_segments() {
+        let dir = tmp("midtear");
+        let policy = RotationPolicy {
+            max_records: 2,
+            max_bytes: u64::MAX,
+        };
+        {
+            let mut wal = Wal::create(&dir, policy).unwrap();
+            for i in 1..=6u64 {
+                wal.append(format!("r{i}").as_bytes()).unwrap();
+            }
+        }
+        // Corrupt the tail of segment 2 (records 3 and 4).
+        let seg2 = dir.join(segment_file_name(2));
+        let len = std::fs::metadata(&seg2).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg2)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let (mut wal, scan) = reopen(&dir);
+        assert_eq!(scan.records.len(), 3, "record 4 torn, 5 and 6 dropped");
+        assert!(scan.stop.is_some());
+        // Segment 3 was untrustworthy and is gone; appends resume at 4.
+        assert!(!dir.join(segment_file_name(3)).exists());
+        assert_eq!(wal.append(b"r4-again").unwrap(), 4);
+        let scan = Wal::scan(&dir).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert!(scan.stop.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_reuses_seq() {
+        let dir = tmp("shortwrite");
+        let mut wal = Wal::create(&dir, no_rotation()).unwrap();
+        wal.append(b"one").unwrap();
+
+        // A short write leaves partial bytes on disk; the rollback must
+        // erase them so the retry's sequence number is not a duplicate.
+        wal.fail_next_append(FailAppend::ShortWrite(9));
+        let err = wal.append(b"two").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(wal.next_seq(), 2, "failed append must not consume a seq");
+        assert!(wal.poisoned().is_none());
+        assert_eq!(wal.append(b"two-retry").unwrap(), 2);
+
+        // A failed fsync is also rolled back: the record was never
+        // acknowledged, so it must not survive.
+        wal.fail_next_append(FailAppend::SyncFail);
+        wal.append(b"three").unwrap_err();
+        assert_eq!(wal.append(b"three-retry").unwrap(), 3);
+
+        drop(wal);
+        let (_, scan) = reopen(&dir);
+        assert!(scan.stop.is_none(), "{:?}", scan.stop);
+        let payloads: Vec<&[u8]> = scan.records.iter().map(|r| &r.payload[..]).collect();
+        assert_eq!(payloads, [&b"one"[..], b"two-retry", b"three-retry"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_covered_removes_only_sealed_covered_prefix() {
+        let dir = tmp("prune");
+        let policy = RotationPolicy {
+            max_records: 2,
+            max_bytes: u64::MAX,
+        };
+        let mut wal = Wal::create(&dir, policy).unwrap();
+        for i in 1..=7u64 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(wal.segment_count(), 4); // [1,2][3,4][5,6][7]
+        assert_eq!(wal.prune_covered(3).unwrap(), 1, "only [1,2] covered");
+        assert_eq!(wal.segment_count(), 3);
+        assert_eq!(wal.prune_covered(7).unwrap(), 2, "active never pruned");
+        assert_eq!(wal.segment_count(), 1);
+        // The surviving suffix still scans cleanly from its claimed seq.
+        drop(wal);
+        let scan = Wal::scan(&dir).unwrap();
+        assert!(scan.stop.is_none());
+        assert_eq!(scan.first_seq(), 7);
+        assert_eq!(scan.last_seq(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_with_base_seq_resumes_after_checkpoint() {
+        // All segments pruned (fully covered): the sequence resumes
+        // from the checkpoint's seq, not from 1.
+        let dir = tmp("baseseq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scan = Wal::scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, no_rotation(), &scan, 41).unwrap();
+        assert_eq!(wal.append(b"42nd").unwrap(), 42);
+        let scan = Wal::scan(&dir).unwrap();
+        assert_eq!(scan.first_seq(), 42);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,8 @@
 //! End-to-end test over real TCP: every endpoint answers over the frame
-//! protocol, and a crash that tears the WAL mid-record is recovered by
+//! protocol, a crash that tears the WAL mid-record is recovered by
 //! `--replay` into a state byte-identical to a clean run of the same
-//! command prefix.
+//! command prefix, and a checkpoint bounds how much of the log a
+//! restart replays.
 
 use std::fs;
 use std::io::Write as _;
@@ -11,7 +12,7 @@ use std::time::Duration;
 use moma_core::exec::Parallelism;
 use moma_datagen::{Scenario, WorldConfig};
 use moma_model::{AttrValue, DeltaOp, SourceRegistry};
-use moma_server::{protocol, spawn, Client, Engine, Json};
+use moma_server::{protocol, spawn, Client, DurabilityPolicy, Engine, Json};
 
 fn scenario_registry() -> SourceRegistry {
     let scenario = Scenario::generate({
@@ -23,9 +24,13 @@ fn scenario_registry() -> SourceRegistry {
 }
 
 fn engine(wal: Option<&Path>) -> Engine {
+    engine_with_policy(wal, DurabilityPolicy::default())
+}
+
+fn engine_with_policy(wal: Option<&Path>, policy: DurabilityPolicy) -> Engine {
     let mut e = Engine::new(scenario_registry(), Parallelism::sequential());
-    if let Some(path) = wal {
-        e.wal_create(path).expect("wal create");
+    if let Some(dir) = wal {
+        e.wal_create(dir, policy).expect("wal create");
     }
     e
 }
@@ -58,6 +63,26 @@ fn dir_contents(root: &Path) -> Vec<(String, Vec<u8>)> {
     walk(root, root, &mut out);
     out.sort();
     out
+}
+
+/// Assert two persisted dumps are byte-identical.
+fn assert_dumps_identical(a_dir: &Path, b_dir: &Path) {
+    let a = dir_contents(a_dir);
+    let b = dir_contents(b_dir);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "dump file sets differ"
+    );
+    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "dump file `{name}` differs");
+    }
+}
+
+fn dump_to(eng: &Engine, dir: &Path) {
+    let resp = eng.execute_read(&protocol::dump_request(dir.to_str().unwrap()));
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
 }
 
 fn delta_req(i: usize) -> Json {
@@ -138,6 +163,18 @@ fn tcp_endpoints_end_to_end() {
         .expect("transport ok");
     assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
 
+    // checkpoint: a memory-only server refuses, naming the missing WAL.
+    let cp = c
+        .call(&protocol::checkpoint_request())
+        .expect("transport ok");
+    assert_eq!(cp.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        cp.str_field("error")
+            .unwrap_or("")
+            .contains("write-ahead log"),
+        "checkpoint refusal names the WAL: {cp}"
+    );
+
     // stats: counters + server-layer fields.
     let stats = c.call_ok(&protocol::bare_request("stats")).expect("stats");
     let commands = stats.get("commands").expect("commands");
@@ -170,6 +207,30 @@ fn tcp_endpoints_end_to_end() {
     let _ = fs::remove_dir_all(&dump_dir);
 }
 
+/// A client that dies mid-frame (header started, never finished) must
+/// not block shutdown: the handler thread's mid-frame retry loop checks
+/// the stop flag, and the accept loop's join of that thread returns.
+#[test]
+fn shutdown_completes_with_stalled_mid_frame_client() {
+    let handle = spawn(engine(None), "127.0.0.1:0").expect("spawn");
+    let addr = handle.addr;
+
+    let mut stalled = std::net::TcpStream::connect(addr).expect("raw connect");
+    stalled.write_all(&[0x00, 0x00]).expect("partial header");
+    // Let the handler thread observe the partial header and enter the
+    // mid-frame retry loop before stopping.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.stop();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("ServerHandle::stop() must return despite a client stalled mid-frame");
+    drop(stalled);
+}
+
 /// Crash-replay bit-identity: run the script with a WAL, tear the final
 /// record (simulating a kill -9 mid-fsync), replay into a fresh engine,
 /// and compare its full persisted dump byte-for-byte with a clean engine
@@ -177,28 +238,34 @@ fn tcp_endpoints_end_to_end() {
 #[test]
 fn torn_wal_replay_matches_clean_run_bit_identically() {
     let work = tmp_dir("wal");
-    let wal_path = work.join("server.wal");
+    let wal_dir = work.join("wal");
 
     // Crashed run: all commands logged, then the tail record torn.
     {
-        let mut crashed = engine(Some(&wal_path));
+        let mut crashed = engine(Some(&wal_dir));
         for req in script() {
             let resp = crashed.execute(&req);
             assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
         }
         // Engine (and its WAL file handle) dropped here: the "crash".
     }
-    let full = fs::read(&wal_path).expect("wal bytes");
+    // Default policy never rotates at this volume: one segment file.
+    let seg_path = wal_dir.join("wal.000001.log");
+    let full = fs::read(&seg_path).expect("wal bytes");
     let torn_at = full.len() - 7; // mid-payload of the final record
-    let mut f = fs::File::create(&wal_path).expect("rewrite wal");
+    let mut f = fs::File::create(&seg_path).expect("rewrite wal");
     f.write_all(&full[..torn_at]).expect("torn write");
     drop(f);
 
     // Replay: recovers every record except the torn one.
     let mut replayed = Engine::new(scenario_registry(), Parallelism::sequential());
-    let summary = replayed.wal_replay(&wal_path).expect("replay");
+    let summary = replayed
+        .recover(&wal_dir, DurabilityPolicy::default())
+        .expect("replay");
     let total = script().len();
     assert_eq!(summary.replayed, total - 1, "torn tail record dropped");
+    assert_eq!(summary.checkpoint_seq, 0, "no checkpoint to restore from");
+    assert_eq!(summary.skipped, 0);
     assert!(summary.dropped_bytes > 0);
     assert!(summary.stop_reason.is_some());
     assert_eq!(summary.failed, 0);
@@ -216,27 +283,74 @@ fn torn_wal_replay_matches_clean_run_bit_identically() {
     // versions, counters and source cardinalities).
     let replay_dump = work.join("replayed");
     let reference_dump = work.join("reference");
-    for (eng, dir) in [(&replayed, &replay_dump), (&reference, &reference_dump)] {
-        let resp = eng.execute_read(&protocol::dump_request(dir.to_str().unwrap()));
-        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
-    }
-    let a = dir_contents(&replay_dump);
-    let b = dir_contents(&reference_dump);
-    assert!(!a.is_empty());
-    assert_eq!(
-        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
-        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
-        "dump file sets differ"
-    );
-    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
-        assert_eq!(bytes_a, bytes_b, "dump file `{name}` differs after replay");
-    }
+    dump_to(&replayed, &replay_dump);
+    dump_to(&reference, &reference_dump);
+    assert_dumps_identical(&replay_dump, &reference_dump);
 
     // And the recovered engine keeps serving: one more delta succeeds
     // and lands in the resumed WAL with the next sequence number.
     let resp = replayed.execute(&delta_req(900));
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
     assert_eq!(replayed.wal_seq(), total as u64);
+
+    let _ = fs::remove_dir_all(&work);
+}
+
+/// Restart after a checkpoint replays only the post-checkpoint suffix —
+/// and the recovered state is still bit-identical to a clean run of the
+/// whole script.
+#[test]
+fn restart_after_checkpoint_replays_only_the_suffix() {
+    let work = tmp_dir("ckpt");
+    let wal_dir = work.join("wal");
+    let policy = DurabilityPolicy {
+        segment_records: 2,
+        ..DurabilityPolicy::default()
+    };
+    let reqs = script();
+    let total = reqs.len();
+    let prefix = 3; // checkpoint after the matchers + composition
+
+    {
+        let mut crashed = engine_with_policy(Some(&wal_dir), policy);
+        for req in reqs.iter().take(prefix) {
+            let resp = crashed.execute(req);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        }
+        let cp = crashed.execute(&protocol::checkpoint_request());
+        assert_eq!(cp.get("ok").and_then(Json::as_bool), Some(true), "{cp}");
+        assert_eq!(cp.get("seq").and_then(Json::as_u64), Some(prefix as u64));
+        for req in reqs.iter().skip(prefix) {
+            let resp = crashed.execute(req);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        }
+        // Crash: engine dropped without another checkpoint.
+    }
+
+    let mut recovered = Engine::new(scenario_registry(), Parallelism::sequential());
+    let summary = recovered.recover(&wal_dir, policy).expect("recover");
+    assert_eq!(summary.checkpoint_seq, prefix as u64);
+    assert_eq!(summary.replayed, total - prefix);
+    assert!(
+        summary.replayed < total,
+        "checkpoint must bound replay below the full command count"
+    );
+    assert_eq!(summary.skipped, 0, "covered segments were pruned");
+    assert_eq!(summary.failed, 0);
+    assert_eq!(recovered.wal_seq(), total as u64);
+
+    // Clean reference run of the full script, no WAL involved.
+    let mut reference = Engine::new(scenario_registry(), Parallelism::sequential());
+    for req in &reqs {
+        let resp = reference.execute(req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    let recovered_dump = work.join("recovered");
+    let reference_dump = work.join("reference");
+    dump_to(&recovered, &recovered_dump);
+    dump_to(&reference, &reference_dump);
+    assert_dumps_identical(&recovered_dump, &reference_dump);
 
     let _ = fs::remove_dir_all(&work);
 }

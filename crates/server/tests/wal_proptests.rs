@@ -2,7 +2,7 @@
 //! (or a flaky disk) leaves behind, replay recovers exactly the longest
 //! valid record prefix and nothing else.
 
-use moma_server::wal::{crc32, decode_records, encode_record, RECORD_HEADER};
+use moma_server::wal::{crc32, decode_records, decode_records_from, encode_record, RECORD_HEADER};
 use proptest::prelude::*;
 
 /// Strategy: a log of `n` records with arbitrary payloads.
@@ -106,6 +106,36 @@ proptest! {
             prop_assert!(reason.contains("sequence break"), "{}", reason);
         } else {
             prop_assert_eq!(out.records.len(), payloads.len());
+        }
+    }
+
+    /// A segment that starts mid-log (records beginning at an arbitrary
+    /// sequence number, as after checkpoint pruning) decodes fully with
+    /// the claimed-first-seq bootstrap — and refuses to pass itself off
+    /// as the start of the log when seq 1 is expected.
+    #[test]
+    fn suffix_segment_decodes_with_claimed_first_seq(
+        payloads in arb_log(),
+        base in 0u64..1_000_000,
+    ) {
+        let mut log = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            log.extend_from_slice(&encode_record(base + 1 + i as u64, p));
+        }
+        let out = decode_records_from(&log, None);
+        prop_assert_eq!(out.records.len(), payloads.len());
+        prop_assert!(out.stop_reason.is_none());
+        prop_assert_eq!(out.records[0].seq, base + 1);
+        for (i, rec) in out.records.iter().enumerate() {
+            prop_assert_eq!(rec.seq, base + 1 + i as u64);
+            prop_assert_eq!(&rec.payload, &payloads[i]);
+        }
+        let strict = decode_records_from(&log, Some(1));
+        if base == 0 {
+            prop_assert_eq!(strict.records.len(), payloads.len());
+        } else {
+            prop_assert_eq!(strict.records.len(), 0);
+            prop_assert!(strict.stop_reason.is_some());
         }
     }
 

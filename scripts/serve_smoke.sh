@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — crash-recovery gate for `moma serve`.
 #
-# Exercises every endpoint against a live server, then proves WAL
-# durability the hard way: kill -9 the server mid-delta-stream, restart
-# it with --replay, and require the recovered state to be bit-identical
-# to a clean run that executed exactly the same surviving command
-# prefix (the delta stream is deterministic, so "same prefix" is just
-# "same number of delta commands").
+# Exercises every endpoint against a live server, then proves the
+# checkpointed, segment-rotated WAL the hard way:
+#
+#   1. kill -9 the server mid-delta-stream (after a mid-stream
+#      checkpoint) and restart with --replay: the recovered server must
+#      have restored that checkpoint and replayed only the log suffix
+#      after it (bounded replay);
+#   2. kill -9 the server *mid-checkpoint* (inside the staging window,
+#      via MOMA_CHECKPOINT_FAULT_DELAY_MS) and restart again: the
+#      half-published checkpoint must be invisible and recovery must
+#      fall back to the previous one;
+#   3. compare the recovered state against a clean run that executed
+#      exactly the same command prefix — `diff -r` byte-identical (the
+#      delta stream is deterministic, so "same prefix" is just "same
+#      number of delta commands").
 #
 # Usage: scripts/serve_smoke.sh [--bin-dir target/release]
 # Needs: target/release/moma and target/release/moma_load (built
@@ -31,6 +40,10 @@ ADDR_A=127.0.0.1:$PORT_A
 ADDR_B=127.0.0.1:$PORT_B
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/moma_serve_smoke.XXXXXX")
 
+# Small segments so the run actually rotates (and checkpoints prune).
+SERVE_A=(serve --addr "$ADDR_A" --scale small --seed 7 --threads 2
+         --wal "$WORK/a.wal" --segment-records 40)
+
 SERVER_PID=""
 cleanup() {
     [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
@@ -38,20 +51,39 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# stat with retry: right after a SIGKILL + restart the first connection
+# can land in the dying listener's backlog and be reset — that is the
+# crash we arranged, not a server bug, so give the fresh server a few
+# attempts to come up.
+stat_retry() {
+    local addr=$1 key=$2 out
+    for _ in 1 2 3 4 5; do
+        if out=$("$MOMA_LOAD" stat --addr "$addr" --key "$key" 2>/dev/null); then
+            echo "$out"
+            return 0
+        fi
+        sleep 1
+    done
+    "$MOMA_LOAD" stat --addr "$addr" --key "$key"
+}
+
 # ---------------------------------------------------------------- run A
-echo "== run A: serve --wal, full endpoint smoke, then kill -9 mid-stream"
-"$MOMA" serve --addr "$ADDR_A" --scale small --seed 7 --threads 2 \
-    --wal "$WORK/a.wal" &
+echo "== run A: serve --wal (40-record segments), endpoint smoke, checkpoint, kill -9 mid-stream"
+"$MOMA" "${SERVE_A[@]}" &
 SERVER_PID=$!
 
-# Endpoint conformance: ping/stats/match/compose/query/delta (2 deltas).
+# Endpoint conformance: ping/stats/match/compose/query/delta/checkpoint.
 "$MOMA_LOAD" smoke --addr "$ADDR_A"
 echo "SMOKE_OK"
 
-# Deterministic delta stream, slowed down so the kill lands mid-stream.
+# Deterministic delta stream, slowed down so the kill lands mid-stream;
+# checkpoint once while it runs so recovery has a mid-stream checkpoint.
 "$MOMA_LOAD" stream --addr "$ADDR_A" --steps 400 --sleep-ms 25 &
 STREAM_PID=$!
 sleep 2
+"$MOMA_LOAD" checkpoint --addr "$ADDR_A"
+echo "CHECKPOINT_MID_STREAM"
+sleep 1
 
 kill -9 "$SERVER_PID"
 echo "== killed server A (pid $SERVER_PID) with SIGKILL"
@@ -68,19 +100,63 @@ if [[ "$STREAM_RC" -ne 3 && "$STREAM_RC" -ne 0 ]]; then
 fi
 echo "STREAM_KILLED (client exit $STREAM_RC)"
 
-# ------------------------------------------------------------- recovery
-echo "== restart with --replay"
-"$MOMA" serve --addr "$ADDR_A" --scale small --seed 7 --threads 2 \
-    --wal "$WORK/a.wal" --replay &
+# ------------------------------------------- recovery 1: bounded replay
+echo "== restart with --replay (bounded by the mid-stream checkpoint)"
+"$MOMA" "${SERVE_A[@]}" --replay &
 SERVER_PID=$!
 
-# How many delta commands survived? smoke sent 2, the stream sent K-2.
-K=$("$MOMA_LOAD" stat --addr "$ADDR_A" --key commands.delta)
-echo "== recovered server replayed $K delta command(s)"
+K=$(stat_retry "$ADDR_A" commands.delta)
+SEQ=$(stat_retry "$ADDR_A" wal.seq)
+CP=$(stat_retry "$ADDR_A" wal.checkpoint_seq)
+LAG=$(stat_retry "$ADDR_A" wal.lag)
+echo "== recovered: $K delta command(s), wal seq $SEQ, checkpoint seq $CP, lag $LAG"
 if [[ "$K" -lt 3 ]]; then
     echo "serve_smoke: only $K delta commands recovered — kill landed before the stream ran"
     exit 1
 fi
+if [[ "$CP" -le 0 ]]; then
+    echo "serve_smoke: recovery restored no checkpoint (checkpoint_seq $CP)"
+    exit 1
+fi
+if [[ "$LAG" -ge "$SEQ" ]]; then
+    echo "serve_smoke: replay was not bounded — replayed $LAG of $SEQ records despite checkpoint $CP"
+    exit 1
+fi
+echo "BOUNDED_REPLAY: replayed $LAG of $SEQ records (checkpoint covered $CP)"
+
+# ------------------------------------- recovery 2: kill mid-checkpoint
+# Ask for a checkpoint while the fault injection holds the staged state
+# un-renamed for 6s, and SIGKILL inside that window: the half-published
+# checkpoint must be invisible to the next recovery.
+"$MOMA_LOAD" shutdown --addr "$ADDR_A"
+wait "$SERVER_PID" || true
+MOMA_CHECKPOINT_FAULT_DELAY_MS=6000 "$MOMA" "${SERVE_A[@]}" --replay &
+SERVER_PID=$!
+# Block until the restarted server answers, so the checkpoint request
+# below lands immediately and the kill falls inside the fault window.
+stat_retry "$ADDR_A" wal.seq >/dev/null
+"$MOMA_LOAD" checkpoint --addr "$ADDR_A" &
+CKPT_PID=$!
+sleep 2
+kill -9 "$SERVER_PID"
+echo "== killed server A (pid $SERVER_PID) with SIGKILL mid-checkpoint"
+SERVER_PID=""
+wait "$CKPT_PID" 2>/dev/null || true
+
+echo "== restart with --replay after the torn checkpoint"
+"$MOMA" "${SERVE_A[@]}" --replay &
+SERVER_PID=$!
+CP2=$(stat_retry "$ADDR_A" wal.checkpoint_seq)
+K2=$(stat_retry "$ADDR_A" commands.delta)
+if [[ "$CP2" -ne "$CP" ]]; then
+    echo "serve_smoke: expected fallback to checkpoint $CP after the mid-checkpoint kill, got $CP2"
+    exit 1
+fi
+if [[ "$K2" -ne "$K" ]]; then
+    echo "serve_smoke: delta count drifted across the mid-checkpoint crash ($K2 vs $K)"
+    exit 1
+fi
+echo "CHECKPOINT_FALLBACK: torn checkpoint ignored, recovered from seq $CP2"
 
 "$MOMA_LOAD" dump --addr "$ADDR_A" --dir "$WORK/dump_replayed"
 "$MOMA_LOAD" shutdown --addr "$ADDR_A"
