@@ -33,7 +33,9 @@ usage:
              [--scale small|paper] [--seed <n>] [--threads <n>] \\
              [--wal <dir>] [--replay] \\
              [--segment-records <n>] [--segment-bytes <n>] \\
-             [--checkpoint-every-records <n>] [--checkpoint-every-bytes <n>]
+             [--checkpoint-every-records <n>] [--checkpoint-every-bytes <n>] \\
+             [--max-connections <n>] [--max-pending-writes <n>] \\
+             [--max-pending-reads <n>] [--retry-after-ms <n>]
                                   long-lived matching service (see below)
   moma help
 
@@ -60,19 +62,27 @@ delta-matching engine, printing per-step timings of incremental vs full
 re-match. Unless --no-verify is given every step asserts the patched
 mapping is bit-identical to a full re-match.
 
-`moma serve` answers match/compose/query/delta/checkpoint/stats/dump/
-shutdown commands over a length-prefixed JSON frame protocol (default
-address 127.0.0.1:7207; drive it with the `moma_load` binary). Sources
-come from --source TSV files, or from the generated evolving scenario
-when none are given (--scale/--seed as in `moma delta`). With --wal DIR
-every mutating command is appended to an fsync'd, segmented write-ahead
-log before it is applied; segments rotate at --segment-records /
---segment-bytes (default 8 MiB). A `checkpoint` command (or the
---checkpoint-every-records / --checkpoint-every-bytes auto thresholds)
+`moma serve` answers match/compose/query/batch_query/delta/batch_delta/
+checkpoint/stats/dump/shutdown commands over a length-prefixed JSON
+frame protocol (default address 127.0.0.1:7207; drive it with the
+`moma_load` binary). Sources come from --source TSV files, or from the
+generated evolving scenario when none are given (--scale/--seed as in
+`moma delta`). With --wal DIR every mutating command is appended to an
+fsync'd, segmented write-ahead log before it is applied; segments rotate
+at --segment-records / --segment-bytes (default 8 MiB). A `checkpoint`
+command (or the --checkpoint-every-records / --checkpoint-every-bytes
+auto thresholds, serviced by a background thread off the delta path)
 publishes an atomic state dump and prunes covered segments. `--replay`
 recovers an existing log directory on startup: the newest valid
 checkpoint is loaded and only the WAL suffix after it is re-executed,
-restoring the pre-crash repository bit-identically.";
+restoring the pre-crash repository bit-identically.
+
+Admission control: --max-connections (default 256) caps concurrent
+connections — excess connections get one `busy` frame and are closed;
+--max-pending-writes / --max-pending-reads (defaults 64 / 256) bound
+in-flight commands per class — excess requests get an `overloaded`
+response carrying a --retry-after-ms hint (default 100) and the
+connection stays usable.";
 
 /// Parse a `--blocking` value: `auto` (None) or a concrete strategy.
 fn parse_blocking(name: &str) -> Result<Option<moma_core::blocking::Blocking>, String> {
@@ -288,6 +298,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut wal: Option<String> = None;
     let mut replay = false;
     let mut policy = moma_server::DurabilityPolicy::default();
+    let mut limits = moma_server::Limits {
+        debug_commands: std::env::var("MOMA_DEBUG_COMMANDS").as_deref() == Ok("1"),
+        ..moma_server::Limits::default()
+    };
 
     fn num_flag(flag: &str, v: Option<&String>) -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -327,6 +341,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--checkpoint-every-bytes" => {
                 policy.checkpoint_every_bytes = num_flag(arg, it.next())?;
             }
+            "--max-connections" => limits.max_connections = num_flag(arg, it.next())?,
+            "--max-pending-writes" => limits.max_pending_writes = num_flag(arg, it.next())?,
+            "--max-pending-reads" => limits.max_pending_reads = num_flag(arg, it.next())?,
+            "--retry-after-ms" => limits.retry_after_ms = num_flag(arg, it.next())?,
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -399,7 +417,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             eprintln!("moma serve: write-ahead log directory at {path}");
         }
     }
-    moma_server::run(engine, &addr).map_err(|e| format!("serve {addr}: {e}"))
+    moma_server::run_with_limits(engine, &addr, limits).map_err(|e| format!("serve {addr}: {e}"))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

@@ -17,7 +17,7 @@ use crate::repository::MappingRepository;
 
 pub use attribute::{AttributeMatcher, MatcherSim};
 pub use multi_attribute::{AttrPair, MultiAttributeMatcher};
-pub use neighborhood::{nh_match, NeighborhoodMatcher};
+pub use neighborhood::{nh_match, nh_match_threshold, NeighborhoodMatcher};
 
 /// Context a matcher executes in: the source registry (instance data),
 /// optionally the mapping repository (existing mappings to reuse), and

@@ -37,6 +37,15 @@ modes:
             [--seed 11] [--churn 0.02] [--scenario-seed 7] [--threads N]
             [--report FILE] [--baseline FILE]
   smoke      --addr H:P
+  batch      --addr H:P [--items 6] [--singles 0|1]
+            apply a deterministic delta batch (one batch_delta frame, or
+            the same items as N single deltas with --singles 1) and
+            assert batch_query responses are byte-identical to
+            singleton queries
+  overload  [--conn-cap 8] [--sleep-ms 1500] [--writers 4]
+            embedded-server overload e2e: saturate the write budget,
+            assert explicit overloaded/busy frames, responsive reads,
+            recovery, and zero panics
   stream     --addr H:P [--steps 50] [--seed 11] [--churn 0.02]
             [--scenario-seed 7] [--sleep-ms 0]
   stat       --addr H:P --key dotted.path
@@ -61,6 +70,8 @@ fn main() -> ExitCode {
     let result = match mode.as_str() {
         "load" => cmd_load(&opts),
         "smoke" => cmd_smoke(&opts),
+        "batch" => cmd_batch(&opts),
+        "overload" => cmd_overload(&opts),
         "stream" => cmd_stream(&opts),
         "stat" => cmd_stat(&opts),
         "dump" => cmd_dump(&opts),
@@ -303,6 +314,323 @@ fn cmd_smoke(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+// ---- batch ----------------------------------------------------------
+
+/// Deterministic delta items for the batch leg: the same instances in
+/// the same order regardless of how they are framed, so a `batch_delta`
+/// run and a `--singles 1` run leave the server (and its WAL replay) in
+/// identical states.
+fn batch_ops(items: usize) -> Vec<Vec<moma_model::DeltaOp>> {
+    use moma_model::{AttrValue, DeltaOp};
+    (0..items)
+        .map(|i| {
+            vec![DeltaOp::Add {
+                id: format!("batch_g{i}"),
+                fields: vec![(
+                    "title".into(),
+                    AttrValue::Text(format!("Group commit batch record number {i}")),
+                )],
+            }]
+        })
+        .collect()
+}
+
+/// Apply a deterministic batch of deltas — as one `batch_delta` frame
+/// (default) or as the same items sent singly (`--singles 1`) — and
+/// assert `batch_query` responses are byte-identical to singleton
+/// `query` responses. The crash-recovery harness runs one server with
+/// each framing and diffs the final dumps.
+fn cmd_batch(opts: &Opts) -> Result<ExitCode, String> {
+    let items: usize = opt_num(opts, "items", 6)?;
+    let singles: u64 = opt_num(opts, "singles", 0)?;
+    ensure(items > 0, "--items must be positive")?;
+    let mut c = connect(opts)?;
+    let gs_name = "Publication@GS";
+
+    let ops = batch_ops(items);
+    if singles == 1 {
+        for (i, item_ops) in ops.iter().enumerate() {
+            let r = c
+                .call(&protocol::delta_request(gs_name, item_ops))
+                .map_err(|e| format!("single delta {i}: {e}"))?;
+            ensure(is_ok(&r), &format!("single delta {i}: {r}"))?;
+        }
+    } else {
+        let req = protocol::batch_delta_request(
+            ops.iter()
+                .map(|item_ops| protocol::delta_item(gs_name, item_ops))
+                .collect(),
+        );
+        let r = c.call(&req).map_err(|e| format!("batch_delta: {e}"))?;
+        ensure(is_ok(&r), &format!("batch_delta: {r}"))?;
+        ensure(
+            r.get("count").and_then(Json::as_u64) == Some(items as u64),
+            &format!("batch_delta count == {items}: {r}"),
+        )?;
+        let results = r.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+        for (i, item) in results.iter().enumerate() {
+            ensure(is_ok(item), &format!("batch_delta item {i}: {item}"))?;
+        }
+        // With a WAL behind the server the whole batch is one group
+        // commit: N consecutive sequence numbers from one append.
+        if let (Some(first), Some(last)) = (
+            r.get("first_seq").and_then(Json::as_u64),
+            r.get("last_seq").and_then(Json::as_u64),
+        ) {
+            ensure(
+                last - first + 1 == items as u64,
+                &format!("batch_delta seqs contiguous: first {first} last {last}"),
+            )?;
+        }
+    }
+
+    // batch_query responses must be byte-identical to the singleton
+    // query responses for the same items.
+    let query_items = vec![
+        protocol::query_item("m_acm_gs", 5, None),
+        protocol::query_item("c_dblp_gs", 3, None),
+        protocol::query_item("m_acm_gs", 0, Some(0.95)),
+    ];
+    let batched = c
+        .batch_query(query_items.clone())
+        .map_err(|e| format!("batch_query: {e}"))?;
+    ensure(
+        batched.len() == query_items.len(),
+        "batch_query result count",
+    )?;
+    for (i, item) in query_items.iter().enumerate() {
+        let mut single = item.clone();
+        if let Json::Obj(fields) = &mut single {
+            fields.insert(0, ("cmd".to_owned(), Json::Str("query".to_owned())));
+        }
+        let r = c.call(&single).map_err(|e| format!("query {i}: {e}"))?;
+        ensure(
+            batched[i].to_string() == r.to_string(),
+            &format!(
+                "batch_query item {i} byte-identical to singleton query: {} vs {r}",
+                batched[i]
+            ),
+        )?;
+    }
+
+    eprintln!(
+        "batch: ok ({items} deltas as {}, {} queries byte-identical)",
+        if singles == 1 {
+            "singles".to_owned()
+        } else {
+            "one batch_delta group commit".to_owned()
+        },
+        query_items.len(),
+    );
+    println!("BATCH_OK");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- overload -------------------------------------------------------
+
+/// Embedded-server overload end-to-end: a tiny write budget plus a
+/// deliberately slow writer (`debug_sleep_write`) force `overloaded`
+/// responses on concurrent deltas while reads keep answering; a
+/// connection-cap sweep forces a `busy` refusal frame; afterwards a
+/// retried delta succeeds and stats show zero panics (`degraded:
+/// false`).
+fn cmd_overload(opts: &Opts) -> Result<ExitCode, String> {
+    use moma_model::{AttrValue, DeltaOp};
+    let conn_cap: u64 = opt_num(opts, "conn-cap", 8)?;
+    let sleep_ms: u64 = opt_num(opts, "sleep-ms", 1500)?;
+    let writers: usize = opt_num(opts, "writers", 4)?;
+    ensure(conn_cap >= 2, "--conn-cap must be at least 2")?;
+
+    let s = shadow_scenario(opts)?;
+    let engine = moma_server::Engine::new(s.registry, moma_core::exec::Parallelism::from_env());
+    let limits = moma_server::Limits {
+        max_connections: conn_cap,
+        max_pending_writes: 1,
+        max_pending_reads: 256,
+        retry_after_ms: 25,
+        debug_commands: true,
+    };
+    let handle = moma_server::spawn_with_limits(engine, "127.0.0.1:0", limits)
+        .map_err(|e| format!("spawn server: {e}"))?;
+    let addr = handle.addr.to_string();
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    c.call_ok(&protocol::match_request(
+        "m_load",
+        "Publication@DBLP",
+        "Publication@GS",
+        "title",
+        "title",
+        "trigram",
+        0.75,
+    ))
+    .map_err(|e| e.to_string())?;
+
+    // Occupy the single write slot with a slow writer.
+    let sleeper_addr = addr.clone();
+    let sleeper = std::thread::spawn(move || -> Result<(), String> {
+        let mut c = Client::connect_retry(&sleeper_addr, Duration::from_secs(10))
+            .map_err(|e| format!("sleeper connect: {e}"))?;
+        let req = Json::obj(vec![
+            ("cmd", Json::Str("debug_sleep_write".to_owned())),
+            ("ms", Json::Uint(sleep_ms)),
+        ]);
+        let r = c.call(&req).map_err(|e| format!("sleeper call: {e}"))?;
+        if !is_ok(&r) {
+            return Err(format!("debug_sleep_write: {r}"));
+        }
+        Ok(())
+    });
+    std::thread::sleep(Duration::from_millis(sleep_ms.min(400) / 2));
+
+    // Writer flood while the slot is held: every admitted-or-rejected
+    // delta must get an explicit answer — `overloaded` with a
+    // retry-after hint, never a hang, never a panic.
+    let window = Instant::now();
+    let mut writer_threads = Vec::new();
+    for w in 0..writers {
+        let addr = addr.clone();
+        writer_threads.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+                .map_err(|e| format!("writer {w}: connect: {e}"))?;
+            let (mut overloaded, mut applied) = (0u64, 0u64);
+            for k in 0..10 {
+                let ops = vec![DeltaOp::Add {
+                    id: format!("ovl_w{w}_{k}"),
+                    fields: vec![(
+                        "title".into(),
+                        AttrValue::Text(format!("overload probe {w}/{k}")),
+                    )],
+                }];
+                let req = protocol::delta_request("Publication@GS", &ops);
+                let r = c
+                    .call(&req)
+                    .map_err(|e| format!("writer {w} delta {k}: {e}"))?;
+                if r.get("overloaded").and_then(Json::as_bool) == Some(true) {
+                    ensure(
+                        r.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+                        "overloaded response carries retry_after_ms",
+                    )?;
+                    overloaded += 1;
+                } else if is_ok(&r) {
+                    applied += 1;
+                } else {
+                    return Err(format!("writer {w} delta {k}: {r}"));
+                }
+            }
+            Ok((overloaded, applied))
+        }));
+    }
+
+    // Reads stay responsive throughout the write-side overload.
+    let mut read_ok = 0u64;
+    while window.elapsed() < Duration::from_millis(sleep_ms / 2) {
+        let r = c
+            .call(&protocol::query_request("m_load", 5, None))
+            .map_err(|e| format!("read during overload: {e}"))?;
+        ensure(is_ok(&r), &format!("read during overload: {r}"))?;
+        read_ok += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (mut overloaded, mut applied) = (0u64, 0u64);
+    for t in writer_threads {
+        let (o, a) = t.join().map_err(|_| "writer thread panicked")??;
+        overloaded += o;
+        applied += a;
+    }
+    sleeper.join().map_err(|_| "sleeper thread panicked")??;
+    ensure(
+        overloaded > 0,
+        &format!("saw overloaded responses (overloaded {overloaded}, applied {applied})"),
+    )?;
+    ensure(read_ok > 0, "reads answered during the overload window")?;
+
+    // Recovery: with the slot free again a retried delta goes through.
+    let mut recovered = false;
+    for _ in 0..200 {
+        let ops = vec![DeltaOp::Add {
+            id: "ovl_recovery".into(),
+            fields: vec![("title".into(), AttrValue::Text("recovery probe".into()))],
+        }];
+        let r = c
+            .call(&protocol::delta_request("Publication@GS", &ops))
+            .map_err(|e| format!("recovery delta: {e}"))?;
+        if is_ok(&r) {
+            recovered = true;
+            break;
+        }
+        ensure(
+            r.get("overloaded").and_then(Json::as_bool) == Some(true),
+            &format!("recovery delta rejected without overloaded flag: {r}"),
+        )?;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    ensure(recovered, "delta succeeds after the overload window")?;
+
+    // Connection cap: hold idle connections until a fresh one is
+    // refused with a one-frame `busy` answer.
+    let mut held = Vec::new();
+    let mut saw_busy = false;
+    for i in 0..conn_cap + 2 {
+        let mut extra = Client::connect_retry(&addr, Duration::from_secs(10))
+            .map_err(|e| format!("cap connection {i}: {e}"))?;
+        match extra.call(&protocol::bare_request("ping")) {
+            Ok(r) if r.get("busy").and_then(Json::as_bool) == Some(true) => {
+                ensure(
+                    r.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+                    "busy refusal carries retry_after_ms",
+                )?;
+                saw_busy = true;
+                break;
+            }
+            Ok(r) => {
+                ensure(is_ok(&r), &format!("cap connection {i} ping: {r}"))?;
+                held.push(extra);
+            }
+            // The refusal frame may race our ping write; a clean
+            // close counts once at least the cap is reached.
+            Err(_) if i >= conn_cap - 1 => {
+                saw_busy = true;
+                break;
+            }
+            Err(e) => return Err(format!("cap connection {i}: {e}")),
+        }
+    }
+    ensure(saw_busy, "connection past the cap got a busy refusal")?;
+    drop(held);
+
+    // Zero server panics: the engine never entered degraded mode, and
+    // the refusals were counted.
+    let r = c
+        .call_ok(&protocol::bare_request("stats"))
+        .map_err(|e| e.to_string())?;
+    ensure(
+        r.get("degraded").and_then(Json::as_bool) == Some(false),
+        &format!("server not degraded after overload: {r}"),
+    )?;
+    ensure(
+        r.get("overloaded_rejections")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "stats counted overloaded rejections",
+    )?;
+    ensure(
+        r.get("busy_refusals").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "stats counted busy refusals",
+    )?;
+    handle.stop();
+
+    eprintln!(
+        "overload: ok ({overloaded} overloaded, {applied} applied, {read_ok} reads ok, \
+         busy refusal seen, degraded=false)"
+    );
+    println!("OVERLOAD_OK");
+    Ok(ExitCode::SUCCESS)
+}
+
 // ---- stream ---------------------------------------------------------
 
 /// Build the local shadow of the server's generated scenario, so delta
@@ -540,6 +868,65 @@ fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
     let total_requests = q_ms.len() + s_ms.len() + d_ms.len();
     let throughput = total_requests as f64 / wall_s.max(1e-9);
 
+    // Quiesced amortization passes: the same work framed as singleton
+    // requests vs batches of `batch_size`, no concurrent traffic — the
+    // per-op difference is pure frame/JSON/syscall overhead.
+    use moma_model::{AttrValue, DeltaOp};
+    let batch_size = 8usize;
+    let passes = 40usize;
+    let mut single_q_ms = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let t = Instant::now();
+        for _ in 0..batch_size {
+            let r = c
+                .call(&protocol::query_request("m_load", 8, None))
+                .map_err(|e| format!("singleton query pass: {e}"))?;
+            ensure(is_ok(&r), "singleton query pass")?;
+        }
+        single_q_ms.push(t.elapsed().as_secs_f64() * 1e3 / batch_size as f64);
+    }
+    let mut batch_q_ms = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let items = vec![protocol::query_item("m_load", 8, None); batch_size];
+        let t = Instant::now();
+        let results = c
+            .batch_query(items)
+            .map_err(|e| format!("batch query pass: {e}"))?;
+        batch_q_ms.push(t.elapsed().as_secs_f64() * 1e3 / batch_size as f64);
+        ensure(results.iter().all(is_ok), "batch query pass")?;
+    }
+    let delta_passes = 10usize;
+    let mut single_d_ms = Vec::with_capacity(delta_passes);
+    let mut batch_d_ms = Vec::with_capacity(delta_passes);
+    for pass in 0..delta_passes {
+        let mk_ops = |tag: &str, j: usize| {
+            vec![DeltaOp::Add {
+                id: format!("bload_{tag}_{pass}_{j}"),
+                fields: vec![(
+                    "title".into(),
+                    AttrValue::Text(format!("batch load probe {tag} {pass}/{j}")),
+                )],
+            }]
+        };
+        let t = Instant::now();
+        for j in 0..batch_size {
+            let r = c
+                .call(&protocol::delta_request(&gs_name, &mk_ops("s", j)))
+                .map_err(|e| format!("singleton delta pass: {e}"))?;
+            ensure(is_ok(&r), "singleton delta pass")?;
+        }
+        single_d_ms.push(t.elapsed().as_secs_f64() * 1e3 / batch_size as f64);
+        let items = (0..batch_size)
+            .map(|j| protocol::delta_item(&gs_name, &mk_ops("b", j)))
+            .collect();
+        let t = Instant::now();
+        let results = c
+            .batch_delta(items)
+            .map_err(|e| format!("batch delta pass: {e}"))?;
+        batch_d_ms.push(t.elapsed().as_secs_f64() * 1e3 / batch_size as f64);
+        ensure(results.iter().all(is_ok), "batch delta pass")?;
+    }
+
     let rows_final = c
         .call_ok(&protocol::query_request("m_load", 1, None))
         .map_err(|e| e.to_string())?
@@ -552,6 +939,12 @@ fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
     q_ms.sort_by(|a, b| a.total_cmp(b));
     d_ms.sort_by(|a, b| a.total_cmp(b));
     s_ms.sort_by(|a, b| a.total_cmp(b));
+    single_q_ms.sort_by(|a, b| a.total_cmp(b));
+    batch_q_ms.sort_by(|a, b| a.total_cmp(b));
+    single_d_ms.sort_by(|a, b| a.total_cmp(b));
+    batch_d_ms.sort_by(|a, b| a.total_cmp(b));
+    let singleton_q_p50 = percentile(&single_q_ms, 0.50);
+    let batch_q_p50 = percentile(&batch_q_ms, 0.50);
     let report = Json::obj(vec![
         ("readers", Json::Num(readers as f64)),
         ("requests_per_reader", Json::Num(requests as f64)),
@@ -565,6 +958,29 @@ fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
         ("all_incremental", Json::Bool(all_incremental)),
         ("rows_initial", Json::Num(rows0 as f64)),
         ("rows_final", Json::Num(rows_final as f64)),
+        ("batch_size", Json::Num(batch_size as f64)),
+        ("singleton_query_p50_ms", Json::Num(round3(singleton_q_p50))),
+        ("batch_query_per_op_p50_ms", Json::Num(round3(batch_q_p50))),
+        (
+            "batch_query_per_op_p99_ms",
+            Json::Num(round3(percentile(&batch_q_ms, 0.99))),
+        ),
+        (
+            "singleton_delta_per_op_p50_ms",
+            Json::Num(round3(percentile(&single_d_ms, 0.50))),
+        ),
+        (
+            "batch_delta_per_op_p50_ms",
+            Json::Num(round3(percentile(&batch_d_ms, 0.50))),
+        ),
+        (
+            "batch_delta_per_op_p99_ms",
+            Json::Num(round3(percentile(&batch_d_ms, 0.99))),
+        ),
+        (
+            "batch_query_speedup",
+            Json::Num(round3(singleton_q_p50 / batch_q_p50.max(1e-9))),
+        ),
     ]);
     eprintln!(
         "load: {} requests in {:.2}s ({:.0} req/s); query p50 {:.3} ms p99 {:.3} ms; \
@@ -579,6 +995,22 @@ fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
         all_incremental,
     );
     ensure(all_incremental, "m_load stayed on the incremental path")?;
+    eprintln!(
+        "load: batch amortization: query per-op p50 {:.3} ms (singleton {:.3} ms, {:.1}x); \
+         delta per-op p50 {:.3} ms (singleton {:.3} ms)",
+        batch_q_p50,
+        singleton_q_p50,
+        singleton_q_p50 / batch_q_p50.max(1e-9),
+        percentile(&batch_d_ms, 0.50),
+        percentile(&single_d_ms, 0.50),
+    );
+    ensure(
+        batch_q_p50 < singleton_q_p50,
+        &format!(
+            "batch query per-op p50 ({batch_q_p50:.3} ms) beats singleton p50 \
+             ({singleton_q_p50:.3} ms) at batch size {batch_size}"
+        ),
+    )?;
 
     if let Some(path) = opts.get("report") {
         write_report(path, &report)?;
@@ -633,6 +1065,7 @@ fn gate_against_baseline(path: &str, report: &Json) -> Result<(), String> {
         ("query_p99_ms", false),
         ("delta_p99_ms", false),
         ("throughput_rps", true),
+        ("batch_query_per_op_p50_ms", false),
     ];
     for (key, higher_is_better) in pairs {
         let (Some(b), Some(n)) = (base.num_field(key), report.num_field(key)) else {

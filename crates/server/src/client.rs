@@ -59,4 +59,33 @@ impl Client {
             )))
         }
     }
+
+    /// Run a batch of query items (see [`crate::protocol::query_item`])
+    /// in one frame, returning the per-item responses.
+    pub fn batch_query(&mut self, items: Vec<Json>) -> io::Result<Vec<Json>> {
+        self.batch_call(crate::protocol::batch_query_request(items))
+    }
+
+    /// Apply a batch of delta items (see [`crate::protocol::delta_item`])
+    /// in one frame — the server logs them as one WAL group commit.
+    pub fn batch_delta(&mut self, items: Vec<Json>) -> io::Result<Vec<Json>> {
+        self.batch_call(crate::protocol::batch_delta_request(items))
+    }
+
+    fn batch_call(&mut self, req: Json) -> io::Result<Vec<Json>> {
+        let resp = self.call_ok(&req)?;
+        // Move the per-item results out of the envelope rather than
+        // cloning them — batches exist to amortize per-op overhead.
+        if let Json::Obj(fields) = resp {
+            for (key, value) in fields {
+                if key == "results" {
+                    if let Json::Arr(results) = value {
+                        return Ok(results);
+                    }
+                    break;
+                }
+            }
+        }
+        Err(io::Error::other("batch response missing `results`"))
+    }
 }

@@ -305,7 +305,7 @@ impl Engine {
     /// Whether `cmd` mutates engine state (and therefore must be
     /// WAL-logged and serialized through the write lock).
     pub fn is_mutating(cmd: &str) -> bool {
-        matches!(cmd, "match" | "compose" | "delta")
+        matches!(cmd, "match" | "compose" | "delta" | "batch_delta")
     }
 
     /// Whether `cmd` needs the server's write lock. `checkpoint` is not
@@ -328,6 +328,12 @@ impl Engine {
                 Err(e) => err_response(&e),
             };
         }
+        if cmd == "batch_delta" {
+            return match self.cmd_batch_delta(req) {
+                Ok(resp) => resp,
+                Err(e) => err_response(&e),
+            };
+        }
         if !Engine::is_mutating(cmd) {
             return self.execute_read(req);
         }
@@ -345,28 +351,31 @@ impl Engine {
         } else {
             None
         };
-        let resp = self.apply_logged(req, seq);
-        self.maybe_auto_checkpoint();
-        resp
+        self.apply_logged(req, seq)
     }
 
-    /// Publish an automatic checkpoint when the policy thresholds are
-    /// exceeded. A failed auto-checkpoint only warns: the command that
-    /// triggered it is already durable and applied.
-    fn maybe_auto_checkpoint(&mut self) {
+    /// Whether the durability policy's auto-checkpoint thresholds are
+    /// exceeded. The server's background checkpointer polls this under
+    /// the read lock and only takes the write lock (re-checking) when it
+    /// returns `true` — checkpoints no longer run inline on the delta
+    /// path.
+    pub fn checkpoint_due(&self) -> bool {
         if self.wal.is_none() {
-            return;
+            return false;
         }
         let due_records = self.policy.checkpoint_every_records > 0
             && self.records_since_checkpoint >= self.policy.checkpoint_every_records;
         let due_bytes = self.policy.checkpoint_every_bytes > 0
             && self.bytes_since_checkpoint >= self.policy.checkpoint_every_bytes;
-        if !due_records && !due_bytes {
-            return;
-        }
-        if let Err(e) = self.do_checkpoint() {
-            eprintln!("warning: auto-checkpoint failed: {e}");
-        }
+        due_records || due_bytes
+    }
+
+    /// Publish an automatic checkpoint (the background checkpointer's
+    /// entry point; identical to the `checkpoint` command). A failure
+    /// leaves nothing half-applied: everything the checkpoint would have
+    /// covered is already durable in the WAL.
+    pub fn run_auto_checkpoint(&mut self) -> Result<Json, String> {
+        self.do_checkpoint()
     }
 
     /// Apply an already-logged mutating command (also the replay path).
@@ -401,11 +410,12 @@ impl Engine {
         let result = match cmd {
             "ping" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
             "query" => self.cmd_query(req),
+            "batch_query" => self.cmd_batch_query(req),
             "stats" => Ok(self.stats()),
             "dump" => self.cmd_dump(req),
             "checkpoint" => Err("`checkpoint` must go through the write path".into()),
             other => Err(format!(
-                "unknown command `{other}` (expected ping/match/compose/query/delta/checkpoint/stats/dump/shutdown)"
+                "unknown command `{other}` (expected ping/match/compose/query/batch_query/delta/batch_delta/checkpoint/stats/dump/shutdown)"
             )),
         };
         match result {
@@ -584,6 +594,73 @@ impl Engine {
         ]))
     }
 
+    /// Execute a `batch_delta`: N delta operations amortized over one
+    /// frame, one write-lock acquisition and **one WAL group-commit
+    /// append** (see [`Wal::append_batch`]). Every item is logged as the
+    /// ordinary single `delta` record it stands for, so replaying the
+    /// log is bit-identical to the client having sent them one by one.
+    /// The response carries a per-item status array; an item that fails
+    /// to apply gets an inline error object (and re-fails identically on
+    /// replay), while a failed group commit refuses the whole batch —
+    /// nothing durable, nothing applied.
+    fn cmd_batch_delta(&mut self, req: &Json) -> Result<Json, String> {
+        let Some(Json::Arr(items)) = req.get("items") else {
+            return Err("batch_delta request missing `items` array".into());
+        };
+        if items.is_empty() {
+            return Err("batch_delta needs a non-empty `items` array".into());
+        }
+        // Re-frame each item as the single `delta` request it stands
+        // for; that JSON is what gets logged.
+        let reqs: Vec<Json> = items
+            .iter()
+            .map(|item| {
+                let mut fields = vec![("cmd".to_owned(), Json::Str("delta".into()))];
+                if let Json::Obj(src) = item {
+                    for (k, v) in src {
+                        if k != "cmd" {
+                            fields.push((k.clone(), v.clone()));
+                        }
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let first_seq = if let Some(wal) = &mut self.wal {
+            let payloads: Vec<String> = reqs.iter().map(Json::to_string).collect();
+            let bytes: Vec<&[u8]> = payloads.iter().map(|p| p.as_bytes()).collect();
+            match wal.append_batch(&bytes) {
+                Ok(first) => {
+                    self.records_since_checkpoint += payloads.len() as u64;
+                    self.bytes_since_checkpoint +=
+                        payloads.iter().map(|p| p.len() as u64).sum::<u64>();
+                    Some(first)
+                }
+                Err(e) => return Err(format!("WAL batch append failed: {e}")),
+            }
+        } else {
+            None
+        };
+        let results: Vec<Json> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| self.apply_logged(r, first_seq.map(|f| f + i as u64)))
+            .collect();
+        let count = results.len() as u64;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("count", Json::Uint(count)),
+            ("first_seq", first_seq.map(Json::Uint).unwrap_or(Json::Null)),
+            (
+                "last_seq",
+                first_seq
+                    .map(|f| Json::Uint(f + count - 1))
+                    .unwrap_or(Json::Null),
+            ),
+            ("results", Json::Arr(results)),
+        ]))
+    }
+
     /// Log (rate-limited per mapping) that a delta paid a transparent
     /// full re-match instead of an incremental patch — the operator
     /// signal for configurations like TF-IDF whose corpus-global
@@ -660,6 +737,31 @@ impl Engine {
             ("range", Json::Str(rng.name())),
             ("total", Json::Num(total as f64)),
             ("rows", Json::Arr(rows)),
+        ]))
+    }
+
+    /// Execute a `batch_query`: N queries amortized over one frame and
+    /// one read-lock acquisition. Each item carries the same fields as a
+    /// single `query` request (minus `cmd`); an item that fails gets an
+    /// inline error object while the batch itself still succeeds.
+    fn cmd_batch_query(&self, req: &Json) -> Result<Json, String> {
+        let Some(Json::Arr(items)) = req.get("items") else {
+            return Err("batch_query request missing `items` array".into());
+        };
+        if items.is_empty() {
+            return Err("batch_query needs a non-empty `items` array".into());
+        }
+        let results: Vec<Json> = items
+            .iter()
+            .map(|item| match self.cmd_query(item) {
+                Ok(resp) => resp,
+                Err(e) => err_response(&e),
+            })
+            .collect();
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("count", Json::Uint(results.len() as u64)),
+            ("results", Json::Arr(results)),
         ]))
     }
 

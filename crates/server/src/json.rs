@@ -421,19 +421,42 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8")?;
-                    let c = rest.chars().next().expect("non-empty");
-                    if (c as u32) < 0x20 {
-                        return Err(format!(
-                            "unescaped control character at offset {}",
-                            self.pos
-                        ));
+                Some(b) if b < 0x20 => {
+                    return Err(format!(
+                        "unescaped control character at offset {}",
+                        self.pos
+                    ));
+                }
+                Some(b) if b < 0x80 => {
+                    // Copy the maximal run of plain ASCII in one go —
+                    // validating the whole remaining input per character
+                    // made string parsing quadratic in frame size.
+                    let start = self.pos;
+                    while let Some(&nb) = self.bytes.get(self.pos) {
+                        if nb == b'"' || nb == b'\\' || !(0x20..0x80).contains(&nb) {
+                            break;
+                        }
+                        self.pos += 1;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii"));
+                }
+                Some(b) => {
+                    // One multi-byte UTF-8 scalar: width from the leading
+                    // byte, validated over just that span.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(format!("invalid utf-8 at offset {}", self.pos)),
+                    };
+                    let span = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .ok_or("truncated utf-8 scalar")?;
+                    let s = std::str::from_utf8(span)
+                        .map_err(|_| format!("invalid utf-8 at offset {}", self.pos))?;
+                    out.push_str(s);
+                    self.pos += width;
                 }
             }
         }

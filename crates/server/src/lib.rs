@@ -26,6 +26,12 @@
 //!   patch materialized mappings in time proportional to the delta and
 //!   the `delta` response reports, per mapping, whether the patch was
 //!   incremental or paid a (transparent, warned-about) full re-match.
+//! * **Overload hardening** ([`server`]): bounded admission budgets per
+//!   command class ([`server::Limits`]) answer excess traffic with
+//!   explicit `busy`/`overloaded` frames instead of unbounded queueing,
+//!   `batch_query`/`batch_delta` amortize per-request overhead (one WAL
+//!   group commit per delta batch), and automatic checkpoints run on a
+//!   server-owned background thread, off the delta path.
 //!
 //! The `moma_load` binary in this crate is the load generator and
 //! protocol swiss-army knife used by CI: `load` (latency/throughput
@@ -44,5 +50,5 @@ pub mod wal;
 pub use client::Client;
 pub use engine::{CommandCounts, DurabilityPolicy, Engine, ReplaySummary};
 pub use json::Json;
-pub use server::{run, spawn, ServerHandle};
+pub use server::{run, run_with_limits, spawn, spawn_with_limits, Limits, ServerHandle};
 pub use wal::Wal;

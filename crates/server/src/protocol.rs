@@ -15,7 +15,9 @@
 //! | `match`    | yes      | execute + prime an attribute matcher, store the mapping |
 //! | `compose`  | yes      | store a derived `compose(left, right, f, g)` mapping |
 //! | `query`    | no       | read correspondences from a snapshot |
+//! | `batch_query` | no    | N `query` items in one frame, per-item result array |
 //! | `delta`    | yes      | ingest a source delta, patch mappings incrementally |
+//! | `batch_delta` | yes   | N `delta` items, one WAL group commit, per-item status array |
 //! | `checkpoint` | write lock | publish an atomic state checkpoint, prune covered WAL segments |
 //! | `stats`    | no       | server/engine counters |
 //! | `dump`     | no       | persist repository + manifest to a directory |
@@ -24,6 +26,26 @@
 //! `checkpoint` is not WAL-logged (it changes the disk layout, not the
 //! logical state, and does not bump the command counters) but it is
 //! serialized through the engine write lock like a mutating command.
+//!
+//! ## Batch requests
+//!
+//! `batch_query` and `batch_delta` carry an `"items"` array whose
+//! elements have the same fields as the corresponding single request
+//! minus `"cmd"`. The response is `{"ok": true, "count": N, "results":
+//! [...]}` where `results[i]` is exactly the response the i-th item
+//! would have produced as a single request (`batch_delta` additionally
+//! reports the group commit's `first_seq`/`last_seq`). A `batch_delta`
+//! is logged as N ordinary `delta` WAL records in one fsync'd append,
+//! so replay is bit-identical to the same deltas sent singly.
+//!
+//! ## Overload responses
+//!
+//! A server past its admission limits answers with `"ok": false` plus a
+//! marker field and a retry hint instead of queueing unboundedly:
+//! `{"busy": true, "retry_after_ms": N}` when the connection cap is
+//! reached (sent once, then the connection is closed) and
+//! `{"overloaded": true, "retry_after_ms": N}` when the per-class
+//! in-flight budget is exhausted (the connection stays usable).
 //!
 //! `AttrValue`s travel as `{"t": kind, "v": value}` with kinds `text`,
 //! `list`, `int`, `year`, `real`.
@@ -222,6 +244,44 @@ pub fn query_request(name: &str, limit: u64, min_sim: Option<f64>) -> Json {
         fields.push(("min_sim".to_owned(), Json::Num(s)));
     }
     Json::Obj(fields)
+}
+
+/// One item of a [`batch_query_request`]: the fields of a
+/// [`query_request`] minus `cmd`. `limit == 0` means "all rows".
+pub fn query_item(name: &str, limit: u64, min_sim: Option<f64>) -> Json {
+    let mut fields = vec![
+        ("name".to_owned(), Json::Str(name.into())),
+        ("limit".to_owned(), Json::Num(limit as f64)),
+    ];
+    if let Some(s) = min_sim {
+        fields.push(("min_sim".to_owned(), Json::Num(s)));
+    }
+    Json::Obj(fields)
+}
+
+/// Build a `batch_query` request from [`query_item`]s.
+pub fn batch_query_request(items: Vec<Json>) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("batch_query".into())),
+        ("items", Json::Arr(items)),
+    ])
+}
+
+/// One item of a [`batch_delta_request`]: the fields of a
+/// [`delta_request`] minus `cmd`.
+pub fn delta_item(lds_name: &str, ops: &[DeltaOp]) -> Json {
+    Json::obj(vec![
+        ("lds", Json::Str(lds_name.into())),
+        ("ops", Json::Arr(ops.iter().map(op_to_json).collect())),
+    ])
+}
+
+/// Build a `batch_delta` request from [`delta_item`]s.
+pub fn batch_delta_request(items: Vec<Json>) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("batch_delta".into())),
+        ("items", Json::Arr(items)),
+    ])
 }
 
 /// Build a bare request carrying only a command name.

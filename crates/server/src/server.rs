@@ -12,11 +12,23 @@
 //! Shutdown: a `shutdown` command (or [`ServerHandle::stop`]) sets a
 //! stop flag; the nonblocking accept loop notices within ~15 ms, stops
 //! accepting, and handler threads drain at their next read timeout.
+//!
+//! ## Admission control
+//!
+//! The server refuses work it cannot serve promptly instead of queueing
+//! it unboundedly (see [`Limits`]): connections past the cap get one
+//! `busy` refusal frame and a close; requests past the per-class
+//! in-flight budget (mutating commands queue on the engine write lock,
+//! reads on the read lock) get an `overloaded` response with a
+//! `retry_after_ms` hint while the connection stays usable. A dedicated
+//! background thread publishes auto-checkpoints when the durability
+//! policy's thresholds are exceeded, off the delta path.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use crate::engine::{err_response, Engine};
@@ -32,16 +44,71 @@ const READ_POLL: Duration = Duration::from_millis(250);
 /// the damage of a client that dies mid-write without closing.
 const MID_FRAME_STALL: Duration = Duration::from_secs(30);
 
+/// How often the background checkpointer re-checks the durability
+/// thresholds (a cheap read-lock peek; also bounds its shutdown
+/// latency).
+const CHECKPOINT_POLL: Duration = Duration::from_millis(100);
+
+/// How long the background checkpointer backs off after a *failed*
+/// checkpoint, so a persistently failing one (poisoned WAL, full disk)
+/// does not spam a warning per poll interval.
+const CHECKPOINT_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Admission-control limits. The defaults are generous for a service
+/// holding a handful of long-lived clients; tests and the overload
+/// harness shrink them to force the refusal paths deterministically.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Concurrently served connections; further connects get one `busy`
+    /// refusal frame and an immediate close.
+    pub max_connections: u64,
+    /// Mutating commands in flight (executing, or queued on the engine
+    /// write lock) before new ones are answered `overloaded`.
+    pub max_pending_writes: u64,
+    /// Read-only commands in flight before new ones are answered
+    /// `overloaded`.
+    pub max_pending_reads: u64,
+    /// Retry hint attached to `busy`/`overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Enable the `debug_*` fault-injection commands (`debug_panic`,
+    /// `debug_sleep_write`) used by the poison-recovery and overload
+    /// tests. The CLI gates this behind `MOMA_DEBUG_COMMANDS=1`.
+    pub debug_commands: bool,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_connections: 256,
+            max_pending_writes: 64,
+            max_pending_reads: 256,
+            retry_after_ms: 100,
+            debug_commands: false,
+        }
+    }
+}
+
 /// State shared between the accept loop and handler threads.
 pub struct Shared {
     /// The engine; write lock for mutating commands, read lock for
     /// queries.
     pub engine: RwLock<Engine>,
+    limits: Limits,
     stop: AtomicBool,
     started: Instant,
     requests: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    active_connections: AtomicU64,
+    inflight_writes: AtomicU64,
+    inflight_reads: AtomicU64,
+    busy_refusals: AtomicU64,
+    overloaded_rejections: AtomicU64,
+    auto_checkpoints: AtomicU64,
+    /// Set when a handler panicked while holding the write lock (the
+    /// lock is recovered and serving continues, but state deserves an
+    /// operator's look).
+    degraded: AtomicBool,
 }
 
 impl Shared {
@@ -53,6 +120,73 @@ impl Shared {
     /// Whether a stop has been requested.
     pub fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The configured admission limits.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Read-lock the engine, recovering the guard if a previous handler
+    /// panicked while holding the write lock. The poisoned flag becomes
+    /// a `degraded` marker in `stats` instead of a panic cascade across
+    /// every later connection.
+    pub fn engine_read(&self) -> RwLockReadGuard<'_, Engine> {
+        match self.engine.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.degraded.store(true, Ordering::Relaxed);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Write-lock the engine, recovering the guard like
+    /// [`Shared::engine_read`].
+    pub fn engine_write(&self) -> RwLockWriteGuard<'_, Engine> {
+        match self.engine.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.degraded.store(true, Ordering::Relaxed);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    fn debug_write_cmd(&self, cmd: &str) -> bool {
+        self.limits.debug_commands && matches!(cmd, "debug_panic" | "debug_sleep_write")
+    }
+}
+
+/// RAII in-flight slot for one admission class; dropping it releases
+/// the slot.
+struct Admission<'a>(&'a AtomicU64);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Try to take an in-flight slot; `None` means the budget is exhausted
+/// and the request must be refused.
+fn admit(counter: &AtomicU64, budget: u64) -> Option<Admission<'_>> {
+    let prev = counter.fetch_add(1, Ordering::AcqRel);
+    if prev >= budget {
+        counter.fetch_sub(1, Ordering::AcqRel);
+        None
+    } else {
+        Some(Admission(counter))
+    }
+}
+
+/// RAII active-connection slot, paired with the accept loop's
+/// increment; dropping it (handler return or panic) frees the slot.
+struct ConnSlot(Arc<Shared>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -78,11 +212,18 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` and serve on a background thread.
+/// Bind `addr` and serve on a background thread with default
+/// [`Limits`].
 pub fn spawn(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
+    spawn_with_limits(engine, addr, Limits::default())
+}
+
+/// Bind `addr` and serve on a background thread with explicit
+/// admission limits.
+pub fn spawn_with_limits(engine: Engine, addr: &str, limits: Limits) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(new_shared(engine));
+    let shared = Arc::new(new_shared(engine, limits));
     let shared2 = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("moma-accept".into())
@@ -94,40 +235,107 @@ pub fn spawn(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
     })
 }
 
-/// Bind `addr` and serve on the current thread until shutdown.
+/// Bind `addr` and serve on the current thread until shutdown, with
+/// default [`Limits`].
 pub fn run(engine: Engine, addr: &str) -> io::Result<()> {
+    run_with_limits(engine, addr, Limits::default())
+}
+
+/// Bind `addr` and serve on the current thread until shutdown, with
+/// explicit admission limits.
+pub fn run_with_limits(engine: Engine, addr: &str, limits: Limits) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("moma serve: listening on {}", listener.local_addr()?);
-    accept_loop(listener, Arc::new(new_shared(engine)));
+    accept_loop(listener, Arc::new(new_shared(engine, limits)));
     Ok(())
 }
 
-fn new_shared(engine: Engine) -> Shared {
+fn new_shared(engine: Engine, limits: Limits) -> Shared {
     Shared {
         engine: RwLock::new(engine),
+        limits,
         stop: AtomicBool::new(false),
         started: Instant::now(),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         connections: AtomicU64::new(0),
+        active_connections: AtomicU64::new(0),
+        inflight_writes: AtomicU64::new(0),
+        inflight_reads: AtomicU64::new(0),
+        busy_refusals: AtomicU64::new(0),
+        overloaded_rejections: AtomicU64::new(0),
+        auto_checkpoints: AtomicU64::new(0),
+        degraded: AtomicBool::new(false),
     }
+}
+
+/// Write one `busy` refusal frame and let the connection drop.
+fn refuse_busy(shared: &Shared, stream: &mut TcpStream, why: &str) {
+    shared.busy_refusals.fetch_add(1, Ordering::Relaxed);
+    let resp = Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "busy: {why}; retry after {} ms",
+                shared.limits.retry_after_ms
+            )),
+        ),
+        ("busy", Json::Bool(true)),
+        ("retry_after_ms", Json::Uint(shared.limits.retry_after_ms)),
+    ]);
+    let _ = write_frame(stream, resp.to_string().as_bytes());
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
+    // The background checkpointer lives exactly as long as the accept
+    // loop: one thread, joined below — it can never run concurrently
+    // with itself or with shutdown teardown.
+    let checkpointer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("moma-checkpoint".into())
+            .spawn(move || checkpoint_loop(shared))
+            .ok()
+    };
     let mut handlers = Vec::new();
     while !shared.stopping() {
         match listener.accept() {
-            Ok((stream, peer)) => {
+            Ok((mut stream, peer)) => {
+                let active = shared.active_connections.fetch_add(1, Ordering::AcqRel);
+                if active >= shared.limits.max_connections {
+                    shared.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    refuse_busy(&shared, &mut stream, "connection limit reached");
+                    continue;
+                }
                 shared.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(&shared);
-                let h = std::thread::Builder::new()
+                // Keep a refusal handle: if the thread spawn below
+                // fails, `stream` is already gone into the dropped
+                // closure and the peer still deserves a frame.
+                let refusal = stream.try_clone().ok();
+                let slot = ConnSlot(Arc::clone(&shared));
+                let shared2 = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
                     .name(format!("moma-conn-{peer}"))
-                    .spawn(move || handle_connection(stream, shared))
-                    .expect("spawn handler thread");
-                handlers.push(h);
+                    .spawn(move || {
+                        let _slot = slot;
+                        handle_connection(stream, shared2)
+                    });
+                match spawned {
+                    Ok(h) => handlers.push(h),
+                    // Thread exhaustion must not kill the accept loop
+                    // (and with it the whole server): refuse this
+                    // connection and keep serving the rest.
+                    Err(e) => {
+                        eprintln!("moma serve: refusing connection from {peer}: spawn failed: {e}");
+                        if let Some(mut s) = refusal {
+                            refuse_busy(&shared, &mut s, "out of handler threads");
+                        }
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(15));
@@ -142,6 +350,55 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
     for h in handlers {
         let _ = h.join();
+    }
+    if let Some(cp) = checkpointer {
+        let _ = cp.join();
+    }
+}
+
+/// Background auto-checkpointer: peeks at the durability thresholds
+/// under the read lock and, only when due, takes the write lock to
+/// publish a checkpoint — so checkpoint cost never rides on a delta's
+/// response time. Single-threaded by construction and joined by the
+/// accept loop, so it cannot overlap itself or outlive shutdown. The
+/// `MOMA_CHECKPOINT_FAULT_DELAY_MS` fault injection applies here the
+/// same as to explicit `checkpoint` commands (it lives in
+/// `checkpoint::publish`).
+fn checkpoint_loop(shared: Arc<Shared>) {
+    while !shared.stopping() {
+        let due = shared.engine_read().checkpoint_due();
+        if due {
+            // Re-check under the write lock: a concurrent explicit
+            // `checkpoint` command may have run since the peek. The
+            // counter is bumped while the lock is still held so a
+            // stats reader never sees the new checkpoint_seq without
+            // the matching auto_checkpoints count.
+            let result = {
+                let mut engine = shared.engine_write();
+                if engine.checkpoint_due() {
+                    let r = engine.run_auto_checkpoint();
+                    if r.is_ok() {
+                        shared.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(r)
+                } else {
+                    None
+                }
+            };
+            match result {
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => {
+                    eprintln!("moma serve: warning: background checkpoint failed: {e}");
+                    let deadline = Instant::now() + CHECKPOINT_BACKOFF;
+                    while Instant::now() < deadline && !shared.stopping() {
+                        std::thread::sleep(CHECKPOINT_POLL);
+                    }
+                    continue;
+                }
+                None => {}
+            }
+        }
+        std::thread::sleep(CHECKPOINT_POLL);
     }
 }
 
@@ -291,6 +548,33 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// `overloaded` response for a request past its class's in-flight
+/// budget. The connection stays usable — the client is expected to
+/// back off for `retry_after_ms` and resend.
+fn overloaded_response(shared: &Shared, class: &str) -> Json {
+    shared.overloaded_rejections.fetch_add(1, Ordering::Relaxed);
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "overloaded: too many in-flight {class} commands; retry after {} ms",
+                shared.limits.retry_after_ms
+            )),
+        ),
+        ("overloaded", Json::Bool(true)),
+        ("retry_after_ms", Json::Uint(shared.limits.retry_after_ms)),
+    ])
+}
+
+/// Response for a handler that panicked mid-command. The engine lock is
+/// recovered (see [`Shared::engine_write`]) and serving continues, but
+/// `stats` reports `degraded: true` from here on.
+fn internal_error_response(shared: &Shared) -> Json {
+    shared.degraded.store(true, Ordering::Relaxed);
+    err_response("internal error: command handler panicked; engine marked degraded (see stats)")
+}
+
 fn dispatch(payload: &[u8], shared: &Shared) -> Json {
     let req = match std::str::from_utf8(payload)
         .map_err(|e| e.to_string())
@@ -311,7 +595,10 @@ fn dispatch(payload: &[u8], shared: &Shared) -> Json {
             ])
         }
         "stats" => {
-            let engine = shared.engine.read().expect("engine lock poisoned");
+            let Some(_slot) = admit(&shared.inflight_reads, shared.limits.max_pending_reads) else {
+                return overloaded_response(shared, "read");
+            };
+            let engine = shared.engine_read();
             let mut resp = engine.execute_read(&req);
             if let Json::Obj(fields) = &mut resp {
                 fields.push((
@@ -330,16 +617,75 @@ fn dispatch(payload: &[u8], shared: &Shared) -> Json {
                     "connections".to_owned(),
                     Json::Uint(shared.connections.load(Ordering::Relaxed)),
                 ));
+                fields.push((
+                    "active_connections".to_owned(),
+                    Json::Uint(shared.active_connections.load(Ordering::Relaxed)),
+                ));
+                fields.push((
+                    "busy_refusals".to_owned(),
+                    Json::Uint(shared.busy_refusals.load(Ordering::Relaxed)),
+                ));
+                fields.push((
+                    "overloaded_rejections".to_owned(),
+                    Json::Uint(shared.overloaded_rejections.load(Ordering::Relaxed)),
+                ));
+                fields.push((
+                    "auto_checkpoints".to_owned(),
+                    Json::Uint(shared.auto_checkpoints.load(Ordering::Relaxed)),
+                ));
+                fields.push((
+                    "degraded".to_owned(),
+                    Json::Bool(shared.degraded.load(Ordering::Relaxed)),
+                ));
             }
             resp
         }
-        c if Engine::needs_write_lock(c) => {
-            let mut engine = shared.engine.write().expect("engine lock poisoned");
-            engine.execute(&req)
+        c if Engine::needs_write_lock(c) || shared.debug_write_cmd(c) => {
+            let Some(_slot) = admit(&shared.inflight_writes, shared.limits.max_pending_writes)
+            else {
+                return overloaded_response(shared, "mutating");
+            };
+            // `debug_sleep_write` occupies its admission slot without
+            // touching the engine lock: it models a slow writer filling
+            // the queue, so overload tests can saturate the write
+            // budget while reads keep answering.
+            if c == "debug_sleep_write" {
+                let ms = req
+                    .get("ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(250)
+                    .min(10_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                return Json::obj(vec![("ok", Json::Bool(true)), ("slept_ms", Json::Uint(ms))]);
+            }
+            // A panicked handler must not take the server down (or
+            // poison every later request): catch it, answer an
+            // `internal_error`, and let `engine_write` recover the
+            // lock next time around.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut engine = shared.engine_write();
+                if c == "debug_panic" {
+                    panic!("debug_panic: injected handler panic");
+                }
+                engine.execute(&req)
+            }));
+            match outcome {
+                Ok(resp) => resp,
+                Err(_) => internal_error_response(shared),
+            }
         }
         _ => {
-            let engine = shared.engine.read().expect("engine lock poisoned");
-            engine.execute_read(&req)
+            let Some(_slot) = admit(&shared.inflight_reads, shared.limits.max_pending_reads) else {
+                return overloaded_response(shared, "read");
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let engine = shared.engine_read();
+                engine.execute_read(&req)
+            }));
+            match outcome {
+                Ok(resp) => resp,
+                Err(_) => internal_error_response(shared),
+            }
         }
     }
 }

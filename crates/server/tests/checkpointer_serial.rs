@@ -1,0 +1,152 @@
+//! The background auto-checkpointer is one thread, and that is an
+//! invariant worth pinning: a checkpoint must never run concurrently
+//! with another checkpoint or with shutdown. This test lives in its
+//! own binary because it sets `MOMA_CHECKPOINT_FAULT_DELAY_MS`, which
+//! is process-global — parallel tests in a shared binary would
+//! inherit the slowdown.
+
+use std::time::{Duration, Instant};
+
+use moma_core::exec::Parallelism;
+use moma_datagen::{Scenario, WorldConfig};
+use moma_model::{AttrValue, DeltaOp, SourceRegistry};
+use moma_server::{protocol, spawn, Client, DurabilityPolicy, Engine, Json};
+
+fn scenario_registry() -> SourceRegistry {
+    let scenario = Scenario::generate({
+        let mut cfg = WorldConfig::small();
+        cfg.seed = 99;
+        cfg
+    });
+    scenario.registry
+}
+
+fn delta_req(i: usize) -> Json {
+    protocol::delta_request(
+        "Publication@DBLP",
+        &[DeltaOp::Add {
+            id: format!("ser_{i}"),
+            fields: vec![(
+                "title".into(),
+                AttrValue::Text(format!("Serialized checkpointing part {i}")),
+            )],
+        }],
+    )
+}
+
+fn stat_u64(c: &mut Client, path: &[&str]) -> u64 {
+    let mut v = c.call(&protocol::bare_request("stats")).expect("stats");
+    for key in path {
+        v = v.get(key).cloned().unwrap_or(Json::Null);
+    }
+    v.as_u64().unwrap_or(0)
+}
+
+#[test]
+fn background_checkpoints_are_serial_and_joined_on_shutdown() {
+    const DELAY_MS: u64 = 300;
+    // Safety: set before any server thread is spawned, removed after
+    // the servers are joined; this test is alone in its binary.
+    std::env::set_var("MOMA_CHECKPOINT_FAULT_DELAY_MS", DELAY_MS.to_string());
+
+    let dir = std::env::temp_dir().join(format!("moma_ckpt_serial_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    // ---- never concurrent with itself -------------------------------
+    // Every delta makes a checkpoint due; each publication sleeps
+    // DELAY_MS inside the staging window. If two checkpoints could
+    // overlap, two publications could complete closer together than
+    // DELAY_MS — so the gap between observed `auto_checkpoints`
+    // increments is the serialization witness.
+    let mut engine = Engine::new(scenario_registry(), Parallelism::sequential());
+    let policy = DurabilityPolicy {
+        checkpoint_every_records: 1,
+        ..DurabilityPolicy::default()
+    };
+    engine.wal_create(dir.join("a"), policy).expect("wal");
+    let handle = spawn(engine, "127.0.0.1:0").expect("spawn");
+    let mut c = Client::connect(&handle.addr.to_string()).expect("connect");
+    let resp = c.call(&delta_req(0)).expect("delta");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    // By 150ms the checkpointer (100ms poll) is inside the first
+    // publication's fault window; these two deltas land mid-window and
+    // make a second checkpoint due the moment the first finishes — the
+    // exact setup where a concurrency bug would overlap publications.
+    std::thread::sleep(Duration::from_millis(150));
+    for i in 1..3 {
+        let resp = c.call(&delta_req(i)).expect("delta");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut seen = 0u64;
+    let mut last_increment: Option<Instant> = None;
+    let mut min_gap = Duration::MAX;
+    while seen < 2 {
+        assert!(Instant::now() < deadline, "checkpoints stalled at {seen}");
+        let now_count = stat_u64(&mut c, &["auto_checkpoints"]);
+        assert!(
+            now_count <= seen + 1,
+            "auto_checkpoints jumped {seen} -> {now_count} within one 20ms poll: \
+             two checkpoints published concurrently"
+        );
+        if now_count > seen {
+            let now = Instant::now();
+            if let Some(prev) = last_increment {
+                min_gap = min_gap.min(now - prev);
+            }
+            last_increment = Some(now);
+            seen = now_count;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        min_gap >= Duration::from_millis(DELAY_MS / 2),
+        "two auto checkpoints completed {min_gap:?} apart; each publication \
+         holds a {DELAY_MS}ms fault window, so they overlapped"
+    );
+    drop(c);
+    handle.stop();
+
+    // ---- never concurrent with shutdown -----------------------------
+    // Make a checkpoint due, give the background thread a moment to
+    // enter the fault window, then stop. `stop` joins the checkpointer,
+    // so once it returns the publication must have finished: the
+    // staging dir is gone and the checkpoint it was writing is live.
+    let mut engine = Engine::new(scenario_registry(), Parallelism::sequential());
+    let policy = DurabilityPolicy {
+        checkpoint_every_records: 1,
+        ..DurabilityPolicy::default()
+    };
+    let wal_b = dir.join("b");
+    engine.wal_create(&wal_b, policy).expect("wal");
+    let handle = spawn(engine, "127.0.0.1:0").expect("spawn");
+    let mut c = Client::connect(&handle.addr.to_string()).expect("connect");
+    let resp = c.call(&delta_req(100)).expect("delta");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    // The checkpointer polls every 100ms; by 200ms it is inside the
+    // 300ms fault window (and if it somehow isn't, joining still must
+    // leave no torn staging dir behind).
+    std::thread::sleep(Duration::from_millis(200));
+    handle.stop();
+    assert!(
+        !wal_b.join("checkpoint.tmp").exists(),
+        "shutdown returned while a checkpoint publication was still staged"
+    );
+    let published = std::fs::read_dir(&wal_b)
+        .expect("wal dir")
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("checkpoint.") && name != "checkpoint.tmp"
+        });
+    assert!(
+        published,
+        "the in-flight checkpoint was abandoned instead of finished before shutdown"
+    );
+
+    std::env::remove_var("MOMA_CHECKPOINT_FAULT_DELAY_MS");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,9 @@ use std::time::Duration;
 use moma_core::exec::Parallelism;
 use moma_datagen::{Scenario, WorldConfig};
 use moma_model::{AttrValue, DeltaOp, SourceRegistry};
-use moma_server::{protocol, spawn, Client, DurabilityPolicy, Engine, Json};
+use moma_server::{
+    protocol, spawn, spawn_with_limits, Client, DurabilityPolicy, Engine, Json, Limits, Wal,
+};
 
 fn scenario_registry() -> SourceRegistry {
     let scenario = Scenario::generate({
@@ -294,6 +296,351 @@ fn torn_wal_replay_matches_clean_run_bit_identically() {
     assert_eq!(replayed.wal_seq(), total as u64);
 
     let _ = fs::remove_dir_all(&work);
+}
+
+/// A connection past `max_connections` gets one `busy` frame and is
+/// closed — and the accept loop keeps serving afterwards (regression
+/// test for the old `.expect("spawn handler thread")` abort path: any
+/// failure to take on a connection must refuse that connection, not
+/// kill the server).
+#[test]
+fn connection_cap_refuses_with_busy_and_keeps_serving() {
+    let limits = Limits {
+        max_connections: 1,
+        ..Limits::default()
+    };
+    let handle = spawn_with_limits(engine(None), "127.0.0.1:0", limits).expect("spawn");
+    let addr = handle.addr.to_string();
+
+    let mut first = Client::connect_retry(&addr, Duration::from_secs(5)).expect("first client");
+    first
+        .call_ok(&protocol::bare_request("ping"))
+        .expect("first client ping");
+
+    // Second connection: refused with an explicit busy frame (or a
+    // clean close if the refusal frame races our write).
+    let mut refused = Client::connect(&addr).expect("tcp connect");
+    match refused.call(&protocol::bare_request("ping")) {
+        Ok(r) => {
+            assert_eq!(r.get("busy").and_then(Json::as_bool), Some(true), "{r}");
+            assert!(r.get("retry_after_ms").and_then(Json::as_u64).is_some());
+        }
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected refusal error: {e}"
+        ),
+    }
+    drop(refused);
+
+    // Free the slot; the accept loop must still be alive and serve a
+    // new connection once the handler thread exits.
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut again = Client::connect_retry(&addr, Duration::from_secs(5)).expect("reconnect");
+        match again.call(&protocol::bare_request("ping")) {
+            Ok(r) if r.get("ok").and_then(Json::as_bool) == Some(true) => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("server stopped serving after a busy refusal: {other:?}"),
+        }
+    }
+    handle.stop();
+}
+
+/// Write-budget overload: with one write slot held by a slow writer,
+/// a concurrent delta gets an explicit `overloaded` response with a
+/// retry hint, reads keep answering, and a retried delta succeeds once
+/// the slot frees.
+#[test]
+fn write_overload_answers_overloaded_and_recovers() {
+    let limits = Limits {
+        max_pending_writes: 1,
+        retry_after_ms: 25,
+        debug_commands: true,
+        ..Limits::default()
+    };
+    let handle = spawn_with_limits(engine(None), "127.0.0.1:0", limits).expect("spawn");
+    let addr = handle.addr.to_string();
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+    c.call_ok(&protocol::match_request(
+        "m_ov",
+        "Publication@DBLP",
+        "Publication@GS",
+        "title",
+        "title",
+        "trigram",
+        0.75,
+    ))
+    .expect("prime matcher");
+
+    let sleeper_addr = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut c = Client::connect_retry(&sleeper_addr, Duration::from_secs(5)).expect("sleeper");
+        let req = Json::obj(vec![
+            ("cmd", Json::Str("debug_sleep_write".to_owned())),
+            ("ms", Json::Uint(1500)),
+        ]);
+        let r = c.call(&req).expect("debug_sleep_write");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Mutating command while the slot is held: explicit overloaded.
+    let r = c.call(&delta_req(0)).expect("transport ok");
+    assert_eq!(
+        r.get("overloaded").and_then(Json::as_bool),
+        Some(true),
+        "expected overloaded, got: {r}"
+    );
+    assert_eq!(r.get("retry_after_ms").and_then(Json::as_u64), Some(25));
+
+    // Reads are admitted from their own budget and see the engine.
+    let q = c
+        .call_ok(&protocol::query_request("m_ov", 3, None))
+        .expect("read during overload");
+    assert_eq!(q.str_field("name"), Some("m_ov"));
+
+    sleeper.join().expect("sleeper thread");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let r = c.call(&delta_req(0)).expect("transport ok");
+        if r.get("ok").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        assert_eq!(r.get("overloaded").and_then(Json::as_bool), Some(true));
+        assert!(
+            std::time::Instant::now() < deadline,
+            "delta never admitted after overload: {r}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let stats = c.call_ok(&protocol::bare_request("stats")).expect("stats");
+    assert!(
+        stats
+            .get("overloaded_rejections")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+    assert_eq!(stats.get("degraded").and_then(Json::as_bool), Some(false));
+    handle.stop();
+}
+
+/// A handler panic while holding the write lock answers an internal
+/// error, poisons nothing permanently (the lock is recovered), and the
+/// server keeps applying deltas — with `degraded: true` in stats
+/// (regression test for the old `.expect("engine lock poisoned")`
+/// crash chain).
+#[test]
+fn handler_panic_recovers_lock_and_reports_degraded() {
+    let limits = Limits {
+        debug_commands: true,
+        ..Limits::default()
+    };
+    let handle = spawn_with_limits(engine(None), "127.0.0.1:0", limits).expect("spawn");
+    let addr = handle.addr.to_string();
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    let r = c
+        .call(&Json::obj(vec![(
+            "cmd",
+            Json::Str("debug_panic".to_owned()),
+        )]))
+        .expect("transport survives the panic");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        r.str_field("error")
+            .unwrap_or("")
+            .contains("internal error"),
+        "panic answered with an internal error frame: {r}"
+    );
+
+    // The poisoned lock is recovered: the next mutating command works.
+    let r = c.call(&delta_req(1)).expect("transport ok");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    let q = c
+        .call_ok(&protocol::query_request("no_such", 1, None))
+        .err()
+        .map(|e| e.to_string())
+        .unwrap_or_default();
+    assert!(q.contains("unknown mapping"), "reads still answer: {q}");
+
+    let stats = c.call_ok(&protocol::bare_request("stats")).expect("stats");
+    assert_eq!(stats.get("degraded").and_then(Json::as_bool), Some(true));
+    handle.stop();
+}
+
+/// The background checkpointer publishes an automatic checkpoint off
+/// the delta path: deltas only cross the records threshold, and the
+/// server-owned thread picks the work up within its poll interval.
+#[test]
+fn background_checkpointer_publishes_automatically() {
+    let work = tmp_dir("bg_ckpt");
+    let wal_dir = work.join("wal");
+    let policy = DurabilityPolicy {
+        checkpoint_every_records: 3,
+        ..DurabilityPolicy::default()
+    };
+    let handle = spawn(engine_with_policy(Some(&wal_dir), policy), "127.0.0.1:0").expect("spawn");
+    let addr = handle.addr.to_string();
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    for i in 0..4 {
+        c.call_ok(&delta_req(i)).expect("delta");
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let stats = c.call_ok(&protocol::bare_request("stats")).expect("stats");
+        let cp_seq = stats
+            .get("wal")
+            .and_then(|w| w.get("checkpoint_seq"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if cp_seq > 0 {
+            break stats;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no automatic checkpoint within 5s: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        stats
+            .get("auto_checkpoints")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "stats counts the background checkpoint: {stats}"
+    );
+    handle.stop();
+    let _ = fs::remove_dir_all(&work);
+}
+
+/// `batch_delta` applies item-by-item and logs one WAL group commit
+/// whose replay is bit-identical to the same items sent singly.
+#[test]
+fn batch_delta_matches_singles_bit_identically() {
+    let work = tmp_dir("batch");
+    let batch_wal = work.join("wal_batch");
+    let singles_wal = work.join("wal_singles");
+
+    let items: Vec<Json> = (0..4)
+        .map(|i| {
+            protocol::delta_item(
+                "Publication@GS",
+                &[DeltaOp::Add {
+                    id: format!("e2e_{i}"),
+                    fields: vec![(
+                        "title".into(),
+                        AttrValue::Text(format!("Crash recovery for matching services part {i}")),
+                    )],
+                }],
+            )
+        })
+        .collect();
+
+    let mut batched = engine(Some(&batch_wal));
+    let resp = batched.execute(&protocol::batch_delta_request(items));
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    assert_eq!(resp.get("count").and_then(Json::as_u64), Some(4));
+    assert_eq!(resp.get("first_seq").and_then(Json::as_u64), Some(1));
+    assert_eq!(resp.get("last_seq").and_then(Json::as_u64), Some(4));
+    let results = resp.get("results").and_then(Json::as_arr).expect("results");
+    assert_eq!(results.len(), 4);
+    for item in results {
+        assert_eq!(item.get("ok").and_then(Json::as_bool), Some(true), "{item}");
+    }
+
+    let mut singly = engine(Some(&singles_wal));
+    for i in 0..4 {
+        let resp = singly.execute(&delta_req(i));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    // Same live state...
+    let batch_dump = work.join("dump_batch");
+    let singles_dump = work.join("dump_singles");
+    dump_to(&batched, &batch_dump);
+    dump_to(&singly, &singles_dump);
+    assert_dumps_identical(&batch_dump, &singles_dump);
+
+    // ...same on-disk log: the group commit wrote the items as N
+    // ordinary consecutive-seq delta records, byte-identical to the
+    // singles run.
+    let batch_scan = Wal::scan(&batch_wal).expect("scan batch wal");
+    let singles_scan = Wal::scan(&singles_wal).expect("scan singles wal");
+    assert_eq!(batch_scan.records.len(), 4);
+    for (i, (b, s)) in batch_scan
+        .records
+        .iter()
+        .zip(&singles_scan.records)
+        .enumerate()
+    {
+        assert_eq!(b.seq, i as u64 + 1);
+        assert_eq!(b.seq, s.seq);
+        assert_eq!(b.payload, s.payload, "record {i} payload differs");
+    }
+
+    // And a replay of the group-committed log restores the same state.
+    drop(batched);
+    let mut replayed = Engine::new(scenario_registry(), Parallelism::sequential());
+    let summary = replayed
+        .recover(&batch_wal, DurabilityPolicy::default())
+        .expect("recover");
+    assert_eq!(summary.replayed, 4);
+    assert_eq!(summary.failed, 0);
+    let replay_dump = work.join("dump_replayed");
+    dump_to(&replayed, &replay_dump);
+    assert_dumps_identical(&replay_dump, &singles_dump);
+
+    let _ = fs::remove_dir_all(&work);
+}
+
+/// `batch_query` answers each item with exactly the frame a singleton
+/// `query` would produce, over real TCP.
+#[test]
+fn batch_query_matches_singleton_responses() {
+    let handle = spawn(engine(None), "127.0.0.1:0").expect("spawn");
+    let addr = handle.addr.to_string();
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+    for req in script() {
+        c.call_ok(&req).expect("scripted command");
+    }
+
+    let items = vec![
+        protocol::query_item("c_dg", 5, None),
+        protocol::query_item("m_da", 0, Some(0.9)),
+        protocol::query_item("no_such_mapping", 1, None),
+    ];
+    let batched = c.batch_query(items.clone()).expect("batch_query");
+    assert_eq!(batched.len(), items.len());
+    for (i, item) in items.iter().enumerate() {
+        let mut single = item.clone();
+        if let Json::Obj(fields) = &mut single {
+            fields.insert(0, ("cmd".to_owned(), Json::Str("query".to_owned())));
+        }
+        let resp = c.call(&single).expect("singleton query");
+        assert_eq!(
+            batched[i].to_string(),
+            resp.to_string(),
+            "batch item {i} differs from singleton response"
+        );
+    }
+    // The per-item error (unknown mapping) is carried in the results
+    // array, not as a batch failure.
+    assert_eq!(batched[2].get("ok").and_then(Json::as_bool), Some(false));
+    handle.stop();
 }
 
 /// Restart after a checkpoint replays only the post-checkpoint suffix —

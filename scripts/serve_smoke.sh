@@ -15,7 +15,15 @@
 #   3. compare the recovered state against a clean run that executed
 #      exactly the same command prefix — `diff -r` byte-identical (the
 #      delta stream is deterministic, so "same prefix" is just "same
-#      number of delta commands").
+#      number of delta commands"). Run A frames part of that prefix as
+#      one `batch_delta` group commit while run B sends the same items
+#      singly, so the diff also proves group-commit replay equivalence;
+#   4. overload leg: saturate a tiny write budget and connection cap,
+#      asserting explicit busy/overloaded frames, responsive reads and
+#      zero server panics;
+#   5. run C: kill -9 *inside a background auto-checkpoint's* staging
+#      window (--checkpoint-every-records + fault injection) and
+#      recover via fallback to the previous checkpoint.
 #
 # Usage: scripts/serve_smoke.sh [--bin-dir target/release]
 # Needs: target/release/moma and target/release/moma_load (built
@@ -36,8 +44,10 @@ done
 
 PORT_A=${MOMA_SMOKE_PORT_A:-7311}
 PORT_B=${MOMA_SMOKE_PORT_B:-7312}
+PORT_C=${MOMA_SMOKE_PORT_C:-7313}
 ADDR_A=127.0.0.1:$PORT_A
 ADDR_B=127.0.0.1:$PORT_B
+ADDR_C=127.0.0.1:$PORT_C
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/moma_serve_smoke.XXXXXX")
 
 # Small segments so the run actually rotates (and checkpoints prune).
@@ -75,6 +85,13 @@ SERVER_PID=$!
 # Endpoint conformance: ping/stats/match/compose/query/delta/checkpoint.
 "$MOMA_LOAD" smoke --addr "$ADDR_A"
 echo "SMOKE_OK"
+
+# Batch endpoints: 6 deltas as ONE batch_delta frame (one WAL group
+# commit — contiguous seqs asserted by the client), plus batch_query
+# responses byte-identical to singleton queries. Run B sends the same
+# 6 items singly; the final diff gate proves the group commit replays
+# bit-identically to singles.
+"$MOMA_LOAD" batch --addr "$ADDR_A" --items 6
 
 # Deterministic delta stream, slowed down so the kill lands mid-stream;
 # checkpoint once while it runs so recovery has a mid-stream checkpoint.
@@ -164,13 +181,17 @@ wait "$SERVER_PID" || true
 SERVER_PID=""
 
 # ---------------------------------------------------------------- run B
-echo "== run B: clean server, same command prefix ($((K - 2)) stream steps)"
+# Smoke contributes 2 deltas and the batch leg 6, so the stream makes
+# up the difference to K. The batch items are sent singly here — the
+# final diff proves the group-committed run A state matches.
+echo "== run B: clean server, same command prefix ($((K - 8)) stream steps)"
 "$MOMA" serve --addr "$ADDR_B" --scale small --seed 7 --threads 2 \
     --wal "$WORK/b.wal" &
 SERVER_PID=$!
 
 "$MOMA_LOAD" smoke --addr "$ADDR_B"
-"$MOMA_LOAD" stream --addr "$ADDR_B" --steps $((K - 2))
+"$MOMA_LOAD" batch --addr "$ADDR_B" --items 6 --singles 1
+"$MOMA_LOAD" stream --addr "$ADDR_B" --steps $((K - 8))
 K_B=$("$MOMA_LOAD" stat --addr "$ADDR_B" --key commands.delta)
 if [[ "$K_B" -ne "$K" ]]; then
     echo "serve_smoke: reference run has $K_B delta commands, want $K"
@@ -189,3 +210,94 @@ else
     echo "serve_smoke: FAIL — replayed state diverges from the clean run"
     exit 1
 fi
+
+# ------------------------------------------------------- overload leg
+# Embedded server with max_pending_writes=1 and a small connection cap:
+# concurrent deltas get explicit `overloaded` frames, a connection past
+# the cap gets a `busy` frame, reads stay responsive, a retried delta
+# recovers, and stats end with degraded=false (zero server panics).
+echo "== overload leg: admission control under write-budget saturation"
+"$MOMA_LOAD" overload
+
+# ---------------------------------------------------------------- run C
+# Background auto-checkpointer crash-safety: a server with
+# --checkpoint-every-records publishes checkpoints from its own thread,
+# off the delta path. Kill -9 inside a *background* checkpoint's fault
+# window; recovery must fall back to the previous checkpoint.
+echo "== run C: background auto-checkpointer, kill -9 mid-background-checkpoint"
+SERVE_C=(serve --addr "$ADDR_C" --scale small --seed 7 --threads 2
+         --wal "$WORK/c.wal" --segment-records 40)
+"$MOMA" "${SERVE_C[@]}" --checkpoint-every-records 5 &
+SERVER_PID=$!
+
+# Smoke includes one *explicit* checkpoint command, which usually wins
+# the race against the 100ms background poll. Note its seq, then drive
+# six more deltas as ONE batch group commit to re-arm the records
+# threshold: the next checkpoint past CP_SMOKE can only come from the
+# background thread, and its trigger was a group-committed batch.
+"$MOMA_LOAD" smoke --addr "$ADDR_C"
+CP_SMOKE=$(stat_retry "$ADDR_C" wal.checkpoint_seq)
+"$MOMA_LOAD" batch --addr "$ADDR_C" --items 6
+CP_C=0
+for _ in $(seq 1 40); do
+    CP_C=$(stat_retry "$ADDR_C" wal.checkpoint_seq)
+    [[ "$CP_C" -gt "$CP_SMOKE" ]] && break
+    sleep 0.25
+done
+if [[ "$CP_C" -le "$CP_SMOKE" ]]; then
+    echo "serve_smoke: background checkpointer never published (checkpoint_seq stuck at $CP_C)"
+    exit 1
+fi
+AUTO_C=$(stat_retry "$ADDR_C" auto_checkpoints)
+K_C=$(stat_retry "$ADDR_C" commands.delta)
+if [[ "$AUTO_C" -le 0 ]]; then
+    echo "serve_smoke: checkpoint_seq $CP_C but auto_checkpoints $AUTO_C — not the background thread?"
+    exit 1
+fi
+echo "BACKGROUND_CHECKPOINT: auto checkpoint at seq $CP_C ($AUTO_C automatic)"
+
+# Restart with fault injection: the next background checkpoint stalls
+# 10s inside its staging window. Five stream deltas re-arm the records
+# threshold, then the SIGKILL lands mid-publication.
+"$MOMA_LOAD" shutdown --addr "$ADDR_C"
+wait "$SERVER_PID" || true
+MOMA_CHECKPOINT_FAULT_DELAY_MS=10000 "$MOMA" "${SERVE_C[@]}" --replay --checkpoint-every-records 5 &
+SERVER_PID=$!
+stat_retry "$ADDR_C" wal.seq >/dev/null
+# Background the stream: once the checkpointer enters its 10s fault
+# window it holds the write lock, so a late stream step may block —
+# the SIGKILL below must not wait for it.
+"$MOMA_LOAD" stream --addr "$ADDR_C" --steps 5 &
+STREAM_C_PID=$!
+sleep 5
+kill -9 "$SERVER_PID"
+echo "== killed server C (pid $SERVER_PID) with SIGKILL mid-background-checkpoint"
+SERVER_PID=""
+set +e
+wait "$STREAM_C_PID"
+STREAM_C_RC=$?
+set -e
+if [[ "$STREAM_C_RC" -ne 0 && "$STREAM_C_RC" -ne 3 ]]; then
+    echo "serve_smoke: run C stream exited $STREAM_C_RC (want 0, or 3 if the kill caught it mid-step)"
+    exit 1
+fi
+
+# Final restart WITHOUT auto-checkpointing: the torn background
+# checkpoint must be invisible and recovery falls back to CP_C; the
+# streamed deltas survive via WAL replay.
+"$MOMA" "${SERVE_C[@]}" --replay &
+SERVER_PID=$!
+CP_FINAL=$(stat_retry "$ADDR_C" wal.checkpoint_seq)
+K_FINAL=$(stat_retry "$ADDR_C" commands.delta)
+if [[ "$CP_FINAL" -ne "$CP_C" ]]; then
+    echo "serve_smoke: expected fallback to background checkpoint $CP_C, got $CP_FINAL"
+    exit 1
+fi
+if [[ "$K_FINAL" -lt "$K_C" ]]; then
+    echo "serve_smoke: delta commands went backwards across the crash ($K_FINAL < $K_C)"
+    exit 1
+fi
+echo "BACKGROUND_CHECKPOINT_FALLBACK: torn background checkpoint ignored, recovered from seq $CP_FINAL ($K_FINAL deltas)"
+"$MOMA_LOAD" shutdown --addr "$ADDR_C"
+wait "$SERVER_PID" || true
+SERVER_PID=""
