@@ -31,7 +31,7 @@ usage:
                                   evolving scenario (see below)
   moma serve [--addr <host:port>] [--source <file.tsv>]... \\
              [--scale small|paper] [--seed <n>] [--threads <n>] \\
-             [--wal <dir>] [--replay] \\
+             [--wal <dir>] [--replay] [--shards <n>] \\
              [--segment-records <n>] [--segment-bytes <n>] \\
              [--checkpoint-every-records <n>] [--checkpoint-every-bytes <n>] \\
              [--max-connections <n>] [--max-pending-writes <n>] \\
@@ -76,6 +76,15 @@ publishes an atomic state dump and prunes covered segments. `--replay`
 recovers an existing log directory on startup: the newest valid
 checkpoint is loaded and only the WAL suffix after it is re-executed,
 restoring the pre-crash repository bit-identically.
+
+--shards N partitions the service across N independent engines, each
+with its own WAL directory (`<dir>/shard.<i>` under --wal), checkpoint
+chain and admission budgets. Mutating commands are placed by source
+ownership (an explicit `shard` field on `match` pins one), queries
+route to the shard owning the mapping, `stats` merges a per-shard +
+aggregate view, and recovery replays every shard's WAL independently
+(see docs/ARCHITECTURE.md). Default: 1 — the single-engine layout and
+wire behavior are exactly as before.
 
 Admission control: --max-connections (default 256) caps concurrent
 connections — excess connections get one `busy` frame and are closed;
@@ -297,6 +306,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut wal: Option<String> = None;
     let mut replay = false;
+    let mut shards = 1usize;
     let mut policy = moma_server::DurabilityPolicy::default();
     let mut limits = moma_server::Limits {
         debug_commands: std::env::var("MOMA_DEBUG_COMMANDS").as_deref() == Ok("1"),
@@ -333,6 +343,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--wal" => wal = Some(it.next().ok_or("--wal needs a directory")?.clone()),
             "--replay" => replay = true,
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a count")?;
+                shards = v
+                    .parse()
+                    .map_err(|_| format!("--shards: `{v}` is not a number"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--segment-records" => policy.segment_records = num_flag(arg, it.next())?,
             "--segment-bytes" => policy.segment_bytes = num_flag(arg, it.next())?,
             "--checkpoint-every-records" => {
@@ -385,39 +404,53 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(n) => moma_core::exec::Parallelism::new(n),
         None => moma_core::exec::Parallelism::from_env(),
     };
-    let mut engine = moma_server::Engine::new(registry, par);
-    if let Some(path) = &wal {
-        if replay {
-            let summary = engine.recover(std::path::Path::new(path), policy)?;
-            eprintln!(
-                "moma serve: recovered from {path}: checkpoint seq {}, replayed {} WAL \
-                 record(s), skipped {} covered record(s), {} segment(s){}{}",
-                summary.checkpoint_seq,
-                summary.replayed,
-                summary.skipped,
-                summary.segments,
-                if summary.dropped_bytes > 0 {
-                    format!(" (dropped {}-byte torn tail)", summary.dropped_bytes)
-                } else {
-                    String::new()
-                },
-                if summary.failed > 0 {
-                    format!(
-                        " ({} command(s) re-failed deterministically)",
-                        summary.failed
-                    )
-                } else {
-                    String::new()
-                },
-            );
-        } else {
-            engine
-                .wal_create(std::path::Path::new(path), policy)
-                .map_err(|e| format!("--wal {path}: {e}"))?;
-            eprintln!("moma serve: write-ahead log directory at {path}");
+    // One engine per shard, each booted from an identical clone of the
+    // full source registry (so arena ids agree across shards) with its
+    // own WAL directory `<wal>/shard.<i>` and checkpoint chain. With
+    // one shard (the default) the WAL lives directly in `<wal>` —
+    // exactly the pre-shard layout.
+    let mut engines = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let mut engine = moma_server::Engine::new(registry.clone(), par);
+        if let Some(base) = &wal {
+            let path = if shards == 1 {
+                base.clone()
+            } else {
+                format!("{base}/shard.{i}")
+            };
+            if replay {
+                let summary = engine.recover(std::path::Path::new(&path), policy)?;
+                eprintln!(
+                    "moma serve: shard {i}: recovered from {path}: checkpoint seq {}, replayed \
+                     {} WAL record(s), skipped {} covered record(s), {} segment(s){}{}",
+                    summary.checkpoint_seq,
+                    summary.replayed,
+                    summary.skipped,
+                    summary.segments,
+                    if summary.dropped_bytes > 0 {
+                        format!(" (dropped {}-byte torn tail)", summary.dropped_bytes)
+                    } else {
+                        String::new()
+                    },
+                    if summary.failed > 0 {
+                        format!(
+                            " ({} command(s) re-failed deterministically)",
+                            summary.failed
+                        )
+                    } else {
+                        String::new()
+                    },
+                );
+            } else {
+                engine
+                    .wal_create(std::path::Path::new(&path), policy)
+                    .map_err(|e| format!("--wal {path}: {e}"))?;
+                eprintln!("moma serve: shard {i}: write-ahead log directory at {path}");
+            }
         }
+        engines.push(engine);
     }
-    moma_server::run_with_limits(engine, &addr, limits).map_err(|e| format!("serve {addr}: {e}"))
+    moma_server::run_sharded(engines, &addr, limits).map_err(|e| format!("serve {addr}: {e}"))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

@@ -12,6 +12,14 @@
 //!   scenario's delta stream against a local shadow registry (so the
 //!   i-th delta is identical across runs with the same seeds) and sends
 //!   each one as a `delta` command.
+//! * `shard`    — multi-shard write-scaling bench: boots an embedded
+//!   sharded server, places one self-match per source group via explicit
+//!   shard hints, streams deltas from one writer thread per group and
+//!   compares write throughput at `--shards N` against a 1-shard run of
+//!   the same workload; writes the `serve_shard` report section.
+//! * `scatter`  — sharded-server priming: one hinted self-match per
+//!   shard over a distinct source, then deterministic deltas to each,
+//!   so the sharded crash-recovery gate has traffic on every shard.
 //! * `stat`     — print one numeric field of the `stats` response
 //!   (dot-path, e.g. `commands.delta`).
 //! * `dump`     — ask the server to persist its state to a directory.
@@ -46,8 +54,17 @@ modes:
             embedded-server overload e2e: saturate the write budget,
             assert explicit overloaded/busy frames, responsive reads,
             recovery, and zero panics
+  shard     [--shards 4] [--deltas 300] [--ops 1] [--threads 1] [--wal 0|1]
+            [--report FILE] [--baseline FILE]
+            embedded multi-shard write-scaling bench: per-group writer
+            threads stream deltas at --shards N and at 1 shard; the
+            N-shard run must beat the 1-shard baseline
   stream     --addr H:P [--steps 50] [--seed 11] [--churn 0.02]
             [--scenario-seed 7] [--sleep-ms 0]
+  scatter    --addr H:P [--shards 4] [--deltas 6]
+            prime each shard of a sharded server: one hinted self-match
+            per shard over a distinct source, then deterministic deltas
+            to all of them
   stat       --addr H:P --key dotted.path
   dump       --addr H:P --dir DIR
   checkpoint --addr H:P
@@ -72,7 +89,9 @@ fn main() -> ExitCode {
         "smoke" => cmd_smoke(&opts),
         "batch" => cmd_batch(&opts),
         "overload" => cmd_overload(&opts),
+        "shard" => cmd_shard(&opts),
         "stream" => cmd_stream(&opts),
+        "scatter" => cmd_scatter(&opts),
         "stat" => cmd_stat(&opts),
         "dump" => cmd_dump(&opts),
         "checkpoint" => cmd_checkpoint(&opts),
@@ -631,6 +650,259 @@ fn cmd_overload(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+// ---- shard ----------------------------------------------------------
+
+/// One write-scaling trial: boot `shards` engines over clones of the
+/// scenario registry (each with its own WAL unless `--wal 0`), place
+/// one self-match per source group via an explicit shard hint
+/// (`group k → shard k % shards`), then run one writer thread per group
+/// streaming `deltas` single-delta commands of `ops` adds each. Returns
+/// `(write_rps, wall_seconds)` over the write phase only.
+fn shard_trial(
+    shards: usize,
+    groups: &[(&str, &str)],
+    deltas: usize,
+    ops: usize,
+    par: moma_core::exec::Parallelism,
+    wal_base: Option<&std::path::Path>,
+) -> Result<(f64, f64), String> {
+    use moma_model::{AttrValue, DeltaOp};
+    let mut engines = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let s = {
+            let mut cfg = WorldConfig::small();
+            cfg.seed = 7;
+            Scenario::generate(cfg)
+        };
+        let mut engine = moma_server::Engine::new(s.registry, par);
+        if let Some(base) = wal_base {
+            let dir = base.join(format!("shard.{i}"));
+            engine
+                .wal_create(&dir, moma_server::DurabilityPolicy::default())
+                .map_err(|e| format!("wal {}: {e}", dir.display()))?;
+        }
+        engines.push(engine);
+    }
+    let handle = moma_server::spawn_sharded(engines, "127.0.0.1:0", moma_server::Limits::default())
+        .map_err(|e| format!("spawn sharded server: {e}"))?;
+    let addr = handle.addr.to_string();
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    for (k, (source, attr)) in groups.iter().enumerate() {
+        let req = protocol::with_shard(
+            protocol::match_request(
+                &format!("m_shard_{k}"),
+                source,
+                source,
+                attr,
+                attr,
+                "trigram",
+                0.9,
+            ),
+            k % shards,
+        );
+        let r = c
+            .call_ok(&req)
+            .map_err(|e| format!("group {k} match: {e}"))?;
+        if shards > 1 {
+            ensure(
+                r.get("shard").and_then(Json::as_u64) == Some((k % shards) as u64),
+                &format!("group {k} placed on its hinted shard: {r}"),
+            )?;
+        }
+    }
+
+    // Writers connect and then rendezvous on a barrier, so the timed
+    // window measures only the write phase — not connection setup or
+    // the accept loop's poll latency.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(groups.len() + 1));
+    let mut writers = Vec::new();
+    for (k, (source, attr)) in groups.iter().enumerate() {
+        let addr = addr.clone();
+        let source = source.to_string();
+        let attr = attr.to_string();
+        let barrier = std::sync::Arc::clone(&barrier);
+        writers.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+                .map_err(|e| format!("writer {k}: connect: {e}"))?;
+            c.call_ok(&protocol::bare_request("ping"))
+                .map_err(|e| format!("writer {k}: ping: {e}"))?;
+            barrier.wait();
+            for step in 0..deltas {
+                let ops: Vec<DeltaOp> = (0..ops)
+                    .map(|j| DeltaOp::Add {
+                        id: format!("sb_{k}_{step}_{j}"),
+                        fields: vec![(
+                            attr.clone(),
+                            AttrValue::Text(format!("shard bench probe {k} {step} {j}")),
+                        )],
+                    })
+                    .collect();
+                let r = c
+                    .call(&protocol::delta_request(&source, &ops))
+                    .map_err(|e| format!("writer {k} delta {step}: {e}"))?;
+                if !is_ok(&r) {
+                    return Err(format!("writer {k} delta {step}: {r}"));
+                }
+            }
+            Ok(())
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for w in writers {
+        w.join().map_err(|_| "writer thread panicked")??;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let total = (groups.len() * deltas) as f64;
+
+    // The aggregate stats must account every delta exactly once (the
+    // repl exclusion invariant) and report the shard layout.
+    let stats = c
+        .call_ok(&protocol::bare_request("stats"))
+        .map_err(|e| e.to_string())?;
+    let counted = stats
+        .get("commands")
+        .and_then(|c| c.get("delta"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    ensure(
+        counted == total as u64,
+        &format!("aggregate commands.delta {counted} == {total} deltas sent"),
+    )?;
+    ensure(
+        stats.get("shard_count").and_then(Json::as_u64) == Some(shards as u64),
+        &format!("stats reports shard_count {shards}"),
+    )?;
+    ensure(
+        stats.get("degraded").and_then(Json::as_bool) == Some(false),
+        "server not degraded after the write phase",
+    )?;
+    handle.stop();
+    Ok((total / wall.max(1e-9), wall))
+}
+
+fn cmd_shard(opts: &Opts) -> Result<ExitCode, String> {
+    let shards: usize = opt_num(opts, "shards", 4)?;
+    let deltas: usize = opt_num(opts, "deltas", 300)?;
+    let ops: usize = opt_num(opts, "ops", 1)?;
+    let use_wal: u8 = opt_num(opts, "wal", 1)?;
+    ensure(shards >= 2, "--shards must be at least 2")?;
+    // Sequential engines by default: this bench isolates the *lock and
+    // log* scaling of sharding (concurrent write locks, overlapping
+    // per-shard fsyncs), which intra-delta parallelism would mask by
+    // saturating the cores from a single shard.
+    let par = match opt_num::<usize>(opts, "threads", 1)? {
+        0 => moma_core::exec::Parallelism::from_env(),
+        n => moma_core::exec::Parallelism::new(n),
+    };
+    // One group per writer: distinct sources so each group's ownership
+    // claim (and therefore its write lock and WAL) lands on its hinted
+    // shard and deltas never fan out.
+    let groups: Vec<(&str, &str)> = vec![
+        ("Publication@DBLP", "title"),
+        ("Publication@ACM", "title"),
+        ("Publication@GS", "title"),
+        ("Author@DBLP", "name"),
+    ];
+
+    let tmp = std::env::temp_dir().join(format!("moma-shard-bench-{}", std::process::id()));
+    let wal_base = |trial: &str| -> Result<Option<std::path::PathBuf>, String> {
+        if use_wal == 0 {
+            return Ok(None);
+        }
+        let dir = tmp.join(trial);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        Ok(Some(dir))
+    };
+
+    eprintln!(
+        "shard: 1-shard baseline ({} groups x {deltas} deltas x {ops} ops)...",
+        groups.len()
+    );
+    let single_base = wal_base("single")?;
+    let (single_rps, single_wall) =
+        shard_trial(1, &groups, deltas, ops, par, single_base.as_deref())?;
+    eprintln!("shard: 1 shard: {single_rps:.0} deltas/s ({single_wall:.2}s)");
+
+    eprintln!("shard: {shards}-shard run...");
+    let sharded_base = wal_base("sharded")?;
+    let (shard_rps, shard_wall) =
+        shard_trial(shards, &groups, deltas, ops, par, sharded_base.as_deref())?;
+    eprintln!("shard: {shards} shards: {shard_rps:.0} deltas/s ({shard_wall:.2}s)");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let speedup = shard_rps / single_rps.max(1e-9);
+    eprintln!("shard: write scaling {speedup:.2}x over the 1-shard baseline");
+    ensure(
+        shard_rps > single_rps,
+        &format!(
+            "{shards}-shard write throughput ({shard_rps:.0} rps) beats the 1-shard \
+             baseline ({single_rps:.0} rps)"
+        ),
+    )?;
+
+    let report = Json::obj(vec![
+        ("shards", Json::Num(shards as f64)),
+        ("groups", Json::Num(groups.len() as f64)),
+        ("deltas_per_group", Json::Num(deltas as f64)),
+        ("ops_per_delta", Json::Num(ops as f64)),
+        ("wal", Json::Bool(use_wal != 0)),
+        ("single_shard_rps", Json::Num(round3(single_rps))),
+        ("sharded_rps", Json::Num(round3(shard_rps))),
+        ("speedup", Json::Num(round3(speedup))),
+        ("single_shard_wall_s", Json::Num(round3(single_wall))),
+        ("sharded_wall_s", Json::Num(round3(shard_wall))),
+    ]);
+    if let Some(path) = opts.get("report") {
+        write_report(path, "serve_shard", &report)?;
+        eprintln!("shard: serve_shard section written to {path}");
+    }
+    if let Some(baseline) = opts.get("baseline") {
+        gate_shard_baseline(baseline, &report)?;
+    }
+    println!("SHARD_SCALING_OK {speedup:.2}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Trend gate for the `serve_shard` section: a missing baseline file or
+/// section degrades to a warning (this is the first PR with the
+/// section); a present one bounds throughput collapse and requires the
+/// scaling property itself.
+fn gate_shard_baseline(path: &str, report: &Json) -> Result<(), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("shard: warning: baseline {path} missing — serve_shard trend gate skipped");
+            return Ok(());
+        }
+    };
+    let base = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(base) = base.get("serve_shard") else {
+        eprintln!(
+            "shard: warning: baseline {path} has no serve_shard section — trend gate skipped"
+        );
+        return Ok(());
+    };
+    for key in ["sharded_rps", "speedup"] {
+        let (Some(b), Some(n)) = (base.num_field(key), report.num_field(key)) else {
+            continue;
+        };
+        if b <= 0.0 {
+            continue;
+        }
+        if n < b / 4.0 {
+            return Err(format!(
+                "serve_shard trend gate: {key} = {n:.3} vs baseline {b:.3} (bound {:.3})",
+                b / 4.0
+            ));
+        }
+        eprintln!("shard: trend {key}: {n:.3} (baseline {b:.3}) ok");
+    }
+    Ok(())
+}
+
 // ---- stream ---------------------------------------------------------
 
 /// Build the local shadow of the server's generated scenario, so delta
@@ -680,6 +952,87 @@ fn cmd_stream(opts: &Opts) -> Result<ExitCode, String> {
         }
     }
     eprintln!("stream: sent {steps} deltas (seed {seed}, churn {churn})");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- scatter --------------------------------------------------------
+
+/// Prime every shard of a sharded server over TCP: one hinted
+/// self-match per shard over a distinct source, then a deterministic
+/// delta stream to each of those sources. The sequence is fixed, so a
+/// clean rerun against a fresh server of the same scenario produces an
+/// identical state — the sharded crash-recovery gate diffs dumps
+/// across runs.
+fn cmd_scatter(opts: &Opts) -> Result<ExitCode, String> {
+    use moma_model::{AttrValue, DeltaOp};
+    let shards: usize = opt_num(opts, "shards", 4)?;
+    let deltas: usize = opt_num(opts, "deltas", 6)?;
+    // Sources the smoke sequence never touches, so the explicit hints
+    // cannot collide with ownership claimed by other traffic.
+    let groups = [
+        ("Author@DBLP", "name"),
+        ("Author@ACM", "name"),
+        ("Author@GS", "name"),
+        ("Venue@DBLP", "name"),
+    ];
+    ensure(
+        shards >= 1 && shards <= groups.len(),
+        &format!("--shards must be 1..={}", groups.len()),
+    )?;
+    let mut c = connect(opts)?;
+
+    for (k, (source, attr)) in groups.iter().take(shards).enumerate() {
+        let req = protocol::with_shard(
+            protocol::match_request(
+                &format!("m_scatter_{k}"),
+                source,
+                source,
+                attr,
+                attr,
+                "trigram",
+                0.9,
+            ),
+            k,
+        );
+        let r = c.call(&req).map_err(|e| format!("match shard {k}: {e}"))?;
+        ensure(is_ok(&r), &format!("scatter match on shard {k}: {r}"))?;
+        // A single-shard server ignores the hint and omits the
+        // annotation; a sharded one must honor it exactly.
+        if let Some(placed) = r.get("shard").and_then(Json::as_u64) {
+            ensure(
+                placed == k as u64,
+                &format!("match hinted to shard {k} ran on shard {placed}"),
+            )?;
+        }
+    }
+    for step in 0..deltas {
+        for (k, (source, attr)) in groups.iter().take(shards).enumerate() {
+            let ops = vec![DeltaOp::Add {
+                id: format!("scatter_{k}_{step}"),
+                fields: vec![(
+                    (*attr).to_owned(),
+                    AttrValue::Text(format!("scatter probe {k} {step}")),
+                )],
+            }];
+            let r = c
+                .call(&protocol::delta_request(source, &ops))
+                .map_err(|e| format!("delta shard {k} step {step}: {e}"))?;
+            ensure(
+                is_ok(&r),
+                &format!("scatter delta shard {k} step {step}: {r}"),
+            )?;
+        }
+    }
+    for k in 0..shards {
+        let r = c
+            .call(&protocol::query_request(&format!("m_scatter_{k}"), 1, None))
+            .map_err(|e| format!("query shard {k}: {e}"))?;
+        ensure(is_ok(&r), &format!("scatter query shard {k}: {r}"))?;
+    }
+    eprintln!(
+        "scatter: primed {shards} shard(s), sent {} deltas",
+        shards * deltas
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -1013,7 +1366,7 @@ fn cmd_load(opts: &Opts) -> Result<ExitCode, String> {
     )?;
 
     if let Some(path) = opts.get("report") {
-        write_report(path, &report)?;
+        write_report(path, "serve_load", &report)?;
         eprintln!("load: serve_load section written to {path}");
     }
     if let Some(baseline) = opts.get("baseline") {
@@ -1026,10 +1379,10 @@ fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
-/// Insert/replace the `serve_load` section of a bench report. An
-/// existing report is parsed and re-emitted (pretty-printed) with the
-/// section added; a missing file becomes `{"serve_load": ...}`.
-fn write_report(path: &str, section: &Json) -> Result<(), String> {
+/// Insert/replace one named section of a bench report. An existing
+/// report is parsed and re-emitted (pretty-printed) with the section
+/// added; a missing file becomes `{"<name>": ...}`.
+fn write_report(path: &str, name: &str, section: &Json) -> Result<(), String> {
     let mut root = match std::fs::read_to_string(path) {
         Ok(text) => Json::parse(&text).map_err(|e| format!("{path}: {e}"))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Json::Obj(Vec::new()),
@@ -1038,8 +1391,8 @@ fn write_report(path: &str, section: &Json) -> Result<(), String> {
     let Json::Obj(fields) = &mut root else {
         return Err(format!("{path}: report root is not an object"));
     };
-    fields.retain(|(k, _)| k != "serve_load");
-    fields.push(("serve_load".to_owned(), section.clone()));
+    fields.retain(|(k, _)| k != name);
+    fields.push((name.to_owned(), section.clone()));
     std::fs::write(path, root.pretty() + "\n").map_err(|e| format!("{path}: {e}"))
 }
 

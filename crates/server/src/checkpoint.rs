@@ -27,6 +27,34 @@
 //! sleep between staging and the rename — the crash-recovery CI gate
 //! uses it to SIGKILL the server deterministically *mid-checkpoint* and
 //! assert the fallback path.
+//!
+//! On a sharded server every shard keeps its own checkpoint chain in
+//! its own WAL directory (`<wal>/shard.<i>/checkpoint.<seq>/`); the
+//! background checkpointer and the `checkpoint` command visit the
+//! shards independently, so one shard's checkpoint never blocks
+//! another's writes.
+//!
+//! ## Example
+//!
+//! ```
+//! use moma_server::checkpoint;
+//!
+//! let dir = std::env::temp_dir().join(format!("moma-ckpt-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//!
+//! // Publish a checkpoint covering WAL sequence 42, then find and
+//! // load it back, CRC-validated.
+//! let state = r#"{"mappings":[]}"#;
+//! checkpoint::publish(&dir, 42, state)?;
+//! let found = checkpoint::list(&dir)?;
+//! assert_eq!(found.len(), 1);
+//! assert_eq!(found[0].seq, 42);
+//! let (seq, loaded) = checkpoint::load(&found[0].path).expect("marker validates");
+//! assert_eq!((seq, loaded.as_str()), (42, state));
+//!
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 use std::fs::{self, File};
 use std::io::{Read, Write};

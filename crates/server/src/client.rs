@@ -72,6 +72,20 @@ impl Client {
         self.batch_call(crate::protocol::batch_delta_request(items))
     }
 
+    /// Fetch the server's `stats`. Against a sharded server the
+    /// response carries the merged aggregate view plus a per-shard
+    /// breakdown under `"shards"` and the `shard_count` field.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.call_ok(&crate::protocol::bare_request("stats"))
+    }
+
+    /// Query a mapping's correspondences (`limit == 0` means all rows).
+    /// A sharded server routes this to the shard owning the mapping and
+    /// annotates the response with its `"shard"`.
+    pub fn query(&mut self, name: &str, limit: u64, min_sim: Option<f64>) -> io::Result<Json> {
+        self.call_ok(&crate::protocol::query_request(name, limit, min_sim))
+    }
+
     fn batch_call(&mut self, req: Json) -> io::Result<Vec<Json>> {
         let resp = self.call_ok(&req)?;
         // Move the per-item results out of the envelope rather than

@@ -56,10 +56,15 @@ const WARN_PERIOD: Duration = Duration::from_secs(30);
 pub struct CommandCounts {
     /// `match` commands logged (successful or not).
     pub matches: u64,
-    /// `compose` commands logged.
+    /// `compose` commands logged (including coordinator `install`s of
+    /// cross-shard compose results).
     pub composes: u64,
-    /// `delta` commands logged.
+    /// `delta` commands logged with this engine as the accounting shard.
     pub deltas: u64,
+    /// Replica `delta` records (`"repl": true`) fanned out to this shard
+    /// by the router so its mappings stay patched; excluded from the
+    /// aggregate `commands.delta` count.
+    pub repl_deltas: u64,
 }
 
 /// Summary of a `--replay` startup.
@@ -303,9 +308,14 @@ impl Engine {
     }
 
     /// Whether `cmd` mutates engine state (and therefore must be
-    /// WAL-logged and serialized through the write lock).
+    /// WAL-logged and serialized through the write lock). `install` is
+    /// the router's materialization of a cross-shard compose; it never
+    /// arrives from clients directly but replays like any other record.
     pub fn is_mutating(cmd: &str) -> bool {
-        matches!(cmd, "match" | "compose" | "delta" | "batch_delta")
+        matches!(
+            cmd,
+            "match" | "compose" | "delta" | "batch_delta" | "install"
+        )
     }
 
     /// Whether `cmd` needs the server's write lock. `checkpoint` is not
@@ -391,8 +401,20 @@ impl Engine {
                 self.cmd_compose(req)
             }
             "delta" => {
-                self.commands.deltas += 1;
+                // Replica copies fanned out by the shard router carry
+                // `"repl": true` and are tallied separately so the
+                // aggregate `commands.delta` counts each client delta
+                // once, on its accounting shard.
+                if req.get("repl").and_then(Json::as_bool) == Some(true) {
+                    self.commands.repl_deltas += 1;
+                } else {
+                    self.commands.deltas += 1;
+                }
                 self.cmd_delta(req, seq)
+            }
+            "install" => {
+                self.commands.composes += 1;
+                self.cmd_install(req)
             }
             other => Err(format!("`{other}` is not a mutating command")),
         };
@@ -521,6 +543,62 @@ impl Engine {
                 "version",
                 Json::Uint(self.repository.version(name).unwrap_or(0)),
             ),
+        ]))
+    }
+
+    /// Execute an `install`: store a literal, pre-computed mapping table
+    /// under `name`. This is how the shard router materializes a
+    /// cross-shard compose — the coordinator gathers the input tables
+    /// from their shards, computes the compose itself and logs the
+    /// *result* here, so replay never has to reach across shards. The
+    /// installed mapping is a point-in-time snapshot: it records its
+    /// input versions in the response but carries no recipe, so later
+    /// deltas do not refresh it (re-issue the compose to refresh).
+    fn cmd_install(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req
+            .str_field("name")
+            .ok_or("install request missing `name`")?;
+        let resolve = |field: &str| -> Result<LdsId, String> {
+            let n = req
+                .str_field(field)
+                .ok_or_else(|| format!("install request missing `{field}`"))?;
+            self.registry
+                .resolve(n)
+                .map_err(|e| format!("{field}: {e}"))
+        };
+        let domain = resolve("domain")?;
+        let range = resolve("range")?;
+        let rows_json = req
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("install request missing `rows`")?;
+        let mut triples = Vec::with_capacity(rows_json.len());
+        for row in rows_json {
+            let row = row
+                .as_arr()
+                .filter(|r| r.len() == 3)
+                .ok_or("install rows must be [domain, range, sim] triples")?;
+            let d = row[0].as_u64().ok_or("install row domain index")? as u32;
+            let r = row[1].as_u64().ok_or("install row range index")? as u32;
+            let sim = row[2].as_f64().ok_or("install row sim")?;
+            triples.push((d, r, sim));
+        }
+        let table = MappingTable::from_triples(triples);
+        let mapping = match req.get("assoc") {
+            Some(Json::Str(t)) => Mapping::association(name, t.clone(), domain, range, table),
+            _ => Mapping::same(name, domain, range, table),
+        };
+        let rows = mapping.len();
+        self.repository.store_as(name, mapping);
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.into())),
+            ("rows", Json::Num(rows as f64)),
+            (
+                "version",
+                Json::Uint(self.repository.version(name).unwrap_or(0)),
+            ),
+            ("installed", Json::Bool(true)),
         ]))
     }
 
@@ -812,6 +890,7 @@ impl Engine {
                     ("match", Json::Uint(self.commands.matches)),
                     ("compose", Json::Uint(self.commands.composes)),
                     ("delta", Json::Uint(self.commands.deltas)),
+                    ("repl_delta", Json::Uint(self.commands.repl_deltas)),
                 ]),
             ),
             (
@@ -849,8 +928,11 @@ impl Engine {
         // counters, so two state dumps are byte-comparable with `diff -r`.
         let mut manifest = String::from("# moma dump manifest\n");
         manifest.push_str(&format!(
-            "commands\t{}\t{}\t{}\n",
-            self.commands.matches, self.commands.composes, self.commands.deltas
+            "commands\t{}\t{}\t{}\t{}\n",
+            self.commands.matches,
+            self.commands.composes,
+            self.commands.deltas,
+            self.commands.repl_deltas
         ));
         let snapshot = self.repository.snapshot();
         for e in &snapshot {
@@ -1047,6 +1129,7 @@ impl Engine {
                     ("match", Json::Uint(self.commands.matches)),
                     ("compose", Json::Uint(self.commands.composes)),
                     ("delta", Json::Uint(self.commands.deltas)),
+                    ("repl_delta", Json::Uint(self.commands.repl_deltas)),
                 ]),
             ),
             (
@@ -1084,6 +1167,11 @@ impl Engine {
             matches: count("match")?,
             composes: count("compose")?,
             deltas: count("delta")?,
+            // Absent in pre-shard checkpoints; those logged no replicas.
+            repl_deltas: commands_json
+                .get("repl_delta")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         };
         let version_counter = field("version_counter")?
             .as_u64()
@@ -1295,6 +1383,38 @@ impl Engine {
     pub fn checkpoint_seq(&self) -> u64 {
         self.checkpoint_seq
     }
+
+    /// `(mapping, domain source, range source)` names for every primed
+    /// matcher state, in deterministic (BTreeMap) order. The shard
+    /// router rebuilds its ownership index from this after recovery:
+    /// whatever shard a state recovered on is, by construction, the
+    /// shard that owns it.
+    pub fn state_endpoints(&self) -> Vec<(String, String, String)> {
+        self.match_requests
+            .iter()
+            .filter_map(|(name, req)| {
+                let d = req.str_field("domain")?;
+                let r = req.str_field("range")?;
+                Some((name.clone(), d.to_owned(), r.to_owned()))
+            })
+            .collect()
+    }
+
+    /// Names of every mapping in the repository (snapshot order).
+    pub fn mapping_names(&self) -> Vec<String> {
+        self.repository
+            .snapshot()
+            .into_iter()
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// The engine's parallelism setting (the router's cross-shard
+    /// compose path reuses it so a gathered compose runs with the same
+    /// execution parameters as a single-shard one).
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
 }
 
 /// `{"ok": false, "error": msg}`.
@@ -1305,7 +1425,7 @@ pub fn err_response(msg: &str) -> Json {
     ])
 }
 
-fn parse_combine(name: &str) -> Result<PathCombine, String> {
+pub(crate) fn parse_combine(name: &str) -> Result<PathCombine, String> {
     match name {
         "avg" => Ok(PathCombine::Avg),
         "min" => Ok(PathCombine::Min),
@@ -1323,7 +1443,7 @@ fn parse_combine(name: &str) -> Result<PathCombine, String> {
     }
 }
 
-fn parse_agg(name: &str) -> Result<PathAgg, String> {
+pub(crate) fn parse_agg(name: &str) -> Result<PathAgg, String> {
     match name {
         "avg" => Ok(PathAgg::Avg),
         "min" => Ok(PathAgg::Min),

@@ -26,6 +26,13 @@
 //!   patch materialized mappings in time proportional to the delta and
 //!   the `delta` response reports, per mapping, whether the patch was
 //!   incremental or paid a (transparent, warned-about) full re-match.
+//! * **Sharding** ([`shard`]): `moma serve --shards N` runs N
+//!   independent engines — each with its own WAL directory, checkpoint
+//!   chain and admission budgets — behind a [`shard::ShardRouter`] that
+//!   places mutating commands by source ownership, scatters reads and
+//!   merges `stats`. Writes to distinct shards no longer serialize
+//!   behind one lock, and each shard recovers from its own WAL
+//!   independently.
 //! * **Overload hardening** ([`server`]): bounded admission budgets per
 //!   command class ([`server::Limits`]) answer excess traffic with
 //!   explicit `busy`/`overloaded` frames instead of unbounded queueing,
@@ -45,10 +52,15 @@ pub mod frame;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use client::Client;
 pub use engine::{CommandCounts, DurabilityPolicy, Engine, ReplaySummary};
 pub use json::Json;
-pub use server::{run, run_with_limits, spawn, spawn_with_limits, Limits, ServerHandle};
+pub use server::{
+    run, run_sharded, run_with_limits, spawn, spawn_sharded, spawn_with_limits, Limits,
+    ServerHandle,
+};
+pub use shard::ShardRouter;
 pub use wal::Wal;

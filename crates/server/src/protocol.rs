@@ -19,13 +19,56 @@
 //! | `delta`    | yes      | ingest a source delta, patch mappings incrementally |
 //! | `batch_delta` | yes   | N `delta` items, one WAL group commit, per-item status array |
 //! | `checkpoint` | write lock | publish an atomic state checkpoint, prune covered WAL segments |
-//! | `stats`    | no       | server/engine counters |
+//! | `stats`    | no       | server/engine counters (per-shard + aggregate when sharded) |
 //! | `dump`     | no       | persist repository + manifest to a directory |
+//! | `install`  | yes      | *internal*: store a literal mapping table (cross-shard compose result) |
 //! | `shutdown` | no       | stop the server after responding |
 //!
 //! `checkpoint` is not WAL-logged (it changes the disk layout, not the
 //! logical state, and does not bump the command counters) but it is
 //! serialized through the engine write lock like a mutating command.
+//! When the server runs sharded (`moma serve --shards N`), `checkpoint`
+//! checkpoints every shard and its response carries a per-shard array.
+//!
+//! ## Shard routing fields
+//!
+//! Against a sharded server, requests and responses gain a few fields
+//! (all absent/ignored at `--shards 1`, so single-shard wire traffic is
+//! unchanged):
+//!
+//! * `match` may carry a `"shard": N` placement hint (see
+//!   [`with_shard`]); it is refused if it contradicts an existing
+//!   ownership claim on the domain source.
+//! * routed responses are annotated with the `"shard"` (or, for deltas,
+//!   `"shards"`) that served them.
+//! * `install` is the record a cross-shard `compose` writes to the
+//!   installing shard's WAL: the computed rows as literals, so each
+//!   shard's log replays independently. It is refused from the wire on
+//!   a sharded server (the router owns it); see [`install_request`].
+//!
+//! ## Examples
+//!
+//! Builders produce the exact wire object; what goes on the socket is
+//! `to_string()` of the returned [`Json`] inside a length-prefixed
+//! frame (see [`crate::frame`]):
+//!
+//! ```
+//! use moma_server::protocol::{query_request, with_shard, match_request};
+//!
+//! let q = query_request("DblpGs", 10, Some(0.8));
+//! assert_eq!(
+//!     q.to_string(),
+//!     r#"{"cmd":"query","name":"DblpGs","limit":10,"min_sim":0.8}"#
+//! );
+//!
+//! // Pin a match to shard 2 of a sharded server.
+//! let m = with_shard(
+//!     match_request("DblpGs", "Publication@DBLP", "Publication@GS",
+//!                   "title", "title", "trigram", 0.7),
+//!     2,
+//! );
+//! assert!(m.to_string().ends_with(r#""shard":2}"#));
+//! ```
 //!
 //! ## Batch requests
 //!
@@ -282,6 +325,65 @@ pub fn batch_delta_request(items: Vec<Json>) -> Json {
         ("cmd", Json::Str("batch_delta".into())),
         ("items", Json::Arr(items)),
     ])
+}
+
+/// Attach a shard placement hint to a request (meaningful on `match`
+/// against a sharded server; ignored everywhere else, including at
+/// `--shards 1`).
+///
+/// ```
+/// use moma_server::protocol::{bare_request, with_shard};
+/// let req = with_shard(bare_request("ping"), 3);
+/// assert_eq!(req.to_string(), r#"{"cmd":"ping","shard":3}"#);
+/// ```
+pub fn with_shard(req: Json, shard: usize) -> Json {
+    match req {
+        Json::Obj(mut fields) => {
+            fields.retain(|(k, _)| k != "shard");
+            fields.push(("shard".to_owned(), Json::Uint(shard as u64)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// Build an `install` request: store a mapping as a literal table of
+/// `[domain_idx, range_idx, sim]` rows. This is the record a
+/// cross-shard `compose` writes to the installing shard's WAL — rows,
+/// not a recipe, so the shard's log replays without consulting any
+/// other shard. A sharded server refuses it from the wire; a
+/// single-shard server accepts it (it is just a literal store).
+pub fn install_request(
+    name: &str,
+    domain: &str,
+    range: &str,
+    rows: &[(u32, u32, f64)],
+    assoc: Option<&str>,
+) -> Json {
+    let mut fields = vec![
+        ("cmd".to_owned(), Json::Str("install".into())),
+        ("name".to_owned(), Json::Str(name.into())),
+        ("domain".to_owned(), Json::Str(domain.into())),
+        ("range".to_owned(), Json::Str(range.into())),
+        (
+            "rows".to_owned(),
+            Json::Arr(
+                rows.iter()
+                    .map(|&(d, r, sim)| {
+                        Json::Arr(vec![
+                            Json::Num(d as f64),
+                            Json::Num(r as f64),
+                            Json::Num(sim),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(t) = assoc {
+        fields.push(("assoc".to_owned(), Json::Str(t.into())));
+    }
+    Json::Obj(fields)
 }
 
 /// Build a bare request carrying only a command name.

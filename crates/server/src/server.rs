@@ -4,10 +4,14 @@
 //! each one to its own handler thread (the service holds a handful of
 //! long-lived clients, not ten thousand; thread-per-connection keeps
 //! the whole stack dependency-free and easy to reason about). The
-//! [`Engine`] sits behind an `RwLock`: mutating commands (`match`,
-//! `compose`, `delta`) serialize through the write lock — so WAL order
-//! equals apply order — while `query`/`stats`/`dump` run concurrently
-//! under the read lock against repository snapshots.
+//! engines sit behind a [`ShardRouter`]: with one shard (the default)
+//! every mutating command serializes through that shard's write lock —
+//! so WAL order equals apply order — while `query`/`stats`/`dump` run
+//! concurrently under the read lock against repository snapshots. With
+//! `--shards N` the router places mutating commands by source ownership
+//! and scatters reads, so writes to distinct shards no longer serialize
+//! behind one lock (see the [`crate::shard`] module docs and
+//! `docs/ARCHITECTURE.md` for the routing invariants).
 //!
 //! Shutdown: a `shutdown` command (or [`ServerHandle::stop`]) sets a
 //! stop flag; the nonblocking accept loop notices within ~15 ms, stops
@@ -17,23 +21,25 @@
 //!
 //! The server refuses work it cannot serve promptly instead of queueing
 //! it unboundedly (see [`Limits`]): connections past the cap get one
-//! `busy` refusal frame and a close; requests past the per-class
-//! in-flight budget (mutating commands queue on the engine write lock,
-//! reads on the read lock) get an `overloaded` response with a
-//! `retry_after_ms` hint while the connection stays usable. A dedicated
-//! background thread publishes auto-checkpoints when the durability
-//! policy's thresholds are exceeded, off the delta path.
+//! `busy` refusal frame and a close; requests past the per-class,
+//! **per-shard** in-flight budget (mutating commands queue on a shard's
+//! write lock, reads on its read lock) get an `overloaded` response
+//! with a `retry_after_ms` hint while the connection stays usable. A
+//! dedicated background thread walks the shards and publishes
+//! auto-checkpoints when a shard's durability thresholds are exceeded,
+//! off the delta path.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::engine::{err_response, Engine};
 use crate::frame::write_frame;
 use crate::json::Json;
+use crate::shard::{self, ComposePlan, ShardRouter};
 
 /// How long handler threads block in `read` before re-checking the stop
 /// flag (also bounds shutdown latency).
@@ -45,8 +51,8 @@ const READ_POLL: Duration = Duration::from_millis(250);
 const MID_FRAME_STALL: Duration = Duration::from_secs(30);
 
 /// How often the background checkpointer re-checks the durability
-/// thresholds (a cheap read-lock peek; also bounds its shutdown
-/// latency).
+/// thresholds (a cheap read-lock peek per shard; also bounds its
+/// shutdown latency).
 const CHECKPOINT_POLL: Duration = Duration::from_millis(100);
 
 /// How long the background checkpointer backs off after a *failed*
@@ -57,16 +63,18 @@ const CHECKPOINT_BACKOFF: Duration = Duration::from_secs(5);
 /// Admission-control limits. The defaults are generous for a service
 /// holding a handful of long-lived clients; tests and the overload
 /// harness shrink them to force the refusal paths deterministically.
+/// The write/read budgets apply **per shard**.
 #[derive(Debug, Clone)]
 pub struct Limits {
     /// Concurrently served connections; further connects get one `busy`
     /// refusal frame and an immediate close.
     pub max_connections: u64,
-    /// Mutating commands in flight (executing, or queued on the engine
-    /// write lock) before new ones are answered `overloaded`.
-    pub max_pending_writes: u64,
-    /// Read-only commands in flight before new ones are answered
+    /// Mutating commands in flight per shard (executing, or queued on
+    /// the shard's write lock) before new ones are answered
     /// `overloaded`.
+    pub max_pending_writes: u64,
+    /// Read-only commands in flight per shard before new ones are
+    /// answered `overloaded`.
     pub max_pending_reads: u64,
     /// Retry hint attached to `busy`/`overloaded` responses.
     pub retry_after_ms: u64,
@@ -90,9 +98,9 @@ impl Default for Limits {
 
 /// State shared between the accept loop and handler threads.
 pub struct Shared {
-    /// The engine; write lock for mutating commands, read lock for
-    /// queries.
-    pub engine: RwLock<Engine>,
+    /// The shard router: engines, per-shard admission counters and the
+    /// deterministic ownership index.
+    pub router: ShardRouter,
     limits: Limits,
     stop: AtomicBool,
     started: Instant,
@@ -100,14 +108,12 @@ pub struct Shared {
     errors: AtomicU64,
     connections: AtomicU64,
     active_connections: AtomicU64,
-    inflight_writes: AtomicU64,
-    inflight_reads: AtomicU64,
     busy_refusals: AtomicU64,
     overloaded_rejections: AtomicU64,
     auto_checkpoints: AtomicU64,
-    /// Set when a handler panicked while holding the write lock (the
-    /// lock is recovered and serving continues, but state deserves an
-    /// operator's look).
+    /// Set when a handler panicked while holding a write lock (the lock
+    /// is recovered and serving continues, but state deserves an
+    /// operator's look) — or when a replica delta diverged.
     degraded: AtomicBool,
 }
 
@@ -127,29 +133,12 @@ impl Shared {
         &self.limits
     }
 
-    /// Read-lock the engine, recovering the guard if a previous handler
-    /// panicked while holding the write lock. The poisoned flag becomes
-    /// a `degraded` marker in `stats` instead of a panic cascade across
-    /// every later connection.
-    pub fn engine_read(&self) -> RwLockReadGuard<'_, Engine> {
-        match self.engine.read() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.degraded.store(true, Ordering::Relaxed);
-                poisoned.into_inner()
-            }
-        }
-    }
-
-    /// Write-lock the engine, recovering the guard like
-    /// [`Shared::engine_read`].
-    pub fn engine_write(&self) -> RwLockWriteGuard<'_, Engine> {
-        match self.engine.write() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.degraded.store(true, Ordering::Relaxed);
-                poisoned.into_inner()
-            }
+    /// Record that a poisoned engine lock was recovered: the poisoned
+    /// flag becomes a `degraded` marker in `stats` instead of a panic
+    /// cascade across every later connection.
+    fn note_recovered(&self, recovered: bool) {
+        if recovered {
+            self.degraded.store(true, Ordering::Relaxed);
         }
     }
 
@@ -178,6 +167,22 @@ fn admit(counter: &AtomicU64, budget: u64) -> Option<Admission<'_>> {
     } else {
         Some(Admission(counter))
     }
+}
+
+/// Take a write slot on shard `i`.
+fn admit_write(shared: &Shared, i: usize) -> Option<Admission<'_>> {
+    admit(
+        &shared.router.shard(i).inflight_writes,
+        shared.limits.max_pending_writes,
+    )
+}
+
+/// Take a read slot on shard `i`.
+fn admit_read(shared: &Shared, i: usize) -> Option<Admission<'_>> {
+    admit(
+        &shared.router.shard(i).inflight_reads,
+        shared.limits.max_pending_reads,
+    )
 }
 
 /// RAII active-connection slot, paired with the accept loop's
@@ -221,9 +226,16 @@ pub fn spawn(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
 /// Bind `addr` and serve on a background thread with explicit
 /// admission limits.
 pub fn spawn_with_limits(engine: Engine, addr: &str, limits: Limits) -> io::Result<ServerHandle> {
+    spawn_sharded(vec![engine], addr, limits)
+}
+
+/// Bind `addr` and serve `engines` (one per shard) on a background
+/// thread. With a single engine this is exactly [`spawn_with_limits`];
+/// with more, commands are routed as described in [`crate::shard`].
+pub fn spawn_sharded(engines: Vec<Engine>, addr: &str, limits: Limits) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(new_shared(engine, limits));
+    let shared = Arc::new(new_shared(engines, limits));
     let shared2 = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("moma-accept".into())
@@ -244,15 +256,26 @@ pub fn run(engine: Engine, addr: &str) -> io::Result<()> {
 /// Bind `addr` and serve on the current thread until shutdown, with
 /// explicit admission limits.
 pub fn run_with_limits(engine: Engine, addr: &str, limits: Limits) -> io::Result<()> {
+    run_sharded(vec![engine], addr, limits)
+}
+
+/// Bind `addr` and serve `engines` (one per shard) on the current
+/// thread until shutdown.
+pub fn run_sharded(engines: Vec<Engine>, addr: &str, limits: Limits) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    eprintln!("moma serve: listening on {}", listener.local_addr()?);
-    accept_loop(listener, Arc::new(new_shared(engine, limits)));
+    let shards = engines.len();
+    eprintln!(
+        "moma serve: listening on {} ({shards} shard{})",
+        listener.local_addr()?,
+        if shards == 1 { "" } else { "s" }
+    );
+    accept_loop(listener, Arc::new(new_shared(engines, limits)));
     Ok(())
 }
 
-fn new_shared(engine: Engine, limits: Limits) -> Shared {
+fn new_shared(engines: Vec<Engine>, limits: Limits) -> Shared {
     Shared {
-        engine: RwLock::new(engine),
+        router: ShardRouter::new(engines),
         limits,
         stop: AtomicBool::new(false),
         started: Instant::now(),
@@ -260,8 +283,6 @@ fn new_shared(engine: Engine, limits: Limits) -> Shared {
         errors: AtomicU64::new(0),
         connections: AtomicU64::new(0),
         active_connections: AtomicU64::new(0),
-        inflight_writes: AtomicU64::new(0),
-        inflight_reads: AtomicU64::new(0),
         busy_refusals: AtomicU64::new(0),
         overloaded_rejections: AtomicU64::new(0),
         auto_checkpoints: AtomicU64::new(0),
@@ -356,25 +377,35 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Background auto-checkpointer: peeks at the durability thresholds
-/// under the read lock and, only when due, takes the write lock to
-/// publish a checkpoint — so checkpoint cost never rides on a delta's
-/// response time. Single-threaded by construction and joined by the
-/// accept loop, so it cannot overlap itself or outlive shutdown. The
-/// `MOMA_CHECKPOINT_FAULT_DELAY_MS` fault injection applies here the
-/// same as to explicit `checkpoint` commands (it lives in
-/// `checkpoint::publish`).
+/// Background auto-checkpointer: walks the shards, peeks at each one's
+/// durability thresholds under its read lock and, only when due, takes
+/// that shard's write lock to publish a checkpoint — so checkpoint cost
+/// never rides on a delta's response time, and a checkpoint on one
+/// shard never blocks writes to another. Single-threaded by
+/// construction and joined by the accept loop, so it cannot overlap
+/// itself or outlive shutdown. The `MOMA_CHECKPOINT_FAULT_DELAY_MS`
+/// fault injection applies here the same as to explicit `checkpoint`
+/// commands (it lives in `checkpoint::publish`).
 fn checkpoint_loop(shared: Arc<Shared>) {
     while !shared.stopping() {
-        let due = shared.engine_read().checkpoint_due();
-        if due {
+        let mut failed = false;
+        for i in 0..shared.router.len() {
+            let due = {
+                let (engine, recovered) = shared.router.engine_read(i);
+                shared.note_recovered(recovered);
+                engine.checkpoint_due()
+            };
+            if !due {
+                continue;
+            }
             // Re-check under the write lock: a concurrent explicit
             // `checkpoint` command may have run since the peek. The
             // counter is bumped while the lock is still held so a
             // stats reader never sees the new checkpoint_seq without
             // the matching auto_checkpoints count.
             let result = {
-                let mut engine = shared.engine_write();
+                let (mut engine, recovered) = shared.router.engine_write(i);
+                shared.note_recovered(recovered);
                 if engine.checkpoint_due() {
                     let r = engine.run_auto_checkpoint();
                     if r.is_ok() {
@@ -385,18 +416,17 @@ fn checkpoint_loop(shared: Arc<Shared>) {
                     None
                 }
             };
-            match result {
-                Some(Ok(_)) => continue,
-                Some(Err(e)) => {
-                    eprintln!("moma serve: warning: background checkpoint failed: {e}");
-                    let deadline = Instant::now() + CHECKPOINT_BACKOFF;
-                    while Instant::now() < deadline && !shared.stopping() {
-                        std::thread::sleep(CHECKPOINT_POLL);
-                    }
-                    continue;
-                }
-                None => {}
+            if let Some(Err(e)) = result {
+                eprintln!("moma serve: warning: background checkpoint failed on shard {i}: {e}");
+                failed = true;
             }
+        }
+        if failed {
+            let deadline = Instant::now() + CHECKPOINT_BACKOFF;
+            while Instant::now() < deadline && !shared.stopping() {
+                std::thread::sleep(CHECKPOINT_POLL);
+            }
+            continue;
         }
         std::thread::sleep(CHECKPOINT_POLL);
     }
@@ -568,11 +598,33 @@ fn overloaded_response(shared: &Shared, class: &str) -> Json {
 }
 
 /// Response for a handler that panicked mid-command. The engine lock is
-/// recovered (see [`Shared::engine_write`]) and serving continues, but
-/// `stats` reports `degraded: true` from here on.
+/// recovered (see [`ShardRouter::engine_write`]) and serving continues,
+/// but `stats` reports `degraded: true` from here on.
 fn internal_error_response(shared: &Shared) -> Json {
     shared.degraded.store(true, Ordering::Relaxed);
     err_response("internal error: command handler panicked; engine marked degraded (see stats)")
+}
+
+/// Clone a request object with one extra field appended.
+fn with_field(req: &Json, key: &str, value: Json) -> Json {
+    let mut fields = match req {
+        Json::Obj(fields) => fields.clone(),
+        _ => Vec::new(),
+    };
+    fields.push((key.to_owned(), value));
+    Json::Obj(fields)
+}
+
+/// Append `(key, value)` to an object response (no-op otherwise).
+fn annotate(mut resp: Json, key: &str, value: Json) -> Json {
+    if let Json::Obj(fields) = &mut resp {
+        fields.push((key.to_owned(), value));
+    }
+    resp
+}
+
+fn response_ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
 }
 
 fn dispatch(payload: &[u8], shared: &Shared) -> Json {
@@ -594,98 +646,742 @@ fn dispatch(payload: &[u8], shared: &Shared) -> Json {
                 ("stopping", Json::Bool(true)),
             ])
         }
-        "stats" => {
-            let Some(_slot) = admit(&shared.inflight_reads, shared.limits.max_pending_reads) else {
-                return overloaded_response(shared, "read");
-            };
-            let engine = shared.engine_read();
-            let mut resp = engine.execute_read(&req);
-            if let Json::Obj(fields) = &mut resp {
-                fields.push((
-                    "uptime_ms".to_owned(),
-                    Json::Uint(shared.started.elapsed().as_millis() as u64),
-                ));
-                fields.push((
-                    "requests".to_owned(),
-                    Json::Uint(shared.requests.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "request_errors".to_owned(),
-                    Json::Uint(shared.errors.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "connections".to_owned(),
-                    Json::Uint(shared.connections.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "active_connections".to_owned(),
-                    Json::Uint(shared.active_connections.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "busy_refusals".to_owned(),
-                    Json::Uint(shared.busy_refusals.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "overloaded_rejections".to_owned(),
-                    Json::Uint(shared.overloaded_rejections.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "auto_checkpoints".to_owned(),
-                    Json::Uint(shared.auto_checkpoints.load(Ordering::Relaxed)),
-                ));
-                fields.push((
-                    "degraded".to_owned(),
-                    Json::Bool(shared.degraded.load(Ordering::Relaxed)),
-                ));
-            }
-            resp
-        }
+        "stats" => stats_response(shared, &req),
         c if Engine::needs_write_lock(c) || shared.debug_write_cmd(c) => {
-            let Some(_slot) = admit(&shared.inflight_writes, shared.limits.max_pending_writes)
-            else {
-                return overloaded_response(shared, "mutating");
+            write_path(c, &req, shared)
+        }
+        _ => read_path(&req, shared),
+    }
+}
+
+/// `stats`: gather every shard's engine stats (each under its own read
+/// admission + lock, in ascending shard order), merge them when sharded
+/// and append the server-level counters.
+fn stats_response(shared: &Shared, req: &Json) -> Json {
+    let n = shared.router.len();
+    let mut per_shard = Vec::with_capacity(n);
+    for i in 0..n {
+        let Some(_slot) = admit_read(shared, i) else {
+            return overloaded_response(shared, "read");
+        };
+        let (engine, recovered) = shared.router.engine_read(i);
+        shared.note_recovered(recovered);
+        per_shard.push(engine.execute_read(req));
+    }
+    let mut resp = if n == 1 {
+        per_shard.pop().expect("one shard")
+    } else {
+        shard::merge_stats(&shared.router, &per_shard)
+    };
+    if let Json::Obj(fields) = &mut resp {
+        fields.push((
+            "uptime_ms".to_owned(),
+            Json::Uint(shared.started.elapsed().as_millis() as u64),
+        ));
+        fields.push((
+            "requests".to_owned(),
+            Json::Uint(shared.requests.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "request_errors".to_owned(),
+            Json::Uint(shared.errors.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "connections".to_owned(),
+            Json::Uint(shared.connections.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "active_connections".to_owned(),
+            Json::Uint(shared.active_connections.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "busy_refusals".to_owned(),
+            Json::Uint(shared.busy_refusals.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "overloaded_rejections".to_owned(),
+            Json::Uint(shared.overloaded_rejections.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "auto_checkpoints".to_owned(),
+            Json::Uint(shared.auto_checkpoints.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "shard_count".to_owned(),
+            Json::Uint(shared.router.len() as u64),
+        ));
+        fields.push((
+            "degraded".to_owned(),
+            Json::Bool(shared.degraded.load(Ordering::Relaxed)),
+        ));
+    }
+    resp
+}
+
+/// Run a read-only request on shard `i` under its read admission slot.
+fn run_read_on(shared: &Shared, i: usize, req: &Json) -> Json {
+    let Some(_slot) = admit_read(shared, i) else {
+        return overloaded_response(shared, "read");
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (engine, recovered) = shared.router.engine_read(i);
+        shared.note_recovered(recovered);
+        engine.execute_read(req)
+    }));
+    match outcome {
+        Ok(resp) => resp,
+        Err(_) => internal_error_response(shared),
+    }
+}
+
+/// The router's "unknown mapping" error — same shape as the engine's,
+/// so clients see one error grammar regardless of shard count.
+fn unknown_mapping_response(shared: &Shared, name: &str) -> Json {
+    let known = shared.router.known_mappings();
+    let names: Vec<String> = known.iter().map(|(n, _)| n.clone()).collect();
+    err_response(&format!(
+        "unknown mapping `{name}` (have: {})",
+        if names.is_empty() {
+            "none".to_owned()
+        } else {
+            names.join(", ")
+        }
+    ))
+}
+
+fn read_path(req: &Json, shared: &Shared) -> Json {
+    if shared.router.is_single() {
+        return run_read_on(shared, 0, req);
+    }
+    let cmd = req.str_field("cmd").unwrap_or_default();
+    match cmd {
+        "ping" => Json::obj(vec![("ok", Json::Bool(true))]),
+        "query" => {
+            let Some(name) = req.str_field("name") else {
+                return err_response("query request missing `name`");
             };
-            // `debug_sleep_write` occupies its admission slot without
-            // touching the engine lock: it models a slow writer filling
-            // the queue, so overload tests can saturate the write
-            // budget while reads keep answering.
-            if c == "debug_sleep_write" {
-                let ms = req
-                    .get("ms")
-                    .and_then(Json::as_u64)
-                    .unwrap_or(250)
-                    .min(10_000);
-                std::thread::sleep(Duration::from_millis(ms));
-                return Json::obj(vec![("ok", Json::Bool(true)), ("slept_ms", Json::Uint(ms))]);
-            }
-            // A panicked handler must not take the server down (or
-            // poison every later request): catch it, answer an
-            // `internal_error`, and let `engine_write` recover the
-            // lock next time around.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let mut engine = shared.engine_write();
-                if c == "debug_panic" {
-                    panic!("debug_panic: injected handler panic");
-                }
-                engine.execute(&req)
-            }));
-            match outcome {
-                Ok(resp) => resp,
-                Err(_) => internal_error_response(shared),
+            match shared.router.mapping_shard(name) {
+                Some(i) => annotate(run_read_on(shared, i, req), "shard", Json::Uint(i as u64)),
+                None => unknown_mapping_response(shared, name),
             }
         }
-        _ => {
-            let Some(_slot) = admit(&shared.inflight_reads, shared.limits.max_pending_reads) else {
-                return overloaded_response(shared, "read");
-            };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let engine = shared.engine_read();
-                engine.execute_read(&req)
-            }));
-            match outcome {
-                Ok(resp) => resp,
-                Err(_) => internal_error_response(shared),
-            }
+        "batch_query" => sharded_batch_query(shared, req),
+        "dump" => sharded_dump(shared, req),
+        // Anything else lands on shard 0 for the canonical error
+        // message (`unknown command ...`).
+        _ => run_read_on(shared, 0, req),
+    }
+}
+
+/// Sharded `batch_query`: group items by their mapping's shard, visit
+/// shards in ascending order (one read admission + lock acquisition
+/// per shard), and reassemble the per-item results in request order.
+fn sharded_batch_query(shared: &Shared, req: &Json) -> Json {
+    let Some(Json::Arr(items)) = req.get("items") else {
+        return err_response("batch_query request missing `items` array");
+    };
+    if items.is_empty() {
+        return err_response("batch_query needs a non-empty `items` array");
+    }
+    let mut results: Vec<Option<Json>> = vec![None; items.len()];
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (k, item) in items.iter().enumerate() {
+        match item.str_field("name") {
+            None => results[k] = Some(err_response("query request missing `name`")),
+            Some(name) => match shared.router.mapping_shard(name) {
+                Some(i) => groups.entry(i).or_default().push(k),
+                None => results[k] = Some(unknown_mapping_response(shared, name)),
+            },
         }
     }
+    for (i, idxs) in groups {
+        let Some(_slot) = admit_read(shared, i) else {
+            return overloaded_response(shared, "read");
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (engine, recovered) = shared.router.engine_read(i);
+            shared.note_recovered(recovered);
+            idxs.iter()
+                .map(|&k| {
+                    let q = with_field(&items[k], "cmd", Json::Str("query".into()));
+                    (k, engine.execute_read(&q))
+                })
+                .collect::<Vec<_>>()
+        }));
+        match outcome {
+            Ok(pairs) => {
+                for (k, resp) in pairs {
+                    results[k] = Some(annotate(resp, "shard", Json::Uint(i as u64)));
+                }
+            }
+            Err(_) => return internal_error_response(shared),
+        }
+    }
+    let results: Vec<Json> = results
+        .into_iter()
+        .map(|r| r.expect("every batch_query item answered"))
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("count", Json::Uint(results.len() as u64)),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Sharded `dump`: each shard persists into `dir/shard.<i>/` (its own
+/// deterministic manifest included), and the coordinator writes a
+/// top-level `manifest.tsv` with the aggregate command counters — so an
+/// N-shard recovered state remains byte-comparable to a clean N-shard
+/// run with `diff -r`.
+fn sharded_dump(shared: &Shared, req: &Json) -> Json {
+    let Some(dir) = req.str_field("dir") else {
+        return err_response("dump request missing `dir`");
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return err_response(&format!("create {dir}: {e}"));
+    }
+    let n = shared.router.len();
+    let mut total_mappings = 0u64;
+    let mut sums = [0u64; 4];
+    let mut shard_lines = String::new();
+    for i in 0..n {
+        let Some(_slot) = admit_read(shared, i) else {
+            return overloaded_response(shared, "read");
+        };
+        let sub = format!("{dir}/shard.{i}");
+        let sub_req = with_field(req, "dir", Json::Str(sub.clone()));
+        // `with_field` appends, but `str_field` returns the first
+        // occurrence — rebuild the request instead.
+        let sub_req = match sub_req {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "dir")
+                    .chain(std::iter::once(("dir".to_owned(), Json::Str(sub.clone()))))
+                    .collect(),
+            ),
+            other => other,
+        };
+        let (engine, recovered) = shared.router.engine_read(i);
+        shared.note_recovered(recovered);
+        let resp = engine.execute_read(&sub_req);
+        if !response_ok(&resp) {
+            return annotate(resp, "shard", Json::Uint(i as u64));
+        }
+        let mappings = resp.get("mappings").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        total_mappings += mappings;
+        let counts = engine.command_counts();
+        sums[0] += counts.matches;
+        sums[1] += counts.composes;
+        sums[2] += counts.deltas;
+        sums[3] += counts.repl_deltas;
+        shard_lines.push_str(&format!(
+            "shard\t{i}\t{mappings}\t{}\t{}\t{}\t{}\n",
+            counts.matches, counts.composes, counts.deltas, counts.repl_deltas
+        ));
+    }
+    let mut manifest = String::from("# moma shard dump manifest\n");
+    manifest.push_str(&format!("shards\t{n}\n"));
+    manifest.push_str(&format!(
+        "commands\t{}\t{}\t{}\t{}\n",
+        sums[0], sums[1], sums[2], sums[3]
+    ));
+    manifest.push_str(&shard_lines);
+    let path = std::path::Path::new(dir).join("manifest.tsv");
+    if let Err(e) = std::fs::write(&path, manifest) {
+        return err_response(&format!("write {}: {e}", path.display()));
+    }
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("dir", Json::Str(dir.into())),
+        ("shards", Json::Uint(n as u64)),
+        ("mappings", Json::Num(total_mappings as f64)),
+    ])
+}
+
+fn write_path(c: &str, req: &Json, shared: &Shared) -> Json {
+    // `debug_sleep_write` occupies its admission slot without touching
+    // an engine lock: it models a slow writer filling the queue, so
+    // overload tests can saturate the write budget while reads keep
+    // answering. Debug commands always target shard 0.
+    if c == "debug_sleep_write" || c == "debug_panic" {
+        let Some(_slot) = admit_write(shared, 0) else {
+            return overloaded_response(shared, "mutating");
+        };
+        if c == "debug_sleep_write" {
+            let ms = req
+                .get("ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(250)
+                .min(10_000);
+            std::thread::sleep(Duration::from_millis(ms));
+            return Json::obj(vec![("ok", Json::Bool(true)), ("slept_ms", Json::Uint(ms))]);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (_engine, recovered) = shared.router.engine_write(0);
+            shared.note_recovered(recovered);
+            panic!("debug_panic: injected handler panic");
+        }));
+        let _: Result<(), _> = outcome;
+        return internal_error_response(shared);
+    }
+    if shared.router.is_single() {
+        let Some(_slot) = admit_write(shared, 0) else {
+            return overloaded_response(shared, "mutating");
+        };
+        // A panicked handler must not take the server down (or poison
+        // every later request): catch it, answer an `internal_error`,
+        // and let the router recover the lock next time around.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (mut engine, recovered) = shared.router.engine_write(0);
+            shared.note_recovered(recovered);
+            engine.execute(req)
+        }));
+        return match outcome {
+            Ok(resp) => resp,
+            Err(_) => internal_error_response(shared),
+        };
+    }
+    match c {
+        "checkpoint" => sharded_checkpoint(shared, req),
+        "match" => route_match(shared, req),
+        "compose" => route_compose(shared, req),
+        "delta" => route_delta(shared, req),
+        "batch_delta" => route_batch_delta(shared, req),
+        // `install` records are written by the router itself (and by
+        // WAL replay); accepting them from the wire would bypass the
+        // ownership index.
+        "install" => err_response("`install` is internal to the shard router"),
+        other => err_response(&format!("`{other}` is not routable")),
+    }
+}
+
+/// `checkpoint` on every shard, ascending; the response aggregates the
+/// per-shard sequence numbers (their sum is what the `wal.seq` /
+/// `wal.checkpoint_seq` stats aggregates count).
+fn sharded_checkpoint(shared: &Shared, req: &Json) -> Json {
+    let n = shared.router.len();
+    let mut per_shard = Vec::with_capacity(n);
+    let mut seq_sum = 0u64;
+    for i in 0..n {
+        let Some(_slot) = admit_write(shared, i) else {
+            return overloaded_response(shared, "mutating");
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (mut engine, recovered) = shared.router.engine_write(i);
+            shared.note_recovered(recovered);
+            engine.execute(req)
+        }));
+        let resp = match outcome {
+            Ok(resp) => resp,
+            Err(_) => return internal_error_response(shared),
+        };
+        if !response_ok(&resp) {
+            return annotate(resp, "shard", Json::Uint(i as u64));
+        }
+        seq_sum += resp.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        per_shard.push(annotate(resp, "shard", Json::Uint(i as u64)));
+    }
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("seq", Json::Uint(seq_sum)),
+        ("shards", Json::Arr(per_shard)),
+    ])
+}
+
+fn route_match(shared: &Shared, req: &Json) -> Json {
+    let Some(name) = req.str_field("name") else {
+        return err_response("match request missing `name`");
+    };
+    let Some(domain) = req.str_field("domain") else {
+        return err_response("match request missing `domain`");
+    };
+    let Some(range) = req.str_field("range") else {
+        return err_response("match request missing `range`");
+    };
+    let hint = req.get("shard").and_then(Json::as_u64).map(|v| v as usize);
+    let target = match shared.router.plan_match(domain, range, hint) {
+        Ok(t) => t,
+        Err(e) => return err_response(&e),
+    };
+    let Some(_slot) = admit_write(shared, target) else {
+        return overloaded_response(shared, "mutating");
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (mut engine, recovered) = shared.router.engine_write(target);
+        shared.note_recovered(recovered);
+        engine.execute(req)
+    }));
+    match outcome {
+        Ok(resp) => {
+            if response_ok(&resp) {
+                shared.router.note_match(name, domain, range, target);
+            }
+            annotate(resp, "shard", Json::Uint(target as u64))
+        }
+        Err(_) => internal_error_response(shared),
+    }
+}
+
+fn route_compose(shared: &Shared, req: &Json) -> Json {
+    let Some(name) = req.str_field("name") else {
+        return err_response("compose request missing `name`");
+    };
+    let Some(left) = req.str_field("left") else {
+        return err_response("compose request missing `left`");
+    };
+    let Some(right) = req.str_field("right") else {
+        return err_response("compose request missing `right`");
+    };
+    match shared.router.plan_compose(left, right) {
+        Err(e) => err_response(&e),
+        Ok(ComposePlan::Single(i)) => {
+            let Some(_slot) = admit_write(shared, i) else {
+                return overloaded_response(shared, "mutating");
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let (mut engine, recovered) = shared.router.engine_write(i);
+                shared.note_recovered(recovered);
+                engine.execute(req)
+            }));
+            match outcome {
+                Ok(resp) => {
+                    if response_ok(&resp) {
+                        shared.router.note_mapping(name, i);
+                    }
+                    annotate(resp, "shard", Json::Uint(i as u64))
+                }
+                Err(_) => internal_error_response(shared),
+            }
+        }
+        Ok(ComposePlan::Cross {
+            left: ls,
+            right: rs,
+            install,
+        }) => cross_shard_compose(shared, req, name, left, right, ls, rs, install),
+    }
+}
+
+/// The coordinator's gather-then-compute path: read-lock each input's
+/// shard in turn (never both at once — cheap Arc clones make holding
+/// two shard locks unnecessary), compute the compose locally with the
+/// exact single-shard recipe evaluation, then log the *result* as an
+/// `install` record on the left input's shard. The installed mapping is
+/// a point-in-time snapshot of its inputs; the response records their
+/// versions so a client can detect staleness and re-compose.
+#[allow(clippy::too_many_arguments)]
+fn cross_shard_compose(
+    shared: &Shared,
+    req: &Json,
+    name: &str,
+    left: &str,
+    right: &str,
+    ls: usize,
+    rs: usize,
+    install: usize,
+) -> Json {
+    let f = req.str_field("f").unwrap_or("min").to_owned();
+    let g = req.str_field("g").unwrap_or("max").to_owned();
+    let (f, g) = match (
+        crate::engine::parse_combine(&f),
+        crate::engine::parse_agg(&g),
+    ) {
+        (Ok(f), Ok(g)) => (f, g),
+        (Err(e), _) | (_, Err(e)) => return err_response(&e),
+    };
+    // Gather: clone each input's mapping Arc plus the metadata the
+    // install record needs, one shard at a time.
+    let gather = |i: usize,
+                  mapping_name: &str|
+     -> Result<
+        (
+            std::sync::Arc<moma_core::Mapping>,
+            u64,
+            String,
+            String,
+            moma_core::exec::Parallelism,
+        ),
+        Json,
+    > {
+        let Some(_slot) = admit_read(shared, i) else {
+            return Err(overloaded_response(shared, "read"));
+        };
+        let (engine, recovered) = shared.router.engine_read(i);
+        shared.note_recovered(recovered);
+        let Some(m) = engine.repository().get(mapping_name) else {
+            return Err(err_response(&format!(
+                "unknown mapping `{mapping_name}` on shard {i} (routing index stale?)"
+            )));
+        };
+        let version = engine.repository().version(mapping_name).unwrap_or(0);
+        let domain_name = engine.registry().lds(m.domain).name();
+        let range_name = engine.registry().lds(m.range).name();
+        Ok((m, version, domain_name, range_name, engine.parallelism()))
+    };
+    let (left_map, left_ver, left_domain, _left_range, par) = match gather(ls, left) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (right_map, right_ver, _right_domain, right_range, _) = match gather(rs, right) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (rows, assoc) = match shard::compose_gathered(&left_map, &right_map, f, g, &par) {
+        Ok(v) => v,
+        Err(e) => return err_response(&e),
+    };
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|&(d, r, sim)| {
+            Json::Arr(vec![
+                Json::Num(d as f64),
+                Json::Num(r as f64),
+                Json::Num(sim),
+            ])
+        })
+        .collect();
+    let mut install_fields = vec![
+        ("cmd".to_owned(), Json::Str("install".into())),
+        ("name".to_owned(), Json::Str(name.into())),
+        ("domain".to_owned(), Json::Str(left_domain)),
+        ("range".to_owned(), Json::Str(right_range)),
+        ("rows".to_owned(), Json::Arr(rows_json)),
+        (
+            "inputs".to_owned(),
+            Json::Arr(vec![
+                Json::Arr(vec![Json::Str(left.into()), Json::Uint(left_ver)]),
+                Json::Arr(vec![Json::Str(right.into()), Json::Uint(right_ver)]),
+            ]),
+        ),
+    ];
+    if let Some(t) = assoc {
+        install_fields.push(("assoc".to_owned(), Json::Str(t)));
+    }
+    let install_req = Json::Obj(install_fields);
+    let Some(_slot) = admit_write(shared, install) else {
+        return overloaded_response(shared, "mutating");
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (mut engine, recovered) = shared.router.engine_write(install);
+        shared.note_recovered(recovered);
+        engine.execute(&install_req)
+    }));
+    match outcome {
+        Ok(resp) => {
+            if !response_ok(&resp) {
+                return resp;
+            }
+            shared.router.note_mapping(name, install);
+            let resp = annotate(resp, "shard", Json::Uint(install as u64));
+            let resp = annotate(resp, "cross_shard", Json::Bool(true));
+            let resp = annotate(resp, "left_shard", Json::Uint(ls as u64));
+            let resp = annotate(resp, "right_shard", Json::Uint(rs as u64));
+            annotate(
+                resp,
+                "inputs",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::Str(left.into()), Json::Uint(left_ver)]),
+                    Json::Arr(vec![Json::Str(right.into()), Json::Uint(right_ver)]),
+                ]),
+            )
+        }
+        Err(_) => internal_error_response(shared),
+    }
+}
+
+fn route_delta(shared: &Shared, req: &Json) -> Json {
+    let Some(source) = req.str_field("lds") else {
+        return err_response("delta request missing `lds`");
+    };
+    // Unknown sources get the registry's own error (routable: it names
+    // the source and the registry is identical on every shard).
+    {
+        let (engine, recovered) = shared.router.engine_read(0);
+        shared.note_recovered(recovered);
+        if let Err(e) = engine.registry().resolve(source) {
+            return err_response(&format!("unknown source `{source}`: {e}"));
+        }
+    }
+    let targets = match shared.router.plan_delta(source) {
+        Ok(t) => t,
+        Err(e) => return err_response(&e),
+    };
+    apply_fanout_delta(shared, req, &targets)
+}
+
+/// Apply one delta to its target shards: admission on every target,
+/// write locks in ascending shard order (all held until every copy is
+/// applied, so concurrent deltas to overlapping shard sets cannot
+/// interleave differently on different shards), accounting copy on the
+/// lowest target, `"repl": true` replicas on the rest.
+fn apply_fanout_delta(shared: &Shared, req: &Json, targets: &[usize]) -> Json {
+    let mut slots = Vec::with_capacity(targets.len());
+    for &i in targets {
+        match admit_write(shared, i) {
+            Some(s) => slots.push(s),
+            None => return overloaded_response(shared, "mutating"),
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut guards = Vec::with_capacity(targets.len());
+        for &i in targets {
+            let (g, recovered) = shared.router.engine_write(i);
+            shared.note_recovered(recovered);
+            guards.push((i, g));
+        }
+        let mut primary = None;
+        for (k, (i, engine)) in guards.iter_mut().enumerate() {
+            if k == 0 {
+                primary = Some(engine.execute(req));
+            } else {
+                let repl_req = with_field(req, "repl", Json::Bool(true));
+                let resp = engine.execute(&repl_req);
+                if !response_ok(&resp) {
+                    // A replica that fails while the accounting copy
+                    // succeeded means the shards have diverged; keep
+                    // serving but flag it loudly.
+                    eprintln!(
+                        "moma serve: warning: replica delta diverged on shard {i}: {}",
+                        resp.str_field("error").unwrap_or("unknown error")
+                    );
+                    shared.degraded.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        primary.expect("at least one delta target")
+    }));
+    match outcome {
+        Ok(resp) => annotate(
+            resp,
+            "shards",
+            Json::Arr(targets.iter().map(|&i| Json::Uint(i as u64)).collect()),
+        ),
+        Err(_) => internal_error_response(shared),
+    }
+}
+
+/// Sharded `batch_delta`. When every item routes to one shard the whole
+/// batch forwards there unchanged — one WAL group commit, contiguous
+/// sequence numbers, exactly the single-shard semantics. A batch
+/// spanning shards is decomposed into per-shard sub-batches (one group
+/// commit per shard, write locks held across all of them in ascending
+/// order); per-item results are reassembled in request order and the
+/// envelope's `first_seq`/`last_seq` are `null` because no single
+/// shard's sequence range covers the batch.
+fn route_batch_delta(shared: &Shared, req: &Json) -> Json {
+    let Some(Json::Arr(items)) = req.get("items") else {
+        return err_response("batch_delta request missing `items` array");
+    };
+    if items.is_empty() {
+        return err_response("batch_delta needs a non-empty `items` array");
+    }
+    let mut item_targets: Vec<Vec<usize>> = Vec::with_capacity(items.len());
+    for (k, item) in items.iter().enumerate() {
+        let Some(source) = item.str_field("lds") else {
+            return err_response(&format!("batch_delta item {k} missing `lds`"));
+        };
+        {
+            let (engine, recovered) = shared.router.engine_read(0);
+            shared.note_recovered(recovered);
+            if let Err(e) = engine.registry().resolve(source) {
+                return err_response(&format!(
+                    "batch_delta item {k}: unknown source `{source}`: {e}"
+                ));
+            }
+        }
+        match shared.router.plan_delta(source) {
+            Ok(t) => item_targets.push(t),
+            Err(e) => return err_response(&format!("batch_delta item {k}: {e}")),
+        }
+    }
+    let union: std::collections::BTreeSet<usize> = item_targets.iter().flatten().copied().collect();
+    if union.len() == 1 {
+        let i = *union.iter().next().expect("non-empty union");
+        let Some(_slot) = admit_write(shared, i) else {
+            return overloaded_response(shared, "mutating");
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (mut engine, recovered) = shared.router.engine_write(i);
+            shared.note_recovered(recovered);
+            engine.execute(req)
+        }));
+        return match outcome {
+            Ok(resp) => annotate(resp, "shards", Json::Arr(vec![Json::Uint(i as u64)])),
+            Err(_) => internal_error_response(shared),
+        };
+    }
+
+    // Multi-shard batch: per-shard sub-batches under all write locks.
+    let mut slots = Vec::with_capacity(union.len());
+    for &i in &union {
+        match admit_write(shared, i) {
+            Some(s) => slots.push(s),
+            None => return overloaded_response(shared, "mutating"),
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut guards = Vec::with_capacity(union.len());
+        for &i in &union {
+            let (g, recovered) = shared.router.engine_write(i);
+            shared.note_recovered(recovered);
+            guards.push((i, g));
+        }
+        let mut results: Vec<Option<Json>> = vec![None; items.len()];
+        for (i, engine) in guards.iter_mut() {
+            // Sub-batch for shard i, in request order. An item's
+            // accounting copy goes to its lowest target; other targets
+            // get replicas.
+            let mut sub_items = Vec::new();
+            let mut accounted = Vec::new();
+            for (k, targets) in item_targets.iter().enumerate() {
+                if !targets.contains(i) {
+                    continue;
+                }
+                let is_accounting = targets.first() == Some(i);
+                let item = if is_accounting {
+                    items[k].clone()
+                } else {
+                    with_field(&items[k], "repl", Json::Bool(true))
+                };
+                sub_items.push(item);
+                accounted.push(if is_accounting { Some(k) } else { None });
+            }
+            let sub_req = Json::obj(vec![
+                ("cmd", Json::Str("batch_delta".into())),
+                ("items", Json::Arr(sub_items)),
+            ]);
+            let resp = engine.execute(&sub_req);
+            if !response_ok(&resp) {
+                return Err(annotate(resp, "shard", Json::Uint(*i as u64)));
+            }
+            if let Some(Json::Arr(sub_results)) = resp.get("results") {
+                for (j, slot) in accounted.iter().enumerate() {
+                    if let Some(k) = slot {
+                        results[*k] = sub_results.get(j).cloned();
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }));
+    let results = match outcome {
+        Ok(Ok(results)) => results,
+        Ok(Err(resp)) => return resp,
+        Err(_) => return internal_error_response(shared),
+    };
+    let results: Vec<Json> = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| err_response("batch_delta item result missing")))
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("count", Json::Uint(results.len() as u64)),
+        ("first_seq", Json::Null),
+        ("last_seq", Json::Null),
+        ("results", Json::Arr(results)),
+        (
+            "shards",
+            Json::Arr(union.iter().map(|&i| Json::Uint(i as u64)).collect()),
+        ),
+    ])
 }

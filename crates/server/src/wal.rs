@@ -54,6 +54,32 @@
 //! record can never collide with the next append's sequence number); if
 //! even that rollback fails, the WAL poisons itself and refuses further
 //! appends rather than risk a corrupt stream.
+//!
+//! ## Sharding
+//!
+//! A sharded server (`moma serve --shards N`) runs one WAL per shard in
+//! sibling directories `<wal>/shard.0` … `<wal>/shard.N-1`; each is a
+//! completely independent log with its own sequence space, checkpoints
+//! and rotation, and recovery replays them independently (see
+//! `docs/DURABILITY.md`).
+//!
+//! ## Example
+//!
+//! ```
+//! use moma_server::wal::{RotationPolicy, Wal};
+//!
+//! let dir = std::env::temp_dir().join(format!("moma-wal-doc-{}", std::process::id()));
+//! let mut wal = Wal::create(&dir, RotationPolicy::default())?;
+//! assert_eq!(wal.append(br#"{"cmd":"delta"}"#)?, 1);
+//! assert_eq!(wal.append(br#"{"cmd":"match"}"#)?, 2);
+//!
+//! // A scan decodes the whole stream back, CRC-checked, in order.
+//! let scan = Wal::scan(&dir)?;
+//! assert_eq!((scan.first_seq(), scan.last_seq()), (1, 2));
+//!
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};

@@ -23,7 +23,13 @@
 #      zero server panics;
 #   5. run C: kill -9 *inside a background auto-checkpoint's* staging
 #      window (--checkpoint-every-records + fault injection) and
-#      recover via fallback to the previous checkpoint.
+#      recover via fallback to the previous checkpoint;
+#   6. runs D/E: the sharded gate — a 4-shard server with per-shard WAL
+#      directories takes traffic on every shard (hinted matches +
+#      scattered deltas), is killed -9 mid-stream and restarted with
+#      --replay --shards 4; each shard replays its own log, and the
+#      recovered per-shard dump tree must be byte-identical to a clean
+#      4-shard run of the same command prefix.
 #
 # Usage: scripts/serve_smoke.sh [--bin-dir target/release]
 # Needs: target/release/moma and target/release/moma_load (built
@@ -45,9 +51,13 @@ done
 PORT_A=${MOMA_SMOKE_PORT_A:-7311}
 PORT_B=${MOMA_SMOKE_PORT_B:-7312}
 PORT_C=${MOMA_SMOKE_PORT_C:-7313}
+PORT_D=${MOMA_SMOKE_PORT_D:-7314}
+PORT_E=${MOMA_SMOKE_PORT_E:-7315}
 ADDR_A=127.0.0.1:$PORT_A
 ADDR_B=127.0.0.1:$PORT_B
 ADDR_C=127.0.0.1:$PORT_C
+ADDR_D=127.0.0.1:$PORT_D
+ADDR_E=127.0.0.1:$PORT_E
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/moma_serve_smoke.XXXXXX")
 
 # Small segments so the run actually rotates (and checkpoints prune).
@@ -301,3 +311,110 @@ echo "BACKGROUND_CHECKPOINT_FALLBACK: torn background checkpoint ignored, recove
 "$MOMA_LOAD" shutdown --addr "$ADDR_C"
 wait "$SERVER_PID" || true
 SERVER_PID=""
+
+# ---------------------------------------------------------------- run D
+# Sharded crash gate: 4 shards, each with its own WAL directory under
+# d.wal/shard.<i>. Smoke traffic lands on one shard via the routing
+# cascade; `scatter` places one hinted match per shard and deltas all
+# of them, so every shard's log has records to replay. A mid-stream
+# checkpoint exercises the per-shard checkpoint chains.
+echo "== run D: serve --shards 4 --wal, traffic on every shard, kill -9 mid-stream"
+SERVE_D=(serve --addr "$ADDR_D" --scale small --seed 7 --threads 2
+         --wal "$WORK/d.wal" --segment-records 40 --shards 4)
+"$MOMA" "${SERVE_D[@]}" &
+SERVER_PID=$!
+
+"$MOMA_LOAD" smoke --addr "$ADDR_D"
+"$MOMA_LOAD" scatter --addr "$ADDR_D" --shards 4 --deltas 6
+SHARDS_D=$(stat_retry "$ADDR_D" shard_count)
+if [[ "$SHARDS_D" -ne 4 ]]; then
+    echo "serve_smoke: run D reports shard_count $SHARDS_D, want 4"
+    exit 1
+fi
+"$MOMA_LOAD" stream --addr "$ADDR_D" --steps 400 --sleep-ms 25 &
+STREAM_D_PID=$!
+sleep 2
+"$MOMA_LOAD" checkpoint --addr "$ADDR_D"
+sleep 1
+
+kill -9 "$SERVER_PID"
+echo "== killed server D (pid $SERVER_PID) with SIGKILL"
+SERVER_PID=""
+set +e
+wait "$STREAM_D_PID"
+STREAM_D_RC=$?
+set -e
+if [[ "$STREAM_D_RC" -ne 3 && "$STREAM_D_RC" -ne 0 ]]; then
+    echo "serve_smoke: run D stream exited $STREAM_D_RC (want 3, or 0 if it finished)"
+    exit 1
+fi
+for i in 0 1 2 3; do
+    if [[ ! -d "$WORK/d.wal/shard.$i" ]]; then
+        echo "serve_smoke: run D never created $WORK/d.wal/shard.$i"
+        exit 1
+    fi
+done
+
+# Per-shard recovery: every shard replays its own log independently.
+echo "== restart with --replay --shards 4"
+"$MOMA" "${SERVE_D[@]}" --replay &
+SERVER_PID=$!
+K_D=$(stat_retry "$ADDR_D" commands.delta)
+CP_D=$(stat_retry "$ADDR_D" wal.checkpoint_seq)
+SEQ_D=$(stat_retry "$ADDR_D" wal.seq)
+LAG_D=$(stat_retry "$ADDR_D" wal.lag)
+echo "== recovered 4 shards: $K_D delta command(s), wal seq $SEQ_D (summed), checkpoint seq $CP_D, lag $LAG_D"
+# smoke sends 2 deltas and scatter 24; at least one stream step must
+# have survived for the kill to have landed mid-stream.
+if [[ "$K_D" -lt 27 ]]; then
+    echo "serve_smoke: only $K_D delta commands recovered — kill landed before the stream ran"
+    exit 1
+fi
+if [[ "$CP_D" -le 0 ]]; then
+    echo "serve_smoke: sharded recovery restored no checkpoint (checkpoint_seq $CP_D)"
+    exit 1
+fi
+if [[ "$LAG_D" -ge "$SEQ_D" ]]; then
+    echo "serve_smoke: sharded replay was not bounded — replayed $LAG_D of $SEQ_D records"
+    exit 1
+fi
+"$MOMA_LOAD" dump --addr "$ADDR_D" --dir "$WORK/dump_shard_replayed"
+"$MOMA_LOAD" shutdown --addr "$ADDR_D"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+# ---------------------------------------------------------------- run E
+# Clean 4-shard reference: same command prefix, fresh WAL. The delta
+# traffic is deterministic, so matching the recovered delta count means
+# replaying K_D - 26 stream steps on top of smoke + scatter.
+echo "== run E: clean 4-shard server, same command prefix ($((K_D - 26)) stream steps)"
+"$MOMA" serve --addr "$ADDR_E" --scale small --seed 7 --threads 2 \
+    --wal "$WORK/e.wal" --shards 4 &
+SERVER_PID=$!
+
+"$MOMA_LOAD" smoke --addr "$ADDR_E"
+"$MOMA_LOAD" scatter --addr "$ADDR_E" --shards 4 --deltas 6
+"$MOMA_LOAD" stream --addr "$ADDR_E" --steps $((K_D - 26))
+K_E=$("$MOMA_LOAD" stat --addr "$ADDR_E" --key commands.delta)
+if [[ "$K_E" -ne "$K_D" ]]; then
+    echo "serve_smoke: sharded reference run has $K_E delta commands, want $K_D"
+    exit 1
+fi
+"$MOMA_LOAD" dump --addr "$ADDR_E" --dir "$WORK/dump_shard_clean"
+"$MOMA_LOAD" shutdown --addr "$ADDR_E"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+echo "== comparing recovered 4-shard state against the clean 4-shard run"
+for i in 0 1 2 3; do
+    if [[ ! -f "$WORK/dump_shard_replayed/shard.$i/manifest.tsv" ]]; then
+        echo "serve_smoke: recovered dump is missing shard.$i"
+        exit 1
+    fi
+done
+if diff -r "$WORK/dump_shard_replayed" "$WORK/dump_shard_clean"; then
+    echo "SHARD_BIT_IDENTICAL: 4-shard replayed state matches the clean run byte for byte"
+else
+    echo "serve_smoke: FAIL — 4-shard replayed state diverges from the clean run"
+    exit 1
+fi
